@@ -1,0 +1,111 @@
+//! Microbenchmarks of the Dema core: local-window sorting strategies
+//! (ablation: incremental vs sort-on-close), slicing, the three candidate
+//! selectors, and the calculation-step merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::merge::{merge_runs, select_kth};
+use dema_core::selector::{select, SelectionStrategy};
+use dema_core::slice::cut_into_slices;
+use dema_core::window::{LocalWindow, SortStrategy};
+use dema_gen::SoccerGenerator;
+
+fn events(n: usize) -> Vec<Event> {
+    SoccerGenerator::new(7, 1, 1_000_000, 0).take(n).collect()
+}
+
+/// Ablation: the paper prescribes incremental sorting on the local node;
+/// sort-on-close is the alternative. Random arrival order is the worst case
+/// for incremental insert, smooth sensor streams the best.
+fn bench_sort_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_window_sort");
+    for n in [1_000usize, 10_000] {
+        let input = events(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, strategy) in [
+            ("incremental", SortStrategy::Incremental),
+            ("on_close", SortStrategy::OnClose),
+            ("runs", SortStrategy::Runs),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &input, |b, input| {
+                b.iter(|| {
+                    let mut w =
+                        LocalWindow::new(NodeId(0), WindowId(0), u64::MAX, strategy);
+                    for e in input {
+                        w.insert(*e).unwrap();
+                    }
+                    black_box(w.into_sorted_events())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_slicing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_into_slices");
+    let mut sorted = events(100_000);
+    sorted.sort_unstable();
+    for gamma in [100u64, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(sorted.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
+            b.iter(|| {
+                black_box(
+                    cut_into_slices(NodeId(0), WindowId(0), sorted.clone(), gamma).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Candidate selection over many overlapping synopses — the root's hot path.
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selector");
+    // 8 nodes, heavily overlapping windows, γ = 1000.
+    let mut synopses = Vec::new();
+    for node in 0..8u32 {
+        let mut sorted: Vec<Event> =
+            SoccerGenerator::new(node as u64, 1, 1_000_000, 0).take(100_000).collect();
+        sorted.sort_unstable();
+        let slices = cut_into_slices(NodeId(node), WindowId(0), sorted, 1_000).unwrap();
+        let total = slices.len() as u32;
+        synopses.extend(slices.iter().map(|s| s.synopsis(total).unwrap()));
+    }
+    let k: u64 = synopses.iter().map(|s| s.count).sum::<u64>() / 2;
+    group.throughput(Throughput::Elements(synopses.len() as u64));
+    for (label, strategy) in [
+        ("window_cut", SelectionStrategy::WindowCut),
+        ("classified_scan", SelectionStrategy::ClassifiedScan),
+        ("no_cut", SelectionStrategy::NoCut),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(select(&synopses, k, strategy).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calculation_step");
+    let runs: Vec<Vec<Event>> = (0..4)
+        .map(|i| {
+            let mut r: Vec<Event> =
+                SoccerGenerator::new(i, 1, 1_000_000, 0).take(25_000).collect();
+            r.sort_unstable();
+            r
+        })
+        .collect();
+    let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("merge_runs_full", |b| b.iter(|| black_box(merge_runs(&runs))));
+    group.bench_function("select_kth_median", |b| {
+        b.iter(|| black_box(select_kth(&runs, total / 2).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort_strategies, bench_slicing, bench_selectors, bench_merge);
+criterion_main!(benches);

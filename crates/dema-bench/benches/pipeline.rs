@@ -1,0 +1,57 @@
+//! End-to-end pipeline benchmarks: full cluster runs per engine over the
+//! same inputs — the criterion companion to Figure 5a (`experiments fig5a`
+//! measures the same path at larger scale and with bandwidth simulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dema_bench::workload::{soccer_inputs, total_events, uniform_scales};
+use dema_cluster::config::{ClusterConfig, EngineKind, GammaMode};
+use dema_cluster::runner::run_cluster;
+use dema_core::quantile::Quantile;
+use dema_core::selector::SelectionStrategy;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_pipeline");
+    group.sample_size(10);
+    let inputs = soccer_inputs(2, 3, 20_000, &uniform_scales(2), 42);
+    group.throughput(Throughput::Elements(total_events(&inputs)));
+    let engines = [
+        (
+            "dema",
+            EngineKind::Dema {
+                gamma: GammaMode::Fixed(1_000),
+                strategy: SelectionStrategy::WindowCut,
+            },
+        ),
+        ("centralized", EngineKind::Centralized),
+        ("dec_sort", EngineKind::DecSort),
+        ("tdigest_central", EngineKind::TdigestCentral { compression: 100.0 }),
+        ("tdigest_dist", EngineKind::TdigestDistributed { compression: 100.0 }),
+    ];
+    for (label, engine) in engines {
+        let config = ClusterConfig::baseline(engine, Quantile::MEDIAN);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| black_box(run_cluster(config, inputs.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// γ sweep over the whole pipeline — the criterion companion to Figure 8b.
+fn bench_gamma_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_sweep");
+    group.sample_size(10);
+    let inputs = soccer_inputs(2, 3, 20_000, &[1, 10], 42);
+    group.throughput(Throughput::Elements(total_events(&inputs)));
+    for gamma in [2u64, 32, 512, 8_192] {
+        let config = ClusterConfig::dema_fixed(gamma, Quantile::new(0.3).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &config, |b, config| {
+            b.iter(|| black_box(run_cluster(config, inputs.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_gamma_sweep);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Sketch microbenchmarks: insert, merge, and query costs of the t-digest
+//! and q-digest — the Tdigest baseline's building blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dema_gen::SoccerGenerator;
+use dema_sketch::{KllSketch, QDigest, QuantileSketch, TDigest};
+
+fn values(n: usize) -> Vec<f64> {
+    SoccerGenerator::new(3, 1, 1_000_000, 0).take(n).map(|e| e.value as f64).collect()
+}
+
+fn bench_tdigest_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdigest_insert");
+    for n in [10_000usize, 100_000] {
+        let vals = values(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &vals, |b, vals| {
+            b.iter(|| {
+                let mut d = TDigest::new(100.0);
+                for &v in vals {
+                    d.insert(v);
+                }
+                black_box(d.count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tdigest_merge(c: &mut Criterion) {
+    let digests: Vec<TDigest> = (0..8)
+        .map(|i| {
+            let mut d = TDigest::new(100.0);
+            for e in SoccerGenerator::new(i, 1, 1_000_000, 0).take(50_000) {
+                d.insert(e.value as f64);
+            }
+            d
+        })
+        .collect();
+    c.bench_function("tdigest_merge_8_digests", |b| {
+        b.iter(|| {
+            let mut acc = TDigest::new(100.0);
+            for d in &digests {
+                acc.merge_from(d);
+            }
+            black_box(acc.quantile(0.5))
+        })
+    });
+}
+
+fn bench_tdigest_quantile(c: &mut Criterion) {
+    let mut d = TDigest::new(100.0);
+    for v in values(100_000) {
+        d.insert(v);
+    }
+    let _ = d.centroids(); // flush once so queries hit the fast path
+    c.bench_function("tdigest_quantile_query", |b| {
+        b.iter(|| black_box(d.quantile(0.5)))
+    });
+}
+
+fn bench_qdigest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qdigest");
+    let vals: Vec<u64> = values(50_000).into_iter().map(|v| v as u64).collect();
+    group.throughput(Throughput::Elements(vals.len() as u64));
+    group.bench_function("insert_50k", |b| {
+        b.iter(|| {
+            let mut d = QDigest::new(17, 256);
+            for &v in &vals {
+                d.insert_weighted(v, 1);
+            }
+            black_box(d.count())
+        })
+    });
+    let mut filled = QDigest::new(17, 256);
+    for &v in &vals {
+        filled.insert_weighted(v, 1);
+    }
+    group.bench_function("quantile_query", |b| b.iter(|| black_box(filled.quantile(0.5))));
+    group.finish();
+}
+
+fn bench_kll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kll");
+    let vals = values(100_000);
+    group.throughput(Throughput::Elements(vals.len() as u64));
+    group.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut s = KllSketch::new(256);
+            for &v in &vals {
+                s.insert(v);
+            }
+            black_box(s.count())
+        })
+    });
+    let mut filled = KllSketch::new(256);
+    for &v in &vals {
+        filled.insert(v);
+    }
+    group.bench_function("quantile_query", |b| b.iter(|| black_box(filled.quantile(0.5))));
+    let sketches: Vec<KllSketch> = (0..8)
+        .map(|i| {
+            let mut s = KllSketch::with_seed(256, i);
+            for e in SoccerGenerator::new(i, 1, 1_000_000, 0).take(50_000) {
+                s.insert(e.value as f64);
+            }
+            s
+        })
+        .collect();
+    group.bench_function("merge_8_sketches", |b| {
+        b.iter(|| {
+            let mut acc = KllSketch::new(256);
+            for s in &sketches {
+                acc.merge_from(s);
+            }
+            black_box(acc.quantile(0.5))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tdigest_insert,
+    bench_tdigest_merge,
+    bench_tdigest_quantile,
+    bench_qdigest,
+    bench_kll
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # dema-bench
+//!
+//! Experiment harness reproducing every figure of the Dema paper's
+//! evaluation (§4), plus criterion microbenchmarks and ablations.
+//!
+//! The `experiments` binary drives full cluster runs and prints the same
+//! series the paper plots:
+//!
+//! | subcommand | paper | series |
+//! |---|---|---|
+//! | `fig5a` | Fig 5a | throughput per system |
+//! | `fig5b` | Fig 5b | latency per system |
+//! | `fig6a` | Fig 6a | network utilization per system |
+//! | `fig6b` | Fig 6b | network cost vs #local nodes |
+//! | `fig7a` | Fig 7a | throughput vs #local nodes |
+//! | `fig7b` | Fig 7b | accuracy (1 − MPE) per system |
+//! | `fig8a` | Fig 8a | Dema throughput per quantile |
+//! | `fig8b` | Fig 8b | Dema throughput vs γ per scale-rate skew |
+//! | `ablate-selector` | — | candidate traffic per selection strategy |
+//! | `ablate-adaptive` | — | adaptive vs fixed γ under rate drift |
+//!
+//! Absolute numbers depend on the host; EXPERIMENTS.md records the *shapes*
+//! the paper reports and what this harness measures.
+
+pub mod harness;
+pub mod workload;

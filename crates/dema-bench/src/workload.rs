@@ -1,0 +1,64 @@
+//! Workload construction shared by the experiment binary and the criterion
+//! benches.
+
+use dema_core::event::Event;
+use dema_gen::SoccerGenerator;
+
+/// Per-node, per-window inputs for a cluster run: `n` local nodes replaying
+/// the DEBS-like soccer stream from different positions, with per-node scale
+/// rates (the paper's generator setup).
+pub fn soccer_inputs(
+    n_locals: usize,
+    windows: usize,
+    events_per_second: u64,
+    scales: &[i64],
+    seed: u64,
+) -> Vec<Vec<Vec<Event>>> {
+    (0..n_locals)
+        .map(|i| {
+            let scale = scales.get(i).copied().unwrap_or(1);
+            SoccerGenerator::new(seed + i as u64, scale, events_per_second, 0)
+                .take_windows(windows, 1_000)
+        })
+        .collect()
+}
+
+/// Equal scale rates of 1 for every node (the throughput experiments).
+pub fn uniform_scales(n: usize) -> Vec<i64> {
+    vec![1; n]
+}
+
+/// Total event count of an input set.
+pub fn total_events(inputs: &[Vec<Vec<Event>>]) -> u64 {
+    inputs.iter().flatten().map(|w| w.len() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_have_requested_shape() {
+        let inputs = soccer_inputs(3, 4, 500, &uniform_scales(3), 1);
+        assert_eq!(inputs.len(), 3);
+        assert!(inputs.iter().all(|n| n.len() == 4));
+        assert_eq!(total_events(&inputs), 3 * 4 * 500);
+    }
+
+    #[test]
+    fn scales_shift_value_ranges() {
+        let inputs = soccer_inputs(2, 1, 1000, &[1, 100], 1);
+        let max0 = inputs[0][0].iter().map(|e| e.value).max().unwrap();
+        let min1 = inputs[1][0].iter().map(|e| e.value).min().unwrap();
+        // Scale 100 pushes node 1 well above node 0 (values are 0..=100k).
+        assert!(min1 >= 0 && max0 <= 100_000);
+        assert!(inputs[1][0].iter().map(|e| e.value).max().unwrap() > max0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = soccer_inputs(2, 2, 300, &[1, 1], 7);
+        let b = soccer_inputs(2, 2, 300, &[1, 1], 7);
+        assert_eq!(a, b);
+    }
+}

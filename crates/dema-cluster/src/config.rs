@@ -1,0 +1,170 @@
+//! Cluster run configuration.
+
+use dema_core::quantile::Quantile;
+use dema_core::selector::SelectionStrategy;
+
+/// How γ evolves across windows (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GammaMode {
+    /// Use the same slice factor for every window (the paper's throughput /
+    /// network experiments fix γ = 10 000).
+    Fixed(u64),
+    /// Start at `initial`, then let the root re-optimize after every window
+    /// using the observed `l_G` and candidate count (`γ* = √(2·l_G/m)`),
+    /// broadcasting updates to the locals.
+    Adaptive {
+        /// γ for the first window.
+        initial: u64,
+    },
+    /// The paper's §3.3 future-work variant: a *separate* γ per local node,
+    /// each minimizing that node's own cost `2·l_i/γ_i + m_i·(γ_i − 2)`.
+    /// Nodes whose value range never holds the quantile converge to one
+    /// slice per window (two events on the wire); busy nodes near the
+    /// quantile get fine slicing.
+    AdaptivePerNode {
+        /// γ for every node's first window.
+        initial: u64,
+    },
+}
+
+impl GammaMode {
+    /// The γ the first window will use.
+    pub fn initial(&self) -> u64 {
+        match *self {
+            GammaMode::Fixed(g)
+            | GammaMode::Adaptive { initial: g }
+            | GammaMode::AdaptivePerNode { initial: g } => g,
+        }
+    }
+}
+
+/// Which aggregation engine the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineKind {
+    /// The paper's approach (exact).
+    Dema {
+        /// Slice-factor policy.
+        gamma: GammaMode,
+        /// Candidate selector.
+        strategy: SelectionStrategy,
+    },
+    /// Scotty-like: ship everything, sort at the root (exact).
+    Centralized,
+    /// Desis-like: local sort, ship sorted runs, root merges (exact).
+    DecSort,
+    /// t-digest built at the root from raw events (approximate).
+    TdigestCentral {
+        /// Digest compression δ.
+        compression: f64,
+    },
+    /// t-digest built locally, centroids shipped and merged (approximate).
+    TdigestDistributed {
+        /// Digest compression δ.
+        compression: f64,
+    },
+}
+
+impl EngineKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Dema { .. } => "dema",
+            EngineKind::Centralized => "centralized",
+            EngineKind::DecSort => "dec-sort",
+            EngineKind::TdigestCentral { .. } => "tdigest",
+            EngineKind::TdigestDistributed { .. } => "tdigest-dist",
+        }
+    }
+
+    /// `true` if the engine computes exact quantiles.
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, EngineKind::TdigestCentral { .. } | EngineKind::TdigestDistributed { .. })
+    }
+}
+
+/// Which transport the runner wires the topology with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process channels with exact wire accounting (default).
+    #[default]
+    Mem,
+    /// In-process channels with a simulated per-node link capacity, for the
+    /// bandwidth-constrained edge settings the paper targets. Each local
+    /// node gets a full-duplex link of this many megabits per second.
+    Throttled {
+        /// Uplink/downlink capacity per local node (Mbit/s).
+        mbits_per_sec: u64,
+    },
+    /// Real TCP sockets over loopback.
+    Tcp,
+}
+
+/// Full configuration of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The quantile every window computes.
+    pub quantile: Quantile,
+    /// Additional quantiles answered per window from the *same*
+    /// identification and calculation step (Dema engine only; the union of
+    /// candidate slices is fetched once). Results land in
+    /// [`crate::report::WindowOutcome::extra_values`].
+    pub extra_quantiles: Vec<Quantile>,
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Transport between nodes.
+    pub transport: TransportKind,
+    /// Wall-clock pacing between consecutive window closes on each local
+    /// node, in milliseconds. `None` replays as fast as possible (throughput
+    /// measurements); `Some(ms)` emulates real-time tumbling windows (time-
+    /// compressed), which is what lets adaptive-γ feedback land before the
+    /// next window is sliced.
+    pub pace_window_ms: Option<u64>,
+}
+
+impl ClusterConfig {
+    /// Dema with fixed γ and the exact window-cut selector — the paper's
+    /// default configuration.
+    pub fn dema_fixed(gamma: u64, quantile: Quantile) -> ClusterConfig {
+        ClusterConfig {
+            quantile,
+            engine: EngineKind::Dema {
+                gamma: GammaMode::Fixed(gamma),
+                strategy: SelectionStrategy::WindowCut,
+            },
+            transport: TransportKind::Mem,
+            pace_window_ms: None,
+            extra_quantiles: Vec::new(),
+        }
+    }
+
+    /// A baseline configuration.
+    pub fn baseline(engine: EngineKind, quantile: Quantile) -> ClusterConfig {
+        ClusterConfig {
+            quantile,
+            engine,
+            transport: TransportKind::Mem,
+            pace_window_ms: None,
+            extra_quantiles: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_initial() {
+        assert_eq!(GammaMode::Fixed(500).initial(), 500);
+        assert_eq!(GammaMode::Adaptive { initial: 64 }.initial(), 64);
+    }
+
+    #[test]
+    fn labels_and_exactness() {
+        assert_eq!(ClusterConfig::dema_fixed(10, Quantile::MEDIAN).engine.label(), "dema");
+        assert!(EngineKind::Centralized.is_exact());
+        assert!(EngineKind::DecSort.is_exact());
+        assert!(!EngineKind::TdigestCentral { compression: 100.0 }.is_exact());
+        assert!(!EngineKind::TdigestDistributed { compression: 100.0 }.is_exact());
+    }
+}

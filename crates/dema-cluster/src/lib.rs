@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # dema-cluster
+//!
+//! The decentralized cluster runtime: local-node and root-node threads wired
+//! by accounted transports, executing one of five engines over identical
+//! inputs:
+//!
+//! * **Dema** — the paper's contribution: local sort + slice, synopses to
+//!   the root, window-cut candidate selection, candidate fetch, exact
+//!   quantile. Fixed or adaptive γ.
+//! * **Centralized** — the Scotty/Flink baseline: every raw event to the
+//!   root, which sorts and picks the quantile.
+//! * **DecSort** — the modified-Desis baseline: locals sort, ship sorted
+//!   runs, the root k-way merges (never re-sorts).
+//! * **TdigestCentral** — the paper's Tdigest baseline: raw events to the
+//!   root, which feeds a t-digest and reports an approximate quantile.
+//! * **TdigestDistributed** — the extension the paper predicts ("we expect
+//!   Tdigest to outperform Dema also with a decentralized setup"): locals
+//!   build digests, the root merges them.
+//!
+//! The runner consumes pre-generated per-window inputs (see `dema-gen`),
+//! runs one OS thread per node plus a responder thread per Dema local, and
+//! produces a [`report::RunReport`] with per-window results, latencies, and
+//! exact per-link traffic.
+
+pub mod config;
+pub mod local;
+pub mod report;
+pub mod root;
+pub mod runner;
+
+pub use config::{ClusterConfig, EngineKind, GammaMode, TransportKind};
+pub use report::{RunReport, WindowOutcome};
+pub use runner::run_cluster;
+
+/// Errors from a cluster run.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The core algorithm rejected inputs (empty window asked for quantile…).
+    Core(dema_core::DemaError),
+    /// A transport failed mid-run.
+    Net(dema_net::NetError),
+    /// Protocol violation (unexpected message, missing reply).
+    Protocol(String),
+    /// A node thread panicked.
+    NodePanic(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Core(e) => write!(f, "core error: {e}"),
+            ClusterError::Net(e) => write!(f, "transport error: {e}"),
+            ClusterError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClusterError::NodePanic(msg) => write!(f, "node thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<dema_core::DemaError> for ClusterError {
+    fn from(e: dema_core::DemaError) -> ClusterError {
+        ClusterError::Core(e)
+    }
+}
+
+impl From<dema_net::NetError> for ClusterError {
+    fn from(e: dema_net::NetError) -> ClusterError {
+        ClusterError::Net(e)
+    }
+}

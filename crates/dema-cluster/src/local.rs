@@ -1,0 +1,466 @@
+//! Local-node logic: per-window processing and (for Dema) the candidate
+//! responder.
+//!
+//! A local node consumes its pre-grouped window inputs in order. Per window
+//! it performs the engine's local duty (sort + slice + synopses for Dema;
+//! sort-and-ship for DecSort; ship-raw for the centralized engines; digest
+//! for distributed t-digest) and moves on — it never blocks on the root.
+//! Dema's calculation step is served by a small *responder* thread that
+//! shares the node's slice store, so identification of window `w + 1` can
+//! overlap the calculation step of window `w`, exactly as in the paper
+//! ("the local nodes then proceed to process the next local windows").
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::slice::{cut_into_slices, Slice};
+use dema_core::window::{SortStrategy, WindowManager};
+use dema_net::{MsgReceiver, MsgSender, NetError};
+use dema_sketch::{QuantileSketch, TDigest};
+use dema_wire::Message;
+use parking_lot::Mutex;
+
+use crate::config::EngineKind;
+use crate::ClusterError;
+
+/// Most windows a local node keeps in its slice store awaiting candidate
+/// requests. Windows resolve within a round trip; this bound only guards
+/// against a stalled root.
+const STORE_WINDOW_CAP: usize = 64;
+
+/// State shared between a Dema local's main loop and its responder.
+#[derive(Debug)]
+pub struct LocalShared {
+    /// Current slice factor (updated by `GammaUpdate`s from the root).
+    pub gamma: AtomicU64,
+    /// Closed windows' slices, awaiting (possible) candidate requests.
+    pub store: Mutex<HashMap<u64, Vec<Slice>>>,
+}
+
+impl LocalShared {
+    /// Fresh shared state starting at `gamma`.
+    pub fn new(gamma: u64) -> Arc<LocalShared> {
+        Arc::new(LocalShared { gamma: AtomicU64::new(gamma), store: Mutex::new(HashMap::new()) })
+    }
+}
+
+/// Wall-clock instants at which each `(node, window)` closed — the latency
+/// clock starts here.
+pub type CloseTimes = Arc<Mutex<HashMap<(u32, u64), Instant>>>;
+
+/// Run one local node's main loop over its window inputs.
+///
+/// With `pace_window_ms = Some(ms)`, window `i` closes no earlier than
+/// `i · ms` after the run started — emulating real-time tumbling windows so
+/// root feedback (γ updates) can influence later windows.
+pub fn run_local(
+    node: NodeId,
+    windows: Vec<Vec<Event>>,
+    engine: EngineKind,
+    to_root: &mut dyn MsgSender,
+    shared: &LocalShared,
+    close_times: &CloseTimes,
+    pace_window_ms: Option<u64>,
+) -> Result<(), ClusterError> {
+    let started = Instant::now();
+    for (i, events) in windows.into_iter().enumerate() {
+        if let Some(ms) = pace_window_ms {
+            let due = started + std::time::Duration::from_millis(ms * i as u64);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let window = WindowId(i as u64);
+        close_times.lock().insert((node.0, window.0), Instant::now());
+        process_window(node, window, events, engine, to_root, shared)?;
+    }
+    to_root.send(&Message::StreamEnd { node, late_events: 0 })?;
+    Ok(())
+}
+
+/// Event-time streaming local loop: windows are derived from raw event
+/// timestamps via a [`WindowManager`] and closed as the node's watermark
+/// (max seen event time minus `allowed_lateness_ms`) passes their end.
+/// Events behind the watermark are dropped and counted, per the paper's
+/// event-time processing model.
+///
+/// The node reports *every* window id in `window_range` (inclusive), sending
+/// empty reports for windows it saw no events in, so the root's
+/// all-locals-reported trigger fires for every global window.
+#[allow(clippy::too_many_arguments)]
+pub fn run_local_streaming(
+    node: NodeId,
+    events: Vec<Event>,
+    window_len: u64,
+    window_range: (u64, u64),
+    allowed_lateness_ms: u64,
+    engine: EngineKind,
+    to_root: &mut dyn MsgSender,
+    shared: &LocalShared,
+    close_times: &CloseTimes,
+) -> Result<(), ClusterError> {
+    let (first_window, last_window) = window_range;
+    let mut mgr = WindowManager::new(node, window_len, SortStrategy::OnClose);
+    let mut next_to_emit = first_window;
+
+    let emit = |window_abs: u64,
+                    events: Vec<Event>,
+                    to_root: &mut dyn MsgSender|
+     -> Result<(), ClusterError> {
+        // Normalize to 0-based window ids, matching the pre-windowed runner.
+        let window = WindowId(window_abs - first_window);
+        close_times.lock().insert((node.0, window.0), Instant::now());
+        process_window(node, window, events, engine, to_root, shared)
+    };
+
+    for e in events {
+        let watermark = e.ts.saturating_sub(allowed_lateness_ms);
+        for closed in mgr.advance_watermark(watermark) {
+            let wid = closed.id().0;
+            while next_to_emit < wid {
+                emit(next_to_emit, Vec::new(), to_root)?;
+                next_to_emit += 1;
+            }
+            if wid >= next_to_emit {
+                emit(wid, closed.into_sorted_events(), to_root)?;
+                next_to_emit = wid + 1;
+            }
+        }
+        mgr.ingest(e);
+    }
+    for closed in mgr.drain() {
+        let wid = closed.id().0;
+        while next_to_emit < wid {
+            emit(next_to_emit, Vec::new(), to_root)?;
+            next_to_emit += 1;
+        }
+        if wid >= next_to_emit {
+            emit(wid, closed.into_sorted_events(), to_root)?;
+            next_to_emit = wid + 1;
+        }
+    }
+    while next_to_emit <= last_window {
+        emit(next_to_emit, Vec::new(), to_root)?;
+        next_to_emit += 1;
+    }
+    to_root.send(&Message::StreamEnd { node, late_events: mgr.late_events() })?;
+    Ok(())
+}
+
+/// The engine-specific local duty for one closed window.
+fn process_window(
+    node: NodeId,
+    window: WindowId,
+    mut events: Vec<Event>,
+    engine: EngineKind,
+    to_root: &mut dyn MsgSender,
+    shared: &LocalShared,
+) -> Result<(), ClusterError> {
+    match engine {
+        EngineKind::Dema { .. } => {
+            let gamma = shared.gamma.load(Ordering::Relaxed);
+            events.sort_unstable();
+            let slices = cut_into_slices(node, window, events, gamma)?;
+            let total = slices.len() as u32;
+            let synopses = slices
+                .iter()
+                .map(|s| s.synopsis(total))
+                .collect::<Result<Vec<_>, _>>()?;
+            {
+                let mut store = shared.store.lock();
+                store.insert(window.0, slices);
+                // Bound memory if the root stalls; oldest windows first.
+                while store.len() > STORE_WINDOW_CAP {
+                    let oldest = *store.keys().min().expect("non-empty");
+                    store.remove(&oldest);
+                }
+            }
+            to_root.send(&Message::SynopsisBatch { node, window, synopses })?;
+        }
+        EngineKind::Centralized | EngineKind::TdigestCentral { .. } => {
+            to_root.send(&Message::EventBatch { node, window, sorted: false, events })?;
+        }
+        EngineKind::DecSort => {
+            events.sort_unstable();
+            to_root.send(&Message::EventBatch { node, window, sorted: true, events })?;
+        }
+        EngineKind::TdigestDistributed { compression } => {
+            let mut digest = TDigest::new(compression);
+            for e in &events {
+                digest.insert(e.value as f64);
+            }
+            let centroids = digest.centroids().to_vec();
+            to_root.send(&Message::DigestBatch {
+                node,
+                window,
+                count: events.len() as u64,
+                compression,
+                centroids,
+            })?;
+        }
+    }
+    Ok(())
+}
+
+/// Dema's responder: serves candidate requests and γ updates until the root
+/// closes the control link.
+pub fn run_responder(
+    node: NodeId,
+    from_root: &mut dyn MsgReceiver,
+    to_root: &mut dyn MsgSender,
+    shared: &LocalShared,
+) -> Result<(), ClusterError> {
+    loop {
+        let msg = match from_root.recv() {
+            Ok(m) => m,
+            Err(NetError::Disconnected) => return Ok(()), // root finished
+            Err(e) => return Err(e.into()),
+        };
+        match msg {
+            Message::CandidateRequest { window, slices } => {
+                let payload = {
+                    let mut store = shared.store.lock();
+                    let Some(stored) = store.remove(&window.0) else {
+                        return Err(ClusterError::Protocol(format!(
+                            "{node}: candidate request for unknown window {window}"
+                        )));
+                    };
+                    slices
+                        .iter()
+                        .map(|&idx| {
+                            stored
+                                .get(idx as usize)
+                                .map(|s| (idx, s.events.clone()))
+                                .ok_or_else(|| {
+                                    ClusterError::Protocol(format!(
+                                        "{node}: request for missing slice {idx} of {window}"
+                                    ))
+                                })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+                to_root.send(&Message::CandidateReply { node, window, slices: payload })?;
+            }
+            Message::GammaUpdate { gamma } => {
+                shared.gamma.store(gamma.max(2), Ordering::Relaxed);
+            }
+            other => {
+                return Err(ClusterError::Protocol(format!(
+                    "{node}: unexpected control message {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dema_core::selector::SelectionStrategy;
+    use dema_metrics::NetworkCounters;
+    use dema_net::mem::link;
+    use crate::config::GammaMode;
+
+    fn events(vals: &[i64]) -> Vec<Event> {
+        vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect()
+    }
+
+    fn dema_engine() -> EngineKind {
+        EngineKind::Dema {
+            gamma: GammaMode::Fixed(4),
+            strategy: SelectionStrategy::WindowCut,
+        }
+    }
+
+    #[test]
+    fn dema_local_sends_synopses_and_stores_slices() {
+        let counters = NetworkCounters::new_shared();
+        let (mut tx, mut rx) = link(counters);
+        let shared = LocalShared::new(4);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        run_local(
+            NodeId(1),
+            vec![events(&[5, 1, 9, 3, 7, 2, 8, 4])],
+            dema_engine(),
+            &mut tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
+        match rx.recv().unwrap() {
+            Message::SynopsisBatch { node, window, synopses } => {
+                assert_eq!(node, NodeId(1));
+                assert_eq!(window, WindowId(0));
+                assert_eq!(synopses.len(), 2); // 8 events, γ=4
+                assert_eq!(synopses[0].first, 1);
+                assert_eq!(synopses[1].last, 9);
+            }
+            other => panic!("expected synopses, got {other:?}"),
+        }
+        assert!(matches!(rx.recv().unwrap(), Message::StreamEnd { .. }));
+        assert!(shared.store.lock().contains_key(&0));
+        assert!(close_times.lock().contains_key(&(1, 0)));
+    }
+
+    #[test]
+    fn decsort_local_ships_sorted() {
+        let (mut tx, mut rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(2);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        run_local(
+            NodeId(0),
+            vec![events(&[3, 1, 2])],
+            EngineKind::DecSort,
+            &mut tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
+        match rx.recv().unwrap() {
+            Message::EventBatch { sorted, events, .. } => {
+                assert!(sorted);
+                let vals: Vec<i64> = events.iter().map(|e| e.value).collect();
+                assert_eq!(vals, vec![1, 2, 3]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn centralized_local_ships_raw() {
+        let (mut tx, mut rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(2);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        run_local(
+            NodeId(0),
+            vec![events(&[3, 1, 2])],
+            EngineKind::Centralized,
+            &mut tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
+        match rx.recv().unwrap() {
+            Message::EventBatch { sorted, events, .. } => {
+                assert!(!sorted);
+                assert_eq!(events.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tdigest_local_ships_centroids() {
+        let (mut tx, mut rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(2);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let vals: Vec<i64> = (0..1000).collect();
+        run_local(
+            NodeId(0),
+            vec![events(&vals)],
+            EngineKind::TdigestDistributed { compression: 50.0 },
+            &mut tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
+        match rx.recv().unwrap() {
+            Message::DigestBatch { count, centroids, .. } => {
+                assert_eq!(count, 1000);
+                assert!(!centroids.is_empty());
+                assert!(centroids.len() < 200, "{} centroids", centroids.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn responder_serves_candidates_and_gamma() {
+        let (mut data_tx, mut data_rx) = link(NetworkCounters::new_shared());
+        let (mut ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(4);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        run_local(
+            NodeId(2),
+            vec![events(&[5, 1, 9, 3, 7, 2, 8, 4])],
+            dema_engine(),
+            &mut data_tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
+
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            run_responder(NodeId(2), &mut ctl_rx, &mut data_tx, &shared2)
+        });
+        ctl_tx.send(&Message::GammaUpdate { gamma: 16 }).unwrap();
+        ctl_tx
+            .send(&Message::CandidateRequest { window: WindowId(0), slices: vec![1] })
+            .unwrap();
+
+        let _syn = data_rx.recv().unwrap();
+        let _end = data_rx.recv().unwrap();
+        match data_rx.recv().unwrap() {
+            Message::CandidateReply { node, window, slices } => {
+                assert_eq!(node, NodeId(2));
+                assert_eq!(window, WindowId(0));
+                assert_eq!(slices.len(), 1);
+                assert_eq!(slices[0].0, 1);
+                let vals: Vec<i64> = slices[0].1.iter().map(|e| e.value).collect();
+                assert_eq!(vals, vec![5, 7, 8, 9]);
+            }
+            other => panic!("{other:?}"),
+        }
+        drop(ctl_tx); // root done → responder exits cleanly
+        handle.join().unwrap().unwrap();
+        assert_eq!(shared.gamma.load(Ordering::Relaxed), 16);
+        assert!(shared.store.lock().is_empty(), "served window evicted");
+    }
+
+    #[test]
+    fn responder_rejects_unknown_window() {
+        let (mut data_tx, _data_rx) = link(NetworkCounters::new_shared());
+        let (mut ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(4);
+        ctl_tx
+            .send(&Message::CandidateRequest { window: WindowId(7), slices: vec![0] })
+            .unwrap();
+        drop(ctl_tx);
+        let res = run_responder(NodeId(0), &mut ctl_rx, &mut data_tx, &shared);
+        assert!(matches!(res, Err(ClusterError::Protocol(_))));
+    }
+
+    #[test]
+    fn store_is_bounded() {
+        let (mut tx, rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(2);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let windows: Vec<Vec<Event>> = (0..100).map(|_| events(&[1, 2])).collect();
+        run_local(NodeId(0), windows, dema_engine(), &mut tx, &shared, &close_times, None).unwrap();
+        assert!(shared.store.lock().len() <= STORE_WINDOW_CAP);
+        drop(rx);
+    }
+
+    #[test]
+    fn empty_window_still_reports() {
+        let (mut tx, mut rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(4);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        run_local(NodeId(0), vec![vec![]], dema_engine(), &mut tx, &shared, &close_times, None)
+            .unwrap();
+        match rx.recv().unwrap() {
+            Message::SynopsisBatch { synopses, .. } => assert!(synopses.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+}

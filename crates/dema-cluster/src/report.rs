@@ -1,0 +1,128 @@
+//! Run reports: what the harness reads after a cluster run.
+
+use std::time::Duration;
+
+use dema_core::event::WindowId;
+use dema_metrics::{LatencyHistogram, NetworkSnapshot};
+
+/// The outcome of one global window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutcome {
+    /// Which window.
+    pub window: WindowId,
+    /// The aggregate value (`None` for an empty window).
+    pub value: Option<i64>,
+    /// Values of the configured extra quantiles, in configuration order
+    /// (empty unless `extra_quantiles` was set; Dema engine only).
+    pub extra_values: Vec<i64>,
+    /// Global window size `l_G`.
+    pub total_events: u64,
+    /// Window-close → result latency in microseconds.
+    pub latency_us: u64,
+    /// Dema only: candidate events fetched in the calculation step.
+    pub candidate_events: u64,
+    /// Dema only: number of candidate slices (the cost model's `m`).
+    pub candidate_slices: u64,
+    /// Dema only: synopses received for this window.
+    pub synopses: u64,
+    /// γ in effect when the window was sliced (Dema), 0 otherwise.
+    pub gamma: u64,
+}
+
+/// Aggregated results of a cluster run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-window outcomes in window order.
+    pub outcomes: Vec<WindowOutcome>,
+    /// Data-plane traffic per local node (local → root link).
+    pub per_node_traffic: Vec<NetworkSnapshot>,
+    /// Control-plane traffic (root → locals: candidate requests, γ updates).
+    pub control_traffic: NetworkSnapshot,
+    /// Wall-clock duration of the whole run.
+    pub wall_time: Duration,
+    /// Total events ingested across all locals.
+    pub total_events: u64,
+    /// Latency distribution across windows (µs).
+    pub latency: LatencyHistogram,
+    /// Events dropped as late across all locals (streaming mode only).
+    pub late_events: u64,
+}
+
+impl RunReport {
+    /// Events processed per wall-clock second.
+    pub fn throughput_eps(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_events as f64 / secs
+    }
+
+    /// All traffic (data + control) summed across links.
+    pub fn total_traffic(&self) -> NetworkSnapshot {
+        self.per_node_traffic
+            .iter()
+            .fold(self.control_traffic, |acc, s| acc.plus(s))
+    }
+
+    /// The per-window quantile values, in window order.
+    pub fn values(&self) -> Vec<Option<i64>> {
+        self.outcomes.iter().map(|o| o.value).collect()
+    }
+
+    /// Mean latency in microseconds (`None` if no windows completed).
+    pub fn mean_latency_us(&self) -> Option<f64> {
+        self.latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut latency = LatencyHistogram::new();
+        latency.record(100);
+        latency.record(300);
+        RunReport {
+            outcomes: vec![WindowOutcome {
+                window: WindowId(0),
+                value: Some(5),
+                extra_values: vec![],
+                total_events: 1000,
+                latency_us: 100,
+                candidate_events: 10,
+                candidate_slices: 1,
+                synopses: 4,
+                gamma: 100,
+            }],
+            per_node_traffic: vec![
+                NetworkSnapshot { bytes: 100, messages: 2, events: 8 },
+                NetworkSnapshot { bytes: 50, messages: 1, events: 4 },
+            ],
+            control_traffic: NetworkSnapshot { bytes: 10, messages: 1, events: 0 },
+            wall_time: Duration::from_millis(500),
+            total_events: 1000,
+            latency,
+            late_events: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_is_events_over_wall_time() {
+        assert_eq!(report().throughput_eps(), 2000.0);
+    }
+
+    #[test]
+    fn traffic_sums_links() {
+        let t = report().total_traffic();
+        assert_eq!(t, NetworkSnapshot { bytes: 160, messages: 4, events: 12 });
+    }
+
+    #[test]
+    fn values_and_latency() {
+        let r = report();
+        assert_eq!(r.values(), vec![Some(5)]);
+        assert_eq!(r.mean_latency_us(), Some(200.0));
+    }
+}

@@ -1,0 +1,756 @@
+//! Root-node logic: per-window state machines for every engine.
+//!
+//! The root consumes messages from all local nodes (interleaved arbitrarily
+//! across windows) and finalizes each global window once every local has
+//! reported — and, for Dema, once all candidate replies arrived. Dema's
+//! root work per window is deliberately tiny: sort `S` synopses, compute
+//! rank bounds, merge a few candidate runs; the baselines sort or merge the
+//! entire window, which is exactly the bottleneck the paper measures.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::gamma::AdaptiveGamma;
+use dema_core::merge::select_kth;
+use dema_core::multi::{select_multi, MultiSelection};
+use dema_core::quantile::Quantile;
+use dema_core::slice::{Slice, SliceId, SliceSynopsis};
+use dema_core::DemaError;
+use dema_metrics::LatencyHistogram;
+use dema_net::MsgSender;
+use dema_sketch::{QuantileSketch, TDigest};
+use dema_wire::Message;
+
+use crate::config::{EngineKind, GammaMode};
+use crate::local::CloseTimes;
+use crate::report::WindowOutcome;
+use crate::ClusterError;
+
+/// Per-window accumulation state.
+#[derive(Default)]
+struct WindowState {
+    /// Locals that delivered their identification-step message.
+    reported: usize,
+    /// Dema: all synopses of the window.
+    synopses: Vec<SliceSynopsis>,
+    /// Centralized / DecSort: raw or sorted batches.
+    batches: Vec<Vec<Event>>,
+    /// Tdigest engines: the (merged) digest.
+    digest: Option<TDigest>,
+    digest_count: u64,
+    /// Dema: the identification step's decision (index 0 = the primary
+    /// quantile's plan, then the extra quantiles in order).
+    selection: Option<MultiSelection>,
+    /// Dema: synopsis lookup for verification of replies.
+    synopsis_of: HashMap<SliceId, SliceSynopsis>,
+    /// Dema: candidate runs received so far.
+    runs: Vec<Vec<Event>>,
+    runs_received: usize,
+    /// Dema: per-node local window sizes `l_i` (for per-node γ control).
+    node_sizes: HashMap<u32, u64>,
+    /// Dema: per-node candidate-slice counts `m_i`.
+    node_candidates: HashMap<u32, u64>,
+    /// γ in effect when this window was sliced (node 0's γ under per-node
+    /// control).
+    gamma: u64,
+}
+
+/// The root's γ policy.
+enum GammaPolicy {
+    /// No γ control (non-Dema engines).
+    Off,
+    /// Fixed γ, never updated.
+    Fixed(u64),
+    /// One controller for the whole cluster (§3.3 default).
+    Global(AdaptiveGamma),
+    /// One controller per local node (§3.3 future-work variant).
+    PerNode(Vec<AdaptiveGamma>),
+}
+
+impl GammaPolicy {
+    /// γ to report for window outcomes (node 0's view).
+    fn current(&self) -> u64 {
+        match self {
+            GammaPolicy::Off => 0,
+            GammaPolicy::Fixed(g) => *g,
+            GammaPolicy::Global(ctl) => ctl.current(),
+            GammaPolicy::PerNode(ctls) => ctls.first().map_or(2, AdaptiveGamma::current),
+        }
+    }
+}
+
+/// The root node.
+pub struct RootNode {
+    quantile: Quantile,
+    extra_quantiles: Vec<Quantile>,
+    engine: EngineKind,
+    n_locals: usize,
+    expected_windows: u64,
+    states: BTreeMap<u64, WindowState>,
+    outcomes: BTreeMap<u64, WindowOutcome>,
+    gamma: GammaPolicy,
+    control: Vec<Box<dyn MsgSender>>,
+    close_times: CloseTimes,
+    latency: LatencyHistogram,
+    ended: usize,
+    late_events: u64,
+}
+
+impl RootNode {
+    /// Create a root for `n_locals` local nodes and `expected_windows`
+    /// windows. `control[i]` is the root→local link of local `i` (empty for
+    /// engines without a calculation step).
+    pub fn new(
+        quantile: Quantile,
+        engine: EngineKind,
+        n_locals: usize,
+        expected_windows: u64,
+        control: Vec<Box<dyn MsgSender>>,
+        close_times: CloseTimes,
+    ) -> RootNode {
+        RootNode::with_extra_quantiles(
+            quantile,
+            Vec::new(),
+            engine,
+            n_locals,
+            expected_windows,
+            control,
+            close_times,
+        )
+    }
+
+    /// [`RootNode::new`] with extra per-window quantiles answered from the
+    /// same identification step (Dema engine only).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_extra_quantiles(
+        quantile: Quantile,
+        extra_quantiles: Vec<Quantile>,
+        engine: EngineKind,
+        n_locals: usize,
+        expected_windows: u64,
+        control: Vec<Box<dyn MsgSender>>,
+        close_times: CloseTimes,
+    ) -> RootNode {
+        let gamma = match engine {
+            EngineKind::Dema { gamma: GammaMode::Adaptive { initial }, .. } => {
+                GammaPolicy::Global(AdaptiveGamma::with_default_bounds(initial))
+            }
+            EngineKind::Dema { gamma: GammaMode::AdaptivePerNode { initial }, .. } => {
+                GammaPolicy::PerNode(
+                    (0..n_locals).map(|_| AdaptiveGamma::with_default_bounds(initial)).collect(),
+                )
+            }
+            EngineKind::Dema { gamma: GammaMode::Fixed(g), .. } => GammaPolicy::Fixed(g),
+            _ => GammaPolicy::Off,
+        };
+        RootNode {
+            quantile,
+            extra_quantiles,
+            engine,
+            n_locals,
+            expected_windows,
+            states: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            gamma,
+            control,
+            close_times,
+            latency: LatencyHistogram::new(),
+            ended: 0,
+            late_events: 0,
+        }
+    }
+
+    /// `true` once every window is finalized and every local has ended.
+    pub fn finished(&self) -> bool {
+        self.outcomes.len() as u64 == self.expected_windows && self.ended == self.n_locals
+    }
+
+    /// Windows finalized so far.
+    pub fn completed_windows(&self) -> u64 {
+        self.outcomes.len() as u64
+    }
+
+    /// Consume the root, yielding outcomes in window order plus the latency
+    /// histogram.
+    pub fn into_results(self) -> (Vec<WindowOutcome>, LatencyHistogram) {
+        (self.outcomes.into_values().collect(), self.latency)
+    }
+
+    /// Late events reported by the locals' stream-end messages.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Process one message from a local node.
+    pub fn handle(&mut self, msg: Message) -> Result<(), ClusterError> {
+        match msg {
+            Message::SynopsisBatch { node: _, window, synopses } => {
+                let state = self.states.entry(window.0).or_default();
+                state.synopses.extend(synopses);
+                state.reported += 1;
+                if state.reported == self.n_locals {
+                    self.identify(window)?;
+                }
+                Ok(())
+            }
+            Message::CandidateReply { node, window, slices } => {
+                self.absorb_reply(node, window, slices)
+            }
+            Message::EventBatch { window, events, .. } => {
+                let state = self.states.entry(window.0).or_default();
+                match self.engine {
+                    EngineKind::TdigestCentral { compression } => {
+                        let digest =
+                            state.digest.get_or_insert_with(|| TDigest::new(compression));
+                        for e in &events {
+                            digest.insert(e.value as f64);
+                        }
+                        state.digest_count += events.len() as u64;
+                    }
+                    _ => state.batches.push(events),
+                }
+                state.reported += 1;
+                if state.reported == self.n_locals {
+                    self.resolve_batches(window)?;
+                }
+                Ok(())
+            }
+            Message::DigestBatch { window, count, compression, centroids, .. } => {
+                let state = self.states.entry(window.0).or_default();
+                let incoming = TDigest::from_centroids(compression, centroids);
+                match &mut state.digest {
+                    Some(d) => d.merge_from(&incoming),
+                    None => state.digest = Some(incoming),
+                }
+                state.digest_count += count;
+                state.reported += 1;
+                if state.reported == self.n_locals {
+                    self.resolve_batches(window)?;
+                }
+                Ok(())
+            }
+            Message::StreamEnd { late_events, .. } => {
+                self.ended += 1;
+                self.late_events += late_events;
+                Ok(())
+            }
+            other => Err(ClusterError::Protocol(format!("root: unexpected message {other:?}"))),
+        }
+    }
+
+    /// Dema identification step once all synopses of `window` arrived.
+    fn identify(&mut self, window: WindowId) -> Result<(), ClusterError> {
+        let EngineKind::Dema { strategy, .. } = self.engine else {
+            return Err(ClusterError::Protocol("synopses sent to non-Dema root".into()));
+        };
+        let state = self.states.get_mut(&window.0).expect("state exists");
+        state.gamma = self.gamma.current();
+        let total: u64 = state.synopses.iter().map(|s| s.count).sum();
+        if total == 0 {
+            self.finalize(window, None, Vec::new(), 0, 0, 0, 0)?;
+            return Ok(());
+        }
+        let mut ranks = Vec::with_capacity(1 + self.extra_quantiles.len());
+        ranks.push(self.quantile.pos(total)?);
+        for q in &self.extra_quantiles {
+            ranks.push(q.pos(total)?);
+        }
+        let selection = select_multi(&state.synopses, &ranks, strategy)?;
+        state.synopsis_of = state.synopses.iter().map(|s| (s.id, *s)).collect();
+        // Per-node observations for the γ controllers.
+        state.node_sizes.clear();
+        for s in &state.synopses {
+            *state.node_sizes.entry(s.id.node.0).or_insert(0) += s.count;
+        }
+        state.node_candidates.clear();
+        for id in &selection.candidates {
+            *state.node_candidates.entry(id.node.0).or_insert(0) += 1;
+        }
+
+        // Group candidate slices by owning node and fire the requests.
+        let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
+        for id in &selection.candidates {
+            per_node.entry(id.node.0).or_default().push(id.index);
+        }
+        state.runs_received = 0;
+        state.runs.clear();
+        let expected_replies = per_node.len();
+        state.selection = Some(selection);
+        for (node, slices) in per_node {
+            let link = self
+                .control
+                .get_mut(node as usize)
+                .ok_or_else(|| ClusterError::Protocol(format!("no control link for n{node}")))?;
+            link.send(&Message::CandidateRequest { window, slices })?;
+        }
+        // Stash how many replies we expect (one per involved node).
+        let state = self.states.get_mut(&window.0).expect("state exists");
+        state.reported = expected_replies; // reuse as "replies expected"
+        Ok(())
+    }
+
+    /// Absorb one candidate reply; finalize once all involved nodes replied.
+    fn absorb_reply(
+        &mut self,
+        node: NodeId,
+        window: WindowId,
+        slices: Vec<(u32, Vec<Event>)>,
+    ) -> Result<(), ClusterError> {
+        let state = self
+            .states
+            .get_mut(&window.0)
+            .ok_or_else(|| ClusterError::Protocol(format!("reply for unknown window {window}")))?;
+        for (index, events) in slices {
+            let id = SliceId { node, window, index };
+            let selected = state
+                .selection
+                .as_ref()
+                .is_some_and(|sel| sel.candidates.contains(&id));
+            if !selected {
+                return Err(ClusterError::Protocol(format!("reply for unselected slice {id}")));
+            }
+            let syn = state.synopsis_of.get(&id).ok_or_else(|| {
+                ClusterError::Protocol(format!("reply for unknown slice {id}"))
+            })?;
+            // Cheap integrity check: count, endpoints, sortedness.
+            let slice = Slice { id, events };
+            slice.verify_against(syn).map_err(ClusterError::Core)?;
+            state.runs.push(slice.events);
+        }
+        state.runs_received += 1;
+        if state.runs_received == state.reported {
+            let selection = state.selection.take().expect("selection set in identify");
+            let run_count: u64 = state.runs.iter().map(|r| r.len() as u64).sum();
+            if run_count != selection.candidate_events {
+                return Err(ClusterError::Core(DemaError::InconsistentSynopses(format!(
+                    "{window}: {run_count} candidate events delivered, expected {}",
+                    selection.candidate_events
+                ))));
+            }
+            let mut values = selection
+                .plans
+                .iter()
+                .map(|p| {
+                    select_kth(&state.runs, p.rank_within_candidates())
+                        .map(|e| e.value)
+                        .map_err(ClusterError::Core)
+                })
+                .collect::<Result<Vec<i64>, _>>()?;
+            let primary = values.remove(0);
+            let total = selection.total_events;
+            let m = selection.candidates.len() as u64;
+            let synopses = state.synopsis_of.len() as u64;
+            let node_sizes = std::mem::take(&mut state.node_sizes);
+            let node_candidates = std::mem::take(&mut state.node_candidates);
+            self.finalize(
+                window,
+                Some(primary),
+                values,
+                total,
+                selection.candidate_events,
+                m,
+                synopses,
+            )?;
+            // Adaptive γ: re-optimize from this window's observation.
+            match &mut self.gamma {
+                GammaPolicy::Global(ctl) => {
+                    let before = ctl.current();
+                    let next = ctl.observe(total, m);
+                    if next != before {
+                        for link in &mut self.control {
+                            link.send(&Message::GammaUpdate { gamma: next })?;
+                        }
+                    }
+                }
+                GammaPolicy::PerNode(ctls) => {
+                    for (n, ctl) in ctls.iter_mut().enumerate() {
+                        let l_i = node_sizes.get(&(n as u32)).copied().unwrap_or(0);
+                        if l_i == 0 {
+                            continue; // node idle this window, keep its γ
+                        }
+                        let m_i = node_candidates.get(&(n as u32)).copied().unwrap_or(0);
+                        let before = ctl.current();
+                        let next = ctl.observe(l_i, m_i);
+                        if next != before {
+                            let link = self.control.get_mut(n).ok_or_else(|| {
+                                ClusterError::Protocol(format!("no control link for n{n}"))
+                            })?;
+                            link.send(&Message::GammaUpdate { gamma: next })?;
+                        }
+                    }
+                }
+                GammaPolicy::Off | GammaPolicy::Fixed(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Baseline resolution once all batches/digests of `window` arrived.
+    fn resolve_batches(&mut self, window: WindowId) -> Result<(), ClusterError> {
+        let state = self.states.get_mut(&window.0).expect("state exists");
+        match self.engine {
+            EngineKind::Centralized => {
+                let mut all: Vec<Event> =
+                    state.batches.drain(..).flatten().collect();
+                let total = all.len() as u64;
+                if total == 0 {
+                    return self.finalize(window, None, Vec::new(), 0, 0, 0, 0);
+                }
+                // The centralized root does the full sort itself.
+                all.sort_unstable();
+                let k = self.quantile.pos(total)?;
+                let value = all[(k - 1) as usize].value;
+                self.finalize(window, Some(value), Vec::new(), total, 0, 0, 0)
+            }
+            EngineKind::DecSort => {
+                let runs = std::mem::take(&mut state.batches);
+                let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+                if total == 0 {
+                    return self.finalize(window, None, Vec::new(), 0, 0, 0, 0);
+                }
+                // Locals pre-sorted; the root only merges.
+                let k = self.quantile.pos(total)?;
+                let value = select_kth(&runs, k).map_err(ClusterError::Core)?.value;
+                self.finalize(window, Some(value), Vec::new(), total, 0, 0, 0)
+            }
+            EngineKind::TdigestCentral { .. } | EngineKind::TdigestDistributed { .. } => {
+                let total = state.digest_count;
+                if total == 0 {
+                    return self.finalize(window, None, Vec::new(), 0, 0, 0, 0);
+                }
+                let digest = state.digest.as_ref().expect("digest exists when count > 0");
+                let value = digest
+                    .quantile(self.quantile.fraction())
+                    .map(|v| v.round() as i64);
+                self.finalize(window, value, Vec::new(), total, 0, 0, 0)
+            }
+            EngineKind::Dema { .. } => {
+                Err(ClusterError::Protocol("event batch sent to Dema root".into()))
+            }
+        }
+    }
+
+    /// Record the outcome of `window` and its latency.
+    #[allow(clippy::too_many_arguments)]
+    fn finalize(
+        &mut self,
+        window: WindowId,
+        value: Option<i64>,
+        extra_values: Vec<i64>,
+        total_events: u64,
+        candidate_events: u64,
+        candidate_slices: u64,
+        synopses: u64,
+    ) -> Result<(), ClusterError> {
+        let gamma = self
+            .states
+            .get(&window.0)
+            .map(|s| s.gamma)
+            .unwrap_or_else(|| self.gamma.current());
+        self.states.remove(&window.0);
+        let now = Instant::now();
+        let latency_us = {
+            let mut times = self.close_times.lock();
+            let mut latest: Option<Instant> = None;
+            for n in 0..self.n_locals as u32 {
+                if let Some(t) = times.remove(&(n, window.0)) {
+                    latest = Some(latest.map_or(t, |l| l.max(t)));
+                }
+            }
+            latest.map_or(0, |t| now.duration_since(t).as_micros() as u64)
+        };
+        self.latency.record(latency_us);
+        self.outcomes.insert(
+            window.0,
+            WindowOutcome {
+                window,
+                value,
+                extra_values,
+                total_events,
+                latency_us,
+                candidate_events,
+                candidate_slices,
+                synopses,
+                gamma,
+            },
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GammaMode;
+    use dema_metrics::NetworkCounters;
+    use dema_net::mem::link;
+    use dema_net::MsgReceiver;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn close_times() -> CloseTimes {
+        Arc::new(Mutex::new(HashMap::new()))
+    }
+
+    fn events(vals: &[i64]) -> Vec<Event> {
+        vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect()
+    }
+
+    #[test]
+    fn centralized_root_sorts_and_answers() {
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::Centralized,
+            2,
+            1,
+            vec![],
+            close_times(),
+        );
+        root.handle(Message::EventBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            sorted: false,
+            events: events(&[9, 1, 5]),
+        })
+        .unwrap();
+        assert_eq!(root.completed_windows(), 0);
+        root.handle(Message::EventBatch {
+            node: NodeId(1),
+            window: WindowId(0),
+            sorted: false,
+            events: events(&[2, 8]),
+        })
+        .unwrap();
+        root.handle(Message::StreamEnd { node: NodeId(0), late_events: 0 }).unwrap();
+        root.handle(Message::StreamEnd { node: NodeId(1), late_events: 3 }).unwrap();
+        assert_eq!(root.late_events(), 3);
+        assert!(root.finished());
+        let (outcomes, _) = root.into_results();
+        assert_eq!(outcomes[0].value, Some(5)); // rank 3 of [1,2,5,8,9]
+        assert_eq!(outcomes[0].total_events, 5);
+    }
+
+    #[test]
+    fn decsort_root_merges_sorted_runs() {
+        let mut root =
+            RootNode::new(Quantile::MEDIAN, EngineKind::DecSort, 2, 1, vec![], close_times());
+        root.handle(Message::EventBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            sorted: true,
+            events: events(&[1, 5, 9]),
+        })
+        .unwrap();
+        root.handle(Message::EventBatch {
+            node: NodeId(1),
+            window: WindowId(0),
+            sorted: true,
+            events: events(&[2, 8]),
+        })
+        .unwrap();
+        let (outcomes, _) = root.into_results();
+        assert_eq!(outcomes[0].value, Some(5));
+    }
+
+    #[test]
+    fn dema_root_full_protocol() {
+        // Control link to one local; we play the local manually.
+        let (ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
+        let (ctl_tx2, mut ctl_rx2) = link(NetworkCounters::new_shared());
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::Dema {
+                gamma: GammaMode::Fixed(2),
+                strategy: dema_core::selector::SelectionStrategy::WindowCut,
+            },
+            2,
+            1,
+            vec![Box::new(ctl_tx), Box::new(ctl_tx2)],
+            close_times(),
+        );
+        // Build local windows: node 0 has [0..10), node 1 has [10..20).
+        let node0 = dema_core::slice::cut_into_slices(
+            NodeId(0),
+            WindowId(0),
+            events(&(0..10).collect::<Vec<i64>>()),
+            5,
+        )
+        .unwrap();
+        let node1 = dema_core::slice::cut_into_slices(
+            NodeId(1),
+            WindowId(0),
+            events(&(10..20).collect::<Vec<i64>>()),
+            5,
+        )
+        .unwrap();
+        let syn = |slices: &[dema_core::slice::Slice]| {
+            slices.iter().map(|s| s.synopsis(slices.len() as u32).unwrap()).collect::<Vec<_>>()
+        };
+        root.handle(Message::SynopsisBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            synopses: syn(&node0),
+        })
+        .unwrap();
+        root.handle(Message::SynopsisBatch {
+            node: NodeId(1),
+            window: WindowId(0),
+            synopses: syn(&node1),
+        })
+        .unwrap();
+        // Median rank 10 lies in node 0's second slice [5..10).
+        let req = ctl_rx.recv().unwrap();
+        let Message::CandidateRequest { window, slices } = req else {
+            panic!("expected request, got {req:?}");
+        };
+        assert_eq!(window, WindowId(0));
+        assert_eq!(slices, vec![1]);
+        assert!(ctl_rx2
+            .recv_timeout(std::time::Duration::from_millis(20))
+            .unwrap()
+            .is_none(), "node 1 owns no candidates");
+        root.handle(Message::CandidateReply {
+            node: NodeId(0),
+            window: WindowId(0),
+            slices: vec![(1, node0[1].events.clone())],
+        })
+        .unwrap();
+        assert_eq!(root.completed_windows(), 1);
+        let (outcomes, _) = root.into_results();
+        assert_eq!(outcomes[0].value, Some(9)); // rank 10 of 0..20
+        assert_eq!(outcomes[0].candidate_events, 5);
+        assert_eq!(outcomes[0].candidate_slices, 1);
+        assert_eq!(outcomes[0].synopses, 4);
+        assert_eq!(outcomes[0].gamma, 2);
+    }
+
+    #[test]
+    fn tdigest_central_root_is_approximate_but_close() {
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::TdigestCentral { compression: 100.0 },
+            1,
+            1,
+            vec![],
+            close_times(),
+        );
+        let vals: Vec<i64> = (0..10_000).collect();
+        root.handle(Message::EventBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            sorted: false,
+            events: events(&vals),
+        })
+        .unwrap();
+        let (outcomes, _) = root.into_results();
+        let v = outcomes[0].value.unwrap();
+        assert!((v - 5000).abs() < 150, "tdigest median {v}");
+    }
+
+    #[test]
+    fn corrupt_candidate_reply_is_rejected() {
+        let (ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::Dema {
+                gamma: GammaMode::Fixed(4),
+                strategy: dema_core::selector::SelectionStrategy::WindowCut,
+            },
+            1,
+            1,
+            vec![Box::new(ctl_tx)],
+            close_times(),
+        );
+        let slices = dema_core::slice::cut_into_slices(
+            NodeId(0),
+            WindowId(0),
+            events(&(0..8).collect::<Vec<i64>>()),
+            4,
+        )
+        .unwrap();
+        root.handle(Message::SynopsisBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            synopses: slices.iter().map(|s| s.synopsis(2).unwrap()).collect(),
+        })
+        .unwrap();
+        let _ = ctl_rx.recv().unwrap();
+        // Tamper: send the wrong events for the requested slice.
+        let err = root
+            .handle(Message::CandidateReply {
+                node: NodeId(0),
+                window: WindowId(0),
+                slices: vec![(0, events(&[42, 43, 44, 45]))],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))), "{err:?}");
+    }
+
+    #[test]
+    fn empty_global_window_finalizes_none() {
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::Dema {
+                gamma: GammaMode::Fixed(4),
+                strategy: dema_core::selector::SelectionStrategy::WindowCut,
+            },
+            1,
+            1,
+            vec![],
+            close_times(),
+        );
+        root.handle(Message::SynopsisBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            synopses: vec![],
+        })
+        .unwrap();
+        let (outcomes, _) = root.into_results();
+        assert_eq!(outcomes[0].value, None);
+        assert_eq!(outcomes[0].total_events, 0);
+    }
+
+    #[test]
+    fn adaptive_gamma_broadcasts_updates() {
+        let (ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::Dema {
+                gamma: GammaMode::Adaptive { initial: 4 },
+                strategy: dema_core::selector::SelectionStrategy::WindowCut,
+            },
+            1,
+            1,
+            vec![Box::new(ctl_tx)],
+            close_times(),
+        );
+        let slices = dema_core::slice::cut_into_slices(
+            NodeId(0),
+            WindowId(0),
+            events(&(0..1000).collect::<Vec<i64>>()),
+            4,
+        )
+        .unwrap();
+        root.handle(Message::SynopsisBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            synopses: slices.iter().map(|s| s.synopsis(slices.len() as u32).unwrap()).collect(),
+        })
+        .unwrap();
+        let Message::CandidateRequest { slices: req, .. } = ctl_rx.recv().unwrap() else {
+            panic!()
+        };
+        let reply: Vec<(u32, Vec<Event>)> =
+            req.iter().map(|&i| (i, slices[i as usize].events.clone())).collect();
+        root.handle(Message::CandidateReply { node: NodeId(0), window: WindowId(0), slices: reply })
+            .unwrap();
+        // γ* = sqrt(2*1000/1) ≈ 45 ≠ 4 → update broadcast.
+        match ctl_rx.recv().unwrap() {
+            Message::GammaUpdate { gamma } => {
+                assert_eq!(gamma, dema_core::gamma::optimal_gamma(1000, 1))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

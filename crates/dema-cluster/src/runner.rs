@@ -1,0 +1,341 @@
+//! Orchestration: build the topology, spawn node threads, drive the root,
+//! collect the report.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dema_core::event::{Event, NodeId};
+use dema_metrics::{NetworkCounters, NetworkSnapshot};
+use dema_net::mem::{link, throttled_link, Throttle};
+use dema_net::tcp::{accept, listen, TcpSender};
+use dema_net::{MsgReceiver, MsgSender, NetError, SharedCounters};
+use parking_lot::Mutex;
+
+use crate::config::{ClusterConfig, EngineKind, TransportKind};
+use crate::local::{run_local, run_local_streaming, run_responder, CloseTimes, LocalShared};
+use crate::report::RunReport;
+use crate::root::RootNode;
+use crate::ClusterError;
+
+/// One unidirectional wired link.
+type Link = (Box<dyn MsgSender>, Box<dyn MsgReceiver>);
+
+/// Build a link of the configured transport whose traffic lands in
+/// `counters`. `throttle` carries the sending node's simulated link for
+/// [`TransportKind::Throttled`].
+fn make_link(
+    kind: TransportKind,
+    counters: SharedCounters,
+    throttle: Option<&std::sync::Arc<Throttle>>,
+) -> Result<Link, ClusterError> {
+    match kind {
+        TransportKind::Mem => {
+            let (tx, rx) = link(counters);
+            Ok((Box::new(tx), Box::new(rx)))
+        }
+        TransportKind::Throttled { .. } => {
+            let throttle = throttle.expect("throttled transport needs a link throttle");
+            let (tx, rx) = throttled_link(counters, std::sync::Arc::clone(throttle));
+            Ok((Box::new(tx), Box::new(rx)))
+        }
+        TransportKind::Tcp => {
+            let listener = listen("127.0.0.1:0".parse().expect("valid loopback addr"))?;
+            let addr = listener.local_addr().map_err(NetError::Io)?;
+            let sender = std::thread::spawn(move || TcpSender::connect(addr, counters));
+            let receiver = accept(&listener)?;
+            let tx = sender
+                .join()
+                .map_err(|_| ClusterError::NodePanic("tcp connect".into()))??;
+            Ok((Box::new(tx), Box::new(receiver)))
+        }
+    }
+}
+
+/// The per-node work a cluster run executes.
+enum NodeWork {
+    /// Pre-windowed inputs: element `w` is window `w`'s event set.
+    Windowed(Vec<Vec<Event>>),
+    /// Raw event-time stream, windowed on the node by watermarks.
+    Streaming {
+        /// This node's events (roughly time-ordered; out-of-orderness beyond
+        /// the lateness bound is dropped and counted).
+        events: Vec<Event>,
+        /// Tumbling window length (ms).
+        window_len: u64,
+        /// Global `(first, last)` absolute window ids all nodes report.
+        range: (u64, u64),
+        /// Watermark slack (ms).
+        lateness: u64,
+    },
+}
+
+/// Run one cluster experiment over pre-windowed inputs.
+///
+/// `inputs[n][w]` holds the events of local node `n` for window `w`; every
+/// node must provide the same number of windows (align with
+/// `take_windows`). Returns the full [`RunReport`].
+///
+/// # Errors
+/// Any protocol, transport, or algorithm failure aborts the run.
+pub fn run_cluster(
+    config: &ClusterConfig,
+    inputs: Vec<Vec<Vec<Event>>>,
+) -> Result<RunReport, ClusterError> {
+    let n_locals = inputs.len();
+    assert!(n_locals > 0, "need at least one local node");
+    let windows = inputs[0].len();
+    assert!(
+        inputs.iter().all(|w| w.len() == windows),
+        "all local nodes must cover the same window range"
+    );
+    let total_events: u64 = inputs.iter().flatten().map(|w| w.len() as u64).sum();
+    run_cluster_inner(
+        config,
+        inputs.into_iter().map(NodeWork::Windowed).collect(),
+        windows as u64,
+        total_events,
+    )
+}
+
+/// Run one cluster experiment over raw event-time streams: each local node
+/// derives tumbling windows of `window_len` ms from event timestamps and
+/// closes them as its watermark (max event time − `allowed_lateness_ms`)
+/// advances. Events arriving behind the watermark are dropped and counted
+/// in [`RunReport::late_events`].
+///
+/// # Errors
+/// Any protocol, transport, or algorithm failure aborts the run; an input
+/// with no events at all is rejected.
+pub fn run_cluster_streaming(
+    config: &ClusterConfig,
+    streams: Vec<Vec<Event>>,
+    window_len: u64,
+    allowed_lateness_ms: u64,
+) -> Result<RunReport, ClusterError> {
+    let n_locals = streams.len();
+    assert!(n_locals > 0, "need at least one local node");
+    assert!(window_len > 0, "window length must be positive");
+    let total_events: u64 = streams.iter().map(|s| s.len() as u64).sum();
+    let (mut first, mut last) = (u64::MAX, 0u64);
+    for e in streams.iter().flatten() {
+        first = first.min(e.ts / window_len);
+        last = last.max(e.ts / window_len);
+    }
+    if total_events == 0 {
+        return Err(ClusterError::Core(dema_core::DemaError::EmptyWindow));
+    }
+    let windows = last - first + 1;
+    run_cluster_inner(
+        config,
+        streams
+            .into_iter()
+            .map(|events| NodeWork::Streaming {
+                events,
+                window_len,
+                range: (first, last),
+                lateness: allowed_lateness_ms,
+            })
+            .collect(),
+        windows,
+        total_events,
+    )
+}
+
+/// Shared orchestration: wire links, spawn node threads, drive the root.
+fn run_cluster_inner(
+    config: &ClusterConfig,
+    work: Vec<NodeWork>,
+    windows: u64,
+    total_events: u64,
+) -> Result<RunReport, ClusterError> {
+    let n_locals = work.len();
+
+    let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+    let is_dema = matches!(config.engine, EngineKind::Dema { .. });
+    let initial_gamma = match config.engine {
+        EngineKind::Dema { gamma, .. } => gamma.initial(),
+        _ => 2,
+    };
+
+    // Wire the topology: one data link per local (local → root), and for
+    // Dema one control link per local (root → local).
+    let mut data_counters = Vec::with_capacity(n_locals);
+    let mut data_rx: Vec<Box<dyn MsgReceiver>> = Vec::with_capacity(n_locals);
+    let mut data_tx: Vec<Box<dyn MsgSender>> = Vec::with_capacity(n_locals);
+    let control_counters = NetworkCounters::new_shared();
+    let mut control_tx: Vec<Box<dyn MsgSender>> = Vec::with_capacity(n_locals);
+    let mut control_rx: Vec<Box<dyn MsgReceiver>> = Vec::with_capacity(n_locals);
+    // Simulated full-duplex per-node links for the throttled transport: the
+    // data path and the responder share the node's uplink; the control path
+    // uses the downlink.
+    let (uplinks, downlinks): (Vec<_>, Vec<_>) = match config.transport {
+        TransportKind::Throttled { mbits_per_sec } => (0..n_locals)
+            .map(|_| {
+                (Some(Throttle::new_shared(mbits_per_sec)), Some(Throttle::new_shared(mbits_per_sec)))
+            })
+            .unzip(),
+        _ => (vec![None; n_locals], vec![None; n_locals]),
+    };
+    for n in 0..n_locals {
+        let counters = NetworkCounters::new_shared();
+        let (tx, rx) =
+            make_link(config.transport, SharedCounters::clone(&counters), uplinks[n].as_ref())?;
+        data_counters.push(counters);
+        data_tx.push(tx);
+        data_rx.push(rx);
+        if is_dema {
+            let (tx, rx) = make_link(
+                config.transport,
+                SharedCounters::clone(&control_counters),
+                downlinks[n].as_ref(),
+            )?;
+            control_tx.push(tx);
+            control_rx.push(rx);
+        }
+    }
+    // Responders need their own sending handle on the data path; give each
+    // local a second link whose traffic lands in the same counters (and the
+    // same simulated uplink).
+    let mut responder_tx: Vec<Box<dyn MsgSender>> = Vec::new();
+    let mut responder_data_rx: Vec<Box<dyn MsgReceiver>> = Vec::new();
+    if is_dema {
+        for (n, counters) in data_counters.iter().enumerate() {
+            let (tx, rx) =
+                make_link(config.transport, SharedCounters::clone(counters), uplinks[n].as_ref())?;
+            responder_tx.push(tx);
+            responder_data_rx.push(rx);
+        }
+    }
+
+    let started = Instant::now();
+
+    // Spawn local nodes (and responders for Dema).
+    let mut handles = Vec::new();
+    let engine = config.engine;
+    let pace = config.pace_window_ms;
+    for (n, node_work) in work.into_iter().enumerate() {
+        let node = NodeId(n as u32);
+        let shared = LocalShared::new(initial_gamma);
+        let mut tx = data_tx.remove(0);
+        let ct = Arc::clone(&close_times);
+        if is_dema {
+            let mut ctl_rx = control_rx.remove(0);
+            let mut resp_tx = responder_tx.remove(0);
+            let resp_shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                run_responder(node, ctl_rx.as_mut(), resp_tx.as_mut(), &resp_shared)
+            }));
+        }
+        handles.push(std::thread::spawn(move || match node_work {
+            NodeWork::Windowed(node_windows) => {
+                run_local(node, node_windows, engine, tx.as_mut(), &shared, &ct, pace)
+            }
+            NodeWork::Streaming { events, window_len, range, lateness } => run_local_streaming(
+                node,
+                events,
+                window_len,
+                range,
+                lateness,
+                engine,
+                tx.as_mut(),
+                &shared,
+                &ct,
+            ),
+        }));
+    }
+
+    // Drive the root on this thread.
+    let mut root = RootNode::with_extra_quantiles(
+        config.quantile,
+        config.extra_quantiles.clone(),
+        config.engine,
+        n_locals,
+        windows,
+        control_tx,
+        Arc::clone(&close_times),
+    );
+    let mut receivers = data_rx;
+    receivers.extend(responder_data_rx);
+    let mut result: Result<(), ClusterError> = Ok(());
+    let mut idle_sweeps = 0u32;
+    'drive: while !root.finished() {
+        let mut progressed = false;
+        for rx in &mut receivers {
+            // Drain each receiver non-blockingly; the protocol is bursty
+            // (one batch per window per node), so draining amortizes sweeps.
+            loop {
+                match rx.try_recv() {
+                    Ok(Some(msg)) => {
+                        progressed = true;
+                        if let Err(e) = root.handle(msg) {
+                            result = Err(e);
+                            break 'drive;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(NetError::Disconnected) => break,
+                    Err(e) => {
+                        result = Err(e.into());
+                        break 'drive;
+                    }
+                }
+            }
+        }
+        if progressed {
+            idle_sweeps = 0;
+        } else {
+            // Back off gently: spin briefly for low latency, then yield.
+            idle_sweeps += 1;
+            if idle_sweeps > 64 {
+                std::thread::sleep(Duration::from_micros(20));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+    let wall_time = started.elapsed();
+
+    // Release the responders (they exit on control-link disconnect) and
+    // reap every thread.
+    let late_events = root.late_events();
+    let (outcomes, latency) = root.into_results();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => result = result.and(Err(e)),
+            Err(_) => result = result.and(Err(ClusterError::NodePanic("local node".into()))),
+        }
+    }
+    result?;
+
+    Ok(RunReport {
+        outcomes,
+        per_node_traffic: data_counters.iter().map(|c| c.snapshot()).collect(),
+        control_traffic: control_counters.snapshot(),
+        wall_time,
+        total_events,
+        latency,
+        late_events,
+    })
+}
+
+/// Convenience: run the same inputs through a second engine and return both
+/// reports (used by accuracy experiments that need identical inputs).
+pub fn run_pair(
+    a: &ClusterConfig,
+    b: &ClusterConfig,
+    inputs: &[Vec<Vec<Event>>],
+) -> Result<(RunReport, RunReport), ClusterError> {
+    let ra = run_cluster(a, inputs.to_vec())?;
+    let rb = run_cluster(b, inputs.to_vec())?;
+    Ok((ra, rb))
+}
+
+/// Aggregate helper: total data-plane traffic of a report.
+pub fn data_traffic(report: &RunReport) -> NetworkSnapshot {
+    report
+        .per_node_traffic
+        .iter()
+        .fold(NetworkSnapshot::default(), |acc, s| acc.plus(s))
+}

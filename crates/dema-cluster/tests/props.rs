@@ -1,0 +1,107 @@
+//! Property tests over the full cluster: for random topologies, workloads,
+//! γ values, and engines, the distributed runtime must agree bit-for-bit
+//! with the single-process reference (exact engines) and with itself.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dema_cluster::config::{ClusterConfig, EngineKind, GammaMode};
+use dema_cluster::runner::run_cluster;
+use dema_core::coordinator::quantile_ground_truth;
+use dema_core::event::Event;
+use dema_core::quantile::Quantile;
+use dema_core::selector::SelectionStrategy;
+
+/// Random aligned per-window inputs: up to 4 nodes × up to 3 windows, with
+/// adversarial value ranges (tight, scaled, duplicate-heavy).
+fn arb_inputs() -> impl Strategy<Value = Vec<Vec<Vec<Event>>>> {
+    let window = vec(-40i64..40, 0..60);
+    let node = (vec(window, 1..4), 1i64..=20);
+    vec(node, 1..5).prop_map(|nodes| {
+        let windows = nodes.iter().map(|(w, _)| w.len()).max().unwrap_or(1);
+        nodes
+            .into_iter()
+            .enumerate()
+            .map(|(n, (mut w, scale))| {
+                w.resize(windows, Vec::new());
+                w.into_iter()
+                    .enumerate()
+                    .map(|(wi, vals)| {
+                        vals.into_iter()
+                            .enumerate()
+                            .map(|(i, v)| {
+                                Event::new(
+                                    v * scale,
+                                    (wi * 1000 + i % 1000) as u64,
+                                    (n * 1_000_000 + wi * 1_000 + i) as u64,
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    // Cluster runs spawn threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_engines_match_ground_truth(
+        inputs in arb_inputs(),
+        gamma in 2u64..30,
+        q in 0.05f64..=1.0,
+    ) {
+        let q = Quantile::new(q).unwrap();
+        let windows = inputs[0].len();
+        let truth: Vec<Option<i64>> = (0..windows)
+            .map(|w| {
+                let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
+                quantile_ground_truth(&per_node, q).ok().map(|e| e.value)
+            })
+            .collect();
+        for engine in [
+            EngineKind::Dema {
+                gamma: GammaMode::Fixed(gamma),
+                strategy: SelectionStrategy::WindowCut,
+            },
+            EngineKind::Dema {
+                gamma: GammaMode::Fixed(gamma),
+                strategy: SelectionStrategy::ClassifiedScan,
+            },
+            EngineKind::Centralized,
+            EngineKind::DecSort,
+        ] {
+            let report = run_cluster(
+                &ClusterConfig::baseline(engine, q),
+                inputs.clone(),
+            ).unwrap();
+            prop_assert_eq!(report.values(), truth.clone(), "engine {}", engine.label());
+        }
+    }
+
+    #[test]
+    fn extra_quantiles_always_exact(inputs in arb_inputs(), gamma in 2u64..30) {
+        let mut cfg = ClusterConfig::dema_fixed(gamma, Quantile::MEDIAN);
+        cfg.extra_quantiles = vec![Quantile::P25, Quantile::new(0.99).unwrap()];
+        let report = run_cluster(&cfg, inputs.clone()).unwrap();
+        for (w, outcome) in report.outcomes.iter().enumerate() {
+            let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
+            match quantile_ground_truth(&per_node, Quantile::MEDIAN) {
+                Ok(truth) => {
+                    prop_assert_eq!(outcome.value, Some(truth.value));
+                    let p25 = quantile_ground_truth(&per_node, Quantile::P25).unwrap();
+                    let p99 =
+                        quantile_ground_truth(&per_node, Quantile::new(0.99).unwrap()).unwrap();
+                    prop_assert_eq!(&outcome.extra_values, &vec![p25.value, p99.value]);
+                }
+                Err(_) => {
+                    prop_assert_eq!(outcome.value, None);
+                    prop_assert!(outcome.extra_values.is_empty());
+                }
+            }
+        }
+    }
+}

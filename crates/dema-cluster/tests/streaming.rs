@@ -1,0 +1,101 @@
+//! Event-time streaming mode: locals window raw interleaved streams with
+//! watermarks; results must match the pre-windowed runner on the same data.
+
+use dema_cluster::config::{ClusterConfig, EngineKind};
+use dema_cluster::runner::{run_cluster, run_cluster_streaming};
+use dema_core::event::Event;
+use dema_core::quantile::Quantile;
+use dema_gen::SoccerGenerator;
+
+fn streams(n: usize, seconds: usize, rate: u64) -> Vec<Vec<Event>> {
+    (0..n)
+        .map(|i| {
+            SoccerGenerator::new(500 + i as u64, 1, rate, 0)
+                .take(seconds * rate as usize)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn streaming_matches_prewindowed_for_all_engines() {
+    let raw = streams(3, 3, 2_000);
+    let windowed: Vec<Vec<Vec<Event>>> = (0..3)
+        .map(|i| {
+            SoccerGenerator::new(500 + i as u64, 1, 2_000, 0).take_windows(3, 1000)
+        })
+        .collect();
+    for engine in [
+        ClusterConfig::dema_fixed(128, Quantile::MEDIAN).engine,
+        EngineKind::Centralized,
+        EngineKind::DecSort,
+    ] {
+        let cfg = ClusterConfig::baseline(engine, Quantile::MEDIAN);
+        let streaming = run_cluster_streaming(&cfg, raw.clone(), 1000, 0).unwrap();
+        let pre = run_cluster(&cfg, windowed.clone()).unwrap();
+        assert_eq!(streaming.values(), pre.values(), "engine {}", engine.label());
+        assert_eq!(streaming.late_events, 0);
+    }
+}
+
+#[test]
+fn late_events_are_dropped_and_counted() {
+    // In-order stream with a few events stamped far in the past.
+    let mut events: Vec<Event> = (0..5000u64)
+        .map(|i| Event::new((i % 997) as i64, i, i))
+        .collect();
+    // Inject events whose ts is 3 windows behind where the stream has read.
+    events.insert(4500, Event::new(42, 100, 99_991));
+    events.insert(4501, Event::new(43, 200, 99_992));
+    let cfg = ClusterConfig::dema_fixed(64, Quantile::MEDIAN);
+    let report = run_cluster_streaming(&cfg, vec![events], 1000, 0).unwrap();
+    assert_eq!(report.late_events, 2);
+    assert_eq!(report.outcomes.len(), 5);
+    assert!(report.values().iter().all(Option::is_some));
+}
+
+#[test]
+fn allowed_lateness_admits_out_of_order_events() {
+    // Shuffle each 100ms chunk locally: out-of-order but bounded by 100ms.
+    let mut events: Vec<Event> = (0..5000u64)
+        .map(|i| Event::new((i % 997) as i64, i, i))
+        .collect();
+    for chunk in events.chunks_mut(100) {
+        chunk.reverse();
+    }
+    let cfg = ClusterConfig::dema_fixed(64, Quantile::MEDIAN);
+    let strict = run_cluster_streaming(&cfg, vec![events.clone()], 1000, 0).unwrap();
+    let lenient = run_cluster_streaming(&cfg, vec![events.clone()], 1000, 200).unwrap();
+    assert!(strict.late_events > 0, "reversed chunks must trip a zero-slack watermark");
+    assert_eq!(lenient.late_events, 0);
+    // With enough lateness allowance the results equal the in-order run.
+    let mut in_order = events;
+    in_order.sort_by_key(|e| e.ts);
+    let reference = run_cluster_streaming(&cfg, vec![in_order], 1000, 0).unwrap();
+    assert_eq!(lenient.values(), reference.values());
+}
+
+#[test]
+fn nodes_with_gaps_report_empty_windows() {
+    // Node 0 active in seconds 0 and 4; node 1 only in second 2.
+    let mk = |start: u64, n: u64, id0: u64| -> Vec<Event> {
+        (0..n).map(|i| Event::new(i as i64, start + i, id0 + i)).collect()
+    };
+    let node0: Vec<Event> = mk(0, 500, 0).into_iter().chain(mk(4000, 500, 10_000)).collect();
+    let node1 = mk(2000, 500, 20_000);
+    let cfg = ClusterConfig::dema_fixed(16, Quantile::MEDIAN);
+    let report = run_cluster_streaming(&cfg, vec![node0, node1], 1000, 0).unwrap();
+    assert_eq!(report.outcomes.len(), 5);
+    let values = report.values();
+    assert!(values[0].is_some());
+    assert!(values[1].is_none());
+    assert!(values[2].is_some());
+    assert!(values[3].is_none());
+    assert!(values[4].is_some());
+}
+
+#[test]
+fn empty_streams_rejected() {
+    let cfg = ClusterConfig::dema_fixed(16, Quantile::MEDIAN);
+    assert!(run_cluster_streaming(&cfg, vec![vec![], vec![]], 1000, 0).is_err());
+}

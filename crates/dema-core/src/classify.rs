@@ -1,0 +1,282 @@
+//! Slice classification: separate-, compound-, and cover-slices (§3.2,
+//! Figure 4), plus the overlap components ("compound groups") the window-cut
+//! algorithm scans.
+//!
+//! * A **separate-slice** overlaps no other slice; its rank positions are
+//!   exact.
+//! * A **compound-slice** arises when slices overlap transitively into a
+//!   chain; the root treats the chain as one unit whose size is the sum of
+//!   its members — if the compound qualifies as a candidate, all members do.
+//! * A **cover-slice** lies entirely within another slice's value range; if
+//!   its enclosing slice is a candidate the cover-slice may hold candidate
+//!   events too and must be included.
+//!
+//! Overlap components are totally ordered and disjoint in value, so their
+//! rank spans are *exact* consecutive intervals — this is what lets the
+//! selector compute exact offsets without seeing raw events.
+
+use crate::slice::SliceSynopsis;
+
+/// How a slice relates to the other slices of its global window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceKind {
+    /// Overlaps no other slice.
+    Separate,
+    /// Member of an overlap chain of two or more slices.
+    Compound,
+    /// Entirely enclosed in another slice (index into the synopsis array of
+    /// one enclosing slice — the widest one).
+    Cover {
+        /// Index (into the classified synopsis array) of an enclosing slice.
+        coverer: usize,
+    },
+}
+
+/// One maximal chain of transitively overlapping slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapGroup {
+    /// Indices into the input synopsis array, in ascending `(first, last)`.
+    pub members: Vec<usize>,
+    /// Smallest `first` across members.
+    pub first: i64,
+    /// Largest `last` across members.
+    pub last: i64,
+    /// Total event count of the group.
+    pub count: u64,
+    /// Exact 1-based global rank of the group's first event.
+    pub start_rank: u64,
+    /// Exact 1-based global rank of the group's last event.
+    pub end_rank: u64,
+}
+
+impl OverlapGroup {
+    /// `true` if global rank `k` falls inside this group.
+    #[inline]
+    pub fn contains_rank(&self, k: u64) -> bool {
+        self.start_rank <= k && k <= self.end_rank
+    }
+}
+
+/// Full classification of a window's synopses.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Overlap groups in ascending value order.
+    pub groups: Vec<OverlapGroup>,
+    /// For each input synopsis, the index of its group in `groups`.
+    pub group_of: Vec<usize>,
+    /// For each input synopsis, its kind.
+    pub kinds: Vec<SliceKind>,
+}
+
+impl Classification {
+    /// Index of the group whose exact rank span contains `k`, if any.
+    pub fn group_containing_rank(&self, k: u64) -> Option<usize> {
+        // Groups are ordered with consecutive rank spans; binary search.
+        let idx = self.groups.partition_point(|g| g.end_rank < k);
+        (idx < self.groups.len() && self.groups[idx].contains_rank(k)).then_some(idx)
+    }
+}
+
+/// Classify all synopses of one global window.
+///
+/// Complexity `O(S log S)`.
+pub fn classify(synopses: &[SliceSynopsis]) -> Classification {
+    let mut order: Vec<usize> = (0..synopses.len()).collect();
+    order.sort_unstable_by_key(|&i| (synopses[i].first, synopses[i].last));
+
+    let mut groups: Vec<OverlapGroup> = Vec::new();
+    let mut group_of = vec![usize::MAX; synopses.len()];
+
+    // Sweep in ascending `first`, merging while the next interval starts at
+    // or below the running maximum `last` (ties merge: an equal value could
+    // belong to either slice).
+    for &i in &order {
+        let s = &synopses[i];
+        match groups.last_mut() {
+            Some(g) if s.first <= g.last => {
+                g.members.push(i);
+                g.last = g.last.max(s.last);
+                g.count += s.count;
+            }
+            _ => groups.push(OverlapGroup {
+                members: vec![i],
+                first: s.first,
+                last: s.last,
+                count: s.count,
+                start_rank: 0,
+                end_rank: 0,
+            }),
+        }
+        group_of[i] = groups.len() - 1;
+    }
+
+    // Exact consecutive rank spans via prefix sums.
+    let mut acc = 0u64;
+    for g in &mut groups {
+        g.start_rank = acc + 1;
+        acc += g.count;
+        g.end_rank = acc;
+    }
+
+    // Kinds: cover detection within each group. Sorted by (first asc,
+    // last desc), a slice is covered iff some earlier slice in that order
+    // has last >= its last (and is not identical in id).
+    let mut kinds = vec![SliceKind::Separate; synopses.len()];
+    for g in &groups {
+        if g.members.len() == 1 {
+            kinds[g.members[0]] = SliceKind::Separate;
+            continue;
+        }
+        let mut members = g.members.clone();
+        members.sort_unstable_by_key(|&i| (synopses[i].first, std::cmp::Reverse(synopses[i].last)));
+        // Track the member with the largest `last` seen so far; that is the
+        // widest potential coverer for subsequent members.
+        let mut widest = members[0];
+        for &i in &members {
+            let s = &synopses[i];
+            let w = &synopses[widest];
+            if i != widest && w.first <= s.first && s.last <= w.last {
+                kinds[i] = SliceKind::Cover { coverer: widest };
+            } else {
+                kinds[i] = SliceKind::Compound;
+                if s.last > w.last {
+                    widest = i;
+                }
+            }
+        }
+    }
+
+    Classification { groups, group_of, kinds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{NodeId, WindowId};
+    use crate::slice::SliceId;
+
+    fn syn(node: u32, index: u32, first: i64, last: i64, count: u64) -> SliceSynopsis {
+        SliceSynopsis {
+            id: SliceId { node: NodeId(node), window: WindowId(0), index },
+            first,
+            last,
+            count,
+            total_slices: 0,
+        }
+    }
+
+    #[test]
+    fn disjoint_slices_are_separate_singletons() {
+        let s = vec![syn(0, 0, 0, 9, 10), syn(1, 0, 20, 29, 10), syn(0, 1, 40, 49, 10)];
+        let c = classify(&s);
+        assert_eq!(c.groups.len(), 3);
+        assert!(c.kinds.iter().all(|k| *k == SliceKind::Separate));
+        assert_eq!(c.groups[0].start_rank, 1);
+        assert_eq!(c.groups[0].end_rank, 10);
+        assert_eq!(c.groups[1].start_rank, 11);
+        assert_eq!(c.groups[2].end_rank, 30);
+    }
+
+    #[test]
+    fn figure_4_classification() {
+        // Reconstruction of the paper's Figure 4:
+        //   a1 separate | a2+b1 compound | b2,b3 covered by a3 | a3+b4 compound | b5 separate
+        let a1 = syn(0, 1, 0, 9, 4);
+        let a2 = syn(0, 2, 10, 25, 4);
+        let b1 = syn(1, 1, 20, 35, 4);
+        let a3 = syn(0, 3, 40, 70, 4);
+        let b2 = syn(1, 2, 45, 50, 4);
+        let b3 = syn(1, 3, 55, 60, 4);
+        let b4 = syn(1, 4, 65, 80, 4);
+        let b5 = syn(1, 5, 90, 99, 4);
+        let s = vec![a1, a2, b1, a3, b2, b3, b4, b5];
+        let c = classify(&s);
+
+        assert_eq!(c.kinds[0], SliceKind::Separate); // a1
+        assert_eq!(c.kinds[1], SliceKind::Compound); // a2
+        assert_eq!(c.kinds[2], SliceKind::Compound); // b1
+        assert_eq!(c.kinds[3], SliceKind::Compound); // a3
+        assert_eq!(c.kinds[4], SliceKind::Cover { coverer: 3 }); // b2 within a3
+        assert_eq!(c.kinds[5], SliceKind::Cover { coverer: 3 }); // b3 within a3
+        assert_eq!(c.kinds[6], SliceKind::Compound); // b4 overlaps a3's tail
+        assert_eq!(c.kinds[7], SliceKind::Separate); // b5
+
+        assert_eq!(c.groups.len(), 4);
+        assert_eq!(c.groups[1].members.len(), 2); // {a2, b1}
+        assert_eq!(c.groups[2].members.len(), 4); // {a3, b2, b3, b4}
+    }
+
+    #[test]
+    fn touching_intervals_merge() {
+        let s = vec![syn(0, 0, 0, 10, 5), syn(1, 0, 10, 20, 5)];
+        let c = classify(&s);
+        assert_eq!(c.groups.len(), 1);
+        assert_eq!(c.kinds[0], SliceKind::Compound);
+        assert_eq!(c.kinds[1], SliceKind::Compound);
+    }
+
+    #[test]
+    fn identical_intervals_one_covers_the_other() {
+        let s = vec![syn(0, 0, 5, 15, 4), syn(1, 0, 5, 15, 4)];
+        let c = classify(&s);
+        assert_eq!(c.groups.len(), 1);
+        // Exactly one is marked Cover (the tie is broken deterministically).
+        let covers = c.kinds.iter().filter(|k| matches!(k, SliceKind::Cover { .. })).count();
+        assert_eq!(covers, 1);
+    }
+
+    #[test]
+    fn group_rank_spans_partition_total() {
+        let s = vec![
+            syn(0, 0, 0, 5, 3),
+            syn(1, 0, 3, 8, 4),
+            syn(0, 1, 20, 30, 5),
+            syn(1, 1, 40, 45, 2),
+        ];
+        let c = classify(&s);
+        let total: u64 = s.iter().map(|x| x.count).sum();
+        assert_eq!(c.groups.last().unwrap().end_rank, total);
+        for w in c.groups.windows(2) {
+            assert_eq!(w[1].start_rank, w[0].end_rank + 1);
+        }
+    }
+
+    #[test]
+    fn group_containing_rank_lookup() {
+        let s = vec![syn(0, 0, 0, 5, 10), syn(0, 1, 10, 15, 10)];
+        let c = classify(&s);
+        assert_eq!(c.group_containing_rank(1), Some(0));
+        assert_eq!(c.group_containing_rank(10), Some(0));
+        assert_eq!(c.group_containing_rank(11), Some(1));
+        assert_eq!(c.group_containing_rank(20), Some(1));
+        assert_eq!(c.group_containing_rank(21), None);
+        assert_eq!(c.group_containing_rank(0), None);
+    }
+
+    #[test]
+    fn chain_of_overlaps_forms_single_compound() {
+        // a overlaps b, b overlaps c, a does not overlap c — still one group.
+        let s = vec![syn(0, 0, 0, 10, 2), syn(1, 0, 8, 20, 2), syn(2, 0, 18, 30, 2)];
+        let c = classify(&s);
+        assert_eq!(c.groups.len(), 1);
+        assert!(c.kinds.iter().all(|k| *k == SliceKind::Compound));
+    }
+
+    #[test]
+    fn empty_input_classifies_to_nothing() {
+        let c = classify(&[]);
+        assert!(c.groups.is_empty());
+        assert!(c.kinds.is_empty());
+        assert_eq!(c.group_containing_rank(1), None);
+    }
+
+    #[test]
+    fn cover_inside_cover() {
+        // c inside b inside a: both b and c are cover-slices (coverer = a).
+        let s = vec![syn(0, 0, 0, 100, 4), syn(1, 0, 10, 50, 4), syn(2, 0, 20, 30, 4)];
+        let c = classify(&s);
+        assert_eq!(c.kinds[0], SliceKind::Compound);
+        assert_eq!(c.kinds[1], SliceKind::Cover { coverer: 0 });
+        assert_eq!(c.kinds[2], SliceKind::Cover { coverer: 0 });
+    }
+}

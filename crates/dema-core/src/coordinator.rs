@@ -1,0 +1,299 @@
+//! Single-process reference implementation of the full Dema protocol.
+//!
+//! [`exact_quantile_decentralized`] runs both protocol steps — local
+//! sort + slice, root-side identification, candidate fetch, merge + select —
+//! in one call, and reports exactly how many records would have crossed the
+//! network. It is the executable specification the distributed runtime in
+//! `dema-cluster` is tested against, and the workhorse of this crate's
+//! property tests.
+
+use crate::error::{DemaError, Result};
+use crate::event::{Event, NodeId, WindowId};
+use crate::merge::select_kth;
+use crate::quantile::Quantile;
+use crate::selector::{select, Selection, SelectionStrategy};
+use crate::slice::{cut_into_slices, Slice, SliceId, SliceSynopsis};
+
+/// What one Dema window exchange would have put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Synopsis records sent root-wards in the identification step.
+    pub synopses_sent: u64,
+    /// Candidate slices requested (the cost model's `m`).
+    pub candidate_slices: u64,
+    /// Raw events shipped in the calculation step.
+    pub candidate_events_sent: u64,
+    /// Global window size `l_G`.
+    pub total_events: u64,
+}
+
+impl TrafficStats {
+    /// Events-on-the-wire measure used by the paper's cost model: every
+    /// synopsis counts as two events (its endpoints) plus the candidate
+    /// events that were not already shipped as endpoints.
+    pub fn total_events_on_wire(&self) -> u64 {
+        2 * self.synopses_sent
+            + self
+                .candidate_events_sent
+                .saturating_sub(2 * self.candidate_slices)
+    }
+
+    /// Fraction of events a centralized approach would have shipped that
+    /// Dema avoided, in `[0, 1]`.
+    pub fn savings_vs_centralized(&self) -> f64 {
+        if self.total_events == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_events_on_wire() as f64 / self.total_events as f64
+    }
+}
+
+/// Result of one decentralized quantile computation.
+#[derive(Debug, Clone)]
+pub struct DecentralizedRun {
+    /// The exact quantile value.
+    pub result: i64,
+    /// The event carrying that value (rank `Pos(q)` under the total order).
+    pub event: Event,
+    /// Network traffic the exchange generated.
+    pub stats: TrafficStats,
+    /// The identification step's decision, for inspection.
+    pub selection: Selection,
+}
+
+/// Compute the exact quantile over one global window whose events are
+/// distributed across local nodes, using the full Dema protocol.
+///
+/// `nodes[i]` holds the (unsorted) events local node `i` collected for the
+/// window. `gamma` is the slice factor; `strategy` the candidate selector.
+///
+/// # Errors
+/// * [`DemaError::EmptyWindow`] if all nodes are empty.
+/// * [`DemaError::InvalidGamma`] if `gamma < 2`.
+pub fn exact_quantile_decentralized(
+    nodes: &[Vec<Event>],
+    q: Quantile,
+    gamma: u64,
+    strategy: SelectionStrategy,
+) -> Result<DecentralizedRun> {
+    let window = WindowId(0);
+    // --- local nodes: sort and slice, emit synopses -----------------------
+    let mut synopses: Vec<SliceSynopsis> = Vec::new();
+    let mut slice_store: Vec<Slice> = Vec::new();
+    for (i, events) in nodes.iter().enumerate() {
+        let mut sorted = events.clone();
+        sorted.sort_unstable();
+        let slices = cut_into_slices(NodeId(i as u32), window, sorted, gamma)?;
+        let total = slices.len() as u32;
+        for s in slices {
+            synopses.push(s.synopsis(total)?);
+            slice_store.push(s);
+        }
+    }
+    let total: u64 = synopses.iter().map(|s| s.count).sum();
+    if total == 0 {
+        return Err(DemaError::EmptyWindow);
+    }
+
+    // --- root: identification step ----------------------------------------
+    let k = q.pos(total)?;
+    let selection = select(&synopses, k, strategy)?;
+
+    // --- calculation step: fetch candidates, merge, pick rank -------------
+    let runs = fetch_candidates(&slice_store, &selection.candidates)?;
+    let event = select_kth(&runs, selection.rank_within_candidates())?;
+
+    let stats = TrafficStats {
+        synopses_sent: synopses.len() as u64,
+        candidate_slices: selection.candidates.len() as u64,
+        candidate_events_sent: selection.candidate_events,
+        total_events: total,
+    };
+    Ok(DecentralizedRun { result: event.value, event, stats, selection })
+}
+
+/// Look up the requested candidate slices in the local nodes' stores.
+fn fetch_candidates(store: &[Slice], wanted: &[SliceId]) -> Result<Vec<Vec<Event>>> {
+    wanted
+        .iter()
+        .map(|id| {
+            store
+                .iter()
+                .find(|s| s.id == *id)
+                .map(|s| s.events.clone())
+                .ok_or(DemaError::MissingCandidate { slice: id.to_string() })
+        })
+        .collect()
+}
+
+/// Ground truth: the quantile by fully sorting all events centrally (what
+/// the centralized baseline computes). Dema must match this bit-for-bit.
+///
+/// # Errors
+/// [`DemaError::EmptyWindow`] if no events are present.
+pub fn quantile_ground_truth(nodes: &[Vec<Event>], q: Quantile) -> Result<Event> {
+    let mut all: Vec<Event> = nodes.iter().flatten().copied().collect();
+    if all.is_empty() {
+        return Err(DemaError::EmptyWindow);
+    }
+    all.sort_unstable();
+    let k = q.pos(all.len() as u64)?;
+    Ok(all[(k - 1) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(vals: &[i64]) -> Vec<Event> {
+        vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect()
+    }
+
+    const ALL: [SelectionStrategy; 3] = [
+        SelectionStrategy::WindowCut,
+        SelectionStrategy::ClassifiedScan,
+        SelectionStrategy::NoCut,
+    ];
+
+    #[test]
+    fn median_of_two_disjoint_nodes() {
+        let a: Vec<Event> = (0..1000).map(|i| Event::new(i, 0, i as u64)).collect();
+        let b: Vec<Event> = (1000..2000).map(|i| Event::new(i, 0, i as u64)).collect();
+        let truth = quantile_ground_truth(&[a.clone(), b.clone()], Quantile::MEDIAN).unwrap();
+        for strat in ALL {
+            let run =
+                exact_quantile_decentralized(&[a.clone(), b.clone()], Quantile::MEDIAN, 100, strat)
+                    .unwrap();
+            assert_eq!(run.result, truth.value, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_nodes_all_quantiles() {
+        let a: Vec<Event> = (0..500).map(|i| Event::new(i * 2, 0, i as u64)).collect();
+        let b: Vec<Event> = (0..500).map(|i| Event::new(i * 2 + 1, 0, 1000 + i as u64)).collect();
+        for q in [Quantile::P25, Quantile::MEDIAN, Quantile::P75, Quantile::new(0.3).unwrap()] {
+            let truth = quantile_ground_truth(&[a.clone(), b.clone()], q).unwrap();
+            for strat in ALL {
+                let run =
+                    exact_quantile_decentralized(&[a.clone(), b.clone()], q, 64, strat).unwrap();
+                assert_eq!(run.result, truth.value, "{q} {strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input() {
+        let a = events(&[5; 100]);
+        let b = events(&[5; 50]);
+        let run =
+            exact_quantile_decentralized(&[a, b], Quantile::MEDIAN, 10, SelectionStrategy::WindowCut)
+                .unwrap();
+        assert_eq!(run.result, 5);
+    }
+
+    #[test]
+    fn single_node_single_event() {
+        let run = exact_quantile_decentralized(
+            &[events(&[42])],
+            Quantile::MEDIAN,
+            10,
+            SelectionStrategy::WindowCut,
+        )
+        .unwrap();
+        assert_eq!(run.result, 42);
+        assert_eq!(run.stats.total_events, 1);
+    }
+
+    #[test]
+    fn empty_nodes_are_skipped() {
+        let run = exact_quantile_decentralized(
+            &[events(&[]), events(&[1, 2, 3]), events(&[])],
+            Quantile::MEDIAN,
+            10,
+            SelectionStrategy::WindowCut,
+        )
+        .unwrap();
+        assert_eq!(run.result, 2);
+    }
+
+    #[test]
+    fn all_empty_is_error() {
+        assert_eq!(
+            exact_quantile_decentralized(
+                &[vec![], vec![]],
+                Quantile::MEDIAN,
+                10,
+                SelectionStrategy::WindowCut
+            )
+            .unwrap_err(),
+            DemaError::EmptyWindow
+        );
+        assert_eq!(
+            quantile_ground_truth(&[vec![]], Quantile::MEDIAN).unwrap_err(),
+            DemaError::EmptyWindow
+        );
+    }
+
+    #[test]
+    fn traffic_is_far_below_centralized_for_disjoint_ranges() {
+        let a: Vec<Event> = (0..10_000).map(|i| Event::new(i, 0, i as u64)).collect();
+        let b: Vec<Event> = (10_000..20_000).map(|i| Event::new(i, 0, i as u64)).collect();
+        let run = exact_quantile_decentralized(
+            &[a, b],
+            Quantile::MEDIAN,
+            500,
+            SelectionStrategy::WindowCut,
+        )
+        .unwrap();
+        assert_eq!(run.stats.total_events, 20_000);
+        assert!(run.stats.total_events_on_wire() < 1200, "{:?}", run.stats);
+        assert!(run.stats.savings_vs_centralized() > 0.9);
+    }
+
+    #[test]
+    fn skewed_scale_rates_still_exact() {
+        // Dema #10 situation: node b's values are 10x node a's.
+        let a: Vec<Event> = (0..2000).map(|i| Event::new(i % 700, i as u64, i as u64)).collect();
+        let b: Vec<Event> =
+            (0..2000).map(|i| Event::new((i % 700) * 10, i as u64, 5000 + i as u64)).collect();
+        let q = Quantile::new(0.3).unwrap();
+        let truth = quantile_ground_truth(&[a.clone(), b.clone()], q).unwrap();
+        for strat in ALL {
+            let run = exact_quantile_decentralized(&[a.clone(), b.clone()], q, 128, strat).unwrap();
+            assert_eq!(run.result, truth.value, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn gamma_larger_than_windows() {
+        let a = events(&[3, 1, 2]);
+        let b = events(&[6, 4, 5]);
+        let run = exact_quantile_decentralized(
+            &[a, b],
+            Quantile::MEDIAN,
+            1_000_000,
+            SelectionStrategy::WindowCut,
+        )
+        .unwrap();
+        assert_eq!(run.result, 3);
+    }
+
+    #[test]
+    fn stats_events_on_wire_formula() {
+        let stats = TrafficStats {
+            synopses_sent: 10,
+            candidate_slices: 2,
+            candidate_events_sent: 100,
+            total_events: 1000,
+        };
+        // 2*10 synopsis events + (100 - 2*2) candidate events
+        assert_eq!(stats.total_events_on_wire(), 20 + 96);
+        assert!((stats.savings_vs_centralized() - (1.0 - 116.0 / 1000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_zero_for_empty_stats() {
+        assert_eq!(TrafficStats::default().savings_vs_centralized(), 0.0);
+    }
+}

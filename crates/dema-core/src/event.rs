@@ -1,0 +1,163 @@
+//! Event tuples and node/window identifiers.
+//!
+//! Following the paper's model (§2.3), an event is produced by a data-stream
+//! node and consists of a *value*, an *event-time timestamp*, and an *id*.
+//! Values are `i64` sensor readings: integer values keep comparisons total
+//! (no NaN), make exactness bit-for-bit testable, and match the DEBS 2013
+//! sensor schema the paper replays.
+
+use std::cmp::Ordering;
+
+/// Identifier of a node in the topology (local nodes and the root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a (global) tumbling window.
+///
+/// Windows are time-based, so the id is the window's start timestamp divided
+/// by the window length; every node derives the same id for the same instant
+/// without coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WindowId(pub u64);
+
+impl WindowId {
+    /// Window containing event-time `ts` for tumbling windows of `len` ms.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    #[inline]
+    pub fn for_timestamp(ts: u64, len: u64) -> WindowId {
+        assert!(len > 0, "window length must be positive");
+        WindowId(ts / len)
+    }
+
+    /// Inclusive start timestamp of this window for length `len`.
+    #[inline]
+    pub fn start(self, len: u64) -> u64 {
+        self.0 * len
+    }
+
+    /// Exclusive end timestamp of this window for length `len`.
+    #[inline]
+    pub fn end(self, len: u64) -> u64 {
+        (self.0 + 1) * len
+    }
+}
+
+impl std::fmt::Display for WindowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A single stream event: `(value, event-time, id)`.
+///
+/// Events are totally ordered by `(value, ts, id)`. The secondary keys give a
+/// deterministic tie-break so that ranks are well-defined even with duplicate
+/// values; the quantile *value* at a rank is independent of the tie-break
+/// (equal values are interchangeable), but a total order keeps merges and
+/// tests deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Sensor reading / measurement the quantile ranges over.
+    pub value: i64,
+    /// Event time (ms since epoch of the stream) assigned at the source.
+    pub ts: u64,
+    /// Source-assigned identifier, unique per stream node.
+    pub id: u64,
+}
+
+impl Event {
+    /// Create an event.
+    #[inline]
+    pub fn new(value: i64, ts: u64, id: u64) -> Event {
+        Event { value, ts, id }
+    }
+}
+
+impl Ord for Event {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.value, self.ts, self.id).cmp(&(other.value, other.ts, other.id))
+    }
+}
+
+impl PartialOrd for Event {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Check that `events` is sorted by the total event order.
+pub fn is_sorted(events: &[Event]) -> bool {
+    events.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_id_assignment() {
+        assert_eq!(WindowId::for_timestamp(0, 1000), WindowId(0));
+        assert_eq!(WindowId::for_timestamp(999, 1000), WindowId(0));
+        assert_eq!(WindowId::for_timestamp(1000, 1000), WindowId(1));
+        assert_eq!(WindowId::for_timestamp(123_456, 1000), WindowId(123));
+    }
+
+    #[test]
+    fn window_bounds_roundtrip() {
+        let w = WindowId::for_timestamp(4321, 1000);
+        assert_eq!(w.start(1000), 4000);
+        assert_eq!(w.end(1000), 5000);
+        assert!(w.start(1000) <= 4321 && 4321 < w.end(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_length_panics() {
+        let _ = WindowId::for_timestamp(1, 0);
+    }
+
+    #[test]
+    fn event_order_is_by_value_then_ts_then_id() {
+        let a = Event::new(1, 5, 9);
+        let b = Event::new(2, 0, 0);
+        let c = Event::new(1, 6, 0);
+        let d = Event::new(1, 5, 10);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(a < d);
+        assert!(d < c);
+    }
+
+    #[test]
+    fn negative_values_sort_before_positive() {
+        let neg = Event::new(-5, 0, 0);
+        let pos = Event::new(5, 0, 0);
+        assert!(neg < pos);
+    }
+
+    #[test]
+    fn is_sorted_detects_order() {
+        let sorted = vec![Event::new(1, 0, 0), Event::new(1, 0, 1), Event::new(2, 0, 0)];
+        let unsorted = vec![Event::new(2, 0, 0), Event::new(1, 0, 0)];
+        assert!(is_sorted(&sorted));
+        assert!(!is_sorted(&unsorted));
+        assert!(is_sorted(&[]));
+        assert!(is_sorted(&[Event::new(0, 0, 0)]));
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(WindowId(7).to_string(), "w7");
+    }
+}

@@ -1,0 +1,239 @@
+//! The adaptive slice factor γ (§3.3).
+//!
+//! The network cost of one global window, measured in events on the wire, is
+//!
+//! ```text
+//! Cost(γ) = 2·l_G/γ          (identification: one synopsis ≙ two events
+//!                             per slice, l_G/γ slices in total)
+//!         + m·(γ − 2)        (calculation: m candidate slices of ~γ events,
+//!                             two of which already travelled as endpoints)
+//! ```
+//!
+//! Small γ degenerates to shipping everything twice; large γ inflates the
+//! candidate slices. Minimizing over continuous γ gives the closed form
+//! `γ* = √(2·l_G / m)`; [`optimal_gamma`] refines it over the integer
+//! neighbourhood. [`AdaptiveGamma`] smooths the per-window observations of
+//! `l_G` and `m` so the controller stays stable when event rates and
+//! distributions drift between windows.
+
+/// Network cost (in events) of one global window processed with slice
+/// factor `gamma`, per the paper's cost model.
+///
+/// `l_g` is the global window size, `m` the number of candidate slices.
+#[inline]
+pub fn cost(l_g: u64, m: u64, gamma: u64) -> f64 {
+    let g = gamma.max(2) as f64;
+    2.0 * l_g as f64 / g + m as f64 * (g - 2.0)
+}
+
+/// The γ minimizing [`cost`] for the given window size and candidate count,
+/// clamped to `[2, l_g.max(2)]`.
+///
+/// Evaluates the discrete cost at the floor/ceil of the continuous optimum
+/// `√(2·l_G/m)` and picks the cheaper, so the result is the true integer
+/// minimizer (the cost function is strictly convex in γ).
+pub fn optimal_gamma(l_g: u64, m: u64) -> u64 {
+    let hi = l_g.max(2);
+    if m == 0 {
+        // No candidate traffic observed: synopsis cost dominates, use the
+        // largest sensible slice (one slice per window).
+        return hi;
+    }
+    let star = (2.0 * l_g as f64 / m as f64).sqrt();
+    let lo_cand = (star.floor() as u64).clamp(2, hi);
+    let hi_cand = (star.ceil() as u64).clamp(2, hi);
+    if cost(l_g, m, lo_cand) <= cost(l_g, m, hi_cand) {
+        lo_cand
+    } else {
+        hi_cand
+    }
+}
+
+/// Smoothed per-window γ controller run by the root node.
+///
+/// After each calculation step the root feeds the observed window size and
+/// candidate-slice count into [`AdaptiveGamma::observe`]; the returned γ is
+/// broadcast to the local nodes for the next window ("the current window can
+/// reuse the optimal γ from the previous window").
+#[derive(Debug, Clone)]
+pub struct AdaptiveGamma {
+    /// Exponential smoothing factor for observations, in `(0, 1]`;
+    /// 1.0 = react instantly to the last window.
+    alpha: f64,
+    /// Smoothed estimate of the global window size.
+    l_g: f64,
+    /// Smoothed estimate of the candidate-slice count.
+    m: f64,
+    /// Lower clamp for emitted γ.
+    min_gamma: u64,
+    /// Upper clamp for emitted γ.
+    max_gamma: u64,
+    /// Currently recommended γ.
+    current: u64,
+    observations: u64,
+}
+
+impl AdaptiveGamma {
+    /// Create a controller starting at `initial` γ.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]` or `min_gamma < 2` or
+    /// `min_gamma > max_gamma`.
+    pub fn new(initial: u64, alpha: f64, min_gamma: u64, max_gamma: u64) -> AdaptiveGamma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(min_gamma >= 2, "γ must be at least 2");
+        assert!(min_gamma <= max_gamma, "min_gamma must not exceed max_gamma");
+        AdaptiveGamma {
+            alpha,
+            l_g: 0.0,
+            m: 0.0,
+            min_gamma,
+            max_gamma,
+            current: initial.clamp(min_gamma, max_gamma),
+            observations: 0,
+        }
+    }
+
+    /// A controller with sensible defaults: start at `initial`, smoothing
+    /// factor 0.5, γ ∈ [2, 2²⁰].
+    pub fn with_default_bounds(initial: u64) -> AdaptiveGamma {
+        AdaptiveGamma::new(initial, 0.5, 2, 1 << 20)
+    }
+
+    /// γ to use for the next window.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Number of windows observed so far.
+    #[inline]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Feed the outcome of one window (its size and how many candidate
+    /// slices its identification step produced); returns the γ for the next
+    /// window.
+    pub fn observe(&mut self, l_g: u64, m: u64) -> u64 {
+        if self.observations == 0 {
+            self.l_g = l_g as f64;
+            self.m = m as f64;
+        } else {
+            self.l_g = self.alpha * l_g as f64 + (1.0 - self.alpha) * self.l_g;
+            self.m = self.alpha * m as f64 + (1.0 - self.alpha) * self.m;
+        }
+        self.observations += 1;
+        let l = self.l_g.round().max(0.0) as u64;
+        let m_est = self.m.round().max(0.0) as u64;
+        self.current = optimal_gamma(l, m_est).clamp(self.min_gamma, self.max_gamma);
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_matches_formula() {
+        // Cost = 2*l_G/γ + m*(γ-2)
+        assert_eq!(cost(10_000, 3, 100), 2.0 * 10_000.0 / 100.0 + 3.0 * 98.0);
+        assert_eq!(cost(0, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn cost_clamps_degenerate_gamma() {
+        // γ < 2 is treated as 2 rather than dividing by something silly.
+        assert_eq!(cost(100, 1, 0), cost(100, 1, 2));
+    }
+
+    #[test]
+    fn optimal_gamma_is_discrete_argmin() {
+        for &(l_g, m) in &[(1_000u64, 1u64), (10_000, 3), (100_000, 7), (123, 5), (2, 1)] {
+            let g = optimal_gamma(l_g, m);
+            let best = (2..=l_g.max(2))
+                .min_by(|&a, &b| cost(l_g, m, a).partial_cmp(&cost(l_g, m, b)).unwrap())
+                .unwrap();
+            assert_eq!(
+                cost(l_g, m, g),
+                cost(l_g, m, best),
+                "l_g={l_g} m={m}: got γ={g}, argmin γ={best}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_gamma_closed_form_shape() {
+        // γ* = sqrt(2 l_G / m): quadrupling l_G doubles γ*.
+        let g1 = optimal_gamma(10_000, 4);
+        let g2 = optimal_gamma(40_000, 4);
+        assert!((g2 as f64 / g1 as f64 - 2.0).abs() < 0.1, "{g1} vs {g2}");
+    }
+
+    #[test]
+    fn optimal_gamma_no_candidates() {
+        assert_eq!(optimal_gamma(500, 0), 500);
+        assert_eq!(optimal_gamma(0, 0), 2);
+    }
+
+    #[test]
+    fn optimal_gamma_never_below_two() {
+        assert!(optimal_gamma(2, 1000) >= 2);
+        assert!(optimal_gamma(0, 5) >= 2);
+    }
+
+    #[test]
+    fn controller_converges_on_stable_workload() {
+        let mut ctl = AdaptiveGamma::with_default_bounds(10_000);
+        let mut last = 0;
+        for _ in 0..20 {
+            last = ctl.observe(1_000_000, 2);
+        }
+        let expect = optimal_gamma(1_000_000, 2);
+        assert_eq!(last, expect);
+        assert_eq!(ctl.current(), expect);
+        assert_eq!(ctl.observations(), 20);
+    }
+
+    #[test]
+    fn controller_tracks_drifting_window_size() {
+        let mut ctl = AdaptiveGamma::new(100, 0.5, 2, 1 << 20);
+        for _ in 0..10 {
+            ctl.observe(10_000, 2);
+        }
+        let small = ctl.current();
+        for _ in 0..20 {
+            ctl.observe(1_000_000, 2);
+        }
+        let large = ctl.current();
+        assert!(large > small, "γ should grow with window size: {small} -> {large}");
+    }
+
+    #[test]
+    fn controller_respects_bounds() {
+        let mut ctl = AdaptiveGamma::new(50, 1.0, 10, 100);
+        assert_eq!(ctl.observe(1_000_000_000, 1), 100);
+        assert_eq!(ctl.observe(4, 1_000_000), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = AdaptiveGamma::new(10, 0.0, 2, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "γ must be at least 2")]
+    fn bad_min_gamma_panics() {
+        let _ = AdaptiveGamma::new(10, 0.5, 1, 100);
+    }
+
+    #[test]
+    fn first_observation_seeds_estimates() {
+        let mut ctl = AdaptiveGamma::new(7, 0.1, 2, 1 << 20);
+        // Even with tiny alpha, the first observation must take full effect.
+        let g = ctl.observe(800_000, 2);
+        assert_eq!(g, optimal_gamma(800_000, 2));
+    }
+}

@@ -1,0 +1,208 @@
+//! The calculation step: merge pre-sorted candidate runs and pick the
+//! target rank (§3.1).
+//!
+//! Local nodes ship candidate slices already sorted, so the root never
+//! re-sorts: it performs a k-way merge over the runs. For quantile lookups
+//! the merge can stop as soon as the target position is reached
+//! ([`select_kth`]), costing `O(k · log r)` for `r` runs instead of merging
+//! everything.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::{DemaError, Result};
+use crate::event::Event;
+
+/// Fully merge sorted runs into one sorted vector.
+///
+/// # Panics
+/// Debug-asserts each input run is sorted.
+pub fn merge_runs(runs: &[Vec<Event>]) -> Vec<Event> {
+    for r in runs {
+        debug_assert!(crate::event::is_sorted(r));
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap: BinaryHeap<Reverse<(Event, usize)>> = runs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.first().map(|&e| Reverse((e, i))))
+        .collect();
+    let mut cursors = vec![1usize; runs.len()];
+    while let Some(Reverse((e, run))) = heap.pop() {
+        out.push(e);
+        let c = cursors[run];
+        if let Some(&next) = runs[run].get(c) {
+            cursors[run] = c + 1;
+            heap.push(Reverse((next, run)));
+        }
+    }
+    out
+}
+
+/// Return the event at 1-based position `k` of the merged order of `runs`
+/// without materializing the merge.
+///
+/// # Errors
+/// [`DemaError::RankOutOfRange`] if `k` is 0 or exceeds the total length.
+pub fn select_kth(runs: &[Vec<Event>], k: u64) -> Result<Event> {
+    let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+    if k == 0 || k > total {
+        return Err(DemaError::RankOutOfRange { rank: k, total });
+    }
+    for r in runs {
+        debug_assert!(crate::event::is_sorted(r));
+    }
+    let mut heap: BinaryHeap<Reverse<(Event, usize)>> = runs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.first().map(|&e| Reverse((e, i))))
+        .collect();
+    let mut cursors = vec![1usize; runs.len()];
+    let mut remaining = k;
+    loop {
+        let Reverse((e, run)) = heap.pop().expect("k <= total guarantees an element");
+        remaining -= 1;
+        if remaining == 0 {
+            return Ok(e);
+        }
+        let c = cursors[run];
+        if let Some(&next) = runs[run].get(c) {
+            cursors[run] = c + 1;
+            heap.push(Reverse((next, run)));
+        }
+    }
+}
+
+/// Incrementally merge candidate runs as they arrive, then select a rank.
+///
+/// This mirrors the paper's root-node behaviour: "Dema incrementally merges
+/// arriving candidate events into the candidate slice" — runs may arrive in
+/// any order; the answer is produced once all expected runs are present.
+#[derive(Debug, Default)]
+pub struct CandidateMerger {
+    runs: Vec<Vec<Event>>,
+    expected: usize,
+}
+
+impl CandidateMerger {
+    /// Create a merger expecting `expected` candidate runs.
+    pub fn new(expected: usize) -> CandidateMerger {
+        CandidateMerger { runs: Vec::with_capacity(expected), expected }
+    }
+
+    /// Add one delivered candidate run (sorted events of one slice).
+    pub fn add_run(&mut self, events: Vec<Event>) {
+        debug_assert!(crate::event::is_sorted(&events));
+        self.runs.push(events);
+    }
+
+    /// Number of runs still missing.
+    pub fn missing(&self) -> usize {
+        self.expected.saturating_sub(self.runs.len())
+    }
+
+    /// `true` once every expected run has been delivered.
+    pub fn complete(&self) -> bool {
+        self.runs.len() >= self.expected
+    }
+
+    /// Select the event at 1-based merged position `k`.
+    ///
+    /// # Errors
+    /// * [`DemaError::MissingCandidate`] if runs are still outstanding.
+    /// * [`DemaError::RankOutOfRange`] if `k` is outside the merged length.
+    pub fn select(&self, k: u64) -> Result<Event> {
+        if !self.complete() {
+            return Err(DemaError::MissingCandidate {
+                slice: format!("{} of {} runs missing", self.missing(), self.expected),
+            });
+        }
+        select_kth(&self.runs, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(v: i64) -> Event {
+        Event::new(v, 0, v as u64)
+    }
+
+    fn run(vals: &[i64]) -> Vec<Event> {
+        vals.iter().map(|&v| ev(v)).collect()
+    }
+
+    #[test]
+    fn merge_two_runs() {
+        let merged = merge_runs(&[run(&[1, 3, 5]), run(&[2, 4, 6])]);
+        let vals: Vec<i64> = merged.iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_handles_empty_runs() {
+        let merged = merge_runs(&[run(&[]), run(&[7]), run(&[])]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].value, 7);
+        assert!(merge_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn merge_with_duplicates_is_stable_by_event_order() {
+        let a = vec![Event::new(5, 0, 1), Event::new(5, 0, 3)];
+        let b = vec![Event::new(5, 0, 2)];
+        let merged = merge_runs(&[a, b]);
+        let ids: Vec<u64> = merged.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]); // total event order, deterministic
+    }
+
+    #[test]
+    fn merge_many_runs_matches_global_sort() {
+        let runs: Vec<Vec<Event>> = (0..10)
+            .map(|i| (0..50).map(|j| ev((j * 10 + i) as i64)).collect())
+            .collect();
+        let merged = merge_runs(&runs);
+        let mut expected: Vec<Event> = runs.concat();
+        expected.sort_unstable();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn select_kth_matches_full_merge() {
+        let runs = vec![run(&[1, 4, 9, 16]), run(&[2, 3, 5, 8]), run(&[0, 7])];
+        let merged = merge_runs(&runs);
+        for k in 1..=merged.len() as u64 {
+            assert_eq!(select_kth(&runs, k).unwrap(), merged[(k - 1) as usize]);
+        }
+    }
+
+    #[test]
+    fn select_kth_bounds() {
+        let runs = vec![run(&[1, 2])];
+        assert!(matches!(select_kth(&runs, 0), Err(DemaError::RankOutOfRange { .. })));
+        assert!(matches!(select_kth(&runs, 3), Err(DemaError::RankOutOfRange { .. })));
+        assert!(matches!(select_kth(&[], 1), Err(DemaError::RankOutOfRange { .. })));
+    }
+
+    #[test]
+    fn merger_waits_for_all_runs() {
+        let mut m = CandidateMerger::new(2);
+        m.add_run(run(&[1, 2]));
+        assert!(!m.complete());
+        assert_eq!(m.missing(), 1);
+        assert!(matches!(m.select(1), Err(DemaError::MissingCandidate { .. })));
+        m.add_run(run(&[0, 3]));
+        assert!(m.complete());
+        assert_eq!(m.select(1).unwrap().value, 0);
+        assert_eq!(m.select(3).unwrap().value, 2);
+    }
+
+    #[test]
+    fn merger_with_zero_expected_is_immediately_complete() {
+        let m = CandidateMerger::new(0);
+        assert!(m.complete());
+        assert!(matches!(m.select(1), Err(DemaError::RankOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,133 @@
+//! Quantile specification and rank arithmetic.
+//!
+//! For a quantile `q ∈ (0, 1]` over a global window of `l_G` events, the
+//! target is the event of rank `Pos(q) = ⌈q · l_G⌉` in the fully sorted
+//! global window (§3.1, "Correctness of Dema approach"). The median is the
+//! special case `q = 0.5`.
+
+use crate::error::{DemaError, Result};
+
+/// A validated quantile fraction in `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Quantile(f64);
+
+impl Quantile {
+    /// The median, `q = 0.5`.
+    pub const MEDIAN: Quantile = Quantile(0.5);
+    /// First quartile, `q = 0.25`.
+    pub const P25: Quantile = Quantile(0.25);
+    /// Third quartile, `q = 0.75`.
+    pub const P75: Quantile = Quantile(0.75);
+
+    /// Validate and wrap a quantile fraction.
+    ///
+    /// # Errors
+    /// [`DemaError::InvalidQuantile`] unless `0 < q <= 1` and `q` is finite.
+    pub fn new(q: f64) -> Result<Quantile> {
+        if q.is_finite() && q > 0.0 && q <= 1.0 {
+            Ok(Quantile(q))
+        } else {
+            Err(DemaError::InvalidQuantile(format!("{q} not in (0, 1]")))
+        }
+    }
+
+    /// The raw fraction.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// 1-based rank of this quantile in a sorted dataset of `total` events:
+    /// `Pos(q) = ⌈q · total⌉`, clamped to `[1, total]` against floating-point
+    /// round-off at the edges.
+    ///
+    /// # Errors
+    /// [`DemaError::EmptyWindow`] if `total == 0`.
+    pub fn pos(self, total: u64) -> Result<u64> {
+        if total == 0 {
+            return Err(DemaError::EmptyWindow);
+        }
+        let raw = (self.0 * total as f64).ceil() as u64;
+        Ok(raw.clamp(1, total))
+    }
+}
+
+impl std::fmt::Display for Quantile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0 * 100.0)
+    }
+}
+
+impl TryFrom<f64> for Quantile {
+    type Error = DemaError;
+    fn try_from(q: f64) -> Result<Quantile> {
+        Quantile::new(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range() {
+        assert!(Quantile::new(0.5).is_ok());
+        assert!(Quantile::new(1.0).is_ok());
+        assert!(Quantile::new(1e-9).is_ok());
+        assert!(Quantile::new(0.0).is_err());
+        assert!(Quantile::new(-0.1).is_err());
+        assert!(Quantile::new(1.1).is_err());
+        assert!(Quantile::new(f64::NAN).is_err());
+        assert!(Quantile::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn median_position_matches_paper() {
+        // Pos(l_G * 1/2), with ceil: for l_G = 1000 the median is rank 500.
+        assert_eq!(Quantile::MEDIAN.pos(1000).unwrap(), 500);
+        assert_eq!(Quantile::MEDIAN.pos(1001).unwrap(), 501);
+        assert_eq!(Quantile::MEDIAN.pos(1).unwrap(), 1);
+        assert_eq!(Quantile::MEDIAN.pos(2).unwrap(), 1);
+    }
+
+    #[test]
+    fn quartile_positions() {
+        assert_eq!(Quantile::P25.pos(1000).unwrap(), 250);
+        assert_eq!(Quantile::P75.pos(1000).unwrap(), 750);
+        // 25% quantile of l_G located at Pos(l_G * 1/4) per the paper.
+        assert_eq!(Quantile::P25.pos(4).unwrap(), 1);
+    }
+
+    #[test]
+    fn extreme_quantiles_clamp_to_valid_ranks() {
+        assert_eq!(Quantile::new(1.0).unwrap().pos(10).unwrap(), 10);
+        assert_eq!(Quantile::new(1e-12).unwrap().pos(10).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_window_is_an_error() {
+        assert_eq!(Quantile::MEDIAN.pos(0), Err(DemaError::EmptyWindow));
+    }
+
+    #[test]
+    fn rank_never_exceeds_total() {
+        for total in 1..200 {
+            for q in [0.001, 0.25, 0.3, 0.5, 0.75, 0.999, 1.0] {
+                let pos = Quantile::new(q).unwrap().pos(total).unwrap();
+                assert!((1..=total).contains(&pos), "q={q} total={total} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_as_percent() {
+        assert_eq!(Quantile::MEDIAN.to_string(), "p50");
+        assert_eq!(Quantile::P25.to_string(), "p25");
+    }
+
+    #[test]
+    fn try_from_f64() {
+        assert_eq!(Quantile::try_from(0.5).unwrap(), Quantile::MEDIAN);
+        assert!(Quantile::try_from(2.0).is_err());
+    }
+}

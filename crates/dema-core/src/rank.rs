@@ -1,0 +1,263 @@
+//! Rank-interval arithmetic over slice synopses.
+//!
+//! The root node never sees raw events during the identification step; it
+//! only knows, per slice, the value interval `[first, last]` and the event
+//! count. Over *all* orderings of the global window consistent with that
+//! information, each slice `S` occupies a range of possible ranks:
+//!
+//! * `min_start(S) = 1 + Σ_{T≠S} count(T) · [last(T) < first(S)]` — the
+//!   best-case (smallest possible) rank of S's smallest event: only slices
+//!   guaranteed to lie entirely below S can precede it.
+//! * `max_end(S) = Σ_T count(T) · [first(T) ≤ last(S)]` — the worst-case
+//!   (largest possible) rank of S's largest event: any slice whose interval
+//!   starts at or below S's maximum might contribute events not after S.
+//!   (The sum includes S itself, which accounts for the `+ count(S)` term.)
+//!
+//! Ties are treated conservatively (`≤` in `max_end`), so the intervals are
+//! sound for any tie-breaking rule. These are the `Pos(start)`/`Pos(end)`
+//! bounds of the paper generalized to arbitrarily overlapping slices, and
+//! they drive candidate selection in [`crate::selector`].
+//!
+//! Complexity: `O(S log S)` for `S` synopses (two sorts + binary searches).
+
+use crate::slice::SliceSynopsis;
+
+/// The possible global-rank range of one slice (1-based, inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankInterval {
+    /// Smallest possible rank of the slice's smallest event.
+    pub min_start: u64,
+    /// Largest possible rank of the slice's largest event.
+    pub max_end: u64,
+}
+
+impl RankInterval {
+    /// `true` if rank `k` may fall inside this slice.
+    #[inline]
+    pub fn contains(&self, k: u64) -> bool {
+        self.min_start <= k && k <= self.max_end
+    }
+
+    /// `true` if every event of the slice is certain to rank before `k`.
+    #[inline]
+    pub fn entirely_before(&self, k: u64) -> bool {
+        self.max_end < k
+    }
+
+    /// `true` if every event of the slice is certain to rank after `k`.
+    #[inline]
+    pub fn entirely_after(&self, k: u64) -> bool {
+        self.min_start > k
+    }
+}
+
+/// Prefix-sum index over synopsis endpoints for `O(log S)` rank-bound
+/// queries. Build once per identification step, query per slice.
+#[derive(Debug, Clone)]
+pub struct RankIndex {
+    /// `(last, count)` sorted by `last`, with `below_prefix[i]` = total count
+    /// of the first `i` entries.
+    lasts: Vec<i64>,
+    below_prefix: Vec<u64>,
+    /// `(first, count)` sorted by `first`.
+    firsts: Vec<i64>,
+    le_prefix: Vec<u64>,
+    total: u64,
+}
+
+impl RankIndex {
+    /// Build the index from all synopses of a global window.
+    pub fn build(synopses: &[SliceSynopsis]) -> RankIndex {
+        let mut by_last: Vec<(i64, u64)> = synopses.iter().map(|s| (s.last, s.count)).collect();
+        by_last.sort_unstable();
+        let mut by_first: Vec<(i64, u64)> = synopses.iter().map(|s| (s.first, s.count)).collect();
+        by_first.sort_unstable();
+
+        let prefix = |v: &[(i64, u64)]| {
+            let mut acc = 0u64;
+            let mut out = Vec::with_capacity(v.len() + 1);
+            out.push(0);
+            for &(_, c) in v {
+                acc += c;
+                out.push(acc);
+            }
+            out
+        };
+        let below_prefix = prefix(&by_last);
+        let le_prefix = prefix(&by_first);
+        RankIndex {
+            total: *below_prefix.last().expect("prefix has at least the 0 entry"),
+            lasts: by_last.into_iter().map(|(v, _)| v).collect(),
+            below_prefix,
+            firsts: by_first.into_iter().map(|(v, _)| v).collect(),
+            le_prefix,
+        }
+    }
+
+    /// Total number of events across all synopses (`l_G`).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of events guaranteed to have value `< v` (their slice's `last`
+    /// lies strictly below `v`).
+    #[inline]
+    pub fn guaranteed_below(&self, v: i64) -> u64 {
+        let idx = self.lasts.partition_point(|&last| last < v);
+        self.below_prefix[idx]
+    }
+
+    /// Number of events that *might* have value `<= v` (their slice's
+    /// `first` lies at or below `v`).
+    #[inline]
+    pub fn possibly_le(&self, v: i64) -> u64 {
+        let idx = self.firsts.partition_point(|&first| first <= v);
+        self.le_prefix[idx]
+    }
+
+    /// Rank interval of one slice.
+    #[inline]
+    pub fn interval(&self, s: &SliceSynopsis) -> RankInterval {
+        RankInterval {
+            min_start: 1 + self.guaranteed_below(s.first),
+            max_end: self.possibly_le(s.last),
+        }
+    }
+}
+
+/// Compute the rank interval of every synopsis, aligned with the input order.
+pub fn rank_intervals(synopses: &[SliceSynopsis]) -> Vec<RankInterval> {
+    let index = RankIndex::build(synopses);
+    synopses.iter().map(|s| index.interval(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{NodeId, WindowId};
+    use crate::slice::SliceId;
+
+    fn syn(node: u32, index: u32, first: i64, last: i64, count: u64) -> SliceSynopsis {
+        SliceSynopsis {
+            id: SliceId { node: NodeId(node), window: WindowId(0), index },
+            first,
+            last,
+            count,
+            total_slices: 0,
+        }
+    }
+
+    #[test]
+    fn disjoint_slices_get_exact_consecutive_intervals() {
+        // Paper's Figure 2 situation: no overlap between slices — rank
+        // intervals collapse to the exact consecutive positions.
+        let s = vec![
+            syn(0, 0, 0, 9, 10),
+            syn(1, 0, 10, 19, 10),
+            syn(0, 1, 20, 29, 10),
+        ];
+        let iv = rank_intervals(&s);
+        assert_eq!(iv[0], RankInterval { min_start: 1, max_end: 10 });
+        assert_eq!(iv[1], RankInterval { min_start: 11, max_end: 20 });
+        assert_eq!(iv[2], RankInterval { min_start: 21, max_end: 30 });
+    }
+
+    #[test]
+    fn overlapping_slices_widen_intervals() {
+        let s = vec![syn(0, 0, 0, 15, 10), syn(1, 0, 10, 25, 10)];
+        let iv = rank_intervals(&s);
+        // Neither slice is guaranteed below the other.
+        assert_eq!(iv[0], RankInterval { min_start: 1, max_end: 20 });
+        assert_eq!(iv[1], RankInterval { min_start: 1, max_end: 20 });
+    }
+
+    #[test]
+    fn touching_endpoints_are_conservative() {
+        // b.first == a.last: a tie — b's events could interleave with a's.
+        let s = vec![syn(0, 0, 0, 10, 5), syn(1, 0, 10, 20, 5)];
+        let iv = rank_intervals(&s);
+        assert_eq!(iv[0].max_end, 10); // b might contribute nothing <= 10? No: b.first <= 10 counts.
+        assert_eq!(iv[1].min_start, 1); // a is NOT guaranteed below b (a.last == b.first)
+    }
+
+    #[test]
+    fn cover_slice_is_contained_in_coverers_interval() {
+        let s = vec![syn(0, 0, 0, 100, 50), syn(1, 0, 40, 60, 10)];
+        let iv = rank_intervals(&s);
+        assert!(iv[0].min_start <= iv[1].min_start);
+        assert!(iv[1].max_end <= iv[0].max_end);
+    }
+
+    #[test]
+    fn intervals_are_sound_for_every_true_arrangement() {
+        // Construct concrete events, derive synopses, and check that the
+        // true rank range of each slice lies within the computed interval.
+        use crate::event::Event;
+        use crate::slice::cut_into_slices;
+        let mut all: Vec<(usize, Event)> = Vec::new();
+        let runs: Vec<Vec<i64>> = vec![
+            vec![1, 3, 5, 7, 9, 11],
+            vec![4, 4, 4, 8, 8, 20],
+            vec![2, 6, 10, 14, 18, 22],
+        ];
+        let mut synopses = Vec::new();
+        let mut slice_of_run = Vec::new();
+        for (n, vals) in runs.iter().enumerate() {
+            let events: Vec<Event> =
+                vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, (n * 100 + i) as u64)).collect();
+            let slices = cut_into_slices(NodeId(n as u32), WindowId(0), events, 3).unwrap();
+            for s in &slices {
+                synopses.push(s.synopsis(slices.len() as u32).unwrap());
+                for e in &s.events {
+                    all.push((synopses.len() - 1, *e));
+                }
+                slice_of_run.push(s.clone());
+            }
+        }
+        all.sort_by_key(|&(_, e)| e);
+        let iv = rank_intervals(&synopses);
+        for (rank0, &(slice_idx, _)) in all.iter().enumerate() {
+            let rank = rank0 as u64 + 1;
+            assert!(
+                iv[slice_idx].min_start <= rank && rank <= iv[slice_idx].max_end,
+                "rank {rank} of slice {slice_idx} outside {:?}",
+                iv[slice_idx]
+            );
+        }
+    }
+
+    #[test]
+    fn total_counts_all_events() {
+        let s = vec![syn(0, 0, 0, 5, 7), syn(1, 0, 2, 9, 13)];
+        assert_eq!(RankIndex::build(&s).total(), 20);
+    }
+
+    #[test]
+    fn empty_input() {
+        let index = RankIndex::build(&[]);
+        assert_eq!(index.total(), 0);
+        assert_eq!(index.guaranteed_below(5), 0);
+        assert_eq!(index.possibly_le(5), 0);
+    }
+
+    #[test]
+    fn duplicate_heavy_slices() {
+        // All slices the same constant value: nothing guaranteed below,
+        // everything possibly <=.
+        let s: Vec<_> = (0..4).map(|n| syn(n, 0, 42, 42, 5)).collect();
+        let iv = rank_intervals(&s);
+        for i in &iv {
+            assert_eq!(*i, RankInterval { min_start: 1, max_end: 20 });
+        }
+    }
+
+    #[test]
+    fn interval_predicates() {
+        let iv = RankInterval { min_start: 10, max_end: 20 };
+        assert!(iv.contains(10) && iv.contains(20) && iv.contains(15));
+        assert!(!iv.contains(9) && !iv.contains(21));
+        assert!(iv.entirely_before(21) && !iv.entirely_before(20));
+        assert!(iv.entirely_after(9) && !iv.entirely_after(10));
+    }
+}

@@ -1,0 +1,345 @@
+//! Slices and slice synopses.
+//!
+//! When a local window closes, its (sorted) events are cut into *slices* of
+//! roughly γ events each (§3.1). For every slice, only a small **synopsis**
+//! travels to the root during the identification step: the first and last
+//! event values, the event count, and the slice's position among its node's
+//! slices. The raw events of a slice are only shipped if the root selects the
+//! slice as a candidate.
+
+use crate::error::{DemaError, Result};
+use crate::event::{Event, NodeId, WindowId};
+
+/// Globally unique identifier of a slice: which node produced it, for which
+/// window, and its index within that node's sorted slice sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SliceId {
+    /// Producing local node.
+    pub node: NodeId,
+    /// Global window this slice belongs to.
+    pub window: WindowId,
+    /// 0-based index of the slice within the node's local window.
+    pub index: u32,
+}
+
+impl std::fmt::Display for SliceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/s{}", self.node, self.window, self.index)
+    }
+}
+
+/// The statistical summary of one slice, sent root-wards during the
+/// identification step.
+///
+/// Invariant: `first <= last` and `count >= 1` (the slicer produces slices of
+/// at least two events whenever the window has two or more).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceSynopsis {
+    /// Identity of the summarized slice.
+    pub id: SliceId,
+    /// Smallest event value in the slice (events are sorted).
+    pub first: i64,
+    /// Largest event value in the slice.
+    pub last: i64,
+    /// Number of events in the slice.
+    pub count: u64,
+    /// Total number of slices the producing node cut its window into.
+    /// Lets the root detect missing synopses.
+    pub total_slices: u32,
+}
+
+impl SliceSynopsis {
+    /// `true` if this slice's value interval overlaps `other`'s.
+    ///
+    /// Intervals are closed; touching endpoints count as overlap because an
+    /// equal value could belong to either slice in the global order.
+    #[inline]
+    pub fn overlaps(&self, other: &SliceSynopsis) -> bool {
+        self.first <= other.last && other.first <= self.last
+    }
+
+    /// `true` if this slice's value interval lies entirely within `other`'s
+    /// (the paper's *cover-slice* relation: `self` is covered by `other`).
+    #[inline]
+    pub fn covered_by(&self, other: &SliceSynopsis) -> bool {
+        other.first <= self.first && self.last <= other.last && self.id != other.id
+    }
+}
+
+/// A slice with its events, as held on the local node (and shipped to the
+/// root when selected as a candidate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    /// Identity of the slice.
+    pub id: SliceId,
+    /// Events of the slice in ascending order.
+    pub events: Vec<Event>,
+}
+
+impl Slice {
+    /// Build the synopsis of this slice.
+    ///
+    /// # Errors
+    /// Returns [`DemaError::EmptyWindow`] for an empty slice (the slicer
+    /// never produces one; this guards direct construction).
+    pub fn synopsis(&self, total_slices: u32) -> Result<SliceSynopsis> {
+        let first = self.events.first().ok_or(DemaError::EmptyWindow)?;
+        let last = self.events.last().expect("non-empty");
+        debug_assert!(crate::event::is_sorted(&self.events));
+        Ok(SliceSynopsis {
+            id: self.id,
+            first: first.value,
+            last: last.value,
+            count: self.events.len() as u64,
+            total_slices,
+        })
+    }
+
+    /// Verify delivered candidate events against the synopsis the root holds.
+    ///
+    /// Used by the root in the calculation step to detect corruption or
+    /// truncation in transit.
+    pub fn verify_against(&self, syn: &SliceSynopsis) -> Result<()> {
+        if self.id != syn.id {
+            return Err(DemaError::CorruptCandidate(format!(
+                "slice id mismatch: got {}, expected {}",
+                self.id, syn.id
+            )));
+        }
+        if self.events.len() as u64 != syn.count {
+            return Err(DemaError::CorruptCandidate(format!(
+                "slice {}: {} events delivered, synopsis says {}",
+                self.id,
+                self.events.len(),
+                syn.count
+            )));
+        }
+        let first = self.events.first().expect("count >= 1 checked");
+        let last = self.events.last().expect("count >= 1 checked");
+        if first.value != syn.first || last.value != syn.last {
+            return Err(DemaError::CorruptCandidate(format!(
+                "slice {}: endpoints [{}, {}] disagree with synopsis [{}, {}]",
+                self.id, first.value, last.value, syn.first, syn.last
+            )));
+        }
+        if !crate::event::is_sorted(&self.events) {
+            return Err(DemaError::CorruptCandidate(format!(
+                "slice {}: events not sorted",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Cut a sorted event run into slices of `gamma` events.
+///
+/// The final slice may be smaller. If it would contain a single event it is
+/// folded into the previous slice (the paper requires every slice to contain
+/// at least two events, since a synopsis needs two endpoints); a window with
+/// exactly one event yields one single-event slice as a degenerate case.
+///
+/// # Errors
+/// * [`DemaError::InvalidGamma`] if `gamma < 2`.
+///
+/// # Panics
+/// Debug-asserts that `events` is sorted.
+pub fn cut_into_slices(
+    node: NodeId,
+    window: WindowId,
+    events: Vec<Event>,
+    gamma: u64,
+) -> Result<Vec<Slice>> {
+    if gamma < 2 {
+        return Err(DemaError::InvalidGamma(gamma));
+    }
+    debug_assert!(crate::event::is_sorted(&events));
+    if events.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = events.len() as u64;
+    let mut bounds: Vec<usize> = (0..n).step_by(gamma as usize).map(|b| b as usize).collect();
+    bounds.push(events.len());
+    // Fold a trailing single-event slice into its predecessor.
+    if bounds.len() >= 3 && bounds[bounds.len() - 1] - bounds[bounds.len() - 2] == 1 {
+        let last = bounds.len() - 2;
+        bounds.remove(last);
+    }
+
+    let mut slices = Vec::with_capacity(bounds.len() - 1);
+    let mut rest = events;
+    // Split back-to-front so each split is O(len of tail), total O(n).
+    for (index, pair) in bounds.windows(2).enumerate().rev() {
+        let tail = rest.split_off(pair[0]);
+        slices.push(Slice {
+            id: SliceId { node, window, index: index as u32 },
+            events: tail,
+        });
+    }
+    slices.reverse();
+    Ok(slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(v: i64) -> Event {
+        Event::new(v, 0, v as u64)
+    }
+
+    fn sorted_events(n: i64) -> Vec<Event> {
+        (0..n).map(ev).collect()
+    }
+
+    fn sid(index: u32) -> SliceId {
+        SliceId { node: NodeId(1), window: WindowId(0), index }
+    }
+
+    #[test]
+    fn cut_exact_multiple() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].events.len(), 5);
+        assert_eq!(slices[1].events.len(), 5);
+        assert_eq!(slices[0].id, sid(0));
+        assert_eq!(slices[1].id, sid(1));
+    }
+
+    #[test]
+    fn cut_with_smaller_tail() {
+        // Paper's example: l_a = 1000, γ = 150 → 7 slices, last holds 100.
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(1000), 150).unwrap();
+        assert_eq!(slices.len(), 7);
+        assert!(slices[..6].iter().all(|s| s.events.len() == 150));
+        assert_eq!(slices[6].events.len(), 100);
+    }
+
+    #[test]
+    fn single_trailing_event_is_folded_into_previous_slice() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(11), 5).unwrap();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].events.len(), 5);
+        assert_eq!(slices[1].events.len(), 6);
+    }
+
+    #[test]
+    fn slices_partition_the_window_in_order() {
+        let events = sorted_events(37);
+        let slices = cut_into_slices(NodeId(2), WindowId(3), events.clone(), 7).unwrap();
+        let rejoined: Vec<Event> = slices.iter().flat_map(|s| s.events.iter().copied()).collect();
+        assert_eq!(rejoined, events);
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.id.index as usize, i);
+            assert_eq!(s.id.node, NodeId(2));
+            assert_eq!(s.id.window, WindowId(3));
+        }
+    }
+
+    #[test]
+    fn empty_window_yields_no_slices() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), Vec::new(), 10).unwrap();
+        assert!(slices.is_empty());
+    }
+
+    #[test]
+    fn one_event_window_yields_degenerate_slice() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(1), 10).unwrap();
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].events.len(), 1);
+        let syn = slices[0].synopsis(1).unwrap();
+        assert_eq!(syn.first, syn.last);
+    }
+
+    #[test]
+    fn gamma_below_two_rejected() {
+        assert_eq!(
+            cut_into_slices(NodeId(1), WindowId(0), sorted_events(5), 1),
+            Err(DemaError::InvalidGamma(1))
+        );
+        assert_eq!(
+            cut_into_slices(NodeId(1), WindowId(0), sorted_events(5), 0),
+            Err(DemaError::InvalidGamma(0))
+        );
+    }
+
+    #[test]
+    fn synopsis_reports_endpoints_and_count() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
+        let syn = slices[1].synopsis(2).unwrap();
+        assert_eq!(syn.first, 5);
+        assert_eq!(syn.last, 9);
+        assert_eq!(syn.count, 5);
+        assert_eq!(syn.total_slices, 2);
+        assert_eq!(syn.id, sid(1));
+    }
+
+    #[test]
+    fn overlap_relation() {
+        let mk = |index, first, last| SliceSynopsis {
+            id: sid(index),
+            first,
+            last,
+            count: 2,
+            total_slices: 3,
+        };
+        let a = mk(0, 0, 10);
+        let b = mk(1, 10, 20); // touching endpoint counts as overlap
+        let c = mk(2, 11, 20);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn cover_relation() {
+        let mk = |index, first, last| SliceSynopsis {
+            id: sid(index),
+            first,
+            last,
+            count: 2,
+            total_slices: 3,
+        };
+        let big = mk(0, 0, 100);
+        let inner = mk(1, 10, 20);
+        let partial = mk(2, 50, 150);
+        assert!(inner.covered_by(&big));
+        assert!(!big.covered_by(&inner));
+        assert!(!partial.covered_by(&big));
+        // A slice does not cover itself.
+        assert!(!big.covered_by(&big));
+    }
+
+    #[test]
+    fn verify_detects_count_mismatch() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
+        let syn = slices[0].synopsis(2).unwrap();
+        let mut tampered = slices[0].clone();
+        tampered.events.pop();
+        assert!(matches!(tampered.verify_against(&syn), Err(DemaError::CorruptCandidate(_))));
+    }
+
+    #[test]
+    fn verify_detects_endpoint_mismatch() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
+        let syn = slices[0].synopsis(2).unwrap();
+        let mut tampered = slices[0].clone();
+        tampered.events[0].value = -99;
+        assert!(matches!(tampered.verify_against(&syn), Err(DemaError::CorruptCandidate(_))));
+    }
+
+    #[test]
+    fn verify_accepts_faithful_delivery() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
+        let syn = slices[1].synopsis(2).unwrap();
+        assert!(slices[1].verify_against(&syn).is_ok());
+    }
+
+    #[test]
+    fn verify_detects_id_mismatch() {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
+        let syn = slices[0].synopsis(2).unwrap();
+        assert!(matches!(slices[1].verify_against(&syn), Err(DemaError::CorruptCandidate(_))));
+    }
+}

@@ -1,0 +1,344 @@
+//! Sliding-window Dema: the paper's protocol composed with pane-based
+//! stream slicing.
+//!
+//! The paper evaluates time-based *tumbling* windows. Sliding windows
+//! (length `len`, slide `s`, `s | len`) follow naturally by cutting each
+//! node's stream into non-overlapping **panes** of `s` ms: a sliding window
+//! is the concatenation of `len/s` consecutive panes. Each pane is sorted
+//! and γ-sliced *once* when it closes; every window that spans the pane
+//! reuses its synopses — the identification step pays per *pane*, not per
+//! window, exactly the sharing trick Scotty plays for decomposable
+//! aggregates, now applied to Dema's synopses.
+//!
+//! Two further consequences fall out for free:
+//!
+//! * the rank-interval selector never assumed slices of one node are
+//!   disjoint in value, so synopses of different panes may overlap
+//!   arbitrarily — candidate selection and exactness carry over unchanged;
+//! * the root can *cache* fetched candidate slices while their pane is
+//!   alive: overlapping windows that select the same slice ship it once
+//!   ([`SlidingStats::candidate_events_saved`] counts the savings).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::error::{DemaError, Result};
+use crate::event::{Event, NodeId, WindowId};
+use crate::merge::select_kth;
+use crate::quantile::Quantile;
+use crate::selector::{select, SelectionStrategy};
+use crate::slice::{cut_into_slices, Slice, SliceId, SliceSynopsis};
+
+/// Configuration of a sliding-window Dema evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingConfig {
+    /// Window length in ms.
+    pub window_len: u64,
+    /// Slide (pane length) in ms; must divide `window_len`.
+    pub slide: u64,
+    /// Slice factor γ.
+    pub gamma: u64,
+    /// Quantile to compute per window.
+    pub quantile: Quantile,
+    /// Candidate selector.
+    pub strategy: SelectionStrategy,
+}
+
+/// Result of one sliding window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlidingWindowResult {
+    /// Inclusive start of the window (ms).
+    pub start: u64,
+    /// Exclusive end (ms).
+    pub end: u64,
+    /// Exact quantile value, `None` if the window was empty.
+    pub value: Option<i64>,
+    /// Events in the window.
+    pub total_events: u64,
+}
+
+/// Traffic accounting across the whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlidingStats {
+    /// Synopses shipped (once per pane slice, shared across windows).
+    pub synopses_sent: u64,
+    /// Candidate events actually shipped.
+    pub candidate_events_sent: u64,
+    /// Candidate events *not* re-shipped thanks to the root's pane cache.
+    pub candidate_events_saved: u64,
+    /// Total events ingested.
+    pub total_events: u64,
+    /// Windows evaluated.
+    pub windows: u64,
+}
+
+/// Evaluate exact quantiles over sliding windows for events distributed
+/// across local nodes (single-process reference implementation).
+///
+/// `nodes[i]` holds node `i`'s events (any order); windows are derived from
+/// event time. Only *complete* windows — those whose entire span lies within
+/// the observed time range of the input — are reported.
+///
+/// # Errors
+/// * [`DemaError::InvalidGamma`] for `gamma < 2`;
+/// * [`DemaError::InvalidQuantile`] if `slide` is 0, doesn't divide
+///   `window_len`, or no events exist.
+pub fn sliding_quantiles(
+    nodes: &[Vec<Event>],
+    config: SlidingConfig,
+) -> Result<(Vec<SlidingWindowResult>, SlidingStats)> {
+    if config.slide == 0 || !config.window_len.is_multiple_of(config.slide) {
+        return Err(DemaError::InvalidQuantile(format!(
+            "slide {} must divide window length {}",
+            config.slide, config.window_len
+        )));
+    }
+    let panes_per_window = config.window_len / config.slide;
+    let total_events: u64 = nodes.iter().map(|n| n.len() as u64).sum();
+    if total_events == 0 {
+        return Err(DemaError::EmptyWindow);
+    }
+
+    // 1. Cut every node's stream into sorted, γ-sliced panes.
+    //    SliceId.window encodes the pane index.
+    let mut pane_slices: HashMap<SliceId, Slice> = HashMap::new();
+    let mut pane_synopses: BTreeMap<u64, Vec<SliceSynopsis>> = BTreeMap::new();
+    let mut stats = SlidingStats { total_events, ..Default::default() };
+    let mut min_ts = u64::MAX;
+    let mut max_ts = 0u64;
+    for (n, events) in nodes.iter().enumerate() {
+        let mut by_pane: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+        for e in events {
+            min_ts = min_ts.min(e.ts);
+            max_ts = max_ts.max(e.ts);
+            by_pane.entry(e.ts / config.slide).or_default().push(*e);
+        }
+        for (pane, mut pane_events) in by_pane {
+            pane_events.sort_unstable();
+            let slices =
+                cut_into_slices(NodeId(n as u32), WindowId(pane), pane_events, config.gamma)?;
+            let total = slices.len() as u32;
+            let entry = pane_synopses.entry(pane).or_default();
+            for s in slices {
+                entry.push(s.synopsis(total)?);
+                stats.synopses_sent += 1;
+                pane_slices.insert(s.id, s);
+            }
+        }
+    }
+
+    // 2. Evaluate every complete window over the shared pane synopses.
+    let first_window = min_ts / config.slide;
+    let last_pane = max_ts / config.slide;
+    let mut results = Vec::new();
+    // Root-side cache: slices fetched for earlier overlapping windows.
+    let mut fetched: HashSet<SliceId> = HashSet::new();
+    let mut window_start_pane = first_window;
+    while window_start_pane + panes_per_window <= last_pane + 1 {
+        let pane_range = window_start_pane..window_start_pane + panes_per_window;
+        let synopses: Vec<SliceSynopsis> = pane_range
+            .clone()
+            .flat_map(|p| pane_synopses.get(&p).cloned().unwrap_or_default())
+            .collect();
+        let window_total: u64 = synopses.iter().map(|s| s.count).sum();
+        let start = window_start_pane * config.slide;
+        let end = start + config.window_len;
+        if window_total == 0 {
+            results.push(SlidingWindowResult { start, end, value: None, total_events: 0 });
+        } else {
+            let k = config.quantile.pos(window_total)?;
+            let selection = select(&synopses, k, config.strategy)?;
+            let runs: Vec<Vec<Event>> = selection
+                .candidates
+                .iter()
+                .map(|id| {
+                    let slice = pane_slices
+                        .get(id)
+                        .ok_or(DemaError::MissingCandidate { slice: id.to_string() })?;
+                    if fetched.insert(*id) {
+                        stats.candidate_events_sent += slice.events.len() as u64;
+                    } else {
+                        stats.candidate_events_saved += slice.events.len() as u64;
+                    }
+                    Ok(slice.events.clone())
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let event = select_kth(&runs, selection.rank_within_candidates())?;
+            results.push(SlidingWindowResult {
+                start,
+                end,
+                value: Some(event.value),
+                total_events: window_total,
+            });
+        }
+        // Evict cache entries for panes that slid out of every open window.
+        window_start_pane += 1;
+        let horizon = window_start_pane;
+        fetched.retain(|id| id.window.0 >= horizon);
+        stats.windows += 1;
+    }
+    Ok((results, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window_len: u64, slide: u64, gamma: u64) -> SlidingConfig {
+        SlidingConfig {
+            window_len,
+            slide,
+            gamma,
+            quantile: Quantile::MEDIAN,
+            strategy: SelectionStrategy::WindowCut,
+        }
+    }
+
+    /// Brute-force ground truth over sliding windows.
+    fn ground_truth(
+        nodes: &[Vec<Event>],
+        window_len: u64,
+        slide: u64,
+        q: Quantile,
+    ) -> Vec<Option<i64>> {
+        let all: Vec<Event> = nodes.iter().flatten().copied().collect();
+        let min_ts = all.iter().map(|e| e.ts).min().unwrap();
+        let max_ts = all.iter().map(|e| e.ts).max().unwrap();
+        let first = min_ts / slide;
+        let last_pane = max_ts / slide;
+        let panes_per_window = window_len / slide;
+        let mut out = Vec::new();
+        let mut w = first;
+        while w + panes_per_window <= last_pane + 1 {
+            let start = w * slide;
+            let end = start + window_len;
+            let mut in_window: Vec<Event> =
+                all.iter().filter(|e| e.ts >= start && e.ts < end).copied().collect();
+            if in_window.is_empty() {
+                out.push(None);
+            } else {
+                in_window.sort_unstable();
+                let k = q.pos(in_window.len() as u64).unwrap();
+                out.push(Some(in_window[(k - 1) as usize].value));
+            }
+            w += 1;
+        }
+        out
+    }
+
+    fn stream(node: u64, n: u64, rate: u64) -> Vec<Event> {
+        // Deterministic pseudo-random values, timestamps at `rate`/s.
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    ((i * 7919 + node * 104729) % 10_000) as i64,
+                    i * 1000 / rate,
+                    node * 1_000_000 + i,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sliding_matches_ground_truth() {
+        let nodes = vec![stream(0, 4000, 1000), stream(1, 4000, 1000)];
+        let (results, stats) = sliding_quantiles(&nodes, cfg(1000, 250, 64)).unwrap();
+        let expect = ground_truth(&nodes, 1000, 250, Quantile::MEDIAN);
+        let got: Vec<Option<i64>> = results.iter().map(|r| r.value).collect();
+        assert_eq!(got, expect);
+        assert_eq!(stats.windows as usize, results.len());
+        assert!(results.len() > 10);
+    }
+
+    #[test]
+    fn tumbling_is_the_special_case_slide_equals_len() {
+        let nodes = vec![stream(0, 3000, 1000), stream(1, 3000, 1000)];
+        let (results, _) = sliding_quantiles(&nodes, cfg(1000, 1000, 64)).unwrap();
+        let expect = ground_truth(&nodes, 1000, 1000, Quantile::MEDIAN);
+        let got: Vec<Option<i64>> = results.iter().map(|r| r.value).collect();
+        assert_eq!(got, expect);
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn synopses_are_shared_across_overlapping_windows() {
+        let nodes = vec![stream(0, 8000, 1000)];
+        // len/slide = 8 overlapping windows per pane.
+        let (_, sliding_stats) = sliding_quantiles(&nodes, cfg(2000, 250, 64)).unwrap();
+        // Tumbling over the same panes (no sharing possible): same synopsis
+        // count — panes are sliced exactly once either way.
+        let (_, tumbling_stats) = sliding_quantiles(&nodes, cfg(250, 250, 64)).unwrap();
+        assert_eq!(sliding_stats.synopses_sent, tumbling_stats.synopses_sent);
+    }
+
+    #[test]
+    fn root_cache_avoids_refetching_candidates() {
+        // Smooth values: consecutive windows select mostly the same slices.
+        let nodes = vec![stream(0, 6000, 1000), stream(1, 6000, 1000)];
+        let (_, stats) = sliding_quantiles(&nodes, cfg(2000, 500, 128)).unwrap();
+        assert!(
+            stats.candidate_events_saved > 0,
+            "overlapping windows should reuse fetched slices: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn different_quantiles() {
+        let nodes = vec![stream(0, 3000, 1000), stream(1, 2000, 700)];
+        for q in [0.25, 0.5, 0.9] {
+            let q = Quantile::new(q).unwrap();
+            let mut c = cfg(1000, 500, 32);
+            c.quantile = q;
+            let (results, _) = sliding_quantiles(&nodes, c).unwrap();
+            let expect = ground_truth(&nodes, 1000, 500, q);
+            let got: Vec<Option<i64>> = results.iter().map(|r| r.value).collect();
+            assert_eq!(got, expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn misaligned_slide_rejected() {
+        let nodes = vec![stream(0, 100, 100)];
+        assert!(matches!(
+            sliding_quantiles(&nodes, cfg(1000, 300, 32)),
+            Err(DemaError::InvalidQuantile(_))
+        ));
+        assert!(matches!(
+            sliding_quantiles(&nodes, cfg(1000, 0, 32)),
+            Err(DemaError::InvalidQuantile(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            sliding_quantiles(&[vec![], vec![]], cfg(1000, 500, 32)),
+            Err(DemaError::EmptyWindow)
+        ));
+    }
+
+    #[test]
+    fn gap_in_stream_yields_empty_windows() {
+        // Events only in the first and last second of a 5-second range.
+        let mut events = stream(0, 1000, 1000);
+        events.extend(stream(0, 1000, 1000).into_iter().map(|mut e| {
+            e.ts += 4000;
+            e.id += 50_000;
+            e
+        }));
+        let (results, _) = sliding_quantiles(&[events], cfg(1000, 1000, 32)).unwrap();
+        assert_eq!(results.len(), 5);
+        assert!(results[0].value.is_some());
+        assert!(results[1].value.is_none());
+        assert!(results[4].value.is_some());
+    }
+
+    #[test]
+    fn window_spans_are_correct() {
+        let nodes = vec![stream(0, 2000, 1000)];
+        let (results, _) = sliding_quantiles(&nodes, cfg(1000, 500, 32)).unwrap();
+        assert_eq!(results[0].start, 0);
+        assert_eq!(results[0].end, 1000);
+        assert_eq!(results[1].start, 500);
+        assert_eq!(results[1].end, 1500);
+    }
+}

@@ -1,0 +1,333 @@
+//! Property-based tests for the Dema core: exactness of the full protocol
+//! against a global sort, soundness of rank intervals, slicing partition
+//! invariants, and optimality of the γ cost model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dema_core::coordinator::{exact_quantile_decentralized, quantile_ground_truth};
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::gamma::{cost, optimal_gamma};
+use dema_core::merge::{merge_runs, select_kth};
+use dema_core::quantile::Quantile;
+use dema_core::rank::rank_intervals;
+use dema_core::selector::SelectionStrategy;
+use dema_core::slice::cut_into_slices;
+
+/// A cluster of local nodes with arbitrary (possibly duplicate-heavy,
+/// possibly adversarially overlapping) event values.
+fn arb_nodes() -> impl Strategy<Value = Vec<Vec<Event>>> {
+    // Narrow value range forces duplicates and overlap; scale factor per
+    // node mimics the paper's scale-rate experiments.
+    vec((vec(-50i64..50, 0..120), 1i64..=10), 1..6).prop_map(|nodes| {
+        nodes
+            .into_iter()
+            .enumerate()
+            .map(|(n, (vals, scale))| {
+                vals.into_iter()
+                    .enumerate()
+                    .map(|(i, v)| Event::new(v * scale, i as u64, (n * 1_000_000 + i) as u64))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline invariant: all three selection strategies produce the
+    /// exact quantile value for any input, any γ, any q.
+    #[test]
+    fn protocol_is_exact(
+        nodes in arb_nodes(),
+        gamma in 2u64..40,
+        q in 0.01f64..=1.0,
+    ) {
+        let total: usize = nodes.iter().map(Vec::len).sum();
+        prop_assume!(total > 0);
+        let q = Quantile::new(q).unwrap();
+        let truth = quantile_ground_truth(&nodes, q).unwrap();
+        for strat in [
+            SelectionStrategy::WindowCut,
+            SelectionStrategy::ClassifiedScan,
+            SelectionStrategy::NoCut,
+        ] {
+            let run = exact_quantile_decentralized(&nodes, q, gamma, strat).unwrap();
+            prop_assert_eq!(run.result, truth.value, "strategy {:?}", strat);
+            prop_assert_eq!(run.stats.total_events, total as u64);
+        }
+    }
+
+    /// Candidate traffic never exceeds shipping everything, and the
+    /// selection's bookkeeping is internally consistent.
+    #[test]
+    fn traffic_bounded_by_centralized(
+        nodes in arb_nodes(),
+        gamma in 2u64..40,
+    ) {
+        let total: usize = nodes.iter().map(Vec::len).sum();
+        prop_assume!(total > 0);
+        let run = exact_quantile_decentralized(
+            &nodes, Quantile::MEDIAN, gamma, SelectionStrategy::WindowCut).unwrap();
+        prop_assert!(run.stats.candidate_events_sent <= total as u64);
+        prop_assert!(run.selection.rank_within_candidates() >= 1);
+        prop_assert!(run.selection.rank_within_candidates() <= run.stats.candidate_events_sent);
+    }
+
+    /// WindowCut candidates are a subset of ClassifiedScan candidates,
+    /// which are a subset of NoCut's overlap group... all of which contain
+    /// the target. (Superset relations define the pruning hierarchy.)
+    #[test]
+    fn strategy_pruning_hierarchy(
+        nodes in arb_nodes(),
+        gamma in 2u64..40,
+    ) {
+        let total: usize = nodes.iter().map(Vec::len).sum();
+        prop_assume!(total > 0);
+        let runs: Vec<_> = [
+            SelectionStrategy::WindowCut,
+            SelectionStrategy::ClassifiedScan,
+            SelectionStrategy::NoCut,
+        ]
+        .iter()
+        .map(|&s| exact_quantile_decentralized(&nodes, Quantile::MEDIAN, gamma, s).unwrap())
+        .collect();
+        for c in &runs[0].selection.candidates {
+            prop_assert!(runs[1].selection.candidates.contains(c),
+                "WindowCut candidate {} missing from ClassifiedScan", c);
+        }
+        for c in &runs[1].selection.candidates {
+            prop_assert!(runs[2].selection.candidates.contains(c),
+                "ClassifiedScan candidate {} missing from NoCut", c);
+        }
+    }
+
+    /// Rank intervals are sound: the true ranks of every slice's events lie
+    /// within the computed interval for the actual arrangement.
+    #[test]
+    fn rank_intervals_sound(nodes in arb_nodes(), gamma in 2u64..20) {
+        let total: usize = nodes.iter().map(Vec::len).sum();
+        prop_assume!(total > 0);
+        let mut synopses = Vec::new();
+        let mut tagged: Vec<(usize, Event)> = Vec::new();
+        for (n, events) in nodes.iter().enumerate() {
+            let mut sorted = events.clone();
+            sorted.sort_unstable();
+            let slices =
+                cut_into_slices(NodeId(n as u32), WindowId(0), sorted, gamma).unwrap();
+            for s in slices {
+                let syn = s.synopsis(0).unwrap();
+                synopses.push(syn);
+                for e in &s.events {
+                    tagged.push((synopses.len() - 1, *e));
+                }
+            }
+        }
+        tagged.sort_by_key(|&(_, e)| e);
+        let intervals = rank_intervals(&synopses);
+        for (rank0, &(idx, _)) in tagged.iter().enumerate() {
+            let rank = rank0 as u64 + 1;
+            prop_assert!(intervals[idx].min_start <= rank && rank <= intervals[idx].max_end,
+                "rank {} outside {:?}", rank, intervals[idx]);
+        }
+    }
+
+    /// Slicing partitions the sorted input: concatenating slices
+    /// reconstructs it, every slice except a degenerate singleton window has
+    /// >= 2 events, and no slice exceeds γ + 1.
+    #[test]
+    fn slicing_partition_invariants(
+        mut vals in vec(-1000i64..1000, 0..500),
+        gamma in 2u64..64,
+    ) {
+        vals.sort_unstable();
+        let events: Vec<Event> =
+            vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect();
+        let slices = cut_into_slices(NodeId(0), WindowId(0), events.clone(), gamma).unwrap();
+        let rejoined: Vec<Event> =
+            slices.iter().flat_map(|s| s.events.iter().copied()).collect();
+        prop_assert_eq!(rejoined, events.clone());
+        if events.len() >= 2 {
+            prop_assert!(slices.iter().all(|s| s.events.len() >= 2));
+        }
+        prop_assert!(slices.iter().all(|s| s.events.len() as u64 <= gamma + 1));
+        for (i, s) in slices.iter().enumerate() {
+            prop_assert_eq!(s.id.index as usize, i);
+        }
+    }
+
+    /// `optimal_gamma` is the argmin of the discrete cost function.
+    #[test]
+    fn gamma_is_argmin(l_g in 1u64..5_000, m in 1u64..50) {
+        let g = optimal_gamma(l_g, m);
+        let c = cost(l_g, m, g);
+        for cand in 2..=l_g.max(2) {
+            prop_assert!(c <= cost(l_g, m, cand) + 1e-9,
+                "γ={} cost {} beats chosen γ={} cost {}", cand, cost(l_g, m, cand), g, c);
+        }
+    }
+
+    /// k-way merge equals a global sort, and `select_kth` agrees with the
+    /// materialized merge at every position.
+    #[test]
+    fn merge_matches_sort(runs_raw in vec(vec(-100i64..100, 0..60), 0..8)) {
+        let runs: Vec<Vec<Event>> = runs_raw
+            .into_iter()
+            .enumerate()
+            .map(|(n, mut vals)| {
+                vals.sort_unstable();
+                vals.into_iter()
+                    .enumerate()
+                    .map(|(i, v)| Event::new(v, i as u64, (n * 10_000 + i) as u64))
+                    .collect()
+            })
+            .collect();
+        let merged = merge_runs(&runs);
+        let mut expected: Vec<Event> = runs.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(&merged, &expected);
+        let total = merged.len() as u64;
+        if total > 0 {
+            for k in [1, total / 2 + 1, total] {
+                prop_assert_eq!(select_kth(&runs, k).unwrap(), merged[(k - 1) as usize]);
+            }
+        }
+    }
+
+    /// Quantile positions are monotone in q and within range.
+    #[test]
+    fn quantile_pos_monotone(total in 1u64..100_000) {
+        let mut last = 0u64;
+        for q in [0.001, 0.1, 0.25, 0.3, 0.5, 0.75, 0.9, 0.999, 1.0] {
+            let pos = Quantile::new(q).unwrap().pos(total).unwrap();
+            prop_assert!(pos >= 1 && pos <= total);
+            prop_assert!(pos >= last);
+            last = pos;
+        }
+        prop_assert_eq!(last, total); // q = 1.0 hits the maximum
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Classification invariants: overlap groups partition the slices, are
+    /// disjoint and ordered in value, their rank spans tile `1..=l_G`, and
+    /// every cover-slice's interval lies within its coverer's.
+    #[test]
+    fn classification_invariants(nodes in arb_nodes(), gamma in 2u64..20) {
+        use dema_core::classify::{classify, SliceKind};
+        let total: usize = nodes.iter().map(Vec::len).sum();
+        prop_assume!(total > 0);
+        let mut synopses = Vec::new();
+        for (n, events) in nodes.iter().enumerate() {
+            let mut sorted = events.clone();
+            sorted.sort_unstable();
+            let slices = cut_into_slices(NodeId(n as u32), WindowId(0), sorted, gamma).unwrap();
+            let t = slices.len() as u32;
+            synopses.extend(slices.iter().map(|s| s.synopsis(t).unwrap()));
+        }
+        let c = classify(&synopses);
+        // Partition: every slice in exactly one group.
+        let mut seen = vec![0u32; synopses.len()];
+        for g in &c.groups {
+            for &m in &g.members {
+                seen[m] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x == 1));
+        // Groups disjoint and ordered in value; rank spans tile the window.
+        let mut expected_start = 1u64;
+        for (i, g) in c.groups.iter().enumerate() {
+            prop_assert!(g.first <= g.last);
+            prop_assert_eq!(g.start_rank, expected_start, "group {}", i);
+            prop_assert_eq!(g.end_rank - g.start_rank + 1, g.count);
+            expected_start = g.end_rank + 1;
+            if i + 1 < c.groups.len() {
+                prop_assert!(g.last < c.groups[i + 1].first, "groups must not overlap");
+            }
+            // Group bounds cover every member interval.
+            for &m in &g.members {
+                prop_assert!(g.first <= synopses[m].first && synopses[m].last <= g.last);
+            }
+        }
+        prop_assert_eq!(expected_start - 1, synopses.iter().map(|s| s.count).sum::<u64>());
+        // Cover-slices lie inside their coverer; singleton groups are Separate.
+        for (i, kind) in c.kinds.iter().enumerate() {
+            match *kind {
+                SliceKind::Cover { coverer } => {
+                    prop_assert!(synopses[coverer].first <= synopses[i].first);
+                    prop_assert!(synopses[i].last <= synopses[coverer].last);
+                    prop_assert_eq!(c.group_of[i], c.group_of[coverer]);
+                }
+                SliceKind::Separate => {
+                    prop_assert_eq!(c.groups[c.group_of[i]].members.len(), 1);
+                }
+                SliceKind::Compound => {
+                    prop_assert!(c.groups[c.group_of[i]].members.len() > 1);
+                }
+            }
+        }
+    }
+
+    /// Sliding-window Dema matches a brute-force per-window sort for random
+    /// streams and geometries.
+    #[test]
+    fn sliding_matches_bruteforce(
+        raw in proptest::collection::vec((-100i64..100, 0u64..6000), 1..400),
+        panes_per_window in 1u64..5,
+        slide in 250u64..1000,
+        gamma in 2u64..32,
+    ) {
+        use dema_core::sliding::{sliding_quantiles, SlidingConfig};
+        let events: Vec<Event> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(v, ts))| Event::new(v, ts, i as u64))
+            .collect();
+        let window_len = slide * panes_per_window;
+        let config = SlidingConfig {
+            window_len,
+            slide,
+            gamma,
+            quantile: Quantile::MEDIAN,
+            strategy: SelectionStrategy::WindowCut,
+        };
+        let (results, stats) = sliding_quantiles(&[events.clone()], config).unwrap();
+        // Brute force every reported window.
+        for r in &results {
+            let mut in_window: Vec<Event> =
+                events.iter().filter(|e| e.ts >= r.start && e.ts < r.end).copied().collect();
+            if in_window.is_empty() {
+                prop_assert_eq!(r.value, None);
+            } else {
+                in_window.sort_unstable();
+                let k = Quantile::MEDIAN.pos(in_window.len() as u64).unwrap();
+                prop_assert_eq!(r.value, Some(in_window[(k - 1) as usize].value));
+            }
+        }
+        prop_assert_eq!(stats.windows as usize, results.len());
+    }
+
+    /// Multi-quantile selection agrees with per-rank single selection for
+    /// every rank in the batch.
+    #[test]
+    fn multi_selection_agrees_with_singles(nodes in arb_nodes(), gamma in 2u64..24) {
+        use dema_core::multi::multi_quantile_decentralized;
+        let total: usize = nodes.iter().map(Vec::len).sum();
+        prop_assume!(total > 0);
+        let quantiles = [0.2, 0.5, 0.8].map(|q| Quantile::new(q).unwrap());
+        let multi = multi_quantile_decentralized(
+            &nodes,
+            &quantiles,
+            gamma,
+            SelectionStrategy::WindowCut,
+        )
+        .unwrap();
+        for (i, q) in quantiles.iter().enumerate() {
+            let truth = quantile_ground_truth(&nodes, *q).unwrap();
+            prop_assert_eq!(multi[i], truth.value, "q={}", q);
+        }
+    }
+}

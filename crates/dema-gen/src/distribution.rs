@@ -1,0 +1,256 @@
+//! Synthetic value distributions for controlled experiments.
+//!
+//! Each distribution produces `i64` sensor-style values. Normal sampling
+//! uses Box–Muller (no external distribution crate); Zipf uses inverse-CDF
+//! over a precomputed table, adequate for the bounded universes the
+//! experiments use.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// A value model for synthetic event streams.
+#[derive(Debug, Clone)]
+pub enum ValueDistribution {
+    /// Uniform over `[lo, hi]` (inclusive).
+    Uniform {
+        /// Smallest value.
+        lo: i64,
+        /// Largest value.
+        hi: i64,
+    },
+    /// Gaussian with the given mean and standard deviation, rounded.
+    Normal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation (must be > 0).
+        std_dev: f64,
+    },
+    /// Zipf over `{1, …, n}` with exponent `s` — heavy duplication on small
+    /// values, the adversarial case for overlap-based pruning.
+    Zipf {
+        /// Universe size.
+        n: u32,
+        /// Skew exponent (s = 0 ⇒ uniform; larger ⇒ more skew).
+        s: f64,
+    },
+    /// A mixture of tight clusters — models co-located sensors reporting
+    /// near-identical readings.
+    Clustered {
+        /// Cluster centers.
+        centers: Vec<i64>,
+        /// Uniform spread around each center.
+        spread: i64,
+    },
+    /// Bounded random walk — the smooth, drifting shape of real sensor
+    /// streams (what [`crate::soccer`] builds on).
+    RandomWalk {
+        /// Initial value.
+        start: i64,
+        /// Maximum per-step movement.
+        max_step: i64,
+        /// Reflective lower bound.
+        lo: i64,
+        /// Reflective upper bound.
+        hi: i64,
+    },
+}
+
+/// Stateful sampler for one [`ValueDistribution`].
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    dist: ValueDistribution,
+    /// Zipf inverse-CDF table (cumulative weights), lazily built.
+    zipf_cdf: Vec<f64>,
+    /// Random-walk current position.
+    walk: i64,
+    /// Spare Gaussian deviate from Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+impl Sampler {
+    /// Create a sampler; precomputes tables where needed.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters (`lo > hi`, `std_dev <= 0`, `n == 0`,
+    /// empty `centers`, `max_step < 0`).
+    pub fn new(dist: ValueDistribution) -> Sampler {
+        let mut zipf_cdf = Vec::new();
+        let mut walk = 0;
+        match &dist {
+            ValueDistribution::Uniform { lo, hi } => assert!(lo <= hi, "uniform lo > hi"),
+            ValueDistribution::Normal { std_dev, .. } => {
+                assert!(*std_dev > 0.0, "std_dev must be positive")
+            }
+            ValueDistribution::Zipf { n, s } => {
+                assert!(*n > 0, "zipf universe must be non-empty");
+                let mut acc = 0.0;
+                zipf_cdf.reserve(*n as usize);
+                for k in 1..=*n {
+                    acc += 1.0 / (k as f64).powf(*s);
+                    zipf_cdf.push(acc);
+                }
+            }
+            ValueDistribution::Clustered { centers, spread } => {
+                assert!(!centers.is_empty(), "need at least one cluster center");
+                assert!(*spread >= 0, "spread must be non-negative");
+            }
+            ValueDistribution::RandomWalk { start, max_step, lo, hi } => {
+                assert!(lo <= hi, "walk lo > hi");
+                assert!(*max_step >= 0, "max_step must be non-negative");
+                walk = (*start).clamp(*lo, *hi);
+            }
+        }
+        Sampler { dist, zipf_cdf, walk, gauss_spare: None }
+    }
+
+    /// Draw the next value.
+    pub fn sample(&mut self, rng: &mut SmallRng) -> i64 {
+        match &self.dist {
+            ValueDistribution::Uniform { lo, hi } => rng.random_range(*lo..=*hi),
+            ValueDistribution::Normal { mean, std_dev } => {
+                let z = self.gauss_spare.take().unwrap_or_else(|| {
+                    // Box–Muller: two uniforms → two independent normals.
+                    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.random_range(0.0..1.0);
+                    let r = (-2.0 * u1.ln()).sqrt();
+                    let theta = 2.0 * std::f64::consts::PI * u2;
+                    self.gauss_spare = Some(r * theta.sin());
+                    r * theta.cos()
+                });
+                (mean + std_dev * z).round() as i64
+            }
+            ValueDistribution::Zipf { .. } => {
+                let total = *self.zipf_cdf.last().expect("table built in new()");
+                let u: f64 = rng.random_range(0.0..total);
+                let idx = self.zipf_cdf.partition_point(|&c| c < u);
+                idx as i64 + 1
+            }
+            ValueDistribution::Clustered { centers, spread } => {
+                let c = centers[rng.random_range(0..centers.len())];
+                if *spread == 0 {
+                    c
+                } else {
+                    c + rng.random_range(-*spread..=*spread)
+                }
+            }
+            ValueDistribution::RandomWalk { max_step, lo, hi, .. } => {
+                let step = if *max_step == 0 { 0 } else { rng.random_range(-*max_step..=*max_step) };
+                let mut next = self.walk.saturating_add(step);
+                // Reflect at the bounds so the walk doesn't stick to edges.
+                if next > *hi {
+                    next = *hi - (next - *hi);
+                }
+                if next < *lo {
+                    next = *lo + (*lo - next);
+                }
+                self.walk = next.clamp(*lo, *hi);
+                self.walk
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    fn draw(dist: ValueDistribution, n: usize, seed: u64) -> Vec<i64> {
+        let mut s = Sampler::new(dist);
+        let mut r = rng(seed);
+        (0..n).map(|_| s.sample(&mut r)).collect()
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_covers_range() {
+        let vals = draw(ValueDistribution::Uniform { lo: -10, hi: 10 }, 5000, 1);
+        assert!(vals.iter().all(|&v| (-10..=10).contains(&v)));
+        assert!(vals.contains(&-10));
+        assert!(vals.contains(&10));
+    }
+
+    #[test]
+    fn uniform_single_point() {
+        let vals = draw(ValueDistribution::Uniform { lo: 7, hi: 7 }, 100, 2);
+        assert!(vals.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let vals = draw(ValueDistribution::Normal { mean: 1000.0, std_dev: 50.0 }, 20_000, 3);
+        let mean = vals.iter().sum::<i64>() as f64 / vals.len() as f64;
+        assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");
+        let var = vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!((var.sqrt() - 50.0).abs() < 5.0, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_is_skewed_towards_small_values() {
+        let vals = draw(ValueDistribution::Zipf { n: 1000, s: 1.2 }, 20_000, 4);
+        assert!(vals.iter().all(|&v| (1..=1000).contains(&v)));
+        let ones = vals.iter().filter(|&&v| v == 1).count();
+        let hundreds = vals.iter().filter(|&&v| v >= 100).count();
+        assert!(ones > vals.len() / 20, "zipf head too light: {ones}");
+        assert!(ones > hundreds / 4, "head {ones} vs tail {hundreds}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let vals = draw(ValueDistribution::Zipf { n: 10, s: 0.0 }, 50_000, 5);
+        for target in 1..=10i64 {
+            let c = vals.iter().filter(|&&v| v == target).count();
+            assert!((c as f64 / 5000.0 - 1.0).abs() < 0.15, "value {target}: {c}");
+        }
+    }
+
+    #[test]
+    fn clustered_values_near_centers() {
+        let vals =
+            draw(ValueDistribution::Clustered { centers: vec![0, 1000], spread: 5 }, 2000, 6);
+        assert!(vals.iter().all(|&v| v.abs() <= 5 || (v - 1000).abs() <= 5));
+        assert!(vals.iter().any(|&v| v.abs() <= 5));
+        assert!(vals.iter().any(|&v| (v - 1000).abs() <= 5));
+    }
+
+    #[test]
+    fn random_walk_bounded_and_smooth() {
+        let vals = draw(
+            ValueDistribution::RandomWalk { start: 500, max_step: 10, lo: 0, hi: 1000 },
+            10_000,
+            7,
+        );
+        assert!(vals.iter().all(|&v| (0..=1000).contains(&v)));
+        for w in vals.windows(2) {
+            assert!((w[0] - w[1]).abs() <= 20, "jump {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = || ValueDistribution::Normal { mean: 0.0, std_dev: 10.0 };
+        assert_eq!(draw(d(), 100, 42), draw(d(), 100, 42));
+        assert_ne!(draw(d(), 100, 42), draw(d(), 100, 43));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > hi")]
+    fn uniform_bad_bounds_panics() {
+        let _ = Sampler::new(ValueDistribution::Uniform { lo: 5, hi: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev")]
+    fn normal_bad_std_panics() {
+        let _ = Sampler::new(ValueDistribution::Normal { mean: 0.0, std_dev: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn zipf_empty_universe_panics() {
+        let _ = Sampler::new(ValueDistribution::Zipf { n: 0, s: 1.0 });
+    }
+}

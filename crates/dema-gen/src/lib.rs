@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # dema-gen
+//!
+//! Workload generators for the Dema experiments.
+//!
+//! The paper replays the DEBS 2013 Grand Challenge soccer dataset (player
+//! sensor readings) from different positions per local node, with two knobs:
+//!
+//! * **scale rate** — multiplies event values, shifting a node's value
+//!   distribution (identical scale rates ⇒ overlapping local windows, very
+//!   different ones ⇒ disjoint windows);
+//! * **event rate** — events per second, which determines local window
+//!   sizes.
+//!
+//! We do not ship the proprietary dataset; [`soccer::SoccerGenerator`]
+//! reproduces its relevant character — locally smooth, globally drifting
+//! sensor values with occasional bursts — via a seeded random walk over
+//! simulated player sensors, with the same `(id, value, timestamp)` schema
+//! and the same two knobs. For controlled studies,
+//! [`distribution::ValueDistribution`] provides uniform / normal / zipf /
+//! clustered value models behind the same [`stream::EventStream`] interface.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod distribution;
+pub mod profile;
+pub mod soccer;
+pub mod stream;
+pub mod trace;
+
+pub use distribution::ValueDistribution;
+pub use profile::{RateProfile, RateSegment, VariableRateStream};
+pub use soccer::SoccerGenerator;
+pub use stream::{EventStream, StreamConfig};
+pub use trace::{read_trace, write_trace};

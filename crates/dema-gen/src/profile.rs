@@ -1,0 +1,297 @@
+//! Variable-rate streams: event rates that drift, ramp, and burst.
+//!
+//! The adaptive-γ controller (§3.3) exists because "different data streams
+//! have varying event generation rates". [`VariableRateStream`] drives any
+//! value distribution through a piecewise-constant rate profile — ramps,
+//! day/night cycles, bursts — so adaptivity experiments can exercise
+//! realistic rate churn instead of a single step.
+
+use dema_core::event::Event;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::distribution::{Sampler, ValueDistribution};
+
+/// One segment of a rate profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateSegment {
+    /// Segment length in milliseconds (> 0).
+    pub duration_ms: u64,
+    /// Events per second during the segment (> 0).
+    pub events_per_second: u64,
+}
+
+/// A piecewise-constant event-rate profile.
+#[derive(Debug, Clone)]
+pub struct RateProfile {
+    segments: Vec<RateSegment>,
+    /// Repeat the profile indefinitely (day/night cycles) or stop after one
+    /// pass.
+    cyclic: bool,
+}
+
+impl RateProfile {
+    /// A profile from explicit segments.
+    ///
+    /// # Panics
+    /// Panics on empty segments or zero durations/rates.
+    pub fn new(segments: Vec<RateSegment>, cyclic: bool) -> RateProfile {
+        assert!(!segments.is_empty(), "profile needs at least one segment");
+        assert!(
+            segments.iter().all(|s| s.duration_ms > 0 && s.events_per_second > 0),
+            "segments need positive duration and rate"
+        );
+        RateProfile { segments, cyclic }
+    }
+
+    /// A linear ramp from `from` to `to` events/s over `duration_ms`,
+    /// discretized into `steps` segments.
+    pub fn ramp(from: u64, to: u64, duration_ms: u64, steps: u32) -> RateProfile {
+        assert!(steps > 0 && duration_ms >= steps as u64, "degenerate ramp");
+        let segments = (0..steps)
+            .map(|i| {
+                let f = i as f64 / (steps - 1).max(1) as f64;
+                let rate = from as f64 + f * (to as f64 - from as f64);
+                RateSegment {
+                    duration_ms: duration_ms / steps as u64,
+                    events_per_second: (rate.round() as u64).max(1),
+                }
+            })
+            .collect();
+        RateProfile::new(segments, false)
+    }
+
+    /// Total duration of one pass (ms).
+    pub fn period_ms(&self) -> u64 {
+        self.segments.iter().map(|s| s.duration_ms).sum()
+    }
+
+    /// The rate in effect at time `t` (ms from stream start). For
+    /// non-cyclic profiles, times past the end hold the last rate.
+    pub fn rate_at(&self, t: u64) -> u64 {
+        let period = self.period_ms();
+        let t = if self.cyclic {
+            t % period
+        } else if t >= period {
+            return self.segments.last().expect("non-empty").events_per_second;
+        } else {
+            t
+        };
+        let mut acc = 0;
+        for s in &self.segments {
+            acc += s.duration_ms;
+            if t < acc {
+                return s.events_per_second;
+            }
+        }
+        self.segments.last().expect("non-empty").events_per_second
+    }
+}
+
+/// An infinite event stream whose rate follows a [`RateProfile`].
+///
+/// Within each millisecond, `rate/1000` events are emitted (with exact
+/// fractional accounting, so a 1-second window at rate `r` holds exactly
+/// `r` events for rates divisible by the segment granularity).
+#[derive(Debug, Clone)]
+pub struct VariableRateStream {
+    sampler: Sampler,
+    rng: SmallRng,
+    profile: RateProfile,
+    scale_rate: i64,
+    /// Current millisecond of stream time.
+    now_ms: u64,
+    /// Events still owed within the current millisecond.
+    due_this_ms: u64,
+    /// Fractional event debt carried between milliseconds (numerator of
+    /// x/1000).
+    carry: u64,
+    produced: u64,
+}
+
+impl VariableRateStream {
+    /// Create a stream.
+    ///
+    /// # Panics
+    /// Panics if `scale_rate == 0`.
+    pub fn new(
+        dist: ValueDistribution,
+        profile: RateProfile,
+        scale_rate: i64,
+        seed: u64,
+    ) -> VariableRateStream {
+        assert!(scale_rate != 0, "scale rate must be non-zero");
+        VariableRateStream {
+            sampler: Sampler::new(dist),
+            rng: SmallRng::seed_from_u64(seed),
+            profile,
+            scale_rate,
+            now_ms: 0,
+            due_this_ms: 0,
+            carry: 0,
+            produced: 0,
+        }
+    }
+
+    /// The profile driving this stream.
+    pub fn profile(&self) -> &RateProfile {
+        &self.profile
+    }
+
+    /// Produce the next event.
+    pub fn next_event(&mut self) -> Event {
+        // `carry` holds fractional events in thousandths: each millisecond
+        // at `rate` events/s owes `rate` thousandths of an event.
+        while self.due_this_ms == 0 {
+            self.carry += self.profile.rate_at(self.now_ms);
+            self.due_this_ms = self.carry / 1000;
+            self.carry %= 1000;
+            if self.due_this_ms == 0 {
+                // Sub-1/ms rate: this millisecond emits nothing.
+                self.now_ms += 1;
+            }
+        }
+        self.due_this_ms -= 1;
+        let e = Event::new(
+            self.sampler.sample(&mut self.rng).saturating_mul(self.scale_rate),
+            self.now_ms,
+            self.produced,
+        );
+        self.produced += 1;
+        if self.due_this_ms == 0 {
+            self.now_ms += 1;
+        }
+        e
+    }
+
+    /// All events of the next `n` tumbling windows of `window_len` ms,
+    /// grouped per window.
+    pub fn take_windows(&mut self, n: usize, window_len: u64) -> Vec<Vec<Event>> {
+        assert!(window_len > 0, "window length must be positive");
+        let mut out: Vec<Vec<Event>> = vec![Vec::new(); n];
+        if n == 0 {
+            return out;
+        }
+        let first_window = self.now_ms / window_len;
+        let end = (first_window + n as u64) * window_len;
+        loop {
+            if self.now_ms >= end {
+                break;
+            }
+            let e = self.next_event();
+            if e.ts >= end {
+                // Event landed past the range (rate transition edge): the
+                // simplest correct policy is to stop; the event is dropped.
+                break;
+            }
+            let idx = (e.ts / window_len - first_window) as usize;
+            out[idx].push(e);
+        }
+        out
+    }
+}
+
+impl Iterator for VariableRateStream {
+    type Item = Event;
+    fn next(&mut self) -> Option<Event> {
+        Some(self.next_event())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform() -> ValueDistribution {
+        ValueDistribution::Uniform { lo: 0, hi: 1000 }
+    }
+
+    #[test]
+    fn constant_profile_matches_fixed_rate() {
+        let profile =
+            RateProfile::new(vec![RateSegment { duration_ms: 1000, events_per_second: 500 }], true);
+        let mut s = VariableRateStream::new(uniform(), profile, 1, 1);
+        let windows = s.take_windows(4, 1000);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.len(), 500, "window {i}");
+        }
+    }
+
+    #[test]
+    fn step_profile_changes_window_sizes() {
+        let profile = RateProfile::new(
+            vec![
+                RateSegment { duration_ms: 2000, events_per_second: 1000 },
+                RateSegment { duration_ms: 2000, events_per_second: 4000 },
+            ],
+            false,
+        );
+        let mut s = VariableRateStream::new(uniform(), profile, 1, 2);
+        let windows = s.take_windows(5, 1000);
+        assert_eq!(windows[0].len(), 1000);
+        assert_eq!(windows[1].len(), 1000);
+        assert_eq!(windows[2].len(), 4000);
+        assert_eq!(windows[3].len(), 4000);
+        // Non-cyclic: the last rate holds.
+        assert_eq!(windows[4].len(), 4000);
+    }
+
+    #[test]
+    fn cyclic_profile_repeats() {
+        let profile = RateProfile::new(
+            vec![
+                RateSegment { duration_ms: 1000, events_per_second: 100 },
+                RateSegment { duration_ms: 1000, events_per_second: 300 },
+            ],
+            true,
+        );
+        assert_eq!(profile.rate_at(0), 100);
+        assert_eq!(profile.rate_at(1500), 300);
+        assert_eq!(profile.rate_at(2500), 100);
+        assert_eq!(profile.rate_at(3500), 300);
+        let mut s = VariableRateStream::new(uniform(), profile, 1, 3);
+        let windows = s.take_windows(4, 1000);
+        let sizes: Vec<usize> = windows.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![100, 300, 100, 300]);
+    }
+
+    #[test]
+    fn ramp_is_monotone() {
+        let profile = RateProfile::ramp(1000, 9000, 8000, 8);
+        let mut last = 0;
+        for t in (0..8000).step_by(1000) {
+            let r = profile.rate_at(t);
+            assert!(r >= last, "rate dipped at t={t}");
+            last = r;
+        }
+        assert_eq!(profile.rate_at(0), 1000);
+        assert_eq!(profile.rate_at(7999), 9000);
+    }
+
+    #[test]
+    fn timestamps_monotone_and_values_scaled() {
+        let profile = RateProfile::ramp(500, 2000, 4000, 4);
+        let events: Vec<Event> =
+            VariableRateStream::new(uniform(), profile, 7, 4).take(3000).collect();
+        assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(events.iter().all(|e| e.value % 7 == 0));
+        let mut ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), events.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_profile_rejected() {
+        let _ = RateProfile::new(vec![], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_rate_rejected() {
+        let _ = RateProfile::new(
+            vec![RateSegment { duration_ms: 100, events_per_second: 0 }],
+            false,
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! DEBS-2013-style soccer sensor stream.
+//!
+//! The DEBS 2013 Grand Challenge dataset contains readings from sensors in
+//! players' boots and the ball during a soccer match: each record carries a
+//! sensor id, a measurement (position/velocity/acceleration derived values)
+//! and a timestamp, at high per-sensor rates. The dataset itself is not
+//! redistributable, so this module simulates its relevant character:
+//!
+//! * a fixed set of sensors (players + ball), each an independent bounded
+//!   random walk — locally smooth, globally drifting values;
+//! * occasional "sprints" (bursts of fast drift) so windows see both dense
+//!   and scattered value regions;
+//! * round-robin interleaving of sensors into one stream, like the merged
+//!   dataset file the paper's generators replay;
+//! * the paper's `scale_rate` / `event_rate` knobs and per-node replay
+//!   offsets.
+//!
+//! Values land in `[0, 100_000]` before scaling, comparable to the sensor
+//! magnitude mix of the original data.
+
+use dema_core::event::Event;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Upper bound of unscaled sensor values.
+pub const VALUE_RANGE: i64 = 100_000;
+
+/// One simulated in-game sensor.
+#[derive(Debug, Clone)]
+struct Sensor {
+    value: i64,
+    /// Per-step drift during normal play.
+    base_step: i64,
+    /// Remaining steps of the current sprint (0 = walking).
+    sprint: u32,
+}
+
+/// A deterministic, infinite DEBS-2013-like event stream.
+#[derive(Debug, Clone)]
+pub struct SoccerGenerator {
+    sensors: Vec<Sensor>,
+    rng: SmallRng,
+    scale_rate: i64,
+    events_per_second: u64,
+    start_ms: u64,
+    produced: u64,
+    next_sensor: usize,
+}
+
+impl SoccerGenerator {
+    /// Default number of simulated sensors (22 players + ball, two sensors
+    /// per player as in the original setup).
+    pub const DEFAULT_SENSORS: usize = 45;
+
+    /// Create a generator.
+    ///
+    /// * `seed` — determinism; also decides each sensor's starting value.
+    /// * `scale_rate`, `events_per_second` — the paper's generator knobs.
+    /// * `start_ms` — replay offset of this node.
+    ///
+    /// # Panics
+    /// Panics if `events_per_second == 0` or `scale_rate == 0`.
+    pub fn new(seed: u64, scale_rate: i64, events_per_second: u64, start_ms: u64) -> SoccerGenerator {
+        assert!(events_per_second > 0, "event rate must be positive");
+        assert!(scale_rate != 0, "scale rate must be non-zero");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sensors = (0..Self::DEFAULT_SENSORS)
+            .map(|_| Sensor {
+                value: rng.random_range(0..=VALUE_RANGE),
+                base_step: rng.random_range(5..200),
+                sprint: 0,
+            })
+            .collect();
+        SoccerGenerator {
+            sensors,
+            rng,
+            scale_rate,
+            events_per_second,
+            start_ms,
+            produced: 0,
+            next_sensor: 0,
+        }
+    }
+
+    /// Number of events produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Produce the next event.
+    pub fn next_event(&mut self) -> Event {
+        let i = self.produced;
+        self.produced += 1;
+        let ts = self.start_ms + i * 1000 / self.events_per_second;
+
+        let sensor_idx = self.next_sensor;
+        self.next_sensor = (self.next_sensor + 1) % self.sensors.len();
+        let sensor = &mut self.sensors[sensor_idx];
+
+        // 0.2 % chance to start a sprint of 200–800 readings.
+        if sensor.sprint == 0 && self.rng.random_range(0..500) == 0 {
+            sensor.sprint = self.rng.random_range(200..800);
+        }
+        let step_scale = if sensor.sprint > 0 {
+            sensor.sprint -= 1;
+            8
+        } else {
+            1
+        };
+        let max_step = sensor.base_step * step_scale;
+        let step = self.rng.random_range(-max_step..=max_step);
+        let mut next = sensor.value + step;
+        if next > VALUE_RANGE {
+            next = VALUE_RANGE - (next - VALUE_RANGE);
+        }
+        if next < 0 {
+            next = -next;
+        }
+        sensor.value = next.clamp(0, VALUE_RANGE);
+
+        Event::new(
+            sensor.value.saturating_mul(self.scale_rate),
+            ts,
+            // ids encode (reading number, sensor) like the dataset's rows
+            i * self.sensors.len() as u64 + sensor_idx as u64,
+        )
+    }
+
+    /// Produce all events of the next `n` tumbling windows of `window_len`
+    /// ms, grouped per window.
+    pub fn take_windows(&mut self, n: usize, window_len: u64) -> Vec<Vec<Event>> {
+        assert!(window_len > 0, "window length must be positive");
+        let mut out: Vec<Vec<Event>> = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let first_window = self.peek_ts() / window_len;
+        let end_ts = (first_window + n as u64) * window_len;
+        let mut current: Vec<Event> = Vec::new();
+        let mut current_window = first_window;
+        while self.peek_ts() < end_ts {
+            let e = self.next_event();
+            let w = e.ts / window_len;
+            while w > current_window {
+                out.push(std::mem::take(&mut current));
+                current_window += 1;
+            }
+            current.push(e);
+        }
+        out.push(current);
+        while out.len() < n {
+            out.push(Vec::new());
+        }
+        out
+    }
+
+    fn peek_ts(&self) -> u64 {
+        self.start_ms + self.produced * 1000 / self.events_per_second
+    }
+}
+
+impl Iterator for SoccerGenerator {
+    type Item = Event;
+    fn next(&mut self) -> Option<Event> {
+        Some(self.next_event())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_in_range_and_scaled() {
+        let mut g = SoccerGenerator::new(1, 1, 1000, 0);
+        for _ in 0..10_000 {
+            let e = g.next_event();
+            assert!((0..=VALUE_RANGE).contains(&e.value));
+        }
+        let mut g10 = SoccerGenerator::new(1, 10, 1000, 0);
+        for _ in 0..10_000 {
+            let e = g10.next_event();
+            assert!((0..=10 * VALUE_RANGE).contains(&e.value));
+            assert_eq!(e.value % 10, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Event> = SoccerGenerator::new(7, 1, 500, 0).take(1000).collect();
+        let b: Vec<Event> = SoccerGenerator::new(7, 1, 500, 0).take(1000).collect();
+        let c: Vec<Event> = SoccerGenerator::new(8, 1, 500, 0).take(1000).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn event_rate_governs_window_sizes() {
+        let mut g = SoccerGenerator::new(3, 1, 2_000, 0);
+        let windows = g.take_windows(5, 1000);
+        assert_eq!(windows.len(), 5);
+        for w in &windows {
+            assert_eq!(w.len(), 2_000);
+        }
+    }
+
+    #[test]
+    fn replay_offset_shifts_start() {
+        let mut g = SoccerGenerator::new(3, 1, 100, 12_345);
+        assert_eq!(g.next_event().ts, 12_345);
+    }
+
+    #[test]
+    fn values_are_locally_smooth_per_sensor() {
+        // Consecutive readings of the same sensor should rarely jump far
+        // outside sprint mode; sample sensor 0's series.
+        let n_sensors = SoccerGenerator::DEFAULT_SENSORS;
+        let events: Vec<Event> = SoccerGenerator::new(5, 1, 1000, 0).take(n_sensors * 500).collect();
+        let series: Vec<i64> = events
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n_sensors == 0)
+            .map(|(_, e)| e.value)
+            .collect();
+        let big_jumps = series
+            .windows(2)
+            .filter(|w| (w[0] - w[1]).abs() > 3_000)
+            .count();
+        assert!(big_jumps < series.len() / 10, "{big_jumps} large jumps in {}", series.len());
+    }
+
+    #[test]
+    fn distribution_spans_a_wide_value_range() {
+        let events: Vec<Event> = SoccerGenerator::new(11, 1, 1000, 0).take(50_000).collect();
+        let min = events.iter().map(|e| e.value).min().unwrap();
+        let max = events.iter().map(|e| e.value).max().unwrap();
+        assert!(max - min > VALUE_RANGE / 2, "range [{min}, {max}] too narrow");
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let events: Vec<Event> = SoccerGenerator::new(2, 1, 777, 0).take(5000).collect();
+        assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let events: Vec<Event> = SoccerGenerator::new(2, 1, 777, 0).take(5000).collect();
+        let mut ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), events.len());
+    }
+}

@@ -1,0 +1,236 @@
+//! Event streams: a value model plus the paper's two generator knobs
+//! (`scale_rate`, `event_rate`) and a replay offset, packaged as an
+//! infinite, deterministic iterator of [`Event`]s.
+
+use dema_core::event::Event;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::distribution::{Sampler, ValueDistribution};
+
+/// Configuration of one node's event stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// RNG seed; streams with the same seed are identical.
+    pub seed: u64,
+    /// Value multiplier, the paper's *scale rate*. Scale 1 on every node ⇒
+    /// overlapping distributions; very different scales ⇒ disjoint ones.
+    pub scale_rate: i64,
+    /// Events per second, the paper's *event rate*; determines local window
+    /// sizes. Must be > 0.
+    pub events_per_second: u64,
+    /// Event-time at which the stream starts (ms) — the paper replays the
+    /// dataset "from different positions" per node.
+    pub start_ms: u64,
+    /// First event id to assign (ids are unique per stream node).
+    pub first_id: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig { seed: 0, scale_rate: 1, events_per_second: 1000, start_ms: 0, first_id: 0 }
+    }
+}
+
+/// An infinite, deterministic stream of events.
+///
+/// Timestamps advance so that exactly `events_per_second` events carry
+/// timestamps within every one-second span: event `i` is stamped
+/// `start_ms + i·1000 / rate`.
+#[derive(Debug, Clone)]
+pub struct EventStream {
+    sampler: Sampler,
+    rng: SmallRng,
+    config: StreamConfig,
+    produced: u64,
+}
+
+impl EventStream {
+    /// Create a stream over the given value distribution.
+    ///
+    /// # Panics
+    /// Panics if `events_per_second == 0` or `scale_rate == 0`.
+    pub fn new(dist: ValueDistribution, config: StreamConfig) -> EventStream {
+        assert!(config.events_per_second > 0, "event rate must be positive");
+        assert!(config.scale_rate != 0, "scale rate must be non-zero");
+        EventStream {
+            sampler: Sampler::new(dist),
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            produced: 0,
+        }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Number of events produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Produce the next event.
+    pub fn next_event(&mut self) -> Event {
+        let i = self.produced;
+        self.produced += 1;
+        let ts = self.config.start_ms + i * 1000 / self.config.events_per_second;
+        let value = self.sampler.sample(&mut self.rng).saturating_mul(self.config.scale_rate);
+        Event::new(value, ts, self.config.first_id + i)
+    }
+
+    /// Produce all events of the next `n` windows of `window_len` ms,
+    /// grouped per window. Convenience for window-at-a-time experiments.
+    pub fn take_windows(&mut self, n: usize, window_len: u64) -> Vec<Vec<Event>> {
+        assert!(window_len > 0, "window length must be positive");
+        let mut out: Vec<Vec<Event>> = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let first = self.peek_ts();
+        let first_window = first / window_len;
+        let end_ts = (first_window + n as u64) * window_len;
+        let mut current: Vec<Event> = Vec::new();
+        let mut current_window = first_window;
+        loop {
+            if self.peek_ts() >= end_ts {
+                break;
+            }
+            let e = self.next_event();
+            let w = e.ts / window_len;
+            while w > current_window {
+                out.push(std::mem::take(&mut current));
+                current_window += 1;
+            }
+            current.push(e);
+        }
+        out.push(current);
+        while out.len() < n {
+            out.push(Vec::new());
+        }
+        out
+    }
+
+    /// Timestamp the next event will carry.
+    fn peek_ts(&self) -> u64 {
+        self.config.start_ms + self.produced * 1000 / self.config.events_per_second
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = Event;
+    fn next(&mut self) -> Option<Event> {
+        Some(self.next_event())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_stream(config: StreamConfig) -> EventStream {
+        EventStream::new(ValueDistribution::Uniform { lo: 0, hi: 1000 }, config)
+    }
+
+    #[test]
+    fn event_rate_controls_timestamps() {
+        let mut s = uniform_stream(StreamConfig { events_per_second: 4, ..Default::default() });
+        let ts: Vec<u64> = (0..8).map(|_| s.next_event().ts).collect();
+        assert_eq!(ts, vec![0, 250, 500, 750, 1000, 1250, 1500, 1750]);
+    }
+
+    #[test]
+    fn exactly_rate_events_per_second() {
+        let rate = 777;
+        let mut s = uniform_stream(StreamConfig { events_per_second: rate, ..Default::default() });
+        let events: Vec<_> = (0..3 * rate).map(|_| s.next_event()).collect();
+        for second in 0..3u64 {
+            let n = events
+                .iter()
+                .filter(|e| e.ts >= second * 1000 && e.ts < (second + 1) * 1000)
+                .count();
+            assert_eq!(n as u64, rate, "second {second}");
+        }
+    }
+
+    #[test]
+    fn scale_rate_multiplies_values() {
+        let base = StreamConfig { seed: 9, scale_rate: 1, ..Default::default() };
+        let scaled = StreamConfig { seed: 9, scale_rate: 10, ..Default::default() };
+        let mut a = uniform_stream(base);
+        let mut b = uniform_stream(scaled);
+        for _ in 0..100 {
+            let (x, y) = (a.next_event(), b.next_event());
+            assert_eq!(x.value * 10, y.value);
+            assert_eq!(x.ts, y.ts);
+        }
+    }
+
+    #[test]
+    fn start_offset_shifts_time_and_ids() {
+        let mut s = uniform_stream(StreamConfig {
+            start_ms: 5_000,
+            first_id: 1_000_000,
+            events_per_second: 2,
+            ..Default::default()
+        });
+        let e = s.next_event();
+        assert_eq!(e.ts, 5_000);
+        assert_eq!(e.id, 1_000_000);
+        assert_eq!(s.next_event().ts, 5_500);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let cfg = StreamConfig { seed: 4242, ..Default::default() };
+        let a: Vec<Event> = uniform_stream(cfg.clone()).take(500).collect();
+        let b: Vec<Event> = uniform_stream(cfg).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_windows_groups_by_window() {
+        let mut s = uniform_stream(StreamConfig { events_per_second: 10, ..Default::default() });
+        let windows = s.take_windows(3, 1000);
+        assert_eq!(windows.len(), 3);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.len(), 10, "window {i}");
+            assert!(w.iter().all(|e| e.ts / 1000 == i as u64));
+        }
+        // The stream continues where take_windows stopped.
+        assert_eq!(s.next_event().ts, 3000);
+    }
+
+    #[test]
+    fn take_windows_respects_offset_mid_window() {
+        let mut s = uniform_stream(StreamConfig {
+            events_per_second: 10,
+            start_ms: 500,
+            ..Default::default()
+        });
+        let windows = s.take_windows(2, 1000);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].len(), 5); // 500..1000
+        assert_eq!(windows[1].len(), 10); // 1000..2000
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let mut s = uniform_stream(StreamConfig::default());
+        let ids: Vec<u64> = (0..100).map(|_| s.next_event().id).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "event rate")]
+    fn zero_rate_panics() {
+        let _ = uniform_stream(StreamConfig { events_per_second: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "scale rate")]
+    fn zero_scale_panics() {
+        let _ = uniform_stream(StreamConfig { scale_rate: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,163 @@
+//! Workload traces: record generated streams to a file and replay them.
+//!
+//! The paper replays a fixed dataset so every system sees identical input;
+//! our generators are deterministic by seed, but a trace file additionally
+//! pins a workload across machines, versions, and generator changes — the
+//! reproducibility anchor for the experiment CSVs.
+//!
+//! Format (little-endian): magic `DEMT`, u32 version, u64 event count,
+//! then `(i64 value, u64 ts, u64 id)` triples.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dema_core::event::Event;
+
+const MAGIC: &[u8; 4] = b"DEMT";
+const VERSION: u32 = 1;
+
+/// Errors while reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a trace file or unsupported version.
+    Format(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::Format(msg) => write!(f, "bad trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+/// Write `events` as a trace file at `path`.
+pub fn write_trace(path: &Path, events: &[Event]) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(events.len() as u64).to_le_bytes())?;
+    for e in events {
+        w.write_all(&e.value.to_le_bytes())?;
+        w.write_all(&e.ts.to_le_bytes())?;
+        w.write_all(&e.id.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a trace file back.
+pub fn read_trace(path: &Path) -> Result<Vec<Event>, TraceError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceError::Format("missing DEMT magic".into()));
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != VERSION {
+        return Err(TraceError::Format(format!("unsupported version {version}")));
+    }
+    let mut long = [0u8; 8];
+    r.read_exact(&mut long)?;
+    let count = u64::from_le_bytes(long);
+    if count > (1 << 34) {
+        return Err(TraceError::Format(format!("implausible event count {count}")));
+    }
+    let mut events = Vec::with_capacity(count as usize);
+    let mut rec = [0u8; 24];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        events.push(Event {
+            value: i64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")),
+            ts: u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")),
+            id: u64::from_le_bytes(rec[16..24].try_into().expect("8 bytes")),
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SoccerGenerator;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dema-trace-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let events: Vec<Event> = SoccerGenerator::new(1, 1, 1000, 0).take(5000).collect();
+        let path = tmp("roundtrip.trace");
+        write_trace(&path, &events).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back, events);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_trace() {
+        let path = tmp("empty.trace");
+        write_trace(&path, &[]).unwrap();
+        assert!(read_trace(&path).unwrap().is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.trace");
+        std::fs::write(&path, b"not a trace at all").unwrap();
+        assert!(matches!(read_trace(&path), Err(TraceError::Format(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let events: Vec<Event> = SoccerGenerator::new(1, 1, 1000, 0).take(100).collect();
+        let path = tmp("trunc.trace");
+        write_trace(&path, &events).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(read_trace(&path), Err(TraceError::Io(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let path = tmp("version.trace");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_trace(&path), Err(TraceError::Format(_))));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn extreme_values_roundtrip() {
+        let events = vec![
+            Event::new(i64::MIN, 0, 0),
+            Event::new(i64::MAX, u64::MAX, u64::MAX),
+        ];
+        let path = tmp("extreme.trace");
+        write_trace(&path, &events).unwrap();
+        assert_eq!(read_trace(&path).unwrap(), events);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # dema-metrics
+//!
+//! Instrumentation for the Dema experiments, covering the paper's metrics
+//! (§4, "Experimental Design"):
+//!
+//! * **network cost** — [`counters::NetworkCounters`]: lock-free per-link
+//!   byte / message / event counters fed by the transports;
+//! * **latency** — [`histogram::LatencyHistogram`]: a log-bucketed histogram
+//!   (HDR-style: power-of-two major buckets subdivided linearly, ≤ ~1.6 %
+//!   relative error) for event-arrival → result latency;
+//! * **throughput** — [`throughput::ThroughputMeter`] and the
+//!   *sustainable-throughput* search of Karimov et al. (ICDE '18):
+//!   [`throughput::sustainable_throughput`] binary-searches the highest
+//!   offered rate a system sustains without growing backlog.
+
+pub mod counters;
+pub mod histogram;
+pub mod throughput;
+
+pub use counters::{NetworkCounters, NetworkSnapshot};
+pub use histogram::LatencyHistogram;
+pub use throughput::{sustainable_throughput, ThroughputMeter};

@@ -1,0 +1,169 @@
+//! Throughput measurement and the sustainable-throughput search.
+//!
+//! The paper measures *maximum sustainable throughput* (Karimov et al.,
+//! ICDE '18): the highest offered event rate at which the system keeps up —
+//! i.e. its backlog stays bounded over the measurement period. We reproduce
+//! that with a driver-agnostic binary search over offered rates: the caller
+//! supplies a probe closure that runs the system at a rate and reports
+//! whether it sustained it.
+
+use std::time::{Duration, Instant};
+
+/// Simple events-over-wall-clock meter.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    started: Instant,
+    events: u64,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> ThroughputMeter {
+        ThroughputMeter::start()
+    }
+}
+
+impl ThroughputMeter {
+    /// Start measuring now.
+    pub fn start() -> ThroughputMeter {
+        ThroughputMeter { started: Instant::now(), events: 0 }
+    }
+
+    /// Add processed events.
+    #[inline]
+    pub fn add(&mut self, events: u64) {
+        self.events += events;
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Events per second over the elapsed time.
+    pub fn events_per_second(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / secs
+    }
+
+    /// Events per second for an externally supplied duration (used when the
+    /// workload is replayed in virtual time rather than wall-clock).
+    pub fn events_per_virtual_second(&self, virtual_time: Duration) -> f64 {
+        let secs = virtual_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / secs
+    }
+}
+
+/// Binary-search the maximum sustainable offered rate in
+/// `[min_rate, max_rate]` (events/s).
+///
+/// `probe(rate)` must run the system at `rate` and return `true` iff the
+/// system sustained it (bounded backlog / processed everything in time).
+/// The search assumes monotonicity — if a rate is sustained, every lower
+/// rate is too — and narrows until the bracket is within `tolerance`
+/// (relative, e.g. `0.05` for 5 %). Returns the highest sustained rate
+/// found, or `None` if even `min_rate` is not sustainable.
+pub fn sustainable_throughput<F>(
+    min_rate: u64,
+    max_rate: u64,
+    tolerance: f64,
+    mut probe: F,
+) -> Option<u64>
+where
+    F: FnMut(u64) -> bool,
+{
+    assert!(min_rate > 0 && min_rate <= max_rate, "invalid rate bracket");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    if !probe(min_rate) {
+        return None;
+    }
+    if probe(max_rate) {
+        return Some(max_rate);
+    }
+    let (mut lo, mut hi) = (min_rate, max_rate); // probe(lo)=true, probe(hi)=false
+    while (hi - lo) as f64 > tolerance * lo as f64 && hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_events() {
+        let mut m = ThroughputMeter::start();
+        m.add(500);
+        m.add(250);
+        assert_eq!(m.events(), 750);
+        assert_eq!(m.events_per_virtual_second(Duration::from_secs(3)), 250.0);
+    }
+
+    #[test]
+    fn meter_rate_uses_wall_clock() {
+        let mut m = ThroughputMeter::start();
+        m.add(1000);
+        std::thread::sleep(Duration::from_millis(20));
+        let r = m.events_per_second();
+        assert!(r > 0.0 && r < 1000.0 / 0.02 * 1.5, "rate {r}");
+    }
+
+    #[test]
+    fn meter_zero_duration_is_zero_rate() {
+        let m = ThroughputMeter::start();
+        assert_eq!(m.events_per_virtual_second(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn search_finds_threshold() {
+        // System sustains anything <= 123_456.
+        let found = sustainable_throughput(1_000, 1_000_000, 0.01, |r| r <= 123_456).unwrap();
+        assert!(found <= 123_456, "found {found}");
+        assert!(found as f64 >= 123_456.0 * 0.98, "found {found} too far below");
+    }
+
+    #[test]
+    fn search_hits_exact_bounds() {
+        assert_eq!(sustainable_throughput(10, 100, 0.01, |_| true), Some(100));
+        assert_eq!(sustainable_throughput(10, 100, 0.01, |_| false), None);
+        assert_eq!(sustainable_throughput(10, 100, 0.01, |r| r <= 10), Some(10));
+    }
+
+    #[test]
+    fn search_probe_count_is_logarithmic() {
+        let mut probes = 0;
+        let _ = sustainable_throughput(1, 1_000_000_000, 0.01, |r| {
+            probes += 1;
+            r <= 500_000_000
+        });
+        assert!(probes < 50, "{probes} probes");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate bracket")]
+    fn search_rejects_bad_bracket() {
+        let _ = sustainable_throughput(100, 10, 0.01, |_| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn search_rejects_bad_tolerance() {
+        let _ = sustainable_throughput(1, 10, 0.0, |_| true);
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! # dema-net
+//!
+//! Transports for the Dema cluster protocol. Two interchangeable
+//! implementations behind the [`MsgSender`] / [`MsgReceiver`] traits:
+//!
+//! * [`mem`] — in-process links built on crossbeam channels. Every send is
+//!   accounted with the message's exact encoded size (plus the 4-byte frame
+//!   prefix, for parity with TCP), so network-cost experiments measure real
+//!   wire bytes even when nothing crosses a socket. This is the default
+//!   substrate for the paper's cluster topology (see DESIGN.md §5 on the
+//!   hardware substitution).
+//! * [`tcp`] — real TCP over `std::net` with length-prefixed frames, for
+//!   multi-process runs. Byte accounting matches `mem` exactly.
+//!
+//! Links are unidirectional; a topology wires two per node pair.
+
+pub mod mem;
+pub mod tcp;
+
+pub use mem::link;
+
+use dema_metrics::NetworkCounters;
+use dema_wire::Message;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors surfaced by transports.
+#[derive(Debug)]
+pub enum NetError {
+    /// The peer is gone (channel closed / connection reset).
+    Disconnected,
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// A frame failed to decode.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Corrupt(msg) => write!(f, "corrupt frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Sending half of a link.
+pub trait MsgSender: Send {
+    /// Send one message; accounting happens here.
+    fn send(&mut self, msg: &Message) -> Result<(), NetError>;
+}
+
+/// Receiving half of a link.
+pub trait MsgReceiver: Send {
+    /// Block until a message arrives (or the peer disconnects).
+    fn recv(&mut self) -> Result<Message, NetError>;
+
+    /// Wait up to `timeout`; `Ok(None)` on timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError>;
+
+    /// Non-blocking poll; `Ok(None)` when no message is ready. The default
+    /// falls back to a short timed wait for transports without a cheap
+    /// non-blocking path (TCP).
+    fn try_recv(&mut self) -> Result<Option<Message>, NetError> {
+        self.recv_timeout(Duration::from_micros(500))
+    }
+}
+
+/// Per-link byte/message/event accounting shared with the harness.
+pub type SharedCounters = Arc<NetworkCounters>;

@@ -1,0 +1,167 @@
+//! TCP transport: real sockets, length-prefixed frames, same accounting as
+//! the in-memory links.
+//!
+//! One `TcpStream` carries one unidirectional message flow (the cluster
+//! wires two streams per node pair). `TCP_NODELAY` is set — the protocol is
+//! request/response-ish per window, so Nagle would serialize the
+//! identification/calculation round trips.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use dema_wire::frame::{read_frame, write_frame, FrameError};
+use dema_wire::Message;
+
+use crate::{MsgReceiver, MsgSender, NetError, SharedCounters};
+
+/// Sending half over TCP.
+pub struct TcpSender {
+    writer: BufWriter<TcpStream>,
+    counters: SharedCounters,
+}
+
+/// Receiving half over TCP.
+pub struct TcpReceiver {
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpSender {
+    /// Connect to a listening peer.
+    pub fn connect(addr: SocketAddr, counters: SharedCounters) -> Result<TcpSender, NetError> {
+        let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        Ok(TcpSender { writer: BufWriter::new(stream), counters })
+    }
+}
+
+impl MsgSender for TcpSender {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        let bytes = write_frame(&mut self.writer, msg).map_err(NetError::Io)?;
+        // Flush per message: the protocol's round trips are latency-bound.
+        self.writer.flush().map_err(NetError::Io)?;
+        self.counters.record(bytes, msg.event_units());
+        Ok(())
+    }
+}
+
+impl TcpReceiver {
+    /// Wrap an accepted stream.
+    pub fn from_stream(stream: TcpStream) -> Result<TcpReceiver, NetError> {
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        Ok(TcpReceiver { reader: BufReader::new(stream) })
+    }
+}
+
+impl MsgReceiver for TcpReceiver {
+    fn recv(&mut self) -> Result<Message, NetError> {
+        self.reader.get_ref().set_read_timeout(None).map_err(NetError::Io)?;
+        match read_frame(&mut self.reader) {
+            Ok((msg, _)) => Ok(msg),
+            Err(FrameError::Eof) => Err(NetError::Disconnected),
+            Err(FrameError::Io(e)) => Err(NetError::Io(e)),
+            Err(e) => Err(NetError::Corrupt(e.to_string())),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        self.reader.get_ref().set_read_timeout(Some(timeout)).map_err(NetError::Io)?;
+        match read_frame(&mut self.reader) {
+            Ok((msg, _)) => Ok(Some(msg)),
+            Err(FrameError::Eof) => Err(NetError::Disconnected),
+            Err(FrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(FrameError::Io(e)) => Err(NetError::Io(e)),
+            Err(e) => Err(NetError::Corrupt(e.to_string())),
+        }
+    }
+}
+
+/// Bind a listener on `addr` (use port 0 for an ephemeral port).
+pub fn listen(addr: SocketAddr) -> Result<TcpListener, NetError> {
+    TcpListener::bind(addr).map_err(NetError::Io)
+}
+
+/// Accept one inbound link.
+pub fn accept(listener: &TcpListener) -> Result<TcpReceiver, NetError> {
+    let (stream, _) = listener.accept().map_err(NetError::Io)?;
+    TcpReceiver::from_stream(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dema_core::event::{Event, NodeId, WindowId};
+    use dema_metrics::NetworkCounters;
+
+    fn loopback_pair() -> (TcpSender, TcpReceiver, SharedCounters) {
+        let listener = listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = NetworkCounters::new_shared();
+        let tx_counters = SharedCounters::clone(&counters);
+        let tx_handle = std::thread::spawn(move || TcpSender::connect(addr, tx_counters).unwrap());
+        let rx = accept(&listener).unwrap();
+        (tx_handle.join().unwrap(), rx, counters)
+    }
+
+    fn msg(n: u64) -> Message {
+        Message::EventBatch {
+            node: NodeId(1),
+            window: WindowId(2),
+            sorted: true,
+            events: (0..n).map(|i| Event::new(i as i64 - 5, i, i)).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_over_loopback() {
+        let (mut tx, mut rx, counters) = loopback_pair();
+        let m = msg(50);
+        tx.send(&m).unwrap();
+        assert_eq!(rx.recv().unwrap(), m);
+        let s = counters.snapshot();
+        assert_eq!(s.bytes, m.encoded_len() as u64 + 4);
+        assert_eq!(s.events, 50);
+    }
+
+    #[test]
+    fn many_messages_in_order() {
+        let (mut tx, mut rx, _) = loopback_pair();
+        let h = std::thread::spawn(move || {
+            for i in 0..500 {
+                tx.send(&Message::GammaUpdate { gamma: i }).unwrap();
+            }
+        });
+        for i in 0..500 {
+            assert_eq!(rx.recv().unwrap(), Message::GammaUpdate { gamma: i });
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_returns_none() {
+        let (_tx, mut rx, _) = loopback_pair();
+        let got = rx.recv_timeout(Duration::from_millis(30)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn peer_close_is_disconnect() {
+        let (tx, mut rx, _) = loopback_pair();
+        drop(tx);
+        assert!(matches!(rx.recv(), Err(NetError::Disconnected)));
+    }
+
+    #[test]
+    fn timeout_then_delivery_still_works() {
+        let (mut tx, mut rx, _) = loopback_pair();
+        assert!(rx.recv_timeout(Duration::from_millis(10)).unwrap().is_none());
+        tx.send(&Message::GammaUpdate { gamma: 9 }).unwrap();
+        let got = rx.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(got, Some(Message::GammaUpdate { gamma: 9 }));
+    }
+}

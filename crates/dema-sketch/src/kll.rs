@@ -1,0 +1,355 @@
+//! The KLL sketch (Karnin, Lang, Liberty — "Optimal Quantile Approximation
+//! in Streams", FOCS 2016).
+//!
+//! KLL is the modern default for mergeable quantile sketches (Apache
+//! DataSketches' recommendation over q-digest-style structures). It keeps a
+//! hierarchy of *compactors*: level `i` stores items each representing
+//! `2^i` original observations. When a level overflows its capacity, it is
+//! sorted and every other item (random offset) is promoted to the level
+//! above — halving the count while preserving ranks in expectation. Level
+//! capacities shrink geometrically from the top (`k · c^depth`, `c = 2/3`),
+//! giving `O(k)` space and uniform rank error `O(n/k)` with high
+//! probability.
+//!
+//! Compared to the t-digest (great tails, no worst-case guarantee) and the
+//! q-digest (bounded integer domains), KLL offers distribution-free rank
+//! guarantees over arbitrary `f64`s — included here as the third
+//! comparison point for the accuracy experiments.
+
+use crate::QuantileSketch;
+
+/// Geometric capacity decay per level below the top.
+const C: f64 = 2.0 / 3.0;
+
+/// A KLL sketch over `f64` observations.
+#[derive(Debug, Clone)]
+pub struct KllSketch {
+    /// Top-level capacity parameter (accuracy knob).
+    k: usize,
+    /// `compactors[i]` holds items of weight `2^i`.
+    compactors: Vec<Vec<f64>>,
+    total: u64,
+    /// xorshift64 state for compaction coin flips (deterministic per seed).
+    rng: u64,
+    min: f64,
+    max: f64,
+}
+
+impl KllSketch {
+    /// Create a sketch with capacity parameter `k` (clamped to ≥ 8).
+    /// Typical values: 128 (~1 % rank error), 256, 512.
+    pub fn new(k: usize) -> KllSketch {
+        KllSketch::with_seed(k, 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// [`KllSketch::new`] with an explicit seed for the compaction coins.
+    pub fn with_seed(k: usize, seed: u64) -> KllSketch {
+        KllSketch {
+            k: k.max(8),
+            compactors: vec![Vec::new()],
+            total: 0,
+            rng: seed | 1,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The capacity parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Items currently retained (the sketch's size).
+    pub fn retained(&self) -> usize {
+        self.compactors.iter().map(Vec::len).sum()
+    }
+
+    /// Smallest observation (`None` when empty) — tracked exactly.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty) — tracked exactly.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Capacity of `level`, shrinking geometrically from the top.
+    fn capacity(&self, level: usize) -> usize {
+        let depth = self.compactors.len() - 1 - level;
+        ((self.k as f64) * C.powi(depth as i32)).ceil() as usize
+    }
+
+    #[inline]
+    fn coin(&mut self) -> bool {
+        // xorshift64
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x & 1 == 1
+    }
+
+    /// Compact every level that exceeds its capacity.
+    fn compress(&mut self) {
+        let mut level = 0;
+        while level < self.compactors.len() {
+            if self.compactors[level].len() > self.capacity(level) {
+                if level + 1 == self.compactors.len() {
+                    self.compactors.push(Vec::new());
+                }
+                let offset = usize::from(self.coin());
+                let mut items = std::mem::take(&mut self.compactors[level]);
+                items.sort_by(|a, b| a.total_cmp(b));
+                // Promote every other item; an odd leftover stays behind so
+                // total weight is conserved exactly.
+                let mut kept_back = Vec::new();
+                let promote: Vec<f64> = items
+                    .iter()
+                    .copied()
+                    .skip(offset)
+                    .step_by(2)
+                    .collect();
+                if items.len() % 2 == 1 {
+                    // One item has no partner: keep it at this level.
+                    let leftover_idx = if offset == 0 { items.len() - 1 } else { 0 };
+                    kept_back.push(items[leftover_idx]);
+                }
+                // Weight conservation: promoted items double their weight;
+                // with an even count the halves pair exactly. With an odd
+                // count we promote floor/2 and retain the unpaired item.
+                let promote = if items.len() % 2 == 1 {
+                    let paired = if offset == 0 { &items[..items.len() - 1] } else { &items[1..] };
+                    paired.iter().copied().step_by(2).collect()
+                } else {
+                    promote
+                };
+                self.compactors[level] = kept_back;
+                self.compactors[level + 1].extend(promote);
+            }
+            level += 1;
+        }
+    }
+
+    /// All `(value, weight)` pairs, sorted by value.
+    fn weighted_items(&self) -> Vec<(f64, u64)> {
+        let mut items: Vec<(f64, u64)> = self
+            .compactors
+            .iter()
+            .enumerate()
+            .flat_map(|(level, c)| c.iter().map(move |&v| (v, 1u64 << level)))
+            .collect();
+        items.sort_by(|a, b| a.0.total_cmp(&b.0));
+        items
+    }
+
+    /// Estimated number of observations `<= value`.
+    pub fn rank(&self, value: f64) -> u64 {
+        self.weighted_items()
+            .iter()
+            .take_while(|(v, _)| *v <= value)
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// Total weight retained (equals the observation count — the sketch
+    /// conserves weight exactly; checked by tests).
+    pub fn weight(&self) -> u64 {
+        self.compactors
+            .iter()
+            .enumerate()
+            .map(|(level, c)| (c.len() as u64) << level)
+            .sum()
+    }
+}
+
+impl QuantileSketch for KllSketch {
+    fn insert(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.compactors[0].push(value);
+        self.total += 1;
+        if self.compactors[0].len() > self.capacity(0) {
+            self.compress();
+        }
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let items = self.weighted_items();
+        let total: u64 = items.iter().map(|(_, w)| w).sum();
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut acc = 0u64;
+        for (v, w) in items {
+            acc += w;
+            if acc >= target {
+                return Some(v.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    fn count(&self) -> u64 {
+        self.total
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        while self.compactors.len() < other.compactors.len() {
+            self.compactors.push(Vec::new());
+        }
+        for (level, items) in other.compactors.iter().enumerate() {
+            self.compactors[level].extend_from_slice(items);
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.rng ^= other.rng.rotate_left(17);
+        self.compress();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64, k: usize) -> KllSketch {
+        let mut s = KllSketch::new(k);
+        for i in 0..n {
+            s.insert(i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let s = KllSketch::new(128);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn weight_conservation_exact() {
+        // The compaction scheme must never lose or invent observations.
+        for n in [1u64, 7, 100, 1_234, 50_000] {
+            let s = filled(n, 64);
+            assert_eq!(s.weight(), n, "weight drift at n={n}");
+            assert_eq!(s.count(), n);
+        }
+    }
+
+    #[test]
+    fn small_inputs_are_exact() {
+        let mut s = KllSketch::new(128);
+        for v in [5.0, 1.0, 9.0, 3.0, 7.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.quantile(0.5), Some(5.0));
+        assert_eq!(s.quantile(0.2), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(9.0));
+    }
+
+    #[test]
+    fn rank_error_bounded_on_uniform() {
+        let n = 200_000u64;
+        let s = filled(n, 256);
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = s.quantile(q).unwrap();
+            let true_rank = est; // value == 0-based rank for 0..n
+            let target = q * n as f64;
+            let err = (true_rank - target).abs() / n as f64;
+            assert!(err < 0.02, "q={q}: est {est}, rank error {err}");
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let s = filled(1_000_000, 128);
+        assert!(s.retained() < 1500, "{} items retained", s.retained());
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let s = filled(100_000, 128);
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..=50 {
+            let v = s.quantile(i as f64 / 50.0).unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_conserves_weight_and_accuracy() {
+        let mut a = KllSketch::with_seed(128, 1);
+        let mut b = KllSketch::with_seed(128, 2);
+        for i in 0..100_000u64 {
+            a.insert(i as f64);
+            b.insert((i + 100_000) as f64);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 200_000);
+        assert_eq!(a.weight(), 200_000);
+        let median = a.quantile(0.5).unwrap();
+        assert!((median - 100_000.0).abs() < 5_000.0, "median {median}");
+        assert_eq!(a.min(), Some(0.0));
+        assert_eq!(a.max(), Some(199_999.0));
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut s = filled(1000, 64);
+        s.merge_from(&KllSketch::new(64));
+        assert_eq!(s.count(), 1000);
+        let mut empty = KllSketch::new(64);
+        empty.merge_from(&filled(1000, 64));
+        assert_eq!(empty.count(), 1000);
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut s = KllSketch::new(64);
+        s.insert(f64::NAN);
+        s.insert(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+        s.insert(2.5);
+        assert_eq!(s.quantile(0.5), Some(2.5));
+    }
+
+    #[test]
+    fn duplicate_heavy() {
+        let mut s = KllSketch::new(64);
+        for _ in 0..100_000 {
+            s.insert(7.0);
+        }
+        assert_eq!(s.quantile(0.5), Some(7.0));
+        assert_eq!(s.weight(), 100_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = |seed| {
+            let mut s = KllSketch::with_seed(128, seed);
+            for i in 0..50_000u64 {
+                s.insert(((i * 31) % 9973) as f64);
+            }
+            (1..20).map(|i| s.quantile(i as f64 / 20.0).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(42), mk(42));
+    }
+
+    #[test]
+    fn rank_function_consistent_with_quantile() {
+        let s = filled(100_000, 256);
+        let v = s.quantile(0.5).unwrap();
+        let r = s.rank(v);
+        assert!((r as f64 - 50_000.0).abs() < 3_000.0, "rank {r}");
+    }
+}

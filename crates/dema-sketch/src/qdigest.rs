@@ -1,0 +1,348 @@
+//! The q-digest (Shrivastava, Buragohain, Agrawal, Suri — SenSys 2004).
+//!
+//! A q-digest summarizes counts of integer values from a bounded universe
+//! `[0, 2^bits)` on an implicit binary tree: node 1 is the root covering the
+//! whole universe, node `v` has children `2v` (lower half) and `2v+1` (upper
+//! half), leaves are individual values. The *digest property* with
+//! compression factor `k` keeps a node only when
+//! `count(v) + count(sibling) + count(parent) > ⌊n/k⌋`; lighter sibling
+//! pairs are folded into their parent, losing positional precision but
+//! keeping at most `O(k · bits)` nodes. Rank error is bounded by
+//! `bits · n / k`.
+//!
+//! Merging two digests is count-wise addition followed by recompression —
+//! the property that made q-digests the classic in-sensor-network
+//! aggregation sketch.
+
+use std::collections::HashMap;
+
+use crate::QuantileSketch;
+
+/// A q-digest over the integer universe `[0, 2^bits)`.
+#[derive(Debug, Clone)]
+pub struct QDigest {
+    /// Height of the binary tree (universe = `2^bits` values).
+    bits: u32,
+    /// Compression factor `k` (bigger ⇒ more nodes ⇒ better accuracy).
+    k: u64,
+    /// Sparse node counts, keyed by implicit heap index (root = 1).
+    nodes: HashMap<u64, u64>,
+    /// Total observations.
+    total: u64,
+    /// Inserts since the last compression.
+    dirty: u64,
+}
+
+impl QDigest {
+    /// Create an empty digest for values in `[0, 2^bits)` with compression
+    /// factor `k`.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= bits <= 62` and `k >= 1`.
+    pub fn new(bits: u32, k: u64) -> QDigest {
+        assert!((1..=62).contains(&bits), "bits must be in 1..=62");
+        assert!(k >= 1, "compression factor k must be >= 1");
+        QDigest { bits, k, nodes: HashMap::new(), total: 0, dirty: 0 }
+    }
+
+    /// Universe size `2^bits`.
+    #[inline]
+    pub fn universe(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Number of stored tree nodes (the sketch's size).
+    pub fn node_count(&mut self) -> usize {
+        self.compress();
+        self.nodes.len()
+    }
+
+    /// Insert an integer value `weight` times.
+    ///
+    /// Values outside the universe are clamped to its edges (a sensor
+    /// producing an out-of-range reading still counts somewhere rather than
+    /// silently vanishing).
+    pub fn insert_weighted(&mut self, value: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let v = value.min(self.universe() - 1);
+        let leaf = self.universe() + v; // heap index of the leaf
+        *self.nodes.entry(leaf).or_insert(0) += weight;
+        self.total += weight;
+        self.dirty += weight;
+        // Recompress when the uncompressed part could violate size bounds.
+        if self.dirty > self.total / 2 + 16 {
+            self.compress();
+        }
+    }
+
+    /// The rank-error bound of this digest: `bits · n / k`.
+    pub fn rank_error_bound(&self) -> u64 {
+        (self.bits as u64) * self.total / self.k
+    }
+
+    /// Fold light sibling pairs upward to restore the digest property.
+    fn compress(&mut self) {
+        self.dirty = 0;
+        if self.total == 0 {
+            return;
+        }
+        let threshold = self.total / self.k;
+        if threshold == 0 {
+            return; // every node is allowed to stay
+        }
+        // Process level by level, deepest first, so parents produced by a
+        // fold are themselves considered for folding one level up.
+        let depth_of = |v: u64| 63 - v.leading_zeros();
+        for depth in (1..=self.bits).rev() {
+            let keys: Vec<u64> =
+                self.nodes.keys().copied().filter(|&v| depth_of(v) == depth).collect();
+            for key in keys {
+                let Some(&count) = self.nodes.get(&key) else { continue };
+                let sibling = key ^ 1;
+                let parent = key / 2;
+                let sib_count = self.nodes.get(&sibling).copied().unwrap_or(0);
+                let par_count = self.nodes.get(&parent).copied().unwrap_or(0);
+                if count + sib_count + par_count <= threshold {
+                    self.nodes.remove(&key);
+                    self.nodes.remove(&sibling);
+                    *self.nodes.entry(parent).or_insert(0) += count + sib_count;
+                }
+            }
+        }
+        self.nodes.retain(|_, c| *c > 0);
+    }
+
+    /// Value range `[lo, hi]` covered by heap node `v`.
+    fn range(&self, v: u64) -> (u64, u64) {
+        let depth = 63 - v.leading_zeros(); // floor(log2 v)
+        let span_bits = self.bits - depth;
+        let offset = v - (1u64 << depth);
+        let lo = offset << span_bits;
+        (lo, lo + (1u64 << span_bits) - 1)
+    }
+
+    /// Estimate the value at quantile `q ∈ (0, 1]` (`None` when empty).
+    ///
+    /// Nodes are visited in ascending `(hi, span)` order (post-order over
+    /// value ranges); counts accumulate until the target rank is reached and
+    /// the reporting node's upper bound is returned.
+    pub fn quantile_u64(&self, q: f64) -> Option<u64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut entries: Vec<(u64, u64, u64)> = self
+            .nodes
+            .iter()
+            .map(|(&v, &c)| {
+                let (lo, hi) = self.range(v);
+                (hi, hi - lo, c)
+            })
+            .collect();
+        entries.sort_unstable();
+        let mut acc = 0u64;
+        for (hi, _, c) in entries {
+            acc += c;
+            if acc >= target {
+                return Some(hi);
+            }
+        }
+        // Numerically unreachable, but fall back to the maximum node.
+        self.nodes.keys().map(|&v| self.range(v).1).max()
+    }
+
+    /// Merge another digest (same universe) into this one.
+    ///
+    /// # Panics
+    /// Panics if the universes (bits) differ.
+    pub fn merge_qdigest(&mut self, other: &QDigest) {
+        assert_eq!(self.bits, other.bits, "q-digest universes must match to merge");
+        for (&v, &c) in &other.nodes {
+            *self.nodes.entry(v).or_insert(0) += c;
+        }
+        self.total += other.total;
+        self.compress();
+    }
+}
+
+impl QuantileSketch for QDigest {
+    fn insert(&mut self, value: f64) {
+        let clamped = if value.is_finite() { value.max(0.0) } else { return };
+        self.insert_weighted(clamped.round() as u64, 1);
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        // Compression only tightens size, not correctness; query a clone so
+        // &self stays side-effect free.
+        let mut snapshot = self.clone();
+        snapshot.compress();
+        snapshot.quantile_u64(q).map(|v| v as f64)
+    }
+
+    fn count(&self) -> u64 {
+        self.total
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.merge_qdigest(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest() {
+        let d = QDigest::new(10, 16);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.quantile(0.5), None);
+        assert_eq!(d.rank_error_bound(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut d = QDigest::new(10, 16);
+        d.insert_weighted(123, 1);
+        assert_eq!(d.quantile_u64(0.5), Some(123));
+        assert_eq!(d.quantile_u64(1.0), Some(123));
+    }
+
+    #[test]
+    fn range_computation() {
+        let d = QDigest::new(3, 4); // universe [0, 8)
+        assert_eq!(d.range(1), (0, 7)); // root
+        assert_eq!(d.range(2), (0, 3));
+        assert_eq!(d.range(3), (4, 7));
+        assert_eq!(d.range(8), (0, 0)); // first leaf
+        assert_eq!(d.range(15), (7, 7)); // last leaf
+    }
+
+    #[test]
+    fn exact_when_k_is_huge() {
+        // threshold = n/k = 0 → no folding → exact ranks.
+        let mut d = QDigest::new(10, u64::MAX);
+        for v in [5u64, 1, 9, 3, 7, 3, 3] {
+            d.insert_weighted(v, 1);
+        }
+        assert_eq!(d.quantile_u64(0.5), Some(3)); // rank 4 of [1,3,3,3,5,7,9]
+        assert_eq!(d.quantile_u64(1.0), Some(9));
+        assert_eq!(d.quantile_u64(1.0 / 7.0), Some(1));
+    }
+
+    #[test]
+    fn rank_error_within_bound() {
+        let n = 20_000u64;
+        let bits = 15u32;
+        let k = 256u64;
+        let mut d = QDigest::new(bits, k);
+        for i in 0..n {
+            d.insert_weighted(i, 1);
+        }
+        let bound = d.rank_error_bound();
+        assert!(bound < n, "bound {bound} should be nontrivial");
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let est = d.quantile_u64(q).unwrap();
+            // True rank of est vs target rank: data is 0..n so the value IS
+            // its 0-based rank.
+            let target = (q * n as f64).ceil() as u64;
+            let err = est.abs_diff(target - 1);
+            assert!(err <= bound, "q={q}: est {est}, target {}, err {err} > bound {bound}", target - 1);
+        }
+    }
+
+    #[test]
+    fn node_count_is_compressed() {
+        let mut d = QDigest::new(16, 64);
+        for i in 0..100_000u64 {
+            d.insert_weighted(i % 60_000, 1);
+        }
+        let nodes = d.node_count();
+        // Theory: at most ~3k nodes (3 per k-bucket).
+        assert!(nodes <= (3 * 64) as usize + 16, "{nodes} nodes");
+    }
+
+    #[test]
+    fn merge_equals_combined_within_bound() {
+        let mut a = QDigest::new(12, 128);
+        let mut b = QDigest::new(12, 128);
+        let mut combined = QDigest::new(12, 128);
+        for i in 0..2_000u64 {
+            a.insert_weighted(i, 1);
+            combined.insert_weighted(i, 1);
+            b.insert_weighted(i + 2_000, 1);
+            combined.insert_weighted(i + 2_000, 1);
+        }
+        a.merge_qdigest(&b);
+        assert_eq!(a.count(), combined.count());
+        let bound = a.rank_error_bound().max(combined.rank_error_bound());
+        for q in [0.25, 0.5, 0.75] {
+            let m = a.quantile_u64(q).unwrap();
+            let c = combined.quantile_u64(q).unwrap();
+            assert!(m.abs_diff(c) <= 2 * bound, "q={q}: merged {m} vs combined {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universes must match")]
+    fn merge_rejects_mismatched_universe() {
+        let mut a = QDigest::new(10, 16);
+        let b = QDigest::new(12, 16);
+        a.merge_qdigest(&b);
+    }
+
+    #[test]
+    fn out_of_universe_values_clamp() {
+        let mut d = QDigest::new(8, 16); // universe [0, 256)
+        d.insert_weighted(1_000_000, 5);
+        assert_eq!(d.count(), 5);
+        assert_eq!(d.quantile_u64(0.5), Some(255));
+    }
+
+    #[test]
+    fn weighted_inserts() {
+        let mut d = QDigest::new(10, u64::MAX);
+        d.insert_weighted(10, 99);
+        d.insert_weighted(20, 1);
+        assert_eq!(d.count(), 100);
+        assert_eq!(d.quantile_u64(0.5), Some(10));
+        assert_eq!(d.quantile_u64(1.0), Some(20));
+    }
+
+    #[test]
+    fn float_trait_insert_rounds_and_clamps() {
+        let mut d = QDigest::new(10, 64);
+        d.insert(5.4);
+        d.insert(-3.0); // clamps to 0
+        d.insert(f64::NAN); // dropped
+        assert_eq!(d.count(), 2);
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let mut d = QDigest::new(14, 128);
+        for i in 0..50_000u64 {
+            d.insert_weighted((i * 7919) % 16_000, 1);
+        }
+        let mut last = 0.0;
+        for i in 1..=20 {
+            let v = d.quantile(i as f64 / 20.0).unwrap();
+            assert!(v >= last, "q={}: {v} < {last}", i as f64 / 20.0);
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn zero_bits_rejected() {
+        let _ = QDigest::new(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "k")]
+    fn zero_k_rejected() {
+        let _ = QDigest::new(10, 0);
+    }
+}

@@ -1,0 +1,468 @@
+//! The merging t-digest (Dunning & Ertl, 2019).
+//!
+//! A t-digest summarizes a distribution as a sequence of *centroids*
+//! `(mean, weight)` sorted by mean. The `k1` scale function
+//! `k(q) = (δ / 2π) · asin(2q − 1)` bounds every centroid to one unit of
+//! k-space, which makes centroids near the tails tiny (high accuracy where
+//! quantile queries care) and centroids in the middle large (bounded size:
+//! at most ~δ centroids). New points accumulate in a buffer; when the buffer
+//! fills, buffer + centroids are merged in one sorted pass. Digests merge
+//! the same way, which is what makes the sketch usable decentralized.
+
+use crate::QuantileSketch;
+
+/// One weighted point mass of the digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Centroid {
+    /// Weighted mean of the observations absorbed into this centroid.
+    pub mean: f64,
+    /// Number of observations absorbed.
+    pub weight: u64,
+}
+
+/// A merging t-digest with compression parameter δ.
+///
+/// Larger δ ⇒ more centroids ⇒ better accuracy and more memory. The paper's
+/// baseline uses the library default δ = 100.
+#[derive(Debug, Clone)]
+pub struct TDigest {
+    compression: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    buffer_cap: usize,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl TDigest {
+    /// Create an empty digest with compression δ (clamped to ≥ 10).
+    pub fn new(compression: f64) -> TDigest {
+        let compression = if compression.is_finite() { compression.max(10.0) } else { 100.0 };
+        let buffer_cap = (compression as usize) * 5;
+        TDigest {
+            compression,
+            centroids: Vec::new(),
+            buffer: Vec::with_capacity(buffer_cap),
+            buffer_cap,
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The compression parameter δ.
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0 || !self.buffer.is_empty()).then_some(self.min)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0 || !self.buffer.is_empty()).then_some(self.max)
+    }
+
+    /// Current centroids (flushes the buffer first).
+    pub fn centroids(&mut self) -> &[Centroid] {
+        self.flush();
+        &self.centroids
+    }
+
+    /// Build a digest directly from centroids (e.g. decoded from the wire).
+    ///
+    /// # Panics
+    /// Panics if `centroids` is not sorted by mean or contains zero weights.
+    pub fn from_centroids(compression: f64, centroids: Vec<Centroid>) -> TDigest {
+        assert!(
+            centroids.windows(2).all(|w| w[0].mean <= w[1].mean),
+            "centroids must be sorted by mean"
+        );
+        assert!(centroids.iter().all(|c| c.weight > 0), "zero-weight centroid");
+        let total = centroids.iter().map(|c| c.weight).sum();
+        let min = centroids.first().map(|c| c.mean).unwrap_or(f64::INFINITY);
+        let max = centroids.last().map(|c| c.mean).unwrap_or(f64::NEG_INFINITY);
+        let mut d = TDigest::new(compression);
+        d.centroids = centroids;
+        d.total = total;
+        d.min = min;
+        d.max = max;
+        d
+    }
+
+    /// `k1` scale function.
+    #[inline]
+    fn k(&self, q: f64) -> f64 {
+        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
+    }
+
+    /// Inverse of [`Self::k`].
+    #[inline]
+    fn k_inv(&self, k: f64) -> f64 {
+        ((k * 2.0 * std::f64::consts::PI / self.compression).sin() + 1.0) / 2.0
+    }
+
+    /// Merge the insert buffer into the centroid list (one sorted pass).
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut incoming: Vec<Centroid> =
+            self.buffer.drain(..).map(|v| Centroid { mean: v, weight: 1 }).collect();
+        incoming.sort_unstable_by(|a, b| a.mean.total_cmp(&b.mean));
+        let merged = Self::merge_sorted(&self.centroids, &incoming);
+        self.compress(merged);
+    }
+
+    /// Merge two centroid lists sorted by mean.
+    fn merge_sorted(a: &[Centroid], b: &[Centroid]) -> Vec<Centroid> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].mean <= b[j].mean {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out
+    }
+
+    /// Recompress a sorted centroid list under the k-space size constraint.
+    fn compress(&mut self, sorted: Vec<Centroid>) {
+        let total: u64 = sorted.iter().map(|c| c.weight).sum();
+        self.total = total;
+        if total == 0 {
+            self.centroids.clear();
+            return;
+        }
+        let mut out: Vec<Centroid> = Vec::with_capacity(self.compression as usize + 8);
+        let mut w_so_far = 0u64;
+        // Running accumulation of the centroid being built.
+        let mut acc_sum = 0.0f64;
+        let mut acc_w = 0u64;
+        let mut q_limit = self.k_inv(self.k(0.0) + 1.0);
+        for c in sorted {
+            let q_new = (w_so_far + acc_w + c.weight) as f64 / total as f64;
+            if acc_w > 0 && q_new > q_limit {
+                // Seal the accumulated centroid, start a new one.
+                out.push(Centroid { mean: acc_sum / acc_w as f64, weight: acc_w });
+                w_so_far += acc_w;
+                q_limit = self.k_inv(self.k(w_so_far as f64 / total as f64) + 1.0);
+                acc_sum = 0.0;
+                acc_w = 0;
+            }
+            acc_sum += c.mean * c.weight as f64;
+            acc_w += c.weight;
+        }
+        if acc_w > 0 {
+            out.push(Centroid { mean: acc_sum / acc_w as f64, weight: acc_w });
+        }
+        self.centroids = out;
+    }
+
+    /// Estimate the cumulative fraction of observations `<= value`.
+    pub fn cdf(&mut self, value: f64) -> Option<f64> {
+        self.flush();
+        if self.total == 0 {
+            return None;
+        }
+        if value < self.min {
+            return Some(0.0);
+        }
+        if value >= self.max {
+            return Some(1.0);
+        }
+        // Walk centroids, interpolating between adjacent means.
+        let mut cum = 0.0f64;
+        let total = self.total as f64;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let half = c.weight as f64 / 2.0;
+            let center = cum + half;
+            if value < c.mean {
+                let prev_mean = if i == 0 { self.min } else { self.centroids[i - 1].mean };
+                let prev_center = if i == 0 {
+                    0.0
+                } else {
+                    cum - self.centroids[i - 1].weight as f64 / 2.0
+                };
+                let span = c.mean - prev_mean;
+                let frac = if span > 0.0 { (value - prev_mean) / span } else { 0.5 };
+                return Some(((prev_center + frac * (center - prev_center)) / total).clamp(0.0, 1.0));
+            }
+            cum += c.weight as f64;
+        }
+        Some(1.0)
+    }
+
+    fn quantile_inner(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let total = self.total as f64;
+        let target = q * total;
+        let mut cum = 0.0f64;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let half = c.weight as f64 / 2.0;
+            if target < cum + half {
+                // Interpolate between the previous centroid's mean (or min)
+                // and this centroid's mean.
+                let (prev_mean, prev_pos) = if i == 0 {
+                    (self.min, 0.0)
+                } else {
+                    (self.centroids[i - 1].mean, cum - self.centroids[i - 1].weight as f64 / 2.0)
+                };
+                let pos = cum + half;
+                let span = pos - prev_pos;
+                let frac = if span > 0.0 { (target - prev_pos) / span } else { 1.0 };
+                return Some((prev_mean + frac * (c.mean - prev_mean)).clamp(self.min, self.max));
+            }
+            cum += c.weight as f64;
+        }
+        Some(self.max)
+    }
+}
+
+impl QuantileSketch for TDigest {
+    fn insert(&mut self, value: f64) {
+        if !value.is_finite() {
+            return; // refuse NaN/inf rather than poisoning means
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buffer.push(value);
+        if self.buffer.len() >= self.buffer_cap {
+            self.flush();
+        }
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.buffer.is_empty() {
+            return self.quantile_inner(q);
+        }
+        // Flush on a clone to keep &self queries cheap and side-effect free.
+        let mut snapshot = self.clone();
+        snapshot.flush();
+        snapshot.quantile_inner(q)
+    }
+
+    fn count(&self) -> u64 {
+        self.total + self.buffer.len() as u64
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        let mut other = other.clone();
+        other.flush();
+        self.flush();
+        if other.total == 0 {
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let merged = Self::merge_sorted(&self.centroids, &other.centroids);
+        self.compress(merged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_digest(n: u64, compression: f64) -> TDigest {
+        let mut d = TDigest::new(compression);
+        for i in 0..n {
+            d.insert(i as f64);
+        }
+        d
+    }
+
+    #[test]
+    fn empty_digest() {
+        let d = TDigest::new(100.0);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.quantile(0.5), None);
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut d = TDigest::new(100.0);
+        d.insert(42.0);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.quantile(0.5), Some(42.0));
+        assert_eq!(d.quantile(0.01), Some(42.0));
+        assert_eq!(d.quantile(1.0), Some(42.0));
+    }
+
+    #[test]
+    fn uniform_median_accuracy() {
+        let d = uniform_digest(100_000, 100.0);
+        let median = d.quantile(0.5).unwrap();
+        assert!((median - 50_000.0).abs() < 500.0, "median {median}");
+    }
+
+    #[test]
+    fn tail_quantiles_are_very_accurate() {
+        let d = uniform_digest(100_000, 100.0);
+        let p001 = d.quantile(0.001).unwrap();
+        let p999 = d.quantile(0.999).unwrap();
+        // k1 scale function concentrates centroids at the tails.
+        assert!((p001 - 100.0).abs() < 50.0, "p0.1 {p001}");
+        assert!((p999 - 99_900.0).abs() < 50.0, "p99.9 {p999}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let d = uniform_digest(10_000, 50.0);
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..=100 {
+            let v = d.quantile(i as f64 / 100.0).unwrap();
+            assert!(v >= last, "q={} gave {v} < {last}", i as f64 / 100.0);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn centroid_count_is_bounded() {
+        let mut d = uniform_digest(1_000_000, 100.0);
+        let n = d.centroids().len();
+        // Theory: at most ~2δ centroids after compression.
+        assert!(n <= 220, "{n} centroids for δ=100");
+        assert!(n >= 30, "{n} suspiciously few centroids");
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let mut a = TDigest::new(100.0);
+        let mut b = TDigest::new(100.0);
+        let mut combined = TDigest::new(100.0);
+        for i in 0..50_000 {
+            let (x, y) = (i as f64, (i + 50_000) as f64);
+            a.insert(x);
+            b.insert(y);
+            combined.insert(x);
+            combined.insert(y);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), combined.count());
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let merged = a.quantile(q).unwrap();
+            let single = combined.quantile(q).unwrap();
+            assert!(
+                (merged - single).abs() < 2_000.0,
+                "q={q}: merged {merged} vs single {single}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut d = uniform_digest(1000, 100.0);
+        let before = d.quantile(0.5).unwrap();
+        d.merge_from(&TDigest::new(100.0));
+        assert_eq!(d.count(), 1000);
+        assert_eq!(d.quantile(0.5).unwrap(), before);
+
+        let mut empty = TDigest::new(100.0);
+        empty.merge_from(&uniform_digest(1000, 100.0));
+        assert_eq!(empty.count(), 1000);
+    }
+
+    #[test]
+    fn nan_and_infinity_are_rejected() {
+        let mut d = TDigest::new(100.0);
+        d.insert(f64::NAN);
+        d.insert(f64::INFINITY);
+        d.insert(f64::NEG_INFINITY);
+        assert_eq!(d.count(), 0);
+        d.insert(1.0);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn min_max_are_exact() {
+        let mut d = TDigest::new(20.0);
+        for v in [5.0, -3.0, 100.5, 7.0, 0.0] {
+            d.insert(v);
+        }
+        assert_eq!(d.min(), Some(-3.0));
+        assert_eq!(d.max(), Some(100.5));
+        assert_eq!(d.quantile(1.0), Some(100.5));
+    }
+
+    #[test]
+    fn cdf_roundtrips_quantile() {
+        let mut d = uniform_digest(100_000, 100.0);
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let v = d.quantile(q).unwrap();
+            let back = d.cdf(v).unwrap();
+            assert!((back - q).abs() < 0.02, "q={q} v={v} cdf={back}");
+        }
+        assert_eq!(d.cdf(-1.0), Some(0.0));
+        assert_eq!(d.cdf(1e12), Some(1.0));
+    }
+
+    #[test]
+    fn skewed_distribution_accuracy() {
+        // Exponential-ish skew via squares.
+        let mut d = TDigest::new(100.0);
+        let mut exact: Vec<f64> = Vec::new();
+        for i in 0..50_000u64 {
+            let v = (i as f64 / 100.0).powi(2);
+            d.insert(v);
+            exact.push(v);
+        }
+        exact.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            let est = d.quantile(q).unwrap();
+            let truth = exact[((q * 50_000.0) as usize).min(49_999)];
+            let rel = (est - truth).abs() / truth.max(1.0);
+            assert!(rel < 0.02, "q={q} est={est} truth={truth}");
+        }
+    }
+
+    #[test]
+    fn from_centroids_reconstructs() {
+        let mut d = uniform_digest(10_000, 100.0);
+        let centroids = d.centroids().to_vec();
+        let d2 = TDigest::from_centroids(100.0, centroids);
+        assert_eq!(d2.count(), 10_000);
+        let (a, b) = (d.quantile(0.5).unwrap(), d2.quantile(0.5).unwrap());
+        assert!((a - b).abs() < 200.0, "{a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn from_centroids_rejects_unsorted() {
+        let _ = TDigest::from_centroids(
+            100.0,
+            vec![Centroid { mean: 5.0, weight: 1 }, Centroid { mean: 1.0, weight: 1 }],
+        );
+    }
+
+    #[test]
+    fn low_compression_still_sane() {
+        let d = uniform_digest(10_000, 10.0);
+        let median = d.quantile(0.5).unwrap();
+        assert!((median - 5_000.0).abs() < 1_500.0, "median {median}");
+    }
+
+    #[test]
+    fn duplicate_heavy_stream() {
+        let mut d = TDigest::new(100.0);
+        for _ in 0..10_000 {
+            d.insert(7.0);
+        }
+        assert_eq!(d.quantile(0.5), Some(7.0));
+        assert_eq!(d.quantile(0.99), Some(7.0));
+    }
+}

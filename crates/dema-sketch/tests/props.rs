@@ -1,0 +1,180 @@
+//! Property tests for the quantile sketches: monotonicity, merge-equals-
+//! combined-stream, and error bounds under arbitrary inputs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dema_sketch::{KllSketch, QDigest, QuantileSketch, TDigest};
+
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// t-digest quantiles are monotone in q and clamped to [min, max].
+    #[test]
+    fn tdigest_monotone_and_bounded(values in vec(-1e6f64..1e6, 1..2000)) {
+        let mut d = TDigest::new(100.0);
+        for &v in &values {
+            d.insert(v);
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..=20 {
+            let v = d.quantile(i as f64 / 20.0).unwrap();
+            prop_assert!(v >= last);
+            prop_assert!(v >= lo && v <= hi, "estimate {v} outside [{lo}, {hi}]");
+            last = v;
+        }
+    }
+
+    /// t-digest rank error stays small: the estimated median's true rank is
+    /// within a few percent of n/2.
+    #[test]
+    fn tdigest_median_rank_error(values in vec(-1e4f64..1e4, 100..3000)) {
+        let mut d = TDigest::new(200.0);
+        for &v in &values {
+            d.insert(v);
+        }
+        let est = d.quantile(0.5).unwrap();
+        let below = values.iter().filter(|&&v| v <= est).count() as f64;
+        let frac = below / values.len() as f64;
+        prop_assert!((frac - 0.5).abs() < 0.1, "median estimate at cdf {frac}");
+    }
+
+    /// Merging t-digests is equivalent (within tolerance) to digesting the
+    /// concatenated stream.
+    #[test]
+    fn tdigest_merge_close_to_combined(
+        a in vec(-1e4f64..1e4, 1..1500),
+        b in vec(-1e4f64..1e4, 1..1500),
+    ) {
+        let mut da = TDigest::new(100.0);
+        let mut db = TDigest::new(100.0);
+        let mut all: Vec<f64> = Vec::with_capacity(a.len() + b.len());
+        for &v in &a { da.insert(v); all.push(v); }
+        for &v in &b { db.insert(v); all.push(v); }
+        da.merge_from(&db);
+        prop_assert_eq!(da.count(), all.len() as u64);
+        all.sort_by(|x, y| x.total_cmp(y));
+        for q in [0.25, 0.5, 0.75] {
+            let est = da.quantile(q).unwrap();
+            // Rank-space error check (value-space can be huge for sparse data).
+            let below = all.iter().filter(|&&v| v <= est).count() as f64;
+            let frac = below / all.len() as f64;
+            prop_assert!((frac - q).abs() < 0.15, "q={q} landed at cdf {frac}");
+        }
+    }
+
+    /// q-digest never exceeds its theoretical rank-error bound.
+    #[test]
+    fn qdigest_respects_rank_error_bound(values in vec(0u64..4096, 1..3000)) {
+        let mut d = QDigest::new(12, 64);
+        for &v in &values {
+            d.insert_weighted(v, 1);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let bound = d.rank_error_bound();
+        for q in [0.25, 0.5, 0.75, 1.0] {
+            let est = d.quantile(q).unwrap() as u64;
+            let target_rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            // est's plausible rank range in the data:
+            let lo_rank = sorted.partition_point(|&v| v < est) as u64;
+            let hi_rank = sorted.partition_point(|&v| v <= est) as u64;
+            // q-digest overestimates never by more than the bound, and the
+            // reported value's rank window must come within `bound` of the
+            // target.
+            let dist = if target_rank < lo_rank {
+                lo_rank - target_rank
+            } else {
+                target_rank.saturating_sub(hi_rank)
+            };
+            prop_assert!(dist <= bound, "q={q} est={est} rank window [{lo_rank},{hi_rank}] target {target_rank} bound {bound}");
+        }
+    }
+
+    /// q-digest merge preserves total count and stays within the merged
+    /// error bound.
+    #[test]
+    fn qdigest_merge_counts(
+        a in vec(0u64..1024, 0..1000),
+        b in vec(0u64..1024, 0..1000),
+    ) {
+        let mut da = QDigest::new(10, 64);
+        let mut db = QDigest::new(10, 64);
+        for &v in &a { da.insert_weighted(v, 1); }
+        for &v in &b { db.insert_weighted(v, 1); }
+        da.merge_from(&db);
+        prop_assert_eq!(da.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// KLL never loses or invents weight, and its quantiles are monotone
+    /// and clamped to the observed range.
+    #[test]
+    fn kll_weight_monotone_bounded(values in vec(-1e6f64..1e6, 1..3000)) {
+        let mut s = KllSketch::new(64);
+        for &v in &values {
+            s.insert(v);
+        }
+        prop_assert_eq!(s.count(), values.len() as u64);
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..=20 {
+            let v = s.quantile(i as f64 / 20.0).unwrap();
+            prop_assert!(v >= last && v >= lo && v <= hi);
+            last = v;
+        }
+    }
+
+    /// KLL median lands within a bounded rank error.
+    #[test]
+    fn kll_rank_error(values in vec(-1e5f64..1e5, 200..4000)) {
+        let mut s = KllSketch::new(256);
+        for &v in &values {
+            s.insert(v);
+        }
+        let est = s.quantile(0.5).unwrap();
+        let below = values.iter().filter(|&&v| v <= est).count() as f64;
+        let frac = below / values.len() as f64;
+        prop_assert!((frac - 0.5).abs() < 0.12, "median estimate at cdf {frac}");
+    }
+
+    /// Merging KLL sketches conserves counts.
+    #[test]
+    fn kll_merge_counts(
+        a in vec(-1e4f64..1e4, 0..2000),
+        b in vec(-1e4f64..1e4, 0..2000),
+    ) {
+        let mut sa = KllSketch::with_seed(128, 1);
+        let mut sb = KllSketch::with_seed(128, 2);
+        for &v in &a { sa.insert(v); }
+        for &v in &b { sb.insert(v); }
+        sa.merge_from(&sb);
+        prop_assert_eq!(sa.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// With an effectively infinite compression factor the q-digest is an
+    /// exact counting structure.
+    #[test]
+    fn qdigest_exact_at_infinite_k(values in vec(0u64..512, 1..500)) {
+        let mut d = QDigest::new(9, u64::MAX);
+        for &v in &values {
+            d.insert_weighted(v, 1);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            let est = d.quantile_u64(q).unwrap();
+            let expect = exact_quantile(
+                &sorted.iter().map(|&v| v as f64).collect::<Vec<_>>(), q) as u64;
+            prop_assert_eq!(est, expect, "q={}", q);
+        }
+    }
+}

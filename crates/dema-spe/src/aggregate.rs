@@ -1,0 +1,546 @@
+//! Aggregate functions as lift / combine / lower algebras, classified per
+//! Jesus et al. (§2.2):
+//!
+//! * **self-decomposable** — the partial result *is* the output type and
+//!   combines directly (sum, count, max, min);
+//! * **decomposable** — a small fixed-size accumulator combines, a final
+//!   `lower` derives the output (average, variance, range);
+//! * **non-decomposable / holistic** — the accumulator must retain all
+//!   events (median, quantile, distinct count): partial results cannot be
+//!   merged without the full dataset, which is the entire reason Dema
+//!   exists.
+//!
+//! The trait is deliberately the shape window slicing needs: slices hold
+//! accumulators (`lift` + `combine`), window triggers `combine` slice
+//! accumulators and `lower` once.
+
+use dema_core::event::Event;
+use dema_core::quantile::Quantile;
+
+/// The Jesus-et-al. classification of an aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Partial output merges into final output directly.
+    SelfDecomposable,
+    /// Constant-size accumulator, final lowering step.
+    Decomposable,
+    /// Accumulator must hold the full dataset.
+    NonDecomposable,
+}
+
+/// An aggregate function over event values.
+pub trait Aggregate {
+    /// Partial-aggregation state.
+    type Acc: Clone;
+    /// Final output.
+    type Out;
+
+    /// Classification (drives what the slicing engine may share).
+    fn kind(&self) -> AggregateKind;
+
+    /// The empty accumulator.
+    fn identity(&self) -> Self::Acc;
+
+    /// Fold one event into an accumulator.
+    fn lift(&self, acc: &mut Self::Acc, event: &Event);
+
+    /// Merge two accumulators.
+    fn combine(&self, a: Self::Acc, b: &Self::Acc) -> Self::Acc;
+
+    /// Produce the final output (`None` for an empty window where the
+    /// aggregate is undefined, e.g. max or median of nothing).
+    fn lower(&self, acc: &Self::Acc) -> Option<Self::Out>;
+}
+
+/// Σ value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sum;
+
+impl Aggregate for Sum {
+    type Acc = i128;
+    type Out = i128;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::SelfDecomposable
+    }
+    fn identity(&self) -> i128 {
+        0
+    }
+    fn lift(&self, acc: &mut i128, event: &Event) {
+        *acc += event.value as i128;
+    }
+    fn combine(&self, a: i128, b: &i128) -> i128 {
+        a + b
+    }
+    fn lower(&self, acc: &i128) -> Option<i128> {
+        Some(*acc)
+    }
+}
+
+/// Number of events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Count;
+
+impl Aggregate for Count {
+    type Acc = u64;
+    type Out = u64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::SelfDecomposable
+    }
+    fn identity(&self) -> u64 {
+        0
+    }
+    fn lift(&self, acc: &mut u64, _event: &Event) {
+        *acc += 1;
+    }
+    fn combine(&self, a: u64, b: &u64) -> u64 {
+        a + b
+    }
+    fn lower(&self, acc: &u64) -> Option<u64> {
+        Some(*acc)
+    }
+}
+
+/// Largest value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Max;
+
+impl Aggregate for Max {
+    type Acc = Option<i64>;
+    type Out = i64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::SelfDecomposable
+    }
+    fn identity(&self) -> Option<i64> {
+        None
+    }
+    fn lift(&self, acc: &mut Option<i64>, event: &Event) {
+        *acc = Some(acc.map_or(event.value, |m| m.max(event.value)));
+    }
+    fn combine(&self, a: Option<i64>, b: &Option<i64>) -> Option<i64> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.max(*y)),
+            (x, y) => x.or(*y),
+        }
+    }
+    fn lower(&self, acc: &Option<i64>) -> Option<i64> {
+        *acc
+    }
+}
+
+/// Smallest value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Min;
+
+impl Aggregate for Min {
+    type Acc = Option<i64>;
+    type Out = i64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::SelfDecomposable
+    }
+    fn identity(&self) -> Option<i64> {
+        None
+    }
+    fn lift(&self, acc: &mut Option<i64>, event: &Event) {
+        *acc = Some(acc.map_or(event.value, |m| m.min(event.value)));
+    }
+    fn combine(&self, a: Option<i64>, b: &Option<i64>) -> Option<i64> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(*y)),
+            (x, y) => x.or(*y),
+        }
+    }
+    fn lower(&self, acc: &Option<i64>) -> Option<i64> {
+        *acc
+    }
+}
+
+/// Arithmetic mean (decomposable: sum + count).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Average;
+
+impl Aggregate for Average {
+    type Acc = (i128, u64);
+    type Out = f64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Decomposable
+    }
+    fn identity(&self) -> (i128, u64) {
+        (0, 0)
+    }
+    fn lift(&self, acc: &mut (i128, u64), event: &Event) {
+        acc.0 += event.value as i128;
+        acc.1 += 1;
+    }
+    fn combine(&self, a: (i128, u64), b: &(i128, u64)) -> (i128, u64) {
+        (a.0 + b.0, a.1 + b.1)
+    }
+    fn lower(&self, acc: &(i128, u64)) -> Option<f64> {
+        (acc.1 > 0).then(|| acc.0 as f64 / acc.1 as f64)
+    }
+}
+
+/// Population variance via the parallel (Chan et al.) combination rule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Variance;
+
+/// Accumulator for [`Variance`]: count, mean, M2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VarAcc {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Aggregate for Variance {
+    type Acc = VarAcc;
+    type Out = f64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Decomposable
+    }
+    fn identity(&self) -> VarAcc {
+        VarAcc::default()
+    }
+    fn lift(&self, acc: &mut VarAcc, event: &Event) {
+        // Welford's online update.
+        acc.n += 1;
+        let x = event.value as f64;
+        let delta = x - acc.mean;
+        acc.mean += delta / acc.n as f64;
+        acc.m2 += delta * (x - acc.mean);
+    }
+    fn combine(&self, a: VarAcc, b: &VarAcc) -> VarAcc {
+        if a.n == 0 {
+            return *b;
+        }
+        if b.n == 0 {
+            return a;
+        }
+        let n = a.n + b.n;
+        let delta = b.mean - a.mean;
+        let mean = a.mean + delta * b.n as f64 / n as f64;
+        let m2 = a.m2 + b.m2 + delta * delta * a.n as f64 * b.n as f64 / n as f64;
+        VarAcc { n, mean, m2 }
+    }
+    fn lower(&self, acc: &VarAcc) -> Option<f64> {
+        (acc.n > 0).then(|| acc.m2 / acc.n as f64)
+    }
+}
+
+/// max − min (decomposable from two self-decomposable parts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Range;
+
+impl Aggregate for Range {
+    type Acc = Option<(i64, i64)>;
+    type Out = i64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::Decomposable
+    }
+    fn identity(&self) -> Option<(i64, i64)> {
+        None
+    }
+    fn lift(&self, acc: &mut Option<(i64, i64)>, event: &Event) {
+        let v = event.value;
+        *acc = Some(acc.map_or((v, v), |(lo, hi)| (lo.min(v), hi.max(v))));
+    }
+    fn combine(&self, a: Option<(i64, i64)>, b: &Option<(i64, i64)>) -> Option<(i64, i64)> {
+        match (a, *b) {
+            (Some((al, ah)), Some((bl, bh))) => Some((al.min(bl), ah.max(bh))),
+            (x, y) => x.or(y),
+        }
+    }
+    fn lower(&self, acc: &Option<(i64, i64)>) -> Option<i64> {
+        acc.map(|(lo, hi)| hi - lo)
+    }
+}
+
+/// Exact quantile — holistic: the accumulator keeps every value.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileAgg {
+    /// Which quantile to report.
+    pub q: Quantile,
+}
+
+impl QuantileAgg {
+    /// The median aggregate.
+    pub fn median() -> QuantileAgg {
+        QuantileAgg { q: Quantile::MEDIAN }
+    }
+}
+
+impl Aggregate for QuantileAgg {
+    type Acc = Vec<i64>;
+    type Out = i64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::NonDecomposable
+    }
+    fn identity(&self) -> Vec<i64> {
+        Vec::new()
+    }
+    fn lift(&self, acc: &mut Vec<i64>, event: &Event) {
+        acc.push(event.value);
+    }
+    fn combine(&self, mut a: Vec<i64>, b: &Vec<i64>) -> Vec<i64> {
+        a.extend_from_slice(b);
+        a
+    }
+    fn lower(&self, acc: &Vec<i64>) -> Option<i64> {
+        if acc.is_empty() {
+            return None;
+        }
+        let mut sorted = acc.clone();
+        sorted.sort_unstable();
+        let pos = self.q.pos(sorted.len() as u64).expect("non-empty");
+        Some(sorted[(pos - 1) as usize])
+    }
+}
+
+/// Most frequent value (smallest wins ties) — holistic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mode;
+
+impl Aggregate for Mode {
+    type Acc = std::collections::BTreeMap<i64, u64>;
+    type Out = i64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::NonDecomposable
+    }
+    fn identity(&self) -> Self::Acc {
+        std::collections::BTreeMap::new()
+    }
+    fn lift(&self, acc: &mut Self::Acc, event: &Event) {
+        *acc.entry(event.value).or_insert(0) += 1;
+    }
+    fn combine(&self, mut a: Self::Acc, b: &Self::Acc) -> Self::Acc {
+        for (&v, &c) in b {
+            *a.entry(v).or_insert(0) += c;
+        }
+        a
+    }
+    fn lower(&self, acc: &Self::Acc) -> Option<i64> {
+        // BTreeMap iteration is ascending, so `>` keeps the smallest value
+        // among equally frequent ones.
+        acc.iter().fold(None, |best: Option<(i64, u64)>, (&v, &c)| match best {
+            Some((_, bc)) if bc >= c => best,
+            _ => Some((v, c)),
+        })
+        .map(|(v, _)| v)
+    }
+}
+
+/// Number of distinct values — holistic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistinctCount;
+
+impl Aggregate for DistinctCount {
+    type Acc = std::collections::BTreeSet<i64>;
+    type Out = u64;
+    fn kind(&self) -> AggregateKind {
+        AggregateKind::NonDecomposable
+    }
+    fn identity(&self) -> Self::Acc {
+        std::collections::BTreeSet::new()
+    }
+    fn lift(&self, acc: &mut Self::Acc, event: &Event) {
+        acc.insert(event.value);
+    }
+    fn combine(&self, mut a: Self::Acc, b: &Self::Acc) -> Self::Acc {
+        a.extend(b.iter().copied());
+        a
+    }
+    fn lower(&self, acc: &Self::Acc) -> Option<u64> {
+        Some(acc.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(vals: &[i64]) -> Vec<Event> {
+        vals.iter().enumerate().map(|(i, &v)| Event::new(v, i as u64, i as u64)).collect()
+    }
+
+    /// Fold the full set, and fold split halves + combine; both must agree
+    /// for (self-)decomposable aggregates.
+    fn check_decomposable<A: Aggregate>(agg: &A, vals: &[i64]) -> Option<A::Out>
+    where
+        A::Out: PartialEq + std::fmt::Debug,
+    {
+        let evs = events(vals);
+        let mut whole = agg.identity();
+        for e in &evs {
+            agg.lift(&mut whole, e);
+        }
+        let (l, r) = evs.split_at(evs.len() / 2);
+        let mut left = agg.identity();
+        for e in l {
+            agg.lift(&mut left, e);
+        }
+        let mut right = agg.identity();
+        for e in r {
+            agg.lift(&mut right, e);
+        }
+        let combined = agg.combine(left, &right);
+        let a = agg.lower(&whole);
+        let b = agg.lower(&combined);
+        match (&a, &b) {
+            (Some(_), Some(_)) | (None, None) => {}
+            _ => panic!("whole={a:?} combined={b:?}"),
+        }
+        a
+    }
+
+    #[test]
+    fn sum_count_max_min() {
+        let vals = [3i64, -1, 4, 1, -5, 9, 2, 6];
+        assert_eq!(check_decomposable(&Sum, &vals), Some(19));
+        assert_eq!(check_decomposable(&Count, &vals), Some(8));
+        assert_eq!(check_decomposable(&Max, &vals), Some(9));
+        assert_eq!(check_decomposable(&Min, &vals), Some(-5));
+    }
+
+    #[test]
+    fn average_decomposes() {
+        let vals = [10i64, 20, 30, 40, 50];
+        let avg = check_decomposable(&Average, &vals).unwrap();
+        assert_eq!(avg, 30.0);
+    }
+
+    #[test]
+    fn variance_decomposes_and_matches_direct() {
+        let vals = [2i64, 4, 4, 4, 5, 5, 7, 9];
+        let var = check_decomposable(&Variance, &vals).unwrap();
+        assert!((var - 4.0).abs() < 1e-9, "variance {var}");
+        // Also check the split-combine equality numerically.
+        let evs = events(&vals);
+        let (l, r) = evs.split_at(3);
+        let mut a = Variance.identity();
+        l.iter().for_each(|e| Variance.lift(&mut a, e));
+        let mut b = Variance.identity();
+        r.iter().for_each(|e| Variance.lift(&mut b, e));
+        let c = Variance.combine(a, &b);
+        assert!((Variance.lower(&c).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_decomposes() {
+        let vals = [5i64, -3, 12, 0];
+        assert_eq!(check_decomposable(&Range, &vals), Some(15));
+    }
+
+    #[test]
+    fn empty_windows_are_none_where_undefined() {
+        assert_eq!(Max.lower(&Max.identity()), None);
+        assert_eq!(Min.lower(&Min.identity()), None);
+        assert_eq!(Average.lower(&Average.identity()), None);
+        assert_eq!(Variance.lower(&Variance.identity()), None);
+        assert_eq!(QuantileAgg::median().lower(&vec![]), None);
+        // ... but defined-at-empty aggregates return their identity.
+        assert_eq!(Sum.lower(&0), Some(0));
+        assert_eq!(Count.lower(&0), Some(0));
+        assert_eq!(DistinctCount.lower(&DistinctCount.identity()), Some(0));
+    }
+
+    #[test]
+    fn median_is_exact() {
+        let agg = QuantileAgg::median();
+        let mut acc = agg.identity();
+        for e in events(&[5, 1, 9, 3, 7]) {
+            agg.lift(&mut acc, &e);
+        }
+        assert_eq!(agg.lower(&acc), Some(5));
+    }
+
+    #[test]
+    fn quantile_combine_concatenates() {
+        let agg = QuantileAgg { q: Quantile::P25 };
+        let a = vec![1, 2, 3, 4];
+        let b = vec![5, 6, 7, 8];
+        let c = agg.combine(a, &b);
+        assert_eq!(agg.lower(&c), Some(2)); // rank 2 of 8
+    }
+
+    #[test]
+    fn distinct_count_across_partials() {
+        let agg = DistinctCount;
+        let mut a = agg.identity();
+        for e in events(&[1, 1, 2, 3]) {
+            agg.lift(&mut a, &e);
+        }
+        let mut b = agg.identity();
+        for e in events(&[3, 4, 4]) {
+            agg.lift(&mut b, &e);
+        }
+        let c = agg.combine(a, &b);
+        assert_eq!(agg.lower(&c), Some(4));
+    }
+
+    #[test]
+    fn mode_picks_most_frequent() {
+        let agg = Mode;
+        let mut acc = agg.identity();
+        for e in events(&[3, 1, 3, 2, 3, 2]) {
+            agg.lift(&mut acc, &e);
+        }
+        assert_eq!(agg.lower(&acc), Some(3));
+        assert_eq!(agg.lower(&agg.identity()), None);
+    }
+
+    #[test]
+    fn mode_tie_breaks_to_smallest_value() {
+        let agg = Mode;
+        let mut acc = agg.identity();
+        for e in events(&[5, 2, 5, 2]) {
+            agg.lift(&mut acc, &e);
+        }
+        assert_eq!(agg.lower(&acc), Some(2));
+    }
+
+    #[test]
+    fn mode_combines_partial_counts() {
+        let agg = Mode;
+        let mut a = agg.identity();
+        for e in events(&[1, 1, 2]) {
+            agg.lift(&mut a, &e);
+        }
+        let mut b = agg.identity();
+        for e in events(&[2, 2, 1]) {
+            agg.lift(&mut b, &e);
+        }
+        // combined: 1×3, 2×3 → tie → smallest = 1
+        assert_eq!(agg.lower(&agg.combine(a, &b)), Some(1));
+    }
+
+    #[test]
+    fn kinds_match_the_taxonomy() {
+        assert_eq!(Sum.kind(), AggregateKind::SelfDecomposable);
+        assert_eq!(Count.kind(), AggregateKind::SelfDecomposable);
+        assert_eq!(Max.kind(), AggregateKind::SelfDecomposable);
+        assert_eq!(Min.kind(), AggregateKind::SelfDecomposable);
+        assert_eq!(Average.kind(), AggregateKind::Decomposable);
+        assert_eq!(Variance.kind(), AggregateKind::Decomposable);
+        assert_eq!(Range.kind(), AggregateKind::Decomposable);
+        assert_eq!(QuantileAgg::median().kind(), AggregateKind::NonDecomposable);
+        assert_eq!(DistinctCount.kind(), AggregateKind::NonDecomposable);
+        assert_eq!(Mode.kind(), AggregateKind::NonDecomposable);
+    }
+
+    #[test]
+    fn median_of_medians_is_not_the_median() {
+        // The motivating counterexample for the whole paper: combining
+        // partial medians gives the wrong answer; combining full
+        // accumulators (what QuantileAgg does) gives the right one.
+        let agg = QuantileAgg::median();
+        let left = [1i64, 1, 1, 1, 1];
+        let right = [9i64, 9, 9];
+        let ml = agg.lower(&left.to_vec()).unwrap(); // 1
+        let mr = agg.lower(&right.to_vec()).unwrap(); // 9
+        let median_of_medians = (ml + mr) / 2; // 5 — not even present in the data
+        let mut acc = left.to_vec();
+        acc.extend_from_slice(&right);
+        let truth = agg.lower(&acc).unwrap(); // rank 4 of [1×5, 9×3] = 1
+        assert_eq!(truth, 1);
+        assert_ne!(median_of_medians, truth);
+    }
+}

@@ -1,0 +1,274 @@
+//! Window assignment: the three Dataflow-model window types (§2.1).
+//!
+//! Tumbling and sliding windows are *aligned* (their spans depend only on
+//! the timestamp); session windows are data-driven and handled by a stateful
+//! tracker that merges overlapping gaps.
+
+/// A half-open event-time span `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WindowSpan {
+    /// Inclusive start (ms).
+    pub start: u64,
+    /// Exclusive end (ms).
+    pub end: u64,
+}
+
+impl WindowSpan {
+    /// Create a span; `start < end` required.
+    pub fn new(start: u64, end: u64) -> WindowSpan {
+        assert!(start < end, "window span must be non-empty");
+        WindowSpan { start, end }
+    }
+
+    /// `true` if `ts` falls inside the span.
+    #[inline]
+    pub fn contains(&self, ts: u64) -> bool {
+        self.start <= ts && ts < self.end
+    }
+
+    /// Length in ms.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Spans are never empty; provided for clippy symmetry with `len`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Aligned window assigners (tumbling / sliding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAssigner {
+    /// Fixed, non-overlapping windows of `len` ms. The special case of
+    /// sliding windows where slide = len.
+    Tumbling {
+        /// Window length (ms), > 0.
+        len: u64,
+    },
+    /// Overlapping windows of `len` ms starting every `slide` ms.
+    Sliding {
+        /// Window length (ms), > 0.
+        len: u64,
+        /// Step between consecutive window starts (ms), `0 < slide <= len`.
+        slide: u64,
+    },
+}
+
+impl WindowAssigner {
+    /// All windows containing an event at `ts`, ascending by start.
+    pub fn assign(&self, ts: u64) -> Vec<WindowSpan> {
+        match *self {
+            WindowAssigner::Tumbling { len } => {
+                assert!(len > 0, "window length must be positive");
+                let start = ts / len * len;
+                vec![WindowSpan::new(start, start + len)]
+            }
+            WindowAssigner::Sliding { len, slide } => {
+                assert!(len > 0 && slide > 0 && slide <= len, "invalid sliding window");
+                // Last window starting at or before ts:
+                let last_start = ts / slide * slide;
+                // First window still containing ts:
+                let reach = len - 1; // a window started up to `reach` earlier still contains ts
+                let first_start = last_start.saturating_sub(reach / slide * slide);
+                let mut out = Vec::with_capacity(((last_start - first_start) / slide + 1) as usize);
+                let mut start = first_start;
+                while start <= last_start {
+                    if ts < start + len {
+                        out.push(WindowSpan::new(start, start + len));
+                    }
+                    start += slide;
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of concurrent windows an event belongs to.
+    pub fn windows_per_event(&self) -> u64 {
+        match *self {
+            WindowAssigner::Tumbling { .. } => 1,
+            WindowAssigner::Sliding { len, slide } => len.div_ceil(slide),
+        }
+    }
+}
+
+/// Stateful session-window tracker with a fixed inactivity gap.
+///
+/// Each new event either extends an existing session (if within `gap` of
+/// it) or opens a new one; sessions that an event bridges are merged.
+#[derive(Debug, Clone)]
+pub struct SessionTracker {
+    gap: u64,
+    /// Open sessions as (start, last_event_ts), sorted by start.
+    sessions: Vec<(u64, u64)>,
+}
+
+impl SessionTracker {
+    /// Create a tracker with the given inactivity gap (ms, > 0).
+    pub fn new(gap: u64) -> SessionTracker {
+        assert!(gap > 0, "session gap must be positive");
+        SessionTracker { gap, sessions: Vec::new() }
+    }
+
+    /// Register an event; returns the span of the session it now belongs to
+    /// (`[start, last + gap)`).
+    pub fn observe(&mut self, ts: u64) -> WindowSpan {
+        // Find sessions this event touches: ts within gap of [start, last].
+        let mut touched_start = ts;
+        let mut touched_last = ts;
+        self.sessions.retain(|&(start, last)| {
+            let touches = ts + self.gap > start && ts < last + self.gap;
+            if touches {
+                touched_start = touched_start.min(start);
+                touched_last = touched_last.max(last);
+            }
+            !touches
+        });
+        self.sessions.push((touched_start, touched_last));
+        self.sessions.sort_unstable();
+        WindowSpan::new(touched_start, touched_last + self.gap)
+    }
+
+    /// Close and return all sessions whose gap has fully elapsed at
+    /// `watermark`.
+    pub fn close_expired(&mut self, watermark: u64) -> Vec<WindowSpan> {
+        let gap = self.gap;
+        let (expired, open): (Vec<_>, Vec<_>) =
+            self.sessions.drain(..).partition(|&(_, last)| last + gap <= watermark);
+        self.sessions = open;
+        expired.into_iter().map(|(start, last)| WindowSpan::new(start, last + gap)).collect()
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_assignment() {
+        let a = WindowAssigner::Tumbling { len: 1000 };
+        assert_eq!(a.assign(0), vec![WindowSpan::new(0, 1000)]);
+        assert_eq!(a.assign(999), vec![WindowSpan::new(0, 1000)]);
+        assert_eq!(a.assign(1000), vec![WindowSpan::new(1000, 2000)]);
+        assert_eq!(a.windows_per_event(), 1);
+    }
+
+    #[test]
+    fn sliding_assignment_overlap() {
+        let a = WindowAssigner::Sliding { len: 1000, slide: 250 };
+        let spans = a.assign(1100);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0], WindowSpan::new(250, 1250));
+        assert_eq!(spans[3], WindowSpan::new(1000, 2000));
+        for s in &spans {
+            assert!(s.contains(1100));
+        }
+        assert_eq!(a.windows_per_event(), 4);
+    }
+
+    #[test]
+    fn sliding_near_time_zero_truncates() {
+        let a = WindowAssigner::Sliding { len: 1000, slide: 250 };
+        let spans = a.assign(100);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0], WindowSpan::new(0, 1000));
+    }
+
+    #[test]
+    fn tumbling_equals_sliding_with_equal_slide() {
+        let t = WindowAssigner::Tumbling { len: 500 };
+        let s = WindowAssigner::Sliding { len: 500, slide: 500 };
+        for ts in [0u64, 1, 499, 500, 12_345] {
+            assert_eq!(t.assign(ts), s.assign(ts), "ts={ts}");
+        }
+    }
+
+    #[test]
+    fn sliding_uneven_slide() {
+        let a = WindowAssigner::Sliding { len: 700, slide: 300 };
+        let spans = a.assign(900);
+        // Windows starting at 300, 600, 900 contain ts=900; 0 does not (0..700).
+        assert_eq!(
+            spans,
+            vec![WindowSpan::new(300, 1000), WindowSpan::new(600, 1300), WindowSpan::new(900, 1600)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sliding window")]
+    fn sliding_rejects_slide_above_len() {
+        let _ = WindowAssigner::Sliding { len: 100, slide: 200 }.assign(0);
+    }
+
+    #[test]
+    fn span_basics() {
+        let s = WindowSpan::new(10, 20);
+        assert!(s.contains(10) && s.contains(19));
+        assert!(!s.contains(9) && !s.contains(20));
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_span_rejected() {
+        let _ = WindowSpan::new(5, 5);
+    }
+
+    #[test]
+    fn sessions_extend_within_gap() {
+        let mut t = SessionTracker::new(100);
+        let s1 = t.observe(1000);
+        assert_eq!(s1, WindowSpan::new(1000, 1100));
+        let s2 = t.observe(1050);
+        assert_eq!(s2, WindowSpan::new(1000, 1150));
+        assert_eq!(t.open_sessions(), 1);
+    }
+
+    #[test]
+    fn sessions_split_beyond_gap() {
+        let mut t = SessionTracker::new(100);
+        t.observe(1000);
+        t.observe(2000);
+        assert_eq!(t.open_sessions(), 2);
+    }
+
+    #[test]
+    fn bridging_event_merges_sessions() {
+        let mut t = SessionTracker::new(100);
+        t.observe(1000);
+        t.observe(1150);
+        assert_eq!(t.open_sessions(), 2);
+        let merged = t.observe(1090); // within gap of both sessions
+        assert_eq!(merged, WindowSpan::new(1000, 1250));
+        assert_eq!(t.open_sessions(), 1);
+    }
+
+    #[test]
+    fn expired_sessions_close() {
+        let mut t = SessionTracker::new(100);
+        t.observe(1000);
+        t.observe(5000);
+        let closed = t.close_expired(2000);
+        assert_eq!(closed, vec![WindowSpan::new(1000, 1100)]);
+        assert_eq!(t.open_sessions(), 1);
+        assert!(t.close_expired(2000).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_event_joins_earlier_session() {
+        let mut t = SessionTracker::new(100);
+        t.observe(1000);
+        let s = t.observe(950); // late but within gap
+        assert_eq!(s, WindowSpan::new(950, 1100));
+        assert_eq!(t.open_sessions(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # dema-spe
+//!
+//! A compact stream-processing substrate: the window and aggregation
+//! machinery the Dema paper's setting assumes (§2), and the slicing engine
+//! its Scotty baseline is built on.
+//!
+//! * [`assigner`] — the Dataflow-model window types: tumbling, sliding, and
+//!   session windows over event time.
+//! * [`aggregate`] — aggregate functions classified per Jesus et al.:
+//!   self-decomposable (sum/count/max/min), decomposable (avg/variance/
+//!   range), and non-decomposable/holistic (median/quantile/distinct count),
+//!   expressed as lift / combine / lower algebras.
+//! * [`slicing`] — Scotty-style *stream slicing*: events land in
+//!   non-overlapping slices whose partial aggregates are shared by every
+//!   concurrent window, which is what makes sliding windows cheap for
+//!   decomposable functions — and precisely what breaks for quantiles,
+//!   motivating Dema.
+//! * [`operator`] — a window operator tying assigner + aggregate + watermark
+//!   into an ingest/trigger loop.
+
+pub mod aggregate;
+pub mod assigner;
+pub mod operator;
+pub mod session;
+pub mod slicing;
+
+pub use aggregate::{Aggregate, AggregateKind};
+pub use assigner::{WindowAssigner, WindowSpan};
+pub use operator::WindowOperator;
+pub use session::SessionOperator;

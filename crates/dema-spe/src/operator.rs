@@ -1,0 +1,167 @@
+//! A plain (unshared) window operator: every event is lifted into the
+//! accumulator of *each* window that contains it.
+//!
+//! This is the correctness reference for [`crate::slicing::StreamSlicer`]
+//! and the right tool for holistic aggregates on a single node, where
+//! sharing buys nothing (the accumulator is the data).
+
+use std::collections::BTreeMap;
+
+use dema_core::event::Event;
+
+use crate::aggregate::Aggregate;
+use crate::assigner::{WindowAssigner, WindowSpan};
+
+/// Buffer-per-window operator over aligned windows.
+#[derive(Debug)]
+pub struct WindowOperator<A: Aggregate> {
+    assigner: WindowAssigner,
+    agg: A,
+    open: BTreeMap<WindowSpan, A::Acc>,
+    /// End of the next window to trigger (windows trigger in end order).
+    next_window_end: u64,
+    watermark: u64,
+    late_events: u64,
+    lifts: u64,
+}
+
+impl<A: Aggregate> WindowOperator<A> {
+    /// Create an operator.
+    pub fn new(assigner: WindowAssigner, agg: A) -> WindowOperator<A> {
+        let first_end = match assigner {
+            WindowAssigner::Tumbling { len } => len,
+            WindowAssigner::Sliding { len, .. } => len,
+        };
+        WindowOperator {
+            assigner,
+            agg,
+            open: BTreeMap::new(),
+            next_window_end: first_end,
+            watermark: 0,
+            late_events: 0,
+            lifts: 0,
+        }
+    }
+
+    /// Events lifted so far (= Σ windows-per-event over ingested events).
+    pub fn lifts(&self) -> u64 {
+        self.lifts
+    }
+
+    /// Late events dropped.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Currently open windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Ingest one event into all windows containing it. Returns `false` if
+    /// dropped as late.
+    pub fn ingest(&mut self, event: &Event) -> bool {
+        if event.ts < self.watermark {
+            self.late_events += 1;
+            return false;
+        }
+        for span in self.assigner.assign(event.ts) {
+            let agg = &self.agg;
+            let acc = self.open.entry(span).or_insert_with(|| agg.identity());
+            self.agg.lift(acc, event);
+            self.lifts += 1;
+        }
+        true
+    }
+
+    /// Advance the watermark; trigger every window whose end has passed, in
+    /// end order, including empty ones.
+    pub fn advance_watermark(&mut self, watermark: u64) -> Vec<(WindowSpan, Option<A::Out>)> {
+        self.watermark = self.watermark.max(watermark);
+        let (len, slide) = match self.assigner {
+            WindowAssigner::Tumbling { len } => (len, len),
+            WindowAssigner::Sliding { len, slide } => (len, slide),
+        };
+        let mut out = Vec::new();
+        while self.next_window_end <= self.watermark {
+            let span = WindowSpan::new(self.next_window_end - len, self.next_window_end);
+            let acc = self.open.remove(&span).unwrap_or_else(|| self.agg.identity());
+            out.push((span, self.agg.lower(&acc)));
+            self.next_window_end += slide;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{Average, Count, QuantileAgg, Sum};
+
+    fn ev(v: i64, ts: u64) -> Event {
+        Event::new(v, ts, ts)
+    }
+
+    #[test]
+    fn tumbling_median_per_window() {
+        let mut op = WindowOperator::new(WindowAssigner::Tumbling { len: 1000 }, QuantileAgg::median());
+        for i in 0..100 {
+            op.ingest(&ev(i, 100 + i as u64)); // window 0
+            op.ingest(&ev(1000 - i, 1100 + i as u64)); // window 1
+        }
+        let results = op.advance_watermark(2000);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].1, Some(49)); // median of 0..100 = rank 50
+        assert_eq!(results[1].1, Some(950)); // median of 901..=1000 = rank 50
+    }
+
+    #[test]
+    fn sliding_lifts_each_event_into_every_window() {
+        let mut op = WindowOperator::new(WindowAssigner::Sliding { len: 400, slide: 100 }, Count);
+        op.ingest(&ev(1, 450));
+        assert_eq!(op.lifts(), 4);
+        assert_eq!(op.open_windows(), 4);
+    }
+
+    #[test]
+    fn windows_trigger_in_end_order_including_empty() {
+        let mut op = WindowOperator::new(WindowAssigner::Tumbling { len: 100 }, Sum);
+        op.ingest(&ev(7, 350));
+        let results = op.advance_watermark(500);
+        let ends: Vec<u64> = results.iter().map(|(s, _)| s.end).collect();
+        assert_eq!(ends, vec![100, 200, 300, 400, 500]);
+        assert_eq!(results[3].1, Some(7));
+        assert_eq!(results[0].1, Some(0));
+    }
+
+    #[test]
+    fn late_events_counted_and_dropped() {
+        let mut op = WindowOperator::new(WindowAssigner::Tumbling { len: 100 }, Count);
+        op.advance_watermark(200);
+        assert!(!op.ingest(&ev(1, 150)));
+        assert_eq!(op.late_events(), 1);
+    }
+
+    #[test]
+    fn average_over_sliding_windows() {
+        let mut op = WindowOperator::new(WindowAssigner::Sliding { len: 200, slide: 100 }, Average);
+        op.ingest(&ev(10, 50));
+        op.ingest(&ev(20, 150));
+        op.ingest(&ev(60, 250));
+        let results = op.advance_watermark(400);
+        // [0,200): 10,20 → 15; [100,300): 20,60 → 40; [200,400): 60
+        let by_start: std::collections::HashMap<u64, Option<f64>> =
+            results.into_iter().map(|(s, v)| (s.start, v)).collect();
+        assert_eq!(by_start[&0], Some(15.0));
+        assert_eq!(by_start[&100], Some(40.0));
+        assert_eq!(by_start[&200], Some(60.0));
+    }
+
+    #[test]
+    fn no_windows_before_watermark() {
+        let mut op = WindowOperator::new(WindowAssigner::Tumbling { len: 100 }, Count);
+        op.ingest(&ev(1, 50));
+        assert!(op.advance_watermark(99).is_empty());
+        assert_eq!(op.advance_watermark(100).len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Session-window operator: data-driven windows over an inactivity gap,
+//! combined with any aggregate.
+//!
+//! Unlike the aligned operators, sessions are stateful per *window*: an
+//! event may extend a session or merge several; accumulators of merged
+//! sessions are combined (which is only cheap for decomposable aggregates —
+//! yet another place where holistic functions force the accumulator to be
+//! the data).
+
+use dema_core::event::Event;
+
+use crate::aggregate::Aggregate;
+use crate::assigner::WindowSpan;
+
+/// A session-window operator with inactivity gap `gap` ms.
+#[derive(Debug)]
+pub struct SessionOperator<A: Aggregate> {
+    gap: u64,
+    agg: A,
+    /// Open sessions: (start, last event ts, accumulator), sorted by start.
+    sessions: Vec<(u64, u64, A::Acc)>,
+    watermark: u64,
+    late_events: u64,
+}
+
+impl<A: Aggregate> SessionOperator<A> {
+    /// Create an operator with the given inactivity gap (ms, > 0).
+    pub fn new(gap: u64, agg: A) -> SessionOperator<A> {
+        assert!(gap > 0, "session gap must be positive");
+        SessionOperator { gap, agg, sessions: Vec::new(), watermark: 0, late_events: 0 }
+    }
+
+    /// Currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Late events dropped so far.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Ingest one event: extend, open, or merge sessions. Returns `false`
+    /// if dropped as late.
+    pub fn ingest(&mut self, event: &Event) -> bool {
+        if event.ts < self.watermark {
+            self.late_events += 1;
+            return false;
+        }
+        let gap = self.gap;
+        // Collect sessions this event touches (within `gap` on either side).
+        let mut acc = self.agg.identity();
+        self.agg.lift(&mut acc, event);
+        let mut start = event.ts;
+        let mut last = event.ts;
+        let mut kept = Vec::with_capacity(self.sessions.len() + 1);
+        for (s, l, a) in self.sessions.drain(..) {
+            let touches = event.ts + gap > s && event.ts < l + gap;
+            if touches {
+                start = start.min(s);
+                last = last.max(l);
+                acc = self.agg.combine(acc, &a);
+            } else {
+                kept.push((s, l, a));
+            }
+        }
+        kept.push((start, last, acc));
+        kept.sort_unstable_by_key(|&(s, l, _)| (s, l));
+        self.sessions = kept;
+        true
+    }
+
+    /// Advance the watermark and emit every session whose gap has fully
+    /// elapsed, as `(span, output)` in start order.
+    pub fn advance_watermark(&mut self, watermark: u64) -> Vec<(WindowSpan, Option<A::Out>)> {
+        self.watermark = self.watermark.max(watermark);
+        let gap = self.gap;
+        let wm = self.watermark;
+        let mut out = Vec::new();
+        let mut kept = Vec::with_capacity(self.sessions.len());
+        for (s, l, a) in self.sessions.drain(..) {
+            if l + gap <= wm {
+                out.push((WindowSpan::new(s, l + gap), self.agg.lower(&a)));
+            } else {
+                kept.push((s, l, a));
+            }
+        }
+        self.sessions = kept;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{Count, QuantileAgg, Sum};
+
+    fn ev(v: i64, ts: u64) -> Event {
+        Event::new(v, ts, ts)
+    }
+
+    #[test]
+    fn isolated_bursts_become_separate_sessions() {
+        let mut op = SessionOperator::new(100, Count);
+        for ts in [1000u64, 1010, 1020] {
+            op.ingest(&ev(1, ts));
+        }
+        for ts in [5000u64, 5050] {
+            op.ingest(&ev(1, ts));
+        }
+        assert_eq!(op.open_sessions(), 2);
+        let closed = op.advance_watermark(6000);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0], (WindowSpan::new(1000, 1120), Some(3)));
+        assert_eq!(closed[1], (WindowSpan::new(5000, 5150), Some(2)));
+    }
+
+    #[test]
+    fn bridging_event_merges_accumulators() {
+        let mut op = SessionOperator::new(100, Sum);
+        op.ingest(&ev(10, 1000));
+        op.ingest(&ev(20, 1150));
+        assert_eq!(op.open_sessions(), 2);
+        op.ingest(&ev(5, 1090)); // bridges both sessions
+        assert_eq!(op.open_sessions(), 1);
+        let closed = op.advance_watermark(2000);
+        assert_eq!(closed, vec![(WindowSpan::new(1000, 1250), Some(35))]);
+    }
+
+    #[test]
+    fn holistic_aggregate_over_sessions() {
+        let mut op = SessionOperator::new(50, QuantileAgg::median());
+        for (i, v) in [9i64, 1, 5, 7, 3].into_iter().enumerate() {
+            op.ingest(&ev(v, 1000 + i as u64 * 10));
+        }
+        let closed = op.advance_watermark(2000);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].1, Some(5));
+    }
+
+    #[test]
+    fn open_sessions_stay_open() {
+        let mut op = SessionOperator::new(100, Count);
+        op.ingest(&ev(1, 1000));
+        let closed = op.advance_watermark(1099); // gap not yet elapsed
+        assert!(closed.is_empty());
+        assert_eq!(op.open_sessions(), 1);
+        assert_eq!(op.advance_watermark(1100).len(), 1);
+    }
+
+    #[test]
+    fn late_events_dropped() {
+        let mut op = SessionOperator::new(100, Count);
+        op.advance_watermark(5000);
+        assert!(!op.ingest(&ev(1, 4999)));
+        assert_eq!(op.late_events(), 1);
+    }
+
+    #[test]
+    fn out_of_order_within_watermark_joins_session() {
+        let mut op = SessionOperator::new(100, Count);
+        op.ingest(&ev(1, 1000));
+        op.ingest(&ev(1, 950)); // earlier but not late
+        assert_eq!(op.open_sessions(), 1);
+        let closed = op.advance_watermark(2000);
+        assert_eq!(closed[0], (WindowSpan::new(950, 1100), Some(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "session gap")]
+    fn zero_gap_rejected() {
+        let _ = SessionOperator::new(0, Count);
+    }
+}

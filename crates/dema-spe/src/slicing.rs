@@ -1,0 +1,295 @@
+//! Scotty-style stream slicing (Traub et al., "Scotty: General and
+//! Efficient Open-source Window Aggregation", TODS 2021).
+//!
+//! For overlapping (sliding) windows, aggregating every window independently
+//! lifts each event `len/slide` times. Stream slicing instead partitions the
+//! stream into non-overlapping *slices* whose boundaries are the union of
+//! all window starts and ends; each event is lifted into exactly one slice
+//! accumulator, and a window trigger merely `combine`s the accumulators of
+//! the slices it spans. For decomposable aggregates this turns per-event
+//! cost from `O(len/slide)` into `O(1)` — and for *non-decomposable*
+//! aggregates the "accumulator" is the event set itself, which is why this
+//! trick alone cannot fix quantiles in a decentralized setting (the slices
+//! still hold raw events that must travel). That asymmetry is the gap Dema
+//! fills.
+
+use std::collections::BTreeMap;
+
+use dema_core::event::Event;
+
+use crate::aggregate::Aggregate;
+use crate::assigner::{WindowAssigner, WindowSpan};
+
+/// A slicing window operator for aligned (tumbling/sliding) windows.
+#[derive(Debug)]
+pub struct StreamSlicer<A: Aggregate> {
+    assigner: WindowAssigner,
+    agg: A,
+    /// Slice start → (slice end, accumulator).
+    slices: BTreeMap<u64, (u64, A::Acc)>,
+    /// End time of the next window to trigger.
+    next_window_end: u64,
+    watermark: u64,
+    late_events: u64,
+    lifts: u64,
+    combines: u64,
+}
+
+impl<A: Aggregate> StreamSlicer<A> {
+    /// Create a slicer.
+    pub fn new(assigner: WindowAssigner, agg: A) -> StreamSlicer<A> {
+        let first_end = match assigner {
+            WindowAssigner::Tumbling { len } => len,
+            WindowAssigner::Sliding { len, .. } => len,
+        };
+        StreamSlicer {
+            assigner,
+            agg,
+            slices: BTreeMap::new(),
+            next_window_end: first_end,
+            watermark: 0,
+            late_events: 0,
+            lifts: 0,
+            combines: 0,
+        }
+    }
+
+    /// `(len, slide)` of the assigner (tumbling ⇒ slide = len).
+    fn geometry(&self) -> (u64, u64) {
+        match self.assigner {
+            WindowAssigner::Tumbling { len } => (len, len),
+            WindowAssigner::Sliding { len, slide } => (len, slide),
+        }
+    }
+
+    /// Largest slice boundary `<= ts` and smallest `> ts`.
+    fn slice_span(&self, ts: u64) -> (u64, u64) {
+        let (len, slide) = self.geometry();
+        // Boundary family A: window starts, multiples of `slide`.
+        let prev_a = ts / slide * slide;
+        let next_a = prev_a + slide;
+        // Boundary family B: window ends, ≡ len (mod slide).
+        let rem = len % slide;
+        let (prev_b, next_b) = if ts >= rem {
+            let p = (ts - rem) / slide * slide + rem;
+            (Some(p), p + slide)
+        } else {
+            (None, rem)
+        };
+        let start = match prev_b {
+            Some(b) => prev_a.max(b),
+            None => prev_a,
+        };
+        let end = next_a.min(next_b);
+        (start, end)
+    }
+
+    /// Events lifted so far (exactly one lift per on-time event).
+    pub fn lifts(&self) -> u64 {
+        self.lifts
+    }
+
+    /// Accumulator combinations performed by window triggers.
+    pub fn combines(&self) -> u64 {
+        self.combines
+    }
+
+    /// Late (behind-watermark) events dropped.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Currently held slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Ingest one event into its slice. Returns `false` if dropped as late.
+    pub fn ingest(&mut self, event: &Event) -> bool {
+        if event.ts < self.watermark {
+            self.late_events += 1;
+            return false;
+        }
+        let (start, end) = self.slice_span(event.ts);
+        let agg = &self.agg;
+        let (_, acc) = self
+            .slices
+            .entry(start)
+            .or_insert_with(|| (end, agg.identity()));
+        self.agg.lift(acc, event);
+        self.lifts += 1;
+        true
+    }
+
+    /// Advance the watermark; trigger every window whose end has passed.
+    /// Returns `(span, output)` pairs in trigger order.
+    pub fn advance_watermark(&mut self, watermark: u64) -> Vec<(WindowSpan, Option<A::Out>)> {
+        self.watermark = self.watermark.max(watermark);
+        let (len, slide) = self.geometry();
+        let mut out = Vec::new();
+        while self.next_window_end <= self.watermark {
+            let end = self.next_window_end;
+            let start = end - len;
+            let mut acc = self.agg.identity();
+            for (_, (_, slice_acc)) in self.slices.range(start..end) {
+                acc = self.agg.combine(acc, slice_acc);
+                self.combines += 1;
+            }
+            out.push((WindowSpan::new(start, end), self.agg.lower(&acc)));
+            self.next_window_end += slide;
+            // Evict slices no future window can need: the oldest live window
+            // starts at next_window_end - len.
+            let horizon = self.next_window_end - len;
+            while let Some(entry) = self.slices.first_entry() {
+                if entry.get().0 <= horizon {
+                    entry.remove();
+                } else {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{Count, Max, QuantileAgg, Sum};
+    use crate::operator::WindowOperator;
+
+    fn ev(v: i64, ts: u64) -> Event {
+        Event::new(v, ts, ts)
+    }
+
+    #[test]
+    fn tumbling_sum_matches_naive() {
+        let mut s = StreamSlicer::new(WindowAssigner::Tumbling { len: 1000 }, Sum);
+        for i in 0..3000u64 {
+            s.ingest(&ev(1, i));
+        }
+        let results = s.advance_watermark(3000);
+        assert_eq!(results.len(), 3);
+        for (span, sum) in results {
+            assert_eq!(sum, Some(1000), "window {span:?}");
+        }
+    }
+
+    #[test]
+    fn sliding_windows_share_slices() {
+        // len 1000, slide 250: each event belongs to 4 windows but must be
+        // lifted exactly once.
+        let mut s = StreamSlicer::new(WindowAssigner::Sliding { len: 1000, slide: 250 }, Count);
+        for i in 0..2000u64 {
+            s.ingest(&ev(1, i));
+        }
+        assert_eq!(s.lifts(), 2000);
+        let results = s.advance_watermark(2000);
+        // Windows ending at 1000, 1250, 1500, 1750, 2000.
+        assert_eq!(results.len(), 5);
+        for (span, count) in &results {
+            assert_eq!(*count, Some(span.len()), "{span:?}");
+        }
+    }
+
+    #[test]
+    fn sliding_results_match_unshared_operator() {
+        let assigner = WindowAssigner::Sliding { len: 600, slide: 200 };
+        let mut sliced = StreamSlicer::new(assigner, Sum);
+        let mut naive = WindowOperator::new(assigner, Sum);
+        let events: Vec<Event> =
+            (0..1500u64).map(|i| ev((i as i64 * 7) % 100 - 50, (i * 13) % 2400)).collect();
+        for e in &events {
+            sliced.ingest(e);
+            naive.ingest(e);
+        }
+        let a = sliced.advance_watermark(2400);
+        let b = naive.advance_watermark(2400);
+        assert_eq!(a, b);
+        // Sharing: the slicer lifts each event once; the naive operator up
+        // to len/slide = 3 times (fewer near t = 0, where early events fall
+        // into fewer windows).
+        assert_eq!(sliced.lifts(), 1500);
+        assert!(naive.lifts() > sliced.lifts() * 2);
+        assert!(naive.lifts() <= sliced.lifts() * 3);
+    }
+
+    #[test]
+    fn uneven_slide_boundaries() {
+        // len 700, slide 300 → boundaries at 0,100(=700%300),300,400,600,700,...
+        let s = StreamSlicer::new(WindowAssigner::Sliding { len: 700, slide: 300 }, Count);
+        assert_eq!(s.slice_span(0), (0, 100));
+        assert_eq!(s.slice_span(99), (0, 100));
+        assert_eq!(s.slice_span(100), (100, 300));
+        assert_eq!(s.slice_span(350), (300, 400));
+        assert_eq!(s.slice_span(650), (600, 700));
+        assert_eq!(s.slice_span(700), (700, 900));
+    }
+
+    #[test]
+    fn uneven_slide_results_match_naive() {
+        let assigner = WindowAssigner::Sliding { len: 700, slide: 300 };
+        let mut sliced = StreamSlicer::new(assigner, Max);
+        let mut naive = WindowOperator::new(assigner, Max);
+        for i in 0..900u64 {
+            let e = ev((i as i64 * 31) % 500, (i * 11) % 3000);
+            sliced.ingest(&e);
+            naive.ingest(&e);
+        }
+        assert_eq!(sliced.advance_watermark(3000), naive.advance_watermark(3000));
+    }
+
+    #[test]
+    fn late_events_dropped() {
+        let mut s = StreamSlicer::new(WindowAssigner::Tumbling { len: 100 }, Count);
+        s.advance_watermark(500);
+        assert!(!s.ingest(&ev(1, 499)));
+        assert!(s.ingest(&ev(1, 500)));
+        assert_eq!(s.late_events(), 1);
+    }
+
+    #[test]
+    fn slices_are_evicted_after_use() {
+        let mut s = StreamSlicer::new(WindowAssigner::Sliding { len: 1000, slide: 500 }, Count);
+        for i in 0..10_000u64 {
+            s.ingest(&ev(1, i));
+        }
+        s.advance_watermark(10_000);
+        // Only slices a still-open window may need remain.
+        assert!(s.slice_count() <= 4, "{} slices retained", s.slice_count());
+    }
+
+    #[test]
+    fn empty_windows_trigger_with_identity() {
+        let mut s = StreamSlicer::new(WindowAssigner::Tumbling { len: 100 }, Sum);
+        s.ingest(&ev(5, 250));
+        let results = s.advance_watermark(400);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].1, Some(0)); // [0,100): empty
+        assert_eq!(results[2].1, Some(5)); // [200,300)
+    }
+
+    #[test]
+    fn holistic_aggregate_works_but_buffers_everything() {
+        // Slicing still *computes* quantiles correctly on one node — the
+        // point is the accumulators are O(events), so offloading them over a
+        // network ships all raw data (the paper's motivation).
+        let mut s =
+            StreamSlicer::new(WindowAssigner::Sliding { len: 400, slide: 200 }, QuantileAgg::median());
+        for i in 0..400u64 {
+            s.ingest(&ev(i as i64, i));
+        }
+        let results = s.advance_watermark(400);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1, Some(199)); // median of 0..400 at rank 200
+    }
+
+    #[test]
+    fn watermark_is_monotone() {
+        let mut s = StreamSlicer::new(WindowAssigner::Tumbling { len: 100 }, Count);
+        s.advance_watermark(1000);
+        let again = s.advance_watermark(500); // regression ignored
+        assert!(again.is_empty());
+        assert!(!s.ingest(&ev(1, 999)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the SPE substrate: stream slicing is observationally
+//! identical to the unshared operator for every aggregate and window
+//! geometry, and the aggregate algebra is associative under splits.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use dema_core::event::Event;
+use dema_spe::aggregate::{Aggregate, Average, Count, Max, Min, QuantileAgg, Sum, Variance};
+use dema_spe::slicing::StreamSlicer;
+use dema_spe::{WindowAssigner, WindowOperator};
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    vec((-1000i64..1000, 0u64..8000), 0..400).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (v, ts))| Event::new(v, ts, i as u64))
+            .collect()
+    })
+}
+
+fn arb_assigner() -> impl Strategy<Value = WindowAssigner> {
+    prop_oneof![
+        (100u64..2000).prop_map(|len| WindowAssigner::Tumbling { len }),
+        (1u64..8, 50u64..500).prop_map(|(mult, slide)| WindowAssigner::Sliding {
+            len: slide * mult,
+            slide,
+        }),
+    ]
+}
+
+/// Run both operators over the same data and compare trigger-for-trigger.
+fn slicer_matches_naive<A: Aggregate + Copy>(
+    agg: A,
+    assigner: WindowAssigner,
+    events: &[Event],
+) -> std::result::Result<(), TestCaseError>
+where
+    A::Out: PartialEq + std::fmt::Debug,
+{
+    let mut sliced = StreamSlicer::new(assigner, agg);
+    let mut naive = WindowOperator::new(assigner, agg);
+    for e in events {
+        sliced.ingest(e);
+        naive.ingest(e);
+    }
+    let a = sliced.advance_watermark(10_000);
+    let b = naive.advance_watermark(10_000);
+    prop_assert_eq!(a.len(), b.len());
+    for ((sa, va), (sb, vb)) in a.into_iter().zip(b) {
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(va, vb, "window {:?}", sa);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn slicing_equals_naive_for_sum(events in arb_events(), assigner in arb_assigner()) {
+        slicer_matches_naive(Sum, assigner, &events)?;
+    }
+
+    #[test]
+    fn slicing_equals_naive_for_count_max_min(
+        events in arb_events(),
+        assigner in arb_assigner(),
+    ) {
+        slicer_matches_naive(Count, assigner, &events)?;
+        slicer_matches_naive(Max, assigner, &events)?;
+        slicer_matches_naive(Min, assigner, &events)?;
+    }
+
+    #[test]
+    fn slicing_equals_naive_for_average(events in arb_events(), assigner in arb_assigner()) {
+        slicer_matches_naive(Average, assigner, &events)?;
+    }
+
+    #[test]
+    fn slicing_equals_naive_for_median(events in arb_events(), assigner in arb_assigner()) {
+        // Holistic aggregate: slicing still must not change results.
+        slicer_matches_naive(QuantileAgg::median(), assigner, &events)?;
+    }
+
+    /// Variance combination (Chan et al.) equals single-pass Welford over
+    /// arbitrary splits, within floating-point tolerance.
+    #[test]
+    fn variance_split_invariance(vals in vec(-1000i64..1000, 1..300), split in 0usize..300) {
+        let events: Vec<Event> =
+            vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect();
+        let split = split.min(events.len());
+        let agg = Variance;
+        let mut whole = agg.identity();
+        for e in &events {
+            agg.lift(&mut whole, e);
+        }
+        let mut left = agg.identity();
+        for e in &events[..split] {
+            agg.lift(&mut left, e);
+        }
+        let mut right = agg.identity();
+        for e in &events[split..] {
+            agg.lift(&mut right, e);
+        }
+        let combined = agg.combine(left, &right);
+        let a = agg.lower(&whole).unwrap();
+        let b = agg.lower(&combined).unwrap();
+        prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    /// Every event is lifted exactly once by the slicer regardless of
+    /// geometry; the naive operator lifts once per covering window.
+    #[test]
+    fn slicer_lift_counts(events in arb_events(), assigner in arb_assigner()) {
+        let mut sliced = StreamSlicer::new(assigner, Count);
+        let mut accepted = 0u64;
+        for e in &events {
+            if sliced.ingest(e) {
+                accepted += 1;
+            }
+        }
+        prop_assert_eq!(sliced.lifts(), accepted);
+    }
+}

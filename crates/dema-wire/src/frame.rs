@@ -1,0 +1,158 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Each frame is a little-endian `u32` payload length followed by exactly
+//! one encoded [`Message`](crate::message::Message). Used by the TCP
+//! transport; the in-memory transport moves decoded messages directly and
+//! only uses `encoded_len` for byte accounting.
+
+use std::io::{self, Read, Write};
+
+use bytes::BytesMut;
+
+use crate::message::{Message, WireError};
+
+/// Frames larger than this are treated as corruption.
+pub const MAX_FRAME: u32 = 1 << 30;
+
+/// Errors while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failed.
+    Io(io::Error),
+    /// Payload failed to decode.
+    Wire(WireError),
+    /// Length prefix exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// The stream ended cleanly between frames.
+    Eof,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Wire(e) => write!(f, "decode error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::Eof => write!(f, "end of stream"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> FrameError {
+        FrameError::Wire(e)
+    }
+}
+
+/// Write one framed message. Returns the total bytes written (payload + 4).
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> io::Result<u64> {
+    let mut buf = BytesMut::with_capacity(msg.encoded_len() + 4);
+    msg.encode(&mut buf);
+    let len = buf.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&buf)?;
+    Ok(u64::from(len) + 4)
+}
+
+/// Read one framed message. Returns the message and the total bytes read.
+///
+/// A clean EOF *before* the length prefix yields [`FrameError::Eof`]; EOF in
+/// the middle of a frame is an [`FrameError::Io`] error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(Message, u64), FrameError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF from mid-frame EOF.
+    match r.read(&mut len_buf)? {
+        0 => return Err(FrameError::Eof),
+        n if n < 4 => r.read_exact(&mut len_buf[n..])?,
+        _ => {}
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let msg = Message::decode(&payload)?;
+    Ok((msg, u64::from(len) + 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dema_core::event::{Event, NodeId, WindowId};
+
+    fn sample() -> Message {
+        Message::EventBatch {
+            node: NodeId(1),
+            window: WindowId(2),
+            sorted: true,
+            events: (0..10).map(|i| Event::new(i, i as u64, i as u64)).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, &sample()).unwrap();
+        assert_eq!(written as usize, buf.len());
+        let mut cursor = &buf[..];
+        let (msg, read) = read_frame(&mut cursor).unwrap();
+        assert_eq!(msg, sample());
+        assert_eq!(read, written);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        let msgs = vec![sample(), Message::GammaUpdate { gamma: 7 }, Message::StreamEnd { node: NodeId(0), late_events: 0 }];
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for expected in &msgs {
+            let (msg, _) = read_frame(&mut cursor).unwrap();
+            assert_eq!(&msg, expected);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn clean_eof_is_distinguished() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn midframe_eof_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample()).unwrap();
+        let mut cursor = &buf[..buf.len() - 3];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversize_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0xFF); // bad tag
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Wire(_))));
+    }
+}

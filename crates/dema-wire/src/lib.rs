@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # dema-wire
+//!
+//! Hand-rolled binary wire format for every message of the Dema cluster
+//! protocol, plus length-prefixed framing for stream transports.
+//!
+//! A custom codec instead of a serialization framework for two reasons:
+//! the network-cost experiments (Figure 6) need *exact*, deterministic
+//! on-wire byte counts, and the protocol is small enough that an explicit
+//! format is simpler than a dependency. All integers are little-endian and
+//! fixed-width; every message starts with a one-byte tag.
+//!
+//! * [`message::Message`] — the protocol: synopsis batches, candidate
+//!   requests/replies, raw event batches (centralized & decentralized-sort
+//!   baselines), t-digest batches (Tdigest baseline), γ updates, window
+//!   results, and stream-end markers.
+//! * [`frame`] — `u32` length-prefixed framing over any `Read`/`Write`
+//!   (used by the TCP transport in `dema-net`).
+
+pub mod frame;
+pub mod message;
+
+pub use frame::{read_frame, write_frame};
+pub use message::{Message, WireError};

@@ -1,0 +1,582 @@
+//! Protocol messages and their binary encoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::slice::{SliceId, SliceSynopsis};
+use dema_sketch::tdigest::Centroid;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the message did.
+    Truncated,
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// A length field exceeds sanity limits (corruption guard).
+    BadLength(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadLength(l) => write!(f, "implausible length field {l}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Hard cap on any element count in a decoded message; frames larger than
+/// this indicate corruption, not workload.
+const MAX_ELEMS: u64 = 1 << 28;
+
+const TAG_SYNOPSIS_BATCH: u8 = 1;
+const TAG_CANDIDATE_REQUEST: u8 = 2;
+const TAG_CANDIDATE_REPLY: u8 = 3;
+const TAG_EVENT_BATCH: u8 = 4;
+const TAG_DIGEST_BATCH: u8 = 5;
+const TAG_GAMMA_UPDATE: u8 = 6;
+const TAG_WINDOW_RESULT: u8 = 7;
+const TAG_STREAM_END: u8 = 8;
+
+/// Every message of the Dema cluster protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Local → root (identification step): synopses of one closed local
+    /// window.
+    SynopsisBatch {
+        /// Sender.
+        node: NodeId,
+        /// Window the synopses describe.
+        window: WindowId,
+        /// One synopsis per slice, ascending slice index.
+        synopses: Vec<SliceSynopsis>,
+    },
+    /// Root → local (calculation step): request the events of these slices.
+    CandidateRequest {
+        /// Window being resolved.
+        window: WindowId,
+        /// Slice indices (within the receiver's slice sequence) to ship.
+        slices: Vec<u32>,
+    },
+    /// Local → root (calculation step): the requested candidate events.
+    CandidateReply {
+        /// Sender.
+        node: NodeId,
+        /// Window being resolved.
+        window: WindowId,
+        /// `(slice index, sorted events)` per requested slice.
+        slices: Vec<(u32, Vec<Event>)>,
+    },
+    /// Local → root: raw events of one window (the centralized and
+    /// decentralized-sort baselines; `sorted` distinguishes them).
+    EventBatch {
+        /// Sender.
+        node: NodeId,
+        /// Window the events belong to.
+        window: WindowId,
+        /// `true` if the sender pre-sorted the batch (Desis-style).
+        sorted: bool,
+        /// The events.
+        events: Vec<Event>,
+    },
+    /// Local → root: a t-digest of one window (distributed Tdigest mode).
+    DigestBatch {
+        /// Sender.
+        node: NodeId,
+        /// Window the digest summarizes.
+        window: WindowId,
+        /// Observations absorbed.
+        count: u64,
+        /// Digest compression δ.
+        compression: f64,
+        /// Digest centroids, ascending mean.
+        centroids: Vec<Centroid>,
+    },
+    /// Root → local: γ for the next windows (adaptive slice factor).
+    GammaUpdate {
+        /// New slice factor.
+        gamma: u64,
+    },
+    /// Root → observers: final aggregate of one global window.
+    WindowResult {
+        /// The window.
+        window: WindowId,
+        /// Quantile value.
+        value: i64,
+        /// Global window size `l_G`.
+        total_events: u64,
+    },
+    /// Local → root: this node will send nothing further.
+    StreamEnd {
+        /// Sender.
+        node: NodeId,
+        /// Events this node dropped as late (behind its watermark).
+        late_events: u64,
+    },
+}
+
+impl Message {
+    /// Encode into `buf`. The encoding is deterministic; `encoded_len`
+    /// predicts the exact size.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
+        match self {
+            Message::SynopsisBatch { node, window, synopses } => {
+                buf.put_u8(TAG_SYNOPSIS_BATCH);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(window.0);
+                buf.put_u32_le(synopses.len() as u32);
+                for s in synopses {
+                    buf.put_u32_le(s.id.index);
+                    buf.put_i64_le(s.first);
+                    buf.put_i64_le(s.last);
+                    buf.put_u64_le(s.count);
+                    buf.put_u32_le(s.total_slices);
+                }
+            }
+            Message::CandidateRequest { window, slices } => {
+                buf.put_u8(TAG_CANDIDATE_REQUEST);
+                buf.put_u64_le(window.0);
+                buf.put_u32_le(slices.len() as u32);
+                for &i in slices {
+                    buf.put_u32_le(i);
+                }
+            }
+            Message::CandidateReply { node, window, slices } => {
+                buf.put_u8(TAG_CANDIDATE_REPLY);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(window.0);
+                buf.put_u32_le(slices.len() as u32);
+                for (idx, events) in slices {
+                    buf.put_u32_le(*idx);
+                    buf.put_u32_le(events.len() as u32);
+                    for e in events {
+                        put_event(buf, e);
+                    }
+                }
+            }
+            Message::EventBatch { node, window, sorted, events } => {
+                buf.put_u8(TAG_EVENT_BATCH);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(window.0);
+                buf.put_u8(u8::from(*sorted));
+                buf.put_u32_le(events.len() as u32);
+                for e in events {
+                    put_event(buf, e);
+                }
+            }
+            Message::DigestBatch { node, window, count, compression, centroids } => {
+                buf.put_u8(TAG_DIGEST_BATCH);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(window.0);
+                buf.put_u64_le(*count);
+                buf.put_f64_le(*compression);
+                buf.put_u32_le(centroids.len() as u32);
+                for c in centroids {
+                    buf.put_f64_le(c.mean);
+                    buf.put_u64_le(c.weight);
+                }
+            }
+            Message::GammaUpdate { gamma } => {
+                buf.put_u8(TAG_GAMMA_UPDATE);
+                buf.put_u64_le(*gamma);
+            }
+            Message::WindowResult { window, value, total_events } => {
+                buf.put_u8(TAG_WINDOW_RESULT);
+                buf.put_u64_le(window.0);
+                buf.put_i64_le(*value);
+                buf.put_u64_le(*total_events);
+            }
+            Message::StreamEnd { node, late_events } => {
+                buf.put_u8(TAG_STREAM_END);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(*late_events);
+            }
+        }
+    }
+
+    /// Exact size [`Message::encode`] will produce, in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::SynopsisBatch { synopses, .. } => 1 + 4 + 8 + 4 + synopses.len() * (4 + 8 + 8 + 8 + 4),
+            Message::CandidateRequest { slices, .. } => 1 + 8 + 4 + slices.len() * 4,
+            Message::CandidateReply { slices, .. } => {
+                1 + 4
+                    + 8
+                    + 4
+                    + slices
+                        .iter()
+                        .map(|(_, ev)| 4 + 4 + ev.len() * EVENT_LEN)
+                        .sum::<usize>()
+            }
+            Message::EventBatch { events, .. } => 1 + 4 + 8 + 1 + 4 + events.len() * EVENT_LEN,
+            Message::DigestBatch { centroids, .. } => 1 + 4 + 8 + 8 + 8 + 4 + centroids.len() * 16,
+            Message::GammaUpdate { .. } => 1 + 8,
+            Message::WindowResult { .. } => 1 + 8 + 8 + 8,
+            Message::StreamEnd { .. } => 1 + 4 + 8,
+        }
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decode one message from `buf`, which must contain exactly one
+    /// encoded message (as produced by [`Message::encode`]).
+    pub fn decode(mut buf: &[u8]) -> Result<Message, WireError> {
+        let msg = decode_inner(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(WireError::BadLength(buf.len() as u64));
+        }
+        Ok(msg)
+    }
+
+    /// The paper's events-on-the-wire cost of this message: raw events carry
+    /// themselves; a synopsis carries its two endpoint events; control
+    /// messages are free. (Byte counts are tracked separately.)
+    pub fn event_units(&self) -> u64 {
+        match self {
+            Message::SynopsisBatch { synopses, .. } => 2 * synopses.len() as u64,
+            Message::CandidateReply { slices, .. } => {
+                slices.iter().map(|(_, ev)| ev.len() as u64).sum()
+            }
+            Message::EventBatch { events, .. } => events.len() as u64,
+            // A centroid is a compressed pair, not an event; count them like
+            // synopsis endpoints for comparability.
+            Message::DigestBatch { centroids, .. } => centroids.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Bytes per encoded event.
+pub const EVENT_LEN: usize = 8 + 8 + 8;
+
+#[inline]
+fn put_event(buf: &mut BytesMut, e: &Event) {
+    buf.put_i64_le(e.value);
+    buf.put_u64_le(e.ts);
+    buf.put_u64_le(e.id);
+}
+
+fn take_event(buf: &mut &[u8]) -> Result<Event, WireError> {
+    need(buf, EVENT_LEN)?;
+    Ok(Event { value: buf.get_i64_le(), ts: buf.get_u64_le(), id: buf.get_u64_le() })
+}
+
+#[inline]
+fn need(buf: &&[u8], n: usize) -> Result<(), WireError> {
+    if buf.len() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn take_count(buf: &mut &[u8]) -> Result<usize, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32_le() as u64;
+    if n > MAX_ELEMS {
+        return Err(WireError::BadLength(n));
+    }
+    Ok(n as usize)
+}
+
+fn decode_inner(buf: &mut &[u8]) -> Result<Message, WireError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    match tag {
+        TAG_SYNOPSIS_BATCH => {
+            need(buf, 4 + 8)?;
+            let node = NodeId(buf.get_u32_le());
+            let window = WindowId(buf.get_u64_le());
+            let n = take_count(buf)?;
+            let mut synopses = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(buf, 4 + 8 + 8 + 8 + 4)?;
+                let index = buf.get_u32_le();
+                let first = buf.get_i64_le();
+                let last = buf.get_i64_le();
+                let count = buf.get_u64_le();
+                let total_slices = buf.get_u32_le();
+                synopses.push(SliceSynopsis {
+                    id: SliceId { node, window, index },
+                    first,
+                    last,
+                    count,
+                    total_slices,
+                });
+            }
+            Ok(Message::SynopsisBatch { node, window, synopses })
+        }
+        TAG_CANDIDATE_REQUEST => {
+            need(buf, 8)?;
+            let window = WindowId(buf.get_u64_le());
+            let n = take_count(buf)?;
+            let mut slices = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(buf, 4)?;
+                slices.push(buf.get_u32_le());
+            }
+            Ok(Message::CandidateRequest { window, slices })
+        }
+        TAG_CANDIDATE_REPLY => {
+            need(buf, 4 + 8)?;
+            let node = NodeId(buf.get_u32_le());
+            let window = WindowId(buf.get_u64_le());
+            let n = take_count(buf)?;
+            let mut slices = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(buf, 4)?;
+                let idx = buf.get_u32_le();
+                let m = take_count(buf)?;
+                let mut events = Vec::with_capacity(m.min(65_536));
+                for _ in 0..m {
+                    events.push(take_event(buf)?);
+                }
+                slices.push((idx, events));
+            }
+            Ok(Message::CandidateReply { node, window, slices })
+        }
+        TAG_EVENT_BATCH => {
+            need(buf, 4 + 8 + 1)?;
+            let node = NodeId(buf.get_u32_le());
+            let window = WindowId(buf.get_u64_le());
+            let sorted = buf.get_u8() != 0;
+            let n = take_count(buf)?;
+            let mut events = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                events.push(take_event(buf)?);
+            }
+            Ok(Message::EventBatch { node, window, sorted, events })
+        }
+        TAG_DIGEST_BATCH => {
+            need(buf, 4 + 8 + 8 + 8)?;
+            let node = NodeId(buf.get_u32_le());
+            let window = WindowId(buf.get_u64_le());
+            let count = buf.get_u64_le();
+            let compression = buf.get_f64_le();
+            let n = take_count(buf)?;
+            let mut centroids = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                need(buf, 16)?;
+                let mean = buf.get_f64_le();
+                let weight = buf.get_u64_le();
+                centroids.push(Centroid { mean, weight });
+            }
+            Ok(Message::DigestBatch { node, window, count, compression, centroids })
+        }
+        TAG_GAMMA_UPDATE => {
+            need(buf, 8)?;
+            Ok(Message::GammaUpdate { gamma: buf.get_u64_le() })
+        }
+        TAG_WINDOW_RESULT => {
+            need(buf, 8 + 8 + 8)?;
+            Ok(Message::WindowResult {
+                window: WindowId(buf.get_u64_le()),
+                value: buf.get_i64_le(),
+                total_events: buf.get_u64_le(),
+            })
+        }
+        TAG_STREAM_END => {
+            need(buf, 4 + 8)?;
+            Ok(Message::StreamEnd { node: NodeId(buf.get_u32_le()), late_events: buf.get_u64_le() })
+        }
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len mismatch for {msg:?}");
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    fn sample_events(n: u64) -> Vec<Event> {
+        (0..n).map(|i| Event::new(i as i64 * 3 - 50, i * 7, i)).collect()
+    }
+
+    #[test]
+    fn roundtrip_synopsis_batch() {
+        let node = NodeId(3);
+        let window = WindowId(9);
+        roundtrip(Message::SynopsisBatch {
+            node,
+            window,
+            synopses: (0..5)
+                .map(|i| SliceSynopsis {
+                    id: SliceId { node, window, index: i },
+                    first: -100 + i as i64,
+                    last: i as i64 * 10,
+                    count: 150,
+                    total_slices: 5,
+                })
+                .collect(),
+        });
+        roundtrip(Message::SynopsisBatch { node, window, synopses: vec![] });
+    }
+
+    #[test]
+    fn roundtrip_candidate_request() {
+        roundtrip(Message::CandidateRequest { window: WindowId(1), slices: vec![0, 7, 42] });
+        roundtrip(Message::CandidateRequest { window: WindowId(u64::MAX), slices: vec![] });
+    }
+
+    #[test]
+    fn roundtrip_candidate_reply() {
+        roundtrip(Message::CandidateReply {
+            node: NodeId(1),
+            window: WindowId(2),
+            slices: vec![(0, sample_events(10)), (3, vec![]), (4, sample_events(1))],
+        });
+    }
+
+    #[test]
+    fn roundtrip_event_batch() {
+        roundtrip(Message::EventBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            sorted: true,
+            events: sample_events(100),
+        });
+        roundtrip(Message::EventBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            sorted: false,
+            events: vec![],
+        });
+    }
+
+    #[test]
+    fn roundtrip_digest_batch() {
+        roundtrip(Message::DigestBatch {
+            node: NodeId(2),
+            window: WindowId(5),
+            count: 1000,
+            compression: 100.0,
+            centroids: vec![
+                Centroid { mean: -5.5, weight: 10 },
+                Centroid { mean: 0.0, weight: 980 },
+                Centroid { mean: 99.25, weight: 10 },
+            ],
+        });
+    }
+
+    #[test]
+    fn roundtrip_control_messages() {
+        roundtrip(Message::GammaUpdate { gamma: 10_000 });
+        roundtrip(Message::WindowResult { window: WindowId(7), value: -42, total_events: 1_000_000 });
+        roundtrip(Message::StreamEnd { node: NodeId(99), late_events: 12345 });
+    }
+
+    #[test]
+    fn extreme_values_roundtrip() {
+        roundtrip(Message::EventBatch {
+            node: NodeId(u32::MAX),
+            window: WindowId(u64::MAX),
+            sorted: false,
+            events: vec![Event::new(i64::MIN, u64::MAX, u64::MAX), Event::new(i64::MAX, 0, 0)],
+        });
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        assert_eq!(Message::decode(&[0xFF]), Err(WireError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_point() {
+        let msg = Message::CandidateReply {
+            node: NodeId(1),
+            window: WindowId(2),
+            slices: vec![(0, sample_events(3))],
+        };
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Message::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::BadLength(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = Message::GammaUpdate { gamma: 5 }.to_bytes().to_vec();
+        bytes.push(0);
+        assert!(matches!(Message::decode(&bytes), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn decode_rejects_implausible_count() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(4); // EventBatch
+        buf.put_u32_le(0);
+        buf.put_u64_le(0);
+        buf.put_u8(0);
+        buf.put_u32_le(u32::MAX); // absurd event count
+        assert!(matches!(Message::decode(&buf), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn event_units_follow_paper_cost_model() {
+        let node = NodeId(0);
+        let window = WindowId(0);
+        let syn = Message::SynopsisBatch {
+            node,
+            window,
+            synopses: vec![
+                SliceSynopsis {
+                    id: SliceId { node, window, index: 0 },
+                    first: 0,
+                    last: 1,
+                    count: 10,
+                    total_slices: 2,
+                };
+                4
+            ],
+        };
+        assert_eq!(syn.event_units(), 8); // 2 per synopsis
+        let batch = Message::EventBatch { node, window, sorted: false, events: sample_events(7) };
+        assert_eq!(batch.event_units(), 7);
+        let reply = Message::CandidateReply {
+            node,
+            window,
+            slices: vec![(0, sample_events(4)), (1, sample_events(6))],
+        };
+        assert_eq!(reply.event_units(), 10);
+        assert_eq!(Message::GammaUpdate { gamma: 2 }.event_units(), 0);
+    }
+
+    #[test]
+    fn synopsis_batch_is_tiny_compared_to_event_batch() {
+        // The point of Dema: 1000 events ≈ 24 KB raw, but one synopsis ≈ 32 B.
+        let node = NodeId(0);
+        let window = WindowId(0);
+        let events = Message::EventBatch { node, window, sorted: false, events: sample_events(1000) };
+        let synopses = Message::SynopsisBatch {
+            node,
+            window,
+            synopses: vec![SliceSynopsis {
+                id: SliceId { node, window, index: 0 },
+                first: 0,
+                last: 999,
+                count: 1000,
+                total_slices: 1,
+            }],
+        };
+        assert!(synopses.encoded_len() * 100 < events.encoded_len());
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # Dema
+//!
+//! A from-scratch Rust implementation of **Dema** (EDBT 2025): exact,
+//! decentralized window aggregation for non-decomposable quantile functions
+//! — plus the full evaluation stack around it (stream-processing substrate,
+//! baselines, sketches, generators, transports, and benchmark harness).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `dema-core` | the Dema algorithm: slices, synopses, window-cut selection, adaptive γ |
+//! | [`spe`] | `dema-spe` | windows, watermarks, aggregate algebra, stream slicing |
+//! | [`sketch`] | `dema-sketch` | t-digest and q-digest |
+//! | [`wire`] | `dema-wire` | binary protocol + framing |
+//! | [`net`] | `dema-net` | accounted in-memory and TCP transports |
+//! | [`gen`] | `dema-gen` | DEBS-like and synthetic workload generators |
+//! | [`metrics`] | `dema-metrics` | latency/throughput/network instrumentation |
+//! | [`cluster`] | `dema-cluster` | the node runtime and all five engines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dema::cluster::{run_cluster, ClusterConfig};
+//! use dema::gen::SoccerGenerator;
+//! use dema::core::quantile::Quantile;
+//!
+//! // Two edge nodes, three one-second windows, 1 000 events/s each.
+//! let inputs: Vec<_> = (0..2)
+//!     .map(|n| SoccerGenerator::new(n, 1, 1_000, 0).take_windows(3, 1_000))
+//!     .collect();
+//!
+//! let report = run_cluster(
+//!     &ClusterConfig::dema_fixed(100, Quantile::MEDIAN),
+//!     inputs,
+//! )
+//! .unwrap();
+//!
+//! assert_eq!(report.outcomes.len(), 3); // one exact median per window
+//! ```
+
+pub use dema_cluster as cluster;
+pub use dema_core as core;
+pub use dema_gen as gen;
+pub use dema_metrics as metrics;
+pub use dema_net as net;
+pub use dema_sketch as sketch;
+pub use dema_spe as spe;
+pub use dema_wire as wire;

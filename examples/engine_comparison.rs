@@ -1,0 +1,75 @@
+//! Side-by-side engine comparison on identical inputs — a miniature of the
+//! paper's evaluation (Figures 5 and 6) on your machine.
+//!
+//! ```sh
+//! cargo run --release --example engine_comparison
+//! ```
+
+use dema::cluster::config::{ClusterConfig, EngineKind, GammaMode};
+use dema::cluster::runner::{data_traffic, run_cluster};
+use dema::core::coordinator::quantile_ground_truth;
+use dema::core::event::Event;
+use dema::core::quantile::Quantile;
+use dema::core::selector::SelectionStrategy;
+use dema::gen::SoccerGenerator;
+
+fn main() {
+    let windows = 4;
+    let rate = 20_000;
+    let inputs: Vec<Vec<Vec<Event>>> = (0..2u64)
+        .map(|n| SoccerGenerator::new(n, 1, rate, 0).take_windows(windows, 1_000))
+        .collect();
+
+    // Ground truth for the accuracy column.
+    let truth: Vec<Option<i64>> = (0..windows)
+        .map(|w| {
+            let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
+            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+        })
+        .collect();
+
+    let engines = [
+        EngineKind::Dema {
+            gamma: GammaMode::Fixed(1_000),
+            strategy: SelectionStrategy::WindowCut,
+        },
+        EngineKind::Centralized,
+        EngineKind::DecSort,
+        EngineKind::TdigestCentral { compression: 100.0 },
+        EngineKind::TdigestDistributed { compression: 100.0 },
+    ];
+
+    println!(
+        "{:<13} | {:>12} | {:>11} | {:>12} | {:>9} | accuracy",
+        "engine", "throughput", "p50 latency", "wire events", "wire KB"
+    );
+    println!("{}", "-".repeat(78));
+    for engine in engines {
+        let config = ClusterConfig::baseline(engine, Quantile::MEDIAN);
+        let report = run_cluster(&config, inputs.clone()).expect("run failed");
+        let traffic = data_traffic(&report).plus(&report.control_traffic);
+        // Mean percentage error vs ground truth, as in the paper's Fig 7b.
+        let mpe: f64 = report
+            .values()
+            .iter()
+            .zip(&truth)
+            .filter_map(|(got, want)| match (got, want) {
+                (Some(g), Some(w)) => {
+                    Some((*g as f64 - *w as f64).abs() / (*w as f64).abs().max(1.0))
+                }
+                _ => None,
+            })
+            .sum::<f64>()
+            / windows as f64;
+        println!(
+            "{:<13} | {:>9.0}/s | {:>8} µs | {:>12} | {:>9.1} | {:.4} %",
+            engine.label(),
+            report.throughput_eps(),
+            report.latency.quantile(0.5).unwrap_or(0),
+            traffic.events,
+            traffic.bytes as f64 / 1024.0,
+            100.0 * mpe,
+        );
+    }
+    println!("\n(2 local nodes, {windows} windows of {rate} events/s each, median, γ = 1000)");
+}

@@ -1,0 +1,233 @@
+//! Cross-crate system tests: the whole stack (generators → SPE → cluster →
+//! sketches) agreeing with itself on realistic scenarios.
+
+use dema::cluster::config::{ClusterConfig, EngineKind, GammaMode};
+use dema::cluster::runner::{data_traffic, run_cluster};
+use dema::core::coordinator::{exact_quantile_decentralized, quantile_ground_truth};
+use dema::core::event::Event;
+use dema::core::quantile::Quantile;
+use dema::core::selector::SelectionStrategy;
+use dema::gen::{EventStream, SoccerGenerator, StreamConfig, ValueDistribution};
+use dema::sketch::{QuantileSketch, TDigest};
+use dema::spe::aggregate::QuantileAgg;
+use dema::spe::{WindowAssigner, WindowOperator};
+
+fn soccer_inputs(n: usize, windows: usize, rate: u64) -> Vec<Vec<Vec<Event>>> {
+    (0..n)
+        .map(|i| SoccerGenerator::new(900 + i as u64, 1, rate, 0).take_windows(windows, 1000))
+        .collect()
+}
+
+/// The cluster (threads + transports + protocol) and the single-process
+/// reference coordinator must produce identical results — the distributed
+/// implementation adds no behaviour.
+#[test]
+fn cluster_matches_reference_coordinator() {
+    let inputs = soccer_inputs(3, 3, 2_000);
+    let report =
+        run_cluster(&ClusterConfig::dema_fixed(128, Quantile::MEDIAN), inputs.clone()).unwrap();
+    for (w, outcome) in report.outcomes.iter().enumerate() {
+        let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
+        let reference = exact_quantile_decentralized(
+            &per_node,
+            Quantile::MEDIAN,
+            128,
+            SelectionStrategy::WindowCut,
+        )
+        .unwrap();
+        assert_eq!(outcome.value, Some(reference.result), "window {w}");
+        assert_eq!(outcome.total_events, reference.stats.total_events);
+        assert_eq!(outcome.candidate_events, reference.stats.candidate_events_sent);
+        assert_eq!(outcome.synopses, reference.stats.synopses_sent);
+    }
+}
+
+/// A single-node SPE window operator computing the holistic median over the
+/// concatenated streams must agree with the decentralized cluster.
+#[test]
+fn spe_operator_agrees_with_cluster() {
+    let inputs = soccer_inputs(2, 3, 1_500);
+    // Feed all nodes' events into one central operator.
+    let mut op = WindowOperator::new(WindowAssigner::Tumbling { len: 1000 }, QuantileAgg::median());
+    for node in &inputs {
+        for window in node {
+            for e in window {
+                op.ingest(e);
+            }
+        }
+    }
+    let spe_results: Vec<Option<i64>> =
+        op.advance_watermark(3_000).into_iter().map(|(_, v)| v).collect();
+    let report = run_cluster(&ClusterConfig::dema_fixed(64, Quantile::MEDIAN), inputs).unwrap();
+    assert_eq!(report.values(), spe_results);
+}
+
+/// The distributed t-digest engine is as accurate as a hand-built local
+/// t-digest over the combined stream.
+#[test]
+fn distributed_tdigest_matches_local_digest() {
+    let inputs = soccer_inputs(2, 2, 2_000);
+    let report = run_cluster(
+        &ClusterConfig::baseline(
+            EngineKind::TdigestDistributed { compression: 100.0 },
+            Quantile::MEDIAN,
+        ),
+        inputs.clone(),
+    )
+    .unwrap();
+    for (w, outcome) in report.outcomes.iter().enumerate() {
+        let mut digest = TDigest::new(100.0);
+        for node in &inputs {
+            for e in &node[w] {
+                digest.insert(e.value as f64);
+            }
+        }
+        let local = digest.quantile(0.5).unwrap();
+        let cluster = outcome.value.unwrap() as f64;
+        // Merge order differs, so allow a small relative gap.
+        let rel = (local - cluster).abs() / local.abs().max(1.0);
+        assert!(rel < 0.02, "window {w}: local {local} vs cluster {cluster}");
+    }
+}
+
+/// Accuracy experiment shape (Fig 7b): Dema and the centralized baseline are
+/// bit-exact; t-digest is close but not exact on continuous data.
+#[test]
+fn accuracy_ordering_matches_paper() {
+    let inputs = soccer_inputs(3, 3, 3_000);
+    let truth: Vec<Option<i64>> = (0..3)
+        .map(|w| {
+            let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
+            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+        })
+        .collect();
+    let dema =
+        run_cluster(&ClusterConfig::dema_fixed(256, Quantile::MEDIAN), inputs.clone()).unwrap();
+    let central = run_cluster(
+        &ClusterConfig::baseline(EngineKind::Centralized, Quantile::MEDIAN),
+        inputs.clone(),
+    )
+    .unwrap();
+    let tdigest = run_cluster(
+        &ClusterConfig::baseline(EngineKind::TdigestCentral { compression: 100.0 }, Quantile::MEDIAN),
+        inputs,
+    )
+    .unwrap();
+    assert_eq!(dema.values(), truth, "Dema must be 100% accurate");
+    assert_eq!(central.values(), truth, "centralized is the ground truth");
+    let mut exact_hits = 0;
+    for (got, want) in tdigest.values().iter().zip(&truth) {
+        let (g, w) = (got.unwrap() as f64, want.unwrap() as f64);
+        assert!((g - w).abs() / w.abs().max(1.0) < 0.05, "tdigest far off: {g} vs {w}");
+        if g as i64 == w as i64 {
+            exact_hits += 1;
+        }
+    }
+    assert!(exact_hits < 3, "t-digest should not be bit-exact on this data");
+}
+
+/// Dema's network reduction grows with the window size (the 99 % headline
+/// needs big windows; shape must be monotone).
+#[test]
+fn network_savings_grow_with_window_size() {
+    let mut savings = Vec::new();
+    for rate in [1_000u64, 10_000, 50_000] {
+        let inputs = soccer_inputs(2, 2, rate);
+        let gamma = (rate / 20).max(16);
+        let report =
+            run_cluster(&ClusterConfig::dema_fixed(gamma, Quantile::MEDIAN), inputs).unwrap();
+        let traffic = data_traffic(&report).plus(&report.control_traffic);
+        savings.push(1.0 - traffic.events as f64 / report.total_events as f64);
+    }
+    // Larger windows amortize the synopsis overhead: the smallest window is
+    // the worst, and large windows push savings past 90 %. (The exact curve
+    // depends on how the fixed γ heuristic interacts with overlap, so we
+    // assert the shape, not monotonicity to the percent.)
+    let first = savings[0];
+    assert!(savings.iter().skip(1).all(|&s| s > first), "savings not improving: {savings:?}");
+    assert!(savings.iter().copied().fold(f64::MIN, f64::max) > 0.9, "{savings:?}");
+    assert!(savings.iter().all(|&s| s > 0.8), "{savings:?}");
+}
+
+/// Different quantiles over identical inputs all remain exact end-to-end
+/// (Fig 8a's precondition).
+#[test]
+fn all_quantiles_exact_end_to_end() {
+    let inputs = soccer_inputs(3, 2, 2_000);
+    for q in [0.25, 0.3, 0.5, 0.75, 0.9] {
+        let q = Quantile::new(q).unwrap();
+        let truth: Vec<Option<i64>> = (0..2)
+            .map(|w| {
+                let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
+                quantile_ground_truth(&per_node, q).ok().map(|e| e.value)
+            })
+            .collect();
+        let report = run_cluster(&ClusterConfig::dema_fixed(100, q), inputs.clone()).unwrap();
+        assert_eq!(report.values(), truth, "q = {q}");
+    }
+}
+
+/// Mixed generator types across nodes — a realistic heterogeneous edge.
+#[test]
+fn heterogeneous_generators_end_to_end() {
+    let mk = |dist, seed, rate| {
+        EventStream::new(
+            dist,
+            StreamConfig { seed, events_per_second: rate, ..Default::default() },
+        )
+        .take_windows(2, 1000)
+    };
+    let inputs = vec![
+        mk(ValueDistribution::Normal { mean: 0.0, std_dev: 1_000.0 }, 1, 4_000),
+        mk(ValueDistribution::Uniform { lo: -10_000, hi: 10_000 }, 2, 500),
+        mk(ValueDistribution::Zipf { n: 1_000, s: 1.3 }, 3, 8_000),
+        SoccerGenerator::new(4, 1, 2_000, 0).take_windows(2, 1000),
+    ];
+    let truth: Vec<Option<i64>> = (0..2)
+        .map(|w| {
+            let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
+            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+        })
+        .collect();
+    let report =
+        run_cluster(&ClusterConfig::dema_fixed(128, Quantile::MEDIAN), inputs).unwrap();
+    assert_eq!(report.values(), truth);
+}
+
+/// Adaptive γ with drifting event rates keeps exactness while re-tuning.
+#[test]
+fn adaptive_gamma_under_rate_drift() {
+    // Rate quadruples midway: the controller must follow.
+    let slow: Vec<Vec<Vec<Event>>> = (0..2u64)
+        .map(|n| SoccerGenerator::new(50 + n, 1, 1_000, 0).take_windows(4, 1000))
+        .collect();
+    let fast: Vec<Vec<Vec<Event>>> = (0..2u64)
+        .map(|n| SoccerGenerator::new(60 + n, 1, 4_000, 0).take_windows(4, 1000))
+        .collect();
+    let inputs: Vec<Vec<Vec<Event>>> = (0..2)
+        .map(|n| {
+            let mut w = slow[n].clone();
+            w.extend(fast[n].clone());
+            w
+        })
+        .collect();
+    let truth: Vec<Option<i64>> = (0..8)
+        .map(|w| {
+            let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
+            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+        })
+        .collect();
+    let mut cfg = ClusterConfig::baseline(
+        EngineKind::Dema {
+            gamma: GammaMode::Adaptive { initial: 32 },
+            strategy: SelectionStrategy::WindowCut,
+        },
+        Quantile::MEDIAN,
+    );
+    cfg.pace_window_ms = Some(10);
+    let report = run_cluster(&cfg, inputs).unwrap();
+    assert_eq!(report.values(), truth);
+    let early = report.outcomes[3].gamma;
+    let late = report.outcomes.last().unwrap().gamma;
+    assert!(late > early, "γ should grow with the rate: {early} → {late}");
+}
