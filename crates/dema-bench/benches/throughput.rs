@@ -1,0 +1,46 @@
+//! End-to-end window throughput on the in-memory transport.
+//!
+//! Where `cluster_pipeline` reports events/sec over a handful of windows,
+//! this group holds the per-window load fixed and scales the *number* of
+//! windows, so criterion's `Elements` rate reads directly as windows/sec —
+//! the figure the zero-copy candidate path and the root's two-stage window
+//! pipeline are meant to move. Dema is compared against the
+//! decentralized-sort baseline at the same window rate; the gap is the
+//! cost of shipping and merging whole windows instead of a few slices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dema_bench::workload::{soccer_inputs, uniform_scales};
+use dema_cluster::config::{ClusterConfig, EngineKind};
+use dema_cluster::runner::run_cluster;
+use dema_core::quantile::Quantile;
+
+const LOCALS: usize = 4;
+const EVENTS_PER_WINDOW: u64 = 5_000;
+
+fn bench_windows_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    for windows in [8usize, 32] {
+        let inputs =
+            soccer_inputs(LOCALS, windows, EVENTS_PER_WINDOW, &uniform_scales(LOCALS), 42);
+        group.throughput(Throughput::Elements(windows as u64));
+        let config = ClusterConfig::dema_fixed(100, Quantile::MEDIAN);
+        group.bench_with_input(
+            BenchmarkId::new("dema_windows", windows),
+            &config,
+            |b, config| b.iter(|| black_box(run_cluster(config, inputs.clone()).unwrap())),
+        );
+        let config = ClusterConfig::baseline(EngineKind::DecSort, Quantile::MEDIAN);
+        group.bench_with_input(
+            BenchmarkId::new("dec_sort_windows", windows),
+            &config,
+            |b, config| b.iter(|| black_box(run_cluster(config, inputs.clone()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_windows_per_sec);
+criterion_main!(benches);

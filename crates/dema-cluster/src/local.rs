@@ -234,6 +234,7 @@ pub fn run_responder(
                         .map(|&idx| {
                             stored
                                 .get(idx as usize)
+                                // SharedRun clone: refcount bump, no event copy.
                                 .map(|s| (idx, s.events.clone()))
                                 .ok_or_else(|| {
                                     ClusterError::Protocol(format!(
@@ -425,6 +426,51 @@ mod tests {
         handle.join().unwrap().unwrap();
         assert_eq!(shared.gamma.load(Ordering::Relaxed), 16);
         assert!(shared.store.lock().is_empty(), "served window evicted");
+    }
+
+    #[test]
+    fn candidate_reply_shares_the_stored_buffer() {
+        // Zero-copy witness for the candidate-fetch hot path: the run inside
+        // the responder's reply must be a view into the very allocation the
+        // store holds (Arc::ptr_eq), not a copy of it.
+        use dema_core::shared::SharedRun;
+        let (mut data_tx, mut data_rx) = link(NetworkCounters::new_shared());
+        let (mut ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(4);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        run_local(
+            NodeId(1),
+            vec![events(&[5, 1, 9, 3, 7, 2, 8, 4])],
+            dema_engine(),
+            &mut data_tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
+        // Capture the stored run before the responder evicts the window.
+        let stored_run = shared.store.lock()[&0][1].events.clone();
+
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            run_responder(NodeId(1), &mut ctl_rx, &mut data_tx, &shared2)
+        });
+        ctl_tx
+            .send(&Message::CandidateRequest { window: WindowId(0), slices: vec![1] })
+            .unwrap();
+        let _syn = data_rx.recv().unwrap();
+        let _end = data_rx.recv().unwrap();
+        match data_rx.recv().unwrap() {
+            Message::CandidateReply { slices, .. } => {
+                assert!(
+                    SharedRun::ptr_eq(&slices[0].1, &stored_run),
+                    "reply run must share the stored window's allocation"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        drop(ctl_tx);
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

@@ -6,8 +6,22 @@
 //! root work per window is deliberately tiny: sort `S` synopses, compute
 //! rank bounds, merge a few candidate runs; the baselines sort or merge the
 //! entire window, which is exactly the bottleneck the paper measures.
+//!
+//! ## Window pipeline (Dema)
+//!
+//! Dema windows move through a bounded two-stage pipeline keyed by window
+//! id. Stage 1 (*ingest & order*) collects a window's synopses and sorts
+//! them by value interval the moment the last local reports — this runs
+//! even while earlier windows sit in stage 2, so the root's CPU work for
+//! `w+1` overlaps the network round trip of `w`. Stage 2 (*identify &
+//! resolve*) runs the window-cut, fires candidate requests, and awaits the
+//! replies; at most [`PIPELINE_DEPTH`] windows hold a stage-2 slot at once,
+//! bounding outstanding request fan-out and candidate-run memory no matter
+//! how far the locals run ahead. The window-cut itself stays the pure,
+//! single-threaded algorithm in `dema-core` — the pipeline only schedules
+//! *when* it runs.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Instant;
 
 use dema_core::event::{Event, NodeId, WindowId};
@@ -15,6 +29,7 @@ use dema_core::gamma::AdaptiveGamma;
 use dema_core::merge::select_kth;
 use dema_core::multi::{select_multi, MultiSelection};
 use dema_core::quantile::Quantile;
+use dema_core::shared::SharedRun;
 use dema_core::slice::{Slice, SliceId, SliceSynopsis};
 use dema_core::DemaError;
 use dema_metrics::LatencyHistogram;
@@ -26,6 +41,13 @@ use crate::config::{EngineKind, GammaMode};
 use crate::local::CloseTimes;
 use crate::report::WindowOutcome;
 use crate::ClusterError;
+
+/// Max Dema windows allowed in stage 2 (candidate requests outstanding) at
+/// once. Two slots let the next window's requests go out the moment the
+/// current one resolves while later windows keep ingesting; deeper
+/// pipelines only add memory, not throughput, because the root's stage-2
+/// work per window is tiny compared to the reply round trip.
+pub const PIPELINE_DEPTH: usize = 2;
 
 /// Per-window accumulation state.
 #[derive(Default)]
@@ -44,8 +66,9 @@ struct WindowState {
     selection: Option<MultiSelection>,
     /// Dema: synopsis lookup for verification of replies.
     synopsis_of: HashMap<SliceId, SliceSynopsis>,
-    /// Dema: candidate runs received so far.
-    runs: Vec<Vec<Event>>,
+    /// Dema: candidate runs received so far (shared views, zero-copy off
+    /// the in-memory transport).
+    runs: Vec<SharedRun>,
     runs_received: usize,
     /// Dema: per-node local window sizes `l_i` (for per-node γ control).
     node_sizes: HashMap<u32, u64>,
@@ -95,6 +118,11 @@ pub struct RootNode {
     latency: LatencyHistogram,
     ended: usize,
     late_events: u64,
+    /// Dema windows currently in stage 2 (requests sent, replies pending).
+    in_flight: usize,
+    /// Stage-1-complete windows waiting for a stage-2 slot, in the order
+    /// their last synopsis arrived (window order for well-paced locals).
+    ready: VecDeque<u64>,
 }
 
 impl RootNode {
@@ -158,6 +186,8 @@ impl RootNode {
             latency: LatencyHistogram::new(),
             ended: 0,
             late_events: 0,
+            in_flight: 0,
+            ready: VecDeque::new(),
         }
     }
 
@@ -190,7 +220,16 @@ impl RootNode {
                 state.synopses.extend(synopses);
                 state.reported += 1;
                 if state.reported == self.n_locals {
-                    self.identify(window)?;
+                    // Stage 1 complete: order the synopses by value interval
+                    // now, overlapping the reply round trips of earlier
+                    // windows. Identification is order-insensitive, so this
+                    // only moves the sort work off the critical path.
+                    state.synopses.sort_unstable_by_key(|s| (s.first, s.last, s.id));
+                    if self.in_flight < PIPELINE_DEPTH {
+                        self.identify(window)?;
+                    } else {
+                        self.ready.push_back(window.0);
+                    }
                 }
                 Ok(())
             }
@@ -287,6 +326,16 @@ impl RootNode {
         // Stash how many replies we expect (one per involved node).
         let state = self.states.get_mut(&window.0).expect("state exists");
         state.reported = expected_replies; // reuse as "replies expected"
+        self.in_flight += 1; // stage-2 slot held until the window finalizes
+        Ok(())
+    }
+
+    /// Admit ready windows into stage 2 while slots are free.
+    fn advance_pipeline(&mut self) -> Result<(), ClusterError> {
+        while self.in_flight < PIPELINE_DEPTH {
+            let Some(w) = self.ready.pop_front() else { break };
+            self.identify(WindowId(w))?;
+        }
         Ok(())
     }
 
@@ -295,7 +344,7 @@ impl RootNode {
         &mut self,
         node: NodeId,
         window: WindowId,
-        slices: Vec<(u32, Vec<Event>)>,
+        slices: Vec<(u32, SharedRun)>,
     ) -> Result<(), ClusterError> {
         let state = self
             .states
@@ -382,6 +431,9 @@ impl RootNode {
                 }
                 GammaPolicy::Off | GammaPolicy::Fixed(_) => {}
             }
+            // Stage-2 slot freed: pull the next ordered window in.
+            self.in_flight -= 1;
+            self.advance_pipeline()?;
         }
         Ok(())
     }
@@ -681,7 +733,7 @@ mod tests {
             .handle(Message::CandidateReply {
                 node: NodeId(0),
                 window: WindowId(0),
-                slices: vec![(0, events(&[42, 43, 44, 45]))],
+                slices: vec![(0, events(&[42, 43, 44, 45]).into())],
             })
             .unwrap_err();
         assert!(matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))), "{err:?}");
@@ -709,6 +761,95 @@ mod tests {
         let (outcomes, _) = root.into_results();
         assert_eq!(outcomes[0].value, None);
         assert_eq!(outcomes[0].total_events, 0);
+    }
+
+    #[test]
+    fn pipeline_bounds_outstanding_candidate_requests() {
+        // One local, four windows delivered all at once: the root must fire
+        // requests for only PIPELINE_DEPTH windows, queue the rest (already
+        // ingested and ordered), and admit them as replies free slots. An
+        // empty window (2) must pass through without wedging a slot.
+        let (ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::Dema {
+                gamma: GammaMode::Fixed(2),
+                strategy: dema_core::selector::SelectionStrategy::WindowCut,
+            },
+            1,
+            4,
+            vec![Box::new(ctl_tx)],
+            close_times(),
+        );
+        let mut windows: HashMap<u64, Vec<Slice>> = HashMap::new();
+        for w in 0u64..4 {
+            if w == 2 {
+                // Window 2 arrives empty.
+                root.handle(Message::SynopsisBatch {
+                    node: NodeId(0),
+                    window: WindowId(2),
+                    synopses: vec![],
+                })
+                .unwrap();
+                continue;
+            }
+            let vals: Vec<i64> = (0..6).map(|i| w as i64 * 10 + i).collect();
+            let slices =
+                dema_core::slice::cut_into_slices(NodeId(0), WindowId(w), events(&vals), 2)
+                    .unwrap();
+            let synopses =
+                slices.iter().map(|s| s.synopsis(slices.len() as u32).unwrap()).collect();
+            windows.insert(w, slices);
+            root.handle(Message::SynopsisBatch {
+                node: NodeId(0),
+                window: WindowId(w),
+                synopses,
+            })
+            .unwrap();
+        }
+        // Slots are full: nothing finalized yet, windows 2 and 3 queued.
+        assert_eq!(root.completed_windows(), 0);
+
+        let next_request = |rx: &mut dema_net::mem::MemReceiver| match rx.recv().unwrap() {
+            Message::CandidateRequest { window, slices } => (window.0, slices),
+            other => panic!("expected request, got {other:?}"),
+        };
+        let reply = |root: &mut RootNode, windows: &HashMap<u64, Vec<Slice>>, w: u64, req: &[u32]| {
+            let slices = req
+                .iter()
+                .map(|&i| (i, windows[&w][i as usize].events.clone()))
+                .collect();
+            root.handle(Message::CandidateReply {
+                node: NodeId(0),
+                window: WindowId(w),
+                slices,
+            })
+            .unwrap();
+        };
+
+        // Only the first two windows hold stage-2 slots.
+        let (w0, req0) = next_request(&mut ctl_rx);
+        let (w1, req1) = next_request(&mut ctl_rx);
+        assert_eq!((w0, w1), (0, 1));
+        assert!(
+            ctl_rx.recv_timeout(std::time::Duration::from_millis(20)).unwrap().is_none(),
+            "window 3 must wait for a free slot"
+        );
+        // Resolving window 0 admits window 2 — empty, finalized on the spot
+        // without taking a slot — and then window 3 into the freed slot.
+        reply(&mut root, &windows, 0, &req0);
+        assert_eq!(root.completed_windows(), 2);
+        let (w3, req3) = next_request(&mut ctl_rx);
+        assert_eq!(w3, 3);
+        reply(&mut root, &windows, 1, &req1);
+        reply(&mut root, &windows, 3, &req3);
+        assert_eq!(root.completed_windows(), 4);
+        let (outcomes, _) = root.into_results();
+        // Median rank 3 of w*10 + [0..6) is w*10 + 2.
+        assert_eq!(
+            outcomes.iter().map(|o| o.value).collect::<Vec<_>>(),
+            vec![Some(2), Some(12), None, Some(32)]
+        );
     }
 
     #[test]
@@ -741,7 +882,7 @@ mod tests {
         let Message::CandidateRequest { slices: req, .. } = ctl_rx.recv().unwrap() else {
             panic!()
         };
-        let reply: Vec<(u32, Vec<Event>)> =
+        let reply: Vec<(u32, SharedRun)> =
             req.iter().map(|&i| (i, slices[i as usize].events.clone())).collect();
         root.handle(Message::CandidateReply { node: NodeId(0), window: WindowId(0), slices: reply })
             .unwrap();

@@ -85,7 +85,7 @@ fn dema_ships_far_fewer_events_than_baselines() {
     .unwrap();
     let central = run_cluster(
         &ClusterConfig::baseline(EngineKind::Centralized, Quantile::MEDIAN),
-        inputs.clone(),
+        inputs,
     )
     .unwrap();
     let dema_traffic = data_traffic(&dema).plus(&dema.control_traffic);
@@ -118,7 +118,7 @@ fn adaptive_gamma_improves_over_terrible_fixed_gamma() {
     let adaptive = run_cluster(&adaptive_cfg, inputs.clone()).unwrap();
     let fixed_bad = run_cluster(
         &ClusterConfig::dema_fixed(2, Quantile::MEDIAN),
-        inputs.clone(),
+        inputs,
     )
     .unwrap();
     // Same exact answers…

@@ -12,6 +12,7 @@ use crate::event::{Event, NodeId, WindowId};
 use crate::merge::select_kth;
 use crate::quantile::Quantile;
 use crate::selector::{select, Selection, SelectionStrategy};
+use crate::shared::SharedRun;
 use crate::slice::{cut_into_slices, Slice, SliceId, SliceSynopsis};
 
 /// What one Dema window exchange would have put on the wire.
@@ -113,7 +114,10 @@ pub fn exact_quantile_decentralized(
 }
 
 /// Look up the requested candidate slices in the local nodes' stores.
-fn fetch_candidates(store: &[Slice], wanted: &[SliceId]) -> Result<Vec<Vec<Event>>> {
+///
+/// Returns shared views into the stored windows: "fetching" a candidate is
+/// a refcount bump, not an event copy.
+fn fetch_candidates(store: &[Slice], wanted: &[SliceId]) -> Result<Vec<SharedRun>> {
     wanted
         .iter()
         .map(|id| {

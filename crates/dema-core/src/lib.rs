@@ -66,6 +66,7 @@ pub mod quantile;
 pub mod rank;
 pub mod runbuf;
 pub mod selector;
+pub mod shared;
 pub mod slice;
 pub mod sliding;
 pub mod window;
@@ -73,4 +74,5 @@ pub mod window;
 pub use error::{DemaError, Result};
 pub use event::{Event, NodeId, WindowId};
 pub use quantile::Quantile;
+pub use shared::SharedRun;
 pub use slice::{Slice, SliceId, SliceSynopsis};

@@ -12,16 +12,21 @@ use std::collections::BinaryHeap;
 
 use crate::error::{DemaError, Result};
 use crate::event::Event;
+use crate::shared::SharedRun;
 
 /// Fully merge sorted runs into one sorted vector.
 ///
+/// Accepts anything slice-shaped — `Vec<Event>`, [`SharedRun`], `&[Event]` —
+/// so callers never have to copy into a particular container first.
+///
 /// # Panics
 /// Debug-asserts each input run is sorted.
-pub fn merge_runs(runs: &[Vec<Event>]) -> Vec<Event> {
-    for r in runs {
+pub fn merge_runs<R: AsRef<[Event]>>(runs: &[R]) -> Vec<Event> {
+    let runs: Vec<&[Event]> = runs.iter().map(AsRef::as_ref).collect();
+    for r in &runs {
         debug_assert!(crate::event::is_sorted(r));
     }
-    let total: usize = runs.iter().map(Vec::len).sum();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
     let mut heap: BinaryHeap<Reverse<(Event, usize)>> = runs
         .iter()
@@ -43,14 +48,17 @@ pub fn merge_runs(runs: &[Vec<Event>]) -> Vec<Event> {
 /// Return the event at 1-based position `k` of the merged order of `runs`
 /// without materializing the merge.
 ///
+/// Like [`merge_runs`], generic over the run container.
+///
 /// # Errors
 /// [`DemaError::RankOutOfRange`] if `k` is 0 or exceeds the total length.
-pub fn select_kth(runs: &[Vec<Event>], k: u64) -> Result<Event> {
+pub fn select_kth<R: AsRef<[Event]>>(runs: &[R], k: u64) -> Result<Event> {
+    let runs: Vec<&[Event]> = runs.iter().map(AsRef::as_ref).collect();
     let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
     if k == 0 || k > total {
         return Err(DemaError::RankOutOfRange { rank: k, total });
     }
-    for r in runs {
+    for r in &runs {
         debug_assert!(crate::event::is_sorted(r));
     }
     let mut heap: BinaryHeap<Reverse<(Event, usize)>> = runs
@@ -81,7 +89,7 @@ pub fn select_kth(runs: &[Vec<Event>], k: u64) -> Result<Event> {
 /// any order; the answer is produced once all expected runs are present.
 #[derive(Debug, Default)]
 pub struct CandidateMerger {
-    runs: Vec<Vec<Event>>,
+    runs: Vec<SharedRun>,
     expected: usize,
 }
 
@@ -92,7 +100,11 @@ impl CandidateMerger {
     }
 
     /// Add one delivered candidate run (sorted events of one slice).
-    pub fn add_run(&mut self, events: Vec<Event>) {
+    ///
+    /// Takes the shared representation directly: a run arriving off the wire
+    /// or out of the local store is kept by refcount, never copied.
+    pub fn add_run(&mut self, events: impl Into<SharedRun>) {
+        let events = events.into();
         debug_assert!(crate::event::is_sorted(&events));
         self.runs.push(events);
     }
@@ -146,7 +158,7 @@ mod tests {
         let merged = merge_runs(&[run(&[]), run(&[7]), run(&[])]);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].value, 7);
-        assert!(merge_runs(&[]).is_empty());
+        assert!(merge_runs::<Vec<Event>>(&[]).is_empty());
     }
 
     #[test]
@@ -183,7 +195,10 @@ mod tests {
         let runs = vec![run(&[1, 2])];
         assert!(matches!(select_kth(&runs, 0), Err(DemaError::RankOutOfRange { .. })));
         assert!(matches!(select_kth(&runs, 3), Err(DemaError::RankOutOfRange { .. })));
-        assert!(matches!(select_kth(&[], 1), Err(DemaError::RankOutOfRange { .. })));
+        assert!(matches!(
+            select_kth::<Vec<Event>>(&[], 1),
+            Err(DemaError::RankOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -204,5 +219,116 @@ mod tests {
         let m = CandidateMerger::new(0);
         assert!(m.complete());
         assert!(matches!(m.select(1), Err(DemaError::RankOutOfRange { .. })));
+    }
+
+    #[test]
+    fn merger_accepts_shared_runs_without_copying() {
+        use crate::shared::SharedRun;
+        let shared = SharedRun::from_vec(run(&[1, 2, 3, 4]));
+        let mut m = CandidateMerger::new(2);
+        m.add_run(shared.slice(0..2));
+        m.add_run(shared.slice(2..4));
+        assert!(m.complete());
+        assert_eq!(m.select(3).unwrap().value, 3);
+    }
+
+    #[test]
+    fn select_kth_duplicate_values_tie_break_on_event_order() {
+        // Equal values across runs resolve by the derived Event order
+        // (value, ts, id) — the merged position of every duplicate is
+        // deterministic regardless of run arrangement.
+        let a = vec![Event::new(5, 0, 1), Event::new(5, 0, 4)];
+        let b = vec![Event::new(5, 0, 2), Event::new(5, 0, 5)];
+        let c = vec![Event::new(5, 0, 3)];
+        let runs = [a, b, c];
+        for (k, want_id) in (1..=5).zip([1u64, 2, 3, 4, 5]) {
+            assert_eq!(select_kth(&runs, k).unwrap().id, want_id, "k={k}");
+        }
+    }
+
+    #[test]
+    fn select_kth_with_empty_runs_interleaved() {
+        let runs = vec![run(&[]), run(&[2, 4]), run(&[]), run(&[1, 3]), run(&[])];
+        assert_eq!(select_kth(&runs, 1).unwrap().value, 1);
+        assert_eq!(select_kth(&runs, 4).unwrap().value, 4);
+        let merged = merge_runs(&runs);
+        let vals: Vec<i64> = merged.iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn select_kth_first_and_last_rank() {
+        let runs = vec![run(&[10, 30]), run(&[-5, 20, 40])];
+        assert_eq!(select_kth(&runs, 1).unwrap().value, -5); // k = 1
+        assert_eq!(select_kth(&runs, 5).unwrap().value, 40); // k = total
+    }
+
+    #[test]
+    fn generic_over_run_containers() {
+        // The same call sites work with Vec, SharedRun, and plain slices.
+        use crate::shared::SharedRun;
+        let vecs = vec![run(&[1, 3]), run(&[2])];
+        let shared: Vec<SharedRun> = vecs.iter().cloned().map(SharedRun::from_vec).collect();
+        let borrowed: Vec<&[Event]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let expect = merge_runs(&vecs);
+        assert_eq!(merge_runs(&shared), expect);
+        assert_eq!(merge_runs(&borrowed), expect);
+        assert_eq!(select_kth(&shared, 2).unwrap(), expect[1]);
+        assert_eq!(select_kth(&borrowed, 2).unwrap(), expect[1]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Turn arbitrary (value, count) pairs into a set of sorted runs
+        /// with globally unique ids.
+        fn runs_from(raw: Vec<Vec<i64>>) -> Vec<Vec<Event>> {
+            let mut id = 0u64;
+            raw.into_iter()
+                .map(|vals| {
+                    let mut events: Vec<Event> = vals
+                        .into_iter()
+                        .map(|v| {
+                            id += 1;
+                            Event::new(v, 0, id)
+                        })
+                        .collect();
+                    events.sort_unstable();
+                    events
+                })
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn select_kth_agrees_with_full_merge(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(-50i64..50, 0..12), 0..6),
+            ) {
+                let runs = runs_from(raw);
+                let merged = merge_runs(&runs);
+                for k in 1..=merged.len() as u64 {
+                    prop_assert_eq!(
+                        select_kth(&runs, k).unwrap(),
+                        merged[(k - 1) as usize]
+                    );
+                }
+                // Out-of-range ranks always error.
+                prop_assert!(select_kth(&runs, 0).is_err());
+                prop_assert!(select_kth(&runs, merged.len() as u64 + 1).is_err());
+            }
+
+            #[test]
+            fn merge_matches_global_sort(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(-50i64..50, 0..12), 0..6),
+            ) {
+                let runs = runs_from(raw);
+                let mut expected: Vec<Event> = runs.concat();
+                expected.sort_unstable();
+                prop_assert_eq!(merge_runs(&runs), expected);
+            }
+        }
     }
 }

@@ -137,7 +137,8 @@ pub fn multi_quantile_decentralized(
     let ranks: Vec<u64> =
         quantiles.iter().map(|q| q.pos(total)).collect::<Result<Vec<_>>>()?;
     let multi = select_multi(&synopses, &ranks, strategy)?;
-    let runs: Vec<Vec<Event>> = multi
+    // Shared views into the store — one refcount bump per candidate.
+    let runs: Vec<crate::shared::SharedRun> = multi
         .candidates
         .iter()
         .map(|id| {
@@ -189,8 +190,7 @@ mod tests {
     fn union_is_smaller_than_sum_of_parts() {
         // Adjacent quantiles share candidate slices; the union must not
         // double-fetch them.
-        let a: Vec<Event> = (0..10_000).map(|i| Event::new(i, 0, i as u64)).collect();
-        let mut sorted = a.clone();
+        let mut sorted: Vec<Event> = (0..10_000).map(|i| Event::new(i, 0, i as u64)).collect();
         sorted.sort_unstable();
         let slices = crate::slice::cut_into_slices(
             crate::event::NodeId(0),

@@ -9,6 +9,7 @@
 
 use crate::error::{DemaError, Result};
 use crate::event::{Event, NodeId, WindowId};
+use crate::shared::SharedRun;
 
 /// Globally unique identifier of a slice: which node produced it, for which
 /// window, and its index within that node's sorted slice sequence.
@@ -68,12 +69,16 @@ impl SliceSynopsis {
 
 /// A slice with its events, as held on the local node (and shipped to the
 /// root when selected as a candidate).
+///
+/// The events are a [`SharedRun`]: all slices cut from one window share the
+/// window's single sorted buffer, and cloning a slice (to answer a candidate
+/// request, say) bumps a refcount instead of copying events.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Slice {
     /// Identity of the slice.
     pub id: SliceId,
     /// Events of the slice in ascending order.
-    pub events: Vec<Event>,
+    pub events: SharedRun,
 }
 
 impl Slice {
@@ -139,6 +144,10 @@ impl Slice {
 /// at least two events, since a synopsis needs two endpoints); a window with
 /// exactly one event yields one single-event slice as a degenerate case.
 ///
+/// The sorted buffer is moved into a single shared allocation; every slice
+/// is a [`SharedRun`] view into it, so cutting is O(slices), not O(events),
+/// and no event is ever copied.
+///
 /// # Errors
 /// * [`DemaError::InvalidGamma`] if `gamma < 2`.
 ///
@@ -166,17 +175,14 @@ pub fn cut_into_slices(
         bounds.remove(last);
     }
 
+    let run = SharedRun::from_vec(events);
     let mut slices = Vec::with_capacity(bounds.len() - 1);
-    let mut rest = events;
-    // Split back-to-front so each split is O(len of tail), total O(n).
-    for (index, pair) in bounds.windows(2).enumerate().rev() {
-        let tail = rest.split_off(pair[0]);
+    for (index, pair) in bounds.windows(2).enumerate() {
         slices.push(Slice {
             id: SliceId { node, window, index: index as u32 },
-            events: tail,
+            events: run.slice(pair[0]..pair[1]),
         });
     }
-    slices.reverse();
     Ok(slices)
 }
 
@@ -311,12 +317,21 @@ mod tests {
         assert!(!big.covered_by(&big));
     }
 
+    /// Rebuild a slice with its events replaced by a mutated copy
+    /// (SharedRun views are immutable, so tampering means re-wrapping).
+    fn tamper(slice: &Slice, mutate: impl FnOnce(&mut Vec<Event>)) -> Slice {
+        let mut events = slice.events.to_vec();
+        mutate(&mut events);
+        Slice { id: slice.id, events: events.into() }
+    }
+
     #[test]
     fn verify_detects_count_mismatch() {
         let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
         let syn = slices[0].synopsis(2).unwrap();
-        let mut tampered = slices[0].clone();
-        tampered.events.pop();
+        let tampered = tamper(&slices[0], |ev| {
+            ev.pop();
+        });
         assert!(matches!(tampered.verify_against(&syn), Err(DemaError::CorruptCandidate(_))));
     }
 
@@ -324,9 +339,21 @@ mod tests {
     fn verify_detects_endpoint_mismatch() {
         let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
         let syn = slices[0].synopsis(2).unwrap();
-        let mut tampered = slices[0].clone();
-        tampered.events[0].value = -99;
+        let tampered = tamper(&slices[0], |ev| ev[0].value = -99);
         assert!(matches!(tampered.verify_against(&syn), Err(DemaError::CorruptCandidate(_))));
+    }
+
+    #[test]
+    fn slices_share_one_backing_buffer() {
+        use crate::shared::SharedRun;
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(20), 5).unwrap();
+        assert_eq!(slices.len(), 4);
+        for pair in slices.windows(2) {
+            assert!(SharedRun::ptr_eq(&pair[0].events, &pair[1].events));
+        }
+        // Cloning a slice (what the responder does) also shares, not copies.
+        let served = slices[2].clone();
+        assert!(SharedRun::ptr_eq(&served.events, &slices[0].events));
     }
 
     #[test]

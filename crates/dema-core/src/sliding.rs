@@ -147,7 +147,7 @@ pub fn sliding_quantiles(
         } else {
             let k = config.quantile.pos(window_total)?;
             let selection = select(&synopses, k, config.strategy)?;
-            let runs: Vec<Vec<Event>> = selection
+            let runs: Vec<crate::shared::SharedRun> = selection
                 .candidates
                 .iter()
                 .map(|id| {

@@ -147,7 +147,7 @@ proptest! {
         let slices = cut_into_slices(NodeId(0), WindowId(0), events.clone(), gamma).unwrap();
         let rejoined: Vec<Event> =
             slices.iter().flat_map(|s| s.events.iter().copied()).collect();
-        prop_assert_eq!(rejoined, events.clone());
+        prop_assert_eq!(&rejoined, &events);
         if events.len() >= 2 {
             prop_assert!(slices.iter().all(|s| s.events.len() >= 2));
         }
@@ -294,7 +294,8 @@ proptest! {
             quantile: Quantile::MEDIAN,
             strategy: SelectionStrategy::WindowCut,
         };
-        let (results, stats) = sliding_quantiles(&[events.clone()], config).unwrap();
+        let (results, stats) =
+            sliding_quantiles(std::slice::from_ref(&events), config).unwrap();
         // Brute force every reported window.
         for r in &results {
             let mut in_window: Vec<Event> =

@@ -4,6 +4,12 @@
 //! serialized, but every send records the bytes the message *would* occupy
 //! on the wire (`encoded_len() + 4` frame prefix) plus its event units, so
 //! the network-cost figures are identical to a TCP run.
+//!
+//! Because nothing is encoded, this transport needs no frame buffers at
+//! all: `send` clones the message into the channel, and for the hot
+//! candidate-reply path that clone is a refcount bump on the reply's
+//! `SharedRun` payloads — the events themselves are never copied between
+//! the local store and the root's merger.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -5,6 +5,12 @@
 //! wires two streams per node pair). `TCP_NODELAY` is set — the protocol is
 //! request/response-ish per window, so Nagle would serialize the
 //! identification/calculation round trips.
+//!
+//! Each frame is assembled (prefix + payload) in a buffer recycled through
+//! `dema-wire`'s [`dema_wire::BufferPool`] and reaches the stream as one
+//! contiguous write: small frames coalesce in the `BufWriter` and flush as
+//! a single syscall; frames larger than its buffer bypass it and are still
+//! one `write` each, never one per frame segment.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};

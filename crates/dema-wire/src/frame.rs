@@ -7,9 +7,8 @@
 
 use std::io::{self, Read, Write};
 
-use bytes::BytesMut;
-
 use crate::message::{Message, WireError};
+use crate::pool::BufferPool;
 
 /// Frames larger than this are treated as corruption.
 pub const MAX_FRAME: u32 = 1 << 30;
@@ -53,13 +52,33 @@ impl From<WireError> for FrameError {
 }
 
 /// Write one framed message. Returns the total bytes written (payload + 4).
+///
+/// The frame (length prefix + payload) is assembled in a buffer recycled
+/// through the process-wide [`BufferPool`] and handed to the writer as one
+/// contiguous `write_all` — on an unbuffered socket that is a single
+/// syscall per frame, and the steady state allocates nothing.
 pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> io::Result<u64> {
-    let mut buf = BytesMut::with_capacity(msg.encoded_len() + 4);
-    msg.encode(&mut buf);
-    let len = buf.len() as u32;
-    w.write_all(&len.to_le_bytes())?;
+    write_frame_pooled(w, msg, BufferPool::global())
+}
+
+/// [`write_frame`] drawing its scratch buffer from a caller-chosen pool.
+pub fn write_frame_pooled<W: Write>(
+    w: &mut W,
+    msg: &Message,
+    pool: &std::sync::Arc<BufferPool>,
+) -> io::Result<u64> {
+    let mut buf = pool.acquire();
+    encode_frame_into(msg, &mut buf);
     w.write_all(&buf)?;
-    Ok(u64::from(len) + 4)
+    Ok(buf.len() as u64)
+}
+
+/// Append one complete frame (length prefix + encoded payload) to `buf`.
+pub fn encode_frame_into(msg: &Message, buf: &mut Vec<u8>) {
+    let len = msg.encoded_len() as u32;
+    buf.reserve(len as usize + 4);
+    buf.extend_from_slice(&len.to_le_bytes());
+    msg.encode_into(buf);
 }
 
 /// Read one framed message. Returns the message and the total bytes read.
@@ -123,6 +142,33 @@ mod tests {
             assert_eq!(&msg, expected);
         }
         assert!(matches!(read_frame(&mut cursor), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn pooled_writes_reuse_the_scratch_buffer() {
+        let pool = BufferPool::new();
+        let mut out = Vec::new();
+        write_frame_pooled(&mut out, &sample(), &pool).unwrap();
+        assert_eq!(pool.spare_count(), 1, "buffer returned after the write");
+        let first_len = out.len();
+        write_frame_pooled(&mut out, &sample(), &pool).unwrap();
+        assert_eq!(pool.spare_count(), 1);
+        assert_eq!(out.len(), 2 * first_len);
+        // Both frames decode back.
+        let mut cursor = &out[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().0, sample());
+        assert_eq!(read_frame(&mut cursor).unwrap().0, sample());
+    }
+
+    #[test]
+    fn encode_frame_into_appends_prefix_and_payload() {
+        let msg = sample();
+        let mut buf = vec![0xEE]; // existing bytes stay untouched
+        encode_frame_into(&msg, &mut buf);
+        assert_eq!(buf[0], 0xEE);
+        let len = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+        assert_eq!(len as usize, msg.encoded_len());
+        assert_eq!(Message::decode(&buf[5..]).unwrap(), msg);
     }
 
     #[test]

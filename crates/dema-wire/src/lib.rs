@@ -16,10 +16,16 @@
 //!   baselines), t-digest batches (Tdigest baseline), γ updates, window
 //!   results, and stream-end markers.
 //! * [`frame`] — `u32` length-prefixed framing over any `Read`/`Write`
-//!   (used by the TCP transport in `dema-net`).
+//!   (used by the TCP transport in `dema-net`). Frames are assembled in
+//!   buffers recycled through [`pool::BufferPool`], so steady-state sends
+//!   don't touch the allocator, and each frame reaches the writer as one
+//!   contiguous `write_all`.
+//! * [`pool`] — the capped free-list of frame buffers.
 
 pub mod frame;
 pub mod message;
+pub mod pool;
 
 pub use frame::{read_frame, write_frame};
 pub use message::{Message, WireError};
+pub use pool::BufferPool;

@@ -2,6 +2,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::shared::SharedRun;
 use dema_core::slice::{SliceId, SliceSynopsis};
 use dema_sketch::tdigest::Centroid;
 
@@ -62,13 +63,17 @@ pub enum Message {
         slices: Vec<u32>,
     },
     /// Local → root (calculation step): the requested candidate events.
+    ///
+    /// The runs are [`SharedRun`] views: building a reply from the local
+    /// store bumps refcounts, and cloning the message (e.g. into an
+    /// in-memory transport) never copies events.
     CandidateReply {
         /// Sender.
         node: NodeId,
         /// Window being resolved.
         window: WindowId,
         /// `(slice index, sorted events)` per requested slice.
-        slices: Vec<(u32, Vec<Event>)>,
+        slices: Vec<(u32, SharedRun)>,
     },
     /// Local → root: raw events of one window (the centralized and
     /// decentralized-sort baselines; `sorted` distinguishes them).
@@ -123,6 +128,18 @@ impl Message {
     /// predicts the exact size.
     pub fn encode(&self, buf: &mut BytesMut) {
         buf.reserve(self.encoded_len());
+        self.encode_impl(buf);
+    }
+
+    /// Encode into a caller-provided plain `Vec<u8>` (appending), e.g. a
+    /// buffer drawn from [`crate::pool::BufferPool`]. Produces exactly the
+    /// same bytes as [`Message::encode`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.encoded_len());
+        self.encode_impl(buf);
+    }
+
+    fn encode_impl<B: BufMut>(&self, buf: &mut B) {
         match self {
             Message::SynopsisBatch { node, window, synopses } => {
                 buf.put_u8(TAG_SYNOPSIS_BATCH);
@@ -259,7 +276,7 @@ impl Message {
 pub const EVENT_LEN: usize = 8 + 8 + 8;
 
 #[inline]
-fn put_event(buf: &mut BytesMut, e: &Event) {
+fn put_event<B: BufMut>(buf: &mut B, e: &Event) {
     buf.put_i64_le(e.value);
     buf.put_u64_le(e.ts);
     buf.put_u64_le(e.id);
@@ -340,7 +357,7 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Message, WireError> {
                 for _ in 0..m {
                     events.push(take_event(buf)?);
                 }
-                slices.push((idx, events));
+                slices.push((idx, SharedRun::from_vec(events)));
             }
             Ok(Message::CandidateReply { node, window, slices })
         }
@@ -407,6 +424,10 @@ mod tests {
         (0..n).map(|i| Event::new(i as i64 * 3 - 50, i * 7, i)).collect()
     }
 
+    fn sample_run(n: u64) -> SharedRun {
+        SharedRun::from_vec(sample_events(n))
+    }
+
     #[test]
     fn roundtrip_synopsis_batch() {
         let node = NodeId(3);
@@ -438,7 +459,7 @@ mod tests {
         roundtrip(Message::CandidateReply {
             node: NodeId(1),
             window: WindowId(2),
-            slices: vec![(0, sample_events(10)), (3, vec![]), (4, sample_events(1))],
+            slices: vec![(0, sample_run(10)), (3, SharedRun::empty()), (4, sample_run(1))],
         });
     }
 
@@ -500,7 +521,7 @@ mod tests {
         let msg = Message::CandidateReply {
             node: NodeId(1),
             window: WindowId(2),
-            slices: vec![(0, sample_events(3))],
+            slices: vec![(0, sample_run(3))],
         };
         let bytes = msg.to_bytes();
         for cut in 0..bytes.len() {
@@ -554,10 +575,36 @@ mod tests {
         let reply = Message::CandidateReply {
             node,
             window,
-            slices: vec![(0, sample_events(4)), (1, sample_events(6))],
+            slices: vec![(0, sample_run(4)), (1, sample_run(6))],
         };
         assert_eq!(reply.event_units(), 10);
         assert_eq!(Message::GammaUpdate { gamma: 2 }.event_units(), 0);
+    }
+
+    #[test]
+    fn encode_into_vec_matches_bytesmut_encoding() {
+        let msgs = [
+            Message::CandidateReply {
+                node: NodeId(1),
+                window: WindowId(2),
+                slices: vec![(0, sample_run(10)), (3, SharedRun::empty())],
+            },
+            Message::EventBatch {
+                node: NodeId(0),
+                window: WindowId(9),
+                sorted: true,
+                events: sample_events(50),
+            },
+            Message::GammaUpdate { gamma: 77 },
+        ];
+        for msg in msgs {
+            let mut reference = BytesMut::new();
+            msg.encode(&mut reference);
+            let mut pooled = vec![0xAAu8; 3]; // pre-existing content is appended to
+            msg.encode_into(&mut pooled);
+            assert_eq!(&pooled[..3], &[0xAA; 3]);
+            assert_eq!(&pooled[3..], &reference[..], "byte-for-byte identical encodings");
+        }
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! A capped free-list pool of frame buffers.
+//!
+//! Every framed send needs a scratch `Vec<u8>` for the length prefix plus
+//! the encoded message. Allocating one per frame puts an allocator
+//! round-trip on the per-message hot path; this pool recycles a small,
+//! bounded set of buffers instead. Buffers are handed out as [`PooledBuf`]
+//! guards that return themselves to the pool on drop.
+//!
+//! The pool is deliberately simple: a `std::sync::Mutex` around a `Vec` of
+//! spare buffers. The critical section is a push/pop, far cheaper than the
+//! allocation it replaces, and the cap bounds both the number of retained
+//! buffers and the capacity any retained buffer may keep (so one jumbo
+//! frame cannot pin a jumbo allocation forever).
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Most spare buffers the pool retains; excess buffers are simply freed.
+const MAX_POOLED: usize = 16;
+
+/// Largest capacity (bytes) a buffer may keep when returned to the pool.
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+/// A bounded free-list of reusable `Vec<u8>` frame buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    spares: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    /// A fresh, empty pool.
+    pub fn new() -> Arc<BufferPool> {
+        Arc::new(BufferPool::default())
+    }
+
+    /// The process-wide pool shared by all transports.
+    pub fn global() -> &'static Arc<BufferPool> {
+        static GLOBAL: OnceLock<Arc<BufferPool>> = OnceLock::new();
+        GLOBAL.get_or_init(BufferPool::new)
+    }
+
+    /// Take a cleared buffer from the pool (or allocate a fresh one).
+    pub fn acquire(self: &Arc<BufferPool>) -> PooledBuf {
+        let buf = self.spares.lock().map_or_else(|_| Vec::new(), |mut s| s.pop().unwrap_or_default());
+        PooledBuf { buf, pool: Arc::clone(self) }
+    }
+
+    /// Number of spare buffers currently pooled (diagnostic).
+    pub fn spare_count(&self) -> usize {
+        self.spares.lock().map_or(0, |s| s.len())
+    }
+
+    fn give_back(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > MAX_RETAINED_CAPACITY {
+            return; // don't pin oversized allocations
+        }
+        buf.clear();
+        if let Ok(mut spares) = self.spares.lock() {
+            if spares.len() < MAX_POOLED {
+                spares.push(buf);
+            }
+        }
+    }
+}
+
+/// A pooled buffer guard; dereferences to the underlying `Vec<u8>` and
+/// returns it to its pool when dropped.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Arc<BufferPool>,
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        self.pool.give_back(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquired_buffer_starts_empty() {
+        let pool = BufferPool::new();
+        let mut b = pool.acquire();
+        assert!(b.is_empty());
+        b.extend_from_slice(&[1, 2, 3]);
+        drop(b);
+        let b2 = pool.acquire();
+        assert!(b2.is_empty(), "recycled buffer must be cleared");
+    }
+
+    #[test]
+    fn buffers_are_recycled() {
+        let pool = BufferPool::new();
+        let mut b = pool.acquire();
+        b.reserve(4096);
+        let ptr = b.as_ptr();
+        drop(b);
+        assert_eq!(pool.spare_count(), 1);
+        let b2 = pool.acquire();
+        assert_eq!(b2.as_ptr(), ptr, "same allocation handed back out");
+        assert_eq!(pool.spare_count(), 0);
+    }
+
+    #[test]
+    fn pool_is_capped() {
+        let pool = BufferPool::new();
+        let held: Vec<PooledBuf> = (0..MAX_POOLED + 8).map(|_| pool.acquire()).collect();
+        drop(held);
+        assert!(pool.spare_count() <= MAX_POOLED);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = BufferPool::new();
+        let mut b = pool.acquire();
+        b.reserve(MAX_RETAINED_CAPACITY + 1);
+        drop(b);
+        assert_eq!(pool.spare_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let pool = BufferPool::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        let mut b = pool.acquire();
+                        b.extend_from_slice(&i.to_le_bytes());
+                        assert_eq!(b.len(), 4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.spare_count() <= MAX_POOLED);
+    }
+}

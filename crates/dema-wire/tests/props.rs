@@ -43,7 +43,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             |(n, w, slices)| Message::CandidateReply {
                 node: NodeId(n),
                 window: WindowId(w),
-                slices,
+                slices: slices.into_iter().map(|(i, ev)| (i, ev.into())).collect(),
             }
         ),
         (node, window, any::<bool>(), vec(arb_event(), 0..100)).prop_map(

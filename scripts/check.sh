@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it lands.
+#
+#   build (release)  — the experiment binary and benches must compile
+#   test             — unit + property + integration tests, all crates
+#   bench --no-run   — criterion benches must keep compiling
+#   clippy           — deny the two lints that reintroduce hot-path copies:
+#                      redundant_clone (event buffers must be shared, not
+#                      cloned) and needless_collect (no intermediate Vecs
+#                      on the merge paths)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo bench --no-run
+cargo clippy --workspace --all-targets -- \
+    -D clippy::redundant_clone \
+    -D clippy::needless_collect
+
+echo "check.sh: all green"

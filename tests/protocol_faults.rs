@@ -62,9 +62,11 @@ fn truncated_reply_events_are_detected() {
     let (tx, mut rx) = link(NetworkCounters::new_shared());
     let mut root = dema_root(1, vec![Box::new(tx)]);
     let (slices, wanted) = setup_identification(&mut root, &mut rx);
-    // Drop one event from the requested slice.
-    let mut payload = slices[wanted[0] as usize].events.clone();
-    payload.pop();
+    // Drop one event from the requested slice (runs are immutable shared
+    // views, so tampering means re-wrapping a mutated copy).
+    let mut tampered = slices[wanted[0] as usize].events.to_vec();
+    tampered.pop();
+    let payload = dema::core::shared::SharedRun::from_vec(tampered);
     let err = root
         .handle(Message::CandidateReply {
             node: NodeId(0),
@@ -87,7 +89,7 @@ fn swapped_values_in_reply_are_detected() {
         .handle(Message::CandidateReply {
             node: NodeId(0),
             window: WindowId(0),
-            slices: vec![(wanted[0], fake)],
+            slices: vec![(wanted[0], fake.into())],
         })
         .unwrap_err();
     assert!(matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))), "{err:?}");
@@ -98,8 +100,9 @@ fn unsorted_reply_is_detected() {
     let (tx, mut rx) = link(NetworkCounters::new_shared());
     let mut root = dema_root(1, vec![Box::new(tx)]);
     let (slices, wanted) = setup_identification(&mut root, &mut rx);
-    let mut payload = slices[wanted[0] as usize].events.clone();
-    payload.swap(1, 2);
+    let mut tampered = slices[wanted[0] as usize].events.to_vec();
+    tampered.swap(1, 2);
+    let payload = dema::core::shared::SharedRun::from_vec(tampered);
     let err = root
         .handle(Message::CandidateReply {
             node: NodeId(0),

@@ -1,0 +1,251 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Implements the little-endian put/get surface the Dema wire codec uses,
+//! backed by plain `Vec<u8>`. `BufMut` is implemented for both [`BytesMut`]
+//! and `Vec<u8>` (as in the real crate), which lets encoders write into
+//! caller-provided, pooled buffers without an intermediate copy.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wrap an owned vector without copying.
+    pub fn from_vec(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::new(v))
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+/// Growable byte buffer (a thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    /// Ensure room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Clear contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.vec)
+    }
+
+    /// Extract the underlying vector without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.vec
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> BytesMut {
+        BytesMut { vec }
+    }
+}
+
+/// Write access to a growable byte sink (little-endian putters).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read access to a byte source (little-endian getters that advance).
+///
+/// # Panics
+/// Getters panic if the source has too few bytes remaining, matching the
+/// real crate; decoders bounds-check before calling.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Take `n` leading bytes.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().expect("4 bytes"))
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_bytes(8).try_into().expect("8 bytes"))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(1.5);
+        assert_eq!(buf.len(), 1 + 4 + 8 + 8 + 8);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), 42);
+        assert_eq!(cursor.get_i64_le(), -42);
+        assert_eq!(cursor.get_f64_le(), 1.5);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_is_a_bufmut() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u32_le(5);
+        assert_eq!(v, 5u32.to_le_bytes());
+    }
+}

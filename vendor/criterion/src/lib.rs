@@ -1,0 +1,233 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness surface with a
+//! simple wall-clock measurement loop: per benchmark it warms up briefly,
+//! then takes `sample_size` timed batches and reports the best-sample
+//! mean in ns/iter (best-of keeps numbers stable under CI noise) plus
+//! throughput when configured. No plots, no statistics, no saved baselines.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(20);
+const TARGET_BATCH: Duration = Duration::from_millis(2);
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function label plus a parameter, rendered `label/param`.
+    pub fn new(label: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", label.into(), parameter) }
+    }
+
+    /// Only a parameter, for groups whose name already names the function.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean ns/iter of the fastest sample, filled in by [`Bencher::iter`].
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the fastest sample's mean ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut elapsed;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            elapsed = start.elapsed();
+            if elapsed >= WARMUP || warm_iters >= 10_000 {
+                break;
+            }
+        }
+        let est_per_iter = elapsed.as_secs_f64() / warm_iters as f64;
+
+        // Size batches so each sample takes roughly TARGET_BATCH.
+        let batch = ((TARGET_BATCH.as_secs_f64() / est_per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { sample_size: self.sample_size, best_ns_per_iter: f64::NAN };
+        f(&mut b);
+        self.report(&id, b.best_ns_per_iter);
+        self
+    }
+
+    /// Run a benchmark closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { sample_size: self.sample_size, best_ns_per_iter: f64::NAN };
+        f(&mut b, input);
+        self.report(&id, b.best_ns_per_iter);
+        self
+    }
+
+    /// Print and close the group. (Accepts `&mut self` so both
+    /// `group.finish()` and drop-without-finish behave.)
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.3} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {:.1} ns/iter{}", self.name, id.label, ns, rate);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accept (and ignore) criterion CLI flags like `--bench`.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}
