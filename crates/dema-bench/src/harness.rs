@@ -34,9 +34,11 @@ pub struct Measurement {
     pub system: String,
     /// Events per wall-clock second.
     pub throughput: f64,
-    /// Mean / p50 / p99 latency in µs.
+    /// Mean latency in µs.
     pub latency_mean_us: f64,
+    /// Median (p50) latency in µs.
     pub latency_p50_us: u64,
+    /// Tail (p99) latency in µs.
     pub latency_p99_us: u64,
     /// Total traffic (data + control planes).
     pub traffic: NetworkSnapshot,

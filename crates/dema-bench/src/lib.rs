@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # dema-bench
 //!
 //! Experiment harness reproducing every figure of the Dema paper's

@@ -164,18 +164,20 @@ fn process_window(
         EngineKind::Dema { .. } => {
             let gamma = shared.gamma.load(Ordering::Relaxed);
             events.sort_unstable();
+            let l_local = events.len() as u64;
             let slices = cut_into_slices(node, window, events, gamma)?;
             let total = slices.len() as u32;
             let synopses = slices
                 .iter()
                 .map(|s| s.synopsis(total))
                 .collect::<Result<Vec<_>, _>>()?;
+            dema_core::invariant::check_partition(&slices, &synopses, l_local)?;
             {
                 let mut store = shared.store.lock();
                 store.insert(window.0, slices);
                 // Bound memory if the root stalls; oldest windows first.
                 while store.len() > STORE_WINDOW_CAP {
-                    let oldest = *store.keys().min().expect("non-empty");
+                    let Some(&oldest) = store.keys().min() else { break };
                     store.remove(&oldest);
                 }
             }

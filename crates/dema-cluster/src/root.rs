@@ -283,8 +283,12 @@ impl RootNode {
         let EngineKind::Dema { strategy, .. } = self.engine else {
             return Err(ClusterError::Protocol("synopses sent to non-Dema root".into()));
         };
-        let state = self.states.get_mut(&window.0).expect("state exists");
+        let state = self
+            .states
+            .get_mut(&window.0)
+            .ok_or_else(|| ClusterError::Protocol(format!("identify of unknown window {window}")))?;
         state.gamma = self.gamma.current();
+        dema_core::invariant::check_synopsis_order(&state.synopses).map_err(ClusterError::Core)?;
         let total: u64 = state.synopses.iter().map(|s| s.count).sum();
         if total == 0 {
             self.finalize(window, None, Vec::new(), 0, 0, 0, 0)?;
@@ -296,6 +300,15 @@ impl RootNode {
             ranks.push(q.pos(total)?);
         }
         let selection = select_multi(&state.synopses, &ranks, strategy)?;
+        for plan in &selection.plans {
+            dema_core::invariant::check_selection(
+                &state.synopses,
+                &selection.candidates,
+                plan.rank,
+                plan.offset_below,
+            )
+            .map_err(ClusterError::Core)?;
+        }
         state.synopsis_of = state.synopses.iter().map(|s| (s.id, *s)).collect();
         // Per-node observations for the γ controllers.
         state.node_sizes.clear();
@@ -324,7 +337,10 @@ impl RootNode {
             link.send(&Message::CandidateRequest { window, slices })?;
         }
         // Stash how many replies we expect (one per involved node).
-        let state = self.states.get_mut(&window.0).expect("state exists");
+        let state = self
+            .states
+            .get_mut(&window.0)
+            .ok_or_else(|| ClusterError::Protocol(format!("state lost for window {window}")))?;
         state.reported = expected_replies; // reuse as "replies expected"
         self.in_flight += 1; // stage-2 slot held until the window finalizes
         Ok(())
@@ -369,7 +385,9 @@ impl RootNode {
         }
         state.runs_received += 1;
         if state.runs_received == state.reported {
-            let selection = state.selection.take().expect("selection set in identify");
+            let selection = state.selection.take().ok_or_else(|| {
+                ClusterError::Protocol(format!("{window}: replies complete before identification"))
+            })?;
             let run_count: u64 = state.runs.iter().map(|r| r.len() as u64).sum();
             if run_count != selection.candidate_events {
                 return Err(ClusterError::Core(DemaError::InconsistentSynopses(format!(
@@ -381,11 +399,17 @@ impl RootNode {
                 .plans
                 .iter()
                 .map(|p| {
-                    select_kth(&state.runs, p.rank_within_candidates())
-                        .map(|e| e.value)
-                        .map_err(ClusterError::Core)
+                    let event = select_kth(&state.runs, p.rank_within_candidates())
+                        .map_err(ClusterError::Core)?;
+                    dema_core::invariant::check_selected_event(
+                        &state.runs,
+                        p.rank_within_candidates(),
+                        &event,
+                    )
+                    .map_err(ClusterError::Core)?;
+                    Ok(event.value)
                 })
-                .collect::<Result<Vec<i64>, _>>()?;
+                .collect::<Result<Vec<i64>, ClusterError>>()?;
             let primary = values.remove(0);
             let total = selection.total_events;
             let m = selection.candidates.len() as u64;
@@ -405,7 +429,7 @@ impl RootNode {
             match &mut self.gamma {
                 GammaPolicy::Global(ctl) => {
                     let before = ctl.current();
-                    let next = ctl.observe(total, m);
+                    let next = ctl.observe_checked(total, m).map_err(ClusterError::Core)?;
                     if next != before {
                         for link in &mut self.control {
                             link.send(&Message::GammaUpdate { gamma: next })?;
@@ -420,7 +444,7 @@ impl RootNode {
                         }
                         let m_i = node_candidates.get(&(n as u32)).copied().unwrap_or(0);
                         let before = ctl.current();
-                        let next = ctl.observe(l_i, m_i);
+                        let next = ctl.observe_checked(l_i, m_i).map_err(ClusterError::Core)?;
                         if next != before {
                             let link = self.control.get_mut(n).ok_or_else(|| {
                                 ClusterError::Protocol(format!("no control link for n{n}"))
@@ -440,7 +464,10 @@ impl RootNode {
 
     /// Baseline resolution once all batches/digests of `window` arrived.
     fn resolve_batches(&mut self, window: WindowId) -> Result<(), ClusterError> {
-        let state = self.states.get_mut(&window.0).expect("state exists");
+        let state = self
+            .states
+            .get_mut(&window.0)
+            .ok_or_else(|| ClusterError::Protocol(format!("resolve of unknown window {window}")))?;
         match self.engine {
             EngineKind::Centralized => {
                 let mut all: Vec<Event> =
@@ -471,7 +498,11 @@ impl RootNode {
                 if total == 0 {
                     return self.finalize(window, None, Vec::new(), 0, 0, 0, 0);
                 }
-                let digest = state.digest.as_ref().expect("digest exists when count > 0");
+                let digest = state.digest.as_ref().ok_or_else(|| {
+                    ClusterError::Protocol(format!(
+                        "{window}: digest count {total} without a digest"
+                    ))
+                })?;
                 let value = digest
                     .quantile(self.quantile.fraction())
                     .map(|v| v.round() as i64);

@@ -35,12 +35,17 @@ fn make_link(
             Ok((Box::new(tx), Box::new(rx)))
         }
         TransportKind::Throttled { .. } => {
-            let throttle = throttle.expect("throttled transport needs a link throttle");
+            let throttle = throttle.ok_or_else(|| {
+                ClusterError::Protocol("throttled transport needs a link throttle".into())
+            })?;
             let (tx, rx) = throttled_link(counters, std::sync::Arc::clone(throttle));
             Ok((Box::new(tx), Box::new(rx)))
         }
         TransportKind::Tcp => {
-            let listener = listen("127.0.0.1:0".parse().expect("valid loopback addr"))?;
+            let addr = "127.0.0.1:0"
+                .parse()
+                .map_err(|e| ClusterError::Protocol(format!("loopback addr: {e}")))?;
+            let listener = listen(addr)?;
             let addr = listener.local_addr().map_err(NetError::Io)?;
             let sender = std::thread::spawn(move || TcpSender::connect(addr, counters));
             let receiver = accept(&listener)?;

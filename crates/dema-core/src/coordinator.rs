@@ -9,7 +9,9 @@
 
 use crate::error::{DemaError, Result};
 use crate::event::{Event, NodeId, WindowId};
+use crate::invariant;
 use crate::merge::select_kth;
+use crate::numeric::{len_to_u32, len_to_u64, u64_to_f64, u64_to_usize};
 use crate::quantile::Quantile;
 use crate::selector::{select, Selection, SelectionStrategy};
 use crate::shared::SharedRun;
@@ -45,7 +47,7 @@ impl TrafficStats {
         if self.total_events == 0 {
             return 0.0;
         }
-        1.0 - self.total_events_on_wire() as f64 / self.total_events as f64
+        1.0 - u64_to_f64(self.total_events_on_wire()) / u64_to_f64(self.total_events)
     }
 }
 
@@ -84,12 +86,14 @@ pub fn exact_quantile_decentralized(
     for (i, events) in nodes.iter().enumerate() {
         let mut sorted = events.clone();
         sorted.sort_unstable();
-        let slices = cut_into_slices(NodeId(i as u32), window, sorted, gamma)?;
-        let total = slices.len() as u32;
-        for s in slices {
-            synopses.push(s.synopsis(total)?);
-            slice_store.push(s);
-        }
+        let l_local = len_to_u64(sorted.len());
+        let slices = cut_into_slices(NodeId(len_to_u32(i)), window, sorted, gamma)?;
+        let total = len_to_u32(slices.len());
+        let node_synopses =
+            slices.iter().map(|s| s.synopsis(total)).collect::<Result<Vec<_>>>()?;
+        invariant::check_partition(&slices, &node_synopses, l_local)?;
+        synopses.extend(node_synopses);
+        slice_store.extend(slices);
     }
     let total: u64 = synopses.iter().map(|s| s.count).sum();
     if total == 0 {
@@ -97,16 +101,20 @@ pub fn exact_quantile_decentralized(
     }
 
     // --- root: identification step ----------------------------------------
+    invariant::check_synopsis_order(&synopses)?;
     let k = q.pos(total)?;
     let selection = select(&synopses, k, strategy)?;
+    invariant::check_selection(&synopses, &selection.candidates, k, selection.offset_below)?;
 
     // --- calculation step: fetch candidates, merge, pick rank -------------
     let runs = fetch_candidates(&slice_store, &selection.candidates)?;
     let event = select_kth(&runs, selection.rank_within_candidates())?;
+    invariant::check_selected_event(&runs, selection.rank_within_candidates(), &event)?;
+    invariant::check_true_rank(nodes.iter().flatten().map(|e| e.value), k, event.value)?;
 
     let stats = TrafficStats {
-        synopses_sent: synopses.len() as u64,
-        candidate_slices: selection.candidates.len() as u64,
+        synopses_sent: len_to_u64(synopses.len()),
+        candidate_slices: len_to_u64(selection.candidates.len()),
         candidate_events_sent: selection.candidate_events,
         total_events: total,
     };
@@ -141,8 +149,8 @@ pub fn quantile_ground_truth(nodes: &[Vec<Event>], q: Quantile) -> Result<Event>
         return Err(DemaError::EmptyWindow);
     }
     all.sort_unstable();
-    let k = q.pos(all.len() as u64)?;
-    Ok(all[(k - 1) as usize])
+    let k = q.pos(len_to_u64(all.len()))?;
+    Ok(all[u64_to_usize(k - 1)])
 }
 
 #[cfg(test)]

@@ -48,6 +48,13 @@ pub enum DemaError {
         /// Total number of events in the global window.
         total: u64,
     },
+    /// The checked-invariant layer ([`crate::invariant`]) detected a
+    /// violation of the rank-bound correctness model: synopses that do not
+    /// partition their window, a candidate set that misses the target rank,
+    /// a selected event whose true rank differs from `Pos(q)`, or a γ that
+    /// fails the cost-model bracketing. Always a bug or corruption, never a
+    /// user error.
+    InvariantViolation(String),
 }
 
 impl fmt::Display for DemaError {
@@ -67,6 +74,7 @@ impl fmt::Display for DemaError {
             DemaError::RankOutOfRange { rank, total } => {
                 write!(f, "rank {rank} out of range for window of {total} events")
             }
+            DemaError::InvariantViolation(msg) => write!(f, "invariant violated: {msg}"),
         }
     }
 }
@@ -94,5 +102,11 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(DemaError::EmptyWindow, DemaError::EmptyWindow);
         assert_ne!(DemaError::EmptyWindow, DemaError::InvalidGamma(1));
+    }
+
+    #[test]
+    fn invariant_violation_displays_detail() {
+        let e = DemaError::InvariantViolation("counts sum to 9, window holds 10".into());
+        assert_eq!(e.to_string(), "invariant violated: counts sum to 9, window holds 10");
     }
 }

@@ -15,6 +15,14 @@
 //! neighbourhood. [`AdaptiveGamma`] smooths the per-window observations of
 //! `l_G` and `m` so the controller stays stable when event rates and
 //! distributions drift between windows.
+//!
+//! All float↔integer movement goes through [`crate::numeric`]: widening is
+//! explicit about its 2^53 precision cliff and narrowing saturates instead
+//! of wrapping, so a pathological window size can only make γ suboptimal,
+//! never invalid.
+
+use crate::error::Result;
+use crate::numeric::{f64_to_u64, u64_to_f64};
 
 /// Network cost (in events) of one global window processed with slice
 /// factor `gamma`, per the paper's cost model.
@@ -22,8 +30,8 @@
 /// `l_g` is the global window size, `m` the number of candidate slices.
 #[inline]
 pub fn cost(l_g: u64, m: u64, gamma: u64) -> f64 {
-    let g = gamma.max(2) as f64;
-    2.0 * l_g as f64 / g + m as f64 * (g - 2.0)
+    let g = u64_to_f64(gamma.max(2));
+    2.0 * u64_to_f64(l_g) / g + u64_to_f64(m) * (g - 2.0)
 }
 
 /// The γ minimizing [`cost`] for the given window size and candidate count,
@@ -39,9 +47,9 @@ pub fn optimal_gamma(l_g: u64, m: u64) -> u64 {
         // largest sensible slice (one slice per window).
         return hi;
     }
-    let star = (2.0 * l_g as f64 / m as f64).sqrt();
-    let lo_cand = (star.floor() as u64).clamp(2, hi);
-    let hi_cand = (star.ceil() as u64).clamp(2, hi);
+    let star = (2.0 * u64_to_f64(l_g) / u64_to_f64(m)).sqrt();
+    let lo_cand = f64_to_u64(star.floor()).clamp(2, hi);
+    let hi_cand = f64_to_u64(star.ceil()).clamp(2, hi);
     if cost(l_g, m, lo_cand) <= cost(l_g, m, hi_cand) {
         lo_cand
     } else {
@@ -117,17 +125,42 @@ impl AdaptiveGamma {
     /// window.
     pub fn observe(&mut self, l_g: u64, m: u64) -> u64 {
         if self.observations == 0 {
-            self.l_g = l_g as f64;
-            self.m = m as f64;
+            self.l_g = u64_to_f64(l_g);
+            self.m = u64_to_f64(m);
         } else {
-            self.l_g = self.alpha * l_g as f64 + (1.0 - self.alpha) * self.l_g;
-            self.m = self.alpha * m as f64 + (1.0 - self.alpha) * self.m;
+            self.l_g = self.alpha * u64_to_f64(l_g) + (1.0 - self.alpha) * self.l_g;
+            self.m = self.alpha * u64_to_f64(m) + (1.0 - self.alpha) * self.m;
         }
         self.observations += 1;
-        let l = self.l_g.round().max(0.0) as u64;
-        let m_est = self.m.round().max(0.0) as u64;
+        let l = f64_to_u64(self.l_g.round());
+        let m_est = f64_to_u64(self.m.round());
         self.current = optimal_gamma(l, m_est).clamp(self.min_gamma, self.max_gamma);
         self.current
+    }
+
+    /// [`AdaptiveGamma::observe`] with the invariant layer auditing the
+    /// outcome: the pre-clamp γ must satisfy the cost-model bracketing
+    /// ([`crate::invariant::check_gamma`]) and the emitted γ must be exactly
+    /// its clamp into `[min_gamma, max_gamma]`.
+    ///
+    /// # Errors
+    /// [`crate::DemaError::InvariantViolation`] if the controller's γ fails
+    /// the audit. No-op audit (always `Ok`) when the invariant layer is
+    /// disabled.
+    pub fn observe_checked(&mut self, l_g: u64, m: u64) -> Result<u64> {
+        let emitted = self.observe(l_g, m);
+        if crate::invariant::enabled() {
+            let l = f64_to_u64(self.l_g.round());
+            let m_est = f64_to_u64(self.m.round());
+            let unclamped = optimal_gamma(l, m_est);
+            crate::invariant::check_gamma(l, m_est, unclamped)?;
+            if emitted != unclamped.clamp(self.min_gamma, self.max_gamma) {
+                return Err(crate::DemaError::InvariantViolation(format!(
+                    "gamma controller emitted {emitted}, expected clamp of {unclamped}"
+                )));
+            }
+        }
+        Ok(emitted)
     }
 }
 
@@ -235,5 +268,60 @@ mod tests {
         // Even with tiny alpha, the first observation must take full effect.
         let g = ctl.observe(800_000, 2);
         assert_eq!(g, optimal_gamma(800_000, 2));
+    }
+
+    #[test]
+    fn observe_checked_matches_observe() {
+        let mut a = AdaptiveGamma::with_default_bounds(100);
+        let mut b = AdaptiveGamma::with_default_bounds(100);
+        for (l, m) in [(10_000u64, 3u64), (50_000, 7), (0, 0), (2, 1)] {
+            assert_eq!(b.observe_checked(l, m).unwrap(), a.observe(l, m));
+        }
+    }
+
+    #[test]
+    fn edge_no_candidates_m_zero() {
+        // m = 0: no calculation traffic, one slice per window is optimal and
+        // the controller must not divide by zero.
+        assert_eq!(optimal_gamma(1_000_000, 0), 1_000_000);
+        assert!(cost(1_000_000, 0, 1_000_000).is_finite());
+        let mut ctl = AdaptiveGamma::new(10, 1.0, 2, u64::MAX);
+        assert_eq!(ctl.observe_checked(1_000, 0).unwrap(), 1_000);
+    }
+
+    #[test]
+    fn edge_degenerate_window_l_g_below_two() {
+        // l_G < 2: γ is still clamped to the legal floor of 2.
+        for l_g in [0u64, 1] {
+            for m in [0u64, 1, 5] {
+                let g = optimal_gamma(l_g, m);
+                assert_eq!(g, 2, "l_g={l_g} m={m}");
+                assert!(cost(l_g, m, g).is_finite());
+            }
+        }
+        let mut ctl = AdaptiveGamma::with_default_bounds(64);
+        assert_eq!(ctl.observe_checked(1, 1).unwrap(), 2);
+        assert_eq!(ctl.observe_checked(0, 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn edge_window_near_u64_max() {
+        // Above 2^53 the float cost model loses integer precision; the
+        // conversions must saturate rather than wrap, and every emitted γ
+        // must stay in [2, l_G].
+        for l_g in [u64::MAX, u64::MAX - 1, (1 << 53) + 1] {
+            for m in [0u64, 1, 1_000_000] {
+                let g = optimal_gamma(l_g, m);
+                assert!((2..=l_g).contains(&g), "l_g={l_g} m={m} γ={g}");
+                assert!(cost(l_g, m, g).is_finite());
+            }
+        }
+        // The controller's smoothed estimate rounds to a float above
+        // u64::MAX; f64_to_u64 saturation keeps γ legal.
+        let mut ctl = AdaptiveGamma::new(2, 1.0, 2, u64::MAX);
+        let g = ctl.observe(u64::MAX, 1);
+        assert!(g >= 2);
+        let mut ctl = AdaptiveGamma::new(2, 1.0, 2, u64::MAX);
+        assert!(ctl.observe_checked(u64::MAX, 1).is_ok());
     }
 }

@@ -1,0 +1,479 @@
+//! Checked invariants of the rank-bound correctness model.
+//!
+//! Dema's exactness guarantee rests on properties the compiler cannot see:
+//! synopses must partition the local window exactly (`Σ counts = l_local`,
+//! endpoints monotone under the sort order), the candidate set must cover
+//! the target rank `Pos(q) = ⌈q·l_G⌉`, the selected event's true rank must
+//! equal `Pos(q)`, and γ must sit at the discrete minimum of
+//! `Cost(γ) = 2·l_G/γ + m·(γ−2)` (continuous optimum `γ* = √(2·l_G/m)`).
+//! Violating any of these silently degrades the system from "exact" to
+//! "wrong" — the failure mode that separates Dema from sketch baselines.
+//!
+//! This module is an audit layer threaded through the coordinator, the
+//! window-cut, and the root pipeline. Every check:
+//!
+//! * is active under `debug_assertions` (all dev/test builds) and under the
+//!   `strict` cargo feature (opt-in for release builds);
+//! * compiles to a no-op returning `Ok(())` otherwise, so the release hot
+//!   path pays nothing;
+//! * reports failures as [`DemaError::InvariantViolation`] through the
+//!   normal error channel instead of panicking, so a corrupted synopsis
+//!   takes down one window's query, not the node.
+//!
+//! The checks deliberately recompute from *independent* information (raw
+//! events, a fresh [`RankIndex`]) rather than trusting the values under
+//! test; a check that re-derives its expectation from the code it audits
+//! would be a tautology.
+
+use crate::error::{DemaError, Result};
+use crate::event::Event;
+use crate::gamma::cost;
+use crate::numeric::len_to_u64;
+use crate::rank::RankIndex;
+use crate::slice::{Slice, SliceId, SliceSynopsis};
+
+/// Relative tolerance for float comparisons in the cost-model check.
+const COST_EPS: f64 = 1e-9;
+
+/// `true` when the invariant layer is active: any `debug_assertions` build,
+/// or a release build with `--features strict`.
+#[inline]
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(debug_assertions) || cfg!(feature = "strict")
+}
+
+#[inline]
+fn fail(msg: String) -> Result<()> {
+    Err(DemaError::InvariantViolation(msg))
+}
+
+/// Local-node invariant: the slices and their synopses partition the sorted
+/// window of `l_local` events.
+///
+/// Checks, per slice/synopsis pair: identity, count, endpoint agreement and
+/// index continuity; across pairs: counts sum to `l_local` and consecutive
+/// slices are monotone under the event sort order.
+///
+/// # Errors
+/// [`DemaError::InvariantViolation`] naming the first violated property.
+pub fn check_partition(
+    slices: &[Slice],
+    synopses: &[SliceSynopsis],
+    l_local: u64,
+) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    if slices.len() != synopses.len() {
+        return fail(format!(
+            "partition: {} slices but {} synopses",
+            slices.len(),
+            synopses.len()
+        ));
+    }
+    let mut total = 0u64;
+    for (i, (slice, syn)) in slices.iter().zip(synopses).enumerate() {
+        if slice.id != syn.id {
+            return fail(format!("partition: slice {} labelled {}", slice.id, syn.id));
+        }
+        if u64::from(syn.id.index) != len_to_u64(i) {
+            return fail(format!("partition: slice #{i} carries index {}", syn.id.index));
+        }
+        if len_to_u64(slice.events.len()) != syn.count {
+            return fail(format!(
+                "partition: slice {} holds {} events, synopsis says {}",
+                slice.id,
+                slice.events.len(),
+                syn.count
+            ));
+        }
+        match (slice.events.first(), slice.events.last()) {
+            (Some(first), Some(last)) => {
+                if first.value != syn.first || last.value != syn.last {
+                    return fail(format!(
+                        "partition: slice {} endpoints [{}, {}] vs synopsis [{}, {}]",
+                        slice.id, first.value, last.value, syn.first, syn.last
+                    ));
+                }
+            }
+            _ => return fail(format!("partition: slice {} is empty", slice.id)),
+        }
+        total = total.saturating_add(syn.count);
+    }
+    if total != l_local {
+        return fail(format!(
+            "partition: synopsis counts sum to {total}, window holds {l_local}"
+        ));
+    }
+    for pair in slices.windows(2) {
+        if let (Some(prev_last), Some(next_first)) =
+            (pair[0].events.last(), pair[1].events.first())
+        {
+            if prev_last > next_first {
+                return fail(format!(
+                    "partition: slice {} ends after slice {} begins",
+                    pair[0].id, pair[1].id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Root-side structural invariant over the synopses of one global window:
+/// every slice is non-empty with `first <= last`, each node's slices carry
+/// contiguous indices `0..total_slices` and are monotone by value interval.
+///
+/// This is the root's view of the partition property — it has no events yet,
+/// only synopses, so it checks what synopses alone can prove.
+///
+/// # Errors
+/// [`DemaError::InvariantViolation`] naming the first violated property.
+pub fn check_synopsis_order(synopses: &[SliceSynopsis]) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    let mut by_node: std::collections::HashMap<_, Vec<&SliceSynopsis>> =
+        std::collections::HashMap::new();
+    for s in synopses {
+        if s.count == 0 {
+            return fail(format!("order: slice {} reports zero events", s.id));
+        }
+        if s.first > s.last {
+            return fail(format!(
+                "order: slice {} interval [{}, {}] is inverted",
+                s.id, s.first, s.last
+            ));
+        }
+        by_node.entry((s.id.node, s.id.window)).or_default().push(s);
+    }
+    for ((node, window), mut group) in by_node {
+        group.sort_by_key(|s| s.id.index);
+        let n = len_to_u64(group.len());
+        for (i, s) in group.iter().enumerate() {
+            if u64::from(s.id.index) != len_to_u64(i) {
+                return fail(format!(
+                    "order: {node}/{window} slice indices not contiguous at {}",
+                    s.id.index
+                ));
+            }
+            if u64::from(s.total_slices) != n {
+                return fail(format!(
+                    "order: slice {} claims {} total slices, node sent {n}",
+                    s.id, s.total_slices
+                ));
+            }
+        }
+        for pair in group.windows(2) {
+            if pair[0].last > pair[1].first {
+                return fail(format!(
+                    "order: slice {} last {} exceeds slice {} first {}",
+                    pair[0].id, pair[0].last, pair[1].id, pair[1].first
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Identification invariant: the candidate set covers the target rank.
+///
+/// Rebuilds a fresh [`RankIndex`] and verifies that (1) `k` lies within the
+/// global window, (2) some candidate's rank interval contains `k`, (3) every
+/// non-candidate is provably entirely before or after `k`, and (4) the
+/// claimed `offset_below` equals the event count of the non-candidates
+/// entirely before `k` — the value later subtracted from `k` to index into
+/// the merged candidate runs.
+///
+/// # Errors
+/// [`DemaError::InvariantViolation`] naming the first violated property.
+pub fn check_selection(
+    synopses: &[SliceSynopsis],
+    candidates: &[SliceId],
+    k: u64,
+    offset_below: u64,
+) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    let index = RankIndex::build(synopses);
+    let total = index.total();
+    if k == 0 || k > total {
+        return fail(format!("selection: target rank {k} outside window of {total}"));
+    }
+    let chosen: std::collections::HashSet<SliceId> = candidates.iter().copied().collect();
+    let mut covered = false;
+    let mut below = 0u64;
+    for s in synopses {
+        let iv = index.interval(s);
+        if chosen.contains(&s.id) {
+            covered = covered || iv.contains(k);
+        } else if iv.entirely_before(k) {
+            below = below.saturating_add(s.count);
+        } else if !iv.entirely_after(k) {
+            return fail(format!(
+                "selection: unpicked slice {} may contain rank {k}",
+                s.id
+            ));
+        }
+    }
+    if !covered {
+        return fail(format!("selection: no candidate interval contains rank {k}"));
+    }
+    if below != offset_below {
+        return fail(format!(
+            "selection: offset_below {offset_below} but {below} events rank before {k}"
+        ));
+    }
+    Ok(())
+}
+
+/// Calculation invariant: the event picked from the merged candidate runs
+/// really occupies position `rank_within` of their union, under the total
+/// event order.
+///
+/// Counts, independently of the merge, how many candidate events order
+/// strictly below and at-or-below the selected event; exactness requires
+/// `below < rank_within <= at_or_below`.
+///
+/// # Errors
+/// [`DemaError::InvariantViolation`] with both counts on failure.
+pub fn check_selected_event<R: AsRef<[Event]>>(
+    runs: &[R],
+    rank_within: u64,
+    selected: &Event,
+) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    let mut below = 0u64;
+    let mut at_or_below = 0u64;
+    for run in runs {
+        for e in run.as_ref() {
+            if e < selected {
+                below += 1;
+            }
+            if e <= selected {
+                at_or_below += 1;
+            }
+        }
+    }
+    if below < rank_within && rank_within <= at_or_below {
+        Ok(())
+    } else {
+        fail(format!(
+            "selected event {selected:?} spans candidate ranks ({below}, {at_or_below}], \
+             target rank within candidates is {rank_within}"
+        ))
+    }
+}
+
+/// End-to-end invariant: the reported quantile value has true rank `k`
+/// among all `values` of the global window.
+///
+/// By the value-ordered definition of `Pos(q)`, the event at global rank `k`
+/// has value `v` iff strictly fewer than `k` values are `< v` and at least
+/// `k` are `<= v`. This is the naive O(n) oracle — no sort, no synopses —
+/// so it cannot share a bug with the protocol under audit.
+///
+/// # Errors
+/// [`DemaError::InvariantViolation`] with both counts on failure.
+pub fn check_true_rank<I>(values: I, k: u64, value: i64) -> Result<()>
+where
+    I: IntoIterator<Item = i64>,
+{
+    if !enabled() {
+        return Ok(());
+    }
+    let mut below = 0u64;
+    let mut at_or_below = 0u64;
+    for v in values {
+        if v < value {
+            below += 1;
+        }
+        if v <= value {
+            at_or_below += 1;
+        }
+    }
+    if below < k && k <= at_or_below {
+        Ok(())
+    } else {
+        fail(format!(
+            "value {value} occupies global ranks ({below}, {at_or_below}], Pos(q) is {k}"
+        ))
+    }
+}
+
+/// Cost-model invariant: `gamma` is a valid discrete minimizer of
+/// `Cost(γ) = 2·l_G/γ + m·(γ−2)` over `[2, max(l_G, 2)]`.
+///
+/// With `m = 0` the synopsis term dominates and the unique optimum is one
+/// slice per window (`γ = max(l_G, 2)`). Otherwise convexity makes "no
+/// cheaper neighbour" sufficient: `Cost(γ) ≤ Cost(γ±1)` (within float
+/// tolerance) brackets the continuous optimum `γ* = √(2·l_G/m)`.
+///
+/// # Errors
+/// [`DemaError::InvariantViolation`] if `gamma < 2` or a neighbour is
+/// strictly cheaper.
+pub fn check_gamma(l_g: u64, m: u64, gamma: u64) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    if gamma < 2 {
+        return fail(format!("gamma: γ={gamma} below the minimum of 2"));
+    }
+    let hi = l_g.max(2);
+    if m == 0 {
+        return if gamma == hi {
+            Ok(())
+        } else {
+            fail(format!("gamma: m=0 demands γ={hi} (one slice), got {gamma}"))
+        };
+    }
+    if gamma > hi {
+        return fail(format!("gamma: γ={gamma} exceeds window bound {hi}"));
+    }
+    let here = cost(l_g, m, gamma);
+    let tol = here.abs() * COST_EPS + COST_EPS;
+    if gamma > 2 && cost(l_g, m, gamma - 1) + tol < here {
+        return fail(format!(
+            "gamma: Cost({}) < Cost({gamma}) for l_G={l_g}, m={m}",
+            gamma - 1
+        ));
+    }
+    if gamma < hi && cost(l_g, m, gamma + 1) + tol < here {
+        return fail(format!(
+            "gamma: Cost({}) < Cost({gamma}) for l_G={l_g}, m={m}",
+            gamma + 1
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(all(test, any(debug_assertions, feature = "strict")))]
+mod tests {
+    use super::*;
+    use crate::event::{NodeId, WindowId};
+    use crate::gamma::optimal_gamma;
+    use crate::slice::cut_into_slices;
+
+    fn sorted_events(n: i64) -> Vec<Event> {
+        (0..n).map(|v| Event::new(v, 0, v as u64)).collect()
+    }
+
+    fn slices_and_synopses(n: i64, gamma: u64) -> (Vec<Slice>, Vec<SliceSynopsis>) {
+        let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(n), gamma).unwrap();
+        let total = slices.len() as u32;
+        let synopses = slices.iter().map(|s| s.synopsis(total).unwrap()).collect();
+        (slices, synopses)
+    }
+
+    #[test]
+    fn layer_is_active_in_tests() {
+        assert!(enabled());
+    }
+
+    #[test]
+    fn faithful_partition_passes() {
+        let (slices, synopses) = slices_and_synopses(100, 16);
+        check_partition(&slices, &synopses, 100).unwrap();
+        check_synopsis_order(&synopses).unwrap();
+    }
+
+    #[test]
+    fn corrupted_count_trips_partition() {
+        // The acceptance scenario: a synopsis count off by one must surface
+        // as InvariantViolation, not a silently wrong quantile.
+        let (slices, mut synopses) = slices_and_synopses(100, 16);
+        synopses[2].count -= 1;
+        let err = check_partition(&slices, &synopses, 100).unwrap_err();
+        assert!(matches!(err, DemaError::InvariantViolation(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_window_total_trips_partition() {
+        let (slices, synopses) = slices_and_synopses(100, 16);
+        assert!(matches!(
+            check_partition(&slices, &synopses, 99),
+            Err(DemaError::InvariantViolation(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_endpoint_trips_partition() {
+        let (slices, mut synopses) = slices_and_synopses(100, 16);
+        synopses[0].last += 1;
+        assert!(check_partition(&slices, &synopses, 100).is_err());
+    }
+
+    #[test]
+    fn order_rejects_gaps_and_inversions() {
+        let (_, mut synopses) = slices_and_synopses(100, 16);
+        check_synopsis_order(&synopses).unwrap();
+
+        let mut gap = synopses.clone();
+        gap.remove(1); // indices no longer contiguous
+        assert!(check_synopsis_order(&gap).is_err());
+
+        synopses[0].first = synopses[0].last + 5; // inverted interval
+        assert!(check_synopsis_order(&synopses).is_err());
+    }
+
+    #[test]
+    fn order_rejects_non_monotone_neighbours() {
+        let (_, mut synopses) = slices_and_synopses(100, 16);
+        synopses[0].last = synopses[1].first + 10;
+        assert!(check_synopsis_order(&synopses).is_err());
+    }
+
+    #[test]
+    fn selection_accepts_the_real_selector() {
+        let (_, synopses) = slices_and_synopses(1000, 64);
+        let sel =
+            crate::selector::select(&synopses, 500, crate::selector::SelectionStrategy::WindowCut)
+                .unwrap();
+        check_selection(&synopses, &sel.candidates, 500, sel.offset_below).unwrap();
+    }
+
+    #[test]
+    fn selection_rejects_missing_candidate_and_bad_offset() {
+        let (_, synopses) = slices_and_synopses(1000, 64);
+        let sel =
+            crate::selector::select(&synopses, 500, crate::selector::SelectionStrategy::WindowCut)
+                .unwrap();
+        assert!(check_selection(&synopses, &[], 500, sel.offset_below).is_err());
+        assert!(check_selection(&synopses, &sel.candidates, 500, sel.offset_below + 1).is_err());
+        assert!(check_selection(&synopses, &sel.candidates, 0, sel.offset_below).is_err());
+    }
+
+    #[test]
+    fn selected_event_rank_is_verified() {
+        let runs = [sorted_events(10)];
+        let third = Event::new(2, 0, 2);
+        check_selected_event(&runs, 3, &third).unwrap();
+        assert!(check_selected_event(&runs, 4, &third).is_err());
+        assert!(check_selected_event(&runs, 2, &third).is_err());
+    }
+
+    #[test]
+    fn true_rank_oracle_handles_duplicates() {
+        let values = [5i64, 5, 5, 7, 9];
+        check_true_rank(values, 1, 5).unwrap();
+        check_true_rank(values, 3, 5).unwrap();
+        check_true_rank(values, 4, 7).unwrap();
+        assert!(check_true_rank(values, 4, 5).is_err());
+        assert!(check_true_rank(values, 3, 7).is_err());
+    }
+
+    #[test]
+    fn gamma_bracketing_matches_optimal_gamma() {
+        for &(l_g, m) in &[(1_000u64, 1u64), (10_000, 3), (123, 5), (2, 1), (500, 0), (0, 0)] {
+            check_gamma(l_g, m, optimal_gamma(l_g, m)).unwrap();
+        }
+        assert!(check_gamma(10_000, 3, 2).is_err());
+        assert!(check_gamma(10_000, 3, 10_000).is_err());
+        assert!(check_gamma(10_000, 3, 1).is_err());
+        assert!(check_gamma(500, 0, 123).is_err());
+    }
+}

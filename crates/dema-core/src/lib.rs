@@ -1,4 +1,6 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # dema-core
 //!
@@ -60,8 +62,10 @@ pub mod coordinator;
 pub mod error;
 pub mod event;
 pub mod gamma;
+pub mod invariant;
 pub mod merge;
 pub mod multi;
+pub mod numeric;
 pub mod quantile;
 pub mod rank;
 pub mod runbuf;

@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 
 use crate::error::{DemaError, Result};
 use crate::event::Event;
+use crate::numeric::len_to_u64;
 use crate::shared::SharedRun;
 
 /// Fully merge sorted runs into one sorted vector.
@@ -54,7 +55,7 @@ pub fn merge_runs<R: AsRef<[Event]>>(runs: &[R]) -> Vec<Event> {
 /// [`DemaError::RankOutOfRange`] if `k` is 0 or exceeds the total length.
 pub fn select_kth<R: AsRef<[Event]>>(runs: &[R], k: u64) -> Result<Event> {
     let runs: Vec<&[Event]> = runs.iter().map(AsRef::as_ref).collect();
-    let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+    let total: u64 = runs.iter().map(|r| len_to_u64(r.len())).sum();
     if k == 0 || k > total {
         return Err(DemaError::RankOutOfRange { rank: k, total });
     }
@@ -68,8 +69,7 @@ pub fn select_kth<R: AsRef<[Event]>>(runs: &[R], k: u64) -> Result<Event> {
         .collect();
     let mut cursors = vec![1usize; runs.len()];
     let mut remaining = k;
-    loop {
-        let Reverse((e, run)) = heap.pop().expect("k <= total guarantees an element");
+    while let Some(Reverse((e, run))) = heap.pop() {
         remaining -= 1;
         if remaining == 0 {
             return Ok(e);
@@ -80,6 +80,9 @@ pub fn select_kth<R: AsRef<[Event]>>(runs: &[R], k: u64) -> Result<Event> {
             heap.push(Reverse((next, run)));
         }
     }
+    // Unreachable while `k <= total`: the heap only drains after yielding
+    // every event. Kept as an error so a future refactor cannot panic here.
+    Err(DemaError::RankOutOfRange { rank: k, total })
 }
 
 /// Incrementally merge candidate runs as they arrive, then select a rank.

@@ -12,7 +12,9 @@
 
 use crate::error::{DemaError, Result};
 use crate::event::Event;
+use crate::invariant;
 use crate::merge::select_kth;
+use crate::numeric::{len_to_u32, len_to_u64};
 use crate::quantile::Quantile;
 use crate::rank::RankIndex;
 use crate::selector::{select, Selection, SelectionStrategy};
@@ -123,20 +125,26 @@ pub fn multi_quantile_decentralized(
     for (i, events) in nodes.iter().enumerate() {
         let mut sorted = events.clone();
         sorted.sort_unstable();
-        let slices = cut_into_slices(NodeId(i as u32), WindowId(0), sorted, gamma)?;
-        let total = slices.len() as u32;
-        for s in slices {
-            synopses.push(s.synopsis(total)?);
-            store.push(s);
-        }
+        let l_local = len_to_u64(sorted.len());
+        let slices = cut_into_slices(NodeId(len_to_u32(i)), WindowId(0), sorted, gamma)?;
+        let total = len_to_u32(slices.len());
+        let node_synopses =
+            slices.iter().map(|s| s.synopsis(total)).collect::<Result<Vec<_>>>()?;
+        invariant::check_partition(&slices, &node_synopses, l_local)?;
+        synopses.extend(node_synopses);
+        store.extend(slices);
     }
     let total: u64 = synopses.iter().map(|s| s.count).sum();
     if total == 0 {
         return Err(DemaError::EmptyWindow);
     }
+    invariant::check_synopsis_order(&synopses)?;
     let ranks: Vec<u64> =
         quantiles.iter().map(|q| q.pos(total)).collect::<Result<Vec<_>>>()?;
     let multi = select_multi(&synopses, &ranks, strategy)?;
+    for plan in &multi.plans {
+        invariant::check_selection(&synopses, &multi.candidates, plan.rank, plan.offset_below)?;
+    }
     // Shared views into the store — one refcount bump per candidate.
     let runs: Vec<crate::shared::SharedRun> = multi
         .candidates
@@ -152,7 +160,16 @@ pub fn multi_quantile_decentralized(
     multi
         .plans
         .iter()
-        .map(|p| select_kth(&runs, p.rank_within_candidates()).map(|e| e.value))
+        .map(|p| {
+            let event = select_kth(&runs, p.rank_within_candidates())?;
+            invariant::check_selected_event(&runs, p.rank_within_candidates(), &event)?;
+            invariant::check_true_rank(
+                nodes.iter().flatten().map(|e| e.value),
+                p.rank,
+                event.value,
+            )?;
+            Ok(event.value)
+        })
         .collect()
 }
 

@@ -1,0 +1,111 @@
+//! Checked numeric conversions for rank and cost arithmetic.
+//!
+//! Rank arithmetic (`Pos(q) = ⌈q·l_G⌉`), the cost model
+//! `Cost(γ) = 2·l_G/γ + m·(γ−2)` and the merge counters all move values
+//! between `usize`, `u64`, `u32` and `f64`. A stray `value as u64` in that
+//! path can silently truncate or wrap and turn an *exact* quantile into a
+//! wrong one, which is exactly the failure mode the paper's guarantee rules
+//! out. This module is the single place such conversions are allowed: every
+//! helper either cannot lose information, or saturates with documented
+//! semantics. The `dema-lint` R2 rule rejects raw `as` numeric casts in the
+//! rank/gamma/merge files; the two unavoidable float casts live here behind
+//! `// lint: allow(R2)` tags.
+//!
+//! Saturation (rather than erroring) is the right policy for the cost model:
+//! `l_G` beyond 2^53 loses float precision no matter what, and a saturated
+//! γ candidate is still clamped into `[2, l_G]` by the caller — the result
+//! stays a *valid* γ, merely a possibly suboptimal one, which never affects
+//! exactness of the quantile itself.
+
+/// Widen a window size or count to `f64` for the cost model.
+///
+/// Lossless up to 2^53; above that the nearest representable float is used,
+/// which only perturbs the γ *optimum*, never the quantile result.
+#[inline]
+#[must_use]
+pub fn u64_to_f64(x: u64) -> f64 {
+    x as f64 // lint: allow(R2): widening for the cost model, rounds above 2^53 by design
+}
+
+/// Convert a non-negative cost-model float back to a count, saturating.
+///
+/// `NaN` and negatives map to 0, values at or above 2^64 map to
+/// `u64::MAX` (guaranteed `as`-cast semantics since Rust 1.45). Callers
+/// clamp the result into `[2, l_G]`, so saturation cannot produce an
+/// invalid γ.
+#[inline]
+#[must_use]
+pub fn f64_to_u64(x: f64) -> u64 {
+    x as u64 // lint: allow(R2): saturating float-to-int is the documented policy
+}
+
+/// Widen a collection length to the wire's `u64` count domain.
+///
+/// Infallible on every supported platform (`usize` ≤ 64 bits); written as
+/// `try_from` so no `as` cast appears in rank arithmetic.
+#[inline]
+#[must_use]
+pub fn len_to_u64(x: usize) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+/// Narrow a wire count to an in-memory index, saturating on 32-bit hosts.
+///
+/// On 64-bit platforms this is lossless. A saturated index makes the caller
+/// fall off the end of its collection and surface a `DemaError` rather than
+/// wrap around to a *wrong but plausible* index.
+#[inline]
+#[must_use]
+pub fn u64_to_usize(x: u64) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}
+
+/// Narrow a slice count to the synopsis' `u32` index domain, saturating.
+///
+/// `cut_into_slices` enforces γ ≥ 2, so a window would need more than
+/// 2^33 events for a node to exceed `u32::MAX` slices; saturation keeps the
+/// conversion total and is caught by the partition invariant if it ever
+/// happens.
+#[inline]
+#[must_use]
+pub fn len_to_u32(x: usize) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_to_f64_exact_below_2_53() {
+        assert_eq!(u64_to_f64(0), 0.0);
+        assert_eq!(u64_to_f64(1 << 52), 4_503_599_627_370_496.0);
+        let exact = (1u64 << 53) - 1;
+        assert_eq!(u64_to_f64(exact) as u128, exact as u128);
+    }
+
+    #[test]
+    fn f64_to_u64_saturates() {
+        assert_eq!(f64_to_u64(-1.5), 0);
+        assert_eq!(f64_to_u64(f64::NAN), 0);
+        assert_eq!(f64_to_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(f64_to_u64(2.0f64.powi(64)), u64::MAX);
+        assert_eq!(f64_to_u64(42.9), 42);
+    }
+
+    #[test]
+    fn len_conversions_roundtrip_for_realistic_sizes() {
+        for n in [0usize, 1, 1024, 1 << 20] {
+            assert_eq!(u64_to_usize(len_to_u64(n)), n);
+        }
+        assert_eq!(len_to_u32(7), 7);
+        assert_eq!(len_to_u32(usize::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn u64_to_usize_saturates_instead_of_wrapping() {
+        // Identity on 64-bit hosts, saturation on narrower ones — either
+        // way the result is usize::MAX, never a wrapped small number.
+        assert_eq!(u64_to_usize(u64::MAX), usize::MAX);
+    }
+}

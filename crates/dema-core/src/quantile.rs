@@ -47,7 +47,7 @@ impl Quantile {
         if total == 0 {
             return Err(DemaError::EmptyWindow);
         }
-        let raw = (self.0 * total as f64).ceil() as u64;
+        let raw = crate::numeric::f64_to_u64((self.0 * crate::numeric::u64_to_f64(total)).ceil());
         Ok(raw.clamp(1, total))
     }
 }

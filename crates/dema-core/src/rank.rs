@@ -86,7 +86,7 @@ impl RankIndex {
         let below_prefix = prefix(&by_last);
         let le_prefix = prefix(&by_first);
         RankIndex {
-            total: *below_prefix.last().expect("prefix has at least the 0 entry"),
+            total: below_prefix.last().copied().unwrap_or(0),
             lasts: by_last.into_iter().map(|(v, _)| v).collect(),
             below_prefix,
             firsts: by_first.into_iter().map(|(v, _)| v).collect(),

@@ -74,9 +74,9 @@ impl RunBuffer {
     /// rewriting large runs repeatedly — a simplified polyphase policy).
     fn compact(&mut self) {
         self.runs.sort_by_key(|r| std::cmp::Reverse(r.len()));
-        let a = self.runs.pop().expect("len >= 32");
-        let b = self.runs.pop().expect("len >= 32");
-        self.runs.push(merge_two(a, b));
+        if let (Some(a), Some(b)) = (self.runs.pop(), self.runs.pop()) {
+            self.runs.push(merge_two(a, b));
+        }
     }
 
     /// Consume the buffer, returning all events fully sorted.
@@ -87,8 +87,9 @@ impl RunBuffer {
         // Repeatedly merge smallest-first for balanced work.
         while self.runs.len() > 1 {
             self.runs.sort_by_key(|r| std::cmp::Reverse(r.len()));
-            let a = self.runs.pop().expect("len > 1");
-            let b = self.runs.pop().expect("len > 1");
+            let (Some(a), Some(b)) = (self.runs.pop(), self.runs.pop()) else {
+                break;
+            };
             self.runs.push(merge_two(a, b));
         }
         self.runs.pop().unwrap_or_default()

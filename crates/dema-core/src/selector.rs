@@ -357,6 +357,16 @@ mod tests {
     }
 
     #[test]
+    fn unpicked_candidate_slice_is_refused() {
+        // Defensive path: if a (buggy) strategy fails to pick a slice whose
+        // rank interval contains k, `finish` must refuse rather than let a
+        // silently wrong quantile escape.
+        let s = vec![syn(0, 0, 0, 9, 10), syn(0, 1, 10, 19, 10)];
+        let err = finish(&s, 15, 20, vec![0]).unwrap_err();
+        assert!(matches!(err, DemaError::InconsistentSynopses(_)), "{err}");
+    }
+
+    #[test]
     fn empty_synopses_rejected() {
         for strat in ALL {
             assert_eq!(select(&[], 1, strat), Err(DemaError::EmptyWindow));

@@ -9,6 +9,7 @@
 
 use crate::error::{DemaError, Result};
 use crate::event::{Event, NodeId, WindowId};
+use crate::numeric::{len_to_u32, len_to_u64, u64_to_usize};
 use crate::shared::SharedRun;
 
 /// Globally unique identifier of a slice: which node produced it, for which
@@ -88,14 +89,15 @@ impl Slice {
     /// Returns [`DemaError::EmptyWindow`] for an empty slice (the slicer
     /// never produces one; this guards direct construction).
     pub fn synopsis(&self, total_slices: u32) -> Result<SliceSynopsis> {
-        let first = self.events.first().ok_or(DemaError::EmptyWindow)?;
-        let last = self.events.last().expect("non-empty");
+        let (Some(first), Some(last)) = (self.events.first(), self.events.last()) else {
+            return Err(DemaError::EmptyWindow);
+        };
         debug_assert!(crate::event::is_sorted(&self.events));
         Ok(SliceSynopsis {
             id: self.id,
             first: first.value,
             last: last.value,
-            count: self.events.len() as u64,
+            count: len_to_u64(self.events.len()),
             total_slices,
         })
     }
@@ -111,7 +113,7 @@ impl Slice {
                 self.id, syn.id
             )));
         }
-        if self.events.len() as u64 != syn.count {
+        if len_to_u64(self.events.len()) != syn.count {
             return Err(DemaError::CorruptCandidate(format!(
                 "slice {}: {} events delivered, synopsis says {}",
                 self.id,
@@ -119,8 +121,12 @@ impl Slice {
                 syn.count
             )));
         }
-        let first = self.events.first().expect("count >= 1 checked");
-        let last = self.events.last().expect("count >= 1 checked");
+        let (Some(first), Some(last)) = (self.events.first(), self.events.last()) else {
+            return Err(DemaError::CorruptCandidate(format!(
+                "slice {}: empty delivery for a synopsis claiming {} events",
+                self.id, syn.count
+            )));
+        };
         if first.value != syn.first || last.value != syn.last {
             return Err(DemaError::CorruptCandidate(format!(
                 "slice {}: endpoints [{}, {}] disagree with synopsis [{}, {}]",
@@ -166,8 +172,7 @@ pub fn cut_into_slices(
     if events.is_empty() {
         return Ok(Vec::new());
     }
-    let n = events.len() as u64;
-    let mut bounds: Vec<usize> = (0..n).step_by(gamma as usize).map(|b| b as usize).collect();
+    let mut bounds: Vec<usize> = (0..events.len()).step_by(u64_to_usize(gamma)).collect();
     bounds.push(events.len());
     // Fold a trailing single-event slice into its predecessor.
     if bounds.len() >= 3 && bounds[bounds.len() - 1] - bounds[bounds.len() - 2] == 1 {
@@ -179,7 +184,7 @@ pub fn cut_into_slices(
     let mut slices = Vec::with_capacity(bounds.len() - 1);
     for (index, pair) in bounds.windows(2).enumerate() {
         slices.push(Slice {
-            id: SliceId { node, window, index: index as u32 },
+            id: SliceId { node, window, index: len_to_u32(index) },
             events: run.slice(pair[0]..pair[1]),
         });
     }

@@ -220,8 +220,16 @@ impl WindowManager {
             .open
             .entry(wid)
             .or_insert_with(|| LocalWindow::new(self.node, wid, self.window_len, self.strategy));
-        w.insert(event).expect("window derived from event ts always contains it");
-        true
+        // The window id is derived from the event's timestamp, so insertion
+        // cannot miss; treat a disagreement defensively as a late drop
+        // rather than panicking the node.
+        match w.insert(event) {
+            Ok(()) => true,
+            Err(_) => {
+                self.late_events += 1;
+                false
+            }
+        }
     }
 
     /// Advance the watermark and close every window whose end has passed.

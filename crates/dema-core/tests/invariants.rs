@@ -1,0 +1,64 @@
+//! Integration tests of the checked-invariant layer: a corrupted synopsis
+//! must trip [`DemaError::InvariantViolation`] at the audit boundary rather
+//! than let a silently wrong quantile escape the protocol.
+//!
+//! Gated like the layer itself: these tests only assert trips when the
+//! checks are compiled in (debug builds, or `--features strict`).
+
+#![cfg(any(debug_assertions, feature = "strict"))]
+
+use dema_core::error::DemaError;
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::invariant;
+use dema_core::slice::cut_into_slices;
+
+/// Build a node's sorted window and its slice synopses.
+fn sliced(node: u32, vals: &[i64], gamma: u64) -> (Vec<dema_core::slice::Slice>, Vec<dema_core::slice::SliceSynopsis>) {
+    let mut events: Vec<Event> = vals
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Event::new(v, i as u64, u64::from(node) * 10_000 + i as u64))
+        .collect();
+    events.sort_unstable();
+    let slices = cut_into_slices(NodeId(node), WindowId(0), events, gamma).unwrap();
+    let total = slices.len() as u32;
+    let synopses: Vec<_> = slices.iter().map(|s| s.synopsis(total).unwrap()).collect();
+    (slices, synopses)
+}
+
+#[test]
+fn count_off_by_one_trips_invariant_violation() {
+    let vals: Vec<i64> = (0..100).collect();
+    let (slices, mut synopses) = sliced(0, &vals, 8);
+    invariant::check_partition(&slices, &synopses, 100).unwrap();
+    // Corrupt one synopsis: report one event fewer than the slice holds.
+    synopses[3].count -= 1;
+    let err = invariant::check_partition(&slices, &synopses, 100).unwrap_err();
+    assert!(matches!(err, DemaError::InvariantViolation(_)), "{err}");
+}
+
+#[test]
+fn count_corruption_also_trips_the_order_audit() {
+    // The root never sees raw slices at identification time — only the
+    // synopsis stream. A count inflated past the slice boundary breaks the
+    // per-node totals audited by `check_synopsis_order` via `total_slices`
+    // bookkeeping, or the partition audit on the sending node. Here: the
+    // contiguity audit catches a dropped slice.
+    let vals: Vec<i64> = (0..60).collect();
+    let (_, mut synopses) = sliced(1, &vals, 6);
+    invariant::check_synopsis_order(&synopses).unwrap();
+    synopses.remove(2);
+    let err = invariant::check_synopsis_order(&synopses).unwrap_err();
+    assert!(matches!(err, DemaError::InvariantViolation(_)), "{err}");
+}
+
+#[test]
+fn overlapping_same_node_synopses_trip_the_order_audit() {
+    let vals: Vec<i64> = (0..40).collect();
+    let (_, mut synopses) = sliced(2, &vals, 5);
+    // Pretend a slice's last value overtakes its successor's first: the
+    // per-node sorted-run guarantee is broken.
+    synopses[0].last = synopses[1].last + 1;
+    let err = invariant::check_synopsis_order(&synopses).unwrap_err();
+    assert!(matches!(err, DemaError::InvariantViolation(_)), "{err}");
+}

@@ -195,6 +195,45 @@ proptest! {
         }
     }
 
+    /// The checked-invariant layer agrees with a naive global sort: for the
+    /// rank `k = Pos(q)` the oracle's k-th smallest value passes
+    /// `check_true_rank`, an impossible value trips it, and the event picked
+    /// by the k-way merge passes `check_selected_event` and carries the
+    /// oracle value.
+    #[test]
+    fn invariant_rank_oracle_matches_sort(nodes in arb_nodes(), q in 0.01f64..=1.0) {
+        use dema_core::invariant;
+        if !invariant::enabled() {
+            return Ok(()); // release build without --features strict
+        }
+        let total: usize = nodes.iter().map(Vec::len).sum();
+        prop_assume!(total > 0);
+        let q = Quantile::new(q).unwrap();
+        let k = q.pos(total as u64).unwrap();
+        let mut sorted: Vec<Event> = nodes.iter().flatten().copied().collect();
+        sorted.sort_unstable();
+        let oracle = sorted[(k - 1) as usize];
+        let values = || nodes.iter().flatten().map(|e| e.value);
+        prop_assert!(invariant::check_true_rank(values(), k, oracle.value).is_ok());
+        // Below every value, fewer than k values are ≤ it; above every
+        // value, at least k rank below it. Both must always trip.
+        prop_assert!(invariant::check_true_rank(values(), k, sorted[0].value - 1).is_err());
+        prop_assert!(
+            invariant::check_true_rank(values(), k, sorted[total - 1].value + 1).is_err()
+        );
+        let runs: Vec<Vec<Event>> = nodes
+            .iter()
+            .map(|v| {
+                let mut s = v.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let event = select_kth(&runs, k).unwrap();
+        prop_assert!(invariant::check_selected_event(&runs, k, &event).is_ok());
+        prop_assert_eq!(event.value, oracle.value);
+    }
+
     /// Quantile positions are monotone in q and within range.
     #[test]
     fn quantile_pos_monotone(total in 1u64..100_000) {

@@ -1,0 +1,748 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # dema-lint
+//!
+//! Repo-specific static analysis for the Dema workspace. The compiler cannot
+//! see the invariants Dema's exactness rests on, and generic clippy lints
+//! cannot know which files hold rank arithmetic or which enums mirror the
+//! wire protocol. This crate closes that gap with four lexical rules:
+//!
+//! * **R1** — no `unwrap()` / `expect()` / `panic!` / `todo!` /
+//!   `unimplemented!` in non-test library code of `dema-core`, `dema-wire`,
+//!   `dema-net`, `dema-cluster`. A panicking root drops every window in
+//!   flight; library code must surface `DemaError` instead. Justified sites
+//!   carry a `// lint: allow(R1): <reason>` tag.
+//! * **R2** — no raw `as` numeric casts in the rank/gamma/merge arithmetic
+//!   files of `dema-core`. A silent truncation there turns an exact quantile
+//!   into a wrong one; conversions go through `dema_core::numeric` (the two
+//!   deliberate float casts inside it are tagged).
+//! * **R3** — every `DemaError` variant is constructed somewhere outside its
+//!   defining file and exercised by some test. A variant nobody builds is a
+//!   dead protocol error; one no test matches is unverified behaviour.
+//! * **R4** — every wire `Message` variant is mentioned by some test
+//!   (golden/property coverage of the protocol surface).
+//!
+//! The analysis is purely lexical over a *masked* view of each source file:
+//! string and comment bytes are blanked (newlines kept) so tokens inside
+//! them never match, and `#[cfg(test)]` regions plus `tests/`, `benches/`,
+//! `examples/` trees count as test context. No registry dependencies, in
+//! keeping with the workspace's vendored-offline setup.
+//!
+//! Known accepted violations live in a baseline file (`RULE|path|token`
+//! lines); the gate fails only on *new* findings. See DESIGN.md §8.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test library code must be panic-free (rule R1).
+pub const R1_CRATES: [&str; 4] = ["dema-core", "dema-wire", "dema-net", "dema-cluster"];
+
+/// `dema-core` source files carrying rank/gamma/merge arithmetic (rule R2).
+pub const R2_FILES: [&str; 9] = [
+    "gamma.rs",
+    "rank.rs",
+    "quantile.rs",
+    "selector.rs",
+    "multi.rs",
+    "merge.rs",
+    "slice.rs",
+    "numeric.rs",
+    "invariant.rs",
+];
+
+/// Numeric primitive types whose `as` casts R2 rejects.
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64",
+];
+
+/// One finding of one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier: `R1`..`R4`.
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the checked root.
+    pub path: String,
+    /// 1-based line of the finding (0 for whole-file findings like R3/R4).
+    pub line: usize,
+    /// The offending token (panic call, cast, or enum variant).
+    pub token: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Violation {
+    /// The `RULE|path|token` key used by the baseline file.
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.path, self.token)
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// A source file loaded for analysis.
+struct SourceFile {
+    /// Path relative to the checked root, with `/` separators.
+    rel: String,
+    /// Original text (for allow-tag lookup).
+    text: String,
+    /// Text with string/comment bytes blanked, newlines preserved.
+    masked: String,
+    /// Byte ranges of `#[cfg(test)]`-gated items in `masked`.
+    test_regions: Vec<(usize, usize)>,
+    /// `true` if the whole file is test context by path.
+    test_by_path: bool,
+}
+
+impl SourceFile {
+    fn load(root: &Path, path: &Path) -> Option<SourceFile> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let masked = mask_source(&text);
+        let test_regions = find_test_regions(&masked);
+        let test_by_path = rel.split('/').any(|seg| {
+            seg == "tests" || seg == "benches" || seg == "examples" || seg == "fixtures"
+        });
+        Some(SourceFile { rel, text, masked, test_regions, test_by_path })
+    }
+
+    fn in_test_region(&self, offset: usize) -> bool {
+        self.test_by_path
+            || self.test_regions.iter().any(|&(start, end)| (start..end).contains(&offset))
+    }
+
+    fn line_of(&self, offset: usize) -> usize {
+        self.masked.as_bytes()[..offset].iter().filter(|&&b| b == b'\n').count() + 1
+    }
+
+    /// `true` if line `line` or the one above carries a well-formed
+    /// `// lint: allow(<rule>): <reason>` tag in the original source.
+    fn allowed(&self, rule: &str, line: usize) -> bool {
+        let lines: Vec<&str> = self.text.lines().collect();
+        let needle = format!("lint: allow({rule})");
+        for candidate in [line.checked_sub(1), line.checked_sub(2)].into_iter().flatten() {
+            if let Some(l) = lines.get(candidate) {
+                if let Some(pos) = l.find(&needle) {
+                    let rest = &l[pos + needle.len()..];
+                    // A tag needs a reason: "): " followed by real text.
+                    if rest.trim_start().starts_with(':')
+                        && rest.trim_start()[1..].trim().len() >= 3
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Blank out string literals and comments, preserving length and newlines,
+/// so lexical rules never match inside them.
+fn mask_source(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) => {
+                // Raw string r"..." / r#"..."#
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    j += 1;
+                    let closer: Vec<u8> =
+                        std::iter::once(b'"').chain(std::iter::repeat(b'#').take(hashes)).collect();
+                    while j < bytes.len() && !bytes[j..].starts_with(&closer) {
+                        j += 1;
+                    }
+                    j = (j + closer.len()).min(bytes.len());
+                    for k in start..j {
+                        if bytes[k] != b'\n' {
+                            out[k] = b' ';
+                        }
+                    }
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out[i] = b' ';
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        out[i] = b' ';
+                        if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                            out[i + 1] = b' ';
+                        }
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out[i] = b' ';
+                        i += 1;
+                        break;
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs. lifetime: a literal closes with ' within
+                // a few bytes ('x', '\n', '\u{1F600}').
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'\\') {
+                    j += 2;
+                    while j < bytes.len() && bytes[j] != b'\'' && j - i < 12 {
+                        j += 1;
+                    }
+                } else {
+                    // One UTF-8 scalar, up to 4 bytes.
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] & 0xC0) == 0x80 {
+                        j += 1;
+                    }
+                }
+                if bytes.get(j) == Some(&b'\'') && j > i + 1 {
+                    for k in i..=j {
+                        out[k] = b' ';
+                    }
+                    i = j + 1;
+                } else {
+                    i += 1; // lifetime, leave it
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte ranges of items gated behind `#[cfg(test)]`-style attributes in
+/// already-masked source.
+fn find_test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while let Some(found) = masked[i..].find("#[cfg(") {
+        let attr_start = i + found;
+        let paren_start = attr_start + "#[cfg".len();
+        let Some(paren_end) = matching(bytes, paren_start, b'(', b')') else {
+            i = attr_start + 1;
+            continue;
+        };
+        let content = &masked[paren_start + 1..paren_end];
+        if !contains_word(content, "test") {
+            i = paren_end;
+            continue;
+        }
+        // The gated item: the next brace block (mod/fn/impl), or a single
+        // `;`-terminated item.
+        let mut j = paren_end + 1;
+        let end = loop {
+            match bytes.get(j) {
+                Some(b'{') => match matching(bytes, j, b'{', b'}') {
+                    Some(close) => break close + 1,
+                    None => break bytes.len(),
+                },
+                Some(b';') => break j + 1,
+                Some(_) => j += 1,
+                None => break bytes.len(),
+            }
+        };
+        regions.push((attr_start, end));
+        i = end;
+    }
+    regions
+}
+
+/// Offset of the delimiter matching `open` at `start` (which must hold one).
+fn matching(bytes: &[u8], start: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(start) {
+        if b == open {
+            depth += 1;
+        } else if b == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `true` if `word` occurs in `text` with non-identifier neighbours.
+fn contains_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(found) = text[i..].find(word) {
+        let at = i + found;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        i = at + word.len();
+    }
+    false
+}
+
+/// All word-boundary occurrences of `word` in `text`, as byte offsets.
+fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut found = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find(word) {
+        let at = i + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            found.push(at);
+        }
+        i = at + word.len();
+    }
+    found
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping build/VCS trees and
+/// lint fixtures.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "target" | ".git" | "vendor" | "fixtures" | "node_modules") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// R1: panic-capable calls in non-test library code of the core crates.
+fn check_r1(file: &SourceFile, violations: &mut Vec<Violation>) {
+    let in_scope = R1_CRATES
+        .iter()
+        .any(|c| file.rel.contains(&format!("crates/{c}/src/")) || file.rel.starts_with(&format!("{c}/src/")));
+    if !in_scope || file.test_by_path {
+        return;
+    }
+    let patterns: [(&str, &str); 5] = [
+        (".unwrap()", ".unwrap()"),
+        (".expect(", ".expect(...)"),
+        ("panic!", "panic!"),
+        ("todo!", "todo!"),
+        ("unimplemented!", "unimplemented!"),
+    ];
+    for (needle, token) in patterns {
+        let mut i = 0;
+        while let Some(pos) = file.masked[i..].find(needle) {
+            let at = i + pos;
+            i = at + needle.len();
+            // Macros need a word boundary before them (`core::panic!` still
+            // has `:` before, which is fine; `no_panic!` must not match).
+            if !needle.starts_with('.') {
+                let before = file.masked.as_bytes()[..at].last().copied().unwrap_or(b' ');
+                if is_ident_byte(before) {
+                    continue;
+                }
+                if file.masked.as_bytes().get(at + needle.len()) != Some(&b'(') {
+                    continue;
+                }
+            }
+            if file.in_test_region(at) {
+                continue;
+            }
+            let line = file.line_of(at);
+            if file.allowed("R1", line) {
+                continue;
+            }
+            violations.push(Violation {
+                rule: "R1",
+                path: file.rel.clone(),
+                line,
+                token: token.to_string(),
+                message: format!(
+                    "`{token}` can panic a library node; return a DemaError (or tag the site \
+                     with `// lint: allow(R1): <reason>`)"
+                ),
+            });
+        }
+    }
+}
+
+/// R2: raw `as` numeric casts in rank/gamma/merge arithmetic files.
+fn check_r2(file: &SourceFile, violations: &mut Vec<Violation>) {
+    let in_scope = R2_FILES.iter().any(|f| {
+        file.rel.ends_with(&format!("dema-core/src/{f}"))
+    });
+    if !in_scope {
+        return;
+    }
+    for at in word_occurrences(&file.masked, "as") {
+        if file.in_test_region(at) {
+            continue;
+        }
+        let rest = &file.masked[at + 2..];
+        let trimmed = rest.trim_start();
+        let Some(ty) = NUMERIC_TYPES.iter().find(|t| {
+            trimmed.starts_with(**t)
+                && !is_ident_byte(trimmed.as_bytes().get(t.len()).copied().unwrap_or(b' '))
+        }) else {
+            continue;
+        };
+        let line = file.line_of(at);
+        if file.allowed("R2", line) {
+            continue;
+        }
+        violations.push(Violation {
+            rule: "R2",
+            path: file.rel.clone(),
+            line,
+            token: format!("as {ty}"),
+            message: format!(
+                "lossy `as {ty}` cast in rank/gamma arithmetic; use dema_core::numeric helpers \
+                 or try_from (or tag with `// lint: allow(R2): <reason>`)"
+            ),
+        });
+    }
+}
+
+/// Parse the variant names of `enum <name>` from a masked file.
+fn enum_variants(masked: &str, enum_name: &str) -> Vec<String> {
+    let needle = format!("enum {enum_name}");
+    let Some(pos) = masked.find(&needle) else { return Vec::new() };
+    let bytes = masked.as_bytes();
+    let Some(open) = masked[pos..].find('{').map(|o| pos + o) else { return Vec::new() };
+    let Some(close) = matching(bytes, open, b'{', b'}') else { return Vec::new() };
+    let body = &masked[open + 1..close];
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expecting = true; // next top-level identifier is a variant name
+    let mut i = 0;
+    let b = body.as_bytes();
+    while i < b.len() {
+        match b[i] {
+            b'{' | b'(' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b')' | b']' => {
+                depth -= 1;
+                i += 1;
+            }
+            b',' if depth == 0 => {
+                expecting = true;
+                i += 1;
+            }
+            b'#' if depth == 0 => {
+                // Attribute on a variant: skip the [...] block.
+                if let Some(ab) = body[i..].find('[') {
+                    if let Some(close) = matching(b, i + ab, b'[', b']') {
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            c if depth == 0 && expecting && c.is_ascii_uppercase() => {
+                let start = i;
+                while i < b.len() && is_ident_byte(b[i]) {
+                    i += 1;
+                }
+                variants.push(body[start..i].to_string());
+                expecting = false;
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}
+
+/// R3/R4 helper: where is `Enum::Variant` mentioned across the workspace?
+struct VariantUse {
+    /// Mentioned in non-test code outside the defining file.
+    constructed: bool,
+    /// Mentioned in test context anywhere.
+    tested: bool,
+}
+
+fn variant_uses(
+    files: &[SourceFile],
+    defining_file_suffix: &str,
+    enum_name: &str,
+    variant: &str,
+) -> VariantUse {
+    let mut usage = VariantUse { constructed: false, tested: false };
+    let qualified = format!("{enum_name}::{variant}");
+    for file in files {
+        for at in word_occurrences(&file.masked, &qualified) {
+            let in_test = file.in_test_region(at + qualified.len() - 1);
+            if in_test {
+                usage.tested = true;
+            } else if !file.rel.ends_with(defining_file_suffix) {
+                usage.constructed = true;
+            }
+        }
+    }
+    usage
+}
+
+/// R3: every `DemaError` variant constructed and exercised by a test.
+fn check_r3(files: &[SourceFile], violations: &mut Vec<Violation>) {
+    let defining = "dema-core/src/error.rs";
+    let Some(error_file) = files.iter().find(|f| f.rel.ends_with(defining)) else {
+        return;
+    };
+    for variant in enum_variants(&error_file.masked, "DemaError") {
+        let usage = variant_uses(files, defining, "DemaError", &variant);
+        if !usage.constructed {
+            violations.push(Violation {
+                rule: "R3",
+                path: error_file.rel.clone(),
+                line: 0,
+                token: variant.clone(),
+                message: format!(
+                    "DemaError::{variant} is never constructed outside error.rs — dead \
+                     protocol error (construct it or remove the variant)"
+                ),
+            });
+        }
+        if !usage.tested {
+            violations.push(Violation {
+                rule: "R3",
+                path: error_file.rel.clone(),
+                line: 0,
+                token: format!("{variant}(untested)"),
+                message: format!(
+                    "DemaError::{variant} is never matched in any test — its error path is \
+                     unverified"
+                ),
+            });
+        }
+    }
+}
+
+/// R4: every wire `Message` variant mentioned by some test.
+fn check_r4(files: &[SourceFile], violations: &mut Vec<Violation>) {
+    let defining = "dema-wire/src/message.rs";
+    let Some(message_file) = files.iter().find(|f| f.rel.ends_with(defining)) else {
+        return;
+    };
+    for variant in enum_variants(&message_file.masked, "Message") {
+        let usage = variant_uses(files, defining, "Message", &variant);
+        if !usage.tested {
+            violations.push(Violation {
+                rule: "R4",
+                path: message_file.rel.clone(),
+                line: 0,
+                token: variant.clone(),
+                message: format!(
+                    "wire Message::{variant} has no golden/property test mention — protocol \
+                     drift would go unnoticed"
+                ),
+            });
+        }
+    }
+}
+
+/// Parse a baseline file: `RULE|path|token` lines, `#` comments.
+///
+/// Unknown or stale entries are ignored (they age out naturally).
+pub fn parse_baseline(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(ToOwned::to_owned)
+        .collect()
+}
+
+/// Outcome of one lint run.
+pub struct Report {
+    /// New violations (not covered by the baseline).
+    pub violations: Vec<Violation>,
+    /// Findings suppressed by baseline entries.
+    pub baselined: usize,
+    /// Files analyzed.
+    pub files_checked: usize,
+}
+
+/// Run all rules over the workspace rooted at `root`.
+///
+/// `baseline` holds `RULE|path|token` keys of accepted findings.
+pub fn check(root: &Path, baseline: &[String]) -> Report {
+    let mut paths = Vec::new();
+    walk(&root.join("crates"), &mut paths);
+    if paths.is_empty() {
+        // Fixture trees may root the crates directly.
+        walk(root, &mut paths);
+    }
+    let files: Vec<SourceFile> =
+        paths.iter().filter_map(|p| SourceFile::load(root, p)).collect();
+
+    let mut all = Vec::new();
+    for file in &files {
+        check_r1(file, &mut all);
+        check_r2(file, &mut all);
+    }
+    check_r3(&files, &mut all);
+    check_r4(&files, &mut all);
+
+    let mut violations = Vec::new();
+    let mut baselined = 0;
+    for v in all {
+        if baseline.contains(&v.baseline_key()) {
+            baselined += 1;
+        } else {
+            violations.push(v);
+        }
+    }
+    violations.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, &a.token).cmp(&(b.rule, &b.path, b.line, &b.token))
+    });
+    Report { violations, baselined, files_checked: files.len() }
+}
+
+/// Group violations per rule for the summary line.
+pub fn per_rule_counts(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for v in violations {
+        *counts.entry(v.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_strings_and_comments() {
+        let src = "let a = \"panic!\"; // .unwrap()\n/* todo! */ let b = 'x';";
+        let masked = mask_source(src);
+        assert!(!masked.contains("panic!"));
+        assert!(!masked.contains(".unwrap()"));
+        assert!(!masked.contains("todo!"));
+        assert!(!masked.contains('x'));
+        assert!(masked.contains("let a ="));
+        assert_eq!(masked.len(), src.len());
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_escapes() {
+        let src = r##"let s = r#"a "quoted" .unwrap()"#; let t = "esc \" panic!";"##;
+        let masked = mask_source(src);
+        assert!(!masked.contains(".unwrap()"));
+        assert!(!masked.contains("panic!"));
+        assert!(masked.ends_with(';'));
+    }
+
+    #[test]
+    fn masking_keeps_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert_eq!(mask_source(src), src);
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap() }\n}\nfn c() {}\n";
+        let masked = mask_source(src);
+        let regions = find_test_regions(&masked);
+        assert_eq!(regions.len(), 1);
+        let unwrap_at = masked.find(".unwrap").unwrap();
+        assert!((regions[0].0..regions[0].1).contains(&unwrap_at));
+        let c_at = masked.rfind("fn c").unwrap();
+        assert!(!(regions[0].0..regions[0].1).contains(&c_at));
+    }
+
+    #[test]
+    fn cfg_all_test_is_a_test_region() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { }\nfn c() {}";
+        let regions = find_test_regions(&mask_source(src));
+        assert_eq!(regions.len(), 1);
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"test-utils\")]\nmod t { }\n#[cfg(unix)] fn u() {}";
+        assert!(find_test_regions(&mask_source(src)).is_empty());
+    }
+
+    #[test]
+    fn enum_variant_parsing() {
+        let src = "pub enum DemaError {\n  /// doc\n  EmptyWindow,\n  InvalidQuantile(String),\n  EventOutOfWindow { ts: u64, start: u64 },\n  #[allow(dead_code)]\n  Last,\n}";
+        let variants = enum_variants(&mask_source(src), "DemaError");
+        assert_eq!(
+            variants,
+            vec!["EmptyWindow", "InvalidQuantile", "EventOutOfWindow", "Last"]
+        );
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("cfg(test)", "test"));
+        assert!(!contains_word("cfg(testing)", "test"));
+        assert!(!contains_word("attest", "test"));
+        assert_eq!(word_occurrences("x as u64 vs alias", "as"), vec![2]);
+    }
+}

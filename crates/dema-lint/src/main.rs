@@ -1,0 +1,73 @@
+#![forbid(unsafe_code)]
+
+//! Command-line front end: `dema-lint check <root> [--baseline <file>]`.
+//!
+//! Exits 0 when no new violations are found, 1 otherwise, 2 on usage
+//! errors. The baseline defaults to `<root>/scripts/lint-baseline.txt` when
+//! present, so `cargo run -p dema-lint -- check .` is the whole gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let Some(cmd) = iter.next() else {
+        eprintln!("usage: dema-lint check <root> [--baseline <file>]");
+        return ExitCode::from(2);
+    };
+    if cmd != "check" {
+        eprintln!("dema-lint: unknown command `{cmd}` (expected `check`)");
+        return ExitCode::from(2);
+    }
+    let Some(root) = iter.next().map(PathBuf::from) else {
+        eprintln!("dema-lint: missing <root> argument");
+        return ExitCode::from(2);
+    };
+    let mut baseline_path: Option<PathBuf> = None;
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--baseline" => match iter.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dema-lint: --baseline needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("dema-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let baseline_path =
+        baseline_path.unwrap_or_else(|| root.join("scripts").join("lint-baseline.txt"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => dema_lint::parse_baseline(&text),
+        Err(_) => Vec::new(),
+    };
+
+    let report = dema_lint::check(&root, &baseline);
+    for v in &report.violations {
+        println!("{v}");
+    }
+    let counts = dema_lint::per_rule_counts(&report.violations);
+    let summary: Vec<String> =
+        counts.iter().map(|(rule, n)| format!("{rule}: {n}")).collect();
+    if report.violations.is_empty() {
+        println!(
+            "dema-lint: clean ({} files, {} baselined finding(s))",
+            report.files_checked, report.baselined
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "dema-lint: {} new violation(s) [{}] across {} files ({} baselined)",
+            report.violations.len(),
+            summary.join(", "),
+            report.files_checked,
+            report.baselined
+        );
+        ExitCode::FAILURE
+    }
+}

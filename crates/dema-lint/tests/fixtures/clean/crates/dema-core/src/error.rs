@@ -1,0 +1,17 @@
+//! Fixture: clean tree — every error variant constructed and tested.
+
+/// Protocol errors.
+#[derive(Debug)]
+pub enum DemaError {
+    /// The window held no events.
+    EmptyWindow,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn empty_window_is_matched() {
+        let e = super::DemaError::EmptyWindow;
+        assert!(matches!(e, super::DemaError::EmptyWindow));
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: clean tree — saturating cast documented with an allow tag.
+
+/// Saturating conversion.
+pub fn to_count(x: f64) -> u64 {
+    x as u64 // lint: allow(R2): saturating float-to-int is the documented policy
+}

@@ -1,0 +1,17 @@
+//! Fixture: clean tree — every wire variant test-covered.
+
+/// Wire protocol messages.
+pub enum Message {
+    /// Slice synopsis announcement.
+    Synopsis,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Message;
+
+    #[test]
+    fn synopsis_roundtrip() {
+        let _ = Message::Synopsis;
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: R3 violation — `EmptyWindow` is constructed but never tested.
+
+/// Protocol errors.
+#[derive(Debug)]
+pub enum DemaError {
+    /// The window held no events.
+    EmptyWindow,
+}

@@ -1,0 +1,6 @@
+//! Fixture: R2 violation — a lossy `as` cast in gamma arithmetic.
+
+/// Truncating conversion (the violation).
+pub fn to_count(x: f64) -> u64 {
+    x as u64
+}

@@ -1,0 +1,11 @@
+//! Fixture: R1 violation — an untagged `.unwrap()` in non-test core code.
+
+/// Returns the first element.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+/// Constructs the error variant so R3 reports only the missing test.
+pub fn fail() -> crate::error::DemaError {
+    crate::error::DemaError::EmptyWindow
+}

@@ -1,0 +1,19 @@
+//! Fixture: R4 violation — the `Ping` wire variant has no test mention.
+
+/// Wire protocol messages.
+pub enum Message {
+    /// Slice synopsis announcement.
+    Synopsis,
+    /// Liveness probe (the violation: untested).
+    Ping,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Message;
+
+    #[test]
+    fn synopsis_is_covered() {
+        let _ = Message::Synopsis;
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end checks of the `dema-lint` binary over the fixture trees:
+//! one violation per rule on the `violations` tree, exit 0 on the `clean`
+//! tree (allow-tags honoured), and baseline suppression.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join(name)
+}
+
+/// Run `dema-lint check <root> [extra...]`, returning (exit code, stdout).
+fn run_lint(root: &Path, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dema-lint"))
+        .arg("check")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn dema-lint");
+    (out.status.code().unwrap_or(-1), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[test]
+fn violations_tree_fails_with_file_line_diagnostics() {
+    let (code, stdout) = run_lint(&fixture("violations"), &[]);
+    assert_eq!(code, 1, "expected failure exit, got {code}\n{stdout}");
+    // One violation per rule, each with a file:line anchor.
+    assert!(
+        stdout.contains("crates/dema-core/src/lib.rs:5: R1:"),
+        "missing R1 diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-core/src/gamma.rs:5: R2:"),
+        "missing R2 diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("R3: DemaError::EmptyWindow is never matched in any test"),
+        "missing R3 diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("R4: wire Message::Ping has no"),
+        "missing R4 diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("4 new violation(s) [R1: 1, R2: 1, R3: 1, R4: 1]"),
+        "summary should count one violation per rule\n{stdout}"
+    );
+}
+
+#[test]
+fn clean_tree_passes_with_allow_tags() {
+    let (code, stdout) = run_lint(&fixture("clean"), &[]);
+    assert_eq!(code, 0, "clean tree must pass\n{stdout}");
+    assert!(stdout.contains("dema-lint: clean"), "{stdout}");
+}
+
+#[test]
+fn baseline_suppresses_accepted_findings() {
+    let baseline = fixture("violations-baseline.txt");
+    let (code, stdout) = run_lint(
+        &fixture("violations"),
+        &["--baseline", baseline.to_str().expect("utf-8 path")],
+    );
+    assert_eq!(code, 0, "baselined tree must pass\n{stdout}");
+    assert!(stdout.contains("4 baselined finding(s)"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dema-lint"))
+        .arg("lurk")
+        .output()
+        .expect("spawn dema-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -3,16 +3,27 @@
 #
 #   build (release)  — the experiment binary and benches must compile
 #   test             — unit + property + integration tests, all crates
+#   test --strict    — same suite with the checked-invariant layer compiled
+#                      into release-style gating (DESIGN.md §8)
+#   dema-lint        — repo-specific static analysis: R1 no panics in
+#                      library code, R2 no lossy `as` casts in rank/gamma
+#                      arithmetic, R3/R4 error & wire variants exercised
+#                      (baseline: scripts/lint-baseline.txt)
 #   bench --no-run   — criterion benches must keep compiling
 #   clippy           — deny the two lints that reintroduce hot-path copies:
 #                      redundant_clone (event buffers must be shared, not
 #                      cloned) and needless_collect (no intermediate Vecs
-#                      on the merge paths)
+#                      on the merge paths). R1's compiler-side twin — deny
+#                      unwrap/expect in non-test library code — lives as
+#                      in-crate attributes on the four protocol crates and
+#                      fires during this same pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo test --features strict -q
+cargo run -q -p dema-lint -- check .
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- \
     -D clippy::redundant_clone \
