@@ -31,8 +31,7 @@ fn bench_sort_strategies(c: &mut Criterion) {
         ] {
             group.bench_with_input(BenchmarkId::new(label, n), &input, |b, input| {
                 b.iter(|| {
-                    let mut w =
-                        LocalWindow::new(NodeId(0), WindowId(0), u64::MAX, strategy);
+                    let mut w = LocalWindow::new(NodeId(0), WindowId(0), u64::MAX, strategy);
                     for e in input {
                         w.insert(*e).unwrap();
                     }
@@ -52,9 +51,7 @@ fn bench_slicing(c: &mut Criterion) {
         group.throughput(Throughput::Elements(sorted.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
             b.iter(|| {
-                black_box(
-                    cut_into_slices(NodeId(0), WindowId(0), sorted.clone(), gamma).unwrap(),
-                )
+                black_box(cut_into_slices(NodeId(0), WindowId(0), sorted.clone(), gamma).unwrap())
             })
         });
     }
@@ -67,8 +64,9 @@ fn bench_selectors(c: &mut Criterion) {
     // 8 nodes, heavily overlapping windows, γ = 1000.
     let mut synopses = Vec::new();
     for node in 0..8u32 {
-        let mut sorted: Vec<Event> =
-            SoccerGenerator::new(node as u64, 1, 1_000_000, 0).take(100_000).collect();
+        let mut sorted: Vec<Event> = SoccerGenerator::new(node as u64, 1, 1_000_000, 0)
+            .take(100_000)
+            .collect();
         sorted.sort_unstable();
         let slices = cut_into_slices(NodeId(node), WindowId(0), sorted, 1_000).unwrap();
         let total = slices.len() as u32;
@@ -92,20 +90,29 @@ fn bench_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("calculation_step");
     let runs: Vec<Vec<Event>> = (0..4)
         .map(|i| {
-            let mut r: Vec<Event> =
-                SoccerGenerator::new(i, 1, 1_000_000, 0).take(25_000).collect();
+            let mut r: Vec<Event> = SoccerGenerator::new(i, 1, 1_000_000, 0)
+                .take(25_000)
+                .collect();
             r.sort_unstable();
             r
         })
         .collect();
     let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
     group.throughput(Throughput::Elements(total));
-    group.bench_function("merge_runs_full", |b| b.iter(|| black_box(merge_runs(&runs))));
+    group.bench_function("merge_runs_full", |b| {
+        b.iter(|| black_box(merge_runs(&runs)))
+    });
     group.bench_function("select_kth_median", |b| {
         b.iter(|| black_box(select_kth(&runs, total / 2).unwrap()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_sort_strategies, bench_slicing, bench_selectors, bench_merge);
+criterion_group!(
+    benches,
+    bench_sort_strategies,
+    bench_slicing,
+    bench_selectors,
+    bench_merge
+);
 criterion_main!(benches);

@@ -26,8 +26,14 @@ fn bench_engines(c: &mut Criterion) {
         ),
         ("centralized", EngineKind::Centralized),
         ("dec_sort", EngineKind::DecSort),
-        ("tdigest_central", EngineKind::TdigestCentral { compression: 100.0 }),
-        ("tdigest_dist", EngineKind::TdigestDistributed { compression: 100.0 }),
+        (
+            "tdigest_central",
+            EngineKind::TdigestCentral { compression: 100.0 },
+        ),
+        (
+            "tdigest_dist",
+            EngineKind::TdigestDistributed { compression: 100.0 },
+        ),
     ];
     for (label, engine) in engines {
         let config = ClusterConfig::baseline(engine, Quantile::MEDIAN);

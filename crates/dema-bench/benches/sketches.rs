@@ -8,7 +8,10 @@ use dema_gen::SoccerGenerator;
 use dema_sketch::{KllSketch, QDigest, QuantileSketch, TDigest};
 
 fn values(n: usize) -> Vec<f64> {
-    SoccerGenerator::new(3, 1, 1_000_000, 0).take(n).map(|e| e.value as f64).collect()
+    SoccerGenerator::new(3, 1, 1_000_000, 0)
+        .take(n)
+        .map(|e| e.value as f64)
+        .collect()
 }
 
 fn bench_tdigest_insert(c: &mut Criterion) {
@@ -78,7 +81,9 @@ fn bench_qdigest(c: &mut Criterion) {
     for &v in &vals {
         filled.insert_weighted(v, 1);
     }
-    group.bench_function("quantile_query", |b| b.iter(|| black_box(filled.quantile(0.5))));
+    group.bench_function("quantile_query", |b| {
+        b.iter(|| black_box(filled.quantile(0.5)))
+    });
     group.finish();
 }
 
@@ -99,7 +104,9 @@ fn bench_kll(c: &mut Criterion) {
     for &v in &vals {
         filled.insert(v);
     }
-    group.bench_function("quantile_query", |b| b.iter(|| black_box(filled.quantile(0.5))));
+    group.bench_function("quantile_query", |b| {
+        b.iter(|| black_box(filled.quantile(0.5)))
+    });
     let sketches: Vec<KllSketch> = (0..8)
         .map(|i| {
             let mut s = KllSketch::with_seed(256, i);

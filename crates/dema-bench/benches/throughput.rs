@@ -23,8 +23,13 @@ fn bench_windows_per_sec(c: &mut Criterion) {
     let mut group = c.benchmark_group("throughput");
     group.sample_size(10);
     for windows in [8usize, 32] {
-        let inputs =
-            soccer_inputs(LOCALS, windows, EVENTS_PER_WINDOW, &uniform_scales(LOCALS), 42);
+        let inputs = soccer_inputs(
+            LOCALS,
+            windows,
+            EVENTS_PER_WINDOW,
+            &uniform_scales(LOCALS),
+            42,
+        );
         group.throughput(Throughput::Elements(windows as u64));
         let config = ClusterConfig::dema_fixed(100, Quantile::MEDIAN);
         group.bench_with_input(

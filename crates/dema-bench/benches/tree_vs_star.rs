@@ -1,0 +1,78 @@
+//! Star vs multi-level aggregation trees: what the relay tier costs.
+//!
+//! The answers and the leaf-tier wire bytes are bit-identical by
+//! construction (tests/tree.rs pins that), so the only things left to
+//! measure are wall-clock throughput — windows/sec with criterion's
+//! `Elements` rate — and the extra upper-tier bytes each added level
+//! re-ships. The bytes/window numbers are printed once per configuration
+//! (criterion measures time, not traffic) and recorded in BENCH_NOTES.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dema_bench::workload::{soccer_inputs, uniform_scales};
+use dema_cluster::config::{ClusterConfig, Topology};
+use dema_cluster::runner::run_cluster;
+use dema_core::quantile::Quantile;
+
+const LOCALS: usize = 8;
+const EVENTS_PER_WINDOW: u64 = 5_000;
+const WINDOWS: usize = 8;
+
+fn bench_tree_vs_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_vs_star");
+    group.sample_size(10);
+    let inputs = soccer_inputs(
+        LOCALS,
+        WINDOWS,
+        EVENTS_PER_WINDOW,
+        &uniform_scales(LOCALS),
+        42,
+    );
+    group.throughput(Throughput::Elements(WINDOWS as u64));
+    for (label, topology) in [
+        ("star_depth1", Topology::Star),
+        (
+            "tree_depth2_fanout4",
+            Topology::Tree {
+                fanout: 4,
+                depth: 2,
+            },
+        ),
+        (
+            "tree_depth3_fanout2",
+            Topology::Tree {
+                fanout: 2,
+                depth: 3,
+            },
+        ),
+    ] {
+        let mut config = ClusterConfig::dema_fixed(100, Quantile::MEDIAN);
+        config.topology = topology;
+
+        // One-off traffic attribution: bytes per window per tier.
+        let report = run_cluster(&config, inputs.clone()).unwrap();
+        let windows = report.outcomes.len() as u64;
+        let leaf = report.per_node_traffic.iter().map(|s| s.bytes).sum::<u64>()
+            + report.control_traffic.bytes;
+        print!("{label}: leaf-tier {} B/window", leaf / windows);
+        for (i, tier) in report.tier_traffic.iter().enumerate().skip(1) {
+            print!(
+                ", tier{} {} B/window",
+                i,
+                (tier.up_total().bytes + tier.down_total().bytes) / windows
+            );
+        }
+        println!();
+
+        group.bench_with_input(
+            BenchmarkId::new("dema_windows", label),
+            &config,
+            |b, config| b.iter(|| black_box(run_cluster(config, inputs.clone()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_vs_star);
+criterion_main!(benches);

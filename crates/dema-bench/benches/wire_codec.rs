@@ -26,7 +26,11 @@ fn synopsis_batch(n: u32) -> Message {
         window,
         synopses: (0..n)
             .map(|i| SliceSynopsis {
-                id: SliceId { node, window, index: i },
+                id: SliceId {
+                    node,
+                    window,
+                    index: i,
+                },
                 first: i as i64 * 100,
                 last: i as i64 * 100 + 99,
                 count: 10_000,

@@ -17,12 +17,12 @@ use dema_bench::harness::{
     CsvSink, Measurement,
 };
 use dema_bench::workload::{soccer_inputs, total_events, uniform_scales};
+use dema_cluster::config::TransportKind;
 use dema_cluster::config::{EngineKind, GammaMode};
 use dema_core::coordinator::quantile_ground_truth;
 use dema_core::event::Event;
 use dema_core::quantile::Quantile;
 use dema_core::selector::SelectionStrategy;
-use dema_cluster::config::TransportKind;
 
 /// Tunable experiment scale.
 #[derive(Debug, Clone, Copy)]
@@ -43,17 +43,31 @@ struct Scale {
 
 impl Scale {
     fn default_scale() -> Scale {
-        Scale { rate: 100_000, windows: 5, gamma: 10_000, volume: 2_000_000, bandwidth_mbps: 400 }
+        Scale {
+            rate: 100_000,
+            windows: 5,
+            gamma: 10_000,
+            volume: 2_000_000,
+            bandwidth_mbps: 400,
+        }
     }
     fn quick() -> Scale {
-        Scale { rate: 10_000, windows: 3, gamma: 1_000, volume: 100_000, bandwidth_mbps: 100 }
+        Scale {
+            rate: 10_000,
+            windows: 3,
+            gamma: 1_000,
+            volume: 100_000,
+            bandwidth_mbps: 100,
+        }
     }
 
     fn transport(&self) -> TransportKind {
         if self.bandwidth_mbps == 0 {
             TransportKind::Mem
         } else {
-            TransportKind::Throttled { mbits_per_sec: self.bandwidth_mbps }
+            TransportKind::Throttled {
+                mbits_per_sec: self.bandwidth_mbps,
+            }
         }
     }
 }
@@ -89,7 +103,9 @@ fn main() {
             }
             "--bandwidth" => {
                 i += 1;
-                scale.bandwidth_mbps = args[i].parse().expect("--bandwidth takes Mbit/s (0 = unlimited)");
+                scale.bandwidth_mbps = args[i]
+                    .parse()
+                    .expect("--bandwidth takes Mbit/s (0 = unlimited)");
             }
             "--help" | "-h" => {
                 usage();
@@ -133,8 +149,18 @@ fn main() {
     for name in &which {
         if name == "all" {
             for fig in [
-                "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b",
-                "ablate-selector", "ablate-adaptive", "ext-sketches", "ext-multiq",
+                "fig5a",
+                "fig5b",
+                "fig6a",
+                "fig6b",
+                "fig7a",
+                "fig7b",
+                "fig8a",
+                "fig8b",
+                "ablate-selector",
+                "ablate-adaptive",
+                "ext-sketches",
+                "ext-multiq",
                 "ext-sliding",
             ] {
                 run(fig, &sink);
@@ -165,11 +191,20 @@ fn bandwidth_label(scale: Scale) -> String {
 
 /// Figures 5a/5b share their runs: 1 root + 2 locals, median, fixed γ.
 fn run_systems(scale: Scale, n_locals: usize) -> Vec<Measurement> {
-    let inputs = soccer_inputs(n_locals, scale.windows, scale.rate, &uniform_scales(n_locals), 42);
+    let inputs = soccer_inputs(
+        n_locals,
+        scale.windows,
+        scale.rate,
+        &uniform_scales(n_locals),
+        42,
+    );
     let mut systems = paper_systems(scale.gamma.min(scale.rate / 2).max(2));
     // The paper predicts "Tdigest to outperform Dema also with a
     // decentralized setup" — include that extension as a fifth series.
-    systems.push(("tdigest-dist", EngineKind::TdigestDistributed { compression: 100.0 }));
+    systems.push((
+        "tdigest-dist",
+        EngineKind::TdigestDistributed { compression: 100.0 },
+    ));
     systems
         .into_iter()
         .map(|(label, engine)| {
@@ -216,7 +251,10 @@ fn fig5b(scale: Scale, sink: &CsvSink) {
         })
         .collect();
     print_table(
-        &format!("Figure 5b — latency (µs), 2 local nodes, median, {}", bandwidth_label(scale)),
+        &format!(
+            "Figure 5b — latency (µs), 2 local nodes, median, {}",
+            bandwidth_label(scale)
+        ),
         &["system", "mean", "p50", "p99"],
         &rows,
     );
@@ -226,7 +264,10 @@ fn fig5b(scale: Scale, sink: &CsvSink) {
         &measurements
             .iter()
             .map(|m| {
-                format!("{},{:.0},{},{}", m.system, m.latency_mean_us, m.latency_p50_us, m.latency_p99_us)
+                format!(
+                    "{},{:.0},{},{}",
+                    m.system, m.latency_mean_us, m.latency_p50_us, m.latency_p99_us
+                )
             })
             .collect::<Vec<_>>(),
     );
@@ -250,14 +291,21 @@ fn fig6a(scale: Scale, sink: &CsvSink) {
             format!("{:.1}", m.traffic.bytes as f64 / 1_048_576.0),
             format!("{reduction:.2}"),
         ]);
-        csv.push(format!("{},{},{},{reduction:.2}", m.system, m.traffic.events, m.traffic.bytes));
+        csv.push(format!(
+            "{},{},{},{reduction:.2}",
+            m.system, m.traffic.events, m.traffic.bytes
+        ));
     }
     print_table(
         &format!("Figure 6a — network utilization, {total} events total, γ={gamma}"),
         &["system", "events on wire", "MiB on wire", "reduction %"],
         &rows,
     );
-    sink.write("fig6a_network", "system,wire_events,wire_bytes,reduction_pct", &csv);
+    sink.write(
+        "fig6a_network",
+        "system,wire_events,wire_bytes,reduction_pct",
+        &csv,
+    );
 }
 
 fn fig6b(scale: Scale, sink: &CsvSink) {
@@ -276,7 +324,10 @@ fn fig6b(scale: Scale, sink: &CsvSink) {
                 m.traffic.events.to_string(),
                 format!("{:.1}", m.traffic.bytes as f64 / 1_048_576.0),
             ]);
-            csv.push(format!("{n},{},{},{}", m.system, m.traffic.events, m.traffic.bytes));
+            csv.push(format!(
+                "{n},{},{},{}",
+                m.system, m.traffic.events, m.traffic.bytes
+            ));
         }
     }
     print_table(
@@ -284,7 +335,11 @@ fn fig6b(scale: Scale, sink: &CsvSink) {
         &["locals", "system", "events on wire", "MiB on wire"],
         &rows,
     );
-    sink.write("fig6b_network_nodes", "locals,system,wire_events,wire_bytes", &csv);
+    sink.write(
+        "fig6b_network_nodes",
+        "locals,system,wire_events,wire_bytes",
+        &csv,
+    );
 }
 
 fn fig7a(scale: Scale, sink: &CsvSink) {
@@ -297,7 +352,11 @@ fn fig7a(scale: Scale, sink: &CsvSink) {
                 continue; // the paper's Fig 7a compares Dema, Scotty, Desis
             }
             let m = measure_with(label, engine, Quantile::MEDIAN, &inputs, scale.transport());
-            rows.push(vec![n.to_string(), m.system.clone(), format!("{:.0}", m.throughput)]);
+            rows.push(vec![
+                n.to_string(),
+                m.system.clone(),
+                format!("{:.0}", m.throughput),
+            ]);
             csv.push(format!("{n},{},{:.0}", m.system, m.throughput));
         }
     }
@@ -315,7 +374,9 @@ fn fig7b(scale: Scale, sink: &CsvSink) {
     let truth: Vec<Option<i64>> = (0..scale.windows)
         .map(|w| {
             let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
-            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+            quantile_ground_truth(&per_node, Quantile::MEDIAN)
+                .ok()
+                .map(|e| e.value)
         })
         .collect();
     let mut rows = Vec::new();
@@ -329,7 +390,11 @@ fn fig7b(scale: Scale, sink: &CsvSink) {
         rows.push(vec![m.system.clone(), format!("{accuracy:.4}")]);
         csv.push(format!("{},{accuracy:.6}", m.system));
     }
-    print_table("Figure 7b — accuracy (1 − MPE, %)", &["system", "accuracy %"], &rows);
+    print_table(
+        "Figure 7b — accuracy (1 − MPE, %)",
+        &["system", "accuracy %"],
+        &rows,
+    );
     sink.write("fig7b_accuracy", "system,accuracy_pct", &csv);
 }
 
@@ -338,7 +403,11 @@ fn fig8a(scale: Scale, sink: &CsvSink) {
     let gamma = scale.gamma.min(scale.rate / 2).max(2);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for (label, q) in [("p25", Quantile::P25), ("p50", Quantile::MEDIAN), ("p75", Quantile::P75)] {
+    for (label, q) in [
+        ("p25", Quantile::P25),
+        ("p50", Quantile::MEDIAN),
+        ("p75", Quantile::P75),
+    ] {
         let m = measure(
             "dema",
             EngineKind::Dema {
@@ -362,7 +431,11 @@ fn fig8a(scale: Scale, sink: &CsvSink) {
 fn fig8b(scale: Scale, sink: &CsvSink) {
     // Dema #1 / #2 / #10: scale-rate pairs (1,1), (1,2), (1,10); 30 % quantile.
     let q = Quantile::new(0.3).expect("valid quantile");
-    let instances = [("dema#1", [1i64, 1]), ("dema#2", [1, 2]), ("dema#10", [1, 10])];
+    let instances = [
+        ("dema#1", [1i64, 1]),
+        ("dema#2", [1, 2]),
+        ("dema#10", [1, 10]),
+    ];
     let gammas: Vec<u64> = [2u64, 10, 100, 1_000, 10_000, 100_000]
         .into_iter()
         .filter(|&g| g <= scale.rate)
@@ -381,7 +454,11 @@ fn fig8b(scale: Scale, sink: &CsvSink) {
                 q,
                 &inputs,
             );
-            rows.push(vec![name.to_string(), gamma.to_string(), format!("{:.0}", m.throughput)]);
+            rows.push(vec![
+                name.to_string(),
+                gamma.to_string(),
+                format!("{:.0}", m.throughput),
+            ]);
             csv.push(format!("{name},{gamma},{:.0}", m.throughput));
         }
     }
@@ -407,7 +484,10 @@ fn ablate_selector(scale: Scale, sink: &CsvSink) {
     ] {
         let m = measure(
             label,
-            EngineKind::Dema { gamma: GammaMode::Fixed(gamma), strategy },
+            EngineKind::Dema {
+                gamma: GammaMode::Fixed(gamma),
+                strategy,
+            },
             Quantile::MEDIAN,
             &inputs,
         );
@@ -423,7 +503,11 @@ fn ablate_selector(scale: Scale, sink: &CsvSink) {
         &["strategy", "events on wire", "events/s"],
         &rows,
     );
-    sink.write("ablate_selector", "strategy,wire_events,events_per_second", &csv);
+    sink.write(
+        "ablate_selector",
+        "strategy,wire_events,events_per_second",
+        &csv,
+    );
 }
 
 /// Ablation: adaptive γ vs fixed γ when the event rate drifts.
@@ -439,13 +523,22 @@ fn ablate_adaptive(scale: Scale, sink: &CsvSink) {
     let mut csv = Vec::new();
     for (label, mode) in [
         ("adaptive", GammaMode::Adaptive { initial: 64 }),
-        ("adaptive-per-node", GammaMode::AdaptivePerNode { initial: 64 }),
+        (
+            "adaptive-per-node",
+            GammaMode::AdaptivePerNode { initial: 64 },
+        ),
         ("fixed-64", GammaMode::Fixed(64)),
-        ("fixed-optimal-late", GammaMode::Fixed((scale.rate / 10).max(2))),
+        (
+            "fixed-optimal-late",
+            GammaMode::Fixed((scale.rate / 10).max(2)),
+        ),
     ] {
         let m = measure_paced(
             label,
-            EngineKind::Dema { gamma: mode, strategy: SelectionStrategy::WindowCut },
+            EngineKind::Dema {
+                gamma: mode,
+                strategy: SelectionStrategy::WindowCut,
+            },
             Quantile::MEDIAN,
             &inputs,
             5,
@@ -462,7 +555,11 @@ fn ablate_adaptive(scale: Scale, sink: &CsvSink) {
         &["γ policy", "events on wire", "events/s"],
         &rows,
     );
-    sink.write("ablate_adaptive", "policy,wire_events,events_per_second", &csv);
+    sink.write(
+        "ablate_adaptive",
+        "policy,wire_events,events_per_second",
+        &csv,
+    );
 }
 
 /// Extension: accuracy / size / speed of the three from-scratch sketches on
@@ -470,16 +567,17 @@ fn ablate_adaptive(scale: Scale, sink: &CsvSink) {
 fn ext_sketches(scale: Scale, sink: &CsvSink) {
     use dema_sketch::{KllSketch, QDigest, QuantileSketch, TDigest};
     let n = (scale.rate * scale.windows as u64).max(100_000);
-    let values: Vec<i64> =
-        dema_gen::SoccerGenerator::new(42, 1, 1_000_000, 0).take(n as usize).map(|e| e.value).collect();
+    let values: Vec<i64> = dema_gen::SoccerGenerator::new(42, 1, 1_000_000, 0)
+        .take(n as usize)
+        .map(|e| e.value)
+        .collect();
     let mut sorted = values.clone();
     sorted.sort_unstable();
     // Rank error is the canonical sketch metric: where does the estimate's
     // rank land relative to the requested q? (Value-relative error explodes
     // meaninglessly near small-valued quantiles.)
-    let rank_of = |est: f64| {
-        sorted.partition_point(|&v| (v as f64) <= est) as f64 / sorted.len() as f64
-    };
+    let rank_of =
+        |est: f64| sorted.partition_point(|&v| (v as f64) <= est) as f64 / sorted.len() as f64;
     fn measure_sketch<S: QuantileSketch>(
         name: &str,
         mut sketch: S,
@@ -506,7 +604,10 @@ fn ext_sketches(scale: Scale, sink: &CsvSink) {
             size.to_string(),
             format!("{:.1}M/s", insert_rate / 1e6),
         ]);
-        csv.push(format!("{name},{:.5},{size},{insert_rate:.0}", 100.0 * worst_rel));
+        csv.push(format!(
+            "{name},{:.5},{size},{insert_rate:.0}",
+            100.0 * worst_rel
+        ));
     }
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -537,14 +638,23 @@ fn ext_sketches(scale: Scale, sink: &CsvSink) {
         &mut rows,
         &mut csv,
     );
-    rows.push(vec!["exact(sort)".into(), "0.000".into(), format!("{}", n * 24), "—".into()]);
+    rows.push(vec![
+        "exact(sort)".into(),
+        "0.000".into(),
+        format!("{}", n * 24),
+        "—".into(),
+    ]);
     csv.push(format!("exact,0,{},0", n * 24));
     print_table(
         &format!("Extension — sketch comparison over {n} events (worst rank error across q)"),
         &["sketch", "worst rank err %", "bytes", "insert rate"],
         &rows,
     );
-    sink.write("ext_sketches", "sketch,worst_rank_err_pct,bytes,inserts_per_sec", &csv);
+    sink.write(
+        "ext_sketches",
+        "sketch,worst_rank_err_pct,bytes,inserts_per_sec",
+        &csv,
+    );
 }
 
 /// Extension: concurrent quantiles answered from one identification step vs
@@ -557,8 +667,10 @@ fn ext_multiq(scale: Scale, sink: &CsvSink) {
     let quantiles = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
 
     let mut shared_cfg = ClusterConfig::dema_fixed(gamma, Quantile::MEDIAN);
-    shared_cfg.extra_quantiles =
-        quantiles[1..].iter().map(|&q| Quantile::new(q).expect("valid")).collect();
+    shared_cfg.extra_quantiles = quantiles[1..]
+        .iter()
+        .map(|&q| Quantile::new(q).expect("valid"))
+        .collect();
     shared_cfg.quantile = Quantile::new(quantiles[0]).expect("valid");
     let shared = run_cluster(&shared_cfg, inputs.clone()).expect("shared run");
     let shared_traffic = data_traffic(&shared).plus(&shared.control_traffic);
@@ -570,7 +682,10 @@ fn ext_multiq(scale: Scale, sink: &CsvSink) {
         separate_events += data_traffic(&r).plus(&r.control_traffic).events;
     }
     let rows = vec![
-        vec!["shared (1 step, 6 quantiles)".to_string(), shared_traffic.events.to_string()],
+        vec![
+            "shared (1 step, 6 quantiles)".to_string(),
+            shared_traffic.events.to_string(),
+        ],
         vec!["separate (6 runs)".to_string(), separate_events.to_string()],
     ];
     print_table(
@@ -603,9 +718,11 @@ fn ext_sliding(scale: Scale, sink: &CsvSink) {
     let gamma = (rate / 50).max(16);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for (label, len, slide) in
-        [("tumbling 1s", 1000u64, 1000u64), ("sliding 2s/500ms", 2000, 500), ("sliding 4s/500ms", 4000, 500)]
-    {
+    for (label, len, slide) in [
+        ("tumbling 1s", 1000u64, 1000u64),
+        ("sliding 2s/500ms", 2000, 500),
+        ("sliding 4s/500ms", 4000, 500),
+    ] {
         let config = SlidingConfig {
             window_len: len,
             slide,
@@ -631,7 +748,13 @@ fn ext_sliding(scale: Scale, sink: &CsvSink) {
     }
     print_table(
         &format!("Extension — sliding windows (γ={gamma}): pane sharing + root cache"),
-        &["windows", "count", "synopses", "candidates shipped", "candidates cached"],
+        &[
+            "windows",
+            "count",
+            "synopses",
+            "candidates shipped",
+            "candidates cached",
+        ],
         &rows,
     );
     sink.write(
@@ -661,6 +784,7 @@ fn sustainable(scale: Scale, sink: &CsvSink) {
                 quantile: Quantile::MEDIAN,
                 engine,
                 transport: scale.transport(),
+                topology: dema_cluster::Topology::Star,
                 pace_window_ms: Some(pace_ms),
                 extra_quantiles: Vec::new(),
             };

@@ -70,6 +70,7 @@ pub fn measure_with(
         quantile,
         engine,
         transport,
+        topology: dema_cluster::Topology::Star,
         pace_window_ms: None,
         extra_quantiles: Vec::new(),
     };
@@ -90,6 +91,7 @@ pub fn measure_paced(
         quantile,
         engine,
         transport: TransportKind::Mem,
+        topology: dema_cluster::Topology::Star,
         pace_window_ms: Some(pace_window_ms),
         extra_quantiles: Vec::new(),
     };
@@ -138,7 +140,9 @@ impl CsvSink {
     /// Create (and mkdir) a sink rooted at `dir`.
     pub fn new(dir: &Path) -> CsvSink {
         fs::create_dir_all(dir).expect("create results dir");
-        CsvSink { dir: dir.to_path_buf() }
+        CsvSink {
+            dir: dir.to_path_buf(),
+        }
     }
 
     /// Write `rows` (already formatted) under `name.csv` with a header.

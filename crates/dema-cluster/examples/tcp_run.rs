@@ -15,7 +15,9 @@ fn inputs() -> Vec<Vec<Vec<Event>>> {
     // 2 locals × 3 windows; a fixed LCG keeps the run reproducible.
     let mut state = 0x2545F4914F6CDD1Du64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as i64 % 10_000
     };
     (0..2)
@@ -47,8 +49,15 @@ fn main() {
     }
     let (mb, tb) = (data_traffic(&mem), data_traffic(&tcp));
     println!("data bytes: mem={} tcp={}", mb.bytes, tb.bytes);
-    assert_eq!(mem.values(), tcp.values(), "transports must agree on every quantile");
-    assert_eq!(mb.bytes, tb.bytes, "byte accounting must be transport-independent");
+    assert_eq!(
+        mem.values(),
+        tcp.values(),
+        "transports must agree on every quantile"
+    );
+    assert_eq!(
+        mb.bytes, tb.bytes,
+        "byte accounting must be transport-independent"
+    );
     assert_eq!(mb.events, tb.events);
     println!("ok: identical answers and identical accounted traffic");
 }

@@ -62,23 +62,23 @@ pub enum EngineKind {
         /// Digest compression δ.
         compression: f64,
     },
+    /// KLL sketch built locally, weighted items shipped and unioned at the
+    /// root (approximate).
+    KllDistributed {
+        /// Sketch capacity parameter `k` (clamped to ≥ 8 by the sketch).
+        k: usize,
+    },
 }
 
 impl EngineKind {
-    /// Short label for reports.
+    /// Short label for reports (from the engine registry).
     pub fn label(&self) -> &'static str {
-        match self {
-            EngineKind::Dema { .. } => "dema",
-            EngineKind::Centralized => "centralized",
-            EngineKind::DecSort => "dec-sort",
-            EngineKind::TdigestCentral { .. } => "tdigest",
-            EngineKind::TdigestDistributed { .. } => "tdigest-dist",
-        }
+        crate::engines::descriptor(*self).label
     }
 
-    /// `true` if the engine computes exact quantiles.
+    /// `true` if the engine computes exact quantiles (from the registry).
     pub fn is_exact(&self) -> bool {
-        !matches!(self, EngineKind::TdigestCentral { .. } | EngineKind::TdigestDistributed { .. })
+        crate::engines::descriptor(*self).exact
     }
 }
 
@@ -99,6 +99,35 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// Shape of the aggregation overlay the runner wires between the local
+/// nodes and the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Every local node links directly to the root (default; depth 1).
+    #[default]
+    Star,
+    /// A balanced aggregation tree: relay nodes forward synopses/batches up
+    /// and fan candidate requests and γ updates down. `depth` counts link
+    /// tiers between a leaf and the root (`Star` ≡ depth 1, so `depth ≥ 2`
+    /// here), and each inner node adopts up to `fanout` children.
+    Tree {
+        /// Maximum children per relay (≥ 2).
+        fanout: usize,
+        /// Link tiers between leaf and root (≥ 2).
+        depth: usize,
+    },
+}
+
+impl Topology {
+    /// Number of link tiers between a leaf and the root.
+    pub fn depth(&self) -> usize {
+        match *self {
+            Topology::Star => 1,
+            Topology::Tree { depth, .. } => depth,
+        }
+    }
+}
+
 /// Full configuration of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -113,6 +142,8 @@ pub struct ClusterConfig {
     pub engine: EngineKind,
     /// Transport between nodes.
     pub transport: TransportKind,
+    /// Shape of the aggregation overlay (star or multi-level tree).
+    pub topology: Topology,
     /// Wall-clock pacing between consecutive window closes on each local
     /// node, in milliseconds. `None` replays as fast as possible (throughput
     /// measurements); `Some(ms)` emulates real-time tumbling windows (time-
@@ -132,6 +163,7 @@ impl ClusterConfig {
                 strategy: SelectionStrategy::WindowCut,
             },
             transport: TransportKind::Mem,
+            topology: Topology::Star,
             pace_window_ms: None,
             extra_quantiles: Vec::new(),
         }
@@ -143,6 +175,7 @@ impl ClusterConfig {
             quantile,
             engine,
             transport: TransportKind::Mem,
+            topology: Topology::Star,
             pace_window_ms: None,
             extra_quantiles: Vec::new(),
         }
@@ -161,10 +194,31 @@ mod tests {
 
     #[test]
     fn labels_and_exactness() {
-        assert_eq!(ClusterConfig::dema_fixed(10, Quantile::MEDIAN).engine.label(), "dema");
+        assert_eq!(
+            ClusterConfig::dema_fixed(10, Quantile::MEDIAN)
+                .engine
+                .label(),
+            "dema"
+        );
         assert!(EngineKind::Centralized.is_exact());
         assert!(EngineKind::DecSort.is_exact());
         assert!(!EngineKind::TdigestCentral { compression: 100.0 }.is_exact());
         assert!(!EngineKind::TdigestDistributed { compression: 100.0 }.is_exact());
+        assert!(!EngineKind::KllDistributed { k: 256 }.is_exact());
+        assert_eq!(EngineKind::KllDistributed { k: 256 }.label(), "kll-dist");
+    }
+
+    #[test]
+    fn topology_depth() {
+        assert_eq!(Topology::Star.depth(), 1);
+        assert_eq!(
+            Topology::Tree {
+                fanout: 4,
+                depth: 3
+            }
+            .depth(),
+            3
+        );
+        assert_eq!(Topology::default(), Topology::Star);
     }
 }

@@ -1,0 +1,103 @@
+//! The centralized baseline (exact) — Scotty/Flink-style: every raw event
+//! is shipped to the root, which sorts the whole window and picks the
+//! quantile. This is exactly the bottleneck the paper measures against.
+
+use std::collections::BTreeMap;
+
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::numeric::len_to_u64;
+use dema_core::quantile::Quantile;
+use dema_net::MsgSender;
+use dema_wire::Message;
+
+use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
+use crate::ClusterError;
+
+#[derive(Default)]
+struct WindowState {
+    reported: usize,
+    batches: Vec<Vec<Event>>,
+}
+
+/// Root half: accumulate raw batches, sort, answer.
+pub struct CentralizedRoot {
+    quantile: Quantile,
+    n_locals: usize,
+    states: BTreeMap<u64, WindowState>,
+}
+
+impl CentralizedRoot {
+    /// Build from the shell params.
+    pub fn new(params: RootParams) -> CentralizedRoot {
+        CentralizedRoot {
+            quantile: params.quantile,
+            n_locals: params.n_locals,
+            states: BTreeMap::new(),
+        }
+    }
+}
+
+impl RootEngine for CentralizedRoot {
+    fn on_message(
+        &mut self,
+        msg: Message,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let Message::EventBatch { window, events, .. } = msg else {
+            return Err(ClusterError::Protocol(format!(
+                "centralized root: unexpected message {msg:?}"
+            )));
+        };
+        let state = self.states.entry(window.0).or_default();
+        state.batches.push(events);
+        state.reported += 1;
+        if state.reported == self.n_locals {
+            let mut all: Vec<Event> = state.batches.drain(..).flatten().collect();
+            self.states.remove(&window.0);
+            let total = len_to_u64(all.len());
+            if total == 0 {
+                resolved.push((window, ResolvedWindow::default()));
+                return Ok(());
+            }
+            // The centralized root does the full sort itself.
+            all.sort_unstable();
+            let k = self.quantile.pos(total)?;
+            let value = all
+                .get(dema_core::numeric::u64_to_usize(k - 1))
+                .map(|e| e.value)
+                .ok_or_else(|| {
+                    ClusterError::Protocol(format!("{window}: rank {k} beyond {total} events"))
+                })?;
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    value: Some(value),
+                    total_events: total,
+                    ..Default::default()
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Local half: ship the window raw.
+pub struct CentralizedLocal;
+
+impl LocalEngine for CentralizedLocal {
+    fn on_window(
+        &mut self,
+        node: NodeId,
+        window: WindowId,
+        events: Vec<Event>,
+        to_root: &mut dyn MsgSender,
+    ) -> Result<(), ClusterError> {
+        to_root.send(&Message::EventBatch {
+            node,
+            window,
+            sorted: false,
+            events,
+        })?;
+        Ok(())
+    }
+}

@@ -1,0 +1,99 @@
+//! The decentralized-sort baseline (exact) — modified Desis: locals sort
+//! their windows and ship sorted runs; the root k-way merges (it never
+//! re-sorts) and selects the quantile rank.
+
+use std::collections::BTreeMap;
+
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::merge::select_kth;
+use dema_core::numeric::len_to_u64;
+use dema_core::quantile::Quantile;
+use dema_net::MsgSender;
+use dema_wire::Message;
+
+use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
+use crate::ClusterError;
+
+#[derive(Default)]
+struct WindowState {
+    reported: usize,
+    runs: Vec<Vec<Event>>,
+}
+
+/// Root half: collect sorted runs, merge-select the rank.
+pub struct DecSortRoot {
+    quantile: Quantile,
+    n_locals: usize,
+    states: BTreeMap<u64, WindowState>,
+}
+
+impl DecSortRoot {
+    /// Build from the shell params.
+    pub fn new(params: RootParams) -> DecSortRoot {
+        DecSortRoot {
+            quantile: params.quantile,
+            n_locals: params.n_locals,
+            states: BTreeMap::new(),
+        }
+    }
+}
+
+impl RootEngine for DecSortRoot {
+    fn on_message(
+        &mut self,
+        msg: Message,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let Message::EventBatch { window, events, .. } = msg else {
+            return Err(ClusterError::Protocol(format!(
+                "dec-sort root: unexpected message {msg:?}"
+            )));
+        };
+        let state = self.states.entry(window.0).or_default();
+        state.runs.push(events);
+        state.reported += 1;
+        if state.reported == self.n_locals {
+            let runs = std::mem::take(&mut state.runs);
+            self.states.remove(&window.0);
+            let total: u64 = runs.iter().map(|r| len_to_u64(r.len())).sum();
+            if total == 0 {
+                resolved.push((window, ResolvedWindow::default()));
+                return Ok(());
+            }
+            // Locals pre-sorted; the root only merges.
+            let k = self.quantile.pos(total)?;
+            let value = select_kth(&runs, k).map_err(ClusterError::Core)?.value;
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    value: Some(value),
+                    total_events: total,
+                    ..Default::default()
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Local half: sort, then ship the sorted run.
+pub struct DecSortLocal;
+
+impl LocalEngine for DecSortLocal {
+    fn on_window(
+        &mut self,
+        node: NodeId,
+        window: WindowId,
+        mut events: Vec<Event>,
+        to_root: &mut dyn MsgSender,
+    ) -> Result<(), ClusterError> {
+        events.sort_unstable();
+        to_root.send(&Message::EventBatch {
+            node,
+            window,
+            sorted: true,
+            events,
+        })?;
+        Ok(())
+    }
+}

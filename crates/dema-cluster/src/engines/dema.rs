@@ -1,0 +1,527 @@
+//! The Dema engine — the paper's contribution (exact).
+//!
+//! Locals sort each window and cut it into γ-sized slices, shipping only
+//! slice synopses (first/last/count). The root runs the window-cut to
+//! identify candidate slices, fetches exactly those, and computes the exact
+//! quantile from a few merged runs. Fixed or adaptive γ (global or
+//! per-node, §3.3).
+//!
+//! ## Window pipeline (root side)
+//!
+//! Windows move through a bounded two-stage pipeline keyed by window id.
+//! Stage 1 (*ingest & order*) collects a window's synopses and sorts them
+//! by value interval the moment the last local reports — this runs even
+//! while earlier windows sit in stage 2, so the root's CPU work for `w+1`
+//! overlaps the network round trip of `w`. Stage 2 (*identify & resolve*)
+//! runs the window-cut, fires candidate requests, and awaits the replies;
+//! at most [`PIPELINE_DEPTH`] windows hold a stage-2 slot at once, bounding
+//! outstanding request fan-out and candidate-run memory no matter how far
+//! the locals run ahead. The window-cut itself stays the pure,
+//! single-threaded algorithm in `dema-core` — the pipeline only schedules
+//! *when* it runs.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::gamma::AdaptiveGamma;
+use dema_core::merge::select_kth;
+use dema_core::multi::{select_multi, MultiSelection};
+use dema_core::numeric::{len_to_u32, len_to_u64, u64_to_usize};
+use dema_core::quantile::Quantile;
+use dema_core::selector::SelectionStrategy;
+use dema_core::shared::SharedRun;
+use dema_core::slice::{cut_into_slices, Slice, SliceId, SliceSynopsis};
+use dema_core::DemaError;
+use dema_net::{MsgReceiver, MsgSender, NetError};
+use dema_wire::Message;
+use parking_lot::Mutex;
+
+use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
+use crate::config::GammaMode;
+use crate::ClusterError;
+
+/// Max Dema windows allowed in stage 2 (candidate requests outstanding) at
+/// once. Two slots let the next window's requests go out the moment the
+/// current one resolves while later windows keep ingesting; deeper
+/// pipelines only add memory, not throughput, because the root's stage-2
+/// work per window is tiny compared to the reply round trip.
+pub const PIPELINE_DEPTH: usize = 2;
+
+/// Most windows a local node keeps in its slice store awaiting candidate
+/// requests. Windows resolve within a round trip; this bound only guards
+/// against a stalled root.
+pub(crate) const STORE_WINDOW_CAP: usize = 64;
+
+/// State shared between a Dema local's main loop and its responder.
+#[derive(Debug)]
+pub struct LocalShared {
+    /// Current slice factor (updated by `GammaUpdate`s from the root).
+    pub gamma: AtomicU64,
+    /// Closed windows' slices, awaiting (possible) candidate requests.
+    pub store: Mutex<HashMap<u64, Vec<Slice>>>,
+}
+
+impl LocalShared {
+    /// Fresh shared state starting at `gamma`.
+    pub fn new(gamma: u64) -> Arc<LocalShared> {
+        Arc::new(LocalShared {
+            gamma: AtomicU64::new(gamma),
+            store: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// Per-window accumulation state at the root.
+#[derive(Default)]
+struct WindowState {
+    /// Stage 1: locals that delivered synopses; stage 2 (after `identify`):
+    /// candidate replies expected.
+    reported: usize,
+    /// All synopses of the window, sorted by value interval at stage-1 end.
+    synopses: Vec<SliceSynopsis>,
+    /// The identification step's decision (index 0 = the primary quantile's
+    /// plan, then the extra quantiles in order).
+    selection: Option<MultiSelection>,
+    /// Synopsis lookup for verification of replies.
+    synopsis_of: HashMap<SliceId, SliceSynopsis>,
+    /// Candidate runs received so far (shared views, zero-copy off the
+    /// in-memory transport).
+    runs: Vec<SharedRun>,
+    runs_received: usize,
+    /// Per-node local window sizes `l_i` (for per-node γ control).
+    node_sizes: HashMap<u32, u64>,
+    /// Per-node candidate-slice counts `m_i`.
+    node_candidates: HashMap<u32, u64>,
+    /// γ in effect when this window was sliced (node 0's γ under per-node
+    /// control).
+    gamma: u64,
+}
+
+/// The root's γ policy.
+enum GammaPolicy {
+    /// Fixed γ, never updated.
+    Fixed(u64),
+    /// One controller for the whole cluster (§3.3 default).
+    Global(AdaptiveGamma),
+    /// One controller per local node (§3.3 future-work variant).
+    PerNode(Vec<AdaptiveGamma>),
+}
+
+impl GammaPolicy {
+    /// γ to report for window outcomes (node 0's view).
+    fn current(&self) -> u64 {
+        match self {
+            GammaPolicy::Fixed(g) => *g,
+            GammaPolicy::Global(ctl) => ctl.current(),
+            GammaPolicy::PerNode(ctls) => ctls.first().map_or(2, AdaptiveGamma::current),
+        }
+    }
+}
+
+/// The Dema root engine.
+pub struct DemaRoot {
+    quantile: Quantile,
+    extra_quantiles: Vec<Quantile>,
+    strategy: SelectionStrategy,
+    n_locals: usize,
+    states: BTreeMap<u64, WindowState>,
+    gamma: GammaPolicy,
+    control: Vec<Box<dyn MsgSender>>,
+    /// Windows currently in stage 2 (requests sent, replies pending).
+    in_flight: usize,
+    /// Stage-1-complete windows waiting for a stage-2 slot, in the order
+    /// their last synopsis arrived (window order for well-paced locals).
+    ready: VecDeque<u64>,
+}
+
+impl DemaRoot {
+    /// Build the root half from the γ mode, selector, and shell params.
+    pub fn new(gamma: GammaMode, strategy: SelectionStrategy, params: RootParams) -> DemaRoot {
+        let gamma = match gamma {
+            GammaMode::Fixed(g) => GammaPolicy::Fixed(g),
+            GammaMode::Adaptive { initial } => {
+                GammaPolicy::Global(AdaptiveGamma::with_default_bounds(initial))
+            }
+            GammaMode::AdaptivePerNode { initial } => GammaPolicy::PerNode(
+                (0..params.n_locals)
+                    .map(|_| AdaptiveGamma::with_default_bounds(initial))
+                    .collect(),
+            ),
+        };
+        DemaRoot {
+            quantile: params.quantile,
+            extra_quantiles: params.extra_quantiles,
+            strategy,
+            n_locals: params.n_locals,
+            states: BTreeMap::new(),
+            gamma,
+            control: params.control,
+            in_flight: 0,
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Identification step once all synopses of `window` arrived and a
+    /// stage-2 slot is free.
+    fn identify(
+        &mut self,
+        window: WindowId,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let state = self.states.get_mut(&window.0).ok_or_else(|| {
+            ClusterError::Protocol(format!("identify of unknown window {window}"))
+        })?;
+        state.gamma = self.gamma.current();
+        dema_core::invariant::check_synopsis_order(&state.synopses).map_err(ClusterError::Core)?;
+        let total: u64 = state.synopses.iter().map(|s| s.count).sum();
+        if total == 0 {
+            let gamma = state.gamma;
+            self.states.remove(&window.0);
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    gamma,
+                    ..ResolvedWindow::default()
+                },
+            ));
+            return Ok(());
+        }
+        let mut ranks = Vec::with_capacity(1 + self.extra_quantiles.len());
+        ranks.push(self.quantile.pos(total)?);
+        for q in &self.extra_quantiles {
+            ranks.push(q.pos(total)?);
+        }
+        let selection = select_multi(&state.synopses, &ranks, self.strategy)?;
+        for plan in &selection.plans {
+            dema_core::invariant::check_selection(
+                &state.synopses,
+                &selection.candidates,
+                plan.rank,
+                plan.offset_below,
+            )
+            .map_err(ClusterError::Core)?;
+        }
+        state.synopsis_of = state.synopses.iter().map(|s| (s.id, *s)).collect();
+        // Per-node observations for the γ controllers.
+        state.node_sizes.clear();
+        for s in &state.synopses {
+            *state.node_sizes.entry(s.id.node.0).or_insert(0) += s.count;
+        }
+        state.node_candidates.clear();
+        for id in &selection.candidates {
+            *state.node_candidates.entry(id.node.0).or_insert(0) += 1;
+        }
+
+        // Group candidate slices by owning node and fire the requests.
+        let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
+        for id in &selection.candidates {
+            per_node.entry(id.node.0).or_default().push(id.index);
+        }
+        state.runs_received = 0;
+        state.runs.clear();
+        let expected_replies = per_node.len();
+        state.selection = Some(selection);
+        for (node, slices) in per_node {
+            let link = self
+                .control
+                .get_mut(u64_to_usize(u64::from(node)))
+                .ok_or_else(|| ClusterError::Protocol(format!("no control link for n{node}")))?;
+            link.send(&Message::CandidateRequest { window, slices })?;
+        }
+        // Stash how many replies we expect (one per involved node).
+        let state = self
+            .states
+            .get_mut(&window.0)
+            .ok_or_else(|| ClusterError::Protocol(format!("state lost for window {window}")))?;
+        state.reported = expected_replies; // reuse as "replies expected"
+        self.in_flight += 1; // stage-2 slot held until the window finalizes
+        Ok(())
+    }
+
+    /// Admit ready windows into stage 2 while slots are free.
+    fn advance_pipeline(
+        &mut self,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        while self.in_flight < PIPELINE_DEPTH {
+            let Some(w) = self.ready.pop_front() else {
+                break;
+            };
+            self.identify(WindowId(w), resolved)?;
+        }
+        Ok(())
+    }
+
+    /// Absorb one candidate reply; resolve once all involved nodes replied.
+    fn absorb_reply(
+        &mut self,
+        node: NodeId,
+        window: WindowId,
+        slices: Vec<(u32, SharedRun)>,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let state = self
+            .states
+            .get_mut(&window.0)
+            .ok_or_else(|| ClusterError::Protocol(format!("reply for unknown window {window}")))?;
+        for (index, events) in slices {
+            let id = SliceId {
+                node,
+                window,
+                index,
+            };
+            let selected = state
+                .selection
+                .as_ref()
+                .is_some_and(|sel| sel.candidates.contains(&id));
+            if !selected {
+                return Err(ClusterError::Protocol(format!(
+                    "reply for unselected slice {id}"
+                )));
+            }
+            let syn = state
+                .synopsis_of
+                .get(&id)
+                .ok_or_else(|| ClusterError::Protocol(format!("reply for unknown slice {id}")))?;
+            // Cheap integrity check: count, endpoints, sortedness.
+            let slice = Slice { id, events };
+            slice.verify_against(syn).map_err(ClusterError::Core)?;
+            state.runs.push(slice.events);
+        }
+        state.runs_received += 1;
+        if state.runs_received == state.reported {
+            let selection = state.selection.take().ok_or_else(|| {
+                ClusterError::Protocol(format!("{window}: replies complete before identification"))
+            })?;
+            let run_count: u64 = state.runs.iter().map(|r| len_to_u64(r.len())).sum();
+            if run_count != selection.candidate_events {
+                return Err(ClusterError::Core(DemaError::InconsistentSynopses(
+                    format!(
+                        "{window}: {run_count} candidate events delivered, expected {}",
+                        selection.candidate_events
+                    ),
+                )));
+            }
+            let mut values = selection
+                .plans
+                .iter()
+                .map(|p| {
+                    let event = select_kth(&state.runs, p.rank_within_candidates())
+                        .map_err(ClusterError::Core)?;
+                    dema_core::invariant::check_selected_event(
+                        &state.runs,
+                        p.rank_within_candidates(),
+                        &event,
+                    )
+                    .map_err(ClusterError::Core)?;
+                    Ok(event.value)
+                })
+                .collect::<Result<Vec<i64>, ClusterError>>()?;
+            let primary = values.remove(0);
+            let gamma = state.gamma;
+            let total = selection.total_events;
+            let m = len_to_u64(selection.candidates.len());
+            let synopses = len_to_u64(state.synopsis_of.len());
+            let node_sizes = std::mem::take(&mut state.node_sizes);
+            let node_candidates = std::mem::take(&mut state.node_candidates);
+            self.states.remove(&window.0);
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    value: Some(primary),
+                    extra_values: values,
+                    total_events: total,
+                    candidate_events: selection.candidate_events,
+                    candidate_slices: m,
+                    synopses,
+                    gamma,
+                },
+            ));
+            // Adaptive γ: re-optimize from this window's observation.
+            match &mut self.gamma {
+                GammaPolicy::Global(ctl) => {
+                    let before = ctl.current();
+                    let next = ctl.observe_checked(total, m).map_err(ClusterError::Core)?;
+                    if next != before {
+                        for link in &mut self.control {
+                            link.send(&Message::GammaUpdate { gamma: next })?;
+                        }
+                    }
+                }
+                GammaPolicy::PerNode(ctls) => {
+                    for (n, ctl) in ctls.iter_mut().enumerate() {
+                        let l_i = node_sizes.get(&len_to_u32(n)).copied().unwrap_or(0);
+                        if l_i == 0 {
+                            continue; // node idle this window, keep its γ
+                        }
+                        let m_i = node_candidates.get(&len_to_u32(n)).copied().unwrap_or(0);
+                        let before = ctl.current();
+                        let next = ctl.observe_checked(l_i, m_i).map_err(ClusterError::Core)?;
+                        if next != before {
+                            let link = self.control.get_mut(n).ok_or_else(|| {
+                                ClusterError::Protocol(format!("no control link for n{n}"))
+                            })?;
+                            link.send(&Message::GammaUpdate { gamma: next })?;
+                        }
+                    }
+                }
+                GammaPolicy::Fixed(_) => {}
+            }
+            // Stage-2 slot freed: pull the next ordered window in.
+            self.in_flight -= 1;
+            self.advance_pipeline(resolved)?;
+        }
+        Ok(())
+    }
+}
+
+impl RootEngine for DemaRoot {
+    fn on_message(
+        &mut self,
+        msg: Message,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        match msg {
+            Message::SynopsisBatch {
+                node: _,
+                window,
+                synopses,
+            } => {
+                let state = self.states.entry(window.0).or_default();
+                state.synopses.extend(synopses);
+                state.reported += 1;
+                if state.reported == self.n_locals {
+                    // Stage 1 complete: order the synopses by value interval
+                    // now, overlapping the reply round trips of earlier
+                    // windows. Identification is order-insensitive, so this
+                    // only moves the sort work off the critical path.
+                    state
+                        .synopses
+                        .sort_unstable_by_key(|s| (s.first, s.last, s.id));
+                    if self.in_flight < PIPELINE_DEPTH {
+                        self.identify(window, resolved)?;
+                    } else {
+                        self.ready.push_back(window.0);
+                    }
+                }
+                Ok(())
+            }
+            Message::CandidateReply {
+                node,
+                window,
+                slices,
+            } => self.absorb_reply(node, window, slices, resolved),
+            other => Err(ClusterError::Protocol(format!(
+                "dema root: unexpected message {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The Dema local engine: sort, slice, store, ship synopses.
+pub struct DemaLocal<'a> {
+    shared: &'a LocalShared,
+}
+
+impl<'a> DemaLocal<'a> {
+    /// Build the local half over the node's shared γ cell and slice store.
+    pub fn new(shared: &'a LocalShared) -> DemaLocal<'a> {
+        DemaLocal { shared }
+    }
+}
+
+impl LocalEngine for DemaLocal<'_> {
+    fn on_window(
+        &mut self,
+        node: NodeId,
+        window: WindowId,
+        mut events: Vec<Event>,
+        to_root: &mut dyn MsgSender,
+    ) -> Result<(), ClusterError> {
+        let gamma = self.shared.gamma.load(Ordering::Relaxed);
+        events.sort_unstable();
+        let l_local = len_to_u64(events.len());
+        let slices = cut_into_slices(node, window, events, gamma)?;
+        let total = len_to_u32(slices.len());
+        let synopses = slices
+            .iter()
+            .map(|s| s.synopsis(total))
+            .collect::<Result<Vec<_>, _>>()?;
+        dema_core::invariant::check_partition(&slices, &synopses, l_local)?;
+        {
+            let mut store = self.shared.store.lock();
+            store.insert(window.0, slices);
+            // Bound memory if the root stalls; oldest windows first.
+            while store.len() > STORE_WINDOW_CAP {
+                let Some(&oldest) = store.keys().min() else {
+                    break;
+                };
+                store.remove(&oldest);
+            }
+        }
+        to_root.send(&Message::SynopsisBatch {
+            node,
+            window,
+            synopses,
+        })?;
+        Ok(())
+    }
+}
+
+/// Dema's responder: serves candidate requests and γ updates until the root
+/// closes the control link.
+pub fn run_responder(
+    node: NodeId,
+    from_root: &mut dyn MsgReceiver,
+    to_root: &mut dyn MsgSender,
+    shared: &LocalShared,
+) -> Result<(), ClusterError> {
+    loop {
+        let msg = match from_root.recv() {
+            Ok(m) => m,
+            Err(NetError::Disconnected) => return Ok(()), // root finished
+            Err(e) => return Err(e.into()),
+        };
+        match msg {
+            Message::CandidateRequest { window, slices } => {
+                let payload = {
+                    let mut store = shared.store.lock();
+                    let Some(stored) = store.remove(&window.0) else {
+                        return Err(ClusterError::Protocol(format!(
+                            "{node}: candidate request for unknown window {window}"
+                        )));
+                    };
+                    slices
+                        .iter()
+                        .map(|&idx| {
+                            stored
+                                .get(u64_to_usize(u64::from(idx)))
+                                // SharedRun clone: refcount bump, no event copy.
+                                .map(|s| (idx, s.events.clone()))
+                                .ok_or_else(|| {
+                                    ClusterError::Protocol(format!(
+                                        "{node}: request for missing slice {idx} of {window}"
+                                    ))
+                                })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+                to_root.send(&Message::CandidateReply {
+                    node,
+                    window,
+                    slices: payload,
+                })?;
+            }
+            Message::GammaUpdate { gamma } => {
+                shared.gamma.store(gamma.max(2), Ordering::Relaxed);
+            }
+            other => {
+                return Err(ClusterError::Protocol(format!(
+                    "{node}: unexpected control message {other:?}"
+                )))
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The engine plugin layer: one module per aggregation engine behind the
+//! [`RootEngine`] / [`LocalEngine`] traits, plus the registry that owns
+//! labels, exactness flags, and config validation.
+//!
+//! The shells in `root.rs` / `local.rs` are engine-agnostic: the root shell
+//! counts stream ends, records latencies, and turns the engine's
+//! [`ResolvedWindow`]s into report outcomes; the local shell paces windows
+//! and stamps close times. Everything protocol-specific — which wire
+//! messages an engine sends, how the root combines them, when a window is
+//! done — lives in this directory. Adding an engine means adding one module
+//! here and one row to [`REGISTRY`]; no `match` arm elsewhere grows.
+
+pub mod centralized;
+pub mod dec_sort;
+pub mod dema;
+pub mod kll_distributed;
+pub mod tdigest_central;
+pub mod tdigest_distributed;
+
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::quantile::Quantile;
+use dema_net::MsgSender;
+use dema_wire::Message;
+
+use crate::config::EngineKind;
+use crate::ClusterError;
+
+/// Everything the root shell records when an engine finishes a window.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResolvedWindow {
+    /// The aggregate value (`None` for an empty window).
+    pub value: Option<i64>,
+    /// Extra quantile answers in configuration order (Dema engine only).
+    pub extra_values: Vec<i64>,
+    /// Global window size `l_G`.
+    pub total_events: u64,
+    /// Candidate events fetched in the calculation step (Dema only).
+    pub candidate_events: u64,
+    /// Candidate slice count `m` (Dema only).
+    pub candidate_slices: u64,
+    /// Synopses received for the window (Dema only).
+    pub synopses: u64,
+    /// γ in effect when the window was sliced (Dema), 0 otherwise.
+    pub gamma: u64,
+}
+
+/// Root-side half of an engine: a per-window protocol state machine.
+///
+/// The shell feeds it every data-plane message except `StreamEnd` (which is
+/// topology bookkeeping, not engine protocol). Finished windows are pushed
+/// onto `resolved` — possibly several per call, e.g. when resolving one
+/// window unblocks queued ones in a pipelined engine.
+pub trait RootEngine: Send {
+    /// Process one message from the locals.
+    fn on_message(
+        &mut self,
+        msg: Message,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError>;
+}
+
+/// Local-side half of an engine: the duty performed per closed window.
+pub trait LocalEngine {
+    /// Handle one closed window's events, sending whatever the engine's
+    /// protocol requires to the root.
+    fn on_window(
+        &mut self,
+        node: NodeId,
+        window: WindowId,
+        events: Vec<Event>,
+        to_root: &mut dyn MsgSender,
+    ) -> Result<(), ClusterError>;
+}
+
+/// Construction parameters for a root engine.
+pub struct RootParams {
+    /// The quantile every window computes.
+    pub quantile: Quantile,
+    /// Extra per-window quantiles (engines without a shared identification
+    /// step ignore these).
+    pub extra_quantiles: Vec<Quantile>,
+    /// Number of local (leaf) nodes reporting.
+    pub n_locals: usize,
+    /// Root→local control links, one per local, in node order (empty for
+    /// engines without a control plane).
+    pub control: Vec<Box<dyn MsgSender>>,
+}
+
+/// Static facts about one registered engine.
+pub struct EngineDescriptor {
+    /// Short label for reports and tables.
+    pub label: &'static str,
+    /// `true` if the engine computes exact quantiles.
+    pub exact: bool,
+    /// `true` if the engine needs root→local control links and a responder
+    /// thread per local (today: only Dema's calculation step).
+    pub control_plane: bool,
+    /// Human-readable wire-cost summary (README engine table).
+    pub wire_cost: &'static str,
+    /// A canonical instance for registry-driven matrix tests.
+    pub example: fn() -> EngineKind,
+}
+
+/// All registered engines, in presentation order.
+pub static REGISTRY: [EngineDescriptor; 6] = [
+    EngineDescriptor {
+        label: "dema",
+        exact: true,
+        control_plane: true,
+        wire_cost: "2·l/γ + m·γ events per window",
+        example: || EngineKind::Dema {
+            gamma: crate::config::GammaMode::Fixed(128),
+            strategy: dema_core::selector::SelectionStrategy::WindowCut,
+        },
+    },
+    EngineDescriptor {
+        label: "centralized",
+        exact: true,
+        control_plane: false,
+        wire_cost: "l events per window (raw)",
+        example: || EngineKind::Centralized,
+    },
+    EngineDescriptor {
+        label: "dec-sort",
+        exact: true,
+        control_plane: false,
+        wire_cost: "l events per window (sorted runs)",
+        example: || EngineKind::DecSort,
+    },
+    EngineDescriptor {
+        label: "tdigest",
+        exact: false,
+        control_plane: false,
+        wire_cost: "l events per window (raw)",
+        example: || EngineKind::TdigestCentral { compression: 100.0 },
+    },
+    EngineDescriptor {
+        label: "tdigest-dist",
+        exact: false,
+        control_plane: false,
+        wire_cost: "O(δ) centroids per node per window",
+        example: || EngineKind::TdigestDistributed { compression: 100.0 },
+    },
+    EngineDescriptor {
+        label: "kll-dist",
+        exact: false,
+        control_plane: false,
+        wire_cost: "O(k) weighted items per node per window",
+        example: || EngineKind::KllDistributed { k: 256 },
+    },
+];
+
+/// The registry row describing `kind`.
+pub fn descriptor(kind: EngineKind) -> &'static EngineDescriptor {
+    let idx = match kind {
+        EngineKind::Dema { .. } => 0,
+        EngineKind::Centralized => 1,
+        EngineKind::DecSort => 2,
+        EngineKind::TdigestCentral { .. } => 3,
+        EngineKind::TdigestDistributed { .. } => 4,
+        EngineKind::KllDistributed { .. } => 5,
+    };
+    &REGISTRY[idx]
+}
+
+/// Validate an engine configuration before wiring a cluster for it.
+///
+/// # Errors
+/// [`ClusterError::Protocol`] describing the rejected parameter.
+pub fn validate(kind: EngineKind) -> Result<(), ClusterError> {
+    match kind {
+        EngineKind::Dema { gamma, .. } if gamma.initial() < 2 => Err(ClusterError::Protocol(
+            format!("dema: γ must be ≥ 2, got {}", gamma.initial()),
+        )),
+        EngineKind::TdigestCentral { compression }
+        | EngineKind::TdigestDistributed { compression }
+            if !(compression.is_finite() && compression > 0.0) =>
+        {
+            Err(ClusterError::Protocol(format!(
+                "tdigest: compression must be finite and positive, got {compression}"
+            )))
+        }
+        EngineKind::KllDistributed { k } if k < 8 => Err(ClusterError::Protocol(format!(
+            "kll: k must be ≥ 8, got {k}"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// The γ the locals start with (2 — the no-op slice factor — for engines
+/// without γ control).
+pub fn initial_gamma(kind: EngineKind) -> u64 {
+    match kind {
+        EngineKind::Dema { gamma, .. } => gamma.initial(),
+        _ => 2,
+    }
+}
+
+/// Build the root-side engine for `kind`.
+pub fn build_root(kind: EngineKind, params: RootParams) -> Box<dyn RootEngine> {
+    match kind {
+        EngineKind::Dema { gamma, strategy } => {
+            Box::new(dema::DemaRoot::new(gamma, strategy, params))
+        }
+        EngineKind::Centralized => Box::new(centralized::CentralizedRoot::new(params)),
+        EngineKind::DecSort => Box::new(dec_sort::DecSortRoot::new(params)),
+        EngineKind::TdigestCentral { compression } => Box::new(
+            tdigest_central::TdigestCentralRoot::new(compression, params),
+        ),
+        EngineKind::TdigestDistributed { .. } => {
+            Box::new(tdigest_distributed::TdigestDistributedRoot::new(params))
+        }
+        EngineKind::KllDistributed { .. } => Box::new(kll_distributed::KllRoot::new(params)),
+    }
+}
+
+/// Build the local-side engine for `kind`. `shared` carries the γ cell and
+/// slice store; engines without a control plane ignore it.
+pub fn build_local(kind: EngineKind, shared: &dema::LocalShared) -> Box<dyn LocalEngine + '_> {
+    match kind {
+        EngineKind::Dema { .. } => Box::new(dema::DemaLocal::new(shared)),
+        EngineKind::Centralized => Box::new(centralized::CentralizedLocal),
+        EngineKind::DecSort => Box::new(dec_sort::DecSortLocal),
+        EngineKind::TdigestCentral { .. } => Box::new(tdigest_central::TdigestCentralLocal),
+        EngineKind::TdigestDistributed { compression } => Box::new(
+            tdigest_distributed::TdigestDistributedLocal::new(compression),
+        ),
+        EngineKind::KllDistributed { k } => Box::new(kll_distributed::KllLocal::new(k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_labels_are_unique_and_consistent() {
+        let mut labels: Vec<&str> = REGISTRY.iter().map(|d| d.label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), REGISTRY.len(), "duplicate engine label");
+        for d in &REGISTRY {
+            let kind = (d.example)();
+            assert_eq!(descriptor(kind).label, d.label);
+            assert_eq!(kind.label(), d.label);
+            assert_eq!(kind.is_exact(), d.exact);
+            assert!(
+                validate(kind).is_ok(),
+                "example config for {} must validate",
+                d.label
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(validate(EngineKind::KllDistributed { k: 2 }).is_err());
+        assert!(validate(EngineKind::TdigestCentral { compression: 0.0 }).is_err());
+        assert!(validate(EngineKind::TdigestDistributed {
+            compression: f64::NAN
+        })
+        .is_err());
+        assert!(validate(EngineKind::Dema {
+            gamma: crate::config::GammaMode::Fixed(1),
+            strategy: dema_core::selector::SelectionStrategy::WindowCut,
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! The centralized t-digest baseline (approximate) — raw events to the
+//! root, which feeds a single t-digest (Dunning & Ertl) and reports an
+//! approximate quantile. Same wire cost as the centralized engine, less
+//! root CPU, no exactness.
+
+use std::collections::BTreeMap;
+
+use dema_core::event::{NodeId, WindowId};
+use dema_core::numeric::{f64_to_i64, i64_to_f64, len_to_u64};
+use dema_core::quantile::Quantile;
+use dema_net::MsgSender;
+use dema_sketch::{QuantileSketch, TDigest};
+use dema_wire::Message;
+
+use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
+use crate::ClusterError;
+
+struct WindowState {
+    reported: usize,
+    digest: TDigest,
+    count: u64,
+}
+
+/// Root half: insert every raw event into one digest per window.
+pub struct TdigestCentralRoot {
+    quantile: Quantile,
+    compression: f64,
+    n_locals: usize,
+    states: BTreeMap<u64, WindowState>,
+}
+
+impl TdigestCentralRoot {
+    /// Build from the digest compression δ and the shell params.
+    pub fn new(compression: f64, params: RootParams) -> TdigestCentralRoot {
+        TdigestCentralRoot {
+            quantile: params.quantile,
+            compression,
+            n_locals: params.n_locals,
+            states: BTreeMap::new(),
+        }
+    }
+}
+
+impl RootEngine for TdigestCentralRoot {
+    fn on_message(
+        &mut self,
+        msg: Message,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let Message::EventBatch { window, events, .. } = msg else {
+            return Err(ClusterError::Protocol(format!(
+                "tdigest root: unexpected message {msg:?}"
+            )));
+        };
+        let compression = self.compression;
+        let state = self.states.entry(window.0).or_insert_with(|| WindowState {
+            reported: 0,
+            digest: TDigest::new(compression),
+            count: 0,
+        });
+        for e in &events {
+            state.digest.insert(i64_to_f64(e.value));
+        }
+        state.count += len_to_u64(events.len());
+        state.reported += 1;
+        if state.reported == self.n_locals {
+            let total = state.count;
+            let value = state
+                .digest
+                .quantile(self.quantile.fraction())
+                .map(f64_to_i64);
+            self.states.remove(&window.0);
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    value,
+                    total_events: total,
+                    ..Default::default()
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Local half: ship the window raw (the digest is built at the root).
+pub struct TdigestCentralLocal;
+
+impl LocalEngine for TdigestCentralLocal {
+    fn on_window(
+        &mut self,
+        node: NodeId,
+        window: WindowId,
+        events: Vec<dema_core::event::Event>,
+        to_root: &mut dyn MsgSender,
+    ) -> Result<(), ClusterError> {
+        to_root.send(&Message::EventBatch {
+            node,
+            window,
+            sorted: false,
+            events,
+        })?;
+        Ok(())
+    }
+}

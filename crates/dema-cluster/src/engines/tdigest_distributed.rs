@@ -1,0 +1,128 @@
+//! The distributed t-digest extension (approximate) — the setup the paper
+//! predicts ("we expect Tdigest to outperform Dema also with a
+//! decentralized setup"): locals build digests, centroids are shipped, the
+//! root merges.
+
+use std::collections::BTreeMap;
+
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::numeric::{f64_to_i64, i64_to_f64, len_to_u64};
+use dema_core::quantile::Quantile;
+use dema_net::MsgSender;
+use dema_sketch::{QuantileSketch, TDigest};
+use dema_wire::Message;
+
+use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
+use crate::ClusterError;
+
+#[derive(Default)]
+struct WindowState {
+    reported: usize,
+    digest: Option<TDigest>,
+    count: u64,
+}
+
+/// Root half: merge per-node digests.
+pub struct TdigestDistributedRoot {
+    quantile: Quantile,
+    n_locals: usize,
+    states: BTreeMap<u64, WindowState>,
+}
+
+impl TdigestDistributedRoot {
+    /// Build from the shell params (compression travels with each batch).
+    pub fn new(params: RootParams) -> TdigestDistributedRoot {
+        TdigestDistributedRoot {
+            quantile: params.quantile,
+            n_locals: params.n_locals,
+            states: BTreeMap::new(),
+        }
+    }
+}
+
+impl RootEngine for TdigestDistributedRoot {
+    fn on_message(
+        &mut self,
+        msg: Message,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let Message::DigestBatch {
+            window,
+            count,
+            compression,
+            centroids,
+            ..
+        } = msg
+        else {
+            return Err(ClusterError::Protocol(format!(
+                "tdigest-dist root: unexpected message {msg:?}"
+            )));
+        };
+        let state = self.states.entry(window.0).or_default();
+        let incoming = TDigest::from_centroids(compression, centroids);
+        match &mut state.digest {
+            Some(d) => d.merge_from(&incoming),
+            None => state.digest = Some(incoming),
+        }
+        state.count += count;
+        state.reported += 1;
+        if state.reported == self.n_locals {
+            let total = state.count;
+            if total == 0 {
+                self.states.remove(&window.0);
+                resolved.push((window, ResolvedWindow::default()));
+                return Ok(());
+            }
+            let digest = state.digest.as_ref().ok_or_else(|| {
+                ClusterError::Protocol(format!("{window}: digest count {total} without a digest"))
+            })?;
+            let value = digest.quantile(self.quantile.fraction()).map(f64_to_i64);
+            self.states.remove(&window.0);
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    value,
+                    total_events: total,
+                    ..Default::default()
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Local half: build a digest per window, ship its centroids.
+pub struct TdigestDistributedLocal {
+    compression: f64,
+}
+
+impl TdigestDistributedLocal {
+    /// Build the local half with digest compression δ.
+    pub fn new(compression: f64) -> TdigestDistributedLocal {
+        TdigestDistributedLocal { compression }
+    }
+}
+
+impl LocalEngine for TdigestDistributedLocal {
+    fn on_window(
+        &mut self,
+        node: NodeId,
+        window: WindowId,
+        events: Vec<Event>,
+        to_root: &mut dyn MsgSender,
+    ) -> Result<(), ClusterError> {
+        let mut digest = TDigest::new(self.compression);
+        for e in &events {
+            digest.insert(i64_to_f64(e.value));
+        }
+        let centroids = digest.centroids().to_vec();
+        to_root.send(&Message::DigestBatch {
+            node,
+            window,
+            count: len_to_u64(events.len()),
+            compression: self.compression,
+            centroids,
+        })?;
+        Ok(())
+    }
+}

@@ -5,8 +5,8 @@
 //! # dema-cluster
 //!
 //! The decentralized cluster runtime: local-node and root-node threads wired
-//! by accounted transports, executing one of five engines over identical
-//! inputs:
+//! by accounted transports, executing one of six pluggable engines (see
+//! [`engines`]) over identical inputs:
 //!
 //! * **Dema** — the paper's contribution: local sort + slice, synopses to
 //!   the root, window-cut candidate selection, candidate fetch, exact
@@ -20,20 +20,31 @@
 //! * **TdigestDistributed** — the extension the paper predicts ("we expect
 //!   Tdigest to outperform Dema also with a decentralized setup"): locals
 //!   build digests, the root merges them.
+//! * **KllDistributed** — locals build KLL sketches, weighted items are
+//!   shipped and unioned at the root (approximate); added to prove the
+//!   engine plugin surface.
+//!
+//! Engines implement the [`engines::RootEngine`] / [`engines::LocalEngine`]
+//! trait pair and are registered in [`engines::REGISTRY`]; the shells in
+//! [`root`] and [`local`] and the wiring in [`runner`] are engine-agnostic.
 //!
 //! The runner consumes pre-generated per-window inputs (see `dema-gen`),
 //! runs one OS thread per node plus a responder thread per Dema local, and
 //! produces a [`report::RunReport`] with per-window results, latencies, and
-//! exact per-link traffic.
+//! exact per-link traffic. Nodes are wired either as a flat star or as a
+//! multi-level aggregation tree of relay nodes ([`config::Topology`]), with
+//! per-tier traffic attribution in [`report::TierTraffic`].
 
 pub mod config;
+pub mod engines;
 pub mod local;
+pub mod relay;
 pub mod report;
 pub mod root;
 pub mod runner;
 
-pub use config::{ClusterConfig, EngineKind, GammaMode, TransportKind};
-pub use report::{RunReport, WindowOutcome};
+pub use config::{ClusterConfig, EngineKind, GammaMode, Topology, TransportKind};
+pub use report::{RunReport, TierTraffic, WindowOutcome};
 pub use runner::run_cluster;
 
 /// Errors from a cluster run.

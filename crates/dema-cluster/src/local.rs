@@ -1,51 +1,30 @@
-//! Local-node logic: per-window processing and (for Dema) the candidate
-//! responder.
+//! The local-node shell: window pacing, watermarks, and close-time stamps.
 //!
 //! A local node consumes its pre-grouped window inputs in order. Per window
-//! it performs the engine's local duty (sort + slice + synopses for Dema;
-//! sort-and-ship for DecSort; ship-raw for the centralized engines; digest
-//! for distributed t-digest) and moves on — it never blocks on the root.
-//! Dema's calculation step is served by a small *responder* thread that
-//! shares the node's slice store, so identification of window `w + 1` can
-//! overlap the calculation step of window `w`, exactly as in the paper
+//! it invokes the engine's local duty (behind the
+//! [`crate::engines::LocalEngine`] trait — sort + slice + synopses for
+//! Dema, sort-and-ship for DecSort, ship-raw for the centralized engines,
+//! sketch for the distributed ones) and moves on — it never blocks on the
+//! root. Dema's calculation step is served by a small *responder* thread
+//! that shares the node's slice store, so identification of window `w + 1`
+//! can overlap the calculation step of window `w`, exactly as in the paper
 //! ("the local nodes then proceed to process the next local windows").
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use dema_core::event::{Event, NodeId, WindowId};
-use dema_core::slice::{cut_into_slices, Slice};
 use dema_core::window::{SortStrategy, WindowManager};
-use dema_net::{MsgReceiver, MsgSender, NetError};
-use dema_sketch::{QuantileSketch, TDigest};
+use dema_net::MsgSender;
 use dema_wire::Message;
 use parking_lot::Mutex;
 
 use crate::config::EngineKind;
+use crate::engines;
 use crate::ClusterError;
 
-/// Most windows a local node keeps in its slice store awaiting candidate
-/// requests. Windows resolve within a round trip; this bound only guards
-/// against a stalled root.
-const STORE_WINDOW_CAP: usize = 64;
-
-/// State shared between a Dema local's main loop and its responder.
-#[derive(Debug)]
-pub struct LocalShared {
-    /// Current slice factor (updated by `GammaUpdate`s from the root).
-    pub gamma: AtomicU64,
-    /// Closed windows' slices, awaiting (possible) candidate requests.
-    pub store: Mutex<HashMap<u64, Vec<Slice>>>,
-}
-
-impl LocalShared {
-    /// Fresh shared state starting at `gamma`.
-    pub fn new(gamma: u64) -> Arc<LocalShared> {
-        Arc::new(LocalShared { gamma: AtomicU64::new(gamma), store: Mutex::new(HashMap::new()) })
-    }
-}
+pub use crate::engines::dema::{run_responder, LocalShared};
 
 /// Wall-clock instants at which each `(node, window)` closed — the latency
 /// clock starts here.
@@ -65,6 +44,7 @@ pub fn run_local(
     close_times: &CloseTimes,
     pace_window_ms: Option<u64>,
 ) -> Result<(), ClusterError> {
+    let mut duty = engines::build_local(engine, shared);
     let started = Instant::now();
     for (i, events) in windows.into_iter().enumerate() {
         if let Some(ms) = pace_window_ms {
@@ -75,10 +55,15 @@ pub fn run_local(
             }
         }
         let window = WindowId(i as u64);
-        close_times.lock().insert((node.0, window.0), Instant::now());
-        process_window(node, window, events, engine, to_root, shared)?;
+        close_times
+            .lock()
+            .insert((node.0, window.0), Instant::now());
+        duty.on_window(node, window, events, to_root)?;
     }
-    to_root.send(&Message::StreamEnd { node, late_events: 0 })?;
+    to_root.send(&Message::StreamEnd {
+        node,
+        late_events: 0,
+    })?;
     Ok(())
 }
 
@@ -106,15 +91,18 @@ pub fn run_local_streaming(
     let (first_window, last_window) = window_range;
     let mut mgr = WindowManager::new(node, window_len, SortStrategy::OnClose);
     let mut next_to_emit = first_window;
+    let mut duty = engines::build_local(engine, shared);
 
-    let emit = |window_abs: u64,
+    let mut emit = |window_abs: u64,
                     events: Vec<Event>,
                     to_root: &mut dyn MsgSender|
      -> Result<(), ClusterError> {
         // Normalize to 0-based window ids, matching the pre-windowed runner.
         let window = WindowId(window_abs - first_window);
-        close_times.lock().insert((node.0, window.0), Instant::now());
-        process_window(node, window, events, engine, to_root, shared)
+        close_times
+            .lock()
+            .insert((node.0, window.0), Instant::now());
+        duty.on_window(node, window, events, to_root)
     };
 
     for e in events {
@@ -147,129 +135,29 @@ pub fn run_local_streaming(
         emit(next_to_emit, Vec::new(), to_root)?;
         next_to_emit += 1;
     }
-    to_root.send(&Message::StreamEnd { node, late_events: mgr.late_events() })?;
+    to_root.send(&Message::StreamEnd {
+        node,
+        late_events: mgr.late_events(),
+    })?;
     Ok(())
-}
-
-/// The engine-specific local duty for one closed window.
-fn process_window(
-    node: NodeId,
-    window: WindowId,
-    mut events: Vec<Event>,
-    engine: EngineKind,
-    to_root: &mut dyn MsgSender,
-    shared: &LocalShared,
-) -> Result<(), ClusterError> {
-    match engine {
-        EngineKind::Dema { .. } => {
-            let gamma = shared.gamma.load(Ordering::Relaxed);
-            events.sort_unstable();
-            let l_local = events.len() as u64;
-            let slices = cut_into_slices(node, window, events, gamma)?;
-            let total = slices.len() as u32;
-            let synopses = slices
-                .iter()
-                .map(|s| s.synopsis(total))
-                .collect::<Result<Vec<_>, _>>()?;
-            dema_core::invariant::check_partition(&slices, &synopses, l_local)?;
-            {
-                let mut store = shared.store.lock();
-                store.insert(window.0, slices);
-                // Bound memory if the root stalls; oldest windows first.
-                while store.len() > STORE_WINDOW_CAP {
-                    let Some(&oldest) = store.keys().min() else { break };
-                    store.remove(&oldest);
-                }
-            }
-            to_root.send(&Message::SynopsisBatch { node, window, synopses })?;
-        }
-        EngineKind::Centralized | EngineKind::TdigestCentral { .. } => {
-            to_root.send(&Message::EventBatch { node, window, sorted: false, events })?;
-        }
-        EngineKind::DecSort => {
-            events.sort_unstable();
-            to_root.send(&Message::EventBatch { node, window, sorted: true, events })?;
-        }
-        EngineKind::TdigestDistributed { compression } => {
-            let mut digest = TDigest::new(compression);
-            for e in &events {
-                digest.insert(e.value as f64);
-            }
-            let centroids = digest.centroids().to_vec();
-            to_root.send(&Message::DigestBatch {
-                node,
-                window,
-                count: events.len() as u64,
-                compression,
-                centroids,
-            })?;
-        }
-    }
-    Ok(())
-}
-
-/// Dema's responder: serves candidate requests and γ updates until the root
-/// closes the control link.
-pub fn run_responder(
-    node: NodeId,
-    from_root: &mut dyn MsgReceiver,
-    to_root: &mut dyn MsgSender,
-    shared: &LocalShared,
-) -> Result<(), ClusterError> {
-    loop {
-        let msg = match from_root.recv() {
-            Ok(m) => m,
-            Err(NetError::Disconnected) => return Ok(()), // root finished
-            Err(e) => return Err(e.into()),
-        };
-        match msg {
-            Message::CandidateRequest { window, slices } => {
-                let payload = {
-                    let mut store = shared.store.lock();
-                    let Some(stored) = store.remove(&window.0) else {
-                        return Err(ClusterError::Protocol(format!(
-                            "{node}: candidate request for unknown window {window}"
-                        )));
-                    };
-                    slices
-                        .iter()
-                        .map(|&idx| {
-                            stored
-                                .get(idx as usize)
-                                // SharedRun clone: refcount bump, no event copy.
-                                .map(|s| (idx, s.events.clone()))
-                                .ok_or_else(|| {
-                                    ClusterError::Protocol(format!(
-                                        "{node}: request for missing slice {idx} of {window}"
-                                    ))
-                                })
-                        })
-                        .collect::<Result<Vec<_>, _>>()?
-                };
-                to_root.send(&Message::CandidateReply { node, window, slices: payload })?;
-            }
-            Message::GammaUpdate { gamma } => {
-                shared.gamma.store(gamma.max(2), Ordering::Relaxed);
-            }
-            other => {
-                return Err(ClusterError::Protocol(format!(
-                    "{node}: unexpected control message {other:?}"
-                )))
-            }
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::GammaMode;
+    use crate::engines::dema::STORE_WINDOW_CAP;
     use dema_core::selector::SelectionStrategy;
     use dema_metrics::NetworkCounters;
     use dema_net::mem::link;
-    use crate::config::GammaMode;
+    use dema_net::MsgReceiver;
+    use std::sync::atomic::Ordering;
 
     fn events(vals: &[i64]) -> Vec<Event> {
-        vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| Event::new(v, 0, i as u64))
+            .collect()
     }
 
     fn dema_engine() -> EngineKind {
@@ -296,7 +184,11 @@ mod tests {
         )
         .unwrap();
         match rx.recv().unwrap() {
-            Message::SynopsisBatch { node, window, synopses } => {
+            Message::SynopsisBatch {
+                node,
+                window,
+                synopses,
+            } => {
                 assert_eq!(node, NodeId(1));
                 assert_eq!(window, WindowId(0));
                 assert_eq!(synopses.len(), 2); // 8 events, γ=4
@@ -376,10 +268,48 @@ mod tests {
         )
         .unwrap();
         match rx.recv().unwrap() {
-            Message::DigestBatch { count, centroids, .. } => {
+            Message::DigestBatch {
+                count, centroids, ..
+            } => {
                 assert_eq!(count, 1000);
                 assert!(!centroids.is_empty());
                 assert!(centroids.len() < 200, "{} centroids", centroids.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn kll_local_ships_weighted_summary() {
+        let (mut tx, mut rx) = link(NetworkCounters::new_shared());
+        let shared = LocalShared::new(2);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let vals: Vec<i64> = (0..5000).collect();
+        run_local(
+            NodeId(0),
+            vec![events(&vals)],
+            EngineKind::KllDistributed { k: 128 },
+            &mut tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
+        match rx.recv().unwrap() {
+            Message::SketchBatch {
+                count,
+                min,
+                max,
+                items,
+                ..
+            } => {
+                assert_eq!(count, 5000);
+                assert_eq!(min, 0.0);
+                assert_eq!(max, 4999.0);
+                // Weight conservation: the summary accounts for every event.
+                assert_eq!(items.iter().map(|(_, w)| w).sum::<u64>(), 5000);
+                // And it is sublinear in the window size.
+                assert!(items.len() < 1000, "{} items shipped", items.len());
             }
             other => panic!("{other:?}"),
         }
@@ -408,13 +338,20 @@ mod tests {
         });
         ctl_tx.send(&Message::GammaUpdate { gamma: 16 }).unwrap();
         ctl_tx
-            .send(&Message::CandidateRequest { window: WindowId(0), slices: vec![1] })
+            .send(&Message::CandidateRequest {
+                window: WindowId(0),
+                slices: vec![1],
+            })
             .unwrap();
 
         let _syn = data_rx.recv().unwrap();
         let _end = data_rx.recv().unwrap();
         match data_rx.recv().unwrap() {
-            Message::CandidateReply { node, window, slices } => {
+            Message::CandidateReply {
+                node,
+                window,
+                slices,
+            } => {
                 assert_eq!(node, NodeId(2));
                 assert_eq!(window, WindowId(0));
                 assert_eq!(slices.len(), 1);
@@ -458,7 +395,10 @@ mod tests {
             run_responder(NodeId(1), &mut ctl_rx, &mut data_tx, &shared2)
         });
         ctl_tx
-            .send(&Message::CandidateRequest { window: WindowId(0), slices: vec![1] })
+            .send(&Message::CandidateRequest {
+                window: WindowId(0),
+                slices: vec![1],
+            })
             .unwrap();
         let _syn = data_rx.recv().unwrap();
         let _end = data_rx.recv().unwrap();
@@ -481,7 +421,10 @@ mod tests {
         let (mut ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(4);
         ctl_tx
-            .send(&Message::CandidateRequest { window: WindowId(7), slices: vec![0] })
+            .send(&Message::CandidateRequest {
+                window: WindowId(7),
+                slices: vec![0],
+            })
             .unwrap();
         drop(ctl_tx);
         let res = run_responder(NodeId(0), &mut ctl_rx, &mut data_tx, &shared);
@@ -494,7 +437,16 @@ mod tests {
         let shared = LocalShared::new(2);
         let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
         let windows: Vec<Vec<Event>> = (0..100).map(|_| events(&[1, 2])).collect();
-        run_local(NodeId(0), windows, dema_engine(), &mut tx, &shared, &close_times, None).unwrap();
+        run_local(
+            NodeId(0),
+            windows,
+            dema_engine(),
+            &mut tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
         assert!(shared.store.lock().len() <= STORE_WINDOW_CAP);
         drop(rx);
     }
@@ -504,8 +456,16 @@ mod tests {
         let (mut tx, mut rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(4);
         let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
-        run_local(NodeId(0), vec![vec![]], dema_engine(), &mut tx, &shared, &close_times, None)
-            .unwrap();
+        run_local(
+            NodeId(0),
+            vec![vec![]],
+            dema_engine(),
+            &mut tx,
+            &shared,
+            &close_times,
+            None,
+        )
+        .unwrap();
         match rx.recv().unwrap() {
             Message::SynopsisBatch { synopses, .. } => assert!(synopses.is_empty()),
             other => panic!("{other:?}"),

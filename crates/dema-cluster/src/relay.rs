@@ -1,0 +1,326 @@
+//! Relay nodes for multi-level aggregation trees.
+//!
+//! A relay is engine-agnostic plumbing: it forwards whatever its children
+//! send *up* to its parent unchanged (synopses, event batches, sketches,
+//! stream ends — re-encoded identically, so a tier's upward byte count
+//! equals the tier below it), and it routes control messages *down*. The
+//! root addresses a leaf by wrapping the control message in a
+//! [`Message::Routed`] envelope; each relay looks at the destination, and
+//! either unwraps the envelope (when the owning child *is* that leaf's
+//! responder link) or forwards the envelope one tier further down.
+//!
+//! Shutdown cascades exactly like the star: the root drops its control
+//! senders, the top relay sees its parent's downlink disconnect and drops
+//! its own child downlinks, and so on until the leaf responders exit.
+
+use dema_net::{MsgReceiver, MsgSender, NetError};
+use dema_wire::Message;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::ClusterError;
+
+/// A relay's downward handle on one child subtree.
+pub struct RelayChild {
+    /// Inclusive range of leaf node ids the child subtree covers.
+    pub range: (u32, u32),
+    /// Downlink into the child.
+    pub sender: Box<dyn MsgSender>,
+    /// `true` when the child is a leaf (its responder expects the *inner*
+    /// control message, not the routing envelope).
+    pub leaf: bool,
+}
+
+/// A [`MsgSender`] that wraps every message in a [`Message::Routed`]
+/// envelope addressed to one leaf, multiplexing many logical control links
+/// over one physical downlink (shared via the mutex).
+pub struct RoutedSender {
+    dest: dema_core::event::NodeId,
+    inner: Arc<Mutex<Box<dyn MsgSender>>>,
+}
+
+impl RoutedSender {
+    /// Address `dest` over the shared physical downlink `inner`.
+    pub fn new(
+        dest: dema_core::event::NodeId,
+        inner: Arc<Mutex<Box<dyn MsgSender>>>,
+    ) -> RoutedSender {
+        RoutedSender { dest, inner }
+    }
+}
+
+impl MsgSender for RoutedSender {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        let wrapped = Message::Routed {
+            dest: self.dest,
+            inner: Box::new(msg.clone()),
+        };
+        self.inner.lock().send(&wrapped)
+    }
+}
+
+/// Drive one relay node until both directions drain.
+///
+/// Upward: every message from `children_up` is forwarded to `parent_up`
+/// verbatim. Downward: [`Message::Routed`] envelopes from `parent_down` are
+/// delivered to the child whose leaf range covers the destination —
+/// unwrapped for leaf children, forwarded as-is otherwise. The relay exits
+/// once every child uplink has disconnected *and* the parent downlink is
+/// gone (or was never wired, for engines without a control plane).
+///
+/// # Errors
+/// A transport failure on a live link, a downward message without an
+/// envelope, or a destination no child covers aborts the relay.
+pub fn run_relay(
+    children_up: Vec<Box<dyn MsgReceiver>>,
+    mut parent_up: Box<dyn MsgSender>,
+    mut parent_down: Option<Box<dyn MsgReceiver>>,
+    mut children_down: Vec<RelayChild>,
+) -> Result<(), ClusterError> {
+    let mut ups: Vec<Option<Box<dyn MsgReceiver>>> = children_up.into_iter().map(Some).collect();
+    let mut idle_sweeps = 0u32;
+    loop {
+        let mut progressed = false;
+
+        for slot in &mut ups {
+            let Some(rx) = slot.as_mut() else { continue };
+            loop {
+                match rx.try_recv() {
+                    Ok(Some(msg)) => {
+                        progressed = true;
+                        parent_up.send(&msg)?;
+                    }
+                    Ok(None) => break,
+                    Err(NetError::Disconnected) => {
+                        *slot = None;
+                        progressed = true;
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+
+        let mut close_down = false;
+        if let Some(down) = parent_down.as_mut() {
+            loop {
+                match down.try_recv() {
+                    Ok(Some(Message::Routed { dest, inner })) => {
+                        progressed = true;
+                        let child = children_down
+                            .iter_mut()
+                            .find(|c| c.range.0 <= dest.0 && dest.0 <= c.range.1)
+                            .ok_or_else(|| {
+                                ClusterError::Protocol(format!(
+                                    "relay: no child covers destination node {}",
+                                    dest.0
+                                ))
+                            })?;
+                        if child.leaf {
+                            child.sender.send(&inner)?;
+                        } else {
+                            child.sender.send(&Message::Routed { dest, inner })?;
+                        }
+                    }
+                    Ok(Some(msg)) => {
+                        return Err(ClusterError::Protocol(format!(
+                            "relay: unrouted downward message {msg:?}"
+                        )));
+                    }
+                    Ok(None) => break,
+                    Err(NetError::Disconnected) => {
+                        close_down = true;
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        if close_down {
+            // The root (or the relay above) is done: cascade the shutdown by
+            // dropping our own downlinks so the tier below exits too.
+            parent_down = None;
+            children_down.clear();
+            progressed = true;
+        }
+
+        if ups.iter().all(Option::is_none) && parent_down.is_none() {
+            return Ok(());
+        }
+
+        if progressed {
+            idle_sweeps = 0;
+        } else {
+            idle_sweeps += 1;
+            if idle_sweeps > 64 {
+                std::thread::sleep(Duration::from_micros(20));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dema_core::event::{NodeId, WindowId};
+    use dema_metrics::NetworkCounters;
+    use dema_net::mem::link;
+
+    #[test]
+    fn routed_sender_wraps_every_message() {
+        let (tx, mut rx) = link(NetworkCounters::new_shared());
+        let shared: Arc<Mutex<Box<dyn MsgSender>>> = Arc::new(Mutex::new(Box::new(tx)));
+        let mut a = RoutedSender::new(NodeId(3), Arc::clone(&shared));
+        let mut b = RoutedSender::new(NodeId(7), shared);
+        a.send(&Message::GammaUpdate { gamma: 64 }).unwrap();
+        b.send(&Message::CandidateRequest {
+            window: WindowId(1),
+            slices: vec![0],
+        })
+        .unwrap();
+        match rx.recv().unwrap() {
+            Message::Routed { dest, inner } => {
+                assert_eq!(dest, NodeId(3));
+                assert!(matches!(*inner, Message::GammaUpdate { gamma: 64 }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match rx.recv().unwrap() {
+            Message::Routed { dest, .. } => assert_eq!(dest, NodeId(7)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relay_forwards_up_and_routes_down() {
+        let mk = || link(NetworkCounters::new_shared());
+        let (mut child0_tx, child0_rx) = mk();
+        let (mut child1_tx, child1_rx) = mk();
+        let (parent_up_tx, mut parent_up_rx) = mk();
+        let (mut parent_down_tx, parent_down_rx) = mk();
+        let (down0_tx, mut down0_rx) = mk();
+        let (down1_tx, mut down1_rx) = mk();
+
+        let handle = std::thread::spawn(move || {
+            run_relay(
+                vec![Box::new(child0_rx), Box::new(child1_rx)],
+                Box::new(parent_up_tx),
+                Some(Box::new(parent_down_rx)),
+                vec![
+                    RelayChild {
+                        range: (0, 0),
+                        sender: Box::new(down0_tx),
+                        leaf: true,
+                    },
+                    RelayChild {
+                        range: (1, 3),
+                        sender: Box::new(down1_tx),
+                        leaf: false,
+                    },
+                ],
+            )
+        });
+
+        // Upward messages pass through verbatim.
+        child0_tx
+            .send(&Message::StreamEnd {
+                node: NodeId(0),
+                late_events: 0,
+            })
+            .unwrap();
+        child1_tx
+            .send(&Message::StreamEnd {
+                node: NodeId(2),
+                late_events: 1,
+            })
+            .unwrap();
+        let mut ends = [parent_up_rx.recv().unwrap(), parent_up_rx.recv().unwrap()];
+        ends.sort_by_key(|m| match m {
+            Message::StreamEnd { node, .. } => node.0,
+            _ => u32::MAX,
+        });
+        assert!(matches!(
+            ends[0],
+            Message::StreamEnd {
+                node: NodeId(0),
+                late_events: 0
+            }
+        ));
+        assert!(matches!(
+            ends[1],
+            Message::StreamEnd {
+                node: NodeId(2),
+                late_events: 1
+            }
+        ));
+
+        // Downward: leaf child gets the unwrapped message…
+        parent_down_tx
+            .send(&Message::Routed {
+                dest: NodeId(0),
+                inner: Box::new(Message::GammaUpdate { gamma: 9 }),
+            })
+            .unwrap();
+        assert!(matches!(
+            down0_rx.recv().unwrap(),
+            Message::GammaUpdate { gamma: 9 }
+        ));
+        // …while an inner child receives the envelope unchanged.
+        parent_down_tx
+            .send(&Message::Routed {
+                dest: NodeId(2),
+                inner: Box::new(Message::GammaUpdate { gamma: 5 }),
+            })
+            .unwrap();
+        match down1_rx.recv().unwrap() {
+            Message::Routed { dest, inner } => {
+                assert_eq!(dest, NodeId(2));
+                assert!(matches!(*inner, Message::GammaUpdate { gamma: 5 }));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Shutdown cascade: close both directions and the relay exits.
+        drop(child0_tx);
+        drop(child1_tx);
+        drop(parent_down_tx);
+        handle.join().unwrap().unwrap();
+        // Downstream links died with the relay.
+        assert!(matches!(down0_rx.recv(), Err(NetError::Disconnected)));
+        assert!(matches!(down1_rx.recv(), Err(NetError::Disconnected)));
+        assert!(matches!(parent_up_rx.recv(), Err(NetError::Disconnected)));
+    }
+
+    #[test]
+    fn relay_rejects_unrouted_and_unowned() {
+        let mk = || link(NetworkCounters::new_shared());
+        let (child_tx, child_rx) = mk();
+        let (parent_up_tx, _parent_up_rx) = mk();
+        let (mut parent_down_tx, parent_down_rx) = mk();
+        let (down_tx, _down_rx) = mk();
+        let handle = std::thread::spawn(move || {
+            run_relay(
+                vec![Box::new(child_rx)],
+                Box::new(parent_up_tx),
+                Some(Box::new(parent_down_rx)),
+                vec![RelayChild {
+                    range: (0, 1),
+                    sender: Box::new(down_tx),
+                    leaf: true,
+                }],
+            )
+        });
+        parent_down_tx
+            .send(&Message::Routed {
+                dest: NodeId(5),
+                inner: Box::new(Message::GammaUpdate { gamma: 2 }),
+            })
+            .unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol(_)), "{err}");
+        drop(child_tx);
+    }
+}

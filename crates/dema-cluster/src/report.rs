@@ -29,6 +29,36 @@ pub struct WindowOutcome {
     pub gamma: u64,
 }
 
+/// Traffic attributed to one tier of the aggregation topology. Tier 0 is
+/// the set of leaf links (local → first aggregator); the last tier is the
+/// set of links into the root. For the star topology the report leaves
+/// [`RunReport::tier_traffic`] empty — there is only one tier and it equals
+/// `per_node_traffic` + `control_traffic`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierTraffic {
+    /// Upward (data-plane) traffic per link of this tier, in link order.
+    pub up: Vec<NetworkSnapshot>,
+    /// Downward (control-plane) traffic per link of this tier (empty for
+    /// engines with no control plane).
+    pub down: Vec<NetworkSnapshot>,
+}
+
+impl TierTraffic {
+    /// Total upward traffic across this tier's links.
+    pub fn up_total(&self) -> NetworkSnapshot {
+        self.up
+            .iter()
+            .fold(NetworkSnapshot::default(), |acc, s| acc.plus(s))
+    }
+
+    /// Total downward traffic across this tier's links.
+    pub fn down_total(&self) -> NetworkSnapshot {
+        self.down
+            .iter()
+            .fold(NetworkSnapshot::default(), |acc, s| acc.plus(s))
+    }
+}
+
 /// Aggregated results of a cluster run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -46,6 +76,9 @@ pub struct RunReport {
     pub latency: LatencyHistogram,
     /// Events dropped as late across all locals (streaming mode only).
     pub late_events: u64,
+    /// Per-tier traffic attribution for tree topologies, tier 0 = leaf
+    /// links, last tier = links into the root. Empty for the star topology.
+    pub tier_traffic: Vec<TierTraffic>,
 }
 
 impl RunReport {
@@ -97,14 +130,27 @@ mod tests {
                 gamma: 100,
             }],
             per_node_traffic: vec![
-                NetworkSnapshot { bytes: 100, messages: 2, events: 8 },
-                NetworkSnapshot { bytes: 50, messages: 1, events: 4 },
+                NetworkSnapshot {
+                    bytes: 100,
+                    messages: 2,
+                    events: 8,
+                },
+                NetworkSnapshot {
+                    bytes: 50,
+                    messages: 1,
+                    events: 4,
+                },
             ],
-            control_traffic: NetworkSnapshot { bytes: 10, messages: 1, events: 0 },
+            control_traffic: NetworkSnapshot {
+                bytes: 10,
+                messages: 1,
+                events: 0,
+            },
             wall_time: Duration::from_millis(500),
             total_events: 1000,
             latency,
             late_events: 0,
+            tier_traffic: Vec::new(),
         }
     }
 
@@ -116,7 +162,14 @@ mod tests {
     #[test]
     fn traffic_sums_links() {
         let t = report().total_traffic();
-        assert_eq!(t, NetworkSnapshot { bytes: 160, messages: 4, events: 12 });
+        assert_eq!(
+            t,
+            NetworkSnapshot {
+                bytes: 160,
+                messages: 4,
+                events: 12
+            }
+        );
     }
 
     #[test]
@@ -124,5 +177,44 @@ mod tests {
         let r = report();
         assert_eq!(r.values(), vec![Some(5)]);
         assert_eq!(r.mean_latency_us(), Some(200.0));
+    }
+
+    #[test]
+    fn tier_traffic_totals() {
+        let tier = TierTraffic {
+            up: vec![
+                NetworkSnapshot {
+                    bytes: 100,
+                    messages: 2,
+                    events: 8,
+                },
+                NetworkSnapshot {
+                    bytes: 50,
+                    messages: 1,
+                    events: 4,
+                },
+            ],
+            down: vec![NetworkSnapshot {
+                bytes: 10,
+                messages: 1,
+                events: 0,
+            }],
+        };
+        assert_eq!(
+            tier.up_total(),
+            NetworkSnapshot {
+                bytes: 150,
+                messages: 3,
+                events: 12
+            }
+        );
+        assert_eq!(
+            tier.down_total(),
+            NetworkSnapshot {
+                bytes: 10,
+                messages: 1,
+                events: 0
+            }
+        );
     }
 }

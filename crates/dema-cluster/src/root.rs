@@ -1,128 +1,41 @@
-//! Root-node logic: per-window state machines for every engine.
+//! The root-node shell: engine-agnostic window bookkeeping.
 //!
-//! The root consumes messages from all local nodes (interleaved arbitrarily
-//! across windows) and finalizes each global window once every local has
-//! reported — and, for Dema, once all candidate replies arrived. Dema's
-//! root work per window is deliberately tiny: sort `S` synopses, compute
-//! rank bounds, merge a few candidate runs; the baselines sort or merge the
-//! entire window, which is exactly the bottleneck the paper measures.
-//!
-//! ## Window pipeline (Dema)
-//!
-//! Dema windows move through a bounded two-stage pipeline keyed by window
-//! id. Stage 1 (*ingest & order*) collects a window's synopses and sorts
-//! them by value interval the moment the last local reports — this runs
-//! even while earlier windows sit in stage 2, so the root's CPU work for
-//! `w+1` overlaps the network round trip of `w`. Stage 2 (*identify &
-//! resolve*) runs the window-cut, fires candidate requests, and awaits the
-//! replies; at most [`PIPELINE_DEPTH`] windows hold a stage-2 slot at once,
-//! bounding outstanding request fan-out and candidate-run memory no matter
-//! how far the locals run ahead. The window-cut itself stays the pure,
-//! single-threaded algorithm in `dema-core` — the pipeline only schedules
-//! *when* it runs.
+//! The shell owns what every engine shares — counting stream ends, turning
+//! the engine's [`ResolvedWindow`]s into [`WindowOutcome`]s, and measuring
+//! window-close → result latency. All protocol logic (which messages an
+//! engine expects, when a window is done) lives behind the
+//! [`crate::engines::RootEngine`] trait; see the modules under
+//! `crate::engines` for the per-engine state machines.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
-use dema_core::event::{Event, NodeId, WindowId};
-use dema_core::gamma::AdaptiveGamma;
-use dema_core::merge::select_kth;
-use dema_core::multi::{select_multi, MultiSelection};
+use dema_core::event::WindowId;
 use dema_core::quantile::Quantile;
-use dema_core::shared::SharedRun;
-use dema_core::slice::{Slice, SliceId, SliceSynopsis};
-use dema_core::DemaError;
 use dema_metrics::LatencyHistogram;
 use dema_net::MsgSender;
-use dema_sketch::{QuantileSketch, TDigest};
 use dema_wire::Message;
 
-use crate::config::{EngineKind, GammaMode};
+use crate::config::EngineKind;
+use crate::engines::{self, ResolvedWindow, RootEngine, RootParams};
 use crate::local::CloseTimes;
 use crate::report::WindowOutcome;
 use crate::ClusterError;
 
-/// Max Dema windows allowed in stage 2 (candidate requests outstanding) at
-/// once. Two slots let the next window's requests go out the moment the
-/// current one resolves while later windows keep ingesting; deeper
-/// pipelines only add memory, not throughput, because the root's stage-2
-/// work per window is tiny compared to the reply round trip.
-pub const PIPELINE_DEPTH: usize = 2;
+pub use crate::engines::dema::PIPELINE_DEPTH;
 
-/// Per-window accumulation state.
-#[derive(Default)]
-struct WindowState {
-    /// Locals that delivered their identification-step message.
-    reported: usize,
-    /// Dema: all synopses of the window.
-    synopses: Vec<SliceSynopsis>,
-    /// Centralized / DecSort: raw or sorted batches.
-    batches: Vec<Vec<Event>>,
-    /// Tdigest engines: the (merged) digest.
-    digest: Option<TDigest>,
-    digest_count: u64,
-    /// Dema: the identification step's decision (index 0 = the primary
-    /// quantile's plan, then the extra quantiles in order).
-    selection: Option<MultiSelection>,
-    /// Dema: synopsis lookup for verification of replies.
-    synopsis_of: HashMap<SliceId, SliceSynopsis>,
-    /// Dema: candidate runs received so far (shared views, zero-copy off
-    /// the in-memory transport).
-    runs: Vec<SharedRun>,
-    runs_received: usize,
-    /// Dema: per-node local window sizes `l_i` (for per-node γ control).
-    node_sizes: HashMap<u32, u64>,
-    /// Dema: per-node candidate-slice counts `m_i`.
-    node_candidates: HashMap<u32, u64>,
-    /// γ in effect when this window was sliced (node 0's γ under per-node
-    /// control).
-    gamma: u64,
-}
-
-/// The root's γ policy.
-enum GammaPolicy {
-    /// No γ control (non-Dema engines).
-    Off,
-    /// Fixed γ, never updated.
-    Fixed(u64),
-    /// One controller for the whole cluster (§3.3 default).
-    Global(AdaptiveGamma),
-    /// One controller per local node (§3.3 future-work variant).
-    PerNode(Vec<AdaptiveGamma>),
-}
-
-impl GammaPolicy {
-    /// γ to report for window outcomes (node 0's view).
-    fn current(&self) -> u64 {
-        match self {
-            GammaPolicy::Off => 0,
-            GammaPolicy::Fixed(g) => *g,
-            GammaPolicy::Global(ctl) => ctl.current(),
-            GammaPolicy::PerNode(ctls) => ctls.first().map_or(2, AdaptiveGamma::current),
-        }
-    }
-}
-
-/// The root node.
+/// The root node: an engine plugged into the shared shell.
 pub struct RootNode {
-    quantile: Quantile,
-    extra_quantiles: Vec<Quantile>,
-    engine: EngineKind,
+    engine: Box<dyn RootEngine>,
     n_locals: usize,
     expected_windows: u64,
-    states: BTreeMap<u64, WindowState>,
     outcomes: BTreeMap<u64, WindowOutcome>,
-    gamma: GammaPolicy,
-    control: Vec<Box<dyn MsgSender>>,
     close_times: CloseTimes,
     latency: LatencyHistogram,
     ended: usize,
     late_events: u64,
-    /// Dema windows currently in stage 2 (requests sent, replies pending).
-    in_flight: usize,
-    /// Stage-1-complete windows waiting for a stage-2 slot, in the order
-    /// their last synopsis arrived (window order for well-paced locals).
-    ready: VecDeque<u64>,
+    /// Reused scratch buffer for the engine's resolved windows.
+    resolved: Vec<(WindowId, ResolvedWindow)>,
 }
 
 impl RootNode {
@@ -160,34 +73,25 @@ impl RootNode {
         control: Vec<Box<dyn MsgSender>>,
         close_times: CloseTimes,
     ) -> RootNode {
-        let gamma = match engine {
-            EngineKind::Dema { gamma: GammaMode::Adaptive { initial }, .. } => {
-                GammaPolicy::Global(AdaptiveGamma::with_default_bounds(initial))
-            }
-            EngineKind::Dema { gamma: GammaMode::AdaptivePerNode { initial }, .. } => {
-                GammaPolicy::PerNode(
-                    (0..n_locals).map(|_| AdaptiveGamma::with_default_bounds(initial)).collect(),
-                )
-            }
-            EngineKind::Dema { gamma: GammaMode::Fixed(g), .. } => GammaPolicy::Fixed(g),
-            _ => GammaPolicy::Off,
-        };
+        let engine = engines::build_root(
+            engine,
+            RootParams {
+                quantile,
+                extra_quantiles,
+                n_locals,
+                control,
+            },
+        );
         RootNode {
-            quantile,
-            extra_quantiles,
             engine,
             n_locals,
             expected_windows,
-            states: BTreeMap::new(),
             outcomes: BTreeMap::new(),
-            gamma,
-            control,
             close_times,
             latency: LatencyHistogram::new(),
             ended: 0,
             late_events: 0,
-            in_flight: 0,
-            ready: VecDeque::new(),
+            resolved: Vec::new(),
         }
     }
 
@@ -214,324 +118,22 @@ impl RootNode {
 
     /// Process one message from a local node.
     pub fn handle(&mut self, msg: Message) -> Result<(), ClusterError> {
-        match msg {
-            Message::SynopsisBatch { node: _, window, synopses } => {
-                let state = self.states.entry(window.0).or_default();
-                state.synopses.extend(synopses);
-                state.reported += 1;
-                if state.reported == self.n_locals {
-                    // Stage 1 complete: order the synopses by value interval
-                    // now, overlapping the reply round trips of earlier
-                    // windows. Identification is order-insensitive, so this
-                    // only moves the sort work off the critical path.
-                    state.synopses.sort_unstable_by_key(|s| (s.first, s.last, s.id));
-                    if self.in_flight < PIPELINE_DEPTH {
-                        self.identify(window)?;
-                    } else {
-                        self.ready.push_back(window.0);
-                    }
-                }
-                Ok(())
-            }
-            Message::CandidateReply { node, window, slices } => {
-                self.absorb_reply(node, window, slices)
-            }
-            Message::EventBatch { window, events, .. } => {
-                let state = self.states.entry(window.0).or_default();
-                match self.engine {
-                    EngineKind::TdigestCentral { compression } => {
-                        let digest =
-                            state.digest.get_or_insert_with(|| TDigest::new(compression));
-                        for e in &events {
-                            digest.insert(e.value as f64);
-                        }
-                        state.digest_count += events.len() as u64;
-                    }
-                    _ => state.batches.push(events),
-                }
-                state.reported += 1;
-                if state.reported == self.n_locals {
-                    self.resolve_batches(window)?;
-                }
-                Ok(())
-            }
-            Message::DigestBatch { window, count, compression, centroids, .. } => {
-                let state = self.states.entry(window.0).or_default();
-                let incoming = TDigest::from_centroids(compression, centroids);
-                match &mut state.digest {
-                    Some(d) => d.merge_from(&incoming),
-                    None => state.digest = Some(incoming),
-                }
-                state.digest_count += count;
-                state.reported += 1;
-                if state.reported == self.n_locals {
-                    self.resolve_batches(window)?;
-                }
-                Ok(())
-            }
-            Message::StreamEnd { late_events, .. } => {
-                self.ended += 1;
-                self.late_events += late_events;
-                Ok(())
-            }
-            other => Err(ClusterError::Protocol(format!("root: unexpected message {other:?}"))),
-        }
-    }
-
-    /// Dema identification step once all synopses of `window` arrived.
-    fn identify(&mut self, window: WindowId) -> Result<(), ClusterError> {
-        let EngineKind::Dema { strategy, .. } = self.engine else {
-            return Err(ClusterError::Protocol("synopses sent to non-Dema root".into()));
-        };
-        let state = self
-            .states
-            .get_mut(&window.0)
-            .ok_or_else(|| ClusterError::Protocol(format!("identify of unknown window {window}")))?;
-        state.gamma = self.gamma.current();
-        dema_core::invariant::check_synopsis_order(&state.synopses).map_err(ClusterError::Core)?;
-        let total: u64 = state.synopses.iter().map(|s| s.count).sum();
-        if total == 0 {
-            self.finalize(window, None, Vec::new(), 0, 0, 0, 0)?;
+        if let Message::StreamEnd { late_events, .. } = msg {
+            self.ended += 1;
+            self.late_events += late_events;
             return Ok(());
         }
-        let mut ranks = Vec::with_capacity(1 + self.extra_quantiles.len());
-        ranks.push(self.quantile.pos(total)?);
-        for q in &self.extra_quantiles {
-            ranks.push(q.pos(total)?);
+        let mut resolved = std::mem::take(&mut self.resolved);
+        let result = self.engine.on_message(msg, &mut resolved);
+        for (window, r) in resolved.drain(..) {
+            self.finalize(window, r);
         }
-        let selection = select_multi(&state.synopses, &ranks, strategy)?;
-        for plan in &selection.plans {
-            dema_core::invariant::check_selection(
-                &state.synopses,
-                &selection.candidates,
-                plan.rank,
-                plan.offset_below,
-            )
-            .map_err(ClusterError::Core)?;
-        }
-        state.synopsis_of = state.synopses.iter().map(|s| (s.id, *s)).collect();
-        // Per-node observations for the γ controllers.
-        state.node_sizes.clear();
-        for s in &state.synopses {
-            *state.node_sizes.entry(s.id.node.0).or_insert(0) += s.count;
-        }
-        state.node_candidates.clear();
-        for id in &selection.candidates {
-            *state.node_candidates.entry(id.node.0).or_insert(0) += 1;
-        }
-
-        // Group candidate slices by owning node and fire the requests.
-        let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
-        for id in &selection.candidates {
-            per_node.entry(id.node.0).or_default().push(id.index);
-        }
-        state.runs_received = 0;
-        state.runs.clear();
-        let expected_replies = per_node.len();
-        state.selection = Some(selection);
-        for (node, slices) in per_node {
-            let link = self
-                .control
-                .get_mut(node as usize)
-                .ok_or_else(|| ClusterError::Protocol(format!("no control link for n{node}")))?;
-            link.send(&Message::CandidateRequest { window, slices })?;
-        }
-        // Stash how many replies we expect (one per involved node).
-        let state = self
-            .states
-            .get_mut(&window.0)
-            .ok_or_else(|| ClusterError::Protocol(format!("state lost for window {window}")))?;
-        state.reported = expected_replies; // reuse as "replies expected"
-        self.in_flight += 1; // stage-2 slot held until the window finalizes
-        Ok(())
-    }
-
-    /// Admit ready windows into stage 2 while slots are free.
-    fn advance_pipeline(&mut self) -> Result<(), ClusterError> {
-        while self.in_flight < PIPELINE_DEPTH {
-            let Some(w) = self.ready.pop_front() else { break };
-            self.identify(WindowId(w))?;
-        }
-        Ok(())
-    }
-
-    /// Absorb one candidate reply; finalize once all involved nodes replied.
-    fn absorb_reply(
-        &mut self,
-        node: NodeId,
-        window: WindowId,
-        slices: Vec<(u32, SharedRun)>,
-    ) -> Result<(), ClusterError> {
-        let state = self
-            .states
-            .get_mut(&window.0)
-            .ok_or_else(|| ClusterError::Protocol(format!("reply for unknown window {window}")))?;
-        for (index, events) in slices {
-            let id = SliceId { node, window, index };
-            let selected = state
-                .selection
-                .as_ref()
-                .is_some_and(|sel| sel.candidates.contains(&id));
-            if !selected {
-                return Err(ClusterError::Protocol(format!("reply for unselected slice {id}")));
-            }
-            let syn = state.synopsis_of.get(&id).ok_or_else(|| {
-                ClusterError::Protocol(format!("reply for unknown slice {id}"))
-            })?;
-            // Cheap integrity check: count, endpoints, sortedness.
-            let slice = Slice { id, events };
-            slice.verify_against(syn).map_err(ClusterError::Core)?;
-            state.runs.push(slice.events);
-        }
-        state.runs_received += 1;
-        if state.runs_received == state.reported {
-            let selection = state.selection.take().ok_or_else(|| {
-                ClusterError::Protocol(format!("{window}: replies complete before identification"))
-            })?;
-            let run_count: u64 = state.runs.iter().map(|r| r.len() as u64).sum();
-            if run_count != selection.candidate_events {
-                return Err(ClusterError::Core(DemaError::InconsistentSynopses(format!(
-                    "{window}: {run_count} candidate events delivered, expected {}",
-                    selection.candidate_events
-                ))));
-            }
-            let mut values = selection
-                .plans
-                .iter()
-                .map(|p| {
-                    let event = select_kth(&state.runs, p.rank_within_candidates())
-                        .map_err(ClusterError::Core)?;
-                    dema_core::invariant::check_selected_event(
-                        &state.runs,
-                        p.rank_within_candidates(),
-                        &event,
-                    )
-                    .map_err(ClusterError::Core)?;
-                    Ok(event.value)
-                })
-                .collect::<Result<Vec<i64>, ClusterError>>()?;
-            let primary = values.remove(0);
-            let total = selection.total_events;
-            let m = selection.candidates.len() as u64;
-            let synopses = state.synopsis_of.len() as u64;
-            let node_sizes = std::mem::take(&mut state.node_sizes);
-            let node_candidates = std::mem::take(&mut state.node_candidates);
-            self.finalize(
-                window,
-                Some(primary),
-                values,
-                total,
-                selection.candidate_events,
-                m,
-                synopses,
-            )?;
-            // Adaptive γ: re-optimize from this window's observation.
-            match &mut self.gamma {
-                GammaPolicy::Global(ctl) => {
-                    let before = ctl.current();
-                    let next = ctl.observe_checked(total, m).map_err(ClusterError::Core)?;
-                    if next != before {
-                        for link in &mut self.control {
-                            link.send(&Message::GammaUpdate { gamma: next })?;
-                        }
-                    }
-                }
-                GammaPolicy::PerNode(ctls) => {
-                    for (n, ctl) in ctls.iter_mut().enumerate() {
-                        let l_i = node_sizes.get(&(n as u32)).copied().unwrap_or(0);
-                        if l_i == 0 {
-                            continue; // node idle this window, keep its γ
-                        }
-                        let m_i = node_candidates.get(&(n as u32)).copied().unwrap_or(0);
-                        let before = ctl.current();
-                        let next = ctl.observe_checked(l_i, m_i).map_err(ClusterError::Core)?;
-                        if next != before {
-                            let link = self.control.get_mut(n).ok_or_else(|| {
-                                ClusterError::Protocol(format!("no control link for n{n}"))
-                            })?;
-                            link.send(&Message::GammaUpdate { gamma: next })?;
-                        }
-                    }
-                }
-                GammaPolicy::Off | GammaPolicy::Fixed(_) => {}
-            }
-            // Stage-2 slot freed: pull the next ordered window in.
-            self.in_flight -= 1;
-            self.advance_pipeline()?;
-        }
-        Ok(())
-    }
-
-    /// Baseline resolution once all batches/digests of `window` arrived.
-    fn resolve_batches(&mut self, window: WindowId) -> Result<(), ClusterError> {
-        let state = self
-            .states
-            .get_mut(&window.0)
-            .ok_or_else(|| ClusterError::Protocol(format!("resolve of unknown window {window}")))?;
-        match self.engine {
-            EngineKind::Centralized => {
-                let mut all: Vec<Event> =
-                    state.batches.drain(..).flatten().collect();
-                let total = all.len() as u64;
-                if total == 0 {
-                    return self.finalize(window, None, Vec::new(), 0, 0, 0, 0);
-                }
-                // The centralized root does the full sort itself.
-                all.sort_unstable();
-                let k = self.quantile.pos(total)?;
-                let value = all[(k - 1) as usize].value;
-                self.finalize(window, Some(value), Vec::new(), total, 0, 0, 0)
-            }
-            EngineKind::DecSort => {
-                let runs = std::mem::take(&mut state.batches);
-                let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
-                if total == 0 {
-                    return self.finalize(window, None, Vec::new(), 0, 0, 0, 0);
-                }
-                // Locals pre-sorted; the root only merges.
-                let k = self.quantile.pos(total)?;
-                let value = select_kth(&runs, k).map_err(ClusterError::Core)?.value;
-                self.finalize(window, Some(value), Vec::new(), total, 0, 0, 0)
-            }
-            EngineKind::TdigestCentral { .. } | EngineKind::TdigestDistributed { .. } => {
-                let total = state.digest_count;
-                if total == 0 {
-                    return self.finalize(window, None, Vec::new(), 0, 0, 0, 0);
-                }
-                let digest = state.digest.as_ref().ok_or_else(|| {
-                    ClusterError::Protocol(format!(
-                        "{window}: digest count {total} without a digest"
-                    ))
-                })?;
-                let value = digest
-                    .quantile(self.quantile.fraction())
-                    .map(|v| v.round() as i64);
-                self.finalize(window, value, Vec::new(), total, 0, 0, 0)
-            }
-            EngineKind::Dema { .. } => {
-                Err(ClusterError::Protocol("event batch sent to Dema root".into()))
-            }
-        }
+        self.resolved = resolved;
+        result
     }
 
     /// Record the outcome of `window` and its latency.
-    #[allow(clippy::too_many_arguments)]
-    fn finalize(
-        &mut self,
-        window: WindowId,
-        value: Option<i64>,
-        extra_values: Vec<i64>,
-        total_events: u64,
-        candidate_events: u64,
-        candidate_slices: u64,
-        synopses: u64,
-    ) -> Result<(), ClusterError> {
-        let gamma = self
-            .states
-            .get(&window.0)
-            .map(|s| s.gamma)
-            .unwrap_or_else(|| self.gamma.current());
-        self.states.remove(&window.0);
+    fn finalize(&mut self, window: WindowId, r: ResolvedWindow) {
         let now = Instant::now();
         let latency_us = {
             let mut times = self.close_times.lock();
@@ -548,17 +150,16 @@ impl RootNode {
             window.0,
             WindowOutcome {
                 window,
-                value,
-                extra_values,
-                total_events,
+                value: r.value,
+                extra_values: r.extra_values,
+                total_events: r.total_events,
                 latency_us,
-                candidate_events,
-                candidate_slices,
-                synopses,
-                gamma,
+                candidate_events: r.candidate_events,
+                candidate_slices: r.candidate_slices,
+                synopses: r.synopses,
+                gamma: r.gamma,
             },
         );
-        Ok(())
     }
 }
 
@@ -566,10 +167,15 @@ impl RootNode {
 mod tests {
     use super::*;
     use crate::config::GammaMode;
+    use dema_core::event::{Event, NodeId};
+    use dema_core::shared::SharedRun;
+    use dema_core::slice::Slice;
+    use dema_core::DemaError;
     use dema_metrics::NetworkCounters;
     use dema_net::mem::link;
     use dema_net::MsgReceiver;
     use parking_lot::Mutex;
+    use std::collections::HashMap;
     use std::sync::Arc;
 
     fn close_times() -> CloseTimes {
@@ -577,7 +183,10 @@ mod tests {
     }
 
     fn events(vals: &[i64]) -> Vec<Event> {
-        vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| Event::new(v, 0, i as u64))
+            .collect()
     }
 
     #[test]
@@ -605,8 +214,16 @@ mod tests {
             events: events(&[2, 8]),
         })
         .unwrap();
-        root.handle(Message::StreamEnd { node: NodeId(0), late_events: 0 }).unwrap();
-        root.handle(Message::StreamEnd { node: NodeId(1), late_events: 3 }).unwrap();
+        root.handle(Message::StreamEnd {
+            node: NodeId(0),
+            late_events: 0,
+        })
+        .unwrap();
+        root.handle(Message::StreamEnd {
+            node: NodeId(1),
+            late_events: 3,
+        })
+        .unwrap();
         assert_eq!(root.late_events(), 3);
         assert!(root.finished());
         let (outcomes, _) = root.into_results();
@@ -616,8 +233,14 @@ mod tests {
 
     #[test]
     fn decsort_root_merges_sorted_runs() {
-        let mut root =
-            RootNode::new(Quantile::MEDIAN, EngineKind::DecSort, 2, 1, vec![], close_times());
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::DecSort,
+            2,
+            1,
+            vec![],
+            close_times(),
+        );
         root.handle(Message::EventBatch {
             node: NodeId(0),
             window: WindowId(0),
@@ -668,7 +291,10 @@ mod tests {
         )
         .unwrap();
         let syn = |slices: &[dema_core::slice::Slice]| {
-            slices.iter().map(|s| s.synopsis(slices.len() as u32).unwrap()).collect::<Vec<_>>()
+            slices
+                .iter()
+                .map(|s| s.synopsis(slices.len() as u32).unwrap())
+                .collect::<Vec<_>>()
         };
         root.handle(Message::SynopsisBatch {
             node: NodeId(0),
@@ -689,10 +315,13 @@ mod tests {
         };
         assert_eq!(window, WindowId(0));
         assert_eq!(slices, vec![1]);
-        assert!(ctl_rx2
-            .recv_timeout(std::time::Duration::from_millis(20))
-            .unwrap()
-            .is_none(), "node 1 owns no candidates");
+        assert!(
+            ctl_rx2
+                .recv_timeout(std::time::Duration::from_millis(20))
+                .unwrap()
+                .is_none(),
+            "node 1 owns no candidates"
+        );
         root.handle(Message::CandidateReply {
             node: NodeId(0),
             window: WindowId(0),
@@ -732,6 +361,65 @@ mod tests {
     }
 
     #[test]
+    fn kll_root_unions_weighted_items() {
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::KllDistributed { k: 64 },
+            2,
+            1,
+            vec![],
+            close_times(),
+        );
+        // Two "sketches" of unit-weight items: [0..4) and [4..8).
+        root.handle(Message::SketchBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            count: 4,
+            min: 0.0,
+            max: 3.0,
+            items: (0..4).map(|i| (i as f64, 1)).collect(),
+        })
+        .unwrap();
+        assert_eq!(root.completed_windows(), 0);
+        root.handle(Message::SketchBatch {
+            node: NodeId(1),
+            window: WindowId(0),
+            count: 4,
+            min: 4.0,
+            max: 7.0,
+            items: (4..8).map(|i| (i as f64, 1)).collect(),
+        })
+        .unwrap();
+        let (outcomes, _) = root.into_results();
+        // Rank 4 of 0..8 is value 3 (unit weights make the union exact).
+        assert_eq!(outcomes[0].value, Some(3));
+        assert_eq!(outcomes[0].total_events, 8);
+    }
+
+    #[test]
+    fn kll_root_rejects_weight_drift() {
+        let mut root = RootNode::new(
+            Quantile::MEDIAN,
+            EngineKind::KllDistributed { k: 64 },
+            1,
+            1,
+            vec![],
+            close_times(),
+        );
+        let err = root
+            .handle(Message::SketchBatch {
+                node: NodeId(0),
+                window: WindowId(0),
+                count: 5,
+                min: 0.0,
+                max: 1.0,
+                items: vec![(0.0, 1), (1.0, 1)],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
     fn corrupt_candidate_reply_is_rejected() {
         let (ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
         let mut root = RootNode::new(
@@ -767,7 +455,10 @@ mod tests {
                 slices: vec![(0, events(&[42, 43, 44, 45]).into())],
             })
             .unwrap_err();
-        assert!(matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))), "{err:?}");
+        assert!(
+            matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -828,8 +519,10 @@ mod tests {
             let slices =
                 dema_core::slice::cut_into_slices(NodeId(0), WindowId(w), events(&vals), 2)
                     .unwrap();
-            let synopses =
-                slices.iter().map(|s| s.synopsis(slices.len() as u32).unwrap()).collect();
+            let synopses = slices
+                .iter()
+                .map(|s| s.synopsis(slices.len() as u32).unwrap())
+                .collect();
             windows.insert(w, slices);
             root.handle(Message::SynopsisBatch {
                 node: NodeId(0),
@@ -845,25 +538,29 @@ mod tests {
             Message::CandidateRequest { window, slices } => (window.0, slices),
             other => panic!("expected request, got {other:?}"),
         };
-        let reply = |root: &mut RootNode, windows: &HashMap<u64, Vec<Slice>>, w: u64, req: &[u32]| {
-            let slices = req
-                .iter()
-                .map(|&i| (i, windows[&w][i as usize].events.clone()))
-                .collect();
-            root.handle(Message::CandidateReply {
-                node: NodeId(0),
-                window: WindowId(w),
-                slices,
-            })
-            .unwrap();
-        };
+        let reply =
+            |root: &mut RootNode, windows: &HashMap<u64, Vec<Slice>>, w: u64, req: &[u32]| {
+                let slices = req
+                    .iter()
+                    .map(|&i| (i, windows[&w][i as usize].events.clone()))
+                    .collect();
+                root.handle(Message::CandidateReply {
+                    node: NodeId(0),
+                    window: WindowId(w),
+                    slices,
+                })
+                .unwrap();
+            };
 
         // Only the first two windows hold stage-2 slots.
         let (w0, req0) = next_request(&mut ctl_rx);
         let (w1, req1) = next_request(&mut ctl_rx);
         assert_eq!((w0, w1), (0, 1));
         assert!(
-            ctl_rx.recv_timeout(std::time::Duration::from_millis(20)).unwrap().is_none(),
+            ctl_rx
+                .recv_timeout(std::time::Duration::from_millis(20))
+                .unwrap()
+                .is_none(),
             "window 3 must wait for a free slot"
         );
         // Resolving window 0 admits window 2 — empty, finalized on the spot
@@ -907,16 +604,25 @@ mod tests {
         root.handle(Message::SynopsisBatch {
             node: NodeId(0),
             window: WindowId(0),
-            synopses: slices.iter().map(|s| s.synopsis(slices.len() as u32).unwrap()).collect(),
+            synopses: slices
+                .iter()
+                .map(|s| s.synopsis(slices.len() as u32).unwrap())
+                .collect(),
         })
         .unwrap();
         let Message::CandidateRequest { slices: req, .. } = ctl_rx.recv().unwrap() else {
             panic!()
         };
-        let reply: Vec<(u32, SharedRun)> =
-            req.iter().map(|&i| (i, slices[i as usize].events.clone())).collect();
-        root.handle(Message::CandidateReply { node: NodeId(0), window: WindowId(0), slices: reply })
-            .unwrap();
+        let reply: Vec<(u32, SharedRun)> = req
+            .iter()
+            .map(|&i| (i, slices[i as usize].events.clone()))
+            .collect();
+        root.handle(Message::CandidateReply {
+            node: NodeId(0),
+            window: WindowId(0),
+            slices: reply,
+        })
+        .unwrap();
         // γ* = sqrt(2*1000/1) ≈ 45 ≠ 4 → update broadcast.
         match ctl_rx.recv().unwrap() {
             Message::GammaUpdate { gamma } => {

@@ -1,5 +1,13 @@
 //! Orchestration: build the topology, spawn node threads, drive the root,
 //! collect the report.
+//!
+//! Wiring is engine-agnostic: everything engine-specific the runner needs
+//! (does the engine have a control plane? what γ do locals start with? is
+//! the configuration valid?) comes from the engine registry in
+//! [`crate::engines`]. The overlay between leaves and root is either the
+//! flat star of the paper's experiments or a multi-level aggregation tree
+//! of [`crate::relay`] nodes ([`Topology::Tree`]), with per-tier traffic
+//! attribution in [`crate::report::TierTraffic`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,11 +20,17 @@ use dema_net::tcp::{accept, listen, TcpSender};
 use dema_net::{MsgReceiver, MsgSender, NetError, SharedCounters};
 use parking_lot::Mutex;
 
-use crate::config::{ClusterConfig, EngineKind, TransportKind};
+use crate::config::{ClusterConfig, Topology, TransportKind};
+use crate::engines;
 use crate::local::{run_local, run_local_streaming, run_responder, CloseTimes, LocalShared};
-use crate::report::RunReport;
+use crate::relay::{run_relay, RelayChild, RoutedSender};
+use crate::report::{RunReport, TierTraffic};
 use crate::root::RootNode;
 use crate::ClusterError;
+
+/// How long a TCP link gets to complete its loopback handshake before the
+/// run aborts with the underlying I/O error.
+const TCP_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One unidirectional wired link.
 type Link = (Box<dyn MsgSender>, Box<dyn MsgReceiver>);
@@ -47,11 +61,12 @@ fn make_link(
                 .map_err(|e| ClusterError::Protocol(format!("loopback addr: {e}")))?;
             let listener = listen(addr)?;
             let addr = listener.local_addr().map_err(NetError::Io)?;
-            let sender = std::thread::spawn(move || TcpSender::connect(addr, counters));
+            // Loopback connects complete against the listener's backlog, so
+            // connect-then-accept cannot deadlock; a bounded connect keeps a
+            // broken environment from hanging the run and surfaces the real
+            // I/O error instead of a thread panic.
+            let tx = TcpSender::connect_timeout(addr, counters, TCP_CONNECT_TIMEOUT)?;
             let receiver = accept(&listener)?;
-            let tx = sender
-                .join()
-                .map_err(|_| ClusterError::NodePanic("tcp connect".into()))??;
             Ok((Box::new(tx), Box::new(receiver)))
         }
     }
@@ -73,6 +88,16 @@ enum NodeWork {
         /// Watermark slack (ms).
         lateness: u64,
     },
+}
+
+/// A wired subtree as seen by its parent-to-be: the uplink receivers the
+/// parent drains, the downlink sender the parent feeds (if the engine has a
+/// control plane), and the leaf id range the subtree covers.
+struct ChildHandle {
+    ups: Vec<Box<dyn MsgReceiver>>,
+    ctl: Option<Box<dyn MsgSender>>,
+    range: (u32, u32),
+    leaf: bool,
 }
 
 /// Run one cluster experiment over pre-windowed inputs.
@@ -147,6 +172,23 @@ pub fn run_cluster_streaming(
     )
 }
 
+/// Reject topologies the wiring cannot realize.
+fn validate_topology(topology: Topology) -> Result<(), ClusterError> {
+    if let Topology::Tree { fanout, depth } = topology {
+        if fanout < 2 {
+            return Err(ClusterError::Protocol(format!(
+                "tree topology needs fanout ≥ 2, got {fanout}"
+            )));
+        }
+        if depth < 2 {
+            return Err(ClusterError::Protocol(format!(
+                "tree topology needs depth ≥ 2 (depth 1 is the star), got {depth}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Shared orchestration: wire links, spawn node threads, drive the root.
 fn run_cluster_inner(
     config: &ClusterConfig,
@@ -156,67 +198,164 @@ fn run_cluster_inner(
 ) -> Result<RunReport, ClusterError> {
     let n_locals = work.len();
 
-    let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
-    let is_dema = matches!(config.engine, EngineKind::Dema { .. });
-    let initial_gamma = match config.engine {
-        EngineKind::Dema { gamma, .. } => gamma.initial(),
-        _ => 2,
-    };
+    engines::validate(config.engine)?;
+    validate_topology(config.topology)?;
 
-    // Wire the topology: one data link per local (local → root), and for
-    // Dema one control link per local (root → local).
+    let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+    let control_plane = engines::descriptor(config.engine).control_plane;
+    let initial_gamma = engines::initial_gamma(config.engine);
+
+    // Wire tier 0: one data link per local (leaf → parent), and for engines
+    // with a control plane one control link per local (parent → leaf) plus a
+    // second uplink for the responder, accounted in the same counters.
     let mut data_counters = Vec::with_capacity(n_locals);
-    let mut data_rx: Vec<Box<dyn MsgReceiver>> = Vec::with_capacity(n_locals);
-    let mut data_tx: Vec<Box<dyn MsgSender>> = Vec::with_capacity(n_locals);
     let control_counters = NetworkCounters::new_shared();
-    let mut control_tx: Vec<Box<dyn MsgSender>> = Vec::with_capacity(n_locals);
+    let mut data_tx: Vec<Box<dyn MsgSender>> = Vec::with_capacity(n_locals);
     let mut control_rx: Vec<Box<dyn MsgReceiver>> = Vec::with_capacity(n_locals);
+    let mut responder_tx: Vec<Box<dyn MsgSender>> = Vec::with_capacity(n_locals);
+    let mut children: Vec<ChildHandle> = Vec::with_capacity(n_locals);
     // Simulated full-duplex per-node links for the throttled transport: the
     // data path and the responder share the node's uplink; the control path
     // uses the downlink.
-    let (uplinks, downlinks): (Vec<_>, Vec<_>) = match config.transport {
-        TransportKind::Throttled { mbits_per_sec } => (0..n_locals)
-            .map(|_| {
-                (Some(Throttle::new_shared(mbits_per_sec)), Some(Throttle::new_shared(mbits_per_sec)))
-            })
-            .unzip(),
-        _ => (vec![None; n_locals], vec![None; n_locals]),
+    let throttle_mbits = match config.transport {
+        TransportKind::Throttled { mbits_per_sec } => Some(mbits_per_sec),
+        _ => None,
     };
     for n in 0..n_locals {
+        let uplink = throttle_mbits.map(Throttle::new_shared);
+        let downlink = throttle_mbits.map(Throttle::new_shared);
         let counters = NetworkCounters::new_shared();
-        let (tx, rx) =
-            make_link(config.transport, SharedCounters::clone(&counters), uplinks[n].as_ref())?;
-        data_counters.push(counters);
-        data_tx.push(tx);
-        data_rx.push(rx);
-        if is_dema {
-            let (tx, rx) = make_link(
+        let (tx, rx) = make_link(
+            config.transport,
+            SharedCounters::clone(&counters),
+            uplink.as_ref(),
+        )?;
+        let mut ups = vec![rx];
+        let mut ctl = None;
+        if control_plane {
+            let (ctl_tx, ctl_rx) = make_link(
                 config.transport,
                 SharedCounters::clone(&control_counters),
-                downlinks[n].as_ref(),
+                downlink.as_ref(),
             )?;
-            control_tx.push(tx);
-            control_rx.push(rx);
+            ctl = Some(ctl_tx);
+            control_rx.push(ctl_rx);
+            let (resp_tx, resp_rx) = make_link(
+                config.transport,
+                SharedCounters::clone(&counters),
+                uplink.as_ref(),
+            )?;
+            responder_tx.push(resp_tx);
+            ups.push(resp_rx);
+        }
+        data_counters.push(counters);
+        data_tx.push(tx);
+        children.push(ChildHandle {
+            ups,
+            ctl,
+            range: (n as u32, n as u32),
+            leaf: true,
+        });
+    }
+
+    // Wire the relay tiers (none for the star): each pass groups up to
+    // `fanout` children under a fresh relay until only the root's direct
+    // children remain. Every relay gets its own uplink counters (and
+    // downlink counters when the engine has a control plane) so the report
+    // can attribute traffic per tier.
+    let mut relay_specs = Vec::new(); // deferred spawns: (ups, up_tx, down_rx, relay_children)
+    let mut relay_tier_counters: Vec<Vec<(SharedCounters, Option<SharedCounters>)>> = Vec::new();
+    if let Topology::Tree { fanout, depth } = config.topology {
+        for _tier in 1..depth {
+            let mut next: Vec<ChildHandle> = Vec::new();
+            let mut tier_counters = Vec::new();
+            let mut iter = children.into_iter().peekable();
+            while iter.peek().is_some() {
+                let group: Vec<ChildHandle> = iter.by_ref().take(fanout).collect();
+                let up_counters = NetworkCounters::new_shared();
+                let up_throttle = throttle_mbits.map(Throttle::new_shared);
+                let (up_tx, up_rx) = make_link(
+                    config.transport,
+                    SharedCounters::clone(&up_counters),
+                    up_throttle.as_ref(),
+                )?;
+                let mut down_counters = None;
+                let mut parent_ctl = None;
+                let mut relay_down_rx = None;
+                if control_plane {
+                    let c = NetworkCounters::new_shared();
+                    let down_throttle = throttle_mbits.map(Throttle::new_shared);
+                    let (tx, rx) = make_link(
+                        config.transport,
+                        SharedCounters::clone(&c),
+                        down_throttle.as_ref(),
+                    )?;
+                    down_counters = Some(c);
+                    parent_ctl = Some(tx);
+                    relay_down_rx = Some(rx);
+                }
+                tier_counters.push((up_counters, down_counters));
+
+                let mut ups = Vec::new();
+                let mut relay_children = Vec::new();
+                let mut range = (u32::MAX, 0u32);
+                for ch in group {
+                    range.0 = range.0.min(ch.range.0);
+                    range.1 = range.1.max(ch.range.1);
+                    ups.extend(ch.ups);
+                    if let Some(sender) = ch.ctl {
+                        relay_children.push(RelayChild {
+                            range: ch.range,
+                            sender,
+                            leaf: ch.leaf,
+                        });
+                    }
+                }
+                relay_specs.push((ups, up_tx, relay_down_rx, relay_children));
+                next.push(ChildHandle {
+                    ups: vec![up_rx],
+                    ctl: parent_ctl,
+                    range,
+                    leaf: false,
+                });
+            }
+            children = next;
+            relay_tier_counters.push(tier_counters);
         }
     }
-    // Responders need their own sending handle on the data path; give each
-    // local a second link whose traffic lands in the same counters (and the
-    // same simulated uplink).
-    let mut responder_tx: Vec<Box<dyn MsgSender>> = Vec::new();
-    let mut responder_data_rx: Vec<Box<dyn MsgReceiver>> = Vec::new();
-    if is_dema {
-        for (n, counters) in data_counters.iter().enumerate() {
-            let (tx, rx) =
-                make_link(config.transport, SharedCounters::clone(counters), uplinks[n].as_ref())?;
-            responder_tx.push(tx);
-            responder_data_rx.push(rx);
+
+    // The root's per-leaf control senders: direct links in the star, routed
+    // envelopes over each top child's shared downlink in a tree. Children
+    // arrive in leaf order, so pushing per range keeps index == node id.
+    let mut control_tx: Vec<Box<dyn MsgSender>> = Vec::with_capacity(n_locals);
+    let mut root_rx: Vec<Box<dyn MsgReceiver>> = Vec::new();
+    for ch in children {
+        root_rx.extend(ch.ups);
+        let Some(ctl) = ch.ctl else { continue };
+        if ch.leaf {
+            control_tx.push(ctl);
+        } else {
+            let shared: Arc<Mutex<Box<dyn MsgSender>>> = Arc::new(Mutex::new(ctl));
+            for leaf in ch.range.0..=ch.range.1 {
+                control_tx.push(Box::new(RoutedSender::new(
+                    NodeId(leaf),
+                    Arc::clone(&shared),
+                )));
+            }
         }
     }
 
     let started = Instant::now();
 
-    // Spawn local nodes (and responders for Dema).
+    // Spawn the relays…
     let mut handles = Vec::new();
+    for (ups, up_tx, down_rx, relay_children) in relay_specs {
+        handles.push(std::thread::spawn(move || {
+            run_relay(ups, up_tx, down_rx, relay_children)
+        }));
+    }
+
+    // …then the local nodes (and responders for control-plane engines).
     let engine = config.engine;
     let pace = config.pace_window_ms;
     for (n, node_work) in work.into_iter().enumerate() {
@@ -224,7 +363,7 @@ fn run_cluster_inner(
         let shared = LocalShared::new(initial_gamma);
         let mut tx = data_tx.remove(0);
         let ct = Arc::clone(&close_times);
-        if is_dema {
+        if control_plane {
             let mut ctl_rx = control_rx.remove(0);
             let mut resp_tx = responder_tx.remove(0);
             let resp_shared = Arc::clone(&shared);
@@ -236,7 +375,12 @@ fn run_cluster_inner(
             NodeWork::Windowed(node_windows) => {
                 run_local(node, node_windows, engine, tx.as_mut(), &shared, &ct, pace)
             }
-            NodeWork::Streaming { events, window_len, range, lateness } => run_local_streaming(
+            NodeWork::Streaming {
+                events,
+                window_len,
+                range,
+                lateness,
+            } => run_local_streaming(
                 node,
                 events,
                 window_len,
@@ -260,8 +404,7 @@ fn run_cluster_inner(
         control_tx,
         Arc::clone(&close_times),
     );
-    let mut receivers = data_rx;
-    receivers.extend(responder_data_rx);
+    let mut receivers = root_rx;
     let mut result: Result<(), ClusterError> = Ok(());
     let mut idle_sweeps = 0u32;
     'drive: while !root.finished() {
@@ -301,10 +444,12 @@ fn run_cluster_inner(
     }
     let wall_time = started.elapsed();
 
-    // Release the responders (they exit on control-link disconnect) and
-    // reap every thread.
+    // Dropping the root's control senders cascades the shutdown: responders
+    // exit on control-link disconnect, relays drain and exit as both of
+    // their directions close. Reap every thread.
     let late_events = root.late_events();
     let (outcomes, latency) = root.into_results();
+    drop(receivers);
     for h in handles {
         match h.join() {
             Ok(Ok(())) => {}
@@ -314,6 +459,32 @@ fn run_cluster_inner(
     }
     result?;
 
+    // Per-tier attribution: tier 0 is the leaf links (per-leaf data
+    // counters up, the shared control counter down), each relay pass adds a
+    // tier of per-relay-edge counters. The star reports no tiers — its only
+    // tier is already `per_node_traffic` / `control_traffic`.
+    let mut tier_traffic = Vec::new();
+    if !relay_tier_counters.is_empty() {
+        let mut tier0 = TierTraffic {
+            up: data_counters.iter().map(|c| c.snapshot()).collect(),
+            down: Vec::new(),
+        };
+        if control_plane {
+            tier0.down.push(control_counters.snapshot());
+        }
+        tier_traffic.push(tier0);
+        for tier in &relay_tier_counters {
+            let mut t = TierTraffic::default();
+            for (up, down) in tier {
+                t.up.push(up.snapshot());
+                if let Some(down) = down {
+                    t.down.push(down.snapshot());
+                }
+            }
+            tier_traffic.push(t);
+        }
+    }
+
     Ok(RunReport {
         outcomes,
         per_node_traffic: data_counters.iter().map(|c| c.snapshot()).collect(),
@@ -322,6 +493,7 @@ fn run_cluster_inner(
         total_events,
         latency,
         late_events,
+        tier_traffic,
     })
 }
 

@@ -116,11 +116,7 @@ fn adaptive_gamma_improves_over_terrible_fixed_gamma() {
     // resolve windows slowly and the feedback must land deterministically.
     adaptive_cfg.pace_window_ms = Some(40);
     let adaptive = run_cluster(&adaptive_cfg, inputs.clone()).unwrap();
-    let fixed_bad = run_cluster(
-        &ClusterConfig::dema_fixed(2, Quantile::MEDIAN),
-        inputs,
-    )
-    .unwrap();
+    let fixed_bad = run_cluster(&ClusterConfig::dema_fixed(2, Quantile::MEDIAN), inputs).unwrap();
     // Same exact answers…
     assert_eq!(adaptive.values(), fixed_bad.values());
     // …but γ adapted away from 2 and total traffic dropped.
@@ -147,18 +143,33 @@ fn uniform_and_clustered_distributions() {
     let mk = |dist: ValueDistribution, seed: u64| -> Vec<Vec<Event>> {
         EventStream::new(
             dist,
-            StreamConfig { seed, events_per_second: 2_000, ..Default::default() },
+            StreamConfig {
+                seed,
+                events_per_second: 2_000,
+                ..Default::default()
+            },
         )
         .take_windows(3, 1000)
     };
     let inputs = vec![
-        mk(ValueDistribution::Uniform { lo: 0, hi: 1_000_000 }, 1),
-        mk(ValueDistribution::Clustered { centers: vec![100, 500_000], spread: 50 }, 2),
+        mk(
+            ValueDistribution::Uniform {
+                lo: 0,
+                hi: 1_000_000,
+            },
+            1,
+        ),
+        mk(
+            ValueDistribution::Clustered {
+                centers: vec![100, 500_000],
+                spread: 50,
+            },
+            2,
+        ),
         mk(ValueDistribution::Zipf { n: 10_000, s: 1.1 }, 3),
     ];
     let expect = truths(&inputs, Quantile::P75);
-    let report =
-        run_cluster(&ClusterConfig::dema_fixed(200, Quantile::P75), inputs).unwrap();
+    let report = run_cluster(&ClusterConfig::dema_fixed(200, Quantile::P75), inputs).unwrap();
     assert_eq!(report.values(), expect);
 }
 
@@ -190,6 +201,83 @@ fn many_local_nodes() {
 }
 
 #[test]
+fn registry_matrix_runs_every_engine_end_to_end() {
+    // Driven by the engine registry, so adding an engine automatically adds
+    // it to this matrix (and forgetting to register one fails the registry
+    // unit tests).
+    let inputs = soccer_inputs(3, 3, 2_000, &[1, 1, 1]);
+    let expect = truths(&inputs, Quantile::MEDIAN);
+    for desc in &dema_cluster::engines::REGISTRY {
+        let engine = (desc.example)();
+        assert_eq!(engine.label(), desc.label);
+        let config = ClusterConfig::baseline(engine, Quantile::MEDIAN);
+        let report = run_cluster(&config, inputs.clone()).unwrap();
+        assert_eq!(report.outcomes.len(), 3, "engine {}", desc.label);
+        if desc.exact {
+            assert_eq!(report.values(), expect, "engine {}", desc.label);
+        } else {
+            for (got, want) in report.values().iter().zip(&expect) {
+                let (got, want) = (got.unwrap() as f64, want.unwrap() as f64);
+                let rel = (got - want).abs() / want.abs().max(1.0);
+                assert!(rel < 0.05, "{}: got {got}, want {want}", desc.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn kll_distributed_tracks_truth_and_ships_sublinearly() {
+    let inputs = soccer_inputs(3, 3, 5_000, &[1, 1, 1]);
+    let expect = truths(&inputs, Quantile::P75);
+    let config = ClusterConfig::baseline(EngineKind::KllDistributed { k: 512 }, Quantile::P75);
+    let report = run_cluster(&config, inputs.clone()).unwrap();
+    for (got, want) in report.values().iter().zip(&expect) {
+        let (got, want) = (got.unwrap() as f64, want.unwrap() as f64);
+        let rel = (got - want).abs() / want.abs().max(1.0);
+        assert!(rel < 0.05, "got {got}, want {want}");
+    }
+    // The sketch summary must undercut shipping the raw windows.
+    let central = run_cluster(
+        &ClusterConfig::baseline(EngineKind::Centralized, Quantile::P75),
+        inputs,
+    )
+    .unwrap();
+    assert!(data_traffic(&report).bytes * 2 < data_traffic(&central).bytes);
+}
+
+#[test]
+fn tcp_and_throttled_transports_cover_dema_and_centralized() {
+    // Loopback TCP and the bandwidth-capped links against the sort oracle,
+    // for both the protocol with a control plane and the plain baseline.
+    let inputs = soccer_inputs(2, 2, 1_000, &[1, 1]);
+    let expect = truths(&inputs, Quantile::MEDIAN);
+    let engines = [
+        EngineKind::Dema {
+            gamma: GammaMode::Fixed(100),
+            strategy: SelectionStrategy::WindowCut,
+        },
+        EngineKind::Centralized,
+    ];
+    for engine in engines {
+        for transport in [
+            TransportKind::Tcp,
+            TransportKind::Throttled { mbits_per_sec: 500 },
+        ] {
+            let mut cfg = ClusterConfig::baseline(engine, Quantile::MEDIAN);
+            cfg.transport = transport;
+            let report = run_cluster(&cfg, inputs.clone()).unwrap();
+            assert_eq!(
+                report.values(),
+                expect,
+                "engine {} over {transport:?}",
+                engine.label()
+            );
+            assert!(data_traffic(&report).bytes > 0);
+        }
+    }
+}
+
+#[test]
 fn tcp_transport_matches_mem_transport() {
     let inputs = soccer_inputs(2, 2, 1_000, &[1, 1]);
     let mut mem_cfg = ClusterConfig::dema_fixed(100, Quantile::MEDIAN);
@@ -210,7 +298,10 @@ fn latency_is_recorded_per_window() {
     let report = run_cluster(&ClusterConfig::dema_fixed(100, Quantile::MEDIAN), inputs).unwrap();
     assert_eq!(report.latency.count(), 5);
     assert!(report.mean_latency_us().unwrap() >= 0.0);
-    assert!(report.outcomes.iter().all(|o| o.latency_us < 10_000_000), "latency sane");
+    assert!(
+        report.outcomes.iter().all(|o| o.latency_us < 10_000_000),
+        "latency sane"
+    );
 }
 
 #[test]
@@ -275,20 +366,28 @@ fn per_node_gamma_stays_exact_and_beats_global_on_heterogeneous_nodes() {
 fn extra_quantiles_answered_from_one_calculation_step() {
     let inputs = soccer_inputs(3, 3, 2_000, &[1, 1, 1]);
     let mut cfg = ClusterConfig::dema_fixed(128, Quantile::MEDIAN);
-    cfg.extra_quantiles = vec![
-        Quantile::P25,
-        Quantile::P75,
-        Quantile::new(0.99).unwrap(),
-    ];
+    cfg.extra_quantiles = vec![Quantile::P25, Quantile::P75, Quantile::new(0.99).unwrap()];
     let report = run_cluster(&cfg, inputs.clone()).unwrap();
     for (w, outcome) in report.outcomes.iter().enumerate() {
         let per_node: Vec<Vec<dema_core::event::Event>> =
             inputs.iter().map(|n| n[w].clone()).collect();
         let truth = |q| quantile_ground_truth(&per_node, q).unwrap().value;
-        assert_eq!(outcome.value, Some(truth(Quantile::MEDIAN)), "window {w} median");
+        assert_eq!(
+            outcome.value,
+            Some(truth(Quantile::MEDIAN)),
+            "window {w} median"
+        );
         assert_eq!(outcome.extra_values.len(), 3);
-        assert_eq!(outcome.extra_values[0], truth(Quantile::P25), "window {w} p25");
-        assert_eq!(outcome.extra_values[1], truth(Quantile::P75), "window {w} p75");
+        assert_eq!(
+            outcome.extra_values[0],
+            truth(Quantile::P25),
+            "window {w} p25"
+        );
+        assert_eq!(
+            outcome.extra_values[1],
+            truth(Quantile::P75),
+            "window {w} p75"
+        );
         assert_eq!(
             outcome.extra_values[2],
             truth(Quantile::new(0.99).unwrap()),
@@ -299,7 +398,12 @@ fn extra_quantiles_answered_from_one_calculation_step() {
     // The shared run must cost less than four separate single-quantile runs.
     let shared = data_traffic(&report).plus(&report.control_traffic);
     let mut separate = dema_metrics::NetworkSnapshot::default();
-    for q in [Quantile::MEDIAN, Quantile::P25, Quantile::P75, Quantile::new(0.99).unwrap()] {
+    for q in [
+        Quantile::MEDIAN,
+        Quantile::P25,
+        Quantile::P75,
+        Quantile::new(0.99).unwrap(),
+    ] {
         let r = run_cluster(&ClusterConfig::dema_fixed(128, q), inputs.clone()).unwrap();
         separate = separate.plus(&data_traffic(&r)).plus(&r.control_traffic);
     }

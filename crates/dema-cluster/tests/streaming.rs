@@ -21,9 +21,7 @@ fn streams(n: usize, seconds: usize, rate: u64) -> Vec<Vec<Event>> {
 fn streaming_matches_prewindowed_for_all_engines() {
     let raw = streams(3, 3, 2_000);
     let windowed: Vec<Vec<Vec<Event>>> = (0..3)
-        .map(|i| {
-            SoccerGenerator::new(500 + i as u64, 1, 2_000, 0).take_windows(3, 1000)
-        })
+        .map(|i| SoccerGenerator::new(500 + i as u64, 1, 2_000, 0).take_windows(3, 1000))
         .collect();
     for engine in [
         ClusterConfig::dema_fixed(128, Quantile::MEDIAN).engine,
@@ -33,7 +31,12 @@ fn streaming_matches_prewindowed_for_all_engines() {
         let cfg = ClusterConfig::baseline(engine, Quantile::MEDIAN);
         let streaming = run_cluster_streaming(&cfg, raw.clone(), 1000, 0).unwrap();
         let pre = run_cluster(&cfg, windowed.clone()).unwrap();
-        assert_eq!(streaming.values(), pre.values(), "engine {}", engine.label());
+        assert_eq!(
+            streaming.values(),
+            pre.values(),
+            "engine {}",
+            engine.label()
+        );
         assert_eq!(streaming.late_events, 0);
     }
 }
@@ -66,7 +69,10 @@ fn allowed_lateness_admits_out_of_order_events() {
     let cfg = ClusterConfig::dema_fixed(64, Quantile::MEDIAN);
     let strict = run_cluster_streaming(&cfg, vec![events.clone()], 1000, 0).unwrap();
     let lenient = run_cluster_streaming(&cfg, vec![events.clone()], 1000, 200).unwrap();
-    assert!(strict.late_events > 0, "reversed chunks must trip a zero-slack watermark");
+    assert!(
+        strict.late_events > 0,
+        "reversed chunks must trip a zero-slack watermark"
+    );
     assert_eq!(lenient.late_events, 0);
     // With enough lateness allowance the results equal the in-order run.
     let mut in_order = events;
@@ -79,9 +85,14 @@ fn allowed_lateness_admits_out_of_order_events() {
 fn nodes_with_gaps_report_empty_windows() {
     // Node 0 active in seconds 0 and 4; node 1 only in second 2.
     let mk = |start: u64, n: u64, id0: u64| -> Vec<Event> {
-        (0..n).map(|i| Event::new(i as i64, start + i, id0 + i)).collect()
+        (0..n)
+            .map(|i| Event::new(i as i64, start + i, id0 + i))
+            .collect()
     };
-    let node0: Vec<Event> = mk(0, 500, 0).into_iter().chain(mk(4000, 500, 10_000)).collect();
+    let node0: Vec<Event> = mk(0, 500, 0)
+        .into_iter()
+        .chain(mk(4000, 500, 10_000))
+        .collect();
     let node1 = mk(2000, 500, 20_000);
     let cfg = ClusterConfig::dema_fixed(16, Quantile::MEDIAN);
     let report = run_cluster_streaming(&cfg, vec![node0, node1], 1000, 0).unwrap();

@@ -15,7 +15,9 @@ use dema_core::quantile::Quantile;
 fn seeded_inputs(nodes: usize, windows: usize, events_per_window: usize) -> Vec<Vec<Vec<Event>>> {
     let mut state = 0x2545_F491_4F6C_DD1Du64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     (0..nodes)

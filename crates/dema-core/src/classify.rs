@@ -146,7 +146,11 @@ pub fn classify(synopses: &[SliceSynopsis]) -> Classification {
         }
     }
 
-    Classification { groups, group_of, kinds }
+    Classification {
+        groups,
+        group_of,
+        kinds,
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +161,11 @@ mod tests {
 
     fn syn(node: u32, index: u32, first: i64, last: i64, count: u64) -> SliceSynopsis {
         SliceSynopsis {
-            id: SliceId { node: NodeId(node), window: WindowId(0), index },
+            id: SliceId {
+                node: NodeId(node),
+                window: WindowId(0),
+                index,
+            },
             first,
             last,
             count,
@@ -167,7 +175,11 @@ mod tests {
 
     #[test]
     fn disjoint_slices_are_separate_singletons() {
-        let s = vec![syn(0, 0, 0, 9, 10), syn(1, 0, 20, 29, 10), syn(0, 1, 40, 49, 10)];
+        let s = vec![
+            syn(0, 0, 0, 9, 10),
+            syn(1, 0, 20, 29, 10),
+            syn(0, 1, 40, 49, 10),
+        ];
         let c = classify(&s);
         assert_eq!(c.groups.len(), 3);
         assert!(c.kinds.iter().all(|k| *k == SliceKind::Separate));
@@ -221,7 +233,11 @@ mod tests {
         let c = classify(&s);
         assert_eq!(c.groups.len(), 1);
         // Exactly one is marked Cover (the tie is broken deterministically).
-        let covers = c.kinds.iter().filter(|k| matches!(k, SliceKind::Cover { .. })).count();
+        let covers = c
+            .kinds
+            .iter()
+            .filter(|k| matches!(k, SliceKind::Cover { .. }))
+            .count();
         assert_eq!(covers, 1);
     }
 
@@ -256,7 +272,11 @@ mod tests {
     #[test]
     fn chain_of_overlaps_forms_single_compound() {
         // a overlaps b, b overlaps c, a does not overlap c — still one group.
-        let s = vec![syn(0, 0, 0, 10, 2), syn(1, 0, 8, 20, 2), syn(2, 0, 18, 30, 2)];
+        let s = vec![
+            syn(0, 0, 0, 10, 2),
+            syn(1, 0, 8, 20, 2),
+            syn(2, 0, 18, 30, 2),
+        ];
         let c = classify(&s);
         assert_eq!(c.groups.len(), 1);
         assert!(c.kinds.iter().all(|k| *k == SliceKind::Compound));
@@ -273,7 +293,11 @@ mod tests {
     #[test]
     fn cover_inside_cover() {
         // c inside b inside a: both b and c are cover-slices (coverer = a).
-        let s = vec![syn(0, 0, 0, 100, 4), syn(1, 0, 10, 50, 4), syn(2, 0, 20, 30, 4)];
+        let s = vec![
+            syn(0, 0, 0, 100, 4),
+            syn(1, 0, 10, 50, 4),
+            syn(2, 0, 20, 30, 4),
+        ];
         let c = classify(&s);
         assert_eq!(c.kinds[0], SliceKind::Compound);
         assert_eq!(c.kinds[1], SliceKind::Cover { coverer: 0 });

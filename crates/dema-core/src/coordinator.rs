@@ -89,8 +89,10 @@ pub fn exact_quantile_decentralized(
         let l_local = len_to_u64(sorted.len());
         let slices = cut_into_slices(NodeId(len_to_u32(i)), window, sorted, gamma)?;
         let total = len_to_u32(slices.len());
-        let node_synopses =
-            slices.iter().map(|s| s.synopsis(total)).collect::<Result<Vec<_>>>()?;
+        let node_synopses = slices
+            .iter()
+            .map(|s| s.synopsis(total))
+            .collect::<Result<Vec<_>>>()?;
         invariant::check_partition(&slices, &node_synopses, l_local)?;
         synopses.extend(node_synopses);
         slice_store.extend(slices);
@@ -118,7 +120,12 @@ pub fn exact_quantile_decentralized(
         candidate_events_sent: selection.candidate_events,
         total_events: total,
     };
-    Ok(DecentralizedRun { result: event.value, event, stats, selection })
+    Ok(DecentralizedRun {
+        result: event.value,
+        event,
+        stats,
+        selection,
+    })
 }
 
 /// Look up the requested candidate slices in the local nodes' stores.
@@ -133,7 +140,9 @@ fn fetch_candidates(store: &[Slice], wanted: &[SliceId]) -> Result<Vec<SharedRun
                 .iter()
                 .find(|s| s.id == *id)
                 .map(|s| s.events.clone())
-                .ok_or(DemaError::MissingCandidate { slice: id.to_string() })
+                .ok_or(DemaError::MissingCandidate {
+                    slice: id.to_string(),
+                })
         })
         .collect()
 }
@@ -158,7 +167,10 @@ mod tests {
     use super::*;
 
     fn events(vals: &[i64]) -> Vec<Event> {
-        vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| Event::new(v, 0, i as u64))
+            .collect()
     }
 
     const ALL: [SelectionStrategy; 3] = [
@@ -183,8 +195,15 @@ mod tests {
     #[test]
     fn interleaved_nodes_all_quantiles() {
         let a: Vec<Event> = (0..500).map(|i| Event::new(i * 2, 0, i as u64)).collect();
-        let b: Vec<Event> = (0..500).map(|i| Event::new(i * 2 + 1, 0, 1000 + i as u64)).collect();
-        for q in [Quantile::P25, Quantile::MEDIAN, Quantile::P75, Quantile::new(0.3).unwrap()] {
+        let b: Vec<Event> = (0..500)
+            .map(|i| Event::new(i * 2 + 1, 0, 1000 + i as u64))
+            .collect();
+        for q in [
+            Quantile::P25,
+            Quantile::MEDIAN,
+            Quantile::P75,
+            Quantile::new(0.3).unwrap(),
+        ] {
             let truth = quantile_ground_truth(&[a.clone(), b.clone()], q).unwrap();
             for strat in ALL {
                 let run =
@@ -198,9 +217,13 @@ mod tests {
     fn duplicate_heavy_input() {
         let a = events(&[5; 100]);
         let b = events(&[5; 50]);
-        let run =
-            exact_quantile_decentralized(&[a, b], Quantile::MEDIAN, 10, SelectionStrategy::WindowCut)
-                .unwrap();
+        let run = exact_quantile_decentralized(
+            &[a, b],
+            Quantile::MEDIAN,
+            10,
+            SelectionStrategy::WindowCut,
+        )
+        .unwrap();
         assert_eq!(run.result, 5);
     }
 
@@ -250,7 +273,9 @@ mod tests {
     #[test]
     fn traffic_is_far_below_centralized_for_disjoint_ranges() {
         let a: Vec<Event> = (0..10_000).map(|i| Event::new(i, 0, i as u64)).collect();
-        let b: Vec<Event> = (10_000..20_000).map(|i| Event::new(i, 0, i as u64)).collect();
+        let b: Vec<Event> = (10_000..20_000)
+            .map(|i| Event::new(i, 0, i as u64))
+            .collect();
         let run = exact_quantile_decentralized(
             &[a, b],
             Quantile::MEDIAN,
@@ -266,9 +291,12 @@ mod tests {
     #[test]
     fn skewed_scale_rates_still_exact() {
         // Dema #10 situation: node b's values are 10x node a's.
-        let a: Vec<Event> = (0..2000).map(|i| Event::new(i % 700, i as u64, i as u64)).collect();
-        let b: Vec<Event> =
-            (0..2000).map(|i| Event::new((i % 700) * 10, i as u64, 5000 + i as u64)).collect();
+        let a: Vec<Event> = (0..2000)
+            .map(|i| Event::new(i % 700, i as u64, i as u64))
+            .collect();
+        let b: Vec<Event> = (0..2000)
+            .map(|i| Event::new((i % 700) * 10, i as u64, 5000 + i as u64))
+            .collect();
         let q = Quantile::new(0.3).unwrap();
         let truth = quantile_ground_truth(&[a.clone(), b.clone()], q).unwrap();
         for strat in ALL {

@@ -87,9 +87,16 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = DemaError::EventOutOfWindow { ts: 5, start: 10, end: 20 };
+        let e = DemaError::EventOutOfWindow {
+            ts: 5,
+            start: 10,
+            end: 20,
+        };
         assert_eq!(e.to_string(), "event ts=5 outside window [10, 20)");
-        assert_eq!(DemaError::InvalidGamma(1).to_string(), "invalid slice factor γ=1, must be >= 2");
+        assert_eq!(
+            DemaError::InvalidGamma(1).to_string(),
+            "invalid slice factor γ=1, must be >= 2"
+        );
     }
 
     #[test]
@@ -107,6 +114,9 @@ mod tests {
     #[test]
     fn invariant_violation_displays_detail() {
         let e = DemaError::InvariantViolation("counts sum to 9, window holds 10".into());
-        assert_eq!(e.to_string(), "invariant violated: counts sum to 9, window holds 10");
+        assert_eq!(
+            e.to_string(),
+            "invariant violated: counts sum to 9, window holds 10"
+        );
     }
 }

@@ -147,7 +147,11 @@ mod tests {
 
     #[test]
     fn is_sorted_detects_order() {
-        let sorted = vec![Event::new(1, 0, 0), Event::new(1, 0, 1), Event::new(2, 0, 0)];
+        let sorted = vec![
+            Event::new(1, 0, 0),
+            Event::new(1, 0, 1),
+            Event::new(2, 0, 0),
+        ];
         let unsorted = vec![Event::new(2, 0, 0), Event::new(1, 0, 0)];
         assert!(is_sorted(&sorted));
         assert!(!is_sorted(&unsorted));

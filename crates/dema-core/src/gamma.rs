@@ -90,7 +90,10 @@ impl AdaptiveGamma {
     pub fn new(initial: u64, alpha: f64, min_gamma: u64, max_gamma: u64) -> AdaptiveGamma {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         assert!(min_gamma >= 2, "γ must be at least 2");
-        assert!(min_gamma <= max_gamma, "min_gamma must not exceed max_gamma");
+        assert!(
+            min_gamma <= max_gamma,
+            "min_gamma must not exceed max_gamma"
+        );
         AdaptiveGamma {
             alpha,
             l_g: 0.0,
@@ -183,7 +186,13 @@ mod tests {
 
     #[test]
     fn optimal_gamma_is_discrete_argmin() {
-        for &(l_g, m) in &[(1_000u64, 1u64), (10_000, 3), (100_000, 7), (123, 5), (2, 1)] {
+        for &(l_g, m) in &[
+            (1_000u64, 1u64),
+            (10_000, 3),
+            (100_000, 7),
+            (123, 5),
+            (2, 1),
+        ] {
             let g = optimal_gamma(l_g, m);
             let best = (2..=l_g.max(2))
                 .min_by(|&a, &b| cost(l_g, m, a).partial_cmp(&cost(l_g, m, b)).unwrap())
@@ -240,7 +249,10 @@ mod tests {
             ctl.observe(1_000_000, 2);
         }
         let large = ctl.current();
-        assert!(large > small, "γ should grow with window size: {small} -> {large}");
+        assert!(
+            large > small,
+            "γ should grow with window size: {small} -> {large}"
+        );
     }
 
     #[test]

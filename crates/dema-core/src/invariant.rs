@@ -57,11 +57,7 @@ fn fail(msg: String) -> Result<()> {
 ///
 /// # Errors
 /// [`DemaError::InvariantViolation`] naming the first violated property.
-pub fn check_partition(
-    slices: &[Slice],
-    synopses: &[SliceSynopsis],
-    l_local: u64,
-) -> Result<()> {
+pub fn check_partition(slices: &[Slice], synopses: &[SliceSynopsis], l_local: u64) -> Result<()> {
     if !enabled() {
         return Ok(());
     }
@@ -78,7 +74,10 @@ pub fn check_partition(
             return fail(format!("partition: slice {} labelled {}", slice.id, syn.id));
         }
         if u64::from(syn.id.index) != len_to_u64(i) {
-            return fail(format!("partition: slice #{i} carries index {}", syn.id.index));
+            return fail(format!(
+                "partition: slice #{i} carries index {}",
+                syn.id.index
+            ));
         }
         if len_to_u64(slice.events.len()) != syn.count {
             return fail(format!(
@@ -107,8 +106,7 @@ pub fn check_partition(
         ));
     }
     for pair in slices.windows(2) {
-        if let (Some(prev_last), Some(next_first)) =
-            (pair[0].events.last(), pair[1].events.first())
+        if let (Some(prev_last), Some(next_first)) = (pair[0].events.last(), pair[1].events.first())
         {
             if prev_last > next_first {
                 return fail(format!(
@@ -200,7 +198,9 @@ pub fn check_selection(
     let index = RankIndex::build(synopses);
     let total = index.total();
     if k == 0 || k > total {
-        return fail(format!("selection: target rank {k} outside window of {total}"));
+        return fail(format!(
+            "selection: target rank {k} outside window of {total}"
+        ));
     }
     let chosen: std::collections::HashSet<SliceId> = candidates.iter().copied().collect();
     let mut covered = false;
@@ -219,7 +219,9 @@ pub fn check_selection(
         }
     }
     if !covered {
-        return fail(format!("selection: no candidate interval contains rank {k}"));
+        return fail(format!(
+            "selection: no candidate interval contains rank {k}"
+        ));
     }
     if below != offset_below {
         return fail(format!(
@@ -328,7 +330,9 @@ pub fn check_gamma(l_g: u64, m: u64, gamma: u64) -> Result<()> {
         return if gamma == hi {
             Ok(())
         } else {
-            fail(format!("gamma: m=0 demands γ={hi} (one slice), got {gamma}"))
+            fail(format!(
+                "gamma: m=0 demands γ={hi} (one slice), got {gamma}"
+            ))
         };
     }
     if gamma > hi {
@@ -430,18 +434,24 @@ mod tests {
     #[test]
     fn selection_accepts_the_real_selector() {
         let (_, synopses) = slices_and_synopses(1000, 64);
-        let sel =
-            crate::selector::select(&synopses, 500, crate::selector::SelectionStrategy::WindowCut)
-                .unwrap();
+        let sel = crate::selector::select(
+            &synopses,
+            500,
+            crate::selector::SelectionStrategy::WindowCut,
+        )
+        .unwrap();
         check_selection(&synopses, &sel.candidates, 500, sel.offset_below).unwrap();
     }
 
     #[test]
     fn selection_rejects_missing_candidate_and_bad_offset() {
         let (_, synopses) = slices_and_synopses(1000, 64);
-        let sel =
-            crate::selector::select(&synopses, 500, crate::selector::SelectionStrategy::WindowCut)
-                .unwrap();
+        let sel = crate::selector::select(
+            &synopses,
+            500,
+            crate::selector::SelectionStrategy::WindowCut,
+        )
+        .unwrap();
         assert!(check_selection(&synopses, &[], 500, sel.offset_below).is_err());
         assert!(check_selection(&synopses, &sel.candidates, 500, sel.offset_below + 1).is_err());
         assert!(check_selection(&synopses, &sel.candidates, 0, sel.offset_below).is_err());
@@ -468,7 +478,14 @@ mod tests {
 
     #[test]
     fn gamma_bracketing_matches_optimal_gamma() {
-        for &(l_g, m) in &[(1_000u64, 1u64), (10_000, 3), (123, 5), (2, 1), (500, 0), (0, 0)] {
+        for &(l_g, m) in &[
+            (1_000u64, 1u64),
+            (10_000, 3),
+            (123, 5),
+            (2, 1),
+            (500, 0),
+            (0, 0),
+        ] {
             check_gamma(l_g, m, optimal_gamma(l_g, m)).unwrap();
         }
         assert!(check_gamma(10_000, 3, 2).is_err());

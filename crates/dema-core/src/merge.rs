@@ -99,7 +99,10 @@ pub struct CandidateMerger {
 impl CandidateMerger {
     /// Create a merger expecting `expected` candidate runs.
     pub fn new(expected: usize) -> CandidateMerger {
-        CandidateMerger { runs: Vec::with_capacity(expected), expected }
+        CandidateMerger {
+            runs: Vec::with_capacity(expected),
+            expected,
+        }
     }
 
     /// Add one delivered candidate run (sorted events of one slice).
@@ -196,8 +199,14 @@ mod tests {
     #[test]
     fn select_kth_bounds() {
         let runs = vec![run(&[1, 2])];
-        assert!(matches!(select_kth(&runs, 0), Err(DemaError::RankOutOfRange { .. })));
-        assert!(matches!(select_kth(&runs, 3), Err(DemaError::RankOutOfRange { .. })));
+        assert!(matches!(
+            select_kth(&runs, 0),
+            Err(DemaError::RankOutOfRange { .. })
+        ));
+        assert!(matches!(
+            select_kth(&runs, 3),
+            Err(DemaError::RankOutOfRange { .. })
+        ));
         assert!(matches!(
             select_kth::<Vec<Event>>(&[], 1),
             Err(DemaError::RankOutOfRange { .. })
@@ -210,7 +219,10 @@ mod tests {
         m.add_run(run(&[1, 2]));
         assert!(!m.complete());
         assert_eq!(m.missing(), 1);
-        assert!(matches!(m.select(1), Err(DemaError::MissingCandidate { .. })));
+        assert!(matches!(
+            m.select(1),
+            Err(DemaError::MissingCandidate { .. })
+        ));
         m.add_run(run(&[0, 3]));
         assert!(m.complete());
         assert_eq!(m.select(1).unwrap().value, 0);

@@ -88,8 +88,11 @@ pub fn select_multi(
     // provably before each rank.
     let index = RankIndex::build(synopses);
     let total = index.total();
-    let candidate_events: u64 =
-        synopses.iter().filter(|s| in_union.contains(&s.id)).map(|s| s.count).sum();
+    let candidate_events: u64 = synopses
+        .iter()
+        .filter(|s| in_union.contains(&s.id))
+        .map(|s| s.count)
+        .sum();
     let plans = ranks
         .iter()
         .map(|&k| {
@@ -98,10 +101,18 @@ pub fn select_multi(
                 .filter(|s| !in_union.contains(&s.id) && index.interval(s).entirely_before(k))
                 .map(|s| s.count)
                 .sum();
-            RankPlan { rank: k, offset_below }
+            RankPlan {
+                rank: k,
+                offset_below,
+            }
         })
         .collect();
-    Ok(MultiSelection { candidates: union, plans, total_events: total, candidate_events })
+    Ok(MultiSelection {
+        candidates: union,
+        plans,
+        total_events: total,
+        candidate_events,
+    })
 }
 
 /// Single-process reference: answer several quantiles of one distributed
@@ -128,8 +139,10 @@ pub fn multi_quantile_decentralized(
         let l_local = len_to_u64(sorted.len());
         let slices = cut_into_slices(NodeId(len_to_u32(i)), WindowId(0), sorted, gamma)?;
         let total = len_to_u32(slices.len());
-        let node_synopses =
-            slices.iter().map(|s| s.synopsis(total)).collect::<Result<Vec<_>>>()?;
+        let node_synopses = slices
+            .iter()
+            .map(|s| s.synopsis(total))
+            .collect::<Result<Vec<_>>>()?;
         invariant::check_partition(&slices, &node_synopses, l_local)?;
         synopses.extend(node_synopses);
         store.extend(slices);
@@ -139,8 +152,10 @@ pub fn multi_quantile_decentralized(
         return Err(DemaError::EmptyWindow);
     }
     invariant::check_synopsis_order(&synopses)?;
-    let ranks: Vec<u64> =
-        quantiles.iter().map(|q| q.pos(total)).collect::<Result<Vec<_>>>()?;
+    let ranks: Vec<u64> = quantiles
+        .iter()
+        .map(|q| q.pos(total))
+        .collect::<Result<Vec<_>>>()?;
     let multi = select_multi(&synopses, &ranks, strategy)?;
     for plan in &multi.plans {
         invariant::check_selection(&synopses, &multi.candidates, plan.rank, plan.offset_below)?;
@@ -154,7 +169,9 @@ pub fn multi_quantile_decentralized(
                 .iter()
                 .find(|s| s.id == *id)
                 .map(|s| s.events.clone())
-                .ok_or(DemaError::MissingCandidate { slice: id.to_string() })
+                .ok_or(DemaError::MissingCandidate {
+                    slice: id.to_string(),
+                })
         })
         .collect::<Result<Vec<_>>>()?;
     multi
@@ -179,16 +196,22 @@ mod tests {
     use crate::coordinator::quantile_ground_truth;
 
     fn events(vals: &[i64]) -> Vec<Event> {
-        vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| Event::new(v, 0, i as u64))
+            .collect()
     }
 
     const QS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
 
     #[test]
     fn multi_matches_single_queries() {
-        let a: Vec<Event> = (0..1000).map(|i| Event::new(i * 3 % 500, 0, i as u64)).collect();
-        let b: Vec<Event> =
-            (0..800).map(|i| Event::new(i * 7 % 900, 0, 10_000 + i as u64)).collect();
+        let a: Vec<Event> = (0..1000)
+            .map(|i| Event::new(i * 3 % 500, 0, i as u64))
+            .collect();
+        let b: Vec<Event> = (0..800)
+            .map(|i| Event::new(i * 7 % 900, 0, 10_000 + i as u64))
+            .collect();
         let quantiles: Vec<Quantile> = QS.iter().map(|&q| Quantile::new(q).unwrap()).collect();
         let got = multi_quantile_decentralized(
             &[a.clone(), b.clone()],
@@ -219,8 +242,7 @@ mod tests {
         let synopses: Vec<SliceSynopsis> =
             slices.iter().map(|s| s.synopsis(100).unwrap()).collect();
         // Two ranks in the same slice:
-        let multi =
-            select_multi(&synopses, &[5_010, 5_020], SelectionStrategy::WindowCut).unwrap();
+        let multi = select_multi(&synopses, &[5_010, 5_020], SelectionStrategy::WindowCut).unwrap();
         assert_eq!(multi.candidates.len(), 1);
         assert_eq!(multi.plans[0].rank_within_candidates(), 10);
         assert_eq!(multi.plans[1].rank_within_candidates(), 20);
@@ -245,7 +267,7 @@ mod tests {
             SelectionStrategy::WindowCut,
         );
         assert!(err.is_ok()); // 1.0 is fine
-        // but select_multi with a raw absurd rank is not:
+                              // but select_multi with a raw absurd rank is not:
         let mut sorted = events(&[1, 2, 3]);
         sorted.sort_unstable();
         let slices = crate::slice::cut_into_slices(
@@ -266,9 +288,8 @@ mod tests {
     fn extreme_rank_pair_spans_whole_window() {
         let a: Vec<Event> = (0..1000).map(|i| Event::new(i, 0, i as u64)).collect();
         let quantiles = vec![Quantile::new(0.001).unwrap(), Quantile::new(1.0).unwrap()];
-        let got =
-            multi_quantile_decentralized(&[a], &quantiles, 50, SelectionStrategy::WindowCut)
-                .unwrap();
+        let got = multi_quantile_decentralized(&[a], &quantiles, 50, SelectionStrategy::WindowCut)
+            .unwrap();
         assert_eq!(got, vec![0, 999]);
     }
 
@@ -278,20 +299,18 @@ mod tests {
         let b = events(&[5; 30]);
         let c = events(&[7; 20]);
         let quantiles = vec![Quantile::P25, Quantile::MEDIAN, Quantile::new(0.9).unwrap()];
-        let got = multi_quantile_decentralized(
-            &[a, b, c],
-            &quantiles,
-            8,
-            SelectionStrategy::WindowCut,
-        )
-        .unwrap();
+        let got =
+            multi_quantile_decentralized(&[a, b, c], &quantiles, 8, SelectionStrategy::WindowCut)
+                .unwrap();
         assert_eq!(got, vec![5, 5, 7]);
     }
 
     #[test]
     fn all_strategies_agree() {
         let a: Vec<Event> = (0..500).map(|i| Event::new(i % 97, 0, i as u64)).collect();
-        let b: Vec<Event> = (0..500).map(|i| Event::new(i % 89, 0, 1000 + i as u64)).collect();
+        let b: Vec<Event> = (0..500)
+            .map(|i| Event::new(i % 89, 0, 1000 + i as u64))
+            .collect();
         let quantiles: Vec<Quantile> = QS.iter().map(|&q| Quantile::new(q).unwrap()).collect();
         let reference = multi_quantile_decentralized(
             &[a.clone(), b.clone()],
@@ -301,13 +320,9 @@ mod tests {
         )
         .unwrap();
         for strategy in [SelectionStrategy::ClassifiedScan, SelectionStrategy::NoCut] {
-            let got = multi_quantile_decentralized(
-                &[a.clone(), b.clone()],
-                &quantiles,
-                16,
-                strategy,
-            )
-            .unwrap();
+            let got =
+                multi_quantile_decentralized(&[a.clone(), b.clone()], &quantiles, 16, strategy)
+                    .unwrap();
             assert_eq!(got, reference, "{strategy:?}");
         }
     }

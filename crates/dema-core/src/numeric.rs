@@ -39,6 +39,29 @@ pub fn f64_to_u64(x: f64) -> u64 {
     x as u64 // lint: allow(R2): saturating float-to-int is the documented policy
 }
 
+/// Widen an event value to `f64` for sketch-based engines.
+///
+/// Lossless for |x| ≤ 2^53; beyond that the nearest representable float is
+/// used, which only perturbs an *approximate* engine's estimate — the exact
+/// engines never round-trip values through floats.
+#[inline]
+#[must_use]
+pub fn i64_to_f64(x: i64) -> f64 {
+    x as f64 // lint: allow(R2): widening for approximate sketches, rounds above 2^53 by design
+}
+
+/// Convert a sketch estimate back to the event value domain, saturating.
+///
+/// `NaN` maps to 0; values outside `i64`'s range clamp to the nearest bound
+/// (guaranteed `as`-cast semantics since Rust 1.45). Only approximate
+/// engines use this — their answers carry rank error anyway, so saturation
+/// at the extremes of the domain is benign.
+#[inline]
+#[must_use]
+pub fn f64_to_i64(x: f64) -> i64 {
+    x as i64 // lint: allow(R2): saturating float-to-int is the documented policy
+}
+
 /// Widen a collection length to the wire's `u64` count domain.
 ///
 /// Infallible on every supported platform (`usize` ≤ 64 bits); written as
@@ -91,6 +114,16 @@ mod tests {
         assert_eq!(f64_to_u64(f64::INFINITY), u64::MAX);
         assert_eq!(f64_to_u64(2.0f64.powi(64)), u64::MAX);
         assert_eq!(f64_to_u64(42.9), 42);
+    }
+
+    #[test]
+    fn i64_f64_roundtrip_and_saturation() {
+        assert_eq!(i64_to_f64(-42), -42.0);
+        assert_eq!(f64_to_i64(i64_to_f64(1 << 52)), 1 << 52);
+        assert_eq!(f64_to_i64(f64::NAN), 0);
+        assert_eq!(f64_to_i64(1e30), i64::MAX);
+        assert_eq!(f64_to_i64(-1e30), i64::MIN);
+        assert_eq!(f64_to_i64(42.9), 42);
     }
 
     #[test]

@@ -140,7 +140,11 @@ mod tests {
 
     fn syn(node: u32, index: u32, first: i64, last: i64, count: u64) -> SliceSynopsis {
         SliceSynopsis {
-            id: SliceId { node: NodeId(node), window: WindowId(0), index },
+            id: SliceId {
+                node: NodeId(node),
+                window: WindowId(0),
+                index,
+            },
             first,
             last,
             count,
@@ -158,9 +162,27 @@ mod tests {
             syn(0, 1, 20, 29, 10),
         ];
         let iv = rank_intervals(&s);
-        assert_eq!(iv[0], RankInterval { min_start: 1, max_end: 10 });
-        assert_eq!(iv[1], RankInterval { min_start: 11, max_end: 20 });
-        assert_eq!(iv[2], RankInterval { min_start: 21, max_end: 30 });
+        assert_eq!(
+            iv[0],
+            RankInterval {
+                min_start: 1,
+                max_end: 10
+            }
+        );
+        assert_eq!(
+            iv[1],
+            RankInterval {
+                min_start: 11,
+                max_end: 20
+            }
+        );
+        assert_eq!(
+            iv[2],
+            RankInterval {
+                min_start: 21,
+                max_end: 30
+            }
+        );
     }
 
     #[test]
@@ -168,8 +190,20 @@ mod tests {
         let s = vec![syn(0, 0, 0, 15, 10), syn(1, 0, 10, 25, 10)];
         let iv = rank_intervals(&s);
         // Neither slice is guaranteed below the other.
-        assert_eq!(iv[0], RankInterval { min_start: 1, max_end: 20 });
-        assert_eq!(iv[1], RankInterval { min_start: 1, max_end: 20 });
+        assert_eq!(
+            iv[0],
+            RankInterval {
+                min_start: 1,
+                max_end: 20
+            }
+        );
+        assert_eq!(
+            iv[1],
+            RankInterval {
+                min_start: 1,
+                max_end: 20
+            }
+        );
     }
 
     #[test]
@@ -204,8 +238,11 @@ mod tests {
         let mut synopses = Vec::new();
         let mut slice_of_run = Vec::new();
         for (n, vals) in runs.iter().enumerate() {
-            let events: Vec<Event> =
-                vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, (n * 100 + i) as u64)).collect();
+            let events: Vec<Event> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Event::new(v, 0, (n * 100 + i) as u64))
+                .collect();
             let slices = cut_into_slices(NodeId(n as u32), WindowId(0), events, 3).unwrap();
             for s in &slices {
                 synopses.push(s.synopsis(slices.len() as u32).unwrap());
@@ -248,13 +285,22 @@ mod tests {
         let s: Vec<_> = (0..4).map(|n| syn(n, 0, 42, 42, 5)).collect();
         let iv = rank_intervals(&s);
         for i in &iv {
-            assert_eq!(*i, RankInterval { min_start: 1, max_end: 20 });
+            assert_eq!(
+                *i,
+                RankInterval {
+                    min_start: 1,
+                    max_end: 20
+                }
+            );
         }
     }
 
     #[test]
     fn interval_predicates() {
-        let iv = RankInterval { min_start: 10, max_end: 20 };
+        let iv = RankInterval {
+            min_start: 10,
+            max_end: 20,
+        };
         assert!(iv.contains(10) && iv.contains(20) && iv.contains(15));
         assert!(!iv.contains(9) && !iv.contains(21));
         assert!(iv.entirely_before(21) && !iv.entirely_before(20));

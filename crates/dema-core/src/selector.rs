@@ -180,7 +180,12 @@ fn classified_scan(synopses: &[SliceSynopsis], k: u64) -> Vec<usize> {
         return group.members.clone();
     }
     let index = RankIndex::build(synopses);
-    let gamma = group.members.iter().map(|&i| synopses[i].count).max().unwrap_or(2);
+    let gamma = group
+        .members
+        .iter()
+        .map(|&i| synopses[i].count)
+        .max()
+        .unwrap_or(2);
     let pos_left = k.saturating_sub(gamma);
     let pos_right = k.saturating_add(gamma);
 
@@ -229,7 +234,11 @@ mod tests {
 
     fn syn(node: u32, index: u32, first: i64, last: i64, count: u64) -> SliceSynopsis {
         SliceSynopsis {
-            id: SliceId { node: NodeId(node), window: WindowId(0), index },
+            id: SliceId {
+                node: NodeId(node),
+                window: WindowId(0),
+                index,
+            },
             first,
             last,
             count,
@@ -287,13 +296,18 @@ mod tests {
     fn window_cut_prunes_far_slices_in_large_compound() {
         // A long chain of pairwise-overlapping slices; k in the middle.
         // NoCut fetches the whole chain; WindowCut only the neighbourhood.
-        let s: Vec<SliceSynopsis> =
-            (0..20).map(|i| syn(0, i, (i as i64) * 10, (i as i64) * 10 + 12, 100)).collect();
+        let s: Vec<SliceSynopsis> = (0..20)
+            .map(|i| syn(0, i, (i as i64) * 10, (i as i64) * 10 + 12, 100))
+            .collect();
         let k = 1000; // middle of 2000 events
         let cut = select(&s, k, SelectionStrategy::WindowCut).unwrap();
         let nocut = select(&s, k, SelectionStrategy::NoCut).unwrap();
         assert_eq!(nocut.candidates.len(), 20);
-        assert!(cut.candidates.len() < 6, "window-cut kept {}", cut.candidates.len());
+        assert!(
+            cut.candidates.len() < 6,
+            "window-cut kept {}",
+            cut.candidates.len()
+        );
         // Every window-cut candidate is also a no-cut candidate.
         for c in &cut.candidates {
             assert!(nocut.candidates.contains(c));
@@ -303,7 +317,15 @@ mod tests {
     #[test]
     fn classified_scan_is_superset_of_window_cut() {
         let s: Vec<SliceSynopsis> = (0..15)
-            .map(|i| syn(i % 3, i / 3, (i as i64) * 7, (i as i64) * 7 + 20, 10 + (i as u64) % 5))
+            .map(|i| {
+                syn(
+                    i % 3,
+                    i / 3,
+                    (i as i64) * 7,
+                    (i as i64) * 7 + 20,
+                    10 + (i as u64) % 5,
+                )
+            })
             .collect();
         let total: u64 = s.iter().map(|x| x.count).sum();
         for k in [1, total / 4, total / 2, (3 * total) / 4, total] {
@@ -319,14 +341,17 @@ mod tests {
     fn cover_slice_inside_candidate_is_selected() {
         // Big slice spans the rank; a small cover-slice hides inside it.
         let s = vec![
-            syn(0, 0, 0, 100, 50),  // candidate (contains the median range)
-            syn(1, 0, 40, 60, 10),  // cover-slice inside
+            syn(0, 0, 0, 100, 50), // candidate (contains the median range)
+            syn(1, 0, 40, 60, 10), // cover-slice inside
             syn(0, 1, 200, 300, 40),
         ];
         for strat in ALL {
             let sel = select(&s, 30, strat).unwrap();
             assert!(sel.candidates.contains(&s[0].id), "{strat:?}");
-            assert!(sel.candidates.contains(&s[1].id), "{strat:?} must include cover-slice");
+            assert!(
+                sel.candidates.contains(&s[1].id),
+                "{strat:?} must include cover-slice"
+            );
             assert!(!sel.candidates.contains(&s[2].id), "{strat:?}");
         }
     }
@@ -351,8 +376,14 @@ mod tests {
     fn rank_out_of_range_rejected() {
         let s = vec![syn(0, 0, 0, 9, 10)];
         for strat in ALL {
-            assert!(matches!(select(&s, 0, strat), Err(DemaError::RankOutOfRange { .. })));
-            assert!(matches!(select(&s, 11, strat), Err(DemaError::RankOutOfRange { .. })));
+            assert!(matches!(
+                select(&s, 0, strat),
+                Err(DemaError::RankOutOfRange { .. })
+            ));
+            assert!(matches!(
+                select(&s, 11, strat),
+                Err(DemaError::RankOutOfRange { .. })
+            ));
         }
     }
 
@@ -375,7 +406,11 @@ mod tests {
 
     #[test]
     fn candidates_sorted_by_value_interval() {
-        let s = vec![syn(1, 0, 50, 60, 10), syn(0, 0, 45, 55, 10), syn(2, 0, 40, 52, 10)];
+        let s = vec![
+            syn(1, 0, 50, 60, 10),
+            syn(0, 0, 45, 55, 10),
+            syn(2, 0, 40, 52, 10),
+        ];
         let sel = select(&s, 15, SelectionStrategy::WindowCut).unwrap();
         assert_eq!(sel.candidates.len(), 3);
         assert_eq!(sel.candidates[0], s[2].id);
@@ -385,7 +420,11 @@ mod tests {
 
     #[test]
     fn candidate_events_counts_fetched_volume() {
-        let s = vec![syn(0, 0, 0, 9, 10), syn(0, 1, 20, 29, 30), syn(0, 2, 40, 49, 10)];
+        let s = vec![
+            syn(0, 0, 0, 9, 10),
+            syn(0, 1, 20, 29, 30),
+            syn(0, 2, 40, 49, 10),
+        ];
         let sel = select(&s, 25, SelectionStrategy::WindowCut).unwrap();
         assert_eq!(sel.candidate_events, 30);
     }

@@ -33,14 +33,22 @@ pub struct SharedRun {
 impl SharedRun {
     /// An empty run (no allocation is shared).
     pub fn empty() -> SharedRun {
-        SharedRun { buf: Arc::from(Vec::new()), start: 0, end: 0 }
+        SharedRun {
+            buf: Arc::from(Vec::new()),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Wrap an owned buffer. The `Vec` is moved into the shared allocation
     /// without copying individual events beyond the one-time `Arc` setup.
     pub fn from_vec(events: Vec<Event>) -> SharedRun {
         let end = events.len();
-        SharedRun { buf: Arc::from(events), start: 0, end }
+        SharedRun {
+            buf: Arc::from(events),
+            start: 0,
+            end,
+        }
     }
 
     /// A view of `range` within the same backing buffer as `self`.
@@ -48,7 +56,10 @@ impl SharedRun {
     /// # Panics
     /// Panics if `range` is out of bounds or reversed.
     pub fn slice(&self, range: Range<usize>) -> SharedRun {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         SharedRun {
             buf: Arc::clone(&self.buf),
             start: self.start + range.start,

@@ -184,7 +184,11 @@ pub fn cut_into_slices(
     let mut slices = Vec::with_capacity(bounds.len() - 1);
     for (index, pair) in bounds.windows(2).enumerate() {
         slices.push(Slice {
-            id: SliceId { node, window, index: len_to_u32(index) },
+            id: SliceId {
+                node,
+                window,
+                index: len_to_u32(index),
+            },
             events: run.slice(pair[0]..pair[1]),
         });
     }
@@ -204,7 +208,11 @@ mod tests {
     }
 
     fn sid(index: u32) -> SliceId {
-        SliceId { node: NodeId(1), window: WindowId(0), index }
+        SliceId {
+            node: NodeId(1),
+            window: WindowId(0),
+            index,
+        }
     }
 
     #[test]
@@ -238,7 +246,10 @@ mod tests {
     fn slices_partition_the_window_in_order() {
         let events = sorted_events(37);
         let slices = cut_into_slices(NodeId(2), WindowId(3), events.clone(), 7).unwrap();
-        let rejoined: Vec<Event> = slices.iter().flat_map(|s| s.events.iter().copied()).collect();
+        let rejoined: Vec<Event> = slices
+            .iter()
+            .flat_map(|s| s.events.iter().copied())
+            .collect();
         assert_eq!(rejoined, events);
         for (i, s) in slices.iter().enumerate() {
             assert_eq!(s.id.index as usize, i);
@@ -327,7 +338,10 @@ mod tests {
     fn tamper(slice: &Slice, mutate: impl FnOnce(&mut Vec<Event>)) -> Slice {
         let mut events = slice.events.to_vec();
         mutate(&mut events);
-        Slice { id: slice.id, events: events.into() }
+        Slice {
+            id: slice.id,
+            events: events.into(),
+        }
     }
 
     #[test]
@@ -337,7 +351,10 @@ mod tests {
         let tampered = tamper(&slices[0], |ev| {
             ev.pop();
         });
-        assert!(matches!(tampered.verify_against(&syn), Err(DemaError::CorruptCandidate(_))));
+        assert!(matches!(
+            tampered.verify_against(&syn),
+            Err(DemaError::CorruptCandidate(_))
+        ));
     }
 
     #[test]
@@ -345,7 +362,10 @@ mod tests {
         let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
         let syn = slices[0].synopsis(2).unwrap();
         let tampered = tamper(&slices[0], |ev| ev[0].value = -99);
-        assert!(matches!(tampered.verify_against(&syn), Err(DemaError::CorruptCandidate(_))));
+        assert!(matches!(
+            tampered.verify_against(&syn),
+            Err(DemaError::CorruptCandidate(_))
+        ));
     }
 
     #[test]
@@ -372,6 +392,9 @@ mod tests {
     fn verify_detects_id_mismatch() {
         let slices = cut_into_slices(NodeId(1), WindowId(0), sorted_events(10), 5).unwrap();
         let syn = slices[0].synopsis(2).unwrap();
-        assert!(matches!(slices[1].verify_against(&syn), Err(DemaError::CorruptCandidate(_))));
+        assert!(matches!(
+            slices[1].verify_against(&syn),
+            Err(DemaError::CorruptCandidate(_))
+        ));
     }
 }

@@ -102,7 +102,10 @@ pub fn sliding_quantiles(
     //    SliceId.window encodes the pane index.
     let mut pane_slices: HashMap<SliceId, Slice> = HashMap::new();
     let mut pane_synopses: BTreeMap<u64, Vec<SliceSynopsis>> = BTreeMap::new();
-    let mut stats = SlidingStats { total_events, ..Default::default() };
+    let mut stats = SlidingStats {
+        total_events,
+        ..Default::default()
+    };
     let mut min_ts = u64::MAX;
     let mut max_ts = 0u64;
     for (n, events) in nodes.iter().enumerate() {
@@ -143,7 +146,12 @@ pub fn sliding_quantiles(
         let start = window_start_pane * config.slide;
         let end = start + config.window_len;
         if window_total == 0 {
-            results.push(SlidingWindowResult { start, end, value: None, total_events: 0 });
+            results.push(SlidingWindowResult {
+                start,
+                end,
+                value: None,
+                total_events: 0,
+            });
         } else {
             let k = config.quantile.pos(window_total)?;
             let selection = select(&synopses, k, config.strategy)?;
@@ -151,9 +159,9 @@ pub fn sliding_quantiles(
                 .candidates
                 .iter()
                 .map(|id| {
-                    let slice = pane_slices
-                        .get(id)
-                        .ok_or(DemaError::MissingCandidate { slice: id.to_string() })?;
+                    let slice = pane_slices.get(id).ok_or(DemaError::MissingCandidate {
+                        slice: id.to_string(),
+                    })?;
                     if fetched.insert(*id) {
                         stats.candidate_events_sent += slice.events.len() as u64;
                     } else {
@@ -211,8 +219,11 @@ mod tests {
         while w + panes_per_window <= last_pane + 1 {
             let start = w * slide;
             let end = start + window_len;
-            let mut in_window: Vec<Event> =
-                all.iter().filter(|e| e.ts >= start && e.ts < end).copied().collect();
+            let mut in_window: Vec<Event> = all
+                .iter()
+                .filter(|e| e.ts >= start && e.ts < end)
+                .copied()
+                .collect();
             if in_window.is_empty() {
                 out.push(None);
             } else {

@@ -55,7 +55,12 @@ pub struct LocalWindow {
 
 impl LocalWindow {
     /// Open a window for `window` (length `window_len` ms) on `node`.
-    pub fn new(node: NodeId, window: WindowId, window_len: u64, strategy: SortStrategy) -> LocalWindow {
+    pub fn new(
+        node: NodeId,
+        window: WindowId,
+        window_len: u64,
+        strategy: SortStrategy,
+    ) -> LocalWindow {
         let storage = match strategy {
             SortStrategy::Runs => Storage::Runs(RunBuffer::new()),
             _ => Storage::Flat(Vec::new()),
@@ -269,8 +274,14 @@ mod tests {
         assert_eq!(w.end(), 2000);
         assert!(w.insert(ev(1, 1000)).is_ok());
         assert!(w.insert(ev(2, 1999)).is_ok());
-        assert!(matches!(w.insert(ev(3, 999)), Err(DemaError::EventOutOfWindow { .. })));
-        assert!(matches!(w.insert(ev(4, 2000)), Err(DemaError::EventOutOfWindow { .. })));
+        assert!(matches!(
+            w.insert(ev(3, 999)),
+            Err(DemaError::EventOutOfWindow { .. })
+        ));
+        assert!(matches!(
+            w.insert(ev(4, 2000)),
+            Err(DemaError::EventOutOfWindow { .. })
+        ));
         assert_eq!(w.len(), 2);
     }
 

@@ -13,7 +13,14 @@ use dema_core::invariant;
 use dema_core::slice::cut_into_slices;
 
 /// Build a node's sorted window and its slice synopses.
-fn sliced(node: u32, vals: &[i64], gamma: u64) -> (Vec<dema_core::slice::Slice>, Vec<dema_core::slice::SliceSynopsis>) {
+fn sliced(
+    node: u32,
+    vals: &[i64],
+    gamma: u64,
+) -> (
+    Vec<dema_core::slice::Slice>,
+    Vec<dema_core::slice::SliceSynopsis>,
+) {
     let mut events: Vec<Event> = vals
         .iter()
         .enumerate()

@@ -94,13 +94,23 @@ impl Sampler {
                 assert!(!centers.is_empty(), "need at least one cluster center");
                 assert!(*spread >= 0, "spread must be non-negative");
             }
-            ValueDistribution::RandomWalk { start, max_step, lo, hi } => {
+            ValueDistribution::RandomWalk {
+                start,
+                max_step,
+                lo,
+                hi,
+            } => {
                 assert!(lo <= hi, "walk lo > hi");
                 assert!(*max_step >= 0, "max_step must be non-negative");
                 walk = (*start).clamp(*lo, *hi);
             }
         }
-        Sampler { dist, zipf_cdf, walk, gauss_spare: None }
+        Sampler {
+            dist,
+            zipf_cdf,
+            walk,
+            gauss_spare: None,
+        }
     }
 
     /// Draw the next value.
@@ -133,8 +143,14 @@ impl Sampler {
                     c + rng.random_range(-*spread..=*spread)
                 }
             }
-            ValueDistribution::RandomWalk { max_step, lo, hi, .. } => {
-                let step = if *max_step == 0 { 0 } else { rng.random_range(-*max_step..=*max_step) };
+            ValueDistribution::RandomWalk {
+                max_step, lo, hi, ..
+            } => {
+                let step = if *max_step == 0 {
+                    0
+                } else {
+                    rng.random_range(-*max_step..=*max_step)
+                };
                 let mut next = self.walk.saturating_add(step);
                 // Reflect at the bounds so the walk doesn't stick to edges.
                 if next > *hi {
@@ -181,7 +197,14 @@ mod tests {
 
     #[test]
     fn normal_mean_and_spread() {
-        let vals = draw(ValueDistribution::Normal { mean: 1000.0, std_dev: 50.0 }, 20_000, 3);
+        let vals = draw(
+            ValueDistribution::Normal {
+                mean: 1000.0,
+                std_dev: 50.0,
+            },
+            20_000,
+            3,
+        );
         let mean = vals.iter().sum::<i64>() as f64 / vals.len() as f64;
         assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");
         let var = vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / vals.len() as f64;
@@ -203,14 +226,23 @@ mod tests {
         let vals = draw(ValueDistribution::Zipf { n: 10, s: 0.0 }, 50_000, 5);
         for target in 1..=10i64 {
             let c = vals.iter().filter(|&&v| v == target).count();
-            assert!((c as f64 / 5000.0 - 1.0).abs() < 0.15, "value {target}: {c}");
+            assert!(
+                (c as f64 / 5000.0 - 1.0).abs() < 0.15,
+                "value {target}: {c}"
+            );
         }
     }
 
     #[test]
     fn clustered_values_near_centers() {
-        let vals =
-            draw(ValueDistribution::Clustered { centers: vec![0, 1000], spread: 5 }, 2000, 6);
+        let vals = draw(
+            ValueDistribution::Clustered {
+                centers: vec![0, 1000],
+                spread: 5,
+            },
+            2000,
+            6,
+        );
         assert!(vals.iter().all(|&v| v.abs() <= 5 || (v - 1000).abs() <= 5));
         assert!(vals.iter().any(|&v| v.abs() <= 5));
         assert!(vals.iter().any(|&v| (v - 1000).abs() <= 5));
@@ -219,7 +251,12 @@ mod tests {
     #[test]
     fn random_walk_bounded_and_smooth() {
         let vals = draw(
-            ValueDistribution::RandomWalk { start: 500, max_step: 10, lo: 0, hi: 1000 },
+            ValueDistribution::RandomWalk {
+                start: 500,
+                max_step: 10,
+                lo: 0,
+                hi: 1000,
+            },
             10_000,
             7,
         );
@@ -231,7 +268,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let d = || ValueDistribution::Normal { mean: 0.0, std_dev: 10.0 };
+        let d = || ValueDistribution::Normal {
+            mean: 0.0,
+            std_dev: 10.0,
+        };
         assert_eq!(draw(d(), 100, 42), draw(d(), 100, 42));
         assert_ne!(draw(d(), 100, 42), draw(d(), 100, 43));
     }
@@ -245,7 +285,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "std_dev")]
     fn normal_bad_std_panics() {
-        let _ = Sampler::new(ValueDistribution::Normal { mean: 0.0, std_dev: 0.0 });
+        let _ = Sampler::new(ValueDistribution::Normal {
+            mean: 0.0,
+            std_dev: 0.0,
+        });
     }
 
     #[test]

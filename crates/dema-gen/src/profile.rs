@@ -38,7 +38,9 @@ impl RateProfile {
     pub fn new(segments: Vec<RateSegment>, cyclic: bool) -> RateProfile {
         assert!(!segments.is_empty(), "profile needs at least one segment");
         assert!(
-            segments.iter().all(|s| s.duration_ms > 0 && s.events_per_second > 0),
+            segments
+                .iter()
+                .all(|s| s.duration_ms > 0 && s.events_per_second > 0),
             "segments need positive duration and rate"
         );
         RateProfile { segments, cyclic }
@@ -153,7 +155,9 @@ impl VariableRateStream {
         }
         self.due_this_ms -= 1;
         let e = Event::new(
-            self.sampler.sample(&mut self.rng).saturating_mul(self.scale_rate),
+            self.sampler
+                .sample(&mut self.rng)
+                .saturating_mul(self.scale_rate),
             self.now_ms,
             self.produced,
         );
@@ -208,8 +212,13 @@ mod tests {
 
     #[test]
     fn constant_profile_matches_fixed_rate() {
-        let profile =
-            RateProfile::new(vec![RateSegment { duration_ms: 1000, events_per_second: 500 }], true);
+        let profile = RateProfile::new(
+            vec![RateSegment {
+                duration_ms: 1000,
+                events_per_second: 500,
+            }],
+            true,
+        );
         let mut s = VariableRateStream::new(uniform(), profile, 1, 1);
         let windows = s.take_windows(4, 1000);
         for (i, w) in windows.iter().enumerate() {
@@ -221,8 +230,14 @@ mod tests {
     fn step_profile_changes_window_sizes() {
         let profile = RateProfile::new(
             vec![
-                RateSegment { duration_ms: 2000, events_per_second: 1000 },
-                RateSegment { duration_ms: 2000, events_per_second: 4000 },
+                RateSegment {
+                    duration_ms: 2000,
+                    events_per_second: 1000,
+                },
+                RateSegment {
+                    duration_ms: 2000,
+                    events_per_second: 4000,
+                },
             ],
             false,
         );
@@ -240,8 +255,14 @@ mod tests {
     fn cyclic_profile_repeats() {
         let profile = RateProfile::new(
             vec![
-                RateSegment { duration_ms: 1000, events_per_second: 100 },
-                RateSegment { duration_ms: 1000, events_per_second: 300 },
+                RateSegment {
+                    duration_ms: 1000,
+                    events_per_second: 100,
+                },
+                RateSegment {
+                    duration_ms: 1000,
+                    events_per_second: 300,
+                },
             ],
             true,
         );
@@ -271,8 +292,9 @@ mod tests {
     #[test]
     fn timestamps_monotone_and_values_scaled() {
         let profile = RateProfile::ramp(500, 2000, 4000, 4);
-        let events: Vec<Event> =
-            VariableRateStream::new(uniform(), profile, 7, 4).take(3000).collect();
+        let events: Vec<Event> = VariableRateStream::new(uniform(), profile, 7, 4)
+            .take(3000)
+            .collect();
         assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
         assert!(events.iter().all(|e| e.value % 7 == 0));
         let mut ids: Vec<u64> = events.iter().map(|e| e.id).collect();
@@ -290,7 +312,10 @@ mod tests {
     #[should_panic(expected = "positive duration")]
     fn zero_rate_rejected() {
         let _ = RateProfile::new(
-            vec![RateSegment { duration_ms: 100, events_per_second: 0 }],
+            vec![RateSegment {
+                duration_ms: 100,
+                events_per_second: 0,
+            }],
             false,
         );
     }

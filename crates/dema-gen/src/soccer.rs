@@ -60,7 +60,12 @@ impl SoccerGenerator {
     ///
     /// # Panics
     /// Panics if `events_per_second == 0` or `scale_rate == 0`.
-    pub fn new(seed: u64, scale_rate: i64, events_per_second: u64, start_ms: u64) -> SoccerGenerator {
+    pub fn new(
+        seed: u64,
+        scale_rate: i64,
+        events_per_second: u64,
+        start_ms: u64,
+    ) -> SoccerGenerator {
         assert!(events_per_second > 0, "event rate must be positive");
         assert!(scale_rate != 0, "scale rate must be non-zero");
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -215,7 +220,9 @@ mod tests {
         // Consecutive readings of the same sensor should rarely jump far
         // outside sprint mode; sample sensor 0's series.
         let n_sensors = SoccerGenerator::DEFAULT_SENSORS;
-        let events: Vec<Event> = SoccerGenerator::new(5, 1, 1000, 0).take(n_sensors * 500).collect();
+        let events: Vec<Event> = SoccerGenerator::new(5, 1, 1000, 0)
+            .take(n_sensors * 500)
+            .collect();
         let series: Vec<i64> = events
             .iter()
             .enumerate()
@@ -226,7 +233,11 @@ mod tests {
             .windows(2)
             .filter(|w| (w[0] - w[1]).abs() > 3_000)
             .count();
-        assert!(big_jumps < series.len() / 10, "{big_jumps} large jumps in {}", series.len());
+        assert!(
+            big_jumps < series.len() / 10,
+            "{big_jumps} large jumps in {}",
+            series.len()
+        );
     }
 
     #[test]
@@ -234,7 +245,10 @@ mod tests {
         let events: Vec<Event> = SoccerGenerator::new(11, 1, 1000, 0).take(50_000).collect();
         let min = events.iter().map(|e| e.value).min().unwrap();
         let max = events.iter().map(|e| e.value).max().unwrap();
-        assert!(max - min > VALUE_RANGE / 2, "range [{min}, {max}] too narrow");
+        assert!(
+            max - min > VALUE_RANGE / 2,
+            "range [{min}, {max}] too narrow"
+        );
     }
 
     #[test]

@@ -28,7 +28,13 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> StreamConfig {
-        StreamConfig { seed: 0, scale_rate: 1, events_per_second: 1000, start_ms: 0, first_id: 0 }
+        StreamConfig {
+            seed: 0,
+            scale_rate: 1,
+            events_per_second: 1000,
+            start_ms: 0,
+            first_id: 0,
+        }
     }
 }
 
@@ -76,7 +82,10 @@ impl EventStream {
         let i = self.produced;
         self.produced += 1;
         let ts = self.config.start_ms + i * 1000 / self.config.events_per_second;
-        let value = self.sampler.sample(&mut self.rng).saturating_mul(self.config.scale_rate);
+        let value = self
+            .sampler
+            .sample(&mut self.rng)
+            .saturating_mul(self.config.scale_rate);
         Event::new(value, ts, self.config.first_id + i)
     }
 
@@ -135,7 +144,10 @@ mod tests {
 
     #[test]
     fn event_rate_controls_timestamps() {
-        let mut s = uniform_stream(StreamConfig { events_per_second: 4, ..Default::default() });
+        let mut s = uniform_stream(StreamConfig {
+            events_per_second: 4,
+            ..Default::default()
+        });
         let ts: Vec<u64> = (0..8).map(|_| s.next_event().ts).collect();
         assert_eq!(ts, vec![0, 250, 500, 750, 1000, 1250, 1500, 1750]);
     }
@@ -143,7 +155,10 @@ mod tests {
     #[test]
     fn exactly_rate_events_per_second() {
         let rate = 777;
-        let mut s = uniform_stream(StreamConfig { events_per_second: rate, ..Default::default() });
+        let mut s = uniform_stream(StreamConfig {
+            events_per_second: rate,
+            ..Default::default()
+        });
         let events: Vec<_> = (0..3 * rate).map(|_| s.next_event()).collect();
         for second in 0..3u64 {
             let n = events
@@ -156,8 +171,16 @@ mod tests {
 
     #[test]
     fn scale_rate_multiplies_values() {
-        let base = StreamConfig { seed: 9, scale_rate: 1, ..Default::default() };
-        let scaled = StreamConfig { seed: 9, scale_rate: 10, ..Default::default() };
+        let base = StreamConfig {
+            seed: 9,
+            scale_rate: 1,
+            ..Default::default()
+        };
+        let scaled = StreamConfig {
+            seed: 9,
+            scale_rate: 10,
+            ..Default::default()
+        };
         let mut a = uniform_stream(base);
         let mut b = uniform_stream(scaled);
         for _ in 0..100 {
@@ -183,7 +206,10 @@ mod tests {
 
     #[test]
     fn deterministic_replay() {
-        let cfg = StreamConfig { seed: 4242, ..Default::default() };
+        let cfg = StreamConfig {
+            seed: 4242,
+            ..Default::default()
+        };
         let a: Vec<Event> = uniform_stream(cfg.clone()).take(500).collect();
         let b: Vec<Event> = uniform_stream(cfg).take(500).collect();
         assert_eq!(a, b);
@@ -191,7 +217,10 @@ mod tests {
 
     #[test]
     fn take_windows_groups_by_window() {
-        let mut s = uniform_stream(StreamConfig { events_per_second: 10, ..Default::default() });
+        let mut s = uniform_stream(StreamConfig {
+            events_per_second: 10,
+            ..Default::default()
+        });
         let windows = s.take_windows(3, 1000);
         assert_eq!(windows.len(), 3);
         for (i, w) in windows.iter().enumerate() {
@@ -225,12 +254,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "event rate")]
     fn zero_rate_panics() {
-        let _ = uniform_stream(StreamConfig { events_per_second: 0, ..Default::default() });
+        let _ = uniform_stream(StreamConfig {
+            events_per_second: 0,
+            ..Default::default()
+        });
     }
 
     #[test]
     #[should_panic(expected = "scale rate")]
     fn zero_scale_panics() {
-        let _ = uniform_stream(StreamConfig { scale_rate: 0, ..Default::default() });
+        let _ = uniform_stream(StreamConfig {
+            scale_rate: 0,
+            ..Default::default()
+        });
     }
 }

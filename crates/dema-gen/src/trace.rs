@@ -76,7 +76,9 @@ pub fn read_trace(path: &Path) -> Result<Vec<Event>, TraceError> {
     r.read_exact(&mut long)?;
     let count = u64::from_le_bytes(long);
     if count > (1 << 34) {
-        return Err(TraceError::Format(format!("implausible event count {count}")));
+        return Err(TraceError::Format(format!(
+            "implausible event count {count}"
+        )));
     }
     let mut events = Vec::with_capacity(count as usize);
     let mut rec = [0u8; 24];

@@ -52,8 +52,10 @@ fn main() -> ExitCode {
         println!("{v}");
     }
     let counts = dema_lint::per_rule_counts(&report.violations);
-    let summary: Vec<String> =
-        counts.iter().map(|(rule, n)| format!("{rule}: {n}")).collect();
+    let summary: Vec<String> = counts
+        .iter()
+        .map(|(rule, n)| format!("{rule}: {n}"))
+        .collect();
     if report.violations.is_empty() {
         println!(
             "dema-lint: clean ({} files, {} baselined finding(s))",

@@ -90,7 +90,14 @@ mod tests {
         c.record(100, 5);
         c.record(50, 0);
         let s = c.snapshot();
-        assert_eq!(s, NetworkSnapshot { bytes: 150, messages: 2, events: 5 });
+        assert_eq!(
+            s,
+            NetworkSnapshot {
+                bytes: 150,
+                messages: 2,
+                events: 5
+            }
+        );
     }
 
     #[test]
@@ -103,11 +110,33 @@ mod tests {
 
     #[test]
     fn snapshot_arithmetic() {
-        let a = NetworkSnapshot { bytes: 100, messages: 10, events: 50 };
-        let b = NetworkSnapshot { bytes: 40, messages: 4, events: 20 };
-        assert_eq!(a.since(&b), NetworkSnapshot { bytes: 60, messages: 6, events: 30 });
+        let a = NetworkSnapshot {
+            bytes: 100,
+            messages: 10,
+            events: 50,
+        };
+        let b = NetworkSnapshot {
+            bytes: 40,
+            messages: 4,
+            events: 20,
+        };
+        assert_eq!(
+            a.since(&b),
+            NetworkSnapshot {
+                bytes: 60,
+                messages: 6,
+                events: 30
+            }
+        );
         assert_eq!(b.since(&a), NetworkSnapshot::default()); // saturates
-        assert_eq!(a.plus(&b), NetworkSnapshot { bytes: 140, messages: 14, events: 70 });
+        assert_eq!(
+            a.plus(&b),
+            NetworkSnapshot {
+                bytes: 140,
+                messages: 14,
+                events: 70
+            }
+        );
     }
 
     #[test]

@@ -218,7 +218,10 @@ mod tests {
         assert_eq!(a.min(), Some(1));
         assert_eq!(a.max(), Some(1000));
         let median = a.quantile(0.5).unwrap();
-        assert!((median as i64 - 500).unsigned_abs() <= 16, "median {median}");
+        assert!(
+            (median as i64 - 500).unsigned_abs() <= 16,
+            "median {median}"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl Default for ThroughputMeter {
 impl ThroughputMeter {
     /// Start measuring now.
     pub fn start() -> ThroughputMeter {
-        ThroughputMeter { started: Instant::now(), events: 0 }
+        ThroughputMeter {
+            started: Instant::now(),
+            events: 0,
+        }
     }
 
     /// Add processed events.
@@ -135,7 +138,10 @@ mod tests {
         // System sustains anything <= 123_456.
         let found = sustainable_throughput(1_000, 1_000_000, 0.01, |r| r <= 123_456).unwrap();
         assert!(found <= 123_456, "found {found}");
-        assert!(found as f64 >= 123_456.0 * 0.98, "found {found} too far below");
+        assert!(
+            found as f64 >= 123_456.0 * 0.98,
+            "found {found} too far below"
+        );
     }
 
     #[test]

@@ -76,7 +76,14 @@ pub struct MemReceiver {
 /// `counters`.
 pub fn link(counters: SharedCounters) -> (MemSender, MemReceiver) {
     let (tx, rx) = unbounded();
-    (MemSender { tx, counters, throttle: None }, MemReceiver { rx })
+    (
+        MemSender {
+            tx,
+            counters,
+            throttle: None,
+        },
+        MemReceiver { rx },
+    )
 }
 
 /// Create a bandwidth-limited in-memory link: sends block as if the frame
@@ -86,7 +93,14 @@ pub fn throttled_link(
     throttle: Arc<Throttle>,
 ) -> (MemSender, MemReceiver) {
     let (tx, rx) = unbounded();
-    (MemSender { tx, counters, throttle: Some(throttle) }, MemReceiver { rx })
+    (
+        MemSender {
+            tx,
+            counters,
+            throttle: Some(throttle),
+        },
+        MemReceiver { rx },
+    )
 }
 
 impl MsgSender for MemSender {
@@ -96,7 +110,9 @@ impl MsgSender for MemSender {
             t.transmit(bytes);
         }
         self.counters.record(bytes, msg.event_units());
-        self.tx.send(msg.clone()).map_err(|_| NetError::Disconnected)
+        self.tx
+            .send(msg.clone())
+            .map_err(|_| NetError::Disconnected)
     }
 }
 
@@ -190,7 +206,10 @@ mod tests {
     fn dropped_receiver_fails_sends() {
         let (mut tx, rx) = link(NetworkCounters::new_shared());
         drop(rx);
-        assert!(matches!(tx.send(&Message::GammaUpdate { gamma: 1 }), Err(NetError::Disconnected)));
+        assert!(matches!(
+            tx.send(&Message::GammaUpdate { gamma: 1 }),
+            Err(NetError::Disconnected)
+        ));
     }
 
     #[test]
@@ -229,7 +248,10 @@ mod tests {
             tx.send(&msg(1000)).unwrap();
         }
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(50), "sent too fast: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(50),
+            "sent too fast: {elapsed:?}"
+        );
         for _ in 0..3 {
             assert!(rx.recv().is_ok());
         }

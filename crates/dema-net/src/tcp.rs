@@ -37,7 +37,26 @@ impl TcpSender {
     pub fn connect(addr: SocketAddr, counters: SharedCounters) -> Result<TcpSender, NetError> {
         let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
         stream.set_nodelay(true).map_err(NetError::Io)?;
-        Ok(TcpSender { writer: BufWriter::new(stream), counters })
+        Ok(TcpSender {
+            writer: BufWriter::new(stream),
+            counters,
+        })
+    }
+
+    /// Connect to a listening peer, failing after `timeout` instead of
+    /// hanging on an unresponsive address. The resulting I/O error (timed
+    /// out, refused, unreachable…) is surfaced as [`NetError::Io`].
+    pub fn connect_timeout(
+        addr: SocketAddr,
+        counters: SharedCounters,
+        timeout: Duration,
+    ) -> Result<TcpSender, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout).map_err(NetError::Io)?;
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        Ok(TcpSender {
+            writer: BufWriter::new(stream),
+            counters,
+        })
     }
 }
 
@@ -55,13 +74,18 @@ impl TcpReceiver {
     /// Wrap an accepted stream.
     pub fn from_stream(stream: TcpStream) -> Result<TcpReceiver, NetError> {
         stream.set_nodelay(true).map_err(NetError::Io)?;
-        Ok(TcpReceiver { reader: BufReader::new(stream) })
+        Ok(TcpReceiver {
+            reader: BufReader::new(stream),
+        })
     }
 }
 
 impl MsgReceiver for TcpReceiver {
     fn recv(&mut self) -> Result<Message, NetError> {
-        self.reader.get_ref().set_read_timeout(None).map_err(NetError::Io)?;
+        self.reader
+            .get_ref()
+            .set_read_timeout(None)
+            .map_err(NetError::Io)?;
         match read_frame(&mut self.reader) {
             Ok((msg, _)) => Ok(msg),
             Err(FrameError::Eof) => Err(NetError::Disconnected),
@@ -71,7 +95,10 @@ impl MsgReceiver for TcpReceiver {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
-        self.reader.get_ref().set_read_timeout(Some(timeout)).map_err(NetError::Io)?;
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(timeout))
+            .map_err(NetError::Io)?;
         match read_frame(&mut self.reader) {
             Ok((msg, _)) => Ok(Some(msg)),
             Err(FrameError::Eof) => Err(NetError::Disconnected),
@@ -163,9 +190,41 @@ mod tests {
     }
 
     #[test]
+    fn connect_timeout_connects_and_surfaces_refusal() {
+        // Happy path: a listener is up, the bounded connect succeeds.
+        let listener = listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let counters = NetworkCounters::new_shared();
+        let mut tx = TcpSender::connect_timeout(
+            addr,
+            SharedCounters::clone(&counters),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let mut rx = accept(&listener).unwrap();
+        tx.send(&Message::GammaUpdate { gamma: 3 }).unwrap();
+        assert_eq!(rx.recv().unwrap(), Message::GammaUpdate { gamma: 3 });
+
+        // Nothing listening: the error comes back as a real NetError::Io
+        // instead of a hang or a panic.
+        let dead = listener.local_addr().unwrap();
+        drop(listener);
+        drop(rx);
+        let err = TcpSender::connect_timeout(
+            dead,
+            NetworkCounters::new_shared(),
+            Duration::from_millis(500),
+        );
+        assert!(matches!(err, Err(NetError::Io(_))));
+    }
+
+    #[test]
     fn timeout_then_delivery_still_works() {
         let (mut tx, mut rx, _) = loopback_pair();
-        assert!(rx.recv_timeout(Duration::from_millis(10)).unwrap().is_none());
+        assert!(rx
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
         tx.send(&Message::GammaUpdate { gamma: 9 }).unwrap();
         let got = rx.recv_timeout(Duration::from_millis(500)).unwrap();
         assert_eq!(got, Some(Message::GammaUpdate { gamma: 9 }));

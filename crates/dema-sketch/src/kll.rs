@@ -105,12 +105,7 @@ impl KllSketch {
                 // Promote every other item; an odd leftover stays behind so
                 // total weight is conserved exactly.
                 let mut kept_back = Vec::new();
-                let promote: Vec<f64> = items
-                    .iter()
-                    .copied()
-                    .skip(offset)
-                    .step_by(2)
-                    .collect();
+                let promote: Vec<f64> = items.iter().copied().skip(offset).step_by(2).collect();
                 if items.len() % 2 == 1 {
                     // One item has no partner: keep it at this level.
                     let leftover_idx = if offset == 0 { items.len() - 1 } else { 0 };
@@ -120,7 +115,11 @@ impl KllSketch {
                 // with an even count the halves pair exactly. With an odd
                 // count we promote floor/2 and retain the unpaired item.
                 let promote = if items.len() % 2 == 1 {
-                    let paired = if offset == 0 { &items[..items.len() - 1] } else { &items[1..] };
+                    let paired = if offset == 0 {
+                        &items[..items.len() - 1]
+                    } else {
+                        &items[1..]
+                    };
                     paired.iter().copied().step_by(2).collect()
                 } else {
                     promote
@@ -133,7 +132,12 @@ impl KllSketch {
     }
 
     /// All `(value, weight)` pairs, sorted by value.
-    fn weighted_items(&self) -> Vec<(f64, u64)> {
+    ///
+    /// This is the sketch's mergeable summary: shipping these pairs (with
+    /// the exact `min`/`max`) lets a remote peer answer rank queries over
+    /// the union of several sketches — the basis of the cluster layer's
+    /// distributed-KLL engine.
+    pub fn weighted_items(&self) -> Vec<(f64, u64)> {
         let mut items: Vec<(f64, u64)> = self
             .compactors
             .iter()
@@ -340,7 +344,9 @@ mod tests {
             for i in 0..50_000u64 {
                 s.insert(((i * 31) % 9973) as f64);
             }
-            (1..20).map(|i| s.quantile(i as f64 / 20.0).unwrap()).collect::<Vec<_>>()
+            (1..20)
+                .map(|i| s.quantile(i as f64 / 20.0).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(42), mk(42));
     }

@@ -42,7 +42,13 @@ impl QDigest {
     pub fn new(bits: u32, k: u64) -> QDigest {
         assert!((1..=62).contains(&bits), "bits must be in 1..=62");
         assert!(k >= 1, "compression factor k must be >= 1");
-        QDigest { bits, k, nodes: HashMap::new(), total: 0, dirty: 0 }
+        QDigest {
+            bits,
+            k,
+            nodes: HashMap::new(),
+            total: 0,
+            dirty: 0,
+        }
     }
 
     /// Universe size `2^bits`.
@@ -96,10 +102,16 @@ impl QDigest {
         // fold are themselves considered for folding one level up.
         let depth_of = |v: u64| 63 - v.leading_zeros();
         for depth in (1..=self.bits).rev() {
-            let keys: Vec<u64> =
-                self.nodes.keys().copied().filter(|&v| depth_of(v) == depth).collect();
+            let keys: Vec<u64> = self
+                .nodes
+                .keys()
+                .copied()
+                .filter(|&v| depth_of(v) == depth)
+                .collect();
             for key in keys {
-                let Some(&count) = self.nodes.get(&key) else { continue };
+                let Some(&count) = self.nodes.get(&key) else {
+                    continue;
+                };
                 let sibling = key ^ 1;
                 let parent = key / 2;
                 let sib_count = self.nodes.get(&sibling).copied().unwrap_or(0);
@@ -158,7 +170,10 @@ impl QDigest {
     /// # Panics
     /// Panics if the universes (bits) differ.
     pub fn merge_qdigest(&mut self, other: &QDigest) {
-        assert_eq!(self.bits, other.bits, "q-digest universes must match to merge");
+        assert_eq!(
+            self.bits, other.bits,
+            "q-digest universes must match to merge"
+        );
         for (&v, &c) in &other.nodes {
             *self.nodes.entry(v).or_insert(0) += c;
         }
@@ -169,7 +184,11 @@ impl QDigest {
 
 impl QuantileSketch for QDigest {
     fn insert(&mut self, value: f64) {
-        let clamped = if value.is_finite() { value.max(0.0) } else { return };
+        let clamped = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            return;
+        };
         self.insert_weighted(clamped.round() as u64, 1);
     }
 
@@ -249,7 +268,11 @@ mod tests {
             // its 0-based rank.
             let target = (q * n as f64).ceil() as u64;
             let err = est.abs_diff(target - 1);
-            assert!(err <= bound, "q={q}: est {est}, target {}, err {err} > bound {bound}", target - 1);
+            assert!(
+                err <= bound,
+                "q={q}: est {est}, target {}, err {err} > bound {bound}",
+                target - 1
+            );
         }
     }
 
@@ -281,7 +304,10 @@ mod tests {
         for q in [0.25, 0.5, 0.75] {
             let m = a.quantile_u64(q).unwrap();
             let c = combined.quantile_u64(q).unwrap();
-            assert!(m.abs_diff(c) <= 2 * bound, "q={q}: merged {m} vs combined {c}");
+            assert!(
+                m.abs_diff(c) <= 2 * bound,
+                "q={q}: merged {m} vs combined {c}"
+            );
         }
     }
 

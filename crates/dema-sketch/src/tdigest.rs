@@ -38,7 +38,11 @@ pub struct TDigest {
 impl TDigest {
     /// Create an empty digest with compression δ (clamped to ≥ 10).
     pub fn new(compression: f64) -> TDigest {
-        let compression = if compression.is_finite() { compression.max(10.0) } else { 100.0 };
+        let compression = if compression.is_finite() {
+            compression.max(10.0)
+        } else {
+            100.0
+        };
         let buffer_cap = (compression as usize) * 5;
         TDigest {
             compression,
@@ -81,10 +85,16 @@ impl TDigest {
             centroids.windows(2).all(|w| w[0].mean <= w[1].mean),
             "centroids must be sorted by mean"
         );
-        assert!(centroids.iter().all(|c| c.weight > 0), "zero-weight centroid");
+        assert!(
+            centroids.iter().all(|c| c.weight > 0),
+            "zero-weight centroid"
+        );
         let total = centroids.iter().map(|c| c.weight).sum();
         let min = centroids.first().map(|c| c.mean).unwrap_or(f64::INFINITY);
-        let max = centroids.last().map(|c| c.mean).unwrap_or(f64::NEG_INFINITY);
+        let max = centroids
+            .last()
+            .map(|c| c.mean)
+            .unwrap_or(f64::NEG_INFINITY);
         let mut d = TDigest::new(compression);
         d.centroids = centroids;
         d.total = total;
@@ -110,8 +120,11 @@ impl TDigest {
         if self.buffer.is_empty() {
             return;
         }
-        let mut incoming: Vec<Centroid> =
-            self.buffer.drain(..).map(|v| Centroid { mean: v, weight: 1 }).collect();
+        let mut incoming: Vec<Centroid> = self
+            .buffer
+            .drain(..)
+            .map(|v| Centroid { mean: v, weight: 1 })
+            .collect();
         incoming.sort_unstable_by(|a, b| a.mean.total_cmp(&b.mean));
         let merged = Self::merge_sorted(&self.centroids, &incoming);
         self.compress(merged);
@@ -153,7 +166,10 @@ impl TDigest {
             let q_new = (w_so_far + acc_w + c.weight) as f64 / total as f64;
             if acc_w > 0 && q_new > q_limit {
                 // Seal the accumulated centroid, start a new one.
-                out.push(Centroid { mean: acc_sum / acc_w as f64, weight: acc_w });
+                out.push(Centroid {
+                    mean: acc_sum / acc_w as f64,
+                    weight: acc_w,
+                });
                 w_so_far += acc_w;
                 q_limit = self.k_inv(self.k(w_so_far as f64 / total as f64) + 1.0);
                 acc_sum = 0.0;
@@ -163,7 +179,10 @@ impl TDigest {
             acc_w += c.weight;
         }
         if acc_w > 0 {
-            out.push(Centroid { mean: acc_sum / acc_w as f64, weight: acc_w });
+            out.push(Centroid {
+                mean: acc_sum / acc_w as f64,
+                weight: acc_w,
+            });
         }
         self.centroids = out;
     }
@@ -187,15 +206,25 @@ impl TDigest {
             let half = c.weight as f64 / 2.0;
             let center = cum + half;
             if value < c.mean {
-                let prev_mean = if i == 0 { self.min } else { self.centroids[i - 1].mean };
+                let prev_mean = if i == 0 {
+                    self.min
+                } else {
+                    self.centroids[i - 1].mean
+                };
                 let prev_center = if i == 0 {
                     0.0
                 } else {
                     cum - self.centroids[i - 1].weight as f64 / 2.0
                 };
                 let span = c.mean - prev_mean;
-                let frac = if span > 0.0 { (value - prev_mean) / span } else { 0.5 };
-                return Some(((prev_center + frac * (center - prev_center)) / total).clamp(0.0, 1.0));
+                let frac = if span > 0.0 {
+                    (value - prev_mean) / span
+                } else {
+                    0.5
+                };
+                return Some(
+                    ((prev_center + frac * (center - prev_center)) / total).clamp(0.0, 1.0),
+                );
             }
             cum += c.weight as f64;
         }
@@ -217,11 +246,18 @@ impl TDigest {
                 let (prev_mean, prev_pos) = if i == 0 {
                     (self.min, 0.0)
                 } else {
-                    (self.centroids[i - 1].mean, cum - self.centroids[i - 1].weight as f64 / 2.0)
+                    (
+                        self.centroids[i - 1].mean,
+                        cum - self.centroids[i - 1].weight as f64 / 2.0,
+                    )
                 };
                 let pos = cum + half;
                 let span = pos - prev_pos;
-                let frac = if span > 0.0 { (target - prev_pos) / span } else { 1.0 };
+                let frac = if span > 0.0 {
+                    (target - prev_pos) / span
+                } else {
+                    1.0
+                };
                 return Some((prev_mean + frac * (c.mean - prev_mean)).clamp(self.min, self.max));
             }
             cum += c.weight as f64;
@@ -445,7 +481,16 @@ mod tests {
     fn from_centroids_rejects_unsorted() {
         let _ = TDigest::from_centroids(
             100.0,
-            vec![Centroid { mean: 5.0, weight: 1 }, Centroid { mean: 1.0, weight: 1 }],
+            vec![
+                Centroid {
+                    mean: 5.0,
+                    weight: 1,
+                },
+                Centroid {
+                    mean: 1.0,
+                    weight: 1,
+                },
+            ],
         );
     }
 

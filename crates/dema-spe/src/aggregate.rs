@@ -264,7 +264,9 @@ pub struct QuantileAgg {
 impl QuantileAgg {
     /// The median aggregate.
     pub fn median() -> QuantileAgg {
-        QuantileAgg { q: Quantile::MEDIAN }
+        QuantileAgg {
+            q: Quantile::MEDIAN,
+        }
     }
 }
 
@@ -320,11 +322,12 @@ impl Aggregate for Mode {
     fn lower(&self, acc: &Self::Acc) -> Option<i64> {
         // BTreeMap iteration is ascending, so `>` keeps the smallest value
         // among equally frequent ones.
-        acc.iter().fold(None, |best: Option<(i64, u64)>, (&v, &c)| match best {
-            Some((_, bc)) if bc >= c => best,
-            _ => Some((v, c)),
-        })
-        .map(|(v, _)| v)
+        acc.iter()
+            .fold(None, |best: Option<(i64, u64)>, (&v, &c)| match best {
+                Some((_, bc)) if bc >= c => best,
+                _ => Some((v, c)),
+            })
+            .map(|(v, _)| v)
     }
 }
 
@@ -358,7 +361,10 @@ mod tests {
     use super::*;
 
     fn events(vals: &[i64]) -> Vec<Event> {
-        vals.iter().enumerate().map(|(i, &v)| Event::new(v, i as u64, i as u64)).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| Event::new(v, i as u64, i as u64))
+            .collect()
     }
 
     /// Fold the full set, and fold split halves + combine; both must agree

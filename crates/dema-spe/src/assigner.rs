@@ -67,7 +67,10 @@ impl WindowAssigner {
                 vec![WindowSpan::new(start, start + len)]
             }
             WindowAssigner::Sliding { len, slide } => {
-                assert!(len > 0 && slide > 0 && slide <= len, "invalid sliding window");
+                assert!(
+                    len > 0 && slide > 0 && slide <= len,
+                    "invalid sliding window"
+                );
                 // Last window starting at or before ts:
                 let last_start = ts / slide * slide;
                 // First window still containing ts:
@@ -110,7 +113,10 @@ impl SessionTracker {
     /// Create a tracker with the given inactivity gap (ms, > 0).
     pub fn new(gap: u64) -> SessionTracker {
         assert!(gap > 0, "session gap must be positive");
-        SessionTracker { gap, sessions: Vec::new() }
+        SessionTracker {
+            gap,
+            sessions: Vec::new(),
+        }
     }
 
     /// Register an event; returns the span of the session it now belongs to
@@ -136,10 +142,15 @@ impl SessionTracker {
     /// `watermark`.
     pub fn close_expired(&mut self, watermark: u64) -> Vec<WindowSpan> {
         let gap = self.gap;
-        let (expired, open): (Vec<_>, Vec<_>) =
-            self.sessions.drain(..).partition(|&(_, last)| last + gap <= watermark);
+        let (expired, open): (Vec<_>, Vec<_>) = self
+            .sessions
+            .drain(..)
+            .partition(|&(_, last)| last + gap <= watermark);
         self.sessions = open;
-        expired.into_iter().map(|(start, last)| WindowSpan::new(start, last + gap)).collect()
+        expired
+            .into_iter()
+            .map(|(start, last)| WindowSpan::new(start, last + gap))
+            .collect()
     }
 
     /// Number of currently open sessions.
@@ -163,7 +174,10 @@ mod tests {
 
     #[test]
     fn sliding_assignment_overlap() {
-        let a = WindowAssigner::Sliding { len: 1000, slide: 250 };
+        let a = WindowAssigner::Sliding {
+            len: 1000,
+            slide: 250,
+        };
         let spans = a.assign(1100);
         assert_eq!(spans.len(), 4);
         assert_eq!(spans[0], WindowSpan::new(250, 1250));
@@ -176,7 +190,10 @@ mod tests {
 
     #[test]
     fn sliding_near_time_zero_truncates() {
-        let a = WindowAssigner::Sliding { len: 1000, slide: 250 };
+        let a = WindowAssigner::Sliding {
+            len: 1000,
+            slide: 250,
+        };
         let spans = a.assign(100);
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0], WindowSpan::new(0, 1000));
@@ -185,7 +202,10 @@ mod tests {
     #[test]
     fn tumbling_equals_sliding_with_equal_slide() {
         let t = WindowAssigner::Tumbling { len: 500 };
-        let s = WindowAssigner::Sliding { len: 500, slide: 500 };
+        let s = WindowAssigner::Sliding {
+            len: 500,
+            slide: 500,
+        };
         for ts in [0u64, 1, 499, 500, 12_345] {
             assert_eq!(t.assign(ts), s.assign(ts), "ts={ts}");
         }
@@ -193,19 +213,30 @@ mod tests {
 
     #[test]
     fn sliding_uneven_slide() {
-        let a = WindowAssigner::Sliding { len: 700, slide: 300 };
+        let a = WindowAssigner::Sliding {
+            len: 700,
+            slide: 300,
+        };
         let spans = a.assign(900);
         // Windows starting at 300, 600, 900 contain ts=900; 0 does not (0..700).
         assert_eq!(
             spans,
-            vec![WindowSpan::new(300, 1000), WindowSpan::new(600, 1300), WindowSpan::new(900, 1600)]
+            vec![
+                WindowSpan::new(300, 1000),
+                WindowSpan::new(600, 1300),
+                WindowSpan::new(900, 1600)
+            ]
         );
     }
 
     #[test]
     #[should_panic(expected = "invalid sliding window")]
     fn sliding_rejects_slide_above_len() {
-        let _ = WindowAssigner::Sliding { len: 100, slide: 200 }.assign(0);
+        let _ = WindowAssigner::Sliding {
+            len: 100,
+            slide: 200,
+        }
+        .assign(0);
     }
 
     #[test]

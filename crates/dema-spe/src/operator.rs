@@ -85,7 +85,10 @@ impl<A: Aggregate> WindowOperator<A> {
         let mut out = Vec::new();
         while self.next_window_end <= self.watermark {
             let span = WindowSpan::new(self.next_window_end - len, self.next_window_end);
-            let acc = self.open.remove(&span).unwrap_or_else(|| self.agg.identity());
+            let acc = self
+                .open
+                .remove(&span)
+                .unwrap_or_else(|| self.agg.identity());
             out.push((span, self.agg.lower(&acc)));
             self.next_window_end += slide;
         }
@@ -104,7 +107,10 @@ mod tests {
 
     #[test]
     fn tumbling_median_per_window() {
-        let mut op = WindowOperator::new(WindowAssigner::Tumbling { len: 1000 }, QuantileAgg::median());
+        let mut op = WindowOperator::new(
+            WindowAssigner::Tumbling { len: 1000 },
+            QuantileAgg::median(),
+        );
         for i in 0..100 {
             op.ingest(&ev(i, 100 + i as u64)); // window 0
             op.ingest(&ev(1000 - i, 1100 + i as u64)); // window 1
@@ -117,7 +123,13 @@ mod tests {
 
     #[test]
     fn sliding_lifts_each_event_into_every_window() {
-        let mut op = WindowOperator::new(WindowAssigner::Sliding { len: 400, slide: 100 }, Count);
+        let mut op = WindowOperator::new(
+            WindowAssigner::Sliding {
+                len: 400,
+                slide: 100,
+            },
+            Count,
+        );
         op.ingest(&ev(1, 450));
         assert_eq!(op.lifts(), 4);
         assert_eq!(op.open_windows(), 4);
@@ -144,7 +156,13 @@ mod tests {
 
     #[test]
     fn average_over_sliding_windows() {
-        let mut op = WindowOperator::new(WindowAssigner::Sliding { len: 200, slide: 100 }, Average);
+        let mut op = WindowOperator::new(
+            WindowAssigner::Sliding {
+                len: 200,
+                slide: 100,
+            },
+            Average,
+        );
         op.ingest(&ev(10, 50));
         op.ingest(&ev(20, 150));
         op.ingest(&ev(60, 250));

@@ -27,7 +27,13 @@ impl<A: Aggregate> SessionOperator<A> {
     /// Create an operator with the given inactivity gap (ms, > 0).
     pub fn new(gap: u64, agg: A) -> SessionOperator<A> {
         assert!(gap > 0, "session gap must be positive");
-        SessionOperator { gap, agg, sessions: Vec::new(), watermark: 0, late_events: 0 }
+        SessionOperator {
+            gap,
+            agg,
+            sessions: Vec::new(),
+            watermark: 0,
+            late_events: 0,
+        }
     }
 
     /// Currently open sessions.

@@ -179,7 +179,13 @@ mod tests {
     fn sliding_windows_share_slices() {
         // len 1000, slide 250: each event belongs to 4 windows but must be
         // lifted exactly once.
-        let mut s = StreamSlicer::new(WindowAssigner::Sliding { len: 1000, slide: 250 }, Count);
+        let mut s = StreamSlicer::new(
+            WindowAssigner::Sliding {
+                len: 1000,
+                slide: 250,
+            },
+            Count,
+        );
         for i in 0..2000u64 {
             s.ingest(&ev(1, i));
         }
@@ -194,11 +200,15 @@ mod tests {
 
     #[test]
     fn sliding_results_match_unshared_operator() {
-        let assigner = WindowAssigner::Sliding { len: 600, slide: 200 };
+        let assigner = WindowAssigner::Sliding {
+            len: 600,
+            slide: 200,
+        };
         let mut sliced = StreamSlicer::new(assigner, Sum);
         let mut naive = WindowOperator::new(assigner, Sum);
-        let events: Vec<Event> =
-            (0..1500u64).map(|i| ev((i as i64 * 7) % 100 - 50, (i * 13) % 2400)).collect();
+        let events: Vec<Event> = (0..1500u64)
+            .map(|i| ev((i as i64 * 7) % 100 - 50, (i * 13) % 2400))
+            .collect();
         for e in &events {
             sliced.ingest(e);
             naive.ingest(e);
@@ -217,7 +227,13 @@ mod tests {
     #[test]
     fn uneven_slide_boundaries() {
         // len 700, slide 300 → boundaries at 0,100(=700%300),300,400,600,700,...
-        let s = StreamSlicer::new(WindowAssigner::Sliding { len: 700, slide: 300 }, Count);
+        let s = StreamSlicer::new(
+            WindowAssigner::Sliding {
+                len: 700,
+                slide: 300,
+            },
+            Count,
+        );
         assert_eq!(s.slice_span(0), (0, 100));
         assert_eq!(s.slice_span(99), (0, 100));
         assert_eq!(s.slice_span(100), (100, 300));
@@ -228,7 +244,10 @@ mod tests {
 
     #[test]
     fn uneven_slide_results_match_naive() {
-        let assigner = WindowAssigner::Sliding { len: 700, slide: 300 };
+        let assigner = WindowAssigner::Sliding {
+            len: 700,
+            slide: 300,
+        };
         let mut sliced = StreamSlicer::new(assigner, Max);
         let mut naive = WindowOperator::new(assigner, Max);
         for i in 0..900u64 {
@@ -236,7 +255,10 @@ mod tests {
             sliced.ingest(&e);
             naive.ingest(&e);
         }
-        assert_eq!(sliced.advance_watermark(3000), naive.advance_watermark(3000));
+        assert_eq!(
+            sliced.advance_watermark(3000),
+            naive.advance_watermark(3000)
+        );
     }
 
     #[test]
@@ -250,7 +272,13 @@ mod tests {
 
     #[test]
     fn slices_are_evicted_after_use() {
-        let mut s = StreamSlicer::new(WindowAssigner::Sliding { len: 1000, slide: 500 }, Count);
+        let mut s = StreamSlicer::new(
+            WindowAssigner::Sliding {
+                len: 1000,
+                slide: 500,
+            },
+            Count,
+        );
         for i in 0..10_000u64 {
             s.ingest(&ev(1, i));
         }
@@ -274,8 +302,13 @@ mod tests {
         // Slicing still *computes* quantiles correctly on one node — the
         // point is the accumulators are O(events), so offloading them over a
         // network ships all raw data (the paper's motivation).
-        let mut s =
-            StreamSlicer::new(WindowAssigner::Sliding { len: 400, slide: 200 }, QuantileAgg::median());
+        let mut s = StreamSlicer::new(
+            WindowAssigner::Sliding {
+                len: 400,
+                slide: 200,
+            },
+            QuantileAgg::median(),
+        );
         for i in 0..400u64 {
             s.ingest(&ev(i as i64, i));
         }

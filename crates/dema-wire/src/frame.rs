@@ -132,7 +132,14 @@ mod tests {
     #[test]
     fn multiple_frames_in_sequence() {
         let mut buf = Vec::new();
-        let msgs = vec![sample(), Message::GammaUpdate { gamma: 7 }, Message::StreamEnd { node: NodeId(0), late_events: 0 }];
+        let msgs = vec![
+            sample(),
+            Message::GammaUpdate { gamma: 7 },
+            Message::StreamEnd {
+                node: NodeId(0),
+                late_events: 0,
+            },
+        ];
         for m in &msgs {
             write_frame(&mut buf, m).unwrap();
         }
@@ -190,7 +197,10 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         let mut cursor = &buf[..];
-        assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge(_))));
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::TooLarge(_))
+        ));
     }
 
     #[test]

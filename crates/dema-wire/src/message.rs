@@ -41,6 +41,8 @@ const TAG_DIGEST_BATCH: u8 = 5;
 const TAG_GAMMA_UPDATE: u8 = 6;
 const TAG_WINDOW_RESULT: u8 = 7;
 const TAG_STREAM_END: u8 = 8;
+const TAG_SKETCH_BATCH: u8 = 9;
+const TAG_ROUTED: u8 = 10;
 
 /// Every message of the Dema cluster protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +123,32 @@ pub enum Message {
         /// Events this node dropped as late (behind its watermark).
         late_events: u64,
     },
+    /// Local → root: a mergeable weighted-sample sketch of one window
+    /// (distributed sketch engines, e.g. KLL). Items are `(value, weight)`
+    /// pairs; weights sum to `count`.
+    SketchBatch {
+        /// Sender.
+        node: NodeId,
+        /// Window the sketch summarizes.
+        window: WindowId,
+        /// Observations absorbed.
+        count: u64,
+        /// Exact smallest observation (retained items may lose extremes).
+        min: f64,
+        /// Exact largest observation.
+        max: f64,
+        /// Weighted items, ascending value.
+        items: Vec<(f64, u64)>,
+    },
+    /// Relay envelope (root → relay tiers): deliver `inner` to local
+    /// `dest`. Relays whose children are leaves unwrap it; deeper relays
+    /// forward it unchanged. Never nested.
+    Routed {
+        /// The local node the inner message is for.
+        dest: NodeId,
+        /// The wrapped control message.
+        inner: Box<Message>,
+    },
 }
 
 impl Message {
@@ -141,7 +169,11 @@ impl Message {
 
     fn encode_impl<B: BufMut>(&self, buf: &mut B) {
         match self {
-            Message::SynopsisBatch { node, window, synopses } => {
+            Message::SynopsisBatch {
+                node,
+                window,
+                synopses,
+            } => {
                 buf.put_u8(TAG_SYNOPSIS_BATCH);
                 buf.put_u32_le(node.0);
                 buf.put_u64_le(window.0);
@@ -162,7 +194,11 @@ impl Message {
                     buf.put_u32_le(i);
                 }
             }
-            Message::CandidateReply { node, window, slices } => {
+            Message::CandidateReply {
+                node,
+                window,
+                slices,
+            } => {
                 buf.put_u8(TAG_CANDIDATE_REPLY);
                 buf.put_u32_le(node.0);
                 buf.put_u64_le(window.0);
@@ -175,7 +211,12 @@ impl Message {
                     }
                 }
             }
-            Message::EventBatch { node, window, sorted, events } => {
+            Message::EventBatch {
+                node,
+                window,
+                sorted,
+                events,
+            } => {
                 buf.put_u8(TAG_EVENT_BATCH);
                 buf.put_u32_le(node.0);
                 buf.put_u64_le(window.0);
@@ -185,7 +226,13 @@ impl Message {
                     put_event(buf, e);
                 }
             }
-            Message::DigestBatch { node, window, count, compression, centroids } => {
+            Message::DigestBatch {
+                node,
+                window,
+                count,
+                compression,
+                centroids,
+            } => {
                 buf.put_u8(TAG_DIGEST_BATCH);
                 buf.put_u32_le(node.0);
                 buf.put_u64_le(window.0);
@@ -201,7 +248,11 @@ impl Message {
                 buf.put_u8(TAG_GAMMA_UPDATE);
                 buf.put_u64_le(*gamma);
             }
-            Message::WindowResult { window, value, total_events } => {
+            Message::WindowResult {
+                window,
+                value,
+                total_events,
+            } => {
                 buf.put_u8(TAG_WINDOW_RESULT);
                 buf.put_u64_le(window.0);
                 buf.put_i64_le(*value);
@@ -212,13 +263,40 @@ impl Message {
                 buf.put_u32_le(node.0);
                 buf.put_u64_le(*late_events);
             }
+            Message::SketchBatch {
+                node,
+                window,
+                count,
+                min,
+                max,
+                items,
+            } => {
+                buf.put_u8(TAG_SKETCH_BATCH);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(window.0);
+                buf.put_u64_le(*count);
+                buf.put_f64_le(*min);
+                buf.put_f64_le(*max);
+                buf.put_u32_le(items.len() as u32);
+                for (v, w) in items {
+                    buf.put_f64_le(*v);
+                    buf.put_u64_le(*w);
+                }
+            }
+            Message::Routed { dest, inner } => {
+                buf.put_u8(TAG_ROUTED);
+                buf.put_u32_le(dest.0);
+                inner.encode_impl(buf);
+            }
         }
     }
 
     /// Exact size [`Message::encode`] will produce, in bytes.
     pub fn encoded_len(&self) -> usize {
         match self {
-            Message::SynopsisBatch { synopses, .. } => 1 + 4 + 8 + 4 + synopses.len() * (4 + 8 + 8 + 8 + 4),
+            Message::SynopsisBatch { synopses, .. } => {
+                1 + 4 + 8 + 4 + synopses.len() * (4 + 8 + 8 + 8 + 4)
+            }
             Message::CandidateRequest { slices, .. } => 1 + 8 + 4 + slices.len() * 4,
             Message::CandidateReply { slices, .. } => {
                 1 + 4
@@ -234,6 +312,8 @@ impl Message {
             Message::GammaUpdate { .. } => 1 + 8,
             Message::WindowResult { .. } => 1 + 8 + 8 + 8,
             Message::StreamEnd { .. } => 1 + 4 + 8,
+            Message::SketchBatch { items, .. } => 1 + 4 + 8 + 8 + 8 + 8 + 4 + items.len() * 16,
+            Message::Routed { inner, .. } => 1 + 4 + inner.encoded_len(),
         }
     }
 
@@ -247,7 +327,7 @@ impl Message {
     /// Decode one message from `buf`, which must contain exactly one
     /// encoded message (as produced by [`Message::encode`]).
     pub fn decode(mut buf: &[u8]) -> Result<Message, WireError> {
-        let msg = decode_inner(&mut buf)?;
+        let msg = decode_inner(&mut buf, true)?;
         if !buf.is_empty() {
             return Err(WireError::BadLength(buf.len() as u64));
         }
@@ -267,6 +347,10 @@ impl Message {
             // A centroid is a compressed pair, not an event; count them like
             // synopsis endpoints for comparability.
             Message::DigestBatch { centroids, .. } => centroids.len() as u64,
+            // Same accounting for weighted sketch items.
+            Message::SketchBatch { items, .. } => items.len() as u64,
+            // The envelope adds no events of its own.
+            Message::Routed { inner, .. } => inner.event_units(),
             _ => 0,
         }
     }
@@ -284,7 +368,11 @@ fn put_event<B: BufMut>(buf: &mut B, e: &Event) {
 
 fn take_event(buf: &mut &[u8]) -> Result<Event, WireError> {
     need(buf, EVENT_LEN)?;
-    Ok(Event { value: buf.get_i64_le(), ts: buf.get_u64_le(), id: buf.get_u64_le() })
+    Ok(Event {
+        value: buf.get_i64_le(),
+        ts: buf.get_u64_le(),
+        id: buf.get_u64_le(),
+    })
 }
 
 #[inline]
@@ -305,7 +393,7 @@ fn take_count(buf: &mut &[u8]) -> Result<usize, WireError> {
     Ok(n as usize)
 }
 
-fn decode_inner(buf: &mut &[u8]) -> Result<Message, WireError> {
+fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireError> {
     need(buf, 1)?;
     let tag = buf.get_u8();
     match tag {
@@ -323,14 +411,22 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Message, WireError> {
                 let count = buf.get_u64_le();
                 let total_slices = buf.get_u32_le();
                 synopses.push(SliceSynopsis {
-                    id: SliceId { node, window, index },
+                    id: SliceId {
+                        node,
+                        window,
+                        index,
+                    },
                     first,
                     last,
                     count,
                     total_slices,
                 });
             }
-            Ok(Message::SynopsisBatch { node, window, synopses })
+            Ok(Message::SynopsisBatch {
+                node,
+                window,
+                synopses,
+            })
         }
         TAG_CANDIDATE_REQUEST => {
             need(buf, 8)?;
@@ -359,7 +455,11 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Message, WireError> {
                 }
                 slices.push((idx, SharedRun::from_vec(events)));
             }
-            Ok(Message::CandidateReply { node, window, slices })
+            Ok(Message::CandidateReply {
+                node,
+                window,
+                slices,
+            })
         }
         TAG_EVENT_BATCH => {
             need(buf, 4 + 8 + 1)?;
@@ -371,7 +471,12 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Message, WireError> {
             for _ in 0..n {
                 events.push(take_event(buf)?);
             }
-            Ok(Message::EventBatch { node, window, sorted, events })
+            Ok(Message::EventBatch {
+                node,
+                window,
+                sorted,
+                events,
+            })
         }
         TAG_DIGEST_BATCH => {
             need(buf, 4 + 8 + 8 + 8)?;
@@ -387,11 +492,19 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Message, WireError> {
                 let weight = buf.get_u64_le();
                 centroids.push(Centroid { mean, weight });
             }
-            Ok(Message::DigestBatch { node, window, count, compression, centroids })
+            Ok(Message::DigestBatch {
+                node,
+                window,
+                count,
+                compression,
+                centroids,
+            })
         }
         TAG_GAMMA_UPDATE => {
             need(buf, 8)?;
-            Ok(Message::GammaUpdate { gamma: buf.get_u64_le() })
+            Ok(Message::GammaUpdate {
+                gamma: buf.get_u64_le(),
+            })
         }
         TAG_WINDOW_RESULT => {
             need(buf, 8 + 8 + 8)?;
@@ -403,7 +516,45 @@ fn decode_inner(buf: &mut &[u8]) -> Result<Message, WireError> {
         }
         TAG_STREAM_END => {
             need(buf, 4 + 8)?;
-            Ok(Message::StreamEnd { node: NodeId(buf.get_u32_le()), late_events: buf.get_u64_le() })
+            Ok(Message::StreamEnd {
+                node: NodeId(buf.get_u32_le()),
+                late_events: buf.get_u64_le(),
+            })
+        }
+        TAG_SKETCH_BATCH => {
+            need(buf, 4 + 8 + 8 + 8 + 8)?;
+            let node = NodeId(buf.get_u32_le());
+            let window = WindowId(buf.get_u64_le());
+            let count = buf.get_u64_le();
+            let min = buf.get_f64_le();
+            let max = buf.get_f64_le();
+            let n = take_count(buf)?;
+            let mut items = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                need(buf, 16)?;
+                let v = buf.get_f64_le();
+                let w = buf.get_u64_le();
+                items.push((v, w));
+            }
+            Ok(Message::SketchBatch {
+                node,
+                window,
+                count,
+                min,
+                max,
+                items,
+            })
+        }
+        // An envelope inside an envelope is corruption, not topology: relays
+        // forward a routed frame unchanged, they never re-wrap it.
+        TAG_ROUTED if allow_routed => {
+            need(buf, 4)?;
+            let dest = NodeId(buf.get_u32_le());
+            let inner = decode_inner(buf, false)?;
+            Ok(Message::Routed {
+                dest,
+                inner: Box::new(inner),
+            })
         }
         other => Err(WireError::BadTag(other)),
     }
@@ -415,13 +566,19 @@ mod tests {
 
     fn roundtrip(msg: Message) {
         let bytes = msg.to_bytes();
-        assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len mismatch for {msg:?}");
+        assert_eq!(
+            bytes.len(),
+            msg.encoded_len(),
+            "encoded_len mismatch for {msg:?}"
+        );
         let back = Message::decode(&bytes).unwrap();
         assert_eq!(back, msg);
     }
 
     fn sample_events(n: u64) -> Vec<Event> {
-        (0..n).map(|i| Event::new(i as i64 * 3 - 50, i * 7, i)).collect()
+        (0..n)
+            .map(|i| Event::new(i as i64 * 3 - 50, i * 7, i))
+            .collect()
     }
 
     fn sample_run(n: u64) -> SharedRun {
@@ -437,7 +594,11 @@ mod tests {
             window,
             synopses: (0..5)
                 .map(|i| SliceSynopsis {
-                    id: SliceId { node, window, index: i },
+                    id: SliceId {
+                        node,
+                        window,
+                        index: i,
+                    },
                     first: -100 + i as i64,
                     last: i as i64 * 10,
                     count: 150,
@@ -445,13 +606,23 @@ mod tests {
                 })
                 .collect(),
         });
-        roundtrip(Message::SynopsisBatch { node, window, synopses: vec![] });
+        roundtrip(Message::SynopsisBatch {
+            node,
+            window,
+            synopses: vec![],
+        });
     }
 
     #[test]
     fn roundtrip_candidate_request() {
-        roundtrip(Message::CandidateRequest { window: WindowId(1), slices: vec![0, 7, 42] });
-        roundtrip(Message::CandidateRequest { window: WindowId(u64::MAX), slices: vec![] });
+        roundtrip(Message::CandidateRequest {
+            window: WindowId(1),
+            slices: vec![0, 7, 42],
+        });
+        roundtrip(Message::CandidateRequest {
+            window: WindowId(u64::MAX),
+            slices: vec![],
+        });
     }
 
     #[test]
@@ -459,7 +630,11 @@ mod tests {
         roundtrip(Message::CandidateReply {
             node: NodeId(1),
             window: WindowId(2),
-            slices: vec![(0, sample_run(10)), (3, SharedRun::empty()), (4, sample_run(1))],
+            slices: vec![
+                (0, sample_run(10)),
+                (3, SharedRun::empty()),
+                (4, sample_run(1)),
+            ],
         });
     }
 
@@ -487,9 +662,18 @@ mod tests {
             count: 1000,
             compression: 100.0,
             centroids: vec![
-                Centroid { mean: -5.5, weight: 10 },
-                Centroid { mean: 0.0, weight: 980 },
-                Centroid { mean: 99.25, weight: 10 },
+                Centroid {
+                    mean: -5.5,
+                    weight: 10,
+                },
+                Centroid {
+                    mean: 0.0,
+                    weight: 980,
+                },
+                Centroid {
+                    mean: 99.25,
+                    weight: 10,
+                },
             ],
         });
     }
@@ -497,8 +681,74 @@ mod tests {
     #[test]
     fn roundtrip_control_messages() {
         roundtrip(Message::GammaUpdate { gamma: 10_000 });
-        roundtrip(Message::WindowResult { window: WindowId(7), value: -42, total_events: 1_000_000 });
-        roundtrip(Message::StreamEnd { node: NodeId(99), late_events: 12345 });
+        roundtrip(Message::WindowResult {
+            window: WindowId(7),
+            value: -42,
+            total_events: 1_000_000,
+        });
+        roundtrip(Message::StreamEnd {
+            node: NodeId(99),
+            late_events: 12345,
+        });
+    }
+
+    #[test]
+    fn roundtrip_sketch_batch() {
+        roundtrip(Message::SketchBatch {
+            node: NodeId(4),
+            window: WindowId(11),
+            count: 1000,
+            min: -3.5,
+            max: 999.0,
+            items: vec![(-3.5, 1), (0.25, 16), (999.0, 4)],
+        });
+        roundtrip(Message::SketchBatch {
+            node: NodeId(0),
+            window: WindowId(0),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            items: vec![],
+        });
+    }
+
+    #[test]
+    fn roundtrip_routed_envelope() {
+        roundtrip(Message::Routed {
+            dest: NodeId(7),
+            inner: Box::new(Message::CandidateRequest {
+                window: WindowId(3),
+                slices: vec![1, 4],
+            }),
+        });
+        roundtrip(Message::Routed {
+            dest: NodeId(0),
+            inner: Box::new(Message::GammaUpdate { gamma: 128 }),
+        });
+    }
+
+    #[test]
+    fn routed_envelope_costs_five_bytes_and_no_events() {
+        let inner = Message::GammaUpdate { gamma: 9 };
+        let routed = Message::Routed {
+            dest: NodeId(1),
+            inner: Box::new(inner.clone()),
+        };
+        assert_eq!(routed.encoded_len(), inner.encoded_len() + 5);
+        assert_eq!(routed.event_units(), inner.event_units());
+    }
+
+    #[test]
+    fn nested_routed_envelope_is_rejected() {
+        let nested = Message::Routed {
+            dest: NodeId(1),
+            inner: Box::new(Message::Routed {
+                dest: NodeId(2),
+                inner: Box::new(Message::GammaUpdate { gamma: 3 }),
+            }),
+        };
+        let bytes = nested.to_bytes();
+        assert!(matches!(Message::decode(&bytes), Err(WireError::BadTag(_))));
     }
 
     #[test]
@@ -507,7 +757,10 @@ mod tests {
             node: NodeId(u32::MAX),
             window: WindowId(u64::MAX),
             sorted: false,
-            events: vec![Event::new(i64::MIN, u64::MAX, u64::MAX), Event::new(i64::MAX, 0, 0)],
+            events: vec![
+                Event::new(i64::MIN, u64::MAX, u64::MAX),
+                Event::new(i64::MAX, 0, 0),
+            ],
         });
     }
 
@@ -537,7 +790,10 @@ mod tests {
     fn decode_rejects_trailing_garbage() {
         let mut bytes = Message::GammaUpdate { gamma: 5 }.to_bytes().to_vec();
         bytes.push(0);
-        assert!(matches!(Message::decode(&bytes), Err(WireError::BadLength(_))));
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadLength(_))
+        ));
     }
 
     #[test]
@@ -548,7 +804,10 @@ mod tests {
         buf.put_u64_le(0);
         buf.put_u8(0);
         buf.put_u32_le(u32::MAX); // absurd event count
-        assert!(matches!(Message::decode(&buf), Err(WireError::BadLength(_))));
+        assert!(matches!(
+            Message::decode(&buf),
+            Err(WireError::BadLength(_))
+        ));
     }
 
     #[test]
@@ -560,7 +819,11 @@ mod tests {
             window,
             synopses: vec![
                 SliceSynopsis {
-                    id: SliceId { node, window, index: 0 },
+                    id: SliceId {
+                        node,
+                        window,
+                        index: 0
+                    },
                     first: 0,
                     last: 1,
                     count: 10,
@@ -570,7 +833,12 @@ mod tests {
             ],
         };
         assert_eq!(syn.event_units(), 8); // 2 per synopsis
-        let batch = Message::EventBatch { node, window, sorted: false, events: sample_events(7) };
+        let batch = Message::EventBatch {
+            node,
+            window,
+            sorted: false,
+            events: sample_events(7),
+        };
         assert_eq!(batch.event_units(), 7);
         let reply = Message::CandidateReply {
             node,
@@ -603,7 +871,11 @@ mod tests {
             let mut pooled = vec![0xAAu8; 3]; // pre-existing content is appended to
             msg.encode_into(&mut pooled);
             assert_eq!(&pooled[..3], &[0xAA; 3]);
-            assert_eq!(&pooled[3..], &reference[..], "byte-for-byte identical encodings");
+            assert_eq!(
+                &pooled[3..],
+                &reference[..],
+                "byte-for-byte identical encodings"
+            );
         }
     }
 
@@ -612,12 +884,21 @@ mod tests {
         // The point of Dema: 1000 events ≈ 24 KB raw, but one synopsis ≈ 32 B.
         let node = NodeId(0);
         let window = WindowId(0);
-        let events = Message::EventBatch { node, window, sorted: false, events: sample_events(1000) };
+        let events = Message::EventBatch {
+            node,
+            window,
+            sorted: false,
+            events: sample_events(1000),
+        };
         let synopses = Message::SynopsisBatch {
             node,
             window,
             synopses: vec![SliceSynopsis {
-                id: SliceId { node, window, index: 0 },
+                id: SliceId {
+                    node,
+                    window,
+                    index: 0,
+                },
                 first: 0,
                 last: 999,
                 count: 1000,

@@ -40,8 +40,14 @@ impl BufferPool {
 
     /// Take a cleared buffer from the pool (or allocate a fresh one).
     pub fn acquire(self: &Arc<BufferPool>) -> PooledBuf {
-        let buf = self.spares.lock().map_or_else(|_| Vec::new(), |mut s| s.pop().unwrap_or_default());
-        PooledBuf { buf, pool: Arc::clone(self) }
+        let buf = self
+            .spares
+            .lock()
+            .map_or_else(|_| Vec::new(), |mut s| s.pop().unwrap_or_default());
+        PooledBuf {
+            buf,
+            pool: Arc::clone(self),
+        }
     }
 
     /// Number of spare buffers currently pooled (diagnostic).

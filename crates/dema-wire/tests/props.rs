@@ -15,15 +15,24 @@ fn arb_event() -> impl Strategy<Value = Event> {
 }
 
 fn arb_synopsis(node: u32, window: u64) -> impl Strategy<Value = SliceSynopsis> {
-    (any::<u32>(), any::<i64>(), any::<i64>(), any::<u64>(), any::<u32>()).prop_map(
-        move |(index, a, b, count, total_slices)| SliceSynopsis {
-            id: SliceId { node: NodeId(node), window: WindowId(window), index },
+    (
+        any::<u32>(),
+        any::<i64>(),
+        any::<i64>(),
+        any::<u64>(),
+        any::<u32>(),
+    )
+        .prop_map(move |(index, a, b, count, total_slices)| SliceSynopsis {
+            id: SliceId {
+                node: NodeId(node),
+                window: WindowId(window),
+                index,
+            },
             first: a.min(b),
             last: a.max(b),
             count,
             total_slices,
-        },
-    )
+        })
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -37,15 +46,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 synopses,
             })
         }),
-        (window, vec(any::<u32>(), 0..20))
-            .prop_map(|(w, slices)| Message::CandidateRequest { window: WindowId(w), slices }),
-        (node, window, vec((any::<u32>(), vec(arb_event(), 0..30)), 0..5)).prop_map(
-            |(n, w, slices)| Message::CandidateReply {
+        (window, vec(any::<u32>(), 0..20)).prop_map(|(w, slices)| Message::CandidateRequest {
+            window: WindowId(w),
+            slices
+        }),
+        (
+            node,
+            window,
+            vec((any::<u32>(), vec(arb_event(), 0..30)), 0..5)
+        )
+            .prop_map(|(n, w, slices)| Message::CandidateReply {
                 node: NodeId(n),
                 window: WindowId(w),
                 slices: slices.into_iter().map(|(i, ev)| (i, ev.into())).collect(),
-            }
-        ),
+            }),
         (node, window, any::<bool>(), vec(arb_event(), 0..100)).prop_map(
             |(n, w, sorted, events)| Message::EventBatch {
                 node: NodeId(n),
@@ -54,7 +68,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 events,
             }
         ),
-        (node, window, any::<u64>(), 10.0f64..1000.0, vec((any::<f64>(), 1u64..u64::MAX), 0..30))
+        (
+            node,
+            window,
+            any::<u64>(),
+            10.0f64..1000.0,
+            vec((any::<f64>(), 1u64..u64::MAX), 0..30)
+        )
             .prop_map(|(n, w, count, compression, raw)| {
                 let mut centroids: Vec<Centroid> = raw
                     .into_iter()
@@ -72,10 +92,16 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         any::<u64>().prop_map(|gamma| Message::GammaUpdate { gamma }),
         (window, any::<i64>(), any::<u64>()).prop_map(|(w, value, total_events)| {
-            Message::WindowResult { window: WindowId(w), value, total_events }
+            Message::WindowResult {
+                window: WindowId(w),
+                value,
+                total_events,
+            }
         }),
-        (node, any::<u64>())
-            .prop_map(|(n, late_events)| Message::StreamEnd { node: NodeId(n), late_events }),
+        (node, any::<u64>()).prop_map(|(n, late_events)| Message::StreamEnd {
+            node: NodeId(n),
+            late_events
+        }),
     ]
 }
 

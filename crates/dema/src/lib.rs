@@ -19,7 +19,7 @@
 //! | [`net`] | `dema-net` | accounted in-memory and TCP transports |
 //! | [`gen`] | `dema-gen` | DEBS-like and synthetic workload generators |
 //! | [`metrics`] | `dema-metrics` | latency/throughput/network instrumentation |
-//! | [`cluster`] | `dema-cluster` | the node runtime and all five engines |
+//! | [`cluster`] | `dema-cluster` | the node runtime, engine plugins, star/tree overlays |
 //!
 //! ## Quickstart
 //!

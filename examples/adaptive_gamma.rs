@@ -10,7 +10,7 @@
 //! `γ* = √(2·l_G / m)`, and broadcasts the new factor. Watch γ and the
 //! per-window wire traffic converge.
 
-use dema::cluster::config::{ClusterConfig, EngineKind, GammaMode, TransportKind};
+use dema::cluster::config::{ClusterConfig, EngineKind, GammaMode, Topology, TransportKind};
 use dema::cluster::run_cluster;
 use dema::core::quantile::Quantile;
 use dema::core::selector::SelectionStrategy;
@@ -30,6 +30,7 @@ fn main() {
             strategy: SelectionStrategy::WindowCut,
         },
         transport: TransportKind::Mem,
+        topology: Topology::Star,
         // Pace windows so γ updates land before the next window is sliced,
         // as they would with real one-second tumbling windows.
         pace_window_ms: Some(20),

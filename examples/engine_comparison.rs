@@ -24,7 +24,9 @@ fn main() {
     let truth: Vec<Option<i64>> = (0..windows)
         .map(|w| {
             let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
-            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+            quantile_ground_truth(&per_node, Quantile::MEDIAN)
+                .ok()
+                .map(|e| e.value)
         })
         .collect();
 
@@ -37,6 +39,7 @@ fn main() {
         EngineKind::DecSort,
         EngineKind::TdigestCentral { compression: 100.0 },
         EngineKind::TdigestDistributed { compression: 100.0 },
+        EngineKind::KllDistributed { k: 256 },
     ];
 
     println!(

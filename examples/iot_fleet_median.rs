@@ -28,17 +28,26 @@ fn main() {
     let fleet = [
         Gateway {
             name: "freezer-warehouse",
-            dist: ValueDistribution::Normal { mean: -18_000.0, std_dev: 1_500.0 },
+            dist: ValueDistribution::Normal {
+                mean: -18_000.0,
+                std_dev: 1_500.0,
+            },
             events_per_second: 4_000,
         },
         Gateway {
             name: "office-floor",
-            dist: ValueDistribution::Normal { mean: 21_500.0, std_dev: 800.0 },
+            dist: ValueDistribution::Normal {
+                mean: 21_500.0,
+                std_dev: 800.0,
+            },
             events_per_second: 1_000,
         },
         Gateway {
             name: "server-room",
-            dist: ValueDistribution::Clustered { centers: vec![24_000, 31_000], spread: 600 },
+            dist: ValueDistribution::Clustered {
+                centers: vec![24_000, 31_000],
+                spread: 600,
+            },
             events_per_second: 8_000,
         },
         Gateway {
@@ -76,12 +85,12 @@ fn main() {
     }
     println!();
 
-    for (label, q) in [("p50", Quantile::MEDIAN), ("p95", Quantile::new(0.95).unwrap())] {
-        let report = run_cluster(
-            &ClusterConfig::dema_fixed(512, q),
-            inputs.clone(),
-        )
-        .expect("cluster run failed");
+    for (label, q) in [
+        ("p50", Quantile::MEDIAN),
+        ("p95", Quantile::new(0.95).unwrap()),
+    ] {
+        let report = run_cluster(&ClusterConfig::dema_fixed(512, q), inputs.clone())
+            .expect("cluster run failed");
         let traffic = data_traffic(&report).plus(&report.control_traffic);
         println!("{label} per one-second window (exact, °C):");
         for o in &report.outcomes {

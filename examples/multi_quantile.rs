@@ -9,9 +9,9 @@
 //! fetched once and every rank is read from the same merged runs — this is
 //! how a Dema root serves dashboard-style percentile panels cheaply.
 
+use dema::core::coordinator::{exact_quantile_decentralized, quantile_ground_truth};
 use dema::core::event::Event;
 use dema::core::multi::multi_quantile_decentralized;
-use dema::core::coordinator::{exact_quantile_decentralized, quantile_ground_truth};
 use dema::core::quantile::Quantile;
 use dema::core::selector::SelectionStrategy;
 use dema::gen::SoccerGenerator;
@@ -27,13 +27,9 @@ fn main() {
         .map(|&q| Quantile::new(q).expect("valid quantile"))
         .collect();
 
-    let values = multi_quantile_decentralized(
-        &nodes,
-        &quantiles,
-        2_000,
-        SelectionStrategy::WindowCut,
-    )
-    .expect("multi-quantile run failed");
+    let values =
+        multi_quantile_decentralized(&nodes, &quantiles, 2_000, SelectionStrategy::WindowCut)
+            .expect("multi-quantile run failed");
 
     println!("quantile | exact value | verified");
     println!("---------+-------------+---------");
@@ -43,7 +39,11 @@ fn main() {
             "{:>8} | {:>11} | {}",
             q.to_string(),
             v,
-            if *v == truth.value { "✓" } else { "✗ MISMATCH" }
+            if *v == truth.value {
+                "✓"
+            } else {
+                "✗ MISMATCH"
+            }
         );
         assert_eq!(*v, truth.value);
     }
@@ -54,13 +54,8 @@ fn main() {
         // show what separate queries would cost.
         let mut separate = 0u64;
         for q in &quantiles {
-            let run = exact_quantile_decentralized(
-                &nodes,
-                *q,
-                2_000,
-                SelectionStrategy::WindowCut,
-            )
-            .expect("single run");
+            let run = exact_quantile_decentralized(&nodes, *q, 2_000, SelectionStrategy::WindowCut)
+                .expect("single run");
             separate += run.stats.total_events_on_wire();
         }
         separate

@@ -50,5 +50,8 @@ fn main() {
         100.0 * (1.0 - traffic.events as f64 / total_events as f64)
     );
     println!("bytes on wire               : {}", traffic.bytes);
-    println!("throughput                  : {:.0} events/s", report.throughput_eps());
+    println!(
+        "throughput                  : {:.0} events/s",
+        report.throughput_eps()
+    );
 }

@@ -17,7 +17,11 @@ use dema::gen::SoccerGenerator;
 
 fn main() {
     let nodes: Vec<Vec<dema::core::event::Event>> = (0..3u64)
-        .map(|n| SoccerGenerator::new(n, 1, 4_000, 0).take(6 * 4_000).collect())
+        .map(|n| {
+            SoccerGenerator::new(n, 1, 4_000, 0)
+                .take(6 * 4_000)
+                .collect()
+        })
         .collect();
 
     let config = SlidingConfig {
@@ -43,8 +47,14 @@ fn main() {
     println!();
     println!("windows evaluated          : {}", stats.windows);
     println!("total events               : {}", stats.total_events);
-    println!("synopses shipped           : {} (each pane sliced once, shared 4×)", stats.synopses_sent);
-    println!("candidate events shipped   : {}", stats.candidate_events_sent);
+    println!(
+        "synopses shipped           : {} (each pane sliced once, shared 4×)",
+        stats.synopses_sent
+    );
+    println!(
+        "candidate events shipped   : {}",
+        stats.candidate_events_sent
+    );
     println!(
         "candidate events from cache: {} ({:.0} % of selections served locally)",
         stats.candidate_events_saved,

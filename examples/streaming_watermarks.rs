@@ -25,8 +25,9 @@ fn main() {
     // shuffled, and node 2 replays a stale burst from 3 seconds ago.
     let mut streams: Vec<Vec<Event>> = (0..3u64)
         .map(|n| {
-            let mut events: Vec<Event> =
-                SoccerGenerator::new(n, 1, 5_000, 0).take(5 * 5_000).collect();
+            let mut events: Vec<Event> = SoccerGenerator::new(n, 1, 5_000, 0)
+                .take(5 * 5_000)
+                .collect();
             for chunk in events.chunks_mut(200) {
                 chunk.reverse(); // bounded out-of-orderness (~40 ms)
             }
@@ -58,6 +59,9 @@ fn main() {
         "late events dropped: {} (stale burst behind the {} ms watermark slack)",
         report.late_events, lateness_ms
     );
-    println!("events processed   : {}", report.total_events - report.late_events);
+    println!(
+        "events processed   : {}",
+        report.total_events - report.late_events
+    );
     assert_eq!(report.late_events, 500);
 }

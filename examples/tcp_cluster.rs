@@ -38,7 +38,10 @@ fn main() {
         assert_eq!(a.value, b.value, "transports must agree");
     }
     let (mb, tb) = (data_traffic(&mem).bytes, data_traffic(&tcp).bytes);
-    println!("\ndata-plane bytes  mem: {mb}   tcp: {tb}   (identical: {})", mb == tb);
+    println!(
+        "\ndata-plane bytes  mem: {mb}   tcp: {tb}   (identical: {})",
+        mb == tb
+    );
     println!(
         "wall time         mem: {:?}   tcp: {:?}",
         mem.wall_time, tcp.wall_time

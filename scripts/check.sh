@@ -2,9 +2,14 @@
 # Tier-1 gate: everything a change must pass before it lands.
 #
 #   build (release)  — the experiment binary and benches must compile
+#   fmt --check      — first-party crates stay rustfmt-clean (vendored
+#                      crates are kept byte-identical to upstream and are
+#                      deliberately not checked)
 #   test             — unit + property + integration tests, all crates
 #   test --strict    — same suite with the checked-invariant layer compiled
-#                      into release-style gating (DESIGN.md §8)
+#                      into release-style gating (DESIGN.md §8), plus an
+#                      explicit engines-over-TCP pass so the socket
+#                      transport is exercised with checked invariants
 #   dema-lint        — repo-specific static analysis: R1 no panics in
 #                      library code, R2 no lossy `as` casts in rank/gamma
 #                      arithmetic, R3/R4 error & wire variants exercised
@@ -21,8 +26,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+# shellcheck disable=SC2046
+cargo fmt --check $(for c in crates/*/; do printf -- '-p %s ' "$(basename "$c")"; done)
 cargo test -q
 cargo test --features strict -q
+cargo test -q -p dema-cluster --features strict --test engines --test tree tcp
 cargo run -q -p dema-lint -- check .
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- \

@@ -20,7 +20,10 @@ use dema::wire::{Message, WireError};
 use parking_lot::Mutex;
 
 fn events(vals: &[i64]) -> Vec<Event> {
-    vals.iter().enumerate().map(|(i, &v)| Event::new(v, 0, i as u64)).collect()
+    vals.iter()
+        .enumerate()
+        .map(|(i, &v)| Event::new(v, 0, i as u64))
+        .collect()
 }
 
 fn dema_root(n_locals: usize, control: Vec<Box<dyn MsgSender>>) -> RootNode {
@@ -42,9 +45,13 @@ fn setup_identification(
     root: &mut RootNode,
     rx: &mut dyn MsgReceiver,
 ) -> (Vec<dema::core::slice::Slice>, Vec<u32>) {
-    let slices =
-        cut_into_slices(NodeId(0), WindowId(0), events(&(0..16).collect::<Vec<i64>>()), 4)
-            .unwrap();
+    let slices = cut_into_slices(
+        NodeId(0),
+        WindowId(0),
+        events(&(0..16).collect::<Vec<i64>>()),
+        4,
+    )
+    .unwrap();
     root.handle(Message::SynopsisBatch {
         node: NodeId(0),
         window: WindowId(0),
@@ -74,7 +81,10 @@ fn truncated_reply_events_are_detected() {
             slices: vec![(wanted[0], payload)],
         })
         .unwrap_err();
-    assert!(matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))), "{err:?}");
+    assert!(
+        matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -92,7 +102,10 @@ fn swapped_values_in_reply_are_detected() {
             slices: vec![(wanted[0], fake.into())],
         })
         .unwrap_err();
-    assert!(matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))), "{err:?}");
+    assert!(
+        matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -110,7 +123,10 @@ fn unsorted_reply_is_detected() {
             slices: vec![(wanted[0], payload)],
         })
         .unwrap_err();
-    assert!(matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))), "{err:?}");
+    assert!(
+        matches!(err, ClusterError::Core(DemaError::CorruptCandidate(_))),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -119,7 +135,9 @@ fn reply_for_unselected_slice_is_rejected() {
     let mut root = dema_root(1, vec![Box::new(tx)]);
     let (slices, wanted) = setup_identification(&mut root, &mut rx);
     // Pick a slice index that was *not* requested.
-    let unrequested = (0..slices.len() as u32).find(|i| !wanted.contains(i)).unwrap();
+    let unrequested = (0..slices.len() as u32)
+        .find(|i| !wanted.contains(i))
+        .unwrap();
     let err = root
         .handle(Message::CandidateReply {
             node: NodeId(0),
@@ -172,9 +190,7 @@ fn corrupted_wire_bytes_never_decode() {
         corrupted[i] ^= 0xFF;
         match Message::decode(&corrupted) {
             Ok(decoded) => assert_ne!(decoded, msg, "flip at byte {i} went unnoticed"),
-            Err(
-                WireError::BadTag(_) | WireError::Truncated | WireError::BadLength(_),
-            ) => {}
+            Err(WireError::BadTag(_) | WireError::Truncated | WireError::BadLength(_)) => {}
         }
     }
 }
@@ -188,7 +204,10 @@ fn responder_failure_surfaces_as_error_not_wrong_answer() {
     let (mut ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
     let shared = LocalShared::new(4);
     ctl_tx
-        .send(&Message::CandidateRequest { window: WindowId(5), slices: vec![0] })
+        .send(&Message::CandidateRequest {
+            window: WindowId(5),
+            slices: vec![0],
+        })
         .unwrap();
     drop(ctl_tx);
     let res = run_responder(NodeId(0), &mut ctl_rx, &mut data_tx, &shared);

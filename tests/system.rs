@@ -24,8 +24,11 @@ fn soccer_inputs(n: usize, windows: usize, rate: u64) -> Vec<Vec<Vec<Event>>> {
 #[test]
 fn cluster_matches_reference_coordinator() {
     let inputs = soccer_inputs(3, 3, 2_000);
-    let report =
-        run_cluster(&ClusterConfig::dema_fixed(128, Quantile::MEDIAN), inputs.clone()).unwrap();
+    let report = run_cluster(
+        &ClusterConfig::dema_fixed(128, Quantile::MEDIAN),
+        inputs.clone(),
+    )
+    .unwrap();
     for (w, outcome) in report.outcomes.iter().enumerate() {
         let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
         let reference = exact_quantile_decentralized(
@@ -37,7 +40,10 @@ fn cluster_matches_reference_coordinator() {
         .unwrap();
         assert_eq!(outcome.value, Some(reference.result), "window {w}");
         assert_eq!(outcome.total_events, reference.stats.total_events);
-        assert_eq!(outcome.candidate_events, reference.stats.candidate_events_sent);
+        assert_eq!(
+            outcome.candidate_events,
+            reference.stats.candidate_events_sent
+        );
         assert_eq!(outcome.synopses, reference.stats.synopses_sent);
     }
 }
@@ -48,7 +54,10 @@ fn cluster_matches_reference_coordinator() {
 fn spe_operator_agrees_with_cluster() {
     let inputs = soccer_inputs(2, 3, 1_500);
     // Feed all nodes' events into one central operator.
-    let mut op = WindowOperator::new(WindowAssigner::Tumbling { len: 1000 }, QuantileAgg::median());
+    let mut op = WindowOperator::new(
+        WindowAssigner::Tumbling { len: 1000 },
+        QuantileAgg::median(),
+    );
     for node in &inputs {
         for window in node {
             for e in window {
@@ -56,8 +65,11 @@ fn spe_operator_agrees_with_cluster() {
             }
         }
     }
-    let spe_results: Vec<Option<i64>> =
-        op.advance_watermark(3_000).into_iter().map(|(_, v)| v).collect();
+    let spe_results: Vec<Option<i64>> = op
+        .advance_watermark(3_000)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
     let report = run_cluster(&ClusterConfig::dema_fixed(64, Quantile::MEDIAN), inputs).unwrap();
     assert_eq!(report.values(), spe_results);
 }
@@ -98,18 +110,26 @@ fn accuracy_ordering_matches_paper() {
     let truth: Vec<Option<i64>> = (0..3)
         .map(|w| {
             let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
-            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+            quantile_ground_truth(&per_node, Quantile::MEDIAN)
+                .ok()
+                .map(|e| e.value)
         })
         .collect();
-    let dema =
-        run_cluster(&ClusterConfig::dema_fixed(256, Quantile::MEDIAN), inputs.clone()).unwrap();
+    let dema = run_cluster(
+        &ClusterConfig::dema_fixed(256, Quantile::MEDIAN),
+        inputs.clone(),
+    )
+    .unwrap();
     let central = run_cluster(
         &ClusterConfig::baseline(EngineKind::Centralized, Quantile::MEDIAN),
         inputs.clone(),
     )
     .unwrap();
     let tdigest = run_cluster(
-        &ClusterConfig::baseline(EngineKind::TdigestCentral { compression: 100.0 }, Quantile::MEDIAN),
+        &ClusterConfig::baseline(
+            EngineKind::TdigestCentral { compression: 100.0 },
+            Quantile::MEDIAN,
+        ),
         inputs,
     )
     .unwrap();
@@ -118,12 +138,18 @@ fn accuracy_ordering_matches_paper() {
     let mut exact_hits = 0;
     for (got, want) in tdigest.values().iter().zip(&truth) {
         let (g, w) = (got.unwrap() as f64, want.unwrap() as f64);
-        assert!((g - w).abs() / w.abs().max(1.0) < 0.05, "tdigest far off: {g} vs {w}");
+        assert!(
+            (g - w).abs() / w.abs().max(1.0) < 0.05,
+            "tdigest far off: {g} vs {w}"
+        );
         if g as i64 == w as i64 {
             exact_hits += 1;
         }
     }
-    assert!(exact_hits < 3, "t-digest should not be bit-exact on this data");
+    assert!(
+        exact_hits < 3,
+        "t-digest should not be bit-exact on this data"
+    );
 }
 
 /// Dema's network reduction grows with the window size (the 99 % headline
@@ -144,8 +170,14 @@ fn network_savings_grow_with_window_size() {
     // depends on how the fixed γ heuristic interacts with overlap, so we
     // assert the shape, not monotonicity to the percent.)
     let first = savings[0];
-    assert!(savings.iter().skip(1).all(|&s| s > first), "savings not improving: {savings:?}");
-    assert!(savings.iter().copied().fold(f64::MIN, f64::max) > 0.9, "{savings:?}");
+    assert!(
+        savings.iter().skip(1).all(|&s| s > first),
+        "savings not improving: {savings:?}"
+    );
+    assert!(
+        savings.iter().copied().fold(f64::MIN, f64::max) > 0.9,
+        "{savings:?}"
+    );
     assert!(savings.iter().all(|&s| s > 0.8), "{savings:?}");
 }
 
@@ -173,24 +205,43 @@ fn heterogeneous_generators_end_to_end() {
     let mk = |dist, seed, rate| {
         EventStream::new(
             dist,
-            StreamConfig { seed, events_per_second: rate, ..Default::default() },
+            StreamConfig {
+                seed,
+                events_per_second: rate,
+                ..Default::default()
+            },
         )
         .take_windows(2, 1000)
     };
     let inputs = vec![
-        mk(ValueDistribution::Normal { mean: 0.0, std_dev: 1_000.0 }, 1, 4_000),
-        mk(ValueDistribution::Uniform { lo: -10_000, hi: 10_000 }, 2, 500),
+        mk(
+            ValueDistribution::Normal {
+                mean: 0.0,
+                std_dev: 1_000.0,
+            },
+            1,
+            4_000,
+        ),
+        mk(
+            ValueDistribution::Uniform {
+                lo: -10_000,
+                hi: 10_000,
+            },
+            2,
+            500,
+        ),
         mk(ValueDistribution::Zipf { n: 1_000, s: 1.3 }, 3, 8_000),
         SoccerGenerator::new(4, 1, 2_000, 0).take_windows(2, 1000),
     ];
     let truth: Vec<Option<i64>> = (0..2)
         .map(|w| {
             let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
-            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+            quantile_ground_truth(&per_node, Quantile::MEDIAN)
+                .ok()
+                .map(|e| e.value)
         })
         .collect();
-    let report =
-        run_cluster(&ClusterConfig::dema_fixed(128, Quantile::MEDIAN), inputs).unwrap();
+    let report = run_cluster(&ClusterConfig::dema_fixed(128, Quantile::MEDIAN), inputs).unwrap();
     assert_eq!(report.values(), truth);
 }
 
@@ -214,7 +265,9 @@ fn adaptive_gamma_under_rate_drift() {
     let truth: Vec<Option<i64>> = (0..8)
         .map(|w| {
             let per_node: Vec<Vec<Event>> = inputs.iter().map(|n| n[w].clone()).collect();
-            quantile_ground_truth(&per_node, Quantile::MEDIAN).ok().map(|e| e.value)
+            quantile_ground_truth(&per_node, Quantile::MEDIAN)
+                .ok()
+                .map(|e| e.value)
         })
         .collect();
     let mut cfg = ClusterConfig::baseline(
@@ -229,5 +282,8 @@ fn adaptive_gamma_under_rate_drift() {
     assert_eq!(report.values(), truth);
     let early = report.outcomes[3].gamma;
     let late = report.outcomes.last().unwrap().gamma;
-    assert!(late > early, "γ should grow with the rate: {early} → {late}");
+    assert!(
+        late > early,
+        "γ should grow with the rate: {early} → {late}"
+    );
 }
