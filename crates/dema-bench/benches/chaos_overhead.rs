@@ -1,0 +1,79 @@
+//! What the fault-tolerance layer costs when nothing is failing.
+//!
+//! Three configurations of the same Dema run: the seed fast path (no
+//! resilience, no fault wrappers), the resilience layer armed but idle
+//! (supervisor + sent-message caches + responder NACK handling, no faults
+//! injected), and transparent fault plans wrapping every link (the
+//! `FaultySender` layer in place but configured to pass everything
+//! through — which the runner elides via `FaultPlan::is_transparent`).
+//! The target recorded in BENCH_NOTES.md: the armed-but-idle overhead
+//! stays under ~2% of the seed path, so chaos-readiness is free to leave
+//! on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dema_bench::workload::{soccer_inputs, uniform_scales};
+use dema_cluster::config::{ClusterConfig, NodeFaults, Resilience};
+use dema_cluster::runner::run_cluster;
+use dema_core::quantile::Quantile;
+use dema_net::fault::FaultPlan;
+
+const LOCALS: usize = 8;
+const EVENTS_PER_WINDOW: u64 = 5_000;
+const WINDOWS: usize = 8;
+
+/// A generous resilience config: deadlines never fire on a healthy run,
+/// so the measurement isolates bookkeeping, not retries.
+fn idle_resilience() -> Resilience {
+    Resilience {
+        request_timeout_ms: 10_000,
+        max_retries: 2,
+        liveness_k: 100,
+        seed: 42,
+    }
+}
+
+fn bench_chaos_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_overhead");
+    group.sample_size(10);
+    let inputs = soccer_inputs(
+        LOCALS,
+        WINDOWS,
+        EVENTS_PER_WINDOW,
+        &uniform_scales(LOCALS),
+        42,
+    );
+    group.throughput(Throughput::Elements(WINDOWS as u64));
+
+    let transparent_faults: Vec<NodeFaults> = (0..LOCALS)
+        .map(|n| NodeFaults {
+            node: n as u32,
+            uplink: Some(FaultPlan::new(n as u64)),
+            responder: Some(FaultPlan::new(n as u64)),
+            control: Some(FaultPlan::new(n as u64)),
+        })
+        .collect();
+    for (label, resilience, faults) in [
+        ("fault_layer_off", None, Vec::new()),
+        ("resilience_idle", Some(idle_resilience()), Vec::new()),
+        (
+            "transparent_plans",
+            Some(idle_resilience()),
+            transparent_faults,
+        ),
+    ] {
+        let mut config = ClusterConfig::dema_fixed(100, Quantile::MEDIAN);
+        config.resilience = resilience;
+        config.faults = faults;
+        group.bench_with_input(
+            BenchmarkId::new("dema_windows", label),
+            &config,
+            |b, config| b.iter(|| black_box(run_cluster(config, inputs.clone()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos_overhead);
+criterion_main!(benches);

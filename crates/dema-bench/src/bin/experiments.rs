@@ -787,6 +787,8 @@ fn sustainable(scale: Scale, sink: &CsvSink) {
                 topology: dema_cluster::Topology::Star,
                 pace_window_ms: Some(pace_ms),
                 extra_quantiles: Vec::new(),
+                resilience: None,
+                faults: Vec::new(),
             };
             let report = run_cluster(&config, inputs).expect("probe run");
             // Sustained iff the run kept up with the schedule (small slack

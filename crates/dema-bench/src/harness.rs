@@ -73,6 +73,8 @@ pub fn measure_with(
         topology: dema_cluster::Topology::Star,
         pace_window_ms: None,
         extra_quantiles: Vec::new(),
+        resilience: None,
+        faults: Vec::new(),
     };
     let report = run_cluster(&config, inputs.to_vec()).expect("cluster run failed");
     summarize(label, &report)
@@ -94,6 +96,8 @@ pub fn measure_paced(
         topology: dema_cluster::Topology::Star,
         pace_window_ms: Some(pace_window_ms),
         extra_quantiles: Vec::new(),
+        resilience: None,
+        faults: Vec::new(),
     };
     let report = run_cluster(&config, inputs.to_vec()).expect("cluster run failed");
     summarize(label, &report)

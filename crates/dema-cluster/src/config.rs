@@ -2,6 +2,7 @@
 
 use dema_core::quantile::Quantile;
 use dema_core::selector::SelectionStrategy;
+use dema_net::fault::FaultPlan;
 
 /// How γ evolves across windows (§3.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +129,54 @@ impl Topology {
     }
 }
 
+/// Retry / liveness parameters of the root's fault-tolerance layer.
+///
+/// When a [`ClusterConfig`] carries one of these, the root arms a deadline
+/// per expected window stage, NACKs missing contributions with
+/// [`dema_wire::Message::ResendWindow`] / `CandidateRetry` under exponential
+/// backoff, and declares a local dead after `liveness_k` consecutive missed
+/// deadlines. Windows then complete from the survivors' data as
+/// [`crate::report::Degraded`] outcomes instead of hanging the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resilience {
+    /// Base per-stage deadline before the first retry, in milliseconds.
+    pub request_timeout_ms: u64,
+    /// Retries per window stage before the missing nodes are given up on.
+    pub max_retries: u32,
+    /// Consecutive missed deadlines before a node is declared dead.
+    pub liveness_k: u32,
+    /// Seed for the retry jitter (deterministic chaos runs).
+    pub seed: u64,
+}
+
+impl Default for Resilience {
+    fn default() -> Resilience {
+        Resilience {
+            request_timeout_ms: 100,
+            max_retries: 4,
+            liveness_k: 8,
+            seed: 0x00_D3_7A_FA_17,
+        }
+    }
+}
+
+/// Fault plans injected on one local node's links (chaos testing).
+///
+/// Absent plans leave the corresponding link untouched. Plans apply at
+/// tier 0 only — the node's own uplinks/downlink — which is where the
+/// paper's edge-network failures live.
+#[derive(Debug, Clone, Default)]
+pub struct NodeFaults {
+    /// Which local node the plans apply to.
+    pub node: u32,
+    /// Fault plan for the node's data-plane uplink (synopses, batches).
+    pub uplink: Option<FaultPlan>,
+    /// Fault plan for the node's responder uplink (candidate replies).
+    pub responder: Option<FaultPlan>,
+    /// Fault plan for the root→node control downlink.
+    pub control: Option<FaultPlan>,
+}
+
 /// Full configuration of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -150,6 +199,12 @@ pub struct ClusterConfig {
     /// compressed), which is what lets adaptive-γ feedback land before the
     /// next window is sliced.
     pub pace_window_ms: Option<u64>,
+    /// Retry / liveness parameters. `None` (the default) runs the seed
+    /// protocol unchanged: no deadlines, no retries, a lost message hangs
+    /// its window exactly as before.
+    pub resilience: Option<Resilience>,
+    /// Per-node fault injection plans (chaos testing). Empty for clean runs.
+    pub faults: Vec<NodeFaults>,
 }
 
 impl ClusterConfig {
@@ -166,6 +221,8 @@ impl ClusterConfig {
             topology: Topology::Star,
             pace_window_ms: None,
             extra_quantiles: Vec::new(),
+            resilience: None,
+            faults: Vec::new(),
         }
     }
 
@@ -178,6 +235,8 @@ impl ClusterConfig {
             topology: Topology::Star,
             pace_window_ms: None,
             extra_quantiles: Vec::new(),
+            resilience: None,
+            faults: Vec::new(),
         }
     }
 }

@@ -2,7 +2,7 @@
 //! their windows and ship sorted runs; the root k-way merges (it never
 //! re-sorts) and selects the quantile rank.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use dema_core::event::{Event, NodeId, WindowId};
 use dema_core::merge::select_kth;
@@ -11,13 +11,20 @@ use dema_core::quantile::Quantile;
 use dema_net::MsgSender;
 use dema_wire::Message;
 
+use super::retry::{self, Supervisor};
 use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
 use crate::ClusterError;
 
 #[derive(Default)]
 struct WindowState {
-    reported: usize,
+    reported: HashSet<u32>,
     runs: Vec<Vec<Event>>,
+}
+
+impl retry::Contributions for WindowState {
+    fn reported(&self) -> &HashSet<u32> {
+        &self.reported
+    }
 }
 
 /// Root half: collect sorted runs, merge-select the rank.
@@ -25,6 +32,8 @@ pub struct DecSortRoot {
     quantile: Quantile,
     n_locals: usize,
     states: BTreeMap<u64, WindowState>,
+    control: Vec<Box<dyn MsgSender>>,
+    sup: Option<Supervisor>,
 }
 
 impl DecSortRoot {
@@ -34,7 +43,43 @@ impl DecSortRoot {
             quantile: params.quantile,
             n_locals: params.n_locals,
             states: BTreeMap::new(),
+            control: params.control,
+            sup: params.resilience.map(Supervisor::new),
         }
+    }
+
+    fn finalize_window(
+        &mut self,
+        window: WindowId,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let state = self.states.remove(&window.0).unwrap_or_default();
+        let degraded = retry::close_window(&mut self.sup, window.0, &state.reported, self.n_locals);
+        let runs = state.runs;
+        let total: u64 = runs.iter().map(|r| len_to_u64(r.len())).sum();
+        if total == 0 {
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    degraded,
+                    ..Default::default()
+                },
+            ));
+            return Ok(());
+        }
+        // Locals pre-sorted; the root only merges.
+        let k = self.quantile.pos(total)?;
+        let value = select_kth(&runs, k).map_err(ClusterError::Core)?.value;
+        resolved.push((
+            window,
+            ResolvedWindow {
+                value: Some(value),
+                total_events: total,
+                degraded,
+                ..Default::default()
+            },
+        ));
+        Ok(())
     }
 }
 
@@ -44,35 +89,55 @@ impl RootEngine for DecSortRoot {
         msg: Message,
         resolved: &mut Vec<(WindowId, ResolvedWindow)>,
     ) -> Result<(), ClusterError> {
-        let Message::EventBatch { window, events, .. } = msg else {
+        let Message::EventBatch {
+            node,
+            window,
+            events,
+            ..
+        } = msg
+        else {
             return Err(ClusterError::Protocol(format!(
                 "dec-sort root: unexpected message {msg:?}"
             )));
         };
+        if !retry::admit(&mut self.sup, window.0, node.0) {
+            return Ok(());
+        }
         let state = self.states.entry(window.0).or_default();
+        if !state.reported.insert(node.0) {
+            retry::suppress_duplicate(&self.sup);
+            return Ok(());
+        }
         state.runs.push(events);
-        state.reported += 1;
-        if state.reported == self.n_locals {
-            let runs = std::mem::take(&mut state.runs);
-            self.states.remove(&window.0);
-            let total: u64 = runs.iter().map(|r| len_to_u64(r.len())).sum();
-            if total == 0 {
-                resolved.push((window, ResolvedWindow::default()));
-                return Ok(());
-            }
-            // Locals pre-sorted; the root only merges.
-            let k = self.quantile.pos(total)?;
-            let value = select_kth(&runs, k).map_err(ClusterError::Core)?.value;
-            resolved.push((
-                window,
-                ResolvedWindow {
-                    value: Some(value),
-                    total_events: total,
-                    ..Default::default()
-                },
-            ));
+        if retry::covered(&self.sup, &state.reported, self.n_locals) {
+            self.finalize_window(window, resolved)?;
         }
         Ok(())
+    }
+
+    fn on_tick(
+        &mut self,
+        expected_windows: u64,
+        quiescent: bool,
+        missing_enders: &[u32],
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<Vec<NodeId>, ClusterError> {
+        let Some(sup) = self.sup.as_mut() else {
+            return Ok(Vec::new());
+        };
+        let (newly_dead, completable) = retry::run_tick(
+            sup,
+            &mut self.control,
+            &self.states,
+            self.n_locals,
+            expected_windows,
+            quiescent,
+            missing_enders,
+        )?;
+        for w in completable {
+            self.finalize_window(WindowId(w), resolved)?;
+        }
+        Ok(newly_dead.into_iter().map(NodeId).collect())
     }
 }
 

@@ -19,10 +19,24 @@
 //! the locals run ahead. The window-cut itself stays the pure,
 //! single-threaded algorithm in `dema-core` — the pipeline only schedules
 //! *when* it runs.
+//!
+//! ## Fault tolerance (resilient runs)
+//!
+//! With a [`crate::config::Resilience`] config, both stages carry a
+//! deadline in the engine's [`Supervisor`]. A stage-1 expiry NACKs missing
+//! synopses with [`Message::ResendWindow`]; a stage-2 expiry re-requests
+//! the missing nodes' candidate slices with [`Message::CandidateRetry`].
+//! Locals that exhaust the liveness or retry budget are declared dead, and
+//! the window resolves from the surviving runs as a
+//! [`Degraded`] outcome: the selected rank is clamped into the delivered
+//! candidate set, and — when every local's synopses arrived — the answer
+//! ships with a rank-error bound equal to the lost candidate slices'
+//! synopsis counts (the root knows exactly how many events it never saw).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dema_core::event::{Event, NodeId, WindowId};
 use dema_core::gamma::AdaptiveGamma;
@@ -38,8 +52,10 @@ use dema_net::{MsgReceiver, MsgSender, NetError};
 use dema_wire::Message;
 use parking_lot::Mutex;
 
+use super::retry::{self, ExpiryAction, Supervisor, END_KEY};
 use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
 use crate::config::GammaMode;
+use crate::report::Degraded;
 use crate::ClusterError;
 
 /// Max Dema windows allowed in stage 2 (candidate requests outstanding) at
@@ -54,6 +70,10 @@ pub const PIPELINE_DEPTH: usize = 2;
 /// against a stalled root.
 pub(crate) const STORE_WINDOW_CAP: usize = 64;
 
+/// How often the responder wakes from its receive to notice a torn-down
+/// link even when the root has gone silent.
+const RESPONDER_POLL: Duration = Duration::from_millis(25);
+
 /// State shared between a Dema local's main loop and its responder.
 #[derive(Debug)]
 pub struct LocalShared {
@@ -61,14 +81,35 @@ pub struct LocalShared {
     pub gamma: AtomicU64,
     /// Closed windows' slices, awaiting (possible) candidate requests.
     pub store: Mutex<HashMap<u64, Vec<Slice>>>,
+    /// Resilient mode: keep served windows in the store (candidate retries
+    /// must be idempotent) and cache sent uplink messages for resends.
+    pub retain_sent: bool,
+    /// Last data-plane uplink message per window, for `ResendWindow`
+    /// NACKs; the stream-end message lives under [`END_KEY`]'s slot.
+    /// Populated only when `retain_sent` is set.
+    pub sent: Mutex<HashMap<u64, Message>>,
 }
 
 impl LocalShared {
-    /// Fresh shared state starting at `gamma`.
+    /// Fresh shared state starting at `gamma` (seed protocol: served
+    /// windows are evicted, nothing is cached for resend).
     pub fn new(gamma: u64) -> Arc<LocalShared> {
         Arc::new(LocalShared {
             gamma: AtomicU64::new(gamma),
             store: Mutex::new(HashMap::new()),
+            retain_sent: false,
+            sent: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Shared state for a resilient run: the store retains served windows
+    /// and the uplink messages are cached for `ResendWindow` NACKs.
+    pub fn resilient(gamma: u64) -> Arc<LocalShared> {
+        Arc::new(LocalShared {
+            gamma: AtomicU64::new(gamma),
+            store: Mutex::new(HashMap::new()),
+            retain_sent: true,
+            sent: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -76,9 +117,8 @@ impl LocalShared {
 /// Per-window accumulation state at the root.
 #[derive(Default)]
 struct WindowState {
-    /// Stage 1: locals that delivered synopses; stage 2 (after `identify`):
-    /// candidate replies expected.
-    reported: usize,
+    /// Stage 1: locals whose synopses arrived.
+    reported: HashSet<u32>,
     /// All synopses of the window, sorted by value interval at stage-1 end.
     synopses: Vec<SliceSynopsis>,
     /// The identification step's decision (index 0 = the primary quantile's
@@ -89,7 +129,17 @@ struct WindowState {
     /// Candidate runs received so far (shared views, zero-copy off the
     /// in-memory transport).
     runs: Vec<SharedRun>,
-    runs_received: usize,
+    /// Stage 2: nodes whose candidate replies arrived.
+    replied: HashSet<u32>,
+    /// Stage 2: live candidate owners a reply is expected from.
+    expected_replies: HashSet<u32>,
+    /// Candidate slice indices per owning node (kept for retries).
+    node_requests: HashMap<u32, Vec<u32>>,
+    /// Candidate owners already dead at identification time, ascending.
+    dead_at_identify: Vec<u32>,
+    /// Locals whose synopses never arrived (dead at stage-1 close),
+    /// ascending.
+    stage1_missing: Vec<u32>,
     /// Per-node local window sizes `l_i` (for per-node γ control).
     node_sizes: HashMap<u32, u64>,
     /// Per-node candidate-slice counts `m_i`.
@@ -134,6 +184,8 @@ pub struct DemaRoot {
     /// Stage-1-complete windows waiting for a stage-2 slot, in the order
     /// their last synopsis arrived (window order for well-paced locals).
     ready: VecDeque<u64>,
+    /// Retry / liveness state for resilient runs.
+    sup: Option<Supervisor>,
 }
 
 impl DemaRoot {
@@ -160,7 +212,41 @@ impl DemaRoot {
             control: params.control,
             in_flight: 0,
             ready: VecDeque::new(),
+            sup: params.resilience.map(Supervisor::new),
         }
+    }
+
+    /// Stage 1 complete (every local reported or is dead): order the
+    /// synopses and admit the window into stage 2 — or queue it when the
+    /// pipeline is full.
+    fn close_stage1(
+        &mut self,
+        window: WindowId,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let state = self.states.get_mut(&window.0).ok_or_else(|| {
+            ClusterError::Protocol(format!("stage-1 close of unknown window {window}"))
+        })?;
+        if let Some(sup) = self.sup.as_mut() {
+            state.stage1_missing = (0..len_to_u32(self.n_locals))
+                .filter(|n| !state.reported.contains(n))
+                .collect();
+            // Queued windows carry no deadline; `identify` arms stage 2.
+            sup.disarm(window.0);
+        }
+        // Order the synopses by value interval now, overlapping the reply
+        // round trips of earlier windows. Identification is
+        // order-insensitive, so this only moves the sort work off the
+        // critical path.
+        state
+            .synopses
+            .sort_unstable_by_key(|s| (s.first, s.last, s.id));
+        if self.in_flight < PIPELINE_DEPTH {
+            self.identify(window, resolved)?;
+        } else {
+            self.ready.push_back(window.0);
+        }
+        Ok(())
     }
 
     /// Identification step once all synopses of `window` arrived and a
@@ -170,6 +256,7 @@ impl DemaRoot {
         window: WindowId,
         resolved: &mut Vec<(WindowId, ResolvedWindow)>,
     ) -> Result<(), ClusterError> {
+        let retries = self.sup.as_ref().map_or(0, |s| s.retries_of(window.0));
         let state = self.states.get_mut(&window.0).ok_or_else(|| {
             ClusterError::Protocol(format!("identify of unknown window {window}"))
         })?;
@@ -178,11 +265,28 @@ impl DemaRoot {
         let total: u64 = state.synopses.iter().map(|s| s.count).sum();
         if total == 0 {
             let gamma = state.gamma;
+            let stage1_missing = std::mem::take(&mut state.stage1_missing);
             self.states.remove(&window.0);
+            let degraded = if stage1_missing.is_empty() {
+                None
+            } else {
+                if let Some(sup) = self.sup.as_mut() {
+                    sup.counters.record_degraded_window();
+                }
+                Some(Degraded {
+                    missing_nodes: stage1_missing,
+                    rank_error_bound: None,
+                    retries,
+                })
+            };
+            if let Some(sup) = self.sup.as_mut() {
+                sup.finish(window.0);
+            }
             resolved.push((
                 window,
                 ResolvedWindow {
                     gamma,
+                    degraded,
                     ..ResolvedWindow::default()
                 },
             ));
@@ -214,29 +318,59 @@ impl DemaRoot {
             *state.node_candidates.entry(id.node.0).or_insert(0) += 1;
         }
 
-        // Group candidate slices by owning node and fire the requests.
+        // Group candidate slices by owning node; remember the grouping so a
+        // stage-2 expiry can re-request exactly the missing slices.
         let mut per_node: HashMap<u32, Vec<u32>> = HashMap::new();
         for id in &selection.candidates {
             per_node.entry(id.node.0).or_default().push(id.index);
         }
-        state.runs_received = 0;
         state.runs.clear();
-        let expected_replies = per_node.len();
+        state.replied.clear();
         state.selection = Some(selection);
-        for (node, slices) in per_node {
+        state.node_requests = per_node;
+        let mut expected = HashSet::new();
+        let mut dead_at_identify = Vec::new();
+        for &node in state.node_requests.keys() {
+            if self.sup.as_ref().is_some_and(|s| s.is_dead(node)) {
+                dead_at_identify.push(node);
+            } else {
+                expected.insert(node);
+            }
+        }
+        dead_at_identify.sort_unstable();
+        state.expected_replies = expected;
+        state.dead_at_identify = dead_at_identify;
+        let resilient = self.sup.is_some();
+        for (node, slices) in &state.node_requests {
+            if state.dead_at_identify.contains(node) {
+                continue;
+            }
             let link = self
                 .control
-                .get_mut(u64_to_usize(u64::from(node)))
+                .get_mut(u64_to_usize(u64::from(*node)))
                 .ok_or_else(|| ClusterError::Protocol(format!("no control link for n{node}")))?;
-            link.send(&Message::CandidateRequest { window, slices })?;
+            let msg = Message::CandidateRequest {
+                window,
+                slices: slices.clone(),
+            };
+            if resilient {
+                retry::send_lossy(link.as_mut(), &msg)?;
+            } else {
+                link.send(&msg)?;
+            }
         }
-        // Stash how many replies we expect (one per involved node).
-        let state = self
-            .states
-            .get_mut(&window.0)
-            .ok_or_else(|| ClusterError::Protocol(format!("state lost for window {window}")))?;
-        state.reported = expected_replies; // reuse as "replies expected"
         self.in_flight += 1; // stage-2 slot held until the window finalizes
+        if let Some(sup) = self.sup.as_mut() {
+            sup.arm(window.0);
+        }
+        // Every candidate owner is already dead: no reply will ever come.
+        let no_repliers = self
+            .states
+            .get(&window.0)
+            .is_some_and(|s| s.expected_replies.is_empty());
+        if no_repliers {
+            self.resolve(window, resolved)?;
+        }
         Ok(())
     }
 
@@ -254,7 +388,8 @@ impl DemaRoot {
         Ok(())
     }
 
-    /// Absorb one candidate reply; resolve once all involved nodes replied.
+    /// Absorb one candidate reply; resolve once every live involved node
+    /// replied.
     fn absorb_reply(
         &mut self,
         node: NodeId,
@@ -262,10 +397,26 @@ impl DemaRoot {
         slices: Vec<(u32, SharedRun)>,
         resolved: &mut Vec<(WindowId, ResolvedWindow)>,
     ) -> Result<(), ClusterError> {
+        if let Some(sup) = self.sup.as_mut() {
+            if sup.is_done(window.0) {
+                sup.counters.record_duplicate();
+                return Ok(());
+            }
+            sup.note_alive(node.0);
+        }
         let state = self
             .states
             .get_mut(&window.0)
             .ok_or_else(|| ClusterError::Protocol(format!("reply for unknown window {window}")))?;
+        if state.selection.is_none() {
+            return Err(ClusterError::Protocol(format!(
+                "{window}: candidate reply before identification"
+            )));
+        }
+        if !state.replied.insert(node.0) {
+            retry::suppress_duplicate(&self.sup);
+            return Ok(());
+        }
         for (index, events) in slices {
             let id = SliceId {
                 node,
@@ -290,12 +441,43 @@ impl DemaRoot {
             slice.verify_against(syn).map_err(ClusterError::Core)?;
             state.runs.push(slice.events);
         }
-        state.runs_received += 1;
-        if state.runs_received == state.reported {
-            let selection = state.selection.take().ok_or_else(|| {
-                ClusterError::Protocol(format!("{window}: replies complete before identification"))
-            })?;
-            let run_count: u64 = state.runs.iter().map(|r| len_to_u64(r.len())).sum();
+        let all_in = state
+            .expected_replies
+            .iter()
+            .all(|n| state.replied.contains(n) || self.sup.as_ref().is_some_and(|s| s.is_dead(*n)));
+        if all_in {
+            self.resolve(window, resolved)?;
+        }
+        Ok(())
+    }
+
+    /// Finalize a stage-2 window from whatever runs arrived. Exact when
+    /// every expected contribution is in; degraded (value from survivors,
+    /// rank clamped, bound attached when derivable) otherwise.
+    fn resolve(
+        &mut self,
+        window: WindowId,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let retries = self.sup.as_ref().map_or(0, |s| s.retries_of(window.0));
+        let state = self.states.get_mut(&window.0).ok_or_else(|| {
+            ClusterError::Protocol(format!("resolution of unknown window {window}"))
+        })?;
+        let selection = state.selection.take().ok_or_else(|| {
+            ClusterError::Protocol(format!("{window}: resolution before identification"))
+        })?;
+        let mut missing_repliers: Vec<u32> = state
+            .expected_replies
+            .iter()
+            .copied()
+            .filter(|n| !state.replied.contains(n))
+            .collect();
+        missing_repliers.sort_unstable();
+        let run_count: u64 = state.runs.iter().map(|r| len_to_u64(r.len())).sum();
+        let exact = missing_repliers.is_empty()
+            && state.dead_at_identify.is_empty()
+            && state.stage1_missing.is_empty();
+        let (primary, extras, degraded) = if exact {
             if run_count != selection.candidate_events {
                 return Err(ClusterError::Core(DemaError::InconsistentSynopses(
                     format!(
@@ -320,33 +502,101 @@ impl DemaRoot {
                 })
                 .collect::<Result<Vec<i64>, ClusterError>>()?;
             let primary = values.remove(0);
-            let gamma = state.gamma;
-            let total = selection.total_events;
-            let m = len_to_u64(selection.candidates.len());
-            let synopses = len_to_u64(state.synopsis_of.len());
-            let node_sizes = std::mem::take(&mut state.node_sizes);
-            let node_candidates = std::mem::take(&mut state.node_candidates);
-            self.states.remove(&window.0);
-            resolved.push((
-                window,
-                ResolvedWindow {
-                    value: Some(primary),
-                    extra_values: values,
-                    total_events: total,
-                    candidate_events: selection.candidate_events,
-                    candidate_slices: m,
-                    synopses,
-                    gamma,
-                },
-            ));
-            // Adaptive γ: re-optimize from this window's observation.
+            (Some(primary), values, None)
+        } else {
+            // Degraded resolution from the survivors' runs. Lost candidate
+            // slices are exactly known from the synopses, so when stage 1
+            // was complete the answer's global rank can be off by at most
+            // `m_lost` positions — that bound ships with the answer. A
+            // missing node's synopses (stage-1 loss) make its window
+            // contribution unknowable, so no bound is claimed then.
+            let mut lost_owners: HashSet<u32> = missing_repliers.iter().copied().collect();
+            lost_owners.extend(state.dead_at_identify.iter().copied());
+            let m_lost: u64 = selection
+                .candidates
+                .iter()
+                .filter(|id| lost_owners.contains(&id.node.0))
+                .map(|id| state.synopsis_of.get(id).map_or(0, |s| s.count))
+                .sum();
+            let bound = if state.stage1_missing.is_empty() {
+                Some(m_lost)
+            } else {
+                None
+            };
+            let mut missing_nodes: Vec<u32> = lost_owners.into_iter().collect();
+            missing_nodes.extend(state.stage1_missing.iter().copied());
+            missing_nodes.sort_unstable();
+            missing_nodes.dedup();
+            let (primary, extras) = if run_count == 0 {
+                (None, Vec::new())
+            } else {
+                let mut values = selection
+                    .plans
+                    .iter()
+                    .map(|p| {
+                        let rank = p.rank_within_candidates().min(run_count).max(1);
+                        Ok(select_kth(&state.runs, rank)
+                            .map_err(ClusterError::Core)?
+                            .value)
+                    })
+                    .collect::<Result<Vec<i64>, ClusterError>>()?;
+                let primary = values.remove(0);
+                (Some(primary), values)
+            };
+            if let Some(sup) = self.sup.as_mut() {
+                sup.counters.record_degraded_window();
+            }
+            (
+                primary,
+                extras,
+                Some(Degraded {
+                    missing_nodes,
+                    rank_error_bound: bound,
+                    retries,
+                }),
+            )
+        };
+        let gamma = state.gamma;
+        let total = selection.total_events;
+        let m = len_to_u64(selection.candidates.len());
+        let synopses = len_to_u64(state.synopsis_of.len());
+        let node_sizes = std::mem::take(&mut state.node_sizes);
+        let node_candidates = std::mem::take(&mut state.node_candidates);
+        self.states.remove(&window.0);
+        if let Some(sup) = self.sup.as_mut() {
+            sup.finish(window.0);
+        }
+        let is_exact = degraded.is_none();
+        resolved.push((
+            window,
+            ResolvedWindow {
+                value: primary,
+                extra_values: extras,
+                total_events: total,
+                candidate_events: run_count,
+                candidate_slices: m,
+                synopses,
+                gamma,
+                degraded,
+            },
+        ));
+        // Adaptive γ: re-optimize from this window's observation. Degraded
+        // windows are skipped — their per-node observations are incomplete
+        // and would bias the controller.
+        let resilient = self.sup.is_some();
+        if is_exact {
             match &mut self.gamma {
                 GammaPolicy::Global(ctl) => {
                     let before = ctl.current();
                     let next = ctl.observe_checked(total, m).map_err(ClusterError::Core)?;
                     if next != before {
                         for link in &mut self.control {
-                            link.send(&Message::GammaUpdate { gamma: next })?;
+                            let msg = Message::GammaUpdate { gamma: next };
+                            if resilient {
+                                retry::send_lossy(link.as_mut(), &msg)?;
+                            } else {
+                                link.send(&msg)?;
+                            }
                         }
                     }
                 }
@@ -363,16 +613,21 @@ impl DemaRoot {
                             let link = self.control.get_mut(n).ok_or_else(|| {
                                 ClusterError::Protocol(format!("no control link for n{n}"))
                             })?;
-                            link.send(&Message::GammaUpdate { gamma: next })?;
+                            let msg = Message::GammaUpdate { gamma: next };
+                            if resilient {
+                                retry::send_lossy(link.as_mut(), &msg)?;
+                            } else {
+                                link.send(&msg)?;
+                            }
                         }
                     }
                 }
                 GammaPolicy::Fixed(_) => {}
             }
-            // Stage-2 slot freed: pull the next ordered window in.
-            self.in_flight -= 1;
-            self.advance_pipeline(resolved)?;
         }
+        // Stage-2 slot freed: pull the next ordered window in.
+        self.in_flight -= 1;
+        self.advance_pipeline(resolved)?;
         Ok(())
     }
 }
@@ -385,26 +640,30 @@ impl RootEngine for DemaRoot {
     ) -> Result<(), ClusterError> {
         match msg {
             Message::SynopsisBatch {
-                node: _,
+                node,
                 window,
                 synopses,
             } => {
-                let state = self.states.entry(window.0).or_default();
-                state.synopses.extend(synopses);
-                state.reported += 1;
-                if state.reported == self.n_locals {
-                    // Stage 1 complete: order the synopses by value interval
-                    // now, overlapping the reply round trips of earlier
-                    // windows. Identification is order-insensitive, so this
-                    // only moves the sort work off the critical path.
-                    state
-                        .synopses
-                        .sort_unstable_by_key(|s| (s.first, s.last, s.id));
-                    if self.in_flight < PIPELINE_DEPTH {
-                        self.identify(window, resolved)?;
-                    } else {
-                        self.ready.push_back(window.0);
+                if let Some(sup) = self.sup.as_mut() {
+                    if sup.is_done(window.0) {
+                        sup.counters.record_duplicate();
+                        return Ok(());
                     }
+                    sup.note_alive(node.0);
+                }
+                let queued = self.ready.contains(&window.0);
+                let state = self.states.entry(window.0).or_default();
+                let stage1_open = state.selection.is_none() && !queued;
+                if !stage1_open || !state.reported.insert(node.0) {
+                    retry::suppress_duplicate(&self.sup);
+                    return Ok(());
+                }
+                state.synopses.extend(synopses);
+                if let Some(sup) = self.sup.as_mut() {
+                    sup.arm(window.0);
+                }
+                if retry::covered(&self.sup, &state.reported, self.n_locals) {
+                    self.close_stage1(window, resolved)?;
                 }
                 Ok(())
             }
@@ -417,6 +676,216 @@ impl RootEngine for DemaRoot {
                 "dema root: unexpected message {other:?}"
             ))),
         }
+    }
+
+    fn on_tick(
+        &mut self,
+        expected_windows: u64,
+        quiescent: bool,
+        missing_enders: &[u32],
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<Vec<NodeId>, ClusterError> {
+        let Some(sup) = self.sup.as_mut() else {
+            return Ok(Vec::new());
+        };
+        if quiescent {
+            // Nothing is arriving: every outstanding window (and silent
+            // stream end) gets a deadline, so fully-dropped windows cannot
+            // wedge the run.
+            for w in 0..expected_windows {
+                if !sup.is_done(w) && !self.ready.contains(&w) {
+                    sup.arm(w);
+                }
+            }
+            if !missing_enders.is_empty() {
+                sup.arm(END_KEY);
+            }
+        }
+        if missing_enders.is_empty() {
+            sup.disarm(END_KEY);
+        }
+        let mut newly_dead: Vec<u32> = Vec::new();
+        let now = Instant::now();
+        for w in sup.expired(now) {
+            if w == END_KEY {
+                let missing: Vec<u32> = missing_enders
+                    .iter()
+                    .copied()
+                    .filter(|&n| !sup.is_dead(n))
+                    .collect();
+                if missing.is_empty() {
+                    sup.disarm(w);
+                    continue;
+                }
+                match sup.on_expiry(w, &missing) {
+                    ExpiryAction::Retry {
+                        nodes,
+                        attempt,
+                        newly_dead: nd,
+                    } => {
+                        newly_dead.extend(nd);
+                        for n in nodes {
+                            retry::nack(
+                                sup,
+                                &mut self.control,
+                                n,
+                                Message::ResendWindow {
+                                    window: WindowId(END_KEY),
+                                    attempt,
+                                },
+                            )?;
+                        }
+                    }
+                    ExpiryAction::GiveUp { newly_dead: nd } => newly_dead.extend(nd),
+                }
+                continue;
+            }
+            if self.ready.contains(&w) {
+                sup.disarm(w);
+                continue;
+            }
+            let stage2 = self.states.get(&w).is_some_and(|s| s.selection.is_some());
+            if stage2 {
+                let Some(state) = self.states.get(&w) else {
+                    continue;
+                };
+                let missing: Vec<u32> = state
+                    .expected_replies
+                    .iter()
+                    .copied()
+                    .filter(|&n| !state.replied.contains(&n) && !sup.is_dead(n))
+                    .collect();
+                if missing.is_empty() {
+                    sup.disarm(w);
+                    continue;
+                }
+                match sup.on_expiry(w, &missing) {
+                    ExpiryAction::Retry {
+                        nodes,
+                        attempt,
+                        newly_dead: nd,
+                    } => {
+                        newly_dead.extend(nd);
+                        for n in nodes {
+                            let slices = state.node_requests.get(&n).cloned().unwrap_or_default();
+                            retry::nack(
+                                sup,
+                                &mut self.control,
+                                n,
+                                Message::CandidateRetry {
+                                    window: WindowId(w),
+                                    slices,
+                                    attempt,
+                                },
+                            )?;
+                        }
+                    }
+                    ExpiryAction::GiveUp { newly_dead: nd } => newly_dead.extend(nd),
+                }
+            } else {
+                let missing: Vec<u32> = (0..len_to_u32(self.n_locals))
+                    .filter(|&n| {
+                        !sup.is_dead(n)
+                            && !self.states.get(&w).is_some_and(|s| s.reported.contains(&n))
+                    })
+                    .collect();
+                if missing.is_empty() {
+                    sup.disarm(w);
+                    continue;
+                }
+                match sup.on_expiry(w, &missing) {
+                    ExpiryAction::Retry {
+                        nodes,
+                        attempt,
+                        newly_dead: nd,
+                    } => {
+                        newly_dead.extend(nd);
+                        for n in nodes {
+                            retry::nack(
+                                sup,
+                                &mut self.control,
+                                n,
+                                Message::ResendWindow {
+                                    window: WindowId(w),
+                                    attempt,
+                                },
+                            )?;
+                        }
+                    }
+                    ExpiryAction::GiveUp { newly_dead: nd } => newly_dead.extend(nd),
+                }
+            }
+        }
+        // Completion sweeps: stages that became covered through deaths
+        // rather than arrivals.
+        let mut stage1_closable: Vec<u64> = Vec::new();
+        let mut resolvable: Vec<u64> = Vec::new();
+        for (&w, state) in &self.states {
+            if self.ready.contains(&w) || sup.is_done(w) {
+                continue;
+            }
+            if state.selection.is_some() {
+                if state
+                    .expected_replies
+                    .iter()
+                    .all(|n| state.replied.contains(n) || sup.is_dead(*n))
+                {
+                    resolvable.push(w);
+                }
+            } else if sup.covered(Some(&state.reported), self.n_locals) {
+                stage1_closable.push(w);
+            }
+        }
+        // Windows abandoned by every node: no synopses at all, everyone
+        // dead. They resolve empty-degraded so the run can still finish.
+        let mut all_dead: Vec<u64> = Vec::new();
+        if sup.covered(None, self.n_locals) {
+            for w in 0..expected_windows {
+                if !sup.is_done(w) && !self.states.contains_key(&w) && !self.ready.contains(&w) {
+                    all_dead.push(w);
+                }
+            }
+        }
+        for w in stage1_closable {
+            // Re-check: an earlier close may have chained into this window.
+            if self.states.get(&w).is_some_and(|s| s.selection.is_none())
+                && !self.ready.contains(&w)
+            {
+                self.close_stage1(WindowId(w), resolved)?;
+            }
+        }
+        for w in resolvable {
+            if self.states.get(&w).is_some_and(|s| s.selection.is_some()) {
+                self.resolve(WindowId(w), resolved)?;
+            }
+        }
+        for w in all_dead {
+            if self.states.contains_key(&w) {
+                continue;
+            }
+            let Some(sup) = self.sup.as_mut() else {
+                break;
+            };
+            if sup.is_done(w) {
+                continue;
+            }
+            sup.counters.record_degraded_window();
+            let retries = sup.retries_of(w);
+            sup.finish(w);
+            resolved.push((
+                WindowId(w),
+                ResolvedWindow {
+                    gamma: self.gamma.current(),
+                    degraded: Some(Degraded {
+                        missing_nodes: (0..len_to_u32(self.n_locals)).collect(),
+                        rank_error_bound: None,
+                        retries,
+                    }),
+                    ..ResolvedWindow::default()
+                },
+            ));
+        }
+        Ok(newly_dead.into_iter().map(NodeId).collect())
     }
 }
 
@@ -470,8 +939,38 @@ impl LocalEngine for DemaLocal<'_> {
     }
 }
 
-/// Dema's responder: serves candidate requests and γ updates until the root
-/// closes the control link.
+/// Build one candidate-reply payload from a stored window.
+fn collect_payload(
+    node: NodeId,
+    window: WindowId,
+    slices: &[u32],
+    stored: &[Slice],
+) -> Result<Vec<(u32, SharedRun)>, ClusterError> {
+    slices
+        .iter()
+        .map(|&idx| {
+            stored
+                .get(u64_to_usize(u64::from(idx)))
+                // SharedRun clone: refcount bump, no event copy.
+                .map(|s| (idx, s.events.clone()))
+                .ok_or_else(|| {
+                    ClusterError::Protocol(format!(
+                        "{node}: request for missing slice {idx} of {window}"
+                    ))
+                })
+        })
+        .collect()
+}
+
+/// Dema's responder: serves candidate requests (and, on resilient runs,
+/// candidate retries and `ResendWindow` NACKs) plus γ updates until the
+/// root closes the control link.
+///
+/// Seed runs serve each window destructively — the store entry is removed
+/// with the reply, and an unknown window is a protocol error. Resilient
+/// runs keep served windows (a retry must be idempotent) and treat an
+/// unknown window as already-evicted: no reply, the root's retry budget
+/// decides.
 pub fn run_responder(
     node: NodeId,
     from_root: &mut dyn MsgReceiver,
@@ -479,40 +978,61 @@ pub fn run_responder(
     shared: &LocalShared,
 ) -> Result<(), ClusterError> {
     loop {
-        let msg = match from_root.recv() {
-            Ok(m) => m,
+        let msg = match from_root.recv_timeout(RESPONDER_POLL) {
+            Ok(Some(m)) => m,
+            Ok(None) => continue,
             Err(NetError::Disconnected) => return Ok(()), // root finished
             Err(e) => return Err(e.into()),
         };
         match msg {
-            Message::CandidateRequest { window, slices } => {
+            Message::CandidateRequest { window, slices }
+            | Message::CandidateRetry { window, slices, .. } => {
                 let payload = {
                     let mut store = shared.store.lock();
-                    let Some(stored) = store.remove(&window.0) else {
-                        return Err(ClusterError::Protocol(format!(
-                            "{node}: candidate request for unknown window {window}"
-                        )));
-                    };
-                    slices
-                        .iter()
-                        .map(|&idx| {
-                            stored
-                                .get(u64_to_usize(u64::from(idx)))
-                                // SharedRun clone: refcount bump, no event copy.
-                                .map(|s| (idx, s.events.clone()))
-                                .ok_or_else(|| {
-                                    ClusterError::Protocol(format!(
-                                        "{node}: request for missing slice {idx} of {window}"
-                                    ))
-                                })
-                        })
-                        .collect::<Result<Vec<_>, _>>()?
+                    if shared.retain_sent {
+                        match store.get(&window.0) {
+                            Some(stored) => Some(collect_payload(node, window, &slices, stored)?),
+                            // Evicted (or a retry raced the store): stay
+                            // silent, the root's retry budget handles it.
+                            None => None,
+                        }
+                    } else {
+                        let stored = store.remove(&window.0).ok_or_else(|| {
+                            ClusterError::Protocol(format!(
+                                "{node}: candidate request for unknown window {window}"
+                            ))
+                        })?;
+                        Some(collect_payload(node, window, &slices, &stored)?)
+                    }
                 };
-                to_root.send(&Message::CandidateReply {
-                    node,
-                    window,
-                    slices: payload,
-                })?;
+                if let Some(payload) = payload {
+                    let reply = Message::CandidateReply {
+                        node,
+                        window,
+                        slices: payload,
+                    };
+                    if let Err(e) = to_root.send(&reply) {
+                        return match e {
+                            // Our uplink died mid-run: this node is dead to
+                            // the root; exit cleanly, liveness covers it.
+                            NetError::Disconnected if shared.retain_sent => Ok(()),
+                            other => Err(other.into()),
+                        };
+                    }
+                }
+            }
+            Message::ResendWindow { window, .. } => {
+                let cached = shared.sent.lock().get(&window.0).cloned();
+                // A cache miss means the window was never processed here
+                // (or was evicted): nothing to resend, the root retries.
+                if let Some(m) = cached {
+                    if let Err(e) = to_root.send(&m) {
+                        return match e {
+                            NetError::Disconnected if shared.retain_sent => Ok(()),
+                            other => Err(other.into()),
+                        };
+                    }
+                }
             }
             Message::GammaUpdate { gamma } => {
                 shared.gamma.store(gamma.max(2), Ordering::Relaxed);

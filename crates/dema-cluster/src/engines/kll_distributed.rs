@@ -7,9 +7,11 @@
 //! KLL conserves weight exactly (the sum of shipped weights equals the
 //! observation count), so the union of per-node summaries is itself a valid
 //! mergeable summary — rank queries over it carry the same `O(n/k)` error
-//! bound as a single sketch over the concatenated stream.
+//! bound as a single sketch over the concatenated stream. The conservation
+//! check holds for degraded windows too: both sides of it only count
+//! summaries that actually arrived.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use dema_core::event::{Event, NodeId, WindowId};
 use dema_core::numeric::{f64_to_i64, i64_to_f64, len_to_u64};
@@ -18,16 +20,23 @@ use dema_net::MsgSender;
 use dema_sketch::{KllSketch, QuantileSketch};
 use dema_wire::Message;
 
+use super::retry::{self, Supervisor};
 use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
 use crate::ClusterError;
 
 #[derive(Default)]
 struct WindowState {
-    reported: usize,
+    reported: HashSet<u32>,
     items: Vec<(f64, u64)>,
     count: u64,
     min: f64,
     max: f64,
+}
+
+impl retry::Contributions for WindowState {
+    fn reported(&self) -> &HashSet<u32> {
+        &self.reported
+    }
 }
 
 /// Root half: union weighted items, answer by cumulative-weight rank.
@@ -35,6 +44,8 @@ pub struct KllRoot {
     quantile: Quantile,
     n_locals: usize,
     states: BTreeMap<u64, WindowState>,
+    control: Vec<Box<dyn MsgSender>>,
+    sup: Option<Supervisor>,
 }
 
 impl KllRoot {
@@ -44,7 +55,59 @@ impl KllRoot {
             quantile: params.quantile,
             n_locals: params.n_locals,
             states: BTreeMap::new(),
+            control: params.control,
+            sup: params.resilience.map(Supervisor::new),
         }
+    }
+
+    fn finalize_window(
+        &mut self,
+        window: WindowId,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let mut state = self.states.remove(&window.0).unwrap_or_default();
+        let degraded = retry::close_window(&mut self.sup, window.0, &state.reported, self.n_locals);
+        let total = state.count;
+        if total == 0 {
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    degraded,
+                    ..Default::default()
+                },
+            ));
+            return Ok(());
+        }
+        // Weight conservation across the union: the sketches must
+        // account for every observation exactly once.
+        let weight: u64 = state.items.iter().map(|(_, w)| w).sum();
+        if weight != total {
+            return Err(ClusterError::Protocol(format!(
+                "{window}: sketch weight {weight} != count {total}"
+            )));
+        }
+        let target = self.quantile.pos(total)?;
+        state.items.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut acc = 0u64;
+        let mut estimate = state.max;
+        for (v, w) in &state.items {
+            acc += w;
+            if acc >= target {
+                estimate = *v;
+                break;
+            }
+        }
+        let value = f64_to_i64(estimate.clamp(state.min, state.max));
+        resolved.push((
+            window,
+            ResolvedWindow {
+                value: Some(value),
+                total_events: total,
+                degraded,
+                ..Default::default()
+            },
+        ));
+        Ok(())
     }
 }
 
@@ -55,19 +118,26 @@ impl RootEngine for KllRoot {
         resolved: &mut Vec<(WindowId, ResolvedWindow)>,
     ) -> Result<(), ClusterError> {
         let Message::SketchBatch {
+            node,
             window,
             count,
             min,
             max,
             items,
-            ..
         } = msg
         else {
             return Err(ClusterError::Protocol(format!(
                 "kll-dist root: unexpected message {msg:?}"
             )));
         };
+        if !retry::admit(&mut self.sup, window.0, node.0) {
+            return Ok(());
+        }
         let state = self.states.entry(window.0).or_default();
+        if !state.reported.insert(node.0) {
+            retry::suppress_duplicate(&self.sup);
+            return Ok(());
+        }
         if state.count == 0 || min < state.min {
             state.min = min;
         }
@@ -76,47 +146,35 @@ impl RootEngine for KllRoot {
         }
         state.items.extend(items);
         state.count += count;
-        state.reported += 1;
-        if state.reported == self.n_locals {
-            let mut state = self
-                .states
-                .remove(&window.0)
-                .ok_or_else(|| ClusterError::Protocol(format!("state lost for window {window}")))?;
-            let total = state.count;
-            if total == 0 {
-                resolved.push((window, ResolvedWindow::default()));
-                return Ok(());
-            }
-            // Weight conservation across the union: the sketches must
-            // account for every observation exactly once.
-            let weight: u64 = state.items.iter().map(|(_, w)| w).sum();
-            if weight != total {
-                return Err(ClusterError::Protocol(format!(
-                    "{window}: sketch weight {weight} != count {total}"
-                )));
-            }
-            let target = self.quantile.pos(total)?;
-            state.items.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let mut acc = 0u64;
-            let mut estimate = state.max;
-            for (v, w) in &state.items {
-                acc += w;
-                if acc >= target {
-                    estimate = *v;
-                    break;
-                }
-            }
-            let value = f64_to_i64(estimate.clamp(state.min, state.max));
-            resolved.push((
-                window,
-                ResolvedWindow {
-                    value: Some(value),
-                    total_events: total,
-                    ..Default::default()
-                },
-            ));
+        if retry::covered(&self.sup, &state.reported, self.n_locals) {
+            self.finalize_window(window, resolved)?;
         }
         Ok(())
+    }
+
+    fn on_tick(
+        &mut self,
+        expected_windows: u64,
+        quiescent: bool,
+        missing_enders: &[u32],
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<Vec<NodeId>, ClusterError> {
+        let Some(sup) = self.sup.as_mut() else {
+            return Ok(Vec::new());
+        };
+        let (newly_dead, completable) = retry::run_tick(
+            sup,
+            &mut self.control,
+            &self.states,
+            self.n_locals,
+            expected_windows,
+            quiescent,
+            missing_enders,
+        )?;
+        for w in completable {
+            self.finalize_window(WindowId(w), resolved)?;
+        }
+        Ok(newly_dead.into_iter().map(NodeId).collect())
     }
 }
 

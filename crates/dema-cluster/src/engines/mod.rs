@@ -14,8 +14,11 @@ pub mod centralized;
 pub mod dec_sort;
 pub mod dema;
 pub mod kll_distributed;
+pub mod retry;
 pub mod tdigest_central;
 pub mod tdigest_distributed;
+
+pub use retry::ResilienceCtx;
 
 use dema_core::event::{Event, NodeId, WindowId};
 use dema_core::quantile::Quantile;
@@ -42,6 +45,9 @@ pub struct ResolvedWindow {
     pub synopses: u64,
     /// γ in effect when the window was sliced (Dema), 0 otherwise.
     pub gamma: u64,
+    /// `Some` when the window completed without every node's data
+    /// (resilient runs only).
+    pub degraded: Option<crate::report::Degraded>,
 }
 
 /// Root-side half of an engine: a per-window protocol state machine.
@@ -57,6 +63,24 @@ pub trait RootEngine: Send {
         msg: Message,
         resolved: &mut Vec<(WindowId, ResolvedWindow)>,
     ) -> Result<(), ClusterError>;
+
+    /// Periodic fault-tolerance pass (resilient runs; the default is a
+    /// no-op). `expected_windows` is the run's full window count,
+    /// `quiescent` is `true` when nothing has reached the root for a full
+    /// request timeout, and `missing_enders` lists locals that neither sent
+    /// `StreamEnd` nor were declared dead. The engine checks deadlines,
+    /// NACKs stragglers, and completes windows coverable from survivors.
+    /// Returns nodes newly declared dead for the shell's accounting.
+    fn on_tick(
+        &mut self,
+        expected_windows: u64,
+        quiescent: bool,
+        missing_enders: &[u32],
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<Vec<NodeId>, ClusterError> {
+        let _ = (expected_windows, quiescent, missing_enders, resolved);
+        Ok(Vec::new())
+    }
 }
 
 /// Local-side half of an engine: the duty performed per closed window.
@@ -82,8 +106,11 @@ pub struct RootParams {
     /// Number of local (leaf) nodes reporting.
     pub n_locals: usize,
     /// Root→local control links, one per local, in node order (empty for
-    /// engines without a control plane).
+    /// engines without a control plane when the run is not resilient).
     pub control: Vec<Box<dyn MsgSender>>,
+    /// Retry / liveness parameters plus the fault-counter sink. `None`
+    /// runs the seed protocol unchanged.
+    pub resilience: Option<ResilienceCtx>,
 }
 
 /// Static facts about one registered engine.

@@ -3,7 +3,7 @@
 //! approximate quantile. Same wire cost as the centralized engine, less
 //! root CPU, no exactness.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use dema_core::event::{NodeId, WindowId};
 use dema_core::numeric::{f64_to_i64, i64_to_f64, len_to_u64};
@@ -12,13 +12,20 @@ use dema_net::MsgSender;
 use dema_sketch::{QuantileSketch, TDigest};
 use dema_wire::Message;
 
+use super::retry::{self, Supervisor};
 use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
 use crate::ClusterError;
 
 struct WindowState {
-    reported: usize,
+    reported: HashSet<u32>,
     digest: TDigest,
     count: u64,
+}
+
+impl retry::Contributions for WindowState {
+    fn reported(&self) -> &HashSet<u32> {
+        &self.reported
+    }
 }
 
 /// Root half: insert every raw event into one digest per window.
@@ -27,6 +34,8 @@ pub struct TdigestCentralRoot {
     compression: f64,
     n_locals: usize,
     states: BTreeMap<u64, WindowState>,
+    control: Vec<Box<dyn MsgSender>>,
+    sup: Option<Supervisor>,
 }
 
 impl TdigestCentralRoot {
@@ -37,7 +46,44 @@ impl TdigestCentralRoot {
             compression,
             n_locals: params.n_locals,
             states: BTreeMap::new(),
+            control: params.control,
+            sup: params.resilience.map(Supervisor::new),
         }
+    }
+
+    fn finalize_window(
+        &mut self,
+        window: WindowId,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let state = match self.states.remove(&window.0) {
+            Some(s) => s,
+            None => WindowState {
+                reported: HashSet::new(),
+                digest: TDigest::new(self.compression),
+                count: 0,
+            },
+        };
+        let degraded = retry::close_window(&mut self.sup, window.0, &state.reported, self.n_locals);
+        let total = state.count;
+        let value = if total == 0 {
+            None
+        } else {
+            state
+                .digest
+                .quantile(self.quantile.fraction())
+                .map(f64_to_i64)
+        };
+        resolved.push((
+            window,
+            ResolvedWindow {
+                value,
+                total_events: total,
+                degraded,
+                ..Default::default()
+            },
+        ));
+        Ok(())
     }
 }
 
@@ -47,39 +93,63 @@ impl RootEngine for TdigestCentralRoot {
         msg: Message,
         resolved: &mut Vec<(WindowId, ResolvedWindow)>,
     ) -> Result<(), ClusterError> {
-        let Message::EventBatch { window, events, .. } = msg else {
+        let Message::EventBatch {
+            node,
+            window,
+            events,
+            ..
+        } = msg
+        else {
             return Err(ClusterError::Protocol(format!(
                 "tdigest root: unexpected message {msg:?}"
             )));
         };
+        if !retry::admit(&mut self.sup, window.0, node.0) {
+            return Ok(());
+        }
         let compression = self.compression;
         let state = self.states.entry(window.0).or_insert_with(|| WindowState {
-            reported: 0,
+            reported: HashSet::new(),
             digest: TDigest::new(compression),
             count: 0,
         });
+        if !state.reported.insert(node.0) {
+            retry::suppress_duplicate(&self.sup);
+            return Ok(());
+        }
         for e in &events {
             state.digest.insert(i64_to_f64(e.value));
         }
         state.count += len_to_u64(events.len());
-        state.reported += 1;
-        if state.reported == self.n_locals {
-            let total = state.count;
-            let value = state
-                .digest
-                .quantile(self.quantile.fraction())
-                .map(f64_to_i64);
-            self.states.remove(&window.0);
-            resolved.push((
-                window,
-                ResolvedWindow {
-                    value,
-                    total_events: total,
-                    ..Default::default()
-                },
-            ));
+        if retry::covered(&self.sup, &state.reported, self.n_locals) {
+            self.finalize_window(window, resolved)?;
         }
         Ok(())
+    }
+
+    fn on_tick(
+        &mut self,
+        expected_windows: u64,
+        quiescent: bool,
+        missing_enders: &[u32],
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<Vec<NodeId>, ClusterError> {
+        let Some(sup) = self.sup.as_mut() else {
+            return Ok(Vec::new());
+        };
+        let (newly_dead, completable) = retry::run_tick(
+            sup,
+            &mut self.control,
+            &self.states,
+            self.n_locals,
+            expected_windows,
+            quiescent,
+            missing_enders,
+        )?;
+        for w in completable {
+            self.finalize_window(WindowId(w), resolved)?;
+        }
+        Ok(newly_dead.into_iter().map(NodeId).collect())
     }
 }
 

@@ -3,7 +3,7 @@
 //! decentralized setup"): locals build digests, centroids are shipped, the
 //! root merges.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use dema_core::event::{Event, NodeId, WindowId};
 use dema_core::numeric::{f64_to_i64, i64_to_f64, len_to_u64};
@@ -12,14 +12,21 @@ use dema_net::MsgSender;
 use dema_sketch::{QuantileSketch, TDigest};
 use dema_wire::Message;
 
+use super::retry::{self, Supervisor};
 use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
 use crate::ClusterError;
 
 #[derive(Default)]
 struct WindowState {
-    reported: usize,
+    reported: HashSet<u32>,
     digest: Option<TDigest>,
     count: u64,
+}
+
+impl retry::Contributions for WindowState {
+    fn reported(&self) -> &HashSet<u32> {
+        &self.reported
+    }
 }
 
 /// Root half: merge per-node digests.
@@ -27,6 +34,8 @@ pub struct TdigestDistributedRoot {
     quantile: Quantile,
     n_locals: usize,
     states: BTreeMap<u64, WindowState>,
+    control: Vec<Box<dyn MsgSender>>,
+    sup: Option<Supervisor>,
 }
 
 impl TdigestDistributedRoot {
@@ -36,7 +45,43 @@ impl TdigestDistributedRoot {
             quantile: params.quantile,
             n_locals: params.n_locals,
             states: BTreeMap::new(),
+            control: params.control,
+            sup: params.resilience.map(Supervisor::new),
         }
+    }
+
+    fn finalize_window(
+        &mut self,
+        window: WindowId,
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<(), ClusterError> {
+        let state = self.states.remove(&window.0).unwrap_or_default();
+        let degraded = retry::close_window(&mut self.sup, window.0, &state.reported, self.n_locals);
+        let total = state.count;
+        if total == 0 {
+            resolved.push((
+                window,
+                ResolvedWindow {
+                    degraded,
+                    ..Default::default()
+                },
+            ));
+            return Ok(());
+        }
+        let digest = state.digest.as_ref().ok_or_else(|| {
+            ClusterError::Protocol(format!("{window}: digest count {total} without a digest"))
+        })?;
+        let value = digest.quantile(self.quantile.fraction()).map(f64_to_i64);
+        resolved.push((
+            window,
+            ResolvedWindow {
+                value,
+                total_events: total,
+                degraded,
+                ..Default::default()
+            },
+        ));
+        Ok(())
     }
 }
 
@@ -47,47 +92,60 @@ impl RootEngine for TdigestDistributedRoot {
         resolved: &mut Vec<(WindowId, ResolvedWindow)>,
     ) -> Result<(), ClusterError> {
         let Message::DigestBatch {
+            node,
             window,
             count,
             compression,
             centroids,
-            ..
         } = msg
         else {
             return Err(ClusterError::Protocol(format!(
                 "tdigest-dist root: unexpected message {msg:?}"
             )));
         };
+        if !retry::admit(&mut self.sup, window.0, node.0) {
+            return Ok(());
+        }
         let state = self.states.entry(window.0).or_default();
+        if !state.reported.insert(node.0) {
+            retry::suppress_duplicate(&self.sup);
+            return Ok(());
+        }
         let incoming = TDigest::from_centroids(compression, centroids);
         match &mut state.digest {
             Some(d) => d.merge_from(&incoming),
             None => state.digest = Some(incoming),
         }
         state.count += count;
-        state.reported += 1;
-        if state.reported == self.n_locals {
-            let total = state.count;
-            if total == 0 {
-                self.states.remove(&window.0);
-                resolved.push((window, ResolvedWindow::default()));
-                return Ok(());
-            }
-            let digest = state.digest.as_ref().ok_or_else(|| {
-                ClusterError::Protocol(format!("{window}: digest count {total} without a digest"))
-            })?;
-            let value = digest.quantile(self.quantile.fraction()).map(f64_to_i64);
-            self.states.remove(&window.0);
-            resolved.push((
-                window,
-                ResolvedWindow {
-                    value,
-                    total_events: total,
-                    ..Default::default()
-                },
-            ));
+        if retry::covered(&self.sup, &state.reported, self.n_locals) {
+            self.finalize_window(window, resolved)?;
         }
         Ok(())
+    }
+
+    fn on_tick(
+        &mut self,
+        expected_windows: u64,
+        quiescent: bool,
+        missing_enders: &[u32],
+        resolved: &mut Vec<(WindowId, ResolvedWindow)>,
+    ) -> Result<Vec<NodeId>, ClusterError> {
+        let Some(sup) = self.sup.as_mut() else {
+            return Ok(Vec::new());
+        };
+        let (newly_dead, completable) = retry::run_tick(
+            sup,
+            &mut self.control,
+            &self.states,
+            self.n_locals,
+            expected_windows,
+            quiescent,
+            missing_enders,
+        )?;
+        for w in completable {
+            self.finalize_window(WindowId(w), resolved)?;
+        }
+        Ok(newly_dead.into_iter().map(NodeId).collect())
     }
 }
 

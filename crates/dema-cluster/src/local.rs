@@ -16,12 +16,14 @@ use std::time::Instant;
 
 use dema_core::event::{Event, NodeId, WindowId};
 use dema_core::window::{SortStrategy, WindowManager};
-use dema_net::MsgSender;
+use dema_net::{MsgSender, NetError};
 use dema_wire::Message;
 use parking_lot::Mutex;
 
 use crate::config::EngineKind;
 use crate::engines;
+use crate::engines::dema::STORE_WINDOW_CAP;
+use crate::engines::retry::END_KEY;
 use crate::ClusterError;
 
 pub use crate::engines::dema::{run_responder, LocalShared};
@@ -29,6 +31,33 @@ pub use crate::engines::dema::{run_responder, LocalShared};
 /// Wall-clock instants at which each `(node, window)` closed — the latency
 /// clock starts here.
 pub type CloseTimes = Arc<Mutex<HashMap<(u32, u64), Instant>>>;
+
+/// Data-plane sender that, on resilient runs, caches the last message sent
+/// per window so the node's responder can serve the root's `ResendWindow`
+/// NACKs. The stream-end message lives under the [`END_KEY`] slot.
+/// Transparent (no clone, no lock) when the run is not resilient.
+struct SentCache<'a> {
+    inner: &'a mut dyn MsgSender,
+    shared: &'a LocalShared,
+    key: u64,
+}
+
+impl MsgSender for SentCache<'_> {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        if self.shared.retain_sent {
+            let mut sent = self.shared.sent.lock();
+            sent.insert(self.key, msg.clone());
+            // Bounded like the slice store; the stream-end slot survives.
+            while sent.len() > STORE_WINDOW_CAP {
+                let Some(&oldest) = sent.keys().filter(|&&k| k != END_KEY).min() else {
+                    break;
+                };
+                sent.remove(&oldest);
+            }
+        }
+        self.inner.send(msg)
+    }
+}
 
 /// Run one local node's main loop over its window inputs.
 ///
@@ -45,6 +74,11 @@ pub fn run_local(
     pace_window_ms: Option<u64>,
 ) -> Result<(), ClusterError> {
     let mut duty = engines::build_local(engine, shared);
+    let mut to_root = SentCache {
+        inner: to_root,
+        shared,
+        key: 0,
+    };
     let started = Instant::now();
     for (i, events) in windows.into_iter().enumerate() {
         if let Some(ms) = pace_window_ms {
@@ -58,8 +92,10 @@ pub fn run_local(
         close_times
             .lock()
             .insert((node.0, window.0), Instant::now());
-        duty.on_window(node, window, events, to_root)?;
+        to_root.key = window.0;
+        duty.on_window(node, window, events, &mut to_root)?;
     }
+    to_root.key = END_KEY;
     to_root.send(&Message::StreamEnd {
         node,
         late_events: 0,
@@ -92,17 +128,23 @@ pub fn run_local_streaming(
     let mut mgr = WindowManager::new(node, window_len, SortStrategy::OnClose);
     let mut next_to_emit = first_window;
     let mut duty = engines::build_local(engine, shared);
+    let mut cache = SentCache {
+        inner: to_root,
+        shared,
+        key: 0,
+    };
 
     let mut emit = |window_abs: u64,
                     events: Vec<Event>,
-                    to_root: &mut dyn MsgSender|
+                    cache: &mut SentCache<'_>|
      -> Result<(), ClusterError> {
         // Normalize to 0-based window ids, matching the pre-windowed runner.
         let window = WindowId(window_abs - first_window);
         close_times
             .lock()
             .insert((node.0, window.0), Instant::now());
-        duty.on_window(node, window, events, to_root)
+        cache.key = window.0;
+        duty.on_window(node, window, events, cache)
     };
 
     for e in events {
@@ -110,11 +152,11 @@ pub fn run_local_streaming(
         for closed in mgr.advance_watermark(watermark) {
             let wid = closed.id().0;
             while next_to_emit < wid {
-                emit(next_to_emit, Vec::new(), to_root)?;
+                emit(next_to_emit, Vec::new(), &mut cache)?;
                 next_to_emit += 1;
             }
             if wid >= next_to_emit {
-                emit(wid, closed.into_sorted_events(), to_root)?;
+                emit(wid, closed.into_sorted_events(), &mut cache)?;
                 next_to_emit = wid + 1;
             }
         }
@@ -123,19 +165,20 @@ pub fn run_local_streaming(
     for closed in mgr.drain() {
         let wid = closed.id().0;
         while next_to_emit < wid {
-            emit(next_to_emit, Vec::new(), to_root)?;
+            emit(next_to_emit, Vec::new(), &mut cache)?;
             next_to_emit += 1;
         }
         if wid >= next_to_emit {
-            emit(wid, closed.into_sorted_events(), to_root)?;
+            emit(wid, closed.into_sorted_events(), &mut cache)?;
             next_to_emit = wid + 1;
         }
     }
     while next_to_emit <= last_window {
-        emit(next_to_emit, Vec::new(), to_root)?;
+        emit(next_to_emit, Vec::new(), &mut cache)?;
         next_to_emit += 1;
     }
-    to_root.send(&Message::StreamEnd {
+    cache.key = END_KEY;
+    cache.send(&Message::StreamEnd {
         node,
         late_events: mgr.late_events(),
     })?;

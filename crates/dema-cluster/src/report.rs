@@ -3,7 +3,25 @@
 use std::time::Duration;
 
 use dema_core::event::WindowId;
-use dema_metrics::{LatencyHistogram, NetworkSnapshot};
+use dema_metrics::{FaultSnapshot, LatencyHistogram, NetworkSnapshot};
+
+/// How a window's answer lost exactness when some locals' data never
+/// arrived (dead nodes, exhausted retries). Produced only by resilient runs
+/// ([`crate::ClusterConfig::resilience`]); a clean run never degrades.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded {
+    /// Locals whose contribution is missing from this window, ascending.
+    pub missing_nodes: Vec<u32>,
+    /// Dema only: an upper bound on how far the answer's global rank can
+    /// sit from the requested one, in events. Derivable when every local's
+    /// synopses arrived but some candidate slices were lost (the bound is
+    /// the lost slices' synopsis counts summed); `None` when a whole node's
+    /// synopses are missing (its window contribution is unknown) and for
+    /// the non-Dema engines.
+    pub rank_error_bound: Option<u64>,
+    /// Retry messages the root sent for this window before completing it.
+    pub retries: u32,
+}
 
 /// The outcome of one global window.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +45,9 @@ pub struct WindowOutcome {
     pub synopses: u64,
     /// γ in effect when the window was sliced (Dema), 0 otherwise.
     pub gamma: u64,
+    /// `Some` when the window completed without every node's data
+    /// (resilient runs only); `None` for an exact answer.
+    pub degraded: Option<Degraded>,
 }
 
 /// Traffic attributed to one tier of the aggregation topology. Tier 0 is
@@ -79,6 +100,9 @@ pub struct RunReport {
     /// Per-tier traffic attribution for tree topologies, tier 0 = leaf
     /// links, last tier = links into the root. Empty for the star topology.
     pub tier_traffic: Vec<TierTraffic>,
+    /// Retry / degradation work the fault-tolerance layer did
+    /// ([`FaultSnapshot::is_clean`] for an undisturbed run).
+    pub fault_stats: FaultSnapshot,
 }
 
 impl RunReport {
@@ -128,6 +152,7 @@ mod tests {
                 candidate_slices: 1,
                 synopses: 4,
                 gamma: 100,
+                degraded: None,
             }],
             per_node_traffic: vec![
                 NetworkSnapshot {
@@ -151,6 +176,7 @@ mod tests {
             latency,
             late_events: 0,
             tier_traffic: Vec::new(),
+            fault_stats: FaultSnapshot::default(),
         }
     }
 

@@ -7,17 +7,18 @@
 //! [`crate::engines::RootEngine`] trait; see the modules under
 //! `crate::engines` for the per-engine state machines.
 
-use std::collections::BTreeMap;
-use std::time::Instant;
+use std::collections::{BTreeMap, HashSet};
+use std::time::{Duration, Instant};
 
 use dema_core::event::WindowId;
+use dema_core::numeric::len_to_u32;
 use dema_core::quantile::Quantile;
 use dema_metrics::LatencyHistogram;
 use dema_net::MsgSender;
 use dema_wire::Message;
 
 use crate::config::EngineKind;
-use crate::engines::{self, ResolvedWindow, RootEngine, RootParams};
+use crate::engines::{self, ResilienceCtx, ResolvedWindow, RootEngine, RootParams};
 use crate::local::CloseTimes;
 use crate::report::WindowOutcome;
 use crate::ClusterError;
@@ -32,8 +33,18 @@ pub struct RootNode {
     outcomes: BTreeMap<u64, WindowOutcome>,
     close_times: CloseTimes,
     latency: LatencyHistogram,
-    ended: usize,
+    /// Locals whose stream-end arrived (set, so a duplicated `StreamEnd`
+    /// under fault injection cannot end the run early).
+    ended: HashSet<u32>,
+    /// Locals the engine declared dead (liveness / retry budget exhausted).
+    dead: HashSet<u32>,
     late_events: u64,
+    /// Resilient runs: the request timeout, doubling as the quiescence
+    /// threshold for `tick`. `None` on seed (fail-fast) runs.
+    resilience_timeout: Option<Duration>,
+    /// Last time `handle` saw any message — staleness beyond the timeout
+    /// means the run is quiescent and outstanding windows need deadlines.
+    last_progress: Instant,
     /// Reused scratch buffer for the engine's resolved windows.
     resolved: Vec<(WindowId, ResolvedWindow)>,
 }
@@ -58,11 +69,13 @@ impl RootNode {
             expected_windows,
             control,
             close_times,
+            None,
         )
     }
 
     /// [`RootNode::new`] with extra per-window quantiles answered from the
-    /// same identification step (Dema engine only).
+    /// same identification step (Dema engine only) and an optional
+    /// resilience context enabling retries and graceful degradation.
     #[allow(clippy::too_many_arguments)]
     pub fn with_extra_quantiles(
         quantile: Quantile,
@@ -72,7 +85,11 @@ impl RootNode {
         expected_windows: u64,
         control: Vec<Box<dyn MsgSender>>,
         close_times: CloseTimes,
+        resilience: Option<ResilienceCtx>,
     ) -> RootNode {
+        let resilience_timeout = resilience
+            .as_ref()
+            .map(|r| Duration::from_millis(r.config.request_timeout_ms));
         let engine = engines::build_root(
             engine,
             RootParams {
@@ -80,6 +97,7 @@ impl RootNode {
                 extra_quantiles,
                 n_locals,
                 control,
+                resilience,
             },
         );
         RootNode {
@@ -89,15 +107,22 @@ impl RootNode {
             outcomes: BTreeMap::new(),
             close_times,
             latency: LatencyHistogram::new(),
-            ended: 0,
+            ended: HashSet::new(),
+            dead: HashSet::new(),
             late_events: 0,
+            resilience_timeout,
+            last_progress: Instant::now(),
             resolved: Vec::new(),
         }
     }
 
-    /// `true` once every window is finalized and every local has ended.
+    /// `true` once every window is finalized and every local has either
+    /// ended its stream or been declared dead.
     pub fn finished(&self) -> bool {
-        self.outcomes.len() as u64 == self.expected_windows && self.ended == self.n_locals
+        let accounted = (0..len_to_u32(self.n_locals))
+            .filter(|n| self.ended.contains(n) || self.dead.contains(n))
+            .count();
+        self.outcomes.len() as u64 == self.expected_windows && accounted == self.n_locals
     }
 
     /// Windows finalized so far.
@@ -118,9 +143,11 @@ impl RootNode {
 
     /// Process one message from a local node.
     pub fn handle(&mut self, msg: Message) -> Result<(), ClusterError> {
-        if let Message::StreamEnd { late_events, .. } = msg {
-            self.ended += 1;
-            self.late_events += late_events;
+        self.last_progress = Instant::now();
+        if let Message::StreamEnd { node, late_events } = msg {
+            if self.ended.insert(node.0) {
+                self.late_events += late_events;
+            }
             return Ok(());
         }
         let mut resolved = std::mem::take(&mut self.resolved);
@@ -130,6 +157,38 @@ impl RootNode {
         }
         self.resolved = resolved;
         result
+    }
+
+    /// Drive the engine's retry / liveness machinery. A no-op on seed runs;
+    /// on resilient runs the driver calls this once per receive sweep.
+    ///
+    /// Quiescence (no message for a full request timeout) arms deadlines
+    /// for *every* outstanding window and silent stream end, so even a
+    /// window whose messages were all dropped eventually gets NACKed or
+    /// degraded instead of wedging the run.
+    pub fn tick(&mut self) -> Result<(), ClusterError> {
+        let Some(timeout) = self.resilience_timeout else {
+            return Ok(());
+        };
+        let quiescent = self.last_progress.elapsed() >= timeout;
+        let missing_enders: Vec<u32> = (0..len_to_u32(self.n_locals))
+            .filter(|n| !self.ended.contains(n) && !self.dead.contains(n))
+            .collect();
+        let mut resolved = std::mem::take(&mut self.resolved);
+        let result = self.engine.on_tick(
+            self.expected_windows,
+            quiescent,
+            &missing_enders,
+            &mut resolved,
+        );
+        for (window, r) in resolved.drain(..) {
+            self.finalize(window, r);
+        }
+        self.resolved = resolved;
+        for node in result? {
+            self.dead.insert(node.0);
+        }
+        Ok(())
     }
 
     /// Record the outcome of `window` and its latency.
@@ -158,6 +217,7 @@ impl RootNode {
                 candidate_slices: r.candidate_slices,
                 synopses: r.synopses,
                 gamma: r.gamma,
+                degraded: r.degraded,
             },
         );
     }

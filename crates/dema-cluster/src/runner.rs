@@ -14,14 +14,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dema_core::event::{Event, NodeId};
-use dema_metrics::{NetworkCounters, NetworkSnapshot};
+use dema_metrics::{FaultCounters, NetworkCounters, NetworkSnapshot};
+use dema_net::fault::FaultPlan;
 use dema_net::mem::{link, throttled_link, Throttle};
 use dema_net::tcp::{accept, listen, TcpSender};
 use dema_net::{MsgReceiver, MsgSender, NetError, SharedCounters};
 use parking_lot::Mutex;
 
 use crate::config::{ClusterConfig, Topology, TransportKind};
-use crate::engines;
+use crate::engines::{self, ResilienceCtx};
 use crate::local::{run_local, run_local_streaming, run_responder, CloseTimes, LocalShared};
 use crate::relay::{run_relay, RelayChild, RoutedSender};
 use crate::report::{RunReport, TierTraffic};
@@ -34,6 +35,21 @@ const TCP_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One unidirectional wired link.
 type Link = (Box<dyn MsgSender>, Box<dyn MsgReceiver>);
+
+/// Interpose a fault-injecting wrapper when the plan actually perturbs
+/// anything; transparent plans (and no plan) keep the bare sender.
+fn wrap_faulty(
+    tx: Box<dyn MsgSender>,
+    plan: Option<&FaultPlan>,
+    counters: &SharedCounters,
+) -> Box<dyn MsgSender> {
+    match plan {
+        Some(p) if !p.is_transparent() => {
+            Box::new(p.clone().wrap(tx, SharedCounters::clone(counters)))
+        }
+        _ => tx,
+    }
+}
 
 /// Build a link of the configured transport whose traffic lands in
 /// `counters`. `throttle` carries the sending node's simulated link for
@@ -202,8 +218,16 @@ fn run_cluster_inner(
     validate_topology(config.topology)?;
 
     let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
-    let control_plane = engines::descriptor(config.engine).control_plane;
+    let resilient = config.resilience.is_some();
+    // Resilience promotes every engine to a control plane: the root needs a
+    // root→local path for its retry NACKs, and each local a responder to
+    // serve them from its sent-message cache.
+    let control_plane = engines::descriptor(config.engine).control_plane || resilient;
     let initial_gamma = engines::initial_gamma(config.engine);
+    let fault_counters = FaultCounters::new_shared();
+    // Frames the fault wrappers attempted (including dropped ones) — kept
+    // separate so the report's per-node traffic stays what the wire saw.
+    let injected_counters = NetworkCounters::new_shared();
 
     // Wire tier 0: one data link per local (leaf → parent), and for engines
     // with a control plane one control link per local (parent → leaf) plus a
@@ -225,11 +249,17 @@ fn run_cluster_inner(
         let uplink = throttle_mbits.map(Throttle::new_shared);
         let downlink = throttle_mbits.map(Throttle::new_shared);
         let counters = NetworkCounters::new_shared();
+        let node_faults = config.faults.iter().find(|f| f.node == n as u32);
         let (tx, rx) = make_link(
             config.transport,
             SharedCounters::clone(&counters),
             uplink.as_ref(),
         )?;
+        let tx = wrap_faulty(
+            tx,
+            node_faults.and_then(|f| f.uplink.as_ref()),
+            &injected_counters,
+        );
         let mut ups = vec![rx];
         let mut ctl = None;
         if control_plane {
@@ -238,14 +268,22 @@ fn run_cluster_inner(
                 SharedCounters::clone(&control_counters),
                 downlink.as_ref(),
             )?;
-            ctl = Some(ctl_tx);
+            ctl = Some(wrap_faulty(
+                ctl_tx,
+                node_faults.and_then(|f| f.control.as_ref()),
+                &injected_counters,
+            ));
             control_rx.push(ctl_rx);
             let (resp_tx, resp_rx) = make_link(
                 config.transport,
                 SharedCounters::clone(&counters),
                 uplink.as_ref(),
             )?;
-            responder_tx.push(resp_tx);
+            responder_tx.push(wrap_faulty(
+                resp_tx,
+                node_faults.and_then(|f| f.responder.as_ref()),
+                &injected_counters,
+            ));
             ups.push(resp_rx);
         }
         data_counters.push(counters);
@@ -360,7 +398,11 @@ fn run_cluster_inner(
     let pace = config.pace_window_ms;
     for (n, node_work) in work.into_iter().enumerate() {
         let node = NodeId(n as u32);
-        let shared = LocalShared::new(initial_gamma);
+        let shared = if resilient {
+            LocalShared::resilient(initial_gamma)
+        } else {
+            LocalShared::new(initial_gamma)
+        };
         let mut tx = data_tx.remove(0);
         let ct = Arc::clone(&close_times);
         if control_plane {
@@ -403,6 +445,10 @@ fn run_cluster_inner(
         windows,
         control_tx,
         Arc::clone(&close_times),
+        config.resilience.map(|r| ResilienceCtx {
+            config: r,
+            counters: Arc::clone(&fault_counters),
+        }),
     );
     let mut receivers = root_rx;
     let mut result: Result<(), ClusterError> = Ok(());
@@ -430,6 +476,11 @@ fn run_cluster_inner(
                 }
             }
         }
+        // Retry / liveness pass (a no-op on non-resilient runs).
+        if let Err(e) = root.tick() {
+            result = Err(e);
+            break 'drive;
+        }
         if progressed {
             idle_sweeps = 0;
         } else {
@@ -450,9 +501,13 @@ fn run_cluster_inner(
     let late_events = root.late_events();
     let (outcomes, latency) = root.into_results();
     drop(receivers);
+    let faulty_run = !config.faults.is_empty();
     for h in handles {
         match h.join() {
             Ok(Ok(())) => {}
+            // Fault-injected runs sever links by design; a node seeing its
+            // own link die is the scenario, not a failure.
+            Ok(Err(ClusterError::Net(NetError::Disconnected))) if faulty_run => {}
             Ok(Err(e)) => result = result.and(Err(e)),
             Err(_) => result = result.and(Err(ClusterError::NodePanic("local node".into()))),
         }
@@ -494,6 +549,7 @@ fn run_cluster_inner(
         latency,
         late_events,
         tier_traffic,
+        fault_stats: fault_counters.snapshot(),
     })
 }
 

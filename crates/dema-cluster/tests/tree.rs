@@ -236,3 +236,48 @@ fn tree_with_more_depth_than_leaves_degrades_to_a_chain() {
     assert_eq!(report.tier_traffic[1].up.len(), 1);
     assert_eq!(report.tier_traffic[2].up.len(), 1);
 }
+
+#[test]
+fn resilient_tree_survives_leaf_uplink_death() {
+    use dema_cluster::config::{NodeFaults, Resilience};
+    use dema_net::fault::FaultPlan;
+
+    // 4 leaves under a fanout-2 depth-3 tree: leaf 0's data uplink dies
+    // after two windows. The NACK/resend traffic must route down and back
+    // up through two relay tiers: window 2 (sent-but-severed, so cached on
+    // the leaf) is recovered exactly, later windows complete degraded from
+    // the three surviving leaves, and the dead child uplink must not take
+    // its relay — or the run — down with it.
+    let inputs = soccer_inputs(4, 6, 150);
+    let expect = truths(&inputs, Quantile::MEDIAN);
+    let mut cfg = ClusterConfig::dema_fixed(16, Quantile::MEDIAN);
+    cfg.topology = Topology::Tree {
+        fanout: 2,
+        depth: 3,
+    };
+    cfg.resilience = Some(Resilience {
+        request_timeout_ms: 40,
+        max_retries: 2,
+        liveness_k: 100, // death by retry exhaustion, not the fast path
+        seed: 9,
+    });
+    cfg.faults = vec![NodeFaults {
+        node: 0,
+        uplink: Some(FaultPlan::new(9).with_disconnect_after(2)),
+        ..NodeFaults::default()
+    }];
+    let report = run_cluster(&cfg, inputs).expect("tree run must not hang");
+    assert_eq!(report.outcomes.len(), 6);
+    assert_eq!(report.fault_stats.nodes_declared_dead, 1);
+    for (w, o) in report.outcomes.iter().enumerate().take(3) {
+        assert!(o.degraded.is_none(), "window {w} must be exact");
+        assert_eq!(o.value, expect[w], "window {w}");
+    }
+    let degraded: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.degraded.as_ref())
+        .collect();
+    assert!(!degraded.is_empty(), "later windows must degrade");
+    assert!(degraded.iter().all(|d| d.missing_nodes == vec![0]));
+}

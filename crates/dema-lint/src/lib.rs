@@ -6,7 +6,7 @@
 //! Repo-specific static analysis for the Dema workspace. The compiler cannot
 //! see the invariants Dema's exactness rests on, and generic clippy lints
 //! cannot know which files hold rank arithmetic or which enums mirror the
-//! wire protocol. This crate closes that gap with four lexical rules:
+//! wire protocol. This crate closes that gap with five lexical rules:
 //!
 //! * **R1** — no `unwrap()` / `expect()` / `panic!` / `todo!` /
 //!   `unimplemented!` in non-test library code of `dema-core`, `dema-wire`,
@@ -22,6 +22,12 @@
 //!   dead protocol error; one no test matches is unverified behaviour.
 //! * **R4** — every wire `Message` variant is mentioned by some test
 //!   (golden/property coverage of the protocol surface).
+//! * **R5** — no bare blocking `.recv()` in non-test library code of
+//!   `dema-cluster`. The fault-tolerance layer assumes every wait is
+//!   bounded: an unbounded receive cannot observe retry deadlines or a
+//!   severed peer and hangs the run the resilience layer exists to save.
+//!   Use `.recv_timeout(..)` / `.try_recv()`, or tag a deliberate site
+//!   with `// lint: allow(R5): <reason>`.
 //!
 //! The analysis is purely lexical over a *masked* view of each source file:
 //! string and comment bytes are blanked (newlines kept) so tokens inside
@@ -65,7 +71,7 @@ const NUMERIC_TYPES: [&str; 14] = [
 /// One finding of one rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier: `R1`..`R4`.
+    /// Rule identifier: `R1`..`R5`.
     pub rule: &'static str,
     /// Path of the offending file, relative to the checked root.
     pub path: String,
@@ -496,6 +502,40 @@ fn check_r2(file: &SourceFile, violations: &mut Vec<Violation>) {
     }
 }
 
+/// R5: bare blocking `.recv()` in non-test dema-cluster library code. The
+/// needle is exactly `.recv()`: `.recv_timeout(` and `.try_recv()` do not
+/// match it.
+fn check_r5(file: &SourceFile, violations: &mut Vec<Violation>) {
+    let in_scope =
+        file.rel.contains("crates/dema-cluster/src/") || file.rel.starts_with("dema-cluster/src/");
+    if !in_scope || file.test_by_path {
+        return;
+    }
+    let needle = ".recv()";
+    let mut i = 0;
+    while let Some(pos) = file.masked[i..].find(needle) {
+        let at = i + pos;
+        i = at + needle.len();
+        if file.in_test_region(at) {
+            continue;
+        }
+        let line = file.line_of(at);
+        if file.allowed("R5", line) {
+            continue;
+        }
+        violations.push(Violation {
+            rule: "R5",
+            path: file.rel.clone(),
+            line,
+            token: ".recv()".to_string(),
+            message: "bare blocking `.recv()` cannot observe retry deadlines or a dead peer; \
+                      use `.recv_timeout(..)` / `.try_recv()` (or tag with \
+                      `// lint: allow(R5): <reason>`)"
+                .to_string(),
+        });
+    }
+}
+
 /// Parse the variant names of `enum <name>` from a masked file.
 fn enum_variants(masked: &str, enum_name: &str) -> Vec<String> {
     let needle = format!("enum {enum_name}");
@@ -683,6 +723,7 @@ pub fn check(root: &Path, baseline: &[String]) -> Report {
     for file in &files {
         check_r1(file, &mut all);
         check_r2(file, &mut all);
+        check_r5(file, &mut all);
     }
     check_r3(&files, &mut all);
     check_r4(&files, &mut all);
@@ -779,6 +820,45 @@ mod tests {
             variants,
             vec!["EmptyWindow", "InvalidQuantile", "EventOutOfWindow", "Last"]
         );
+    }
+
+    fn cluster_file(src: &str) -> SourceFile {
+        let masked = mask_source(src);
+        let test_regions = find_test_regions(&masked);
+        SourceFile {
+            rel: "crates/dema-cluster/src/local.rs".to_string(),
+            text: src.to_string(),
+            masked,
+            test_regions,
+            test_by_path: false,
+        }
+    }
+
+    #[test]
+    fn r5_flags_bare_recv_only() {
+        let mut v = Vec::new();
+        check_r5(
+            &cluster_file("fn f(rx: &R) { rx.recv(); rx.try_recv(); rx.recv_timeout(d); }"),
+            &mut v,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].line), ("R5", 1));
+
+        let mut v = Vec::new();
+        check_r5(
+            &cluster_file(
+                "fn f(rx: &R) {\n    // lint: allow(R5): shutdown drain, peer already joined\n    rx.recv();\n}",
+            ),
+            &mut v,
+        );
+        assert!(v.is_empty(), "allow-tag must suppress: {v:?}");
+
+        let mut v = Vec::new();
+        check_r5(
+            &cluster_file("#[cfg(test)]\nmod t {\n    fn g(rx: &R) { rx.recv(); }\n}"),
+            &mut v,
+        );
+        assert!(v.is_empty(), "test regions are exempt: {v:?}");
     }
 
     #[test]

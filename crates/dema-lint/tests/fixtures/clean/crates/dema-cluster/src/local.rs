@@ -1,0 +1,12 @@
+//! Fixture: clean tree — bounded receives, plus one reviewed bare receive.
+
+/// Polls one message with a bounded wait.
+pub fn poll_one(rx: &std::sync::mpsc::Receiver<u64>) -> Option<u64> {
+    rx.recv_timeout(std::time::Duration::from_millis(10)).ok()
+}
+
+/// Drains the channel after the sender thread has already been joined.
+pub fn drain_joined(rx: &std::sync::mpsc::Receiver<u64>) -> Option<u64> {
+    // lint: allow(R5): sender joined above, recv can only return immediately
+    rx.recv().ok()
+}

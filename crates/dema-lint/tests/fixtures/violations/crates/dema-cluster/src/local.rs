@@ -1,0 +1,6 @@
+//! Fixture: R5 violation — a bare blocking `.recv()` in cluster code.
+
+/// Drains one message, blocking forever if the peer is gone.
+pub fn drain_one(rx: &std::sync::mpsc::Receiver<u64>) -> Option<u64> {
+    rx.recv().ok()
+}

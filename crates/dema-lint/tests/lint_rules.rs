@@ -48,7 +48,11 @@ fn violations_tree_fails_with_file_line_diagnostics() {
         "missing R4 diagnostic\n{stdout}"
     );
     assert!(
-        stdout.contains("4 new violation(s) [R1: 1, R2: 1, R3: 1, R4: 1]"),
+        stdout.contains("crates/dema-cluster/src/local.rs:5: R5:"),
+        "missing R5 diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("5 new violation(s) [R1: 1, R2: 1, R3: 1, R4: 1, R5: 1]"),
         "summary should count one violation per rule\n{stdout}"
     );
 }
@@ -68,7 +72,7 @@ fn baseline_suppresses_accepted_findings() {
         &["--baseline", baseline.to_str().expect("utf-8 path")],
     );
     assert_eq!(code, 0, "baselined tree must pass\n{stdout}");
-    assert!(stdout.contains("4 baselined finding(s)"), "{stdout}");
+    assert!(stdout.contains("5 baselined finding(s)"), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,138 @@
+//! Retry / degradation accounting for the fault-tolerance layer.
+//!
+//! The cluster root increments these counters as its retry state machine
+//! runs; the harness snapshots them into the run report so a chaos run's
+//! recovery work (and any loss of exactness) is visible next to the
+//! network-cost figures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative fault-handling counters for one run.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    duplicates_suppressed: AtomicU64,
+    nodes_declared_dead: AtomicU64,
+    degraded_windows: AtomicU64,
+}
+
+/// A point-in-time copy of [`FaultCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSnapshot {
+    /// Per-window deadlines that expired before every expected message
+    /// arrived.
+    pub timeouts: u64,
+    /// Retry messages (resend / re-request) the root sent.
+    pub retries: u64,
+    /// Duplicate protocol messages discarded at the root.
+    pub duplicates_suppressed: u64,
+    /// Locals declared dead after exhausting their liveness budget.
+    pub nodes_declared_dead: u64,
+    /// Windows completed without every node's data (degraded answers).
+    pub degraded_windows: u64,
+}
+
+impl FaultCounters {
+    /// A fresh, shareable counter set.
+    pub fn new_shared() -> Arc<FaultCounters> {
+        Arc::new(FaultCounters::default())
+    }
+
+    /// Record one expired per-window deadline.
+    #[inline]
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one retry message sent.
+    #[inline]
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one duplicate message suppressed.
+    #[inline]
+    pub fn record_duplicate(&self) {
+        self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one node declared dead.
+    #[inline]
+    pub fn record_node_dead(&self) {
+        self.nodes_declared_dead.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one window completed degraded.
+    #[inline]
+    pub fn record_degraded_window(&self) {
+        self.degraded_windows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
+            nodes_declared_dead: self.nodes_declared_dead.load(Ordering::Relaxed),
+            degraded_windows: self.degraded_windows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl FaultSnapshot {
+    /// True when the run needed no fault handling at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultSnapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = FaultCounters::default();
+        assert!(c.snapshot().is_clean());
+        c.record_timeout();
+        c.record_timeout();
+        c.record_retry();
+        c.record_duplicate();
+        c.record_node_dead();
+        c.record_degraded_window();
+        let s = c.snapshot();
+        assert_eq!(
+            s,
+            FaultSnapshot {
+                timeouts: 2,
+                retries: 1,
+                duplicates_suppressed: 1,
+                nodes_declared_dead: 1,
+                degraded_windows: 1,
+            }
+        );
+        assert!(!s.is_clean());
+    }
+
+    #[test]
+    fn shared_counters_are_thread_safe() {
+        let c = FaultCounters::new_shared();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_retry();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().retries, 4000);
+    }
+}

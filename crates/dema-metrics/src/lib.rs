@@ -14,12 +14,17 @@
 //! * **throughput** — [`throughput::ThroughputMeter`] and the
 //!   *sustainable-throughput* search of Karimov et al. (ICDE '18):
 //!   [`throughput::sustainable_throughput`] binary-searches the highest
-//!   offered rate a system sustains without growing backlog.
+//!   offered rate a system sustains without growing backlog;
+//! * **fault handling** — [`faults::FaultCounters`]: retry / timeout /
+//!   duplicate-suppression / degradation counters fed by the cluster's
+//!   fault-tolerance layer.
 
 pub mod counters;
+pub mod faults;
 pub mod histogram;
 pub mod throughput;
 
 pub use counters::{NetworkCounters, NetworkSnapshot};
+pub use faults::{FaultCounters, FaultSnapshot};
 pub use histogram::LatencyHistogram;
 pub use throughput::{sustainable_throughput, ThroughputMeter};

@@ -1,0 +1,432 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! [`FaultySender`] wraps any [`MsgSender`] and perturbs the message flow
+//! according to a seeded [`FaultPlan`]: per-message drop probability, fixed
+//! plus jittered delay, duplication, a bounded reordering window, and a
+//! scripted disconnect after the N-th send. Every decision is drawn from a
+//! [`FaultRng`] seeded from the plan, so an entire chaos scenario is
+//! reproducible from one `u64` — no wall-clock randomness anywhere.
+//!
+//! The wrapper composes with [`crate::mem::Throttle`]: wrap a throttled
+//! link's sender and faults apply *before* pacing (a dropped frame never
+//! occupies the link, a duplicated frame pays for both copies).
+//!
+//! Accounting: frames the inner sender delivers are recorded by the inner
+//! sender as usual. Frames the fault layer *drops* are still recorded in
+//! the wrapper's counters — the sender did put them on the wire; the wire
+//! ate them — so retry traffic stays visible in byte counts.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use dema_wire::Message;
+
+use crate::{MsgSender, NetError, SharedCounters};
+
+/// A small, fast, deterministic PRNG (SplitMix64). Not cryptographic; used
+/// only to make fault schedules and backoff jitter reproducible from a seed.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Seed the generator. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits → the standard mantissa construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`; returns 0 when `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A seeded schedule of link misbehaviour. All fields default to "no
+/// fault"; a default plan is a transparent pass-through.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision this plan makes.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a message is silently eaten.
+    pub drop_prob: f64,
+    /// Fixed extra latency added to every delivered message.
+    pub delay: Duration,
+    /// Additional uniformly-jittered latency in `[0, delay_jitter)`.
+    pub delay_jitter: Duration,
+    /// Probability that a delivered message is sent twice.
+    pub dup_prob: f64,
+    /// Probability that a message is held back and delivered after a later
+    /// one (only when `reorder_window > 0`).
+    pub reorder_prob: f64,
+    /// Maximum number of messages held back at once.
+    pub reorder_window: usize,
+    /// After this many `send` calls, the link behaves as hard-disconnected.
+    pub disconnect_after: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            delay: Duration::ZERO,
+            delay_jitter: Duration::ZERO,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_window: 0,
+            disconnect_after: None,
+        }
+    }
+
+    /// Drop each message with probability `p`.
+    pub fn with_drop(mut self, p: f64) -> FaultPlan {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Delay every delivery by `fixed` plus a uniform draw below `jitter`.
+    pub fn with_delay(mut self, fixed: Duration, jitter: Duration) -> FaultPlan {
+        self.delay = fixed;
+        self.delay_jitter = jitter;
+        self
+    }
+
+    /// Duplicate each delivered message with probability `p`.
+    pub fn with_dup(mut self, p: f64) -> FaultPlan {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Hold back each message with probability `p`, releasing it after a
+    /// later message; at most `window` messages are held at a time.
+    pub fn with_reorder(mut self, p: f64, window: usize) -> FaultPlan {
+        self.reorder_prob = p;
+        self.reorder_window = window;
+        self
+    }
+
+    /// Sever the link permanently after `n` successful `send` calls —
+    /// models a node crash at a scripted point in the run.
+    pub fn with_disconnect_after(mut self, n: u64) -> FaultPlan {
+        self.disconnect_after = Some(n);
+        self
+    }
+
+    /// True when the plan never perturbs anything (used to skip wrapping).
+    pub fn is_transparent(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.delay == Duration::ZERO
+            && self.delay_jitter == Duration::ZERO
+            && self.dup_prob == 0.0
+            && (self.reorder_prob == 0.0 || self.reorder_window == 0)
+            && self.disconnect_after.is_none()
+    }
+
+    /// Wrap `inner` in a [`FaultySender`] executing this plan. Dropped
+    /// frames are accounted in `counters`.
+    pub fn wrap(self, inner: Box<dyn MsgSender>, counters: SharedCounters) -> FaultySender {
+        FaultySender::new(inner, self, counters)
+    }
+}
+
+/// A [`MsgSender`] that executes a [`FaultPlan`] against an inner sender.
+pub struct FaultySender {
+    inner: Box<dyn MsgSender>,
+    plan: FaultPlan,
+    rng: FaultRng,
+    counters: SharedCounters,
+    sent: u64,
+    held: VecDeque<Message>,
+    severed: bool,
+}
+
+impl FaultySender {
+    /// Wrap `inner`, drawing all fault decisions from `plan.seed`.
+    pub fn new(
+        inner: Box<dyn MsgSender>,
+        plan: FaultPlan,
+        counters: SharedCounters,
+    ) -> FaultySender {
+        let rng = FaultRng::new(plan.seed);
+        FaultySender {
+            inner,
+            plan,
+            rng,
+            counters,
+            sent: 0,
+            held: VecDeque::new(),
+            severed: false,
+        }
+    }
+
+    fn flush_held(&mut self) -> Result<(), NetError> {
+        while let Some(m) = self.held.pop_front() {
+            self.inner.send(&m)?;
+        }
+        Ok(())
+    }
+}
+
+impl MsgSender for FaultySender {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        if self.severed {
+            return Err(NetError::Disconnected);
+        }
+        if let Some(n) = self.plan.disconnect_after {
+            if self.sent >= n {
+                // Crash point: anything still held back dies with the link.
+                self.severed = true;
+                self.held.clear();
+                return Err(NetError::Disconnected);
+            }
+        }
+        self.sent += 1;
+
+        if self.plan.drop_prob > 0.0 && self.rng.next_f64() < self.plan.drop_prob {
+            // The frame left this endpoint and died on the wire: account it
+            // so retry traffic remains visible in byte counters.
+            self.counters
+                .record(msg.encoded_len() as u64 + 4, msg.event_units());
+            return Ok(());
+        }
+
+        let mut delay = self.plan.delay;
+        if self.plan.delay_jitter > Duration::ZERO {
+            let jitter_ns = u64::try_from(self.plan.delay_jitter.as_nanos()).unwrap_or(u64::MAX);
+            delay += Duration::from_nanos(self.rng.next_below(jitter_ns));
+        }
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+        }
+
+        if self.plan.reorder_window > 0
+            && self.held.len() < self.plan.reorder_window
+            && self.rng.next_f64() < self.plan.reorder_prob
+        {
+            self.held.push_back(msg.clone());
+            return Ok(());
+        }
+
+        self.inner.send(msg)?;
+        self.flush_held()?;
+        if self.plan.dup_prob > 0.0 && self.rng.next_f64() < self.plan.dup_prob {
+            self.inner.send(msg)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for FaultySender {
+    fn drop(&mut self) {
+        // Best effort: messages still held for reordering are released so a
+        // clean shutdown does not manufacture extra loss.
+        if !self.severed {
+            let _ = self.flush_held();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{link, throttled_link, Throttle};
+    use crate::MsgReceiver;
+    use dema_metrics::NetworkCounters;
+
+    fn gammas(n: u64) -> Vec<Message> {
+        (0..n).map(|i| Message::GammaUpdate { gamma: i }).collect()
+    }
+
+    fn drain(rx: &mut dyn MsgReceiver) -> Vec<Message> {
+        let mut got = Vec::new();
+        while let Ok(Some(m)) = rx.try_recv() {
+            got.push(m);
+        }
+        got
+    }
+
+    fn run_plan(plan: FaultPlan, msgs: &[Message]) -> Vec<Message> {
+        let (tx, mut rx) = link(NetworkCounters::new_shared());
+        let mut faulty = plan.wrap(Box::new(tx), NetworkCounters::new_shared());
+        for m in msgs {
+            let _ = faulty.send(m);
+        }
+        drop(faulty);
+        drain(&mut rx)
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = FaultRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = FaultRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = FaultRng::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut r = FaultRng::new(7);
+        for _ in 0..100 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(r.next_below(10) < 10);
+        }
+        assert_eq!(FaultRng::new(1).next_below(0), 0);
+    }
+
+    #[test]
+    fn default_plan_is_transparent() {
+        assert!(FaultPlan::default().is_transparent());
+        assert!(!FaultPlan::new(1).with_drop(0.5).is_transparent());
+        assert!(!FaultPlan::new(1).with_disconnect_after(10).is_transparent());
+        let msgs = gammas(20);
+        assert_eq!(run_plan(FaultPlan::new(3), &msgs), msgs);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let plan = || FaultPlan::new(99).with_drop(0.3).with_dup(0.3);
+        let msgs = gammas(200);
+        let one = run_plan(plan(), &msgs);
+        let two = run_plan(plan(), &msgs);
+        assert_eq!(one, two);
+        assert_ne!(one, msgs, "with p=0.3 over 200 sends some fault fires");
+        let other = run_plan(FaultPlan::new(100).with_drop(0.3).with_dup(0.3), &msgs);
+        assert_ne!(one, other, "different seed, different schedule");
+    }
+
+    #[test]
+    fn dropped_messages_are_still_accounted() {
+        let counters = NetworkCounters::new_shared();
+        let wrapper_counters = NetworkCounters::new_shared();
+        let (tx, mut rx) = link(SharedCounters::clone(&counters));
+        let mut faulty = FaultPlan::new(1)
+            .with_drop(1.0)
+            .wrap(Box::new(tx), SharedCounters::clone(&wrapper_counters));
+        let m = Message::GammaUpdate { gamma: 5 };
+        for _ in 0..3 {
+            faulty.send(&m).unwrap();
+        }
+        assert!(drain(&mut rx).is_empty(), "everything dropped");
+        assert_eq!(counters.snapshot().messages, 0, "inner saw nothing");
+        let s = wrapper_counters.snapshot();
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 3 * (m.encoded_len() as u64 + 4));
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let got = run_plan(FaultPlan::new(5).with_dup(1.0), &gammas(4));
+        let expect: Vec<Message> = gammas(4).into_iter().flat_map(|m| [m.clone(), m]).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reorder_swaps_within_window() {
+        let got = run_plan(FaultPlan::new(8).with_reorder(1.0, 1), &gammas(4));
+        // With p=1 and window 1: msg0 held; msg1 delivered then msg0
+        // released; msg2 held; msg3 delivered then msg2 released.
+        let g = |i| Message::GammaUpdate { gamma: i };
+        assert_eq!(got, vec![g(1), g(0), g(3), g(2)]);
+    }
+
+    #[test]
+    fn held_messages_flush_on_clean_drop() {
+        let (tx, mut rx) = link(NetworkCounters::new_shared());
+        let mut faulty = FaultPlan::new(8)
+            .with_reorder(1.0, 4)
+            .wrap(Box::new(tx), NetworkCounters::new_shared());
+        faulty.send(&Message::GammaUpdate { gamma: 1 }).unwrap();
+        drop(faulty);
+        assert_eq!(drain(&mut rx), vec![Message::GammaUpdate { gamma: 1 }]);
+    }
+
+    #[test]
+    fn disconnect_after_n_severs_the_link() {
+        let (tx, mut rx) = link(NetworkCounters::new_shared());
+        let mut faulty = FaultPlan::new(2)
+            .with_disconnect_after(3)
+            .wrap(Box::new(tx), NetworkCounters::new_shared());
+        let m = Message::GammaUpdate { gamma: 0 };
+        for _ in 0..3 {
+            faulty.send(&m).unwrap();
+        }
+        assert!(matches!(faulty.send(&m), Err(NetError::Disconnected)));
+        assert!(matches!(faulty.send(&m), Err(NetError::Disconnected)));
+        assert_eq!(drain(&mut rx).len(), 3);
+    }
+
+    #[test]
+    fn delay_slows_delivery() {
+        let (tx, mut rx) = link(NetworkCounters::new_shared());
+        let mut faulty = FaultPlan::new(4)
+            .with_delay(Duration::from_millis(20), Duration::from_millis(10))
+            .wrap(Box::new(tx), NetworkCounters::new_shared());
+        let start = std::time::Instant::now();
+        for m in gammas(3) {
+            faulty.send(&m).unwrap();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(60));
+        assert_eq!(drain(&mut rx).len(), 3);
+    }
+
+    #[test]
+    fn composes_with_throttle() {
+        // Fault layer over a throttled link: drops skip the throttle (the
+        // frame never occupies the link), deliveries still pace.
+        let throttle = Throttle::new_shared(8); // 1 MB/s
+        let counters = NetworkCounters::new_shared();
+        let (tx, mut rx) = throttled_link(SharedCounters::clone(&counters), throttle);
+        let mut faulty = FaultPlan::new(11)
+            .with_drop(0.5)
+            .wrap(Box::new(tx), SharedCounters::clone(&counters));
+        let m = Message::EventBatch {
+            node: dema_core::event::NodeId(0),
+            window: dema_core::event::WindowId(0),
+            sorted: false,
+            events: (0..1000)
+                .map(|i| dema_core::event::Event::new(i, i as u64, i as u64))
+                .collect(),
+        };
+        for _ in 0..4 {
+            faulty.send(&m).unwrap();
+        }
+        let delivered = drain(&mut rx).len();
+        assert!(delivered < 4, "seed 11 drops at least one of four");
+        // Every send — dropped or delivered — landed in the shared counters.
+        assert_eq!(counters.snapshot().messages, 4);
+    }
+}

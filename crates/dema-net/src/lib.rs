@@ -17,7 +17,12 @@
 //!   multi-process runs. Byte accounting matches `mem` exactly.
 //!
 //! Links are unidirectional; a topology wires two per node pair.
+//!
+//! The [`fault`] module wraps either transport's sender in a seeded
+//! chaos layer (drops, delay, duplication, reordering, scripted
+//! disconnects) for deterministic fault testing.
 
+pub mod fault;
 pub mod mem;
 pub mod tcp;
 

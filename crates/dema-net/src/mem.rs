@@ -43,8 +43,11 @@ impl Throttle {
         })
     }
 
-    /// Block until a frame of `bytes` has cleared the link.
+    /// Block until a frame of `bytes` has cleared the link. Every frame
+    /// costs at least its 4-byte length prefix, so zero-payload control
+    /// frames are paced like any other traffic instead of passing free.
     fn transmit(&self, bytes: u64) {
+        let bytes = bytes.max(4);
         let cost = Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec);
         let deadline = {
             let mut at = self.available_at.lock();
@@ -255,6 +258,25 @@ mod tests {
         for _ in 0..3 {
             assert!(rx.recv().is_ok());
         }
+    }
+
+    #[test]
+    fn zero_byte_frames_still_pace() {
+        // 1000 "free" frames at 1 Mbit/s (125 000 B/s): clamped to the
+        // 4-byte header each, they occupy the link for 32 ms of budget
+        // instead of zero.
+        let throttle = Throttle::new_shared(1);
+        let t = Arc::clone(&throttle);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            t.transmit(0);
+        }
+        // 1000 × 4 B at 125 000 B/s = 32 ms minimum.
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "zero-byte frames paced as free: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct TcpSender {
 /// Receiving half over TCP.
 pub struct TcpReceiver {
     reader: BufReader<TcpStream>,
+    /// Last read-timeout successfully applied to the socket, or `None` when
+    /// the state is unknown (initially, and after a failed
+    /// `set_read_timeout` round-trip — an error mid-change must not leave
+    /// us believing the old mode is still in force).
+    applied_timeout: Option<Option<Duration>>,
 }
 
 impl TcpSender {
@@ -76,16 +81,32 @@ impl TcpReceiver {
         stream.set_nodelay(true).map_err(NetError::Io)?;
         Ok(TcpReceiver {
             reader: BufReader::new(stream),
+            applied_timeout: None,
         })
+    }
+
+    /// Put the socket in the wanted blocking mode, skipping the syscall
+    /// when it is already known to be in force. On failure the cached state
+    /// is invalidated *before* returning, so an early-return error path can
+    /// never leave a stale belief about the socket's mode — the next call
+    /// re-applies it unconditionally.
+    fn apply_timeout(&mut self, want: Option<Duration>) -> Result<(), NetError> {
+        if self.applied_timeout == Some(want) {
+            return Ok(());
+        }
+        self.applied_timeout = None;
+        self.reader
+            .get_ref()
+            .set_read_timeout(want)
+            .map_err(NetError::Io)?;
+        self.applied_timeout = Some(want);
+        Ok(())
     }
 }
 
 impl MsgReceiver for TcpReceiver {
     fn recv(&mut self) -> Result<Message, NetError> {
-        self.reader
-            .get_ref()
-            .set_read_timeout(None)
-            .map_err(NetError::Io)?;
+        self.apply_timeout(None)?;
         match read_frame(&mut self.reader) {
             Ok((msg, _)) => Ok(msg),
             Err(FrameError::Eof) => Err(NetError::Disconnected),
@@ -95,10 +116,7 @@ impl MsgReceiver for TcpReceiver {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
-        self.reader
-            .get_ref()
-            .set_read_timeout(Some(timeout))
-            .map_err(NetError::Io)?;
+        self.apply_timeout(Some(timeout))?;
         match read_frame(&mut self.reader) {
             Ok((msg, _)) => Ok(Some(msg)),
             Err(FrameError::Eof) => Err(NetError::Disconnected),
@@ -216,6 +234,30 @@ mod tests {
             Duration::from_millis(500),
         );
         assert!(matches!(err, Err(NetError::Io(_))));
+    }
+
+    #[test]
+    fn timeout_state_is_cached_and_modes_alternate_correctly() {
+        let (mut tx, mut rx, _) = loopback_pair();
+        // Timed mode, twice with the same deadline (second call skips the
+        // syscall via the cache), then blocking, then timed again.
+        assert!(rx
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+        assert!(rx
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+        tx.send(&Message::GammaUpdate { gamma: 1 }).unwrap();
+        assert_eq!(rx.recv().unwrap(), Message::GammaUpdate { gamma: 1 });
+        assert!(rx
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+        tx.send(&Message::GammaUpdate { gamma: 2 }).unwrap();
+        let got = rx.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(got, Some(Message::GammaUpdate { gamma: 2 }));
     }
 
     #[test]

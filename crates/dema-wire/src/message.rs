@@ -43,6 +43,8 @@ const TAG_WINDOW_RESULT: u8 = 7;
 const TAG_STREAM_END: u8 = 8;
 const TAG_SKETCH_BATCH: u8 = 9;
 const TAG_ROUTED: u8 = 10;
+const TAG_RESEND_WINDOW: u8 = 11;
+const TAG_CANDIDATE_RETRY: u8 = 12;
 
 /// Every message of the Dema cluster protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,6 +150,28 @@ pub enum Message {
         dest: NodeId,
         /// The wrapped control message.
         inner: Box<Message>,
+    },
+    /// Root → local (retry protocol): the root's deadline for this window's
+    /// uplink message expired — resend it from the local's sent-cache.
+    /// `attempt` is the retry epoch (sequence number), monotonically
+    /// increasing per window so stale retransmissions are identifiable.
+    ResendWindow {
+        /// Window whose uplink message is missing at the root.
+        window: WindowId,
+        /// Retry epoch, starting at 1 for the first resend request.
+        attempt: u32,
+    },
+    /// Root → local (retry protocol): re-request candidate slices after a
+    /// lost [`Message::CandidateRequest`] or [`Message::CandidateReply`].
+    /// Unlike the original request it carries an `attempt` epoch, and
+    /// locals serve it idempotently from the retained store.
+    CandidateRetry {
+        /// Window being resolved.
+        window: WindowId,
+        /// Slice indices (within the receiver's slice sequence) to ship.
+        slices: Vec<u32>,
+        /// Retry epoch, starting at 1 for the first re-request.
+        attempt: u32,
     },
 }
 
@@ -288,6 +312,24 @@ impl Message {
                 buf.put_u32_le(dest.0);
                 inner.encode_impl(buf);
             }
+            Message::ResendWindow { window, attempt } => {
+                buf.put_u8(TAG_RESEND_WINDOW);
+                buf.put_u64_le(window.0);
+                buf.put_u32_le(*attempt);
+            }
+            Message::CandidateRetry {
+                window,
+                slices,
+                attempt,
+            } => {
+                buf.put_u8(TAG_CANDIDATE_RETRY);
+                buf.put_u64_le(window.0);
+                buf.put_u32_le(*attempt);
+                buf.put_u32_le(slices.len() as u32);
+                for &i in slices {
+                    buf.put_u32_le(i);
+                }
+            }
         }
     }
 
@@ -314,6 +356,8 @@ impl Message {
             Message::StreamEnd { .. } => 1 + 4 + 8,
             Message::SketchBatch { items, .. } => 1 + 4 + 8 + 8 + 8 + 8 + 4 + items.len() * 16,
             Message::Routed { inner, .. } => 1 + 4 + inner.encoded_len(),
+            Message::ResendWindow { .. } => 1 + 8 + 4,
+            Message::CandidateRetry { slices, .. } => 1 + 8 + 4 + 4 + slices.len() * 4,
         }
     }
 
@@ -547,6 +591,29 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
         }
         // An envelope inside an envelope is corruption, not topology: relays
         // forward a routed frame unchanged, they never re-wrap it.
+        TAG_RESEND_WINDOW => {
+            need(buf, 8 + 4)?;
+            Ok(Message::ResendWindow {
+                window: WindowId(buf.get_u64_le()),
+                attempt: buf.get_u32_le(),
+            })
+        }
+        TAG_CANDIDATE_RETRY => {
+            need(buf, 8 + 4)?;
+            let window = WindowId(buf.get_u64_le());
+            let attempt = buf.get_u32_le();
+            let n = take_count(buf)?;
+            let mut slices = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(buf, 4)?;
+                slices.push(buf.get_u32_le());
+            }
+            Ok(Message::CandidateRetry {
+                window,
+                slices,
+                attempt,
+            })
+        }
         TAG_ROUTED if allow_routed => {
             need(buf, 4)?;
             let dest = NodeId(buf.get_u32_le());
@@ -709,6 +776,66 @@ mod tests {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             items: vec![],
+        });
+    }
+
+    #[test]
+    fn roundtrip_retry_messages() {
+        roundtrip(Message::ResendWindow {
+            window: WindowId(12),
+            attempt: 1,
+        });
+        roundtrip(Message::ResendWindow {
+            window: WindowId(u64::MAX),
+            attempt: u32::MAX,
+        });
+        roundtrip(Message::CandidateRetry {
+            window: WindowId(3),
+            slices: vec![0, 5, 9],
+            attempt: 2,
+        });
+        roundtrip(Message::CandidateRetry {
+            window: WindowId(0),
+            slices: vec![],
+            attempt: 1,
+        });
+    }
+
+    #[test]
+    fn retry_messages_are_free_control_traffic() {
+        // Retry traffic must show up in byte counters but never in the
+        // paper's events-on-the-wire cost model.
+        let resend = Message::ResendWindow {
+            window: WindowId(1),
+            attempt: 1,
+        };
+        let retry = Message::CandidateRetry {
+            window: WindowId(1),
+            slices: vec![1, 2, 3],
+            attempt: 1,
+        };
+        assert_eq!(resend.event_units(), 0);
+        assert_eq!(retry.event_units(), 0);
+        assert_eq!(resend.encoded_len(), 13);
+        assert_eq!(retry.encoded_len(), 17 + 12);
+    }
+
+    #[test]
+    fn retry_messages_route_through_envelopes() {
+        roundtrip(Message::Routed {
+            dest: NodeId(4),
+            inner: Box::new(Message::ResendWindow {
+                window: WindowId(2),
+                attempt: 3,
+            }),
+        });
+        roundtrip(Message::Routed {
+            dest: NodeId(9),
+            inner: Box::new(Message::CandidateRetry {
+                window: WindowId(2),
+                slices: vec![7],
+                attempt: 1,
+            }),
         });
     }
 

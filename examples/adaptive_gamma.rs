@@ -35,6 +35,8 @@ fn main() {
         // as they would with real one-second tumbling windows.
         pace_window_ms: Some(20),
         extra_quantiles: Vec::new(),
+        resilience: None,
+        faults: Vec::new(),
     };
     let report = run_cluster(&config, inputs).expect("cluster run failed");
 

@@ -10,9 +10,14 @@
 #                      into release-style gating (DESIGN.md §8), plus an
 #                      explicit engines-over-TCP pass so the socket
 #                      transport is exercised with checked invariants
+#   chaos sweep      — the seeded fault-injection suite under several
+#                      CHAOS_SEED values (strict invariants on): recovery
+#                      must stay bit-exact and degradation deterministic
+#                      for every seed, not just the default
 #   dema-lint        — repo-specific static analysis: R1 no panics in
 #                      library code, R2 no lossy `as` casts in rank/gamma
-#                      arithmetic, R3/R4 error & wire variants exercised
+#                      arithmetic, R3/R4 error & wire variants exercised,
+#                      R5 no unbounded receives in cluster code
 #                      (baseline: scripts/lint-baseline.txt)
 #   bench --no-run   — criterion benches must keep compiling
 #   clippy           — deny the two lints that reintroduce hot-path copies:
@@ -31,6 +36,10 @@ cargo fmt --check $(for c in crates/*/; do printf -- '-p %s ' "$(basename "$c")"
 cargo test -q
 cargo test --features strict -q
 cargo test -q -p dema-cluster --features strict --test engines --test tree tcp
+CHAOS_SEEDS="${CHAOS_SEEDS:-1 2 3}"
+for seed in $CHAOS_SEEDS; do
+    CHAOS_SEED="$seed" cargo test -q -p dema-cluster --features strict --test chaos
+done
 cargo run -q -p dema-lint -- check .
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- \
