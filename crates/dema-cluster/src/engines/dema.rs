@@ -984,64 +984,91 @@ pub fn run_responder(
             Err(NetError::Disconnected) => return Ok(()), // root finished
             Err(e) => return Err(e.into()),
         };
-        match msg {
-            Message::CandidateRequest { window, slices }
-            | Message::CandidateRetry { window, slices, .. } => {
-                let payload = {
-                    let mut store = shared.store.lock();
-                    if shared.retain_sent {
-                        match store.get(&window.0) {
-                            Some(stored) => Some(collect_payload(node, window, &slices, stored)?),
-                            // Evicted (or a retry raced the store): stay
-                            // silent, the root's retry budget handles it.
-                            None => None,
-                        }
-                    } else {
-                        let stored = store.remove(&window.0).ok_or_else(|| {
-                            ClusterError::Protocol(format!(
-                                "{node}: candidate request for unknown window {window}"
-                            ))
-                        })?;
-                        Some(collect_payload(node, window, &slices, &stored)?)
-                    }
-                };
-                if let Some(payload) = payload {
-                    let reply = Message::CandidateReply {
-                        node,
-                        window,
-                        slices: payload,
-                    };
-                    if let Err(e) = to_root.send(&reply) {
-                        return match e {
-                            // Our uplink died mid-run: this node is dead to
-                            // the root; exit cleanly, liveness covers it.
-                            NetError::Disconnected if shared.retain_sent => Ok(()),
-                            other => Err(other.into()),
-                        };
-                    }
-                }
-            }
-            Message::ResendWindow { window, .. } => {
-                let cached = shared.sent.lock().get(&window.0).cloned();
-                // A cache miss means the window was never processed here
-                // (or was evicted): nothing to resend, the root retries.
-                if let Some(m) = cached {
-                    if let Err(e) = to_root.send(&m) {
-                        return match e {
-                            NetError::Disconnected if shared.retain_sent => Ok(()),
-                            other => Err(other.into()),
-                        };
-                    }
-                }
-            }
-            Message::GammaUpdate { gamma } => {
-                shared.gamma.store(gamma.max(2), Ordering::Relaxed);
-            }
-            other => {
-                return Err(ClusterError::Protocol(format!(
-                    "{node}: unexpected control message {other:?}"
-                )))
-            }
+        match responder_step(node, msg, to_root, shared)? {
+            ResponderStatus::Continue => {}
+            ResponderStatus::Stop => return Ok(()),
         }
     }
+}
+
+/// Outcome of one [`responder_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponderStatus {
+    /// Keep serving control messages.
+    Continue,
+    /// Exit the responder loop cleanly (resilient run, uplink gone: the
+    /// node is dead to the root and liveness accounting covers it).
+    Stop,
+}
+
+/// Handle a single control message — one step of [`run_responder`],
+/// factored out so the deterministic scheduler in `dema-model` can drive
+/// the responder one delivery at a time with the same semantics as the
+/// threaded loop.
+pub fn responder_step(
+    node: NodeId,
+    msg: Message,
+    to_root: &mut dyn MsgSender,
+    shared: &LocalShared,
+) -> Result<ResponderStatus, ClusterError> {
+    match msg {
+        Message::CandidateRequest { window, slices }
+        | Message::CandidateRetry { window, slices, .. } => {
+            let payload = {
+                let mut store = shared.store.lock();
+                if shared.retain_sent {
+                    match store.get(&window.0) {
+                        Some(stored) => Some(collect_payload(node, window, &slices, stored)?),
+                        // Evicted (or a retry raced the store): stay
+                        // silent, the root's retry budget handles it.
+                        None => None,
+                    }
+                } else {
+                    let stored = store.remove(&window.0).ok_or_else(|| {
+                        ClusterError::Protocol(format!(
+                            "{node}: candidate request for unknown window {window}"
+                        ))
+                    })?;
+                    Some(collect_payload(node, window, &slices, &stored)?)
+                }
+            };
+            if let Some(payload) = payload {
+                let reply = Message::CandidateReply {
+                    node,
+                    window,
+                    slices: payload,
+                };
+                if let Err(e) = to_root.send(&reply) {
+                    return match e {
+                        // Our uplink died mid-run: this node is dead to
+                        // the root; exit cleanly, liveness covers it.
+                        NetError::Disconnected if shared.retain_sent => Ok(ResponderStatus::Stop),
+                        other => Err(other.into()),
+                    };
+                }
+            }
+        }
+        Message::ResendWindow { window, .. } => {
+            let cached = shared.sent.lock().get(&window.0).cloned();
+            // A cache miss means the window was never processed here
+            // (or was evicted): nothing to resend, the root retries.
+            if let Some(m) = cached {
+                if let Err(e) = to_root.send(&m) {
+                    return match e {
+                        NetError::Disconnected if shared.retain_sent => Ok(ResponderStatus::Stop),
+                        other => Err(other.into()),
+                    };
+                }
+            }
+        }
+        Message::GammaUpdate { gamma } => {
+            shared.gamma.store(gamma.max(2), Ordering::Relaxed);
+        }
+        other => {
+            return Err(ClusterError::Protocol(format!(
+                "{node}: unexpected control message {other:?}"
+            )))
+        }
+    }
+    Ok(ResponderStatus::Continue)
 }

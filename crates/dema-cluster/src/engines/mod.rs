@@ -126,6 +126,12 @@ pub struct EngineDescriptor {
     pub wire_cost: &'static str,
     /// A canonical instance for registry-driven matrix tests.
     pub example: fn() -> EngineKind,
+    /// Protocol-spec roles this engine implements — names that must
+    /// resolve in `dema-model`'s declarative protocol specification.
+    /// The spec's conformance checkers (lint R6/R7, the interleaving
+    /// explorer) pick the state machines to check from here, so an engine
+    /// without roles fails the registry test, not in production.
+    pub roles: &'static [&'static str],
 }
 
 /// All registered engines, in presentation order.
@@ -139,6 +145,7 @@ pub static REGISTRY: [EngineDescriptor; 6] = [
             gamma: crate::config::GammaMode::Fixed(128),
             strategy: dema_core::selector::SelectionStrategy::WindowCut,
         },
+        roles: &["dema-root", "dema-local", "dema-responder"],
     },
     EngineDescriptor {
         label: "centralized",
@@ -146,6 +153,7 @@ pub static REGISTRY: [EngineDescriptor; 6] = [
         control_plane: false,
         wire_cost: "l events per window (raw)",
         example: || EngineKind::Centralized,
+        roles: &["centralized-root", "centralized-local"],
     },
     EngineDescriptor {
         label: "dec-sort",
@@ -153,6 +161,7 @@ pub static REGISTRY: [EngineDescriptor; 6] = [
         control_plane: false,
         wire_cost: "l events per window (sorted runs)",
         example: || EngineKind::DecSort,
+        roles: &["dec-sort-root", "dec-sort-local"],
     },
     EngineDescriptor {
         label: "tdigest",
@@ -160,6 +169,7 @@ pub static REGISTRY: [EngineDescriptor; 6] = [
         control_plane: false,
         wire_cost: "l events per window (raw)",
         example: || EngineKind::TdigestCentral { compression: 100.0 },
+        roles: &["tdigest-root", "tdigest-local"],
     },
     EngineDescriptor {
         label: "tdigest-dist",
@@ -167,6 +177,7 @@ pub static REGISTRY: [EngineDescriptor; 6] = [
         control_plane: false,
         wire_cost: "O(δ) centroids per node per window",
         example: || EngineKind::TdigestDistributed { compression: 100.0 },
+        roles: &["tdigest-dist-root", "tdigest-dist-local"],
     },
     EngineDescriptor {
         label: "kll-dist",
@@ -174,6 +185,7 @@ pub static REGISTRY: [EngineDescriptor; 6] = [
         control_plane: false,
         wire_cost: "O(k) weighted items per node per window",
         example: || EngineKind::KllDistributed { k: 256 },
+        roles: &["kll-root", "kll-local"],
     },
 ];
 
@@ -276,6 +288,41 @@ mod tests {
                 "example config for {} must validate",
                 d.label
             );
+        }
+    }
+
+    #[test]
+    fn every_engine_declares_protocol_roles() {
+        // Each engine names the protocol-spec state machines it implements:
+        // at least a root-side and a local-side role, with no duplicates
+        // across engines. `dema-model`'s registry test closes the loop by
+        // resolving every name against the declarative spec.
+        let mut seen = std::collections::HashSet::new();
+        for d in &REGISTRY {
+            assert!(
+                !d.roles.is_empty(),
+                "engine {} declares no protocol-spec roles",
+                d.label
+            );
+            assert!(
+                d.roles.iter().any(|r| r.ends_with("-root")),
+                "engine {} declares no root-side role",
+                d.label
+            );
+            assert!(
+                d.roles.iter().any(|r| r.ends_with("-local")),
+                "engine {} declares no local-side role",
+                d.label
+            );
+            assert_eq!(
+                d.roles.iter().any(|r| r.ends_with("-responder")),
+                d.control_plane,
+                "engine {}: responder role must match the control-plane flag",
+                d.label
+            );
+            for r in d.roles {
+                assert!(seen.insert(*r), "role {r} declared by two engines");
+            }
         }
     }
 

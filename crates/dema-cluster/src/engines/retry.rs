@@ -48,6 +48,7 @@ pub struct ResilienceCtx {
 }
 
 /// What a deadline expiry asks the engine to do.
+#[derive(Debug)]
 pub(crate) enum ExpiryAction {
     /// NACK these still-live nodes; the deadline was re-armed with backoff.
     Retry {
@@ -98,8 +99,20 @@ impl Supervisor {
         }
     }
 
+    /// Ceiling on any single wait the supervisor schedules. Configs with
+    /// absurd `request_timeout_ms` (up to `u64::MAX`) must clamp here:
+    /// unbounded `Instant + Duration` arithmetic panics on overflow.
+    const MAX_WAIT: Duration = Duration::from_secs(3600);
+
     fn timeout(&self) -> Duration {
-        Duration::from_millis(self.cfg.request_timeout_ms.max(1))
+        Duration::from_millis(self.cfg.request_timeout_ms.max(1)).min(Self::MAX_WAIT)
+    }
+
+    /// `now + wait`, clamped so extreme waits can never overflow `Instant`.
+    fn deadline_after(wait: Duration) -> Instant {
+        let now = Instant::now();
+        let wait = wait.min(Self::MAX_WAIT);
+        now.checked_add(wait).unwrap_or(now)
     }
 
     /// Arm the deadline for `w` if none is armed yet (idempotent; no-op for
@@ -108,7 +121,7 @@ impl Supervisor {
         if self.done.contains(&w) {
             return;
         }
-        let due = Instant::now() + self.timeout();
+        let due = Self::deadline_after(self.timeout());
         self.deadlines
             .entry(w)
             .or_insert(Deadline { due, attempt: 0 });
@@ -185,12 +198,18 @@ impl Supervisor {
         }
         let attempt = self.deadlines.get(&w).map_or(0, |d| d.attempt);
         if !survivors.is_empty() && attempt < self.cfg.max_retries {
-            let next = attempt + 1;
+            // `attempt` is unbounded in principle (max_retries is caller
+            // config, up to u32::MAX), so every term saturates: the shift
+            // is capped at 2^10, the multiply saturates, and the final
+            // deadline is clamped to MAX_WAIT before touching `Instant`.
+            let next = attempt.saturating_add(1);
             let base_ms = self.cfg.request_timeout_ms.max(1);
-            let backoff = base_ms.saturating_mul(1u64 << u64::from(next.min(10)));
+            let factor = 1u64.checked_shl(next.min(10)).unwrap_or(u64::MAX);
+            let backoff = base_ms.saturating_mul(factor);
             let jitter_us = self.rng.next_below(base_ms.saturating_mul(1000) / 2 + 1);
-            let due =
-                Instant::now() + Duration::from_millis(backoff) + Duration::from_micros(jitter_us);
+            let wait =
+                Duration::from_millis(backoff).saturating_add(Duration::from_micros(jitter_us));
+            let due = Self::deadline_after(wait);
             self.deadlines.insert(w, Deadline { due, attempt: next });
             ExpiryAction::Retry {
                 nodes: survivors,
@@ -444,6 +463,57 @@ mod tests {
         s.arm(0);
         assert!(s.deadlines.is_empty());
         assert!(s.is_done(0));
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_parameters() {
+        // Pathological config: u64::MAX-millisecond timeout, unbounded
+        // retry budget, liveness budget that never kills the node. Every
+        // step of the backoff arithmetic (shift, multiply, Duration sum,
+        // Instant add) must saturate instead of overflowing or panicking.
+        let mut s = sup(u64::MAX, u32::MAX, u32::MAX);
+        s.arm(0);
+        let mut last_attempt = 0;
+        for _ in 0..64 {
+            match s.on_expiry(0, &[1]) {
+                ExpiryAction::Retry { attempt, .. } => {
+                    assert_eq!(attempt, last_attempt + 1);
+                    last_attempt = attempt;
+                }
+                other => panic!("budget never exhausts here: {other:?}"),
+            }
+            let d = s.deadlines.get(&0).expect("deadline re-armed");
+            // The re-armed deadline is clamped: never further out than the
+            // supervisor's wait ceiling (+ scheduling slack).
+            assert!(
+                d.due <= Instant::now() + Supervisor::MAX_WAIT,
+                "deadline beyond MAX_WAIT at attempt {last_attempt}"
+            );
+        }
+        // The shift cap means attempts ≥ 10 share the same (saturated)
+        // backoff; attempts keep counting past the cap without wrapping.
+        assert_eq!(last_attempt, 64);
+    }
+
+    #[test]
+    fn backoff_shift_boundary_is_capped() {
+        // At the 10-shift boundary the factor freezes at 1024×: attempts
+        // 10, 11, 64 all schedule the same backoff (modulo jitter), and
+        // base 1 ms keeps everything far from saturation so the window
+        // deadline still moves monotonically forward.
+        let mut s = sup(1, u32::MAX, u32::MAX);
+        s.arm(0);
+        let mut last_due = Instant::now();
+        for i in 1..=12 {
+            match s.on_expiry(0, &[1]) {
+                ExpiryAction::Retry { attempt, .. } => assert_eq!(attempt, i),
+                other => panic!("{other:?}"),
+            }
+            let d = s.deadlines.get(&0).expect("re-armed");
+            assert!(d.due >= last_due, "deadline went backwards");
+            assert!(d.due <= Instant::now() + Duration::from_millis(2048));
+            last_due = d.due;
+        }
     }
 
     #[test]

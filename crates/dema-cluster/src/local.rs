@@ -26,7 +26,7 @@ use crate::engines::dema::STORE_WINDOW_CAP;
 use crate::engines::retry::END_KEY;
 use crate::ClusterError;
 
-pub use crate::engines::dema::{run_responder, LocalShared};
+pub use crate::engines::dema::{responder_step, run_responder, LocalShared, ResponderStatus};
 
 /// Wall-clock instants at which each `(node, window)` closed — the latency
 /// clock starts here.
@@ -101,6 +101,78 @@ pub fn run_local(
         late_events: 0,
     })?;
     Ok(())
+}
+
+/// Drives one local node one window at a time — the single-step analogue
+/// of [`run_local`] for the deterministic interleaving explorer in
+/// `dema-model`. Each [`LocalStepper::step`] closes the next window
+/// through the engine's local duty with the same per-window sent-cache
+/// semantics as the threaded loop, and a final step sends the `StreamEnd`
+/// marker. No pacing, no close-time stamps: the explorer owns time.
+pub struct LocalStepper<'a> {
+    node: NodeId,
+    windows: std::vec::IntoIter<Vec<Event>>,
+    next_window: u64,
+    duty: Box<dyn engines::LocalEngine + 'a>,
+    shared: &'a LocalShared,
+    done: bool,
+}
+
+impl<'a> LocalStepper<'a> {
+    /// A stepper that will process `windows` in order for `node`.
+    pub fn new(
+        node: NodeId,
+        windows: Vec<Vec<Event>>,
+        engine: EngineKind,
+        shared: &'a LocalShared,
+    ) -> Self {
+        LocalStepper {
+            node,
+            windows: windows.into_iter(),
+            next_window: 0,
+            duty: engines::build_local(engine, shared),
+            shared,
+            done: false,
+        }
+    }
+
+    /// `true` once the `StreamEnd` marker has been sent.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Process the next window, or send `StreamEnd` once windows are
+    /// exhausted. Returns `false` (doing nothing) when already done.
+    pub fn step(&mut self, to_root: &mut dyn MsgSender) -> Result<bool, ClusterError> {
+        if self.done {
+            return Ok(false);
+        }
+        match self.windows.next() {
+            Some(events) => {
+                let window = WindowId(self.next_window);
+                self.next_window += 1;
+                let mut cache = SentCache {
+                    inner: to_root,
+                    shared: self.shared,
+                    key: window.0,
+                };
+                self.duty.on_window(self.node, window, events, &mut cache)?;
+            }
+            None => {
+                let mut cache = SentCache {
+                    inner: to_root,
+                    shared: self.shared,
+                    key: END_KEY,
+                };
+                cache.send(&Message::StreamEnd {
+                    node: self.node,
+                    late_events: 0,
+                })?;
+                self.done = true;
+            }
+        }
+        Ok(true)
+    }
 }
 
 /// Event-time streaming local loop: windows are derived from raw event
@@ -355,6 +427,47 @@ mod tests {
                 assert!(items.len() < 1000, "{} items shipped", items.len());
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stepper_matches_run_local_message_for_message() {
+        let win = |seed: i64| events(&[seed, seed + 2, seed + 1, seed + 3]);
+        let windows = vec![win(10), win(20), win(30)];
+
+        let (mut tx_a, mut rx_a) = link(NetworkCounters::new_shared());
+        let shared_a = LocalShared::new(2);
+        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        run_local(
+            NodeId(3),
+            windows.clone(),
+            dema_engine(),
+            &mut tx_a,
+            &shared_a,
+            &close_times,
+            None,
+        )
+        .unwrap();
+
+        let (mut tx_b, mut rx_b) = link(NetworkCounters::new_shared());
+        let shared_b = LocalShared::new(2);
+        let mut stepper = LocalStepper::new(NodeId(3), windows, dema_engine(), &shared_b);
+        let mut steps = 0;
+        while stepper.step(&mut tx_b).unwrap() {
+            steps += 1;
+        }
+        assert_eq!(steps, 4, "3 windows + StreamEnd");
+        assert!(stepper.is_done());
+        assert!(!stepper.step(&mut tx_b).unwrap(), "done stepper is inert");
+
+        drop(tx_a);
+        drop(tx_b);
+        loop {
+            match (rx_a.recv(), rx_b.recv()) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bytes(), b.to_bytes()),
+                (Err(_), Err(_)) => break,
+                (a, b) => panic!("stream lengths differ: {a:?} vs {b:?}"),
+            }
         }
     }
 

@@ -141,6 +141,15 @@ impl RootNode {
         self.late_events
     }
 
+    /// Locals the engine has declared dead so far (resilient runs), in
+    /// node order. The interleaving explorer reads this to decide whether
+    /// a missing reply was legitimized by a death verdict.
+    pub fn dead_nodes(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.dead.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Process one message from a local node.
     pub fn handle(&mut self, msg: Message) -> Result<(), ClusterError> {
         self.last_progress = Instant::now();

@@ -28,6 +28,17 @@
 //!   severed peer and hangs the run the resilience layer exists to save.
 //!   Use `.recv_timeout(..)` / `.try_recv()`, or tag a deliberate site
 //!   with `// lint: allow(R5): <reason>`.
+//! * **R6** *(spec mode)* — protocol conformance against
+//!   `dema_model::spec`: every wire variant a file's roles can receive
+//!   appears in that file's non-test code (a deleted match arm fails),
+//!   and the file mentions no variant outside its roles'
+//!   `receives ∪ sends` (handling a forbidden tag fails).
+//! * **R7** *(spec mode)* — every spec transition is referenced by a
+//!   test: some file's test code mentions the transition's tag pair
+//!   (trigger and reply together; pseudo-triggers need only the reply).
+//! * **R8** — no stale `// lint: allow(Rn)` tag: a well-formed tag in a
+//!   file the rule scopes that suppresses nothing is an error, so
+//!   justifications cannot outlive the code they excused.
 //!
 //! The analysis is purely lexical over a *masked* view of each source file:
 //! string and comment bytes are blanked (newlines kept) so tokens inside
@@ -36,9 +47,12 @@
 //! keeping with the workspace's vendored-offline setup.
 //!
 //! Known accepted violations live in a baseline file (`RULE|path|token`
-//! lines); the gate fails only on *new* findings. See DESIGN.md §8.
+//! lines); the gate fails only on *new* findings — and on *stale* baseline
+//! entries: a key matching no current finding of the rules that ran must be
+//! deleted, so the baseline can only shrink. See DESIGN.md §8 and §11.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -112,6 +126,9 @@ struct SourceFile {
     test_regions: Vec<(usize, usize)>,
     /// `true` if the whole file is test context by path.
     test_by_path: bool,
+    /// `(0-based tag line, rule)` of allow tags consulted successfully —
+    /// rule R8 flags the well-formed tags that never appear here.
+    used_allows: RefCell<BTreeSet<(usize, String)>>,
 }
 
 impl SourceFile {
@@ -135,6 +152,7 @@ impl SourceFile {
             masked,
             test_regions,
             test_by_path,
+            used_allows: RefCell::new(BTreeSet::new()),
         })
     }
 
@@ -170,6 +188,9 @@ impl SourceFile {
                     if rest.trim_start().starts_with(':')
                         && rest.trim_start()[1..].trim().len() >= 3
                     {
+                        self.used_allows
+                            .borrow_mut()
+                            .insert((candidate, rule.to_string()));
                         return true;
                     }
                 }
@@ -683,9 +704,206 @@ fn check_r4(files: &[SourceFile], violations: &mut Vec<Violation>) {
     }
 }
 
+/// `true` if `rule`'s findings can occur in `file` — i.e. an allow tag for
+/// it there is load-bearing. Tags for out-of-scope rules (doc examples,
+/// message strings) are inert, not stale.
+fn rule_in_scope(rule: &str, file: &SourceFile) -> bool {
+    match rule {
+        "R1" => {
+            !file.test_by_path
+                && R1_CRATES.iter().any(|c| {
+                    file.rel.contains(&format!("crates/{c}/src/"))
+                        || file.rel.starts_with(&format!("{c}/src/"))
+                })
+        }
+        "R2" => R2_FILES.iter().any(|f| file.rel.ends_with(f)),
+        "R5" => {
+            !file.test_by_path
+                && (file.rel.contains("crates/dema-cluster/src/")
+                    || file.rel.starts_with("dema-cluster/src/"))
+        }
+        _ => false,
+    }
+}
+
+/// Well-formed `// lint: allow(Rn): <reason>` tags in raw text, as
+/// `(0-based line, rule)` — the same shape [`SourceFile::allowed`] accepts.
+fn allow_tags(text: &str) -> Vec<(usize, String)> {
+    let mut tags = Vec::new();
+    const NEEDLE: &str = "lint: allow(";
+    for (idx, line) in text.lines().enumerate() {
+        let mut i = 0;
+        while let Some(pos) = line[i..].find(NEEDLE) {
+            let at = i + pos;
+            let rest = &line[at + NEEDLE.len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = &rest[..close];
+            let tail = rest[close + 1..].trim_start();
+            let well_formed = rule.len() >= 2
+                && rule.starts_with('R')
+                && rule[1..].bytes().all(|b| b.is_ascii_digit())
+                && tail.starts_with(':')
+                && tail[1..].trim().len() >= 3;
+            if well_formed {
+                tags.push((idx, rule.to_string()));
+            }
+            i = at + NEEDLE.len() + close;
+        }
+    }
+    tags
+}
+
+/// R8: stale allow tags. Runs after R1/R2/R5 so [`SourceFile::used_allows`]
+/// is populated; every well-formed in-scope tag that suppressed nothing is
+/// a finding — the justification outlived the code it excused.
+fn check_r8(file: &SourceFile, violations: &mut Vec<Violation>) {
+    let used = file.used_allows.borrow();
+    for (line_idx, rule) in allow_tags(&file.text) {
+        if !rule_in_scope(&rule, file) {
+            continue;
+        }
+        if used.contains(&(line_idx, rule.clone())) {
+            continue;
+        }
+        violations.push(Violation {
+            rule: "R8",
+            path: file.rel.clone(),
+            line: line_idx + 1,
+            token: format!("allow({rule})"),
+            message: format!(
+                "stale `// lint: allow({rule})` tag: no {rule} finding on the covered \
+                 lines — remove the tag (or restore the code it excused)"
+            ),
+        });
+    }
+}
+
+/// All `Message::<Variant>` mentions in `file`, split into non-test
+/// (`key = false`) and test-context (`key = true`) sets.
+fn message_mentions(file: &SourceFile) -> [BTreeMap<String, usize>; 2] {
+    let mut out = [BTreeMap::new(), BTreeMap::new()];
+    const NEEDLE: &str = "Message::";
+    let bytes = file.masked.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = file.masked[i..].find(NEEDLE) {
+        let at = i + pos;
+        i = at + NEEDLE.len();
+        // `Message::` must be the full path segment, not `WireMessage::`.
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let start = at + NEEDLE.len();
+        let mut end = start;
+        while end < bytes.len() && is_ident_byte(bytes[end]) {
+            end += 1;
+        }
+        let ident = &file.masked[start..end];
+        if !ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            continue;
+        }
+        let set = usize::from(file.in_test_region(at));
+        let line = file.line_of(at);
+        out[set].entry(ident.to_string()).or_insert(line);
+    }
+    out
+}
+
+/// R6: protocol-spec conformance of each role-hosting file. Every variant
+/// the file's roles can receive must be mentioned in non-test code (a
+/// deleted match arm fails), and no variant outside `receives ∪ sends` of
+/// the hosted roles may appear there (a forbidden handler fails).
+fn check_r6(files: &[SourceFile], violations: &mut Vec<Violation>) {
+    for spec_file in dema_model::spec::spec_files() {
+        let Some(file) = files.iter().find(|f| f.rel.ends_with(spec_file)) else {
+            continue;
+        };
+        let required = dema_model::spec::required_for_file(spec_file);
+        let allowed = dema_model::spec::allowed_for_file(spec_file);
+        let [non_test, _] = message_mentions(file);
+        for req in &required {
+            if !non_test.contains_key(*req) {
+                violations.push(Violation {
+                    rule: "R6",
+                    path: file.rel.clone(),
+                    line: 0,
+                    token: format!("{req}(unhandled)"),
+                    message: format!(
+                        "spec: a role hosted here can receive Message::{req}, but no \
+                         non-test code mentions it — a match arm is missing"
+                    ),
+                });
+            }
+        }
+        for (variant, line) in &non_test {
+            if !allowed.contains(&variant.as_str()) {
+                violations.push(Violation {
+                    rule: "R6",
+                    path: file.rel.clone(),
+                    line: *line,
+                    token: variant.clone(),
+                    message: format!(
+                        "spec: Message::{variant} is outside receives ∪ sends of the \
+                         roles hosted here — forbidden handler or undeclared send"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R7: every spec transition is referenced by a test. A wire-triggered
+/// transition with a reply needs one file whose test code mentions both
+/// the trigger and the reply (the tag pair); a pseudo-triggered one needs
+/// its reply tested; a pure state update needs its trigger tested.
+fn check_r7(files: &[SourceFile], violations: &mut Vec<Violation>) {
+    let test_mentions: Vec<BTreeMap<String, usize>> = files
+        .iter()
+        .map(|f| {
+            let [_, tested] = message_mentions(f);
+            tested
+        })
+        .collect();
+    let covered = |needed: &[&str]| {
+        test_mentions
+            .iter()
+            .any(|set| needed.iter().all(|n| set.contains_key(*n)))
+    };
+    for role in dema_model::spec::SPEC.roles {
+        for tr in role.transitions {
+            let pseudo = dema_model::spec::is_pseudo(tr.on);
+            let needed: Vec<&str> = match (pseudo, tr.reply) {
+                (true, Some(reply)) => vec![reply],
+                (true, None) => continue,
+                (false, Some(reply)) => vec![tr.on, reply],
+                (false, None) => vec![tr.on],
+            };
+            if covered(&needed) {
+                continue;
+            }
+            let pair = match tr.reply {
+                Some(reply) => format!("{}->{reply}", tr.on),
+                None => tr.on.to_string(),
+            };
+            violations.push(Violation {
+                rule: "R7",
+                path: role.file.to_string(),
+                line: 0,
+                token: format!("{}:{pair}", role.name),
+                message: format!(
+                    "spec: transition ({pair}) of role {} has no test mentioning its \
+                     tag pair in one place — the edge is unverified",
+                    role.name
+                ),
+            });
+        }
+    }
+}
+
 /// Parse a baseline file: `RULE|path|token` lines, `#` comments.
 ///
-/// Unknown or stale entries are ignored (they age out naturally).
+/// Stale entries — keys matching no current finding of a rule that ran —
+/// are reported in [`Report::stale_baseline`] and fail the gate: the
+/// baseline may only shrink.
 pub fn parse_baseline(text: &str) -> Vec<String> {
     text.lines()
         .map(str::trim)
@@ -700,14 +918,25 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Findings suppressed by baseline entries.
     pub baselined: usize,
+    /// Baseline entries matching no current finding of a rule that ran —
+    /// the gate fails on these too (the baseline may only shrink).
+    pub stale_baseline: Vec<String>,
     /// Files analyzed.
     pub files_checked: usize,
 }
 
-/// Run all rules over the workspace rooted at `root`.
+/// Run the always-on rules (R1–R5, R8) over the workspace rooted at
+/// `root`. Equivalent to [`check_full`] with `spec: false`.
 ///
 /// `baseline` holds `RULE|path|token` keys of accepted findings.
 pub fn check(root: &Path, baseline: &[String]) -> Report {
+    check_full(root, baseline, false)
+}
+
+/// Run all rules over the workspace rooted at `root`. With `spec: true`
+/// the protocol-conformance rules R6/R7 (backed by `dema_model::spec`)
+/// run as well.
+pub fn check_full(root: &Path, baseline: &[String], spec: bool) -> Report {
     let mut paths = Vec::new();
     walk(&root.join("crates"), &mut paths);
     if paths.is_empty() {
@@ -727,6 +956,29 @@ pub fn check(root: &Path, baseline: &[String]) -> Report {
     }
     check_r3(&files, &mut all);
     check_r4(&files, &mut all);
+    // R8 must run after the allow-consuming rules above.
+    for file in &files {
+        check_r8(file, &mut all);
+    }
+    if spec {
+        check_r6(&files, &mut all);
+        check_r7(&files, &mut all);
+    }
+
+    let rules_run: &[&str] = if spec {
+        &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
+    } else {
+        &["R1", "R2", "R3", "R4", "R5", "R8"]
+    };
+    let all_keys: BTreeSet<String> = all.iter().map(Violation::baseline_key).collect();
+    let stale_baseline: Vec<String> = baseline
+        .iter()
+        .filter(|key| {
+            let rule = key.split('|').next().unwrap_or("");
+            rules_run.contains(&rule) && !all_keys.contains(*key)
+        })
+        .cloned()
+        .collect();
 
     let mut violations = Vec::new();
     let mut baselined = 0;
@@ -743,6 +995,7 @@ pub fn check(root: &Path, baseline: &[String]) -> Report {
     Report {
         violations,
         baselined,
+        stale_baseline,
         files_checked: files.len(),
     }
 }
@@ -831,6 +1084,7 @@ mod tests {
             masked,
             test_regions,
             test_by_path: false,
+            used_allows: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -859,6 +1113,50 @@ mod tests {
             &mut v,
         );
         assert!(v.is_empty(), "test regions are exempt: {v:?}");
+    }
+
+    #[test]
+    fn allow_tag_parsing_requires_rule_and_reason() {
+        let tags = allow_tags(
+            "// lint: allow(R5): shutdown drain\n\
+             // lint: allow(R12)\n\
+             // lint: allow(R3): ok\n\
+             // lint: allow(Rx): not a rule\n",
+        );
+        assert_eq!(
+            tags,
+            vec![(0, "R5".to_string())],
+            "only the tag with a rule number and a ≥3-char reason is well-formed"
+        );
+    }
+
+    #[test]
+    fn r8_flags_used_vs_stale_allow_tags() {
+        // Used tag: R5 consumes it, R8 stays quiet.
+        let file = cluster_file(
+            "fn f(rx: &R) {\n    // lint: allow(R5): shutdown drain, peer joined\n    rx.recv();\n}",
+        );
+        let mut v = Vec::new();
+        check_r5(&file, &mut v);
+        check_r8(&file, &mut v);
+        assert!(v.is_empty(), "consumed tag must not be stale: {v:?}");
+
+        // Stale tag: nothing on the next line needs suppressing.
+        let file = cluster_file(
+            "fn f(rx: &R) {\n    // lint: allow(R5): shutdown drain, peer joined\n    rx.recv_timeout(d).ok();\n}",
+        );
+        let mut v = Vec::new();
+        check_r5(&file, &mut v);
+        check_r8(&file, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].line), ("R8", 2));
+
+        // Out-of-scope rule: R2 never runs on local.rs, so its tag is
+        // advisory, not stale.
+        let file = cluster_file("// lint: allow(R2): narration in docs only\nfn f() {}\n");
+        let mut v = Vec::new();
+        check_r8(&file, &mut v);
+        assert!(v.is_empty(), "out-of-scope tags are exempt: {v:?}");
     }
 
     #[test]

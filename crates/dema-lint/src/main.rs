@@ -1,10 +1,13 @@
 #![forbid(unsafe_code)]
 
-//! Command-line front end: `dema-lint check <root> [--baseline <file>]`.
+//! Command-line front end:
+//! `dema-lint check <root> [--baseline <file>] [--spec]`.
 //!
-//! Exits 0 when no new violations are found, 1 otherwise, 2 on usage
-//! errors. The baseline defaults to `<root>/scripts/lint-baseline.txt` when
-//! present, so `cargo run -p dema-lint -- check .` is the whole gate.
+//! Exits 0 when no new violations are found and no baseline entry is
+//! stale, 1 otherwise, 2 on usage errors. `--spec` additionally runs the
+//! protocol-conformance rules R6/R7 against `dema_model::spec`. The
+//! baseline defaults to `<root>/scripts/lint-baseline.txt` when present,
+//! so `cargo run -p dema-lint -- check .` is the whole gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,8 +28,10 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let mut baseline_path: Option<PathBuf> = None;
+    let mut spec = false;
     while let Some(flag) = iter.next() {
         match flag.as_str() {
+            "--spec" => spec = true,
             "--baseline" => match iter.next() {
                 Some(p) => baseline_path = Some(PathBuf::from(p)),
                 None => {
@@ -47,16 +52,19 @@ fn main() -> ExitCode {
         Err(_) => Vec::new(),
     };
 
-    let report = dema_lint::check(&root, &baseline);
+    let report = dema_lint::check_full(&root, &baseline, spec);
     for v in &report.violations {
         println!("{v}");
+    }
+    for key in &report.stale_baseline {
+        println!("stale baseline entry (no matching finding, delete it): {key}");
     }
     let counts = dema_lint::per_rule_counts(&report.violations);
     let summary: Vec<String> = counts
         .iter()
         .map(|(rule, n)| format!("{rule}: {n}"))
         .collect();
-    if report.violations.is_empty() {
+    if report.violations.is_empty() && report.stale_baseline.is_empty() {
         println!(
             "dema-lint: clean ({} files, {} baselined finding(s))",
             report.files_checked, report.baselined
@@ -64,9 +72,11 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!(
-            "dema-lint: {} new violation(s) [{}] across {} files ({} baselined)",
+            "dema-lint: {} new violation(s) [{}] and {} stale baseline entr(y/ies) \
+             across {} files ({} baselined)",
             report.violations.len(),
             summary.join(", "),
+            report.stale_baseline.len(),
             report.files_checked,
             report.baselined
         );

@@ -1,0 +1,16 @@
+//! Fixture: R6 violations — a deleted match arm and a forbidden handler.
+//! The spec requires this file to mention `CandidateReply` (omitted here:
+//! the deleted arm) and forbids `EventBatch` (handled here anyway).
+
+/// Handles one message.
+pub fn handle(msg: Message) {
+    match msg {
+        Message::SynopsisBatch { .. } => {}
+        Message::CandidateRequest { .. } => {}
+        Message::CandidateRetry { .. } => {}
+        Message::ResendWindow { .. } => {}
+        Message::GammaUpdate { .. } => {}
+        Message::EventBatch { .. } => {}
+        _ => {}
+    }
+}

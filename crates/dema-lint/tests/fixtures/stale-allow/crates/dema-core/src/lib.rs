@@ -1,0 +1,7 @@
+//! Fixture: R8 violation — an allow tag whose finding was since fixed.
+
+/// Returns the first element, or zero.
+pub fn first(v: &[u64]) -> u64 {
+    // lint: allow(R1): buffer is non-empty by construction at every call site
+    v.first().copied().unwrap_or(0)
+}

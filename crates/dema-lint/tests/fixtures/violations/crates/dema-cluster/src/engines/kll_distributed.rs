@@ -1,0 +1,6 @@
+//! Fixture: R2 violation — a lossy cast in sketch weight arithmetic.
+
+/// Truncates a weight (the violation).
+pub fn weight(x: f64) -> u64 {
+    x as u64
+}

@@ -1,0 +1,14 @@
+//! Fixture: R1 + R5 violations — a panicking expiry path, an unbounded wait.
+
+/// Panics on an impossible attempt count (the R1 violation).
+pub fn backoff(attempt: u32) -> u64 {
+    if attempt > 64 {
+        panic!("attempt overflow");
+    }
+    1 << attempt
+}
+
+/// Blocks forever waiting for an expiry (the R5 violation).
+pub fn wait_expiry(rx: &std::sync::mpsc::Receiver<u64>) -> Option<u64> {
+    rx.recv().ok()
+}

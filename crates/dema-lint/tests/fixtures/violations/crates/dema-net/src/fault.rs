@@ -1,0 +1,6 @@
+//! Fixture: R1 violation — an untagged `.unwrap()` in fault-injection code.
+
+/// Picks the next fault delay.
+pub fn next_delay(v: &[u64]) -> u64 {
+    *v.last().unwrap()
+}

@@ -17,3 +17,8 @@ mod tests {
         let _ = Message::Synopsis;
     }
 }
+
+/// Decodes the first tag byte (the R1 violation: untagged unwrap).
+pub fn first_tag(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}

@@ -1,6 +1,7 @@
 //! End-to-end checks of the `dema-lint` binary over the fixture trees:
-//! one violation per rule on the `violations` tree, exit 0 on the `clean`
-//! tree (allow-tags honoured), and baseline suppression.
+//! per-rule diagnostics on the `violations` tree, exit 0 on the `clean`
+//! tree (allow-tags honoured), baseline suppression, stale allow-tags
+//! (R8), stale baseline entries, and `--spec` conformance (R6).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -30,14 +31,30 @@ fn run_lint(root: &Path, extra: &[&str]) -> (i32, String) {
 fn violations_tree_fails_with_file_line_diagnostics() {
     let (code, stdout) = run_lint(&fixture("violations"), &[]);
     assert_eq!(code, 1, "expected failure exit, got {code}\n{stdout}");
-    // One violation per rule, each with a file:line anchor.
+    // Every violation carries a file:line anchor.
     assert!(
         stdout.contains("crates/dema-core/src/lib.rs:5: R1:"),
-        "missing R1 diagnostic\n{stdout}"
+        "missing R1 diagnostic (lib.rs)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-net/src/fault.rs:5: R1:"),
+        "missing R1 diagnostic (fault.rs)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-cluster/src/engines/retry.rs:6: R1:"),
+        "missing R1 diagnostic (retry.rs panic)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-wire/src/message.rs:23: R1:"),
+        "missing R1 diagnostic (message.rs)\n{stdout}"
     );
     assert!(
         stdout.contains("crates/dema-core/src/gamma.rs:5: R2:"),
-        "missing R2 diagnostic\n{stdout}"
+        "missing R2 diagnostic (gamma.rs)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-cluster/src/engines/kll_distributed.rs:5: R2:"),
+        "missing R2 diagnostic (kll_distributed.rs)\n{stdout}"
     );
     assert!(
         stdout.contains("R3: DemaError::EmptyWindow is never matched in any test"),
@@ -49,11 +66,19 @@ fn violations_tree_fails_with_file_line_diagnostics() {
     );
     assert!(
         stdout.contains("crates/dema-cluster/src/local.rs:5: R5:"),
-        "missing R5 diagnostic\n{stdout}"
+        "missing R5 diagnostic (local.rs)\n{stdout}"
     );
     assert!(
-        stdout.contains("5 new violation(s) [R1: 1, R2: 1, R3: 1, R4: 1, R5: 1]"),
-        "summary should count one violation per rule\n{stdout}"
+        stdout.contains("crates/dema-cluster/src/engines/retry.rs:13: R5:"),
+        "missing R5 diagnostic (retry.rs recv)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-cluster/src/relay.rs:5: R5:"),
+        "missing R5 diagnostic (relay.rs)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("11 new violation(s) [R1: 4, R2: 2, R3: 1, R4: 1, R5: 3]"),
+        "summary should count violations per rule\n{stdout}"
     );
 }
 
@@ -72,7 +97,69 @@ fn baseline_suppresses_accepted_findings() {
         &["--baseline", baseline.to_str().expect("utf-8 path")],
     );
     assert_eq!(code, 0, "baselined tree must pass\n{stdout}");
-    assert!(stdout.contains("5 baselined finding(s)"), "{stdout}");
+    assert!(stdout.contains("11 baselined finding(s)"), "{stdout}");
+}
+
+/// Satellite: a baseline entry that no longer matches any finding is an
+/// error on its own — the baseline may only ever shrink.
+#[test]
+fn stale_baseline_entry_fails_even_when_all_findings_are_suppressed() {
+    let baseline = fixture("violations-stale-baseline.txt");
+    let (code, stdout) = run_lint(
+        &fixture("violations"),
+        &["--baseline", baseline.to_str().expect("utf-8 path")],
+    );
+    assert_eq!(code, 1, "stale entry must fail the gate\n{stdout}");
+    assert!(
+        stdout.contains("stale baseline entry"),
+        "missing stale-baseline diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("R1|crates/dema-core/src/phantom.rs|.unwrap()"),
+        "stale diagnostic must name the dead key\n{stdout}"
+    );
+}
+
+/// Satellite: a well-formed `// lint: allow(Rn)` tag that no longer
+/// suppresses anything is itself an R8 violation.
+#[test]
+fn stale_allow_tag_is_an_r8_violation() {
+    let (code, stdout) = run_lint(&fixture("stale-allow"), &[]);
+    assert_eq!(code, 1, "stale allow tag must fail\n{stdout}");
+    assert!(
+        stdout.contains("crates/dema-core/src/lib.rs:5: R8:"),
+        "missing R8 diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("allow(R1)"),
+        "R8 diagnostic must name the dead tag\n{stdout}"
+    );
+}
+
+/// Acceptance: deleting a match arm the spec requires (here
+/// `CandidateReply` in the Dema root file) is caught by R6, as is
+/// handling a variant the spec forbids for that file (`EventBatch`).
+#[test]
+fn spec_mode_catches_deleted_and_forbidden_match_arms() {
+    let (code, stdout) = run_lint(&fixture("spec-violations"), &["--spec"]);
+    assert_eq!(code, 1, "spec violations must fail\n{stdout}");
+    assert!(
+        stdout.contains("R6:") && stdout.contains("CandidateReply"),
+        "missing R6 unhandled-variant diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("Message::EventBatch"),
+        "missing R6 forbidden-variant diagnostic\n{stdout}"
+    );
+}
+
+/// Without `--spec` the same tree is clean: R6/R7 only run on request, so
+/// fixture trees (and downstream forks without the spec) are unaffected.
+#[test]
+fn spec_rules_are_opt_in() {
+    let (code, stdout) = run_lint(&fixture("spec-violations"), &[]);
+    assert_eq!(code, 0, "R6/R7 must not run without --spec\n{stdout}");
+    assert!(stdout.contains("dema-lint: clean"), "{stdout}");
 }
 
 #[test]

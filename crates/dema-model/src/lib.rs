@@ -1,0 +1,34 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+//! # dema-model
+//!
+//! Protocol conformance tooling for the Dema cluster: a **declarative
+//! specification** of the wire protocol (one state machine per role, over
+//! `dema-wire` message tags) plus a **bounded interleaving explorer** that
+//! runs the real engines under a deterministic scheduler and checks every
+//! explored delivery order against the spec.
+//!
+//! * [`spec`] — the specification tables: roles, states, legal
+//!   transitions, reply obligations. Pure data (zero dependencies), so
+//!   `dema-lint` consumes it for the static conformance rules R6/R7 and
+//!   this crate interprets it dynamically.
+//! * [`explore`] *(feature `explore`, on by default)* — stateless model
+//!   checking over the mem transport: enumerate message-delivery orders
+//!   up to a schedule budget, with state-fingerprint pruning keyed on
+//!   per-link FIFO independence (a DPOR-lite reduction), fault injection
+//!   as schedule choices, and per-path assertions: invariant audits, no
+//!   deadlock, spec-transition legality, reply obligations, and
+//!   exact-engine results identical to the canonical schedule.
+//!
+//! The split mirrors the paper's correctness argument: §4's rank bounds
+//! assume synopses and candidates actually arrive and are handled — this
+//! crate checks the "actually arrive and are handled" half.
+
+pub mod spec;
+
+#[cfg(feature = "explore")]
+pub mod explore;
+
+pub use spec::{role, Condition, Obligation, ProtocolSpec, RoleSpec, Transition, SPEC};

@@ -1,0 +1,112 @@
+//! Explorer end-to-end checks: schedule enumeration on a real 1-root /
+//! 2-local Dema topology, the DPOR-lite reduction, fault schedules under
+//! resilience, and the deliberately-broken responder being caught.
+//!
+//! `MODEL_BUDGET` (env) overrides the smoke schedule budget; check.sh
+//! runs the default, CI or a curious reader can raise it.
+
+use dema_cluster::config::{EngineKind, Resilience};
+use dema_model::explore::{explore, ExploreConfig, Mutation};
+
+fn budget() -> usize {
+    std::env::var("MODEL_BUDGET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1200)
+}
+
+/// Acceptance: ≥ 1000 distinct fully-checked schedules on a 1-root /
+/// 2-local Dema topology, zero violations of any kind. Dedup is off, so
+/// every counted schedule is a genuinely distinct delivery order that ran
+/// end to end.
+#[test]
+fn smoke_enumerates_thousand_clean_schedules() {
+    let budget = budget();
+    let cfg = ExploreConfig::smoke(2, 2, 3, budget).unwrap();
+    let report = explore(&cfg).unwrap();
+    assert!(
+        report.schedules >= budget.min(1000),
+        "expected ≥ {} schedules, explored {} (exhausted: {})",
+        budget.min(1000),
+        report.schedules,
+        report.exhausted
+    );
+    assert!(report.clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.pruned, 0, "dedup off must not prune");
+    assert_eq!(report.stuck_faulty, 0, "no drops were allowed");
+    assert!(report.deepest > 0);
+}
+
+/// The fingerprint reduction prunes interleavings that only commute
+/// independent per-link deliveries, without changing the verdict.
+#[test]
+fn dedup_prunes_equivalent_interleavings() {
+    let mut cfg = ExploreConfig::smoke(2, 1, 3, 400).unwrap();
+    cfg.dedup = true;
+    let report = explore(&cfg).unwrap();
+    assert!(
+        report.pruned > 0,
+        "two independent uplinks must yield commuting deliveries to prune"
+    );
+    assert!(report.distinct_states > 0);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+}
+
+/// Engines without a control plane explore cleanly through the same
+/// harness (the registry's roles pick their spec machines).
+#[test]
+fn centralized_engine_explores_clean() {
+    let mut cfg = ExploreConfig::smoke(2, 2, 3, 200).unwrap();
+    cfg.engine = EngineKind::Centralized;
+    let report = explore(&cfg).unwrap();
+    assert!(report.schedules > 0);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+}
+
+fn tiny_resilience() -> Resilience {
+    Resilience {
+        request_timeout_ms: 5,
+        max_retries: 2,
+        liveness_k: 2,
+        seed: 7,
+    }
+}
+
+/// Faulty schedules under resilience: every drop choice must still end
+/// with the root finished (replays or death verdicts), with no spec or
+/// obligation violations.
+#[test]
+fn resilient_fault_schedules_terminate_clean() {
+    let mut cfg = ExploreConfig::smoke(1, 1, 3, 25).unwrap();
+    cfg.drop_budget = 1;
+    cfg.resilience = Some(tiny_resilience());
+    let report = explore(&cfg).unwrap();
+    assert!(report.schedules > 0);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+    assert_eq!(
+        report.stuck_faulty, 0,
+        "resilient faulty paths must finish, not wedge"
+    );
+}
+
+/// Acceptance: a responder that skips its `ResendWindow` reply obligation
+/// is caught. The mutation leaves every other transition intact, so the
+/// only way to flag it is the spec's obligation check firing on the
+/// schedule branch that drops the synopsis and delivers the NACK.
+#[test]
+fn skipped_resend_reply_is_caught_by_obligation_check() {
+    let mut cfg = ExploreConfig::smoke(1, 1, 3, 25).unwrap();
+    cfg.drop_budget = 1;
+    cfg.resilience = Some(tiny_resilience());
+    cfg.mutation = Mutation::SkipResendReply;
+    let report = explore(&cfg).unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.contains("obligation violated") && v.contains("ResendWindow")),
+        "the skipped ResendWindow reply must surface as an obligation \
+         violation; got: {:?}",
+        report.violations
+    );
+}

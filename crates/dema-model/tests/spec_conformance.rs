@@ -1,0 +1,135 @@
+//! The spec tables must stay consistent with the wire format and the
+//! engine registry, and the responder must honor the reply transitions
+//! the spec declares — driven here against the real `responder_step`.
+
+use dema_cluster::config::{EngineKind, GammaMode};
+use dema_cluster::engines::REGISTRY;
+use dema_cluster::local::{responder_step, LocalShared, LocalStepper};
+use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::selector::SelectionStrategy;
+use dema_metrics::NetworkCounters;
+use dema_model::spec;
+use dema_net::step::{step_link, StepQueue, StepSender};
+use dema_wire::{tag_by_name, Message};
+
+#[test]
+fn every_spec_message_name_resolves_in_wire_tags() {
+    for role in spec::SPEC.roles {
+        for name in role.receives.iter().chain(role.sends.iter()) {
+            assert!(
+                tag_by_name(name).is_some(),
+                "role {} lists {name}, which is not a dema-wire tag",
+                role.name
+            );
+        }
+        for tr in role.transitions {
+            assert!(
+                spec::is_pseudo(tr.on) || tag_by_name(tr.on).is_some(),
+                "role {}: transition trigger {} is neither a pseudo-event nor a tag",
+                role.name,
+                tr.on
+            );
+            if let Some(reply) = tr.reply {
+                assert!(
+                    tag_by_name(reply).is_some(),
+                    "role {}: reply {reply} is not a dema-wire tag",
+                    role.name
+                );
+            }
+            if let Some(ob) = &tr.obligation {
+                for reply in ob.replies {
+                    assert!(
+                        tag_by_name(reply).is_some(),
+                        "role {}: obligation reply {reply} is not a dema-wire tag",
+                        role.name
+                    );
+                }
+            }
+            assert!(
+                role.states.contains(&tr.from) && role.states.contains(&tr.to),
+                "role {}: transition {} -> {} uses undeclared states",
+                role.name,
+                tr.from,
+                tr.to
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registry_role_resolves_in_spec() {
+    for desc in &REGISTRY {
+        for name in desc.roles {
+            assert!(
+                spec::role(name).is_some(),
+                "engine {} declares role {name}, which the protocol spec does not define",
+                desc.label
+            );
+        }
+    }
+}
+
+/// A resilient local that has processed one window, plus its uplink.
+fn one_window_local() -> (std::sync::Arc<LocalShared>, StepSender, StepQueue, Message) {
+    let shared = LocalShared::resilient(2);
+    let (mut tx, q) = step_link(NetworkCounters::new_shared());
+    let events = vec![vec![
+        Event::new(5, 0, 1),
+        Event::new(1, 1, 2),
+        Event::new(9, 2, 3),
+        Event::new(3, 3, 4),
+    ]];
+    let engine = EngineKind::Dema {
+        gamma: GammaMode::Fixed(2),
+        strategy: SelectionStrategy::WindowCut,
+    };
+    let stepper_shared = std::sync::Arc::clone(&shared);
+    let mut stepper = LocalStepper::new(NodeId(0), events, engine, &stepper_shared);
+    stepper.step(&mut tx).unwrap();
+    drop(stepper);
+    let synopsis = q.pop().unwrap();
+    assert_eq!(synopsis.variant_name(), "SynopsisBatch");
+    (shared, tx, q, synopsis)
+}
+
+/// Spec transition (`CandidateRetry` → `CandidateReply`): a retry NACK
+/// against a stored window must be answered from the slice store.
+#[test]
+fn responder_answers_candidate_retry_with_candidate_reply() {
+    let (shared, mut tx, q, _synopsis) = one_window_local();
+    let retry = Message::CandidateRetry {
+        window: WindowId(0),
+        slices: vec![0],
+        attempt: 1,
+    };
+    responder_step(NodeId(0), retry, &mut tx, &shared).unwrap();
+    let reply = q.pop().expect("retry must be answered");
+    assert!(
+        matches!(
+            reply,
+            Message::CandidateReply { window, .. } if window == WindowId(0)
+        ),
+        "expected CandidateReply for window 0, got {reply:?}"
+    );
+}
+
+/// Spec transition (`ResendWindow` → `SynopsisBatch`): a resend NACK for
+/// a cached window must replay the exact uplink message.
+#[test]
+fn responder_replays_synopsis_batch_on_resend_window() {
+    let (shared, mut tx, q, synopsis) = one_window_local();
+    let nack = Message::ResendWindow {
+        window: WindowId(0),
+        attempt: 1,
+    };
+    responder_step(NodeId(0), nack, &mut tx, &shared).unwrap();
+    let replay = q
+        .pop()
+        .expect("resend must be answered from the sent cache");
+    assert!(matches!(replay, Message::SynopsisBatch { .. }));
+    assert_eq!(
+        replay.to_bytes(),
+        synopsis.to_bytes(),
+        "replay must be byte-identical to the original synopsis"
+    );
+}

@@ -24,6 +24,7 @@
 
 pub mod fault;
 pub mod mem;
+pub mod step;
 pub mod tcp;
 
 pub use mem::link;

@@ -29,5 +29,5 @@ pub mod message;
 pub mod pool;
 
 pub use frame::{read_frame, write_frame};
-pub use message::{Message, WireError};
+pub use message::{tag_by_name, tag_info, Message, TagInfo, WireError, TAGS};
 pub use pool::BufferPool;

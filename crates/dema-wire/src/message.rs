@@ -175,7 +175,110 @@ pub enum Message {
     },
 }
 
+/// Static metadata for one wire tag: the on-wire tag byte and the
+/// [`Message`] variant name it decodes to. Consumed by the protocol
+/// specification in `dema-model` and the spec-conformance lint rules, so
+/// both always agree with the codec about which tags exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagInfo {
+    /// The one-byte tag that starts every encoded message of this variant.
+    pub tag: u8,
+    /// The `Message` variant name, e.g. `"SynopsisBatch"`.
+    pub name: &'static str,
+}
+
+/// Every wire tag, ascending by tag byte. One entry per [`Message`]
+/// variant; `tags_cover_every_variant` in the test module pins the
+/// correspondence.
+pub const TAGS: [TagInfo; 12] = [
+    TagInfo {
+        tag: TAG_SYNOPSIS_BATCH,
+        name: "SynopsisBatch",
+    },
+    TagInfo {
+        tag: TAG_CANDIDATE_REQUEST,
+        name: "CandidateRequest",
+    },
+    TagInfo {
+        tag: TAG_CANDIDATE_REPLY,
+        name: "CandidateReply",
+    },
+    TagInfo {
+        tag: TAG_EVENT_BATCH,
+        name: "EventBatch",
+    },
+    TagInfo {
+        tag: TAG_DIGEST_BATCH,
+        name: "DigestBatch",
+    },
+    TagInfo {
+        tag: TAG_GAMMA_UPDATE,
+        name: "GammaUpdate",
+    },
+    TagInfo {
+        tag: TAG_WINDOW_RESULT,
+        name: "WindowResult",
+    },
+    TagInfo {
+        tag: TAG_STREAM_END,
+        name: "StreamEnd",
+    },
+    TagInfo {
+        tag: TAG_SKETCH_BATCH,
+        name: "SketchBatch",
+    },
+    TagInfo {
+        tag: TAG_ROUTED,
+        name: "Routed",
+    },
+    TagInfo {
+        tag: TAG_RESEND_WINDOW,
+        name: "ResendWindow",
+    },
+    TagInfo {
+        tag: TAG_CANDIDATE_RETRY,
+        name: "CandidateRetry",
+    },
+];
+
+/// Look up the metadata for a wire tag byte, if one is defined.
+pub fn tag_info(tag: u8) -> Option<TagInfo> {
+    TAGS.iter().copied().find(|t| t.tag == tag)
+}
+
+/// Look up the metadata for a [`Message`] variant name, if one is defined.
+pub fn tag_by_name(name: &str) -> Option<TagInfo> {
+    TAGS.iter().copied().find(|t| t.name == name)
+}
+
 impl Message {
+    /// The wire tag byte this message encodes with — always the first byte
+    /// of [`Message::encode`] output.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::SynopsisBatch { .. } => TAG_SYNOPSIS_BATCH,
+            Message::CandidateRequest { .. } => TAG_CANDIDATE_REQUEST,
+            Message::CandidateReply { .. } => TAG_CANDIDATE_REPLY,
+            Message::EventBatch { .. } => TAG_EVENT_BATCH,
+            Message::DigestBatch { .. } => TAG_DIGEST_BATCH,
+            Message::GammaUpdate { .. } => TAG_GAMMA_UPDATE,
+            Message::WindowResult { .. } => TAG_WINDOW_RESULT,
+            Message::StreamEnd { .. } => TAG_STREAM_END,
+            Message::SketchBatch { .. } => TAG_SKETCH_BATCH,
+            Message::Routed { .. } => TAG_ROUTED,
+            Message::ResendWindow { .. } => TAG_RESEND_WINDOW,
+            Message::CandidateRetry { .. } => TAG_CANDIDATE_RETRY,
+        }
+    }
+
+    /// The variant name as recorded in [`TAGS`], e.g. `"SynopsisBatch"`.
+    pub fn variant_name(&self) -> &'static str {
+        match tag_info(self.tag()) {
+            Some(t) => t.name,
+            None => "<unknown>",
+        }
+    }
+
     /// Encode into `buf`. The encoding is deterministic; `encoded_len`
     /// predicts the exact size.
     pub fn encode(&self, buf: &mut BytesMut) {
@@ -650,6 +753,105 @@ mod tests {
 
     fn sample_run(n: u64) -> SharedRun {
         SharedRun::from_vec(sample_events(n))
+    }
+
+    /// One instance of every `Message` variant, in `TAGS` order.
+    fn sample_of_every_variant() -> Vec<Message> {
+        vec![
+            Message::SynopsisBatch {
+                node: NodeId(1),
+                window: WindowId(2),
+                synopses: vec![],
+            },
+            Message::CandidateRequest {
+                window: WindowId(2),
+                slices: vec![0],
+            },
+            Message::CandidateReply {
+                node: NodeId(1),
+                window: WindowId(2),
+                slices: vec![(0, sample_run(2))],
+            },
+            Message::EventBatch {
+                node: NodeId(1),
+                window: WindowId(2),
+                sorted: false,
+                events: sample_events(2),
+            },
+            Message::DigestBatch {
+                node: NodeId(1),
+                window: WindowId(2),
+                count: 2,
+                compression: 100.0,
+                centroids: vec![],
+            },
+            Message::GammaUpdate { gamma: 8 },
+            Message::WindowResult {
+                window: WindowId(2),
+                value: 7,
+                total_events: 2,
+            },
+            Message::StreamEnd {
+                node: NodeId(1),
+                late_events: 0,
+            },
+            Message::SketchBatch {
+                node: NodeId(1),
+                window: WindowId(2),
+                count: 2,
+                min: 0.0,
+                max: 1.0,
+                items: vec![(0.5, 2)],
+            },
+            Message::Routed {
+                dest: NodeId(1),
+                inner: Box::new(Message::GammaUpdate { gamma: 8 }),
+            },
+            Message::ResendWindow {
+                window: WindowId(2),
+                attempt: 1,
+            },
+            Message::CandidateRetry {
+                window: WindowId(2),
+                slices: vec![0],
+                attempt: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn tags_cover_every_variant() {
+        let samples = sample_of_every_variant();
+        assert_eq!(samples.len(), TAGS.len(), "one sample per TAGS entry");
+        for (sample, info) in samples.iter().zip(TAGS.iter()) {
+            assert_eq!(sample.tag(), info.tag, "TAGS order for {}", info.name);
+            assert_eq!(sample.variant_name(), info.name);
+            // The tag byte is the first byte on the wire.
+            assert_eq!(sample.to_bytes()[0], info.tag, "{}", info.name);
+            // The debug name of the variant matches the TAGS name.
+            let debug = format!("{sample:?}");
+            assert!(
+                debug.starts_with(info.name),
+                "{debug} should start with {}",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn tag_lookup_is_consistent() {
+        for info in TAGS {
+            assert_eq!(tag_info(info.tag), Some(info));
+            assert_eq!(tag_by_name(info.name), Some(info));
+        }
+        assert_eq!(tag_info(0), None);
+        assert_eq!(tag_info(200), None);
+        assert_eq!(tag_by_name("NoSuchVariant"), None);
+        // Tag bytes and names are unique.
+        let mut tags: Vec<u8> = TAGS.iter().map(|t| t.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), TAGS.len());
     }
 
     #[test]

@@ -14,11 +14,20 @@
 #                      CHAOS_SEED values (strict invariants on): recovery
 #                      must stay bit-exact and degradation deterministic
 #                      for every seed, not just the default
-#   dema-lint        — repo-specific static analysis: R1 no panics in
+#   dema-lint --spec — repo-specific static analysis: R1 no panics in
 #                      library code, R2 no lossy `as` casts in rank/gamma
 #                      arithmetic, R3/R4 error & wire variants exercised,
-#                      R5 no unbounded receives in cluster code
-#                      (baseline: scripts/lint-baseline.txt)
+#                      R5 no unbounded receives in cluster code, R6/R7
+#                      protocol-spec conformance (handled variants match
+#                      the dema-model role spec; every transition has a
+#                      test), R8 no stale allow-tags. Stale baseline
+#                      entries fail too (baseline only shrinks;
+#                      scripts/lint-baseline.txt)
+#   model explorer   — bounded interleaving exploration of the real
+#                      engines (dema-model): every schedule up to the
+#                      budget must finish deadlock-free, spec-legal, with
+#                      obligations met and bit-identical exact results.
+#                      MODEL_BUDGET (default 1200) scales the smoke run.
 #   bench --no-run   — criterion benches must keep compiling
 #   clippy           — deny the two lints that reintroduce hot-path copies:
 #                      redundant_clone (event buffers must be shared, not
@@ -40,7 +49,8 @@ CHAOS_SEEDS="${CHAOS_SEEDS:-1 2 3}"
 for seed in $CHAOS_SEEDS; do
     CHAOS_SEED="$seed" cargo test -q -p dema-cluster --features strict --test chaos
 done
-cargo run -q -p dema-lint -- check .
+cargo run -q -p dema-lint -- check . --spec
+MODEL_BUDGET="${MODEL_BUDGET:-1200}" cargo test -q -p dema-model --test explore
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- \
     -D clippy::redundant_clone \
