@@ -789,6 +789,8 @@ fn sustainable(scale: Scale, sink: &CsvSink) {
                 extra_quantiles: Vec::new(),
                 resilience: None,
                 faults: Vec::new(),
+                threads: None,
+                pipeline_depth: dema_cluster::root::PIPELINE_DEPTH,
             };
             let report = run_cluster(&config, inputs).expect("probe run");
             // Sustained iff the run kept up with the schedule (small slack

@@ -75,6 +75,8 @@ pub fn measure_with(
         extra_quantiles: Vec::new(),
         resilience: None,
         faults: Vec::new(),
+        threads: None,
+        pipeline_depth: dema_cluster::root::PIPELINE_DEPTH,
     };
     let report = run_cluster(&config, inputs.to_vec()).expect("cluster run failed");
     summarize(label, &report)
@@ -98,6 +100,8 @@ pub fn measure_paced(
         extra_quantiles: Vec::new(),
         resilience: None,
         faults: Vec::new(),
+        threads: None,
+        pipeline_depth: dema_cluster::root::PIPELINE_DEPTH,
     };
     let report = run_cluster(&config, inputs.to_vec()).expect("cluster run failed");
     summarize(label, &report)

@@ -205,6 +205,17 @@ pub struct ClusterConfig {
     pub resilience: Option<Resilience>,
     /// Per-node fault injection plans (chaos testing). Empty for clean runs.
     pub faults: Vec<NodeFaults>,
+    /// Thread budget for the per-window local sort (`dema_core::par`).
+    /// `None` resolves [`dema_core::par::default_threads`] (the
+    /// `DEMA_THREADS` override or a capped hardware default). The sorted
+    /// output — and therefore every byte on the wire — is identical at
+    /// every value; this only changes wall-clock.
+    pub threads: Option<usize>,
+    /// Max windows the root admits into its identification/calculation
+    /// stage at once (clamped to ≥ 1; engines without a window pipeline
+    /// ignore it). Deeper pipelines overlap root work across windows
+    /// without changing any per-window result or traffic counter.
+    pub pipeline_depth: usize,
 }
 
 impl ClusterConfig {
@@ -223,6 +234,8 @@ impl ClusterConfig {
             extra_quantiles: Vec::new(),
             resilience: None,
             faults: Vec::new(),
+            threads: None,
+            pipeline_depth: crate::engines::dema::PIPELINE_DEPTH,
         }
     }
 
@@ -237,6 +250,8 @@ impl ClusterConfig {
             extra_quantiles: Vec::new(),
             resilience: None,
             faults: Vec::new(),
+            threads: None,
+            pipeline_depth: crate::engines::dema::PIPELINE_DEPTH,
         }
     }
 }

@@ -142,7 +142,17 @@ impl RootEngine for DecSortRoot {
 }
 
 /// Local half: sort, then ship the sorted run.
-pub struct DecSortLocal;
+pub struct DecSortLocal {
+    /// Thread budget for the window sort (`dema_core::par`).
+    threads: usize,
+}
+
+impl DecSortLocal {
+    /// Build the local half with an explicit sort-thread budget.
+    pub fn new(threads: usize) -> DecSortLocal {
+        DecSortLocal { threads }
+    }
+}
 
 impl LocalEngine for DecSortLocal {
     fn on_window(
@@ -152,7 +162,7 @@ impl LocalEngine for DecSortLocal {
         mut events: Vec<Event>,
         to_root: &mut dyn MsgSender,
     ) -> Result<(), ClusterError> {
-        events.sort_unstable();
+        dema_core::par::sort_events_with(&mut events, self.threads);
         to_root.send(&Message::EventBatch {
             node,
             window,

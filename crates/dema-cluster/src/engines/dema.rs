@@ -14,7 +14,8 @@
 //! while earlier windows sit in stage 2, so the root's CPU work for `w+1`
 //! overlaps the network round trip of `w`. Stage 2 (*identify & resolve*)
 //! runs the window-cut, fires candidate requests, and awaits the replies;
-//! at most [`PIPELINE_DEPTH`] windows hold a stage-2 slot at once, bounding
+//! at most the configured pipeline depth (default [`PIPELINE_DEPTH`])
+//! windows hold a stage-2 slot at once, bounding
 //! outstanding request fan-out and candidate-run memory no matter how far
 //! the locals run ahead. The window-cut itself stays the pure,
 //! single-threaded algorithm in `dema-core` — the pipeline only schedules
@@ -58,12 +59,16 @@ use crate::config::GammaMode;
 use crate::report::Degraded;
 use crate::ClusterError;
 
-/// Max Dema windows allowed in stage 2 (candidate requests outstanding) at
-/// once. Two slots let the next window's requests go out the moment the
-/// current one resolves while later windows keep ingesting; deeper
-/// pipelines only add memory, not throughput, because the root's stage-2
-/// work per window is tiny compared to the reply round trip.
-pub const PIPELINE_DEPTH: usize = 2;
+/// Default max Dema windows allowed in stage 2 (candidate requests
+/// outstanding) at once; [`RootParams::pipeline_depth`] overrides it per
+/// run. Four slots keep the root's identify/merge work for windows
+/// `w+1..w+4` overlapped with the reply round trip of `w` — on fast-paced
+/// locals the round trip, not the root CPU, is the bottleneck, and two
+/// slots left the root idle between reply bursts. Memory stays bounded:
+/// each slot holds only the candidate runs of one window, and the
+/// supervisor's per-window deadlines are keyed by window id, so deeper
+/// pipelines change no retry semantics.
+pub const PIPELINE_DEPTH: usize = 4;
 
 /// Most windows a local node keeps in its slice store awaiting candidate
 /// requests. Windows resolve within a round trip; this bound only guards
@@ -88,28 +93,33 @@ pub struct LocalShared {
     /// NACKs; the stream-end message lives under [`END_KEY`]'s slot.
     /// Populated only when `retain_sent` is set.
     pub sent: Mutex<HashMap<u64, Message>>,
+    /// Thread budget for the per-window sort (`dema_core::par`); output is
+    /// bit-identical at every value, only wall-clock changes.
+    pub threads: usize,
 }
 
 impl LocalShared {
     /// Fresh shared state starting at `gamma` (seed protocol: served
-    /// windows are evicted, nothing is cached for resend).
+    /// windows are evicted, nothing is cached for resend). Sort threads
+    /// default from the `DEMA_THREADS` environment.
     pub fn new(gamma: u64) -> Arc<LocalShared> {
-        Arc::new(LocalShared {
-            gamma: AtomicU64::new(gamma),
-            store: Mutex::new(HashMap::new()),
-            retain_sent: false,
-            sent: Mutex::new(HashMap::new()),
-        })
+        LocalShared::configured(gamma, false, dema_core::par::default_threads())
     }
 
     /// Shared state for a resilient run: the store retains served windows
     /// and the uplink messages are cached for `ResendWindow` NACKs.
     pub fn resilient(gamma: u64) -> Arc<LocalShared> {
+        LocalShared::configured(gamma, true, dema_core::par::default_threads())
+    }
+
+    /// Fully explicit constructor: resilience mode and sort-thread budget.
+    pub fn configured(gamma: u64, resilient: bool, threads: usize) -> Arc<LocalShared> {
         Arc::new(LocalShared {
             gamma: AtomicU64::new(gamma),
             store: Mutex::new(HashMap::new()),
-            retain_sent: true,
+            retain_sent: resilient,
             sent: Mutex::new(HashMap::new()),
+            threads: threads.max(1),
         })
     }
 }
@@ -179,6 +189,9 @@ pub struct DemaRoot {
     states: BTreeMap<u64, WindowState>,
     gamma: GammaPolicy,
     control: Vec<Box<dyn MsgSender>>,
+    /// Max windows admitted into stage 2 at once (configured pipeline
+    /// depth, default [`PIPELINE_DEPTH`]).
+    depth: usize,
     /// Windows currently in stage 2 (requests sent, replies pending).
     in_flight: usize,
     /// Stage-1-complete windows waiting for a stage-2 slot, in the order
@@ -210,6 +223,7 @@ impl DemaRoot {
             states: BTreeMap::new(),
             gamma,
             control: params.control,
+            depth: params.pipeline_depth.max(1),
             in_flight: 0,
             ready: VecDeque::new(),
             sup: params.resilience.map(Supervisor::new),
@@ -241,7 +255,7 @@ impl DemaRoot {
         state
             .synopses
             .sort_unstable_by_key(|s| (s.first, s.last, s.id));
-        if self.in_flight < PIPELINE_DEPTH {
+        if self.in_flight < self.depth {
             self.identify(window, resolved)?;
         } else {
             self.ready.push_back(window.0);
@@ -379,7 +393,7 @@ impl DemaRoot {
         &mut self,
         resolved: &mut Vec<(WindowId, ResolvedWindow)>,
     ) -> Result<(), ClusterError> {
-        while self.in_flight < PIPELINE_DEPTH {
+        while self.in_flight < self.depth {
             let Some(w) = self.ready.pop_front() else {
                 break;
             };
@@ -910,7 +924,7 @@ impl LocalEngine for DemaLocal<'_> {
         to_root: &mut dyn MsgSender,
     ) -> Result<(), ClusterError> {
         let gamma = self.shared.gamma.load(Ordering::Relaxed);
-        events.sort_unstable();
+        dema_core::par::sort_events_with(&mut events, self.shared.threads);
         let l_local = len_to_u64(events.len());
         let slices = cut_into_slices(node, window, events, gamma)?;
         let total = len_to_u32(slices.len());

@@ -111,6 +111,11 @@ pub struct RootParams {
     /// Retry / liveness parameters plus the fault-counter sink. `None`
     /// runs the seed protocol unchanged.
     pub resilience: Option<ResilienceCtx>,
+    /// Max windows the root admits into its identification/calculation
+    /// stage at once (engines without a window pipeline ignore this;
+    /// clamped to at least 1). See [`dema::PIPELINE_DEPTH`] for the
+    /// default and the trade-off.
+    pub pipeline_depth: usize,
 }
 
 /// Static facts about one registered engine.
@@ -259,7 +264,7 @@ pub fn build_local(kind: EngineKind, shared: &dema::LocalShared) -> Box<dyn Loca
     match kind {
         EngineKind::Dema { .. } => Box::new(dema::DemaLocal::new(shared)),
         EngineKind::Centralized => Box::new(centralized::CentralizedLocal),
-        EngineKind::DecSort => Box::new(dec_sort::DecSortLocal),
+        EngineKind::DecSort => Box::new(dec_sort::DecSortLocal::new(shared.threads)),
         EngineKind::TdigestCentral { .. } => Box::new(tdigest_central::TdigestCentralLocal),
         EngineKind::TdigestDistributed { compression } => Box::new(
             tdigest_distributed::TdigestDistributedLocal::new(compression),

@@ -70,12 +70,14 @@ impl RootNode {
             control,
             close_times,
             None,
+            PIPELINE_DEPTH,
         )
     }
 
     /// [`RootNode::new`] with extra per-window quantiles answered from the
-    /// same identification step (Dema engine only) and an optional
-    /// resilience context enabling retries and graceful degradation.
+    /// same identification step (Dema engine only), an optional resilience
+    /// context enabling retries and graceful degradation, and an explicit
+    /// window-pipeline depth (see [`PIPELINE_DEPTH`] for the default).
     #[allow(clippy::too_many_arguments)]
     pub fn with_extra_quantiles(
         quantile: Quantile,
@@ -86,6 +88,7 @@ impl RootNode {
         control: Vec<Box<dyn MsgSender>>,
         close_times: CloseTimes,
         resilience: Option<ResilienceCtx>,
+        pipeline_depth: usize,
     ) -> RootNode {
         let resilience_timeout = resilience
             .as_ref()
@@ -98,6 +101,7 @@ impl RootNode {
                 n_locals,
                 control,
                 resilience,
+                pipeline_depth,
             },
         );
         RootNode {
@@ -556,13 +560,18 @@ mod tests {
 
     #[test]
     fn pipeline_bounds_outstanding_candidate_requests() {
-        // One local, four windows delivered all at once: the root must fire
-        // requests for only PIPELINE_DEPTH windows, queue the rest (already
-        // ingested and ordered), and admit them as replies free slots. An
-        // empty window (2) must pass through without wedging a slot.
+        // One local, four windows delivered all at once into an explicit
+        // depth-2 pipeline: the root must fire requests for only two
+        // windows, queue the rest (already ingested and ordered), and admit
+        // them as replies free slots. An empty window (2) must pass through
+        // without wedging a slot. Constructing with an explicit depth also
+        // pins the configurability: the default is deeper (PIPELINE_DEPTH),
+        // so this test would see a third request if the override leaked.
         let (ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
-        let mut root = RootNode::new(
+        const { assert!(PIPELINE_DEPTH > 2, "test relies on overriding the default") };
+        let mut root = RootNode::with_extra_quantiles(
             Quantile::MEDIAN,
+            Vec::new(),
             EngineKind::Dema {
                 gamma: GammaMode::Fixed(2),
                 strategy: dema_core::selector::SelectionStrategy::WindowCut,
@@ -571,6 +580,8 @@ mod tests {
             4,
             vec![Box::new(ctl_tx)],
             close_times(),
+            None,
+            2,
         );
         let mut windows: HashMap<u64, Vec<Slice>> = HashMap::new();
         for w in 0u64..4 {

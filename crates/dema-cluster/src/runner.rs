@@ -396,13 +396,12 @@ fn run_cluster_inner(
     // …then the local nodes (and responders for control-plane engines).
     let engine = config.engine;
     let pace = config.pace_window_ms;
+    let sort_threads = config
+        .threads
+        .unwrap_or_else(dema_core::par::default_threads);
     for (n, node_work) in work.into_iter().enumerate() {
         let node = NodeId(n as u32);
-        let shared = if resilient {
-            LocalShared::resilient(initial_gamma)
-        } else {
-            LocalShared::new(initial_gamma)
-        };
+        let shared = LocalShared::configured(initial_gamma, resilient, sort_threads);
         let mut tx = data_tx.remove(0);
         let ct = Arc::clone(&close_times);
         if control_plane {
@@ -449,6 +448,7 @@ fn run_cluster_inner(
             config: r,
             counters: Arc::clone(&fault_counters),
         }),
+        config.pipeline_depth,
     );
     let mut receivers = root_rx;
     let mut result: Result<(), ClusterError> = Ok(());

@@ -28,9 +28,11 @@
 //! The result is the *exact* quantile value with, typically, a ~99 %
 //! reduction in network traffic versus centralized aggregation.
 //!
-//! This crate is pure and single-threaded: no I/O, no threads, no
-//! dependencies. The cluster runtime lives in `dema-cluster`, transports in
-//! `dema-net`, and the wire format in `dema-wire`.
+//! This crate is pure: no I/O and no external effects. The algorithms are
+//! single-threaded except [`par`], an opt-in deterministic sort pool whose
+//! output is bit-identical to the serial path at every thread count. The
+//! cluster runtime lives in `dema-cluster`, transports in `dema-net`, and
+//! the wire format in `dema-wire`.
 //!
 //! ## Quick example
 //!
@@ -66,6 +68,7 @@ pub mod invariant;
 pub mod merge;
 pub mod multi;
 pub mod numeric;
+pub mod par;
 pub mod quantile;
 pub mod rank;
 pub mod runbuf;

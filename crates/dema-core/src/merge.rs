@@ -2,23 +2,122 @@
 //! target rank (§3.1).
 //!
 //! Local nodes ship candidate slices already sorted, so the root never
-//! re-sorts: it performs a k-way merge over the runs. For quantile lookups
-//! the merge can stop as soon as the target position is reached
-//! ([`select_kth`]), costing `O(k · log r)` for `r` runs instead of merging
-//! everything.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! re-sorts: it performs a k-way merge over the runs with a loser tree
+//! (tournament tree). Emitting the next event costs exactly `⌈log₂ r⌉`
+//! comparisons along one root-to-leaf path — no sift-down branching like a
+//! binary heap — and for quantile lookups the merge stops as soon as the
+//! target position is reached ([`select_kth`]), costing `O(k · log r)` for
+//! `r` runs instead of merging everything.
+//!
+//! The pop order is the total `(event, run index)` order, the same
+//! tie-break the previous heap-based merge used, so outputs are
+//! bit-identical (pinned by the oracle property tests below).
 
 use crate::error::{DemaError, Result};
 use crate::event::Event;
 use crate::numeric::len_to_u64;
 use crate::shared::SharedRun;
 
+/// Sentinel "run index" that loses every match; pads the tournament while
+/// the tree fills and after runs exhaust.
+const NO_RUN: usize = usize::MAX;
+
+/// A k-way loser-tree merge cursor over sorted runs.
+///
+/// Internal node `i ≥ 1` of `tree` stores the run that *lost* the match at
+/// that node; `tree[0]` stores the overall winner. Leaves are implicit:
+/// leaf `j` sits at position `m + j` and its current key is
+/// `runs[j][cursors[j]]`. Advancing the winner replays one root-to-leaf
+/// path — `⌈log₂ m⌉` comparisons, nothing else moves.
+struct LoserTree<'a> {
+    runs: &'a [&'a [Event]],
+    cursors: Vec<usize>,
+    tree: Vec<usize>,
+}
+
+impl<'a> LoserTree<'a> {
+    fn new(runs: &'a [&'a [Event]]) -> LoserTree<'a> {
+        let m = runs.len();
+        let mut lt = LoserTree {
+            runs,
+            cursors: vec![0; m],
+            tree: vec![NO_RUN; m.max(1)],
+        };
+        lt.build();
+        lt
+    }
+
+    /// Current key of run `i`, `None` once exhausted (or for [`NO_RUN`]).
+    fn current(&self, i: usize) -> Option<Event> {
+        self.runs
+            .get(i)
+            .zip(self.cursors.get(i))
+            .and_then(|(r, &c)| r.get(c).copied())
+    }
+
+    /// `true` if run `a` wins the match against run `b`: live beats
+    /// exhausted, and ties — equal events, or two exhausted runs — resolve
+    /// by run index, reproducing the heap merge's `(event, run)` order.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.current(a), self.current(b)) {
+            (Some(ea), Some(eb)) => (ea, a) < (eb, b),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Play the full tournament bottom-up: each internal node keeps its
+    /// loser, winners advance, `tree[0]` gets the champion.
+    fn build(&mut self) {
+        let m = self.runs.len();
+        if m == 0 {
+            return;
+        }
+        let mut winner = vec![NO_RUN; 2 * m];
+        for (j, w) in winner.iter_mut().skip(m).enumerate() {
+            *w = j;
+        }
+        for node in (1..m).rev() {
+            let (a, b) = (winner[2 * node], winner[2 * node + 1]);
+            let (win, lose) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            winner[node] = win;
+            self.tree[node] = lose;
+        }
+        self.tree[0] = winner[1];
+    }
+
+    /// Re-run the matches on the path from run `run`'s leaf to the root
+    /// after its key changed.
+    fn replay(&mut self, run: usize) {
+        let m = self.runs.len();
+        let mut winner = run;
+        let mut node = (run + m) / 2;
+        while node >= 1 {
+            if self.beats(self.tree[node], winner) {
+                std::mem::swap(&mut self.tree[node], &mut winner);
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+    }
+
+    /// Emit the smallest remaining event and advance its run.
+    fn pop(&mut self) -> Option<Event> {
+        let win = self.tree[0];
+        let event = self.current(win)?;
+        self.cursors[win] += 1;
+        self.replay(win);
+        Some(event)
+    }
+}
+
 /// Fully merge sorted runs into one sorted vector.
 ///
 /// Accepts anything slice-shaped — `Vec<Event>`, [`SharedRun`], `&[Event]` —
-/// so callers never have to copy into a particular container first.
+/// so callers never have to copy into a particular container first. The
+/// output buffer is reserved exactly once at the merged length `l_G`; a
+/// debug assertion guards against any regression that reallocates.
 ///
 /// # Panics
 /// Debug-asserts each input run is sorted.
@@ -29,20 +128,13 @@ pub fn merge_runs<R: AsRef<[Event]>>(runs: &[R]) -> Vec<Event> {
     }
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
-    let mut heap: BinaryHeap<Reverse<(Event, usize)>> = runs
-        .iter()
-        .enumerate()
-        .filter_map(|(i, r)| r.first().map(|&e| Reverse((e, i))))
-        .collect();
-    let mut cursors = vec![1usize; runs.len()];
-    while let Some(Reverse((e, run))) = heap.pop() {
+    let cap = out.capacity();
+    let mut tree = LoserTree::new(&runs);
+    while let Some(e) = tree.pop() {
         out.push(e);
-        let c = cursors[run];
-        if let Some(&next) = runs[run].get(c) {
-            cursors[run] = c + 1;
-            heap.push(Reverse((next, run)));
-        }
     }
+    debug_assert_eq!(out.len(), total);
+    debug_assert_eq!(out.capacity(), cap, "merge must allocate exactly once");
     out
 }
 
@@ -62,25 +154,15 @@ pub fn select_kth<R: AsRef<[Event]>>(runs: &[R], k: u64) -> Result<Event> {
     for r in &runs {
         debug_assert!(crate::event::is_sorted(r));
     }
-    let mut heap: BinaryHeap<Reverse<(Event, usize)>> = runs
-        .iter()
-        .enumerate()
-        .filter_map(|(i, r)| r.first().map(|&e| Reverse((e, i))))
-        .collect();
-    let mut cursors = vec![1usize; runs.len()];
+    let mut tree = LoserTree::new(&runs);
     let mut remaining = k;
-    while let Some(Reverse((e, run))) = heap.pop() {
+    while let Some(e) = tree.pop() {
         remaining -= 1;
         if remaining == 0 {
             return Ok(e);
         }
-        let c = cursors[run];
-        if let Some(&next) = runs[run].get(c) {
-            cursors[run] = c + 1;
-            heap.push(Reverse((next, run)));
-        }
     }
-    // Unreachable while `k <= total`: the heap only drains after yielding
+    // Unreachable while `k <= total`: the tree only drains after yielding
     // every event. Kept as an error so a future refactor cannot panic here.
     Err(DemaError::RankOutOfRange { rank: k, total })
 }
@@ -143,6 +225,64 @@ impl CandidateMerger {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-loser-tree implementation (binary heap over
+    /// `(event, run index)`), kept verbatim as the oracle the rewrite must
+    /// match bit-for-bit.
+    mod oracle {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        use super::*;
+
+        pub fn merge_runs<R: AsRef<[Event]>>(runs: &[R]) -> Vec<Event> {
+            let runs: Vec<&[Event]> = runs.iter().map(AsRef::as_ref).collect();
+            let total: usize = runs.iter().map(|r| r.len()).sum();
+            let mut out = Vec::with_capacity(total);
+            let mut heap: BinaryHeap<Reverse<(Event, usize)>> = runs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.first().map(|&e| Reverse((e, i))))
+                .collect();
+            let mut cursors = vec![1usize; runs.len()];
+            while let Some(Reverse((e, run))) = heap.pop() {
+                out.push(e);
+                let c = cursors[run];
+                if let Some(&next) = runs[run].get(c) {
+                    cursors[run] = c + 1;
+                    heap.push(Reverse((next, run)));
+                }
+            }
+            out
+        }
+
+        pub fn select_kth<R: AsRef<[Event]>>(runs: &[R], k: u64) -> Result<Event> {
+            let runs: Vec<&[Event]> = runs.iter().map(AsRef::as_ref).collect();
+            let total: u64 = runs.iter().map(|r| len_to_u64(r.len())).sum();
+            if k == 0 || k > total {
+                return Err(DemaError::RankOutOfRange { rank: k, total });
+            }
+            let mut heap: BinaryHeap<Reverse<(Event, usize)>> = runs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.first().map(|&e| Reverse((e, i))))
+                .collect();
+            let mut cursors = vec![1usize; runs.len()];
+            let mut remaining = k;
+            while let Some(Reverse((e, run))) = heap.pop() {
+                remaining -= 1;
+                if remaining == 0 {
+                    return Ok(e);
+                }
+                let c = cursors[run];
+                if let Some(&next) = runs[run].get(c) {
+                    cursors[run] = c + 1;
+                    heap.push(Reverse((next, run)));
+                }
+            }
+            Err(DemaError::RankOutOfRange { rank: k, total })
+        }
+    }
 
     fn ev(v: i64) -> Event {
         Event::new(v, 0, v as u64)
@@ -292,6 +432,54 @@ mod tests {
         assert_eq!(select_kth(&borrowed, 2).unwrap(), expect[1]);
     }
 
+    #[test]
+    fn loser_tree_matches_oracle_on_adversarial_cases() {
+        // Duplicate values with event-order tie-breaks across many runs,
+        // empty runs interleaved, and run counts around the power-of-two
+        // boundaries of the tournament layout.
+        let dup = |id: u64| Event::new(5, 0, id);
+        let cases: Vec<Vec<Vec<Event>>> = vec![
+            vec![],
+            vec![run(&[])],
+            vec![run(&[]), run(&[]), run(&[])],
+            vec![vec![dup(1), dup(4)], vec![dup(2), dup(5)], vec![dup(3)]],
+            vec![run(&[]), run(&[2, 4]), run(&[]), run(&[1, 3]), run(&[])],
+            (0..7).map(|i| run(&[i, i + 7, i + 14])).collect(),
+            (0..8).map(|_| vec![dup(9), dup(9)]).collect(),
+            (0..9)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        run(&[i, i + 10])
+                    } else {
+                        run(&[])
+                    }
+                })
+                .collect(),
+        ];
+        for (n, runs) in cases.iter().enumerate() {
+            let expect = oracle::merge_runs(runs);
+            assert_eq!(merge_runs(runs), expect, "case {n}");
+            for k in 1..=len_to_u64(expect.len()) {
+                assert_eq!(
+                    select_kth(runs, k).unwrap(),
+                    oracle::select_kth(runs, k).unwrap(),
+                    "case {n}, k={k}"
+                );
+            }
+            // k at the first and last rank plus both out-of-range edges.
+            assert!(select_kth(runs, 0).is_err());
+            assert!(select_kth(runs, len_to_u64(expect.len()) + 1).is_err());
+        }
+    }
+
+    #[test]
+    fn merge_reserves_exactly_the_merged_length() {
+        let runs = vec![run(&[1, 3, 5]), run(&[2, 4]), run(&[])];
+        let merged = merge_runs(&runs);
+        assert_eq!(merged.len(), 5);
+        assert_eq!(merged.capacity(), 5, "one exact up-front reservation");
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -343,6 +531,24 @@ mod tests {
                 let mut expected: Vec<Event> = runs.concat();
                 expected.sort_unstable();
                 prop_assert_eq!(merge_runs(&runs), expected);
+            }
+
+            /// The loser tree reproduces the retired heap merge exactly,
+            /// duplicate values (narrow range below) and all.
+            #[test]
+            fn loser_tree_is_bit_identical_to_heap_oracle(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(-4i64..4, 0..16), 0..9),
+            ) {
+                let runs = runs_from(raw);
+                let expect = oracle::merge_runs(&runs);
+                prop_assert_eq!(&merge_runs(&runs), &expect);
+                for k in 1..=expect.len() as u64 {
+                    prop_assert_eq!(
+                        select_kth(&runs, k).unwrap(),
+                        oracle::select_kth(&runs, k).unwrap()
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,448 @@
+//! Deterministic parallel sort for the per-window hot path.
+//!
+//! The local node's dominant per-window cost is sorting the window buffer
+//! before [`crate::slice::cut_into_slices`] carves it into γ-sized slices.
+//! This module parallelizes that sort over a small process-wide worker
+//! pool while keeping the output **bit-identical** to
+//! `slice::sort_unstable()` — including the order of fully duplicate
+//! events — so every downstream golden test, traffic counter, and the
+//! bounded interleaving explorer see exactly the serial behaviour.
+//!
+//! ## Determinism argument
+//!
+//! [`Event`] derives a *total* order (`value`, then `ts`, then `id`), so a
+//! sorted sequence of any multiset of events is unique: equal elements are
+//! byte-identical and indistinguishable under any permutation. Chunk
+//! boundaries are derived from the requested thread count and the input
+//! length alone (`c·n/t`), never from pool size or thread timing, and the
+//! chunks are reassembled with [`crate::merge::merge_runs`], whose
+//! `(event, run-index)` tie-break is itself deterministic. Two runs with
+//! `DEMA_THREADS=1` and `DEMA_THREADS=64` therefore produce the same
+//! bytes; only wall-clock changes.
+//!
+//! ## Run sort
+//!
+//! The per-run primitive [`sort_run`] is span-adaptive: windows whose
+//! values fit a 32-bit band (every sensor workload in the paper) take an
+//! LSD radix sort over packed `(value offset, original index)` u64 keys —
+//! 11-bit digits, one to three O(n) passes — followed by a gather and a
+//! `(ts, id)` tie-break pass over equal-value runs. Wider spans fall back
+//! to `sort_unstable`. Because [`Event`]'s order is total, both paths
+//! yield the identical permutation; the radix path only changes
+//! wall-clock.
+//!
+//! ## Pool shape
+//!
+//! Workers are spawned lazily on first parallel sort and share one
+//! injector channel (the vendored `crossbeam` shim) behind a mutex: an
+//! idle worker camps on the receiver and steals the next chunk the moment
+//! it is queued, so load balances across concurrent windows without any
+//! per-window thread spawns. Inputs below [`PAR_SORT_MIN`] skip dispatch
+//! entirely and sort inline — chunking overhead would dominate.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::event::Event;
+
+/// Inputs shorter than this sort inline on the calling thread: below a few
+/// thousand events the channel round trip and the final k-way merge cost
+/// more than the sort itself (see BENCH_NOTES.md, "parallel hot path").
+pub const PAR_SORT_MIN: usize = 8192;
+
+/// Runs shorter than this use `sort_unstable` directly inside
+/// [`sort_run`]: the radix key build and gather passes cost more than a
+/// comparison sort of a few hundred elements.
+pub const RADIX_MIN: usize = 256;
+
+/// Radix digit width. 11 bits → 2048 buckets: one `usize` bucket table
+/// fits comfortably in L1/L2 while covering a full 32-bit value span in
+/// three passes (sensor-range spans in one or two).
+const DIGIT_BITS: u32 = 11;
+
+/// Bucket count per radix pass.
+const BUCKETS: usize = 1 << DIGIT_BITS;
+
+/// Upper bound on the thread count accepted from `DEMA_THREADS` or
+/// callers; a larger request is clamped, not an error.
+pub const MAX_THREADS: usize = 64;
+
+/// A unit of pool work: sort one owned chunk and ship it back.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide sort pool: worker count and the injector handle.
+struct Pool {
+    /// Workers actually running (spawn failures only shrink the pool).
+    workers: usize,
+    /// Job injector; kept alive for the process lifetime so workers never
+    /// observe a disconnect.
+    inject: crossbeam::channel::Sender<Job>,
+}
+
+/// Thread count used when the caller does not pass one explicitly:
+/// `DEMA_THREADS` when set to a positive integer (clamped to
+/// [`MAX_THREADS`]), else the machine's available parallelism capped at 4.
+/// Latched on first use so every sort in a process agrees.
+pub fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(raw) = std::env::var("DEMA_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n.min(MAX_THREADS);
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(4)
+    })
+}
+
+/// The shared pool, spawned on first use with `default_threads() - 1`
+/// workers (the calling thread always sorts one chunk itself).
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let target = default_threads().saturating_sub(1);
+        let (inject, rx) = crossbeam::channel::unbounded::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = 0;
+        for i in 0..target {
+            let rx = Arc::clone(&rx);
+            let spawned = std::thread::Builder::new()
+                .name(format!("dema-par-{i}"))
+                .spawn(move || worker_loop(&rx));
+            if spawned.is_ok() {
+                workers += 1;
+            }
+        }
+        Pool { workers, inject }
+    })
+}
+
+/// Worker body: steal jobs until the channel disconnects (never, in
+/// practice — the injector lives in the pool static).
+fn worker_loop(rx: &Mutex<crossbeam::channel::Receiver<Job>>) {
+    loop {
+        let job = {
+            // A poisoned lock only means another worker panicked while
+            // holding the guard; the receiver itself is still sound.
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return,
+        }
+    }
+}
+
+thread_local! {
+    /// Reused radix scratch — two key/index ping-pong lanes plus the event
+    /// gather buffer — so steady-state window sorts allocate nothing.
+    static SCRATCH: RefCell<(Vec<u64>, Vec<u64>, Vec<Event>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// Sort one run in place on the calling thread — the single-threaded
+/// primitive under both the serial path and the pool's chunk jobs.
+///
+/// Dispatches on the observed value *span*: sensor-style streams (values
+/// inside a narrow band, whatever their absolute offset) take an LSD
+/// radix sort over packed `(value offset, index)` keys — O(n) per digit
+/// pass instead of O(n log n) comparisons — and anything wider falls back
+/// to `sort_unstable`. Both paths produce THE sorted permutation of the
+/// derived total [`Event`] order, so the output is bit-identical to
+/// `sort_unstable` regardless of which path ran.
+pub fn sort_run(events: &mut [Event]) {
+    let n = events.len();
+    if n < RADIX_MIN || n > u32::MAX as usize {
+        events.sort_unstable();
+        return;
+    }
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    for e in events.iter() {
+        min = min.min(e.value);
+        max = max.max(e.value);
+    }
+    // Bit-pattern subtraction gives the mathematical offset for any i64
+    // pair with max >= min; spans beyond 32 bits would need more digit
+    // passes than the comparison sort costs.
+    let span = (max as u64).wrapping_sub(min as u64);
+    if span > u64::from(u32::MAX) {
+        events.sort_unstable();
+        return;
+    }
+    let bits = 64 - span.leading_zeros();
+    let passes = bits.div_ceil(DIGIT_BITS).max(1);
+    SCRATCH.with(|s| {
+        let (a, b, tmp) = &mut *s.borrow_mut();
+        // Pack each event's value offset (high 32 bits) over its original
+        // index (low 32): every digit pass then moves a single u64.
+        a.clear();
+        a.extend(
+            events
+                .iter()
+                .enumerate()
+                .map(|(i, e)| ((e.value as u64).wrapping_sub(min as u64) << 32) | i as u64),
+        );
+        b.clear();
+        b.resize(n, 0);
+        for p in 0..passes {
+            let shift = 32 + p * DIGIT_BITS;
+            // Counting sort on this digit: histogram, prefix, stable scatter.
+            let mut starts = [0usize; BUCKETS + 1];
+            for &x in a.iter() {
+                starts[((x >> shift) as usize & (BUCKETS - 1)) + 1] += 1;
+            }
+            for d in 0..BUCKETS {
+                starts[d + 1] += starts[d];
+            }
+            for &x in a.iter() {
+                let d = (x >> shift) as usize & (BUCKETS - 1);
+                b[starts[d]] = x;
+                starts[d] += 1;
+            }
+            std::mem::swap(a, b);
+        }
+        // The scatter output indexes the *unsorted* buffer: gather through
+        // a copy of it.
+        tmp.clear();
+        tmp.extend_from_slice(events);
+        for (slot, &x) in events.iter_mut().zip(a.iter()) {
+            *slot = tmp[(x & 0xFFFF_FFFF) as usize];
+        }
+    });
+    // The digit passes order by value only; being stable, they leave equal
+    // values in arrival order. Windows arrive roughly time-ordered, so most
+    // tie runs are already (ts, id)-sorted — check before sorting.
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && events[j].value == events[i].value {
+            j += 1;
+        }
+        if j - i > 1 && !events[i..j].is_sorted() {
+            events[i..j].sort_unstable();
+        }
+        i = j;
+    }
+}
+
+/// Sort `events` ascending by the derived total [`Event`] order using the
+/// process default thread count ([`default_threads`]).
+///
+/// Output is bit-identical to `events.sort_unstable()` for every thread
+/// count — see the module docs for the argument.
+pub fn sort_events(events: &mut Vec<Event>) {
+    sort_events_with(events, default_threads());
+}
+
+/// Sort `events` with an explicit `threads` request.
+///
+/// Chunk boundaries depend only on `threads` and `events.len()`, so the
+/// result — and even the intermediate run set — is reproducible across
+/// machines and pool sizes. Falls back to an inline `sort_unstable` when
+/// `threads <= 1`, the input is below [`PAR_SORT_MIN`], or no pool worker
+/// could be spawned.
+pub fn sort_events_with(events: &mut Vec<Event>, threads: usize) {
+    let n = events.len();
+    let t = threads.clamp(1, MAX_THREADS);
+    if t <= 1 || n < PAR_SORT_MIN {
+        sort_run(events);
+        return;
+    }
+    let pool = pool();
+    if pool.workers == 0 {
+        sort_run(events);
+        return;
+    }
+
+    // Deterministic split: chunk c covers [c·n/t, (c+1)·n/t). Peeling from
+    // the back with `split_off` moves ownership without copying events.
+    let mut parts: Vec<Vec<Event>> = Vec::with_capacity(t);
+    for c in (1..t).rev() {
+        parts.push(events.split_off(c * n / t));
+    }
+    parts.push(std::mem::take(events));
+    parts.reverse();
+
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, Vec<Event>)>();
+    let mut first = Vec::new();
+    let mut rest: Vec<Vec<Event>> = Vec::new();
+    rest.resize_with(t - 1, Vec::new);
+    for (pos, mut chunk) in parts.into_iter().enumerate() {
+        if pos == 0 {
+            first = chunk;
+            continue;
+        }
+        let tx = done_tx.clone();
+        let job: Job = Box::new(move || {
+            sort_run(&mut chunk);
+            // The result receiver outlives every job of this call; a
+            // failed send would mean the caller vanished mid-sort.
+            let _ = tx.send((pos - 1, chunk));
+        });
+        if let Err(stranded) = pool.inject.send(job) {
+            // Injector disconnected (impossible while the static lives):
+            // the job comes back in the error — run it inline.
+            (stranded.0)();
+        }
+    }
+    // Drop our sender so a vanished worker surfaces as a disconnect below
+    // instead of a hang; buffered results still drain after that.
+    drop(done_tx);
+
+    // The calling thread is worker zero.
+    sort_run(&mut first);
+
+    let mut received = 0;
+    while received < t - 1 {
+        match done_rx.recv() {
+            Ok((slot, chunk)) => {
+                rest[slot] = chunk;
+                received += 1;
+            }
+            Err(_) => {
+                // Unreachable: chunk sorting cannot panic, and jobs that
+                // fail to enqueue ran inline above.
+                debug_assert_eq!(received, t - 1, "sort worker vanished");
+                break;
+            }
+        }
+    }
+
+    let mut runs: Vec<Vec<Event>> = Vec::with_capacity(t);
+    runs.push(first);
+    runs.append(&mut rest);
+    *events = crate::merge::merge_runs(&runs);
+    debug_assert_eq!(events.len(), n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random events, duplicates included.
+    fn scrambled(n: usize) -> Vec<Event> {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        (0..n)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Narrow value range forces duplicate values; duplicate
+                // (value, ts) pairs still differ by id except when forced.
+                Event::new((state % 97) as i64, state % 5, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_thread_counts() {
+        for n in [0, 1, PAR_SORT_MIN - 1, PAR_SORT_MIN, 3 * PAR_SORT_MIN + 17] {
+            let base = scrambled(n);
+            let mut expect = base.clone();
+            expect.sort_unstable();
+            for t in [1, 2, 3, 4, 7, MAX_THREADS] {
+                let mut got = base.clone();
+                sort_events_with(&mut got, t);
+                assert_eq!(got, expect, "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_duplicate_events_stay_bit_identical() {
+        let base: Vec<Event> = (0..2 * PAR_SORT_MIN).map(|_| Event::new(7, 3, 9)).collect();
+        let mut expect = base.clone();
+        expect.sort_unstable();
+        let mut got = base;
+        sort_events_with(&mut got, 4);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn radix_matches_sort_unstable_across_value_spans() {
+        // Spans chosen to hit 1, 2, and 3 digit passes, plus the wide-span
+        // comparison fallback; offsets exercise negative and near-extreme
+        // bases. Ties get deliberately scrambled (ts, id) pairs.
+        for (base, span) in [
+            (0i64, 1u64 << 8),
+            (-1_000_000, 1 << 10),
+            (i64::MIN / 2, 1 << 20),
+            (7, (1 << 31) + 12345),
+            (-3, u64::from(u32::MAX) + 1), // fallback path
+        ] {
+            let mut state = 0xDEAD_BEEF_u64;
+            let events: Vec<Event> = (0..3 * RADIX_MIN)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(2862933555777941757)
+                        .wrapping_add(3037000493);
+                    let v = base.wrapping_add((state % span.max(1)) as i64);
+                    Event::new(v, state >> 48, (i as u64) ^ (state >> 32))
+                })
+                .collect();
+            let mut expect = events.clone();
+            expect.sort_unstable();
+            let mut got = events;
+            sort_run(&mut got);
+            assert_eq!(got, expect, "base={base} span={span}");
+        }
+    }
+
+    #[test]
+    fn radix_below_min_and_single_value_runs() {
+        let mut tiny = scrambled(RADIX_MIN - 1);
+        let mut expect = tiny.clone();
+        expect.sort_unstable();
+        sort_run(&mut tiny);
+        assert_eq!(tiny, expect);
+
+        // One distinct value: single pass, all ties — the tie-break pass
+        // must still order by (ts, id).
+        let mut state = 1u64;
+        let mut same: Vec<Event> = (0..2 * RADIX_MIN)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                Event::new(42, state % 1000, state >> 32)
+            })
+            .collect();
+        let mut expect = same.clone();
+        expect.sort_unstable();
+        sort_run(&mut same);
+        assert_eq!(same, expect);
+    }
+
+    #[test]
+    fn default_threads_is_latched_and_positive() {
+        let a = default_threads();
+        let b = default_threads();
+        assert_eq!(a, b);
+        assert!((1..=MAX_THREADS).contains(&a));
+    }
+
+    #[test]
+    fn env_default_entry_point_sorts() {
+        let mut v = scrambled(PAR_SORT_MIN + 5);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        sort_events(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn below_crossover_never_touches_the_pool() {
+        // Indirect but sufficient: tiny inputs sort correctly even with an
+        // absurd thread request — the inline path ignores it.
+        let mut v = scrambled(64);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        sort_events_with(&mut v, MAX_THREADS);
+        assert_eq!(v, expect);
+    }
+}

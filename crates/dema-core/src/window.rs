@@ -144,7 +144,9 @@ impl LocalWindow {
         let events = match self.storage {
             Storage::Flat(mut v) => {
                 if self.strategy == SortStrategy::OnClose {
-                    v.sort_unstable();
+                    // Pool-backed but bit-identical to `sort_unstable`
+                    // (see `par`); large windows close in parallel.
+                    crate::par::sort_events(&mut v);
                 }
                 v
             }

@@ -6,7 +6,7 @@
 //! Repo-specific static analysis for the Dema workspace. The compiler cannot
 //! see the invariants Dema's exactness rests on, and generic clippy lints
 //! cannot know which files hold rank arithmetic or which enums mirror the
-//! wire protocol. This crate closes that gap with five lexical rules:
+//! wire protocol. This crate closes that gap with a family of lexical rules:
 //!
 //! * **R1** — no `unwrap()` / `expect()` / `panic!` / `todo!` /
 //!   `unimplemented!` in non-test library code of `dema-core`, `dema-wire`,
@@ -39,6 +39,13 @@
 //! * **R8** — no stale `// lint: allow(Rn)` tag: a well-formed tag in a
 //!   file the rule scopes that suppresses nothing is an error, so
 //!   justifications cannot outlive the code they excused.
+//! * **R9** — no ad-hoc `thread::spawn` in non-test hot-path code of
+//!   `dema-core` / `dema-cluster` outside the deterministic sort pool
+//!   (`dema-core/src/par.rs`, which is exempt). A stray spawn in the
+//!   window path reorders work nondeterministically and escapes the
+//!   `DEMA_THREADS` budget; go through `dema_core::par`, or tag a
+//!   deliberate long-lived thread (runner topology) with
+//!   `// lint: allow(R9): <reason>` or a baseline entry.
 //!
 //! The analysis is purely lexical over a *masked* view of each source file:
 //! string and comment bytes are blanked (newlines kept) so tokens inside
@@ -85,7 +92,7 @@ const NUMERIC_TYPES: [&str; 14] = [
 /// One finding of one rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier: `R1`..`R5`.
+    /// Rule identifier: `R1`..`R9`.
     pub rule: &'static str,
     /// Path of the offending file, relative to the checked root.
     pub path: String,
@@ -557,6 +564,59 @@ fn check_r5(file: &SourceFile, violations: &mut Vec<Violation>) {
     }
 }
 
+/// Crates whose non-test code must route parallelism through the sort pool
+/// (rule R9).
+pub const R9_CRATES: [&str; 2] = ["dema-core", "dema-cluster"];
+
+/// The one file allowed to spawn: the deterministic pool itself.
+pub const R9_EXEMPT: &str = "dema-core/src/par.rs";
+
+/// R9: ad-hoc `thread::spawn` in non-test hot-path code. The needle is the
+/// qualified call `thread::spawn(` — `std::thread::spawn(..)` and a
+/// `use std::thread;` + `thread::spawn(..)` both match; `pool.spawn(..)`
+/// and identifiers merely ending in `thread` do not.
+fn check_r9(file: &SourceFile, violations: &mut Vec<Violation>) {
+    let in_scope = R9_CRATES.iter().any(|c| {
+        file.rel.contains(&format!("crates/{c}/src/")) || file.rel.starts_with(&format!("{c}/src/"))
+    });
+    if !in_scope || file.test_by_path || file.rel.ends_with(R9_EXEMPT) {
+        return;
+    }
+    let needle = "thread::spawn";
+    let bytes = file.masked.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = file.masked[i..].find(needle) {
+        let at = i + pos;
+        i = at + needle.len();
+        // `thread` must start its own path segment (`:` and whitespace are
+        // fine; `my_thread::spawn` is some other module), and the match must
+        // be a call, not a mention of the path.
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        if bytes.get(at + needle.len()) != Some(&b'(') {
+            continue;
+        }
+        if file.in_test_region(at) {
+            continue;
+        }
+        let line = file.line_of(at);
+        if file.allowed("R9", line) {
+            continue;
+        }
+        violations.push(Violation {
+            rule: "R9",
+            path: file.rel.clone(),
+            line,
+            token: "thread::spawn".to_string(),
+            message: "ad-hoc `thread::spawn` bypasses the deterministic sort pool and the \
+                      DEMA_THREADS budget; use `dema_core::par`, or tag a long-lived \
+                      topology thread with `// lint: allow(R9): <reason>`"
+                .to_string(),
+        });
+    }
+}
+
 /// Parse the variant names of `enum <name>` from a masked file.
 fn enum_variants(masked: &str, enum_name: &str) -> Vec<String> {
     let needle = format!("enum {enum_name}");
@@ -721,6 +781,14 @@ fn rule_in_scope(rule: &str, file: &SourceFile) -> bool {
             !file.test_by_path
                 && (file.rel.contains("crates/dema-cluster/src/")
                     || file.rel.starts_with("dema-cluster/src/"))
+        }
+        "R9" => {
+            !file.test_by_path
+                && !file.rel.ends_with(R9_EXEMPT)
+                && R9_CRATES.iter().any(|c| {
+                    file.rel.contains(&format!("crates/{c}/src/"))
+                        || file.rel.starts_with(&format!("{c}/src/"))
+                })
         }
         _ => false,
     }
@@ -925,7 +993,7 @@ pub struct Report {
     pub files_checked: usize,
 }
 
-/// Run the always-on rules (R1–R5, R8) over the workspace rooted at
+/// Run the always-on rules (R1–R5, R8, R9) over the workspace rooted at
 /// `root`. Equivalent to [`check_full`] with `spec: false`.
 ///
 /// `baseline` holds `RULE|path|token` keys of accepted findings.
@@ -953,6 +1021,7 @@ pub fn check_full(root: &Path, baseline: &[String], spec: bool) -> Report {
         check_r1(file, &mut all);
         check_r2(file, &mut all);
         check_r5(file, &mut all);
+        check_r9(file, &mut all);
     }
     check_r3(&files, &mut all);
     check_r4(&files, &mut all);
@@ -966,9 +1035,9 @@ pub fn check_full(root: &Path, baseline: &[String], spec: bool) -> Report {
     }
 
     let rules_run: &[&str] = if spec {
-        &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
+        &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]
     } else {
-        &["R1", "R2", "R3", "R4", "R5", "R8"]
+        &["R1", "R2", "R3", "R4", "R5", "R8", "R9"]
     };
     let all_keys: BTreeSet<String> = all.iter().map(Violation::baseline_key).collect();
     let stale_baseline: Vec<String> = baseline
@@ -1157,6 +1226,50 @@ mod tests {
         let mut v = Vec::new();
         check_r8(&file, &mut v);
         assert!(v.is_empty(), "out-of-scope tags are exempt: {v:?}");
+    }
+
+    #[test]
+    fn r9_flags_qualified_spawn_calls_only() {
+        let mut v = Vec::new();
+        check_r9(
+            &cluster_file(
+                "fn f() { std::thread::spawn(|| {}); pool.spawn(j); my_thread::spawn(|| {}); }",
+            ),
+            &mut v,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].token.as_str()), ("R9", "thread::spawn"));
+
+        let mut v = Vec::new();
+        check_r9(
+            &cluster_file(
+                "fn f() {\n    // lint: allow(R9): long-lived relay topology thread\n    std::thread::spawn(run);\n}",
+            ),
+            &mut v,
+        );
+        assert!(v.is_empty(), "allow-tag must suppress: {v:?}");
+
+        let mut v = Vec::new();
+        check_r9(
+            &cluster_file("#[cfg(test)]\nmod t {\n    fn g() { std::thread::spawn(|| {}); }\n}"),
+            &mut v,
+        );
+        assert!(v.is_empty(), "test regions are exempt: {v:?}");
+
+        // The pool itself is the one sanctioned spawn site.
+        let masked = mask_source("fn w() { std::thread::spawn(run); }");
+        let test_regions = find_test_regions(&masked);
+        let pool = SourceFile {
+            rel: "crates/dema-core/src/par.rs".to_string(),
+            text: String::new(),
+            masked,
+            test_regions,
+            test_by_path: false,
+            used_allows: RefCell::new(BTreeSet::new()),
+        };
+        let mut v = Vec::new();
+        check_r9(&pool, &mut v);
+        assert!(v.is_empty(), "par.rs is exempt: {v:?}");
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Fixture: ad-hoc parallelism outside the deterministic sort pool (R9).
+
+/// Sorts a chunk on a detached thread — bypasses `dema_core::par`.
+pub fn sort_detached(mut chunk: Vec<u64>) -> std::thread::JoinHandle<Vec<u64>> {
+    std::thread::spawn(move || {
+        chunk.sort_unstable();
+        chunk
+    })
+}

@@ -77,7 +77,11 @@ fn violations_tree_fails_with_file_line_diagnostics() {
         "missing R5 diagnostic (relay.rs)\n{stdout}"
     );
     assert!(
-        stdout.contains("11 new violation(s) [R1: 4, R2: 2, R3: 1, R4: 1, R5: 3]"),
+        stdout.contains("crates/dema-cluster/src/pool_breaker.rs:5: R9:"),
+        "missing R9 diagnostic (pool_breaker.rs)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("12 new violation(s) [R1: 4, R2: 2, R3: 1, R4: 1, R5: 3, R9: 1]"),
         "summary should count violations per rule\n{stdout}"
     );
 }
@@ -97,7 +101,7 @@ fn baseline_suppresses_accepted_findings() {
         &["--baseline", baseline.to_str().expect("utf-8 path")],
     );
     assert_eq!(code, 0, "baselined tree must pass\n{stdout}");
-    assert!(stdout.contains("11 baselined finding(s)"), "{stdout}");
+    assert!(stdout.contains("12 baselined finding(s)"), "{stdout}");
 }
 
 /// Satellite: a baseline entry that no longer matches any finding is an

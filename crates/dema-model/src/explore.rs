@@ -301,6 +301,7 @@ impl<'a> System<'a> {
             control,
             close_times,
             resilience,
+            dema_cluster::root::PIPELINE_DEPTH,
         );
 
         let steppers = inputs

@@ -333,9 +333,7 @@ impl Message {
                 for (idx, events) in slices {
                     buf.put_u32_le(*idx);
                     buf.put_u32_le(events.len() as u32);
-                    for e in events {
-                        put_event(buf, e);
-                    }
+                    put_events(buf, events.as_ref());
                 }
             }
             Message::EventBatch {
@@ -349,9 +347,7 @@ impl Message {
                 buf.put_u64_le(window.0);
                 buf.put_u8(u8::from(*sorted));
                 buf.put_u32_le(events.len() as u32);
-                for e in events {
-                    put_event(buf, e);
-                }
+                put_events(buf, events);
             }
             Message::DigestBatch {
                 node,
@@ -506,20 +502,55 @@ impl Message {
 /// Bytes per encoded event.
 pub const EVENT_LEN: usize = 8 + 8 + 8;
 
-#[inline]
-fn put_event<B: BufMut>(buf: &mut B, e: &Event) {
-    buf.put_i64_le(e.value);
-    buf.put_u64_le(e.ts);
-    buf.put_u64_le(e.id);
+/// Events per block of the strided batch codec: 64 events fill a 1536-byte
+/// stack buffer — small enough to stay cache-hot, large enough that the
+/// fill loop autovectorizes and the generic [`BufMut`] machinery is paid
+/// once per block instead of three times per event.
+const EVENT_BLOCK: usize = 64;
+
+/// Encode a batch of events in fixed-stride blocks.
+///
+/// Byte-for-byte identical to encoding each event as
+/// `put_i64_le(value), put_u64_le(ts), put_u64_le(id)` — the layout is the
+/// same 24-byte little-endian record, only the write granularity changes
+/// (one `put_slice` per block). The frame-level golden test below pins the
+/// equivalence.
+fn put_events<B: BufMut>(buf: &mut B, events: &[Event]) {
+    let mut block = [0u8; EVENT_BLOCK * EVENT_LEN];
+    for chunk in events.chunks(EVENT_BLOCK) {
+        for (rec, e) in block.chunks_exact_mut(EVENT_LEN).zip(chunk) {
+            rec[..8].copy_from_slice(&e.value.to_le_bytes());
+            rec[8..16].copy_from_slice(&e.ts.to_le_bytes());
+            rec[16..24].copy_from_slice(&e.id.to_le_bytes());
+        }
+        buf.put_slice(&block[..chunk.len() * EVENT_LEN]);
+    }
 }
 
-fn take_event(buf: &mut &[u8]) -> Result<Event, WireError> {
-    need(buf, EVENT_LEN)?;
-    Ok(Event {
-        value: buf.get_i64_le(),
-        ts: buf.get_u64_le(),
-        id: buf.get_u64_le(),
-    })
+/// Decode `n` fixed-stride event records.
+///
+/// Verifies the full `n · EVENT_LEN` bytes are present up front (any
+/// truncation inside the batch still fails, now before allocating), then
+/// strides through the raw records — no per-field bounds checks.
+fn take_events(buf: &mut &[u8], n: usize) -> Result<Vec<Event>, WireError> {
+    let bytes = n
+        .checked_mul(EVENT_LEN)
+        .ok_or(WireError::BadLength(n as u64))?;
+    need(buf, bytes)?;
+    let (records, rest) = buf.split_at(bytes);
+    let mut events = Vec::with_capacity(n);
+    let mut word = [0u8; 8];
+    for rec in records.chunks_exact(EVENT_LEN) {
+        word.copy_from_slice(&rec[..8]);
+        let value = i64::from_le_bytes(word);
+        word.copy_from_slice(&rec[8..16]);
+        let ts = u64::from_le_bytes(word);
+        word.copy_from_slice(&rec[16..24]);
+        let id = u64::from_le_bytes(word);
+        events.push(Event { value, ts, id });
+    }
+    *buf = rest;
+    Ok(events)
 }
 
 #[inline]
@@ -596,11 +627,7 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
                 need(buf, 4)?;
                 let idx = buf.get_u32_le();
                 let m = take_count(buf)?;
-                let mut events = Vec::with_capacity(m.min(65_536));
-                for _ in 0..m {
-                    events.push(take_event(buf)?);
-                }
-                slices.push((idx, SharedRun::from_vec(events)));
+                slices.push((idx, SharedRun::from_vec(take_events(buf, m)?)));
             }
             Ok(Message::CandidateReply {
                 node,
@@ -614,10 +641,7 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             let window = WindowId(buf.get_u64_le());
             let sorted = buf.get_u8() != 0;
             let n = take_count(buf)?;
-            let mut events = Vec::with_capacity(n.min(65_536));
-            for _ in 0..n {
-                events.push(take_event(buf)?);
-            }
+            let events = take_events(buf, n)?;
             Ok(Message::EventBatch {
                 node,
                 window,
@@ -753,6 +777,64 @@ mod tests {
 
     fn sample_run(n: u64) -> SharedRun {
         SharedRun::from_vec(sample_events(n))
+    }
+
+    /// Golden frame-level check: the strided block codec produces exactly
+    /// the bytes the original per-field codec did. The reference encoder
+    /// below is the retired implementation, kept verbatim.
+    #[test]
+    fn strided_event_codec_is_bit_identical_to_per_field_codec() {
+        fn put_event_reference<B: BufMut>(buf: &mut B, e: &Event) {
+            buf.put_i64_le(e.value);
+            buf.put_u64_le(e.ts);
+            buf.put_u64_le(e.id);
+        }
+        // 150 events: two full 64-event blocks plus a 22-event tail.
+        let events = sample_events(150);
+        let batch = Message::EventBatch {
+            node: NodeId(3),
+            window: WindowId(9),
+            sorted: true,
+            events: events.clone(),
+        };
+        let reply = Message::CandidateReply {
+            node: NodeId(3),
+            window: WindowId(9),
+            slices: vec![
+                (0, SharedRun::from_vec(events.clone())),
+                (1, sample_run(1)),
+                (2, sample_run(0)),
+            ],
+        };
+
+        let mut expect = BytesMut::new();
+        expect.put_u8(TAG_EVENT_BATCH);
+        expect.put_u32_le(3);
+        expect.put_u64_le(9);
+        expect.put_u8(1);
+        expect.put_u32_le(150);
+        for e in &events {
+            put_event_reference(&mut expect, e);
+        }
+        assert_eq!(batch.to_bytes(), expect.freeze());
+
+        let mut expect = BytesMut::new();
+        expect.put_u8(TAG_CANDIDATE_REPLY);
+        expect.put_u32_le(3);
+        expect.put_u64_le(9);
+        expect.put_u32_le(3);
+        for (idx, run) in [(0u32, &events[..]), (1, &sample_events(1)), (2, &[])] {
+            expect.put_u32_le(idx);
+            expect.put_u32_le(run.len() as u32);
+            for e in run {
+                put_event_reference(&mut expect, e);
+            }
+        }
+        assert_eq!(reply.to_bytes(), expect.freeze());
+
+        // And the strided decoder inverts it.
+        roundtrip(batch);
+        roundtrip(reply);
     }
 
     /// One instance of every `Message` variant, in `TAGS` order.

@@ -37,6 +37,8 @@ fn main() {
         extra_quantiles: Vec::new(),
         resilience: None,
         faults: Vec::new(),
+        threads: None,
+        pipeline_depth: dema::cluster::root::PIPELINE_DEPTH,
     };
     let report = run_cluster(&config, inputs).expect("cluster run failed");
 

@@ -5,11 +5,17 @@
 #   fmt --check      — first-party crates stay rustfmt-clean (vendored
 #                      crates are kept byte-identical to upstream and are
 #                      deliberately not checked)
-#   test             — unit + property + integration tests, all crates
+#   test             — unit + property + integration tests, all crates,
+#                      run twice: DEMA_THREADS=1 (serial sort path) and
+#                      DEMA_THREADS=4 (pool fan-out). The parallel window
+#                      sort must be invisible — both passes see identical
+#                      results and wire traffic (tests/determinism.rs pins
+#                      the counters; this matrix pins everything else)
 #   test --strict    — same suite with the checked-invariant layer compiled
-#                      into release-style gating (DESIGN.md §8), plus an
-#                      explicit engines-over-TCP pass so the socket
-#                      transport is exercised with checked invariants
+#                      into release-style gating (DESIGN.md §8), at both
+#                      thread counts, plus an explicit engines-over-TCP
+#                      pass so the socket transport is exercised with
+#                      checked invariants
 #   chaos sweep      — the seeded fault-injection suite under several
 #                      CHAOS_SEED values (strict invariants on): recovery
 #                      must stay bit-exact and degradation deterministic
@@ -20,9 +26,10 @@
 #                      R5 no unbounded receives in cluster code, R6/R7
 #                      protocol-spec conformance (handled variants match
 #                      the dema-model role spec; every transition has a
-#                      test), R8 no stale allow-tags. Stale baseline
-#                      entries fail too (baseline only shrinks;
-#                      scripts/lint-baseline.txt)
+#                      test), R8 no stale allow-tags, R9 no ad-hoc
+#                      thread::spawn outside the deterministic sort pool
+#                      (dema_core::par). Stale baseline entries fail too
+#                      (baseline only shrinks; scripts/lint-baseline.txt)
 #   model explorer   — bounded interleaving exploration of the real
 #                      engines (dema-model): every schedule up to the
 #                      budget must finish deadlock-free, spec-legal, with
@@ -42,8 +49,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 # shellcheck disable=SC2046
 cargo fmt --check $(for c in crates/*/; do printf -- '-p %s ' "$(basename "$c")"; done)
-cargo test -q
-cargo test --features strict -q
+for threads in 1 4; do
+    DEMA_THREADS="$threads" cargo test -q
+    DEMA_THREADS="$threads" cargo test --features strict -q
+done
 cargo test -q -p dema-cluster --features strict --test engines --test tree tcp
 CHAOS_SEEDS="${CHAOS_SEEDS:-1 2 3}"
 for seed in $CHAOS_SEEDS; do
