@@ -48,10 +48,10 @@ use dema_core::quantile::Quantile;
 use dema_core::selector::SelectionStrategy;
 use dema_core::shared::SharedRun;
 use dema_core::slice::{cut_into_slices, Slice, SliceId, SliceSynopsis};
+use dema_core::sync::{rank, Mutex};
 use dema_core::DemaError;
 use dema_net::{MsgReceiver, MsgSender, NetError};
 use dema_wire::Message;
-use parking_lot::Mutex;
 
 use super::retry::{self, ExpiryAction, Supervisor, END_KEY};
 use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
@@ -116,9 +116,9 @@ impl LocalShared {
     pub fn configured(gamma: u64, resilient: bool, threads: usize) -> Arc<LocalShared> {
         Arc::new(LocalShared {
             gamma: AtomicU64::new(gamma),
-            store: Mutex::new(HashMap::new()),
+            store: Mutex::new(rank::LOCAL_STORE, HashMap::new()),
             retain_sent: resilient,
-            sent: Mutex::new(HashMap::new()),
+            sent: Mutex::new(rank::LOCAL_SENT, HashMap::new()),
             threads: threads.max(1),
         })
     }

@@ -15,10 +15,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dema_core::event::{Event, NodeId, WindowId};
+use dema_core::sync::{rank, Mutex};
 use dema_core::window::{SortStrategy, WindowManager};
 use dema_net::{MsgSender, NetError};
 use dema_wire::Message;
-use parking_lot::Mutex;
 
 use crate::config::EngineKind;
 use crate::engines;
@@ -31,6 +31,12 @@ pub use crate::engines::dema::{responder_step, run_responder, LocalShared, Respo
 /// Wall-clock instants at which each `(node, window)` closed — the latency
 /// clock starts here.
 pub type CloseTimes = Arc<Mutex<HashMap<(u32, u64), Instant>>>;
+
+/// Build an empty [`CloseTimes`] map behind its ranked lock
+/// (`cluster.close_times`, DESIGN.md §8).
+pub fn new_close_times() -> CloseTimes {
+    Arc::new(Mutex::new(rank::CLOSE_TIMES, HashMap::new()))
+}
 
 /// Data-plane sender that, on resilient runs, caches the last message sent
 /// per window so the node's responder can serve the root's `ResendWindow`
@@ -287,7 +293,7 @@ mod tests {
         let counters = NetworkCounters::new_shared();
         let (mut tx, mut rx) = link(counters);
         let shared = LocalShared::new(4);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         run_local(
             NodeId(1),
             vec![events(&[5, 1, 9, 3, 7, 2, 8, 4])],
@@ -321,7 +327,7 @@ mod tests {
     fn decsort_local_ships_sorted() {
         let (mut tx, mut rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(2);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         run_local(
             NodeId(0),
             vec![events(&[3, 1, 2])],
@@ -346,7 +352,7 @@ mod tests {
     fn centralized_local_ships_raw() {
         let (mut tx, mut rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(2);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         run_local(
             NodeId(0),
             vec![events(&[3, 1, 2])],
@@ -370,7 +376,7 @@ mod tests {
     fn tdigest_local_ships_centroids() {
         let (mut tx, mut rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(2);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         let vals: Vec<i64> = (0..1000).collect();
         run_local(
             NodeId(0),
@@ -398,7 +404,7 @@ mod tests {
     fn kll_local_ships_weighted_summary() {
         let (mut tx, mut rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(2);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         let vals: Vec<i64> = (0..5000).collect();
         run_local(
             NodeId(0),
@@ -437,7 +443,7 @@ mod tests {
 
         let (mut tx_a, mut rx_a) = link(NetworkCounters::new_shared());
         let shared_a = LocalShared::new(2);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         run_local(
             NodeId(3),
             windows.clone(),
@@ -476,7 +482,7 @@ mod tests {
         let (mut data_tx, mut data_rx) = link(NetworkCounters::new_shared());
         let (mut ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(4);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         run_local(
             NodeId(2),
             vec![events(&[5, 1, 9, 3, 7, 2, 8, 4])],
@@ -532,7 +538,7 @@ mod tests {
         let (mut data_tx, mut data_rx) = link(NetworkCounters::new_shared());
         let (mut ctl_tx, mut ctl_rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(4);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         run_local(
             NodeId(1),
             vec![events(&[5, 1, 9, 3, 7, 2, 8, 4])],
@@ -591,7 +597,7 @@ mod tests {
     fn store_is_bounded() {
         let (mut tx, rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(2);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         let windows: Vec<Vec<Event>> = (0..100).map(|_| events(&[1, 2])).collect();
         run_local(
             NodeId(0),
@@ -611,7 +617,7 @@ mod tests {
     fn empty_window_still_reports() {
         let (mut tx, mut rx) = link(NetworkCounters::new_shared());
         let shared = LocalShared::new(4);
-        let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+        let close_times: CloseTimes = new_close_times();
         run_local(
             NodeId(0),
             vec![vec![]],

@@ -13,9 +13,9 @@
 //! senders, the top relay sees its parent's downlink disconnect and drops
 //! its own child downlinks, and so on until the leaf responders exit.
 
+use dema_core::sync::Mutex;
 use dema_net::{MsgReceiver, MsgSender, NetError};
 use dema_wire::Message;
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -166,13 +166,15 @@ pub fn run_relay(
 mod tests {
     use super::*;
     use dema_core::event::{NodeId, WindowId};
+    use dema_core::sync::rank;
     use dema_metrics::NetworkCounters;
     use dema_net::mem::link;
 
     #[test]
     fn routed_sender_wraps_every_message() {
         let (tx, mut rx) = link(NetworkCounters::new_shared());
-        let shared: Arc<Mutex<Box<dyn MsgSender>>> = Arc::new(Mutex::new(Box::new(tx)));
+        let shared: Arc<Mutex<Box<dyn MsgSender>>> =
+            Arc::new(Mutex::new(rank::ROUTED_DOWNLINK, Box::new(tx)));
         let mut a = RoutedSender::new(NodeId(3), Arc::clone(&shared));
         let mut b = RoutedSender::new(NodeId(7), shared);
         a.send(&Message::GammaUpdate { gamma: 64 }).unwrap();

@@ -247,12 +247,10 @@ mod tests {
     use dema_metrics::NetworkCounters;
     use dema_net::mem::link;
     use dema_net::MsgReceiver;
-    use parking_lot::Mutex;
     use std::collections::HashMap;
-    use std::sync::Arc;
 
     fn close_times() -> CloseTimes {
-        Arc::new(Mutex::new(HashMap::new()))
+        crate::local::new_close_times()
     }
 
     fn events(vals: &[i64]) -> Vec<Event> {

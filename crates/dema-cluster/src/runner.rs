@@ -9,17 +9,16 @@
 //! of [`crate::relay`] nodes ([`Topology::Tree`]), with per-tier traffic
 //! attribution in [`crate::report::TierTraffic`].
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dema_core::event::{Event, NodeId};
+use dema_core::sync::{rank, Mutex};
 use dema_metrics::{FaultCounters, NetworkCounters, NetworkSnapshot};
 use dema_net::fault::FaultPlan;
 use dema_net::mem::{link, throttled_link, Throttle};
 use dema_net::tcp::{accept, listen, TcpSender};
 use dema_net::{MsgReceiver, MsgSender, NetError, SharedCounters};
-use parking_lot::Mutex;
 
 use crate::config::{ClusterConfig, Topology, TransportKind};
 use crate::engines::{self, ResilienceCtx};
@@ -217,7 +216,7 @@ fn run_cluster_inner(
     engines::validate(config.engine)?;
     validate_topology(config.topology)?;
 
-    let close_times: CloseTimes = Arc::new(Mutex::new(HashMap::new()));
+    let close_times: CloseTimes = crate::local::new_close_times();
     let resilient = config.resilience.is_some();
     // Resilience promotes every engine to a control plane: the root needs a
     // root→local path for its retry NACKs, and each local a responder to
@@ -373,7 +372,8 @@ fn run_cluster_inner(
         if ch.leaf {
             control_tx.push(ctl);
         } else {
-            let shared: Arc<Mutex<Box<dyn MsgSender>>> = Arc::new(Mutex::new(ctl));
+            let shared: Arc<Mutex<Box<dyn MsgSender>>> =
+                Arc::new(Mutex::new(rank::ROUTED_DOWNLINK, ctl));
             for leaf in ch.range.0..=ch.range.1 {
                 control_tx.push(Box::new(RoutedSender::new(
                     NodeId(leaf),
@@ -388,6 +388,7 @@ fn run_cluster_inner(
     // Spawn the relays…
     let mut handles = Vec::new();
     for (ups, up_tx, down_rx, relay_children) in relay_specs {
+        // lint: allow(R9): long-lived relay topology thread, one per run, outside the sort budget
         handles.push(std::thread::spawn(move || {
             run_relay(ups, up_tx, down_rx, relay_children)
         }));
@@ -408,10 +409,12 @@ fn run_cluster_inner(
             let mut ctl_rx = control_rx.remove(0);
             let mut resp_tx = responder_tx.remove(0);
             let resp_shared = Arc::clone(&shared);
+            // lint: allow(R9): long-lived responder thread, one per node per run, not per-window work
             handles.push(std::thread::spawn(move || {
                 run_responder(node, ctl_rx.as_mut(), resp_tx.as_mut(), &resp_shared)
             }));
         }
+        // lint: allow(R9): long-lived local-node thread, one per node per run, not per-window work
         handles.push(std::thread::spawn(move || match node_work {
             NodeWork::Windowed(node_windows) => {
                 run_local(node, node_windows, engine, tx.as_mut(), &shared, &ct, pace)

@@ -1,0 +1,99 @@
+//! Lifecycle and lock-order gates over the cluster runtime.
+//!
+//! Two halves. (1) Sort-pool lifecycle: repeated `ClusterConfig {
+//! threads: 4 }` runs in one process must reuse the process-wide sort
+//! pool — the pool's own registry (`dema_core::par::pool_stats`) proves
+//! no worker threads leak run-over-run, and the bit-identical second
+//! result proves the job queue was neither poisoned nor wedged by the
+//! first run. (2) The runtime lock-order tracker (`dema_core::sync`):
+//! a full cluster run completes with the tracker armed (debug /
+//! `--features strict`), and an intentionally *inverted* acquisition —
+//! taking a low-ranked cluster lock while a high-ranked one is held —
+//! fires `DemaError::LockOrderViolation` naming both sites, mirroring
+//! the chaos suite's pattern of proving the detector detects.
+
+use dema_cluster::config::ClusterConfig;
+use dema_cluster::runner::run_cluster;
+use dema_core::event::Event;
+use dema_core::quantile::Quantile;
+use dema_gen::SoccerGenerator;
+
+/// Inputs big enough to cross the parallel-sort crossover, so a
+/// `threads: 4` run genuinely dispatches chunks to the pool.
+fn big_inputs(nodes: usize, windows: usize) -> Vec<Vec<Vec<Event>>> {
+    let rate = (dema_core::par::PAR_SORT_MIN + 1_000) as u64;
+    (0..nodes)
+        .map(|i| SoccerGenerator::new(7 + i as u64, 1, rate, 0).take_windows(windows, 1000))
+        .collect()
+}
+
+#[test]
+fn repeated_threaded_runs_reuse_the_pool_and_leave_no_residue() {
+    let mut config = ClusterConfig::dema_fixed(150, Quantile::MEDIAN);
+    config.threads = Some(4);
+    let inputs = big_inputs(2, 2);
+
+    let first = run_cluster(&config, inputs.clone()).expect("first run");
+    // The pool exists now (the sorts above crossed the crossover); its
+    // spawn count is monotonic and must not move on later runs. The
+    // shared pool sizes itself from `default_threads() - 1`, so on a
+    // single-core box (DEMA_THREADS unset) it legitimately has zero
+    // workers and the runs sort inline — the flatness check below is
+    // what must hold everywhere.
+    let stats = dema_core::par::pool_stats();
+    if dema_core::par::default_threads() > 1 {
+        assert!(stats.live > 0, "threads: 4 run must have spawned the pool");
+    }
+    let spawned_after_first = stats.spawned;
+
+    for round in 0..2 {
+        let again = run_cluster(&config, inputs.clone()).expect("repeat run");
+        assert_eq!(
+            again.values(),
+            first.values(),
+            "round {round}: a reused pool must not change results — a \
+             poisoned or wedged queue would hang or diverge here"
+        );
+        assert_eq!(
+            dema_core::par::pool_stats().spawned,
+            spawned_after_first,
+            "round {round}: repeated runs must not spawn new workers"
+        );
+    }
+}
+
+/// A whole windowed run under the armed tracker: every ranked lock the
+/// runtime takes (sort pool, downlinks, throttle, store, sent cache,
+/// close times) respects the global order, or the run panics here.
+#[test]
+fn full_run_respects_the_lock_ranking_under_the_tracker() {
+    let mut config = ClusterConfig::dema_fixed(64, Quantile::MEDIAN);
+    config.threads = Some(4);
+    let report = run_cluster(&config, big_inputs(3, 2)).expect("run");
+    assert_eq!(report.values().len(), 2);
+}
+
+/// The intentionally-inverted self-test: the tracker must *fire* when
+/// ranks are acquired out of order, or the gate above proves nothing.
+#[cfg(any(debug_assertions, feature = "strict"))]
+#[test]
+fn inverted_cluster_ranks_fire_the_tracker() {
+    use dema_core::sync::{rank, Mutex};
+    use dema_core::DemaError;
+
+    // local.store (rank 50) is ranked above relay.downlink (rank 20):
+    // holding the store while taking a downlink is the inversion the
+    // static rule R10 and this tracker both exist to catch.
+    let store = Mutex::new(rank::LOCAL_STORE, ());
+    let downlink = Mutex::new(rank::ROUTED_DOWNLINK, ());
+    let _held = store.lock();
+    let err = downlink.lock_checked().err();
+    match err {
+        Some(DemaError::LockOrderViolation { held, acquiring }) => {
+            assert_eq!(held, "local.store(rank 50)");
+            assert_eq!(acquiring, "relay.downlink(rank 20)");
+        }
+        Some(other) => panic!("wrong error: {other}"),
+        None => panic!("tracker failed to fire on an inverted acquisition"),
+    }
+}

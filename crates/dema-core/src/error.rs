@@ -48,6 +48,17 @@ pub enum DemaError {
         /// Total number of events in the global window.
         total: u64,
     },
+    /// The runtime lock-order tracker ([`crate::sync`]) observed a lock
+    /// acquisition whose static rank is not strictly greater than every
+    /// rank already held by the acquiring thread. Both site labels are
+    /// reported so the inversion pair can be read straight off the error.
+    /// Only constructed under `debug_assertions` or `--features strict`.
+    LockOrderViolation {
+        /// Label of the highest-ranked lock already held.
+        held: String,
+        /// Label of the lock whose acquisition violated the ranking.
+        acquiring: String,
+    },
     /// The checked-invariant layer ([`crate::invariant`]) detected a
     /// violation of the rank-bound correctness model: synopses that do not
     /// partition their window, a candidate set that misses the target rank,
@@ -73,6 +84,12 @@ impl fmt::Display for DemaError {
             DemaError::CorruptCandidate(msg) => write!(f, "corrupt candidate slice: {msg}"),
             DemaError::RankOutOfRange { rank, total } => {
                 write!(f, "rank {rank} out of range for window of {total} events")
+            }
+            DemaError::LockOrderViolation { held, acquiring } => {
+                write!(
+                    f,
+                    "lock-order violation: acquiring {acquiring} while holding {held}"
+                )
             }
             DemaError::InvariantViolation(msg) => write!(f, "invariant violated: {msg}"),
         }
@@ -109,6 +126,25 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(DemaError::EmptyWindow, DemaError::EmptyWindow);
         assert_ne!(DemaError::EmptyWindow, DemaError::InvalidGamma(1));
+    }
+
+    #[test]
+    fn lock_order_violation_names_both_sites() {
+        let e = DemaError::LockOrderViolation {
+            held: "local.store(rank 50)".into(),
+            acquiring: "par.queue(rank 10)".into(),
+        };
+        match &e {
+            DemaError::LockOrderViolation { held, acquiring } => {
+                assert_eq!(held, "local.store(rank 50)");
+                assert_eq!(acquiring, "par.queue(rank 10)");
+            }
+            other => panic!("unexpected variant: {other:?}"),
+        }
+        assert_eq!(
+            e.to_string(),
+            "lock-order violation: acquiring par.queue(rank 10) while holding local.store(rank 50)"
+        );
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod selector;
 pub mod shared;
 pub mod slice;
 pub mod sliding;
+pub mod sync;
 pub mod window;
 
 pub use error::{DemaError, Result};

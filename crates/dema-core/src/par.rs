@@ -33,17 +33,28 @@
 //!
 //! ## Pool shape
 //!
-//! Workers are spawned lazily on first parallel sort and share one
-//! injector channel (the vendored `crossbeam` shim) behind a mutex: an
-//! idle worker camps on the receiver and steals the next chunk the moment
-//! it is queued, so load balances across concurrent windows without any
+//! Workers are spawned lazily on first parallel sort and share one job
+//! queue (a `VecDeque` behind the ranked [`sync::Mutex`](crate::sync),
+//! signalled through a [`sync::Condvar`](crate::sync)): an idle worker
+//! waits on the condvar and steals the next chunk the moment it is
+//! queued, so load balances across concurrent windows without any
 //! per-window thread spawns. Inputs below [`PAR_SORT_MIN`] skip dispatch
 //! entirely and sort inline — chunking overhead would dominate.
+//!
+//! [`Pool`] has an explicit lifecycle: dropping a scoped pool latches
+//! shutdown, drains the queued jobs, and joins every worker, and a
+//! process-wide registry ([`pool_stats`]) counts worker spawns/exits so
+//! tests can prove repeated cluster runs neither leak threads nor
+//! poison the queue. The shared pool used by [`sort_events`] lives in a
+//! static and is reused for the process lifetime.
 
 use std::cell::RefCell;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::event::Event;
+use crate::sync::{rank, Condvar, Mutex};
 
 /// Inputs shorter than this sort inline on the calling thread: below a few
 /// thousand events the channel round trip and the final k-way merge cost
@@ -70,13 +81,147 @@ pub const MAX_THREADS: usize = 64;
 /// A unit of pool work: sort one owned chunk and ship it back.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// The process-wide sort pool: worker count and the injector handle.
-struct Pool {
+/// Job queue plus the shutdown latch, guarded by the `par.queue` rank.
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// State shared between a pool's handle and its workers.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    /// Workers of *this* pool currently inside their worker loop;
+    /// exactly zero once [`Pool::drop`] has joined them.
+    live: AtomicUsize,
+}
+
+/// Workers ever spawned, process-wide (monotonic; bumped synchronously
+/// by [`Pool::new`] on the spawning thread).
+static SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Workers currently running, process-wide (entry/exit accounting done
+/// by the worker thread itself, panic-safe via [`LiveToken`]).
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Snapshot of the worker registry across every [`Pool`] in the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers spawned since process start (monotonic).
+    pub spawned: usize,
+    /// Workers currently running their loop.
+    pub live: usize,
+}
+
+/// Read the process-wide worker registry.
+///
+/// Lifecycle tests compare `spawned` across repeated cluster runs: the
+/// shared pool is spawned once, so the count must not grow run-over-run.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        spawned: SPAWNED.load(Ordering::SeqCst),
+        live: LIVE.load(Ordering::SeqCst),
+    }
+}
+
+/// Registers a worker as live on construction and, however the worker
+/// exits (shutdown or a panicking job), deregisters it on drop.
+struct LiveToken<'a> {
+    shared: &'a PoolShared,
+}
+
+impl<'a> LiveToken<'a> {
+    fn register(shared: &'a PoolShared) -> LiveToken<'a> {
+        LIVE.fetch_add(1, Ordering::SeqCst);
+        shared.live.fetch_add(1, Ordering::SeqCst);
+        LiveToken { shared }
+    }
+}
+
+impl Drop for LiveToken<'_> {
+    fn drop(&mut self) {
+        self.shared.live.fetch_sub(1, Ordering::SeqCst);
+        LIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A sort worker pool with an explicit shutdown path.
+///
+/// The shared pool behind [`sort_events`] lives in a static and is never
+/// dropped; a scoped pool shuts down deterministically in `Drop` — the
+/// shutdown latch is set under the queue lock, every worker is woken,
+/// queued jobs drain, and the worker threads are joined, so no worker
+/// thread ever outlives its pool.
+pub struct Pool {
     /// Workers actually running (spawn failures only shrink the pool).
     workers: usize,
-    /// Job injector; kept alive for the process lifetime so workers never
-    /// observe a disconnect.
-    inject: crossbeam::channel::Sender<Job>,
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn a pool with up to `target` workers. Spawn failures shrink
+    /// the pool instead of erroring; callers fall back to inline sorting
+    /// when [`Pool::workers`] reports zero.
+    pub fn new(target: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(
+                rank::PAR_QUEUE,
+                PoolState {
+                    queue: VecDeque::new(),
+                    shutdown: false,
+                },
+            ),
+            work_ready: Condvar::new(),
+            live: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::with_capacity(target);
+        for i in 0..target {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("dema-par-{i}"))
+                .spawn(move || {
+                    let _live = LiveToken::register(&shared);
+                    worker_loop(&shared);
+                });
+            if let Ok(handle) = spawned {
+                SPAWNED.fetch_add(1, Ordering::SeqCst);
+                handles.push(handle);
+            }
+        }
+        Pool {
+            workers: handles.len(),
+            shared: Arc::clone(&shared),
+            handles,
+        }
+    }
+
+    /// Number of workers actually running.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queue one job and wake an idle worker.
+    fn submit(&self, job: Job) {
+        {
+            let mut state = self.shared.state.lock();
+            state.queue.push_back(job);
+        }
+        self.shared.work_ready.notify_one();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Thread count used when the caller does not pass one explicitly:
@@ -104,37 +249,30 @@ pub fn default_threads() -> usize {
 /// workers (the calling thread always sorts one chunk itself).
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let target = default_threads().saturating_sub(1);
-        let (inject, rx) = crossbeam::channel::unbounded::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let mut workers = 0;
-        for i in 0..target {
-            let rx = Arc::clone(&rx);
-            let spawned = std::thread::Builder::new()
-                .name(format!("dema-par-{i}"))
-                .spawn(move || worker_loop(&rx));
-            if spawned.is_ok() {
-                workers += 1;
-            }
-        }
-        Pool { workers, inject }
-    })
+    POOL.get_or_init(|| Pool::new(default_threads().saturating_sub(1)))
 }
 
-/// Worker body: steal jobs until the channel disconnects (never, in
-/// practice — the injector lives in the pool static).
-fn worker_loop(rx: &Mutex<crossbeam::channel::Receiver<Job>>) {
+/// Worker body: steal queued jobs until shutdown. The queue guard is
+/// dropped before the job runs, so jobs execute lock-free; waiting
+/// happens inside [`Condvar::wait`], which releases the queue lock (and
+/// its tracker rank) for the duration of the block.
+fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            // A poisoned lock only means another worker panicked while
-            // holding the guard; the receiver itself is still sound.
-            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            guard.recv()
+            let mut state = shared.state.lock();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work_ready.wait(state);
+            }
         };
         match job {
-            Ok(job) => job(),
-            Err(_) => return,
+            Some(job) => job(),
+            None => return,
         }
     }
 }
@@ -270,54 +408,63 @@ pub fn sort_events_with(events: &mut Vec<Event>, threads: usize) {
     parts.push(std::mem::take(events));
     parts.reverse();
 
-    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, Vec<Event>)>();
+    // Per-call result collector: each job deposits its sorted chunk in
+    // its slot and wakes the caller once every slot is filled. Bounded
+    // by construction (t - 1 slots), unlike the old per-call unbounded
+    // done-channel.
+    struct BatchState {
+        slots: Vec<Option<Vec<Event>>>,
+        filled: usize,
+    }
+    struct SortBatch {
+        slots: Mutex<BatchState>,
+        done: Condvar,
+    }
+    let batch = Arc::new(SortBatch {
+        slots: Mutex::new(
+            rank::PAR_RESULTS,
+            BatchState {
+                slots: (1..t).map(|_| None).collect(),
+                filled: 0,
+            },
+        ),
+        done: Condvar::new(),
+    });
+
     let mut first = Vec::new();
-    let mut rest: Vec<Vec<Event>> = Vec::new();
-    rest.resize_with(t - 1, Vec::new);
     for (pos, mut chunk) in parts.into_iter().enumerate() {
         if pos == 0 {
             first = chunk;
             continue;
         }
-        let tx = done_tx.clone();
+        let batch = Arc::clone(&batch);
         let job: Job = Box::new(move || {
             sort_run(&mut chunk);
-            // The result receiver outlives every job of this call; a
-            // failed send would mean the caller vanished mid-sort.
-            let _ = tx.send((pos - 1, chunk));
+            {
+                let mut state = batch.slots.lock();
+                state.slots[pos - 1] = Some(chunk);
+                state.filled += 1;
+            }
+            batch.done.notify_one();
         });
-        if let Err(stranded) = pool.inject.send(job) {
-            // Injector disconnected (impossible while the static lives):
-            // the job comes back in the error — run it inline.
-            (stranded.0)();
-        }
+        pool.submit(job);
     }
-    // Drop our sender so a vanished worker surfaces as a disconnect below
-    // instead of a hang; buffered results still drain after that.
-    drop(done_tx);
 
     // The calling thread is worker zero.
     sort_run(&mut first);
 
-    let mut received = 0;
-    while received < t - 1 {
-        match done_rx.recv() {
-            Ok((slot, chunk)) => {
-                rest[slot] = chunk;
-                received += 1;
-            }
-            Err(_) => {
-                // Unreachable: chunk sorting cannot panic, and jobs that
-                // fail to enqueue ran inline above.
-                debug_assert_eq!(received, t - 1, "sort worker vanished");
-                break;
-            }
+    let sorted_rest = {
+        let mut state = batch.slots.lock();
+        while state.filled < t - 1 {
+            state = batch.done.wait(state);
         }
-    }
+        std::mem::take(&mut state.slots)
+    };
 
     let mut runs: Vec<Vec<Event>> = Vec::with_capacity(t);
     runs.push(first);
-    runs.append(&mut rest);
+    // Every slot is Some once filled == t - 1; the default is unreachable.
+    runs.extend(sorted_rest.into_iter().map(Option::unwrap_or_default));
     *events = crate::merge::merge_runs(&runs);
     debug_assert_eq!(events.len(), n);
 }
@@ -433,6 +580,57 @@ mod tests {
         expect.sort_unstable();
         sort_events(&mut v);
         assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn scoped_pool_drains_queue_then_joins_every_worker() {
+        let pool = Pool::new(4);
+        assert!(pool.workers() <= 4);
+        let shared = Arc::clone(&pool.shared);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            pool.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool);
+        // Drop drains queued jobs before shutdown, then joins: every job
+        // ran and no worker thread outlives its pool.
+        assert_eq!(hits.load(Ordering::SeqCst), 16, "queued jobs must drain");
+        assert_eq!(shared.live.load(Ordering::SeqCst), 0, "worker leaked");
+    }
+
+    #[test]
+    fn repeated_scoped_pools_leave_the_live_count_flat() {
+        for _ in 0..3 {
+            let pool = Pool::new(2);
+            let shared = Arc::clone(&pool.shared);
+            pool.submit(Box::new(|| {}));
+            drop(pool);
+            assert_eq!(shared.live.load(Ordering::SeqCst), 0);
+        }
+    }
+
+    #[test]
+    fn shared_pool_is_reused_across_repeated_sorts() {
+        // Force the shared pool into existence, then sort again: the
+        // registry's monotonic spawn count must not grow run-over-run.
+        let mut v = scrambled(2 * PAR_SORT_MIN);
+        sort_events_with(&mut v, 4);
+        let spawned_after_first = pool_stats().spawned;
+        for _ in 0..2 {
+            let mut w = scrambled(2 * PAR_SORT_MIN);
+            let mut expect = w.clone();
+            expect.sort_unstable();
+            sort_events_with(&mut w, 4);
+            assert_eq!(w, expect);
+        }
+        assert_eq!(
+            pool_stats().spawned,
+            spawned_after_first,
+            "shared pool must be spawned once per process"
+        );
     }
 
     #[test]

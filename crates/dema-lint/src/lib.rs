@@ -46,6 +46,27 @@
 //!   `DEMA_THREADS` budget; go through `dema_core::par`, or tag a
 //!   deliberate long-lived thread (runner topology) with
 //!   `// lint: allow(R9): <reason>` or a baseline entry.
+//! * **R10** *(concurrency mode)* — no lock-order inversions. Every lock
+//!   acquisition nested inside another guard's lexical scope becomes an
+//!   edge in a workspace-wide acquisition graph; a cycle means two code
+//!   paths can take the same locks in opposite orders and deadlock. The
+//!   runtime twin is `dema_core::sync`'s rank tracker; this rule catches
+//!   the inversion before the interleaving does.
+//! * **R11** *(concurrency mode)* — no lock guard held across a blocking
+//!   call (`.recv()`, `.recv_timeout(..)`, `.write_all(..)`, `.join()`,
+//!   a `sort_events` pool dispatch). A blocked holder starves every other
+//!   thread that needs the lock; drop the guard in an inner block first.
+//!   `Condvar::wait` is the sanctioned block-while-locked primitive and
+//!   is deliberately not a needle.
+//! * **R12** *(concurrency mode)* — no unbounded channel construction
+//!   (`unbounded(..)`, std `mpsc::channel(..)`) in hot-path crates: an
+//!   unbounded queue turns backpressure into unbounded memory growth.
+//!   Deliberately-unbounded links carry `// lint: allow(R12): <reason>`.
+//! * **R13** *(concurrency mode)* — hot-path crates must take locks
+//!   through the ranked `dema_core::sync` wrappers: raw
+//!   `std::sync::Mutex` / `RwLock` / `Condvar` or any `parking_lot`
+//!   mention escapes the runtime lock-order tracker. The wrapper module
+//!   itself (`dema-core/src/sync.rs`) is exempt.
 //!
 //! The analysis is purely lexical over a *masked* view of each source file:
 //! string and comment bytes are blanked (newlines kept) so tokens inside
@@ -59,7 +80,7 @@
 //! deleted, so the baseline can only shrink. See DESIGN.md §8 and §11.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -92,7 +113,7 @@ const NUMERIC_TYPES: [&str; 14] = [
 /// One finding of one rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier: `R1`..`R9`.
+    /// Rule identifier: `R1`..`R13`.
     pub rule: &'static str,
     /// Path of the offending file, relative to the checked root.
     pub path: String,
@@ -445,10 +466,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
 
 /// R1: panic-capable calls in non-test library code of the core crates.
 fn check_r1(file: &SourceFile, violations: &mut Vec<Violation>) {
-    let in_scope = R1_CRATES.iter().any(|c| {
-        file.rel.contains(&format!("crates/{c}/src/")) || file.rel.starts_with(&format!("{c}/src/"))
-    });
-    if !in_scope || file.test_by_path {
+    if !in_crate_src(file, &R1_CRATES) || file.test_by_path {
         return;
     }
     let patterns: [(&str, &str); 5] = [
@@ -576,10 +594,7 @@ pub const R9_EXEMPT: &str = "dema-core/src/par.rs";
 /// `use std::thread;` + `thread::spawn(..)` both match; `pool.spawn(..)`
 /// and identifiers merely ending in `thread` do not.
 fn check_r9(file: &SourceFile, violations: &mut Vec<Violation>) {
-    let in_scope = R9_CRATES.iter().any(|c| {
-        file.rel.contains(&format!("crates/{c}/src/")) || file.rel.starts_with(&format!("{c}/src/"))
-    });
-    if !in_scope || file.test_by_path || file.rel.ends_with(R9_EXEMPT) {
+    if !in_crate_src(file, &R9_CRATES) || file.test_by_path || file.rel.ends_with(R9_EXEMPT) {
         return;
     }
     let needle = "thread::spawn";
@@ -614,6 +629,526 @@ fn check_r9(file: &SourceFile, violations: &mut Vec<Violation>) {
                       topology thread with `// lint: allow(R9): <reason>`"
                 .to_string(),
         });
+    }
+}
+
+/// Crates the concurrency pass (R10–R13) covers: the hot path from event
+/// ingest to the aggregated answer, where a deadlock or unbounded queue
+/// stalls every window in flight.
+pub const CONC_CRATES: [&str; 4] = ["dema-core", "dema-wire", "dema-net", "dema-cluster"];
+
+/// The instrumented sync layer itself — the one file allowed to name raw
+/// std locks, because it is the wrapper the rest of the tree must use.
+pub const CONC_EXEMPT: &str = "dema-core/src/sync.rs";
+
+/// `true` if `file` is non-test source of one of `crates`.
+fn in_crate_src(file: &SourceFile, crates: &[&str]) -> bool {
+    crates.iter().any(|c| {
+        file.rel.contains(&format!("crates/{c}/src/")) || file.rel.starts_with(&format!("{c}/src/"))
+    })
+}
+
+/// Scope shared by all four concurrency rules.
+fn conc_in_scope(file: &SourceFile) -> bool {
+    !file.test_by_path && !file.rel.ends_with(CONC_EXEMPT) && in_crate_src(file, &CONC_CRATES)
+}
+
+/// One lock acquisition in non-test code: the guard's receiver name and
+/// the byte range over which the guard is lexically held.
+struct LockSite {
+    /// Receiver identifier (`store` in `self.store.lock()`).
+    name: String,
+    /// Offset of the method-call dot.
+    offset: usize,
+    /// End of the guard's lexical scope (exclusive).
+    scope_end: usize,
+}
+
+/// One nested acquisition: while `from`'s guard is lexically live, `to`
+/// is acquired at `path:line`. These are the edges of the workspace-wide
+/// acquisition graph R10 searches for cycles.
+struct LockEdge {
+    from: String,
+    to: String,
+    path: String,
+    line: usize,
+}
+
+/// Names declared with an `RwLock<..>` type or bound via `RwLock::new`,
+/// collected across the whole workspace so `.read()` / `.write()`
+/// receivers can be told apart from same-named io or accessor methods.
+fn declared_rwlocks(files: &[SourceFile]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for file in files {
+        for line in file.masked.lines() {
+            if contains_word(line, "RwLock") {
+                collect_decl_name(line, "RwLock", &mut names);
+            }
+        }
+    }
+    names
+}
+
+/// If `line` declares a binding or field of type `ty` — `name: ..Ty<..>`
+/// (field, param, static) or `let [mut] name = Ty::new(..)` — record the
+/// name. Purely lexical: wrappers like `Arc<Ty<..>>` still resolve to the
+/// field name left of the single `:`.
+fn collect_decl_name(line: &str, ty: &str, names: &mut BTreeSet<String>) {
+    if line.contains(&format!("{ty}::new(")) {
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix("let ") {
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.insert(name);
+                return;
+            }
+        }
+    }
+    let Some(ty_at) = line.find(&format!("{ty}<")) else {
+        return;
+    };
+    // The identifier left of the last single `:` (not `::`) before the type.
+    let head = line[..ty_at].as_bytes();
+    let mut colon = None;
+    let mut k = 0;
+    while k < head.len() {
+        if head[k] == b':' {
+            if head.get(k + 1) == Some(&b':') {
+                k += 2;
+                continue;
+            }
+            colon = Some(k);
+        }
+        k += 1;
+    }
+    let Some(colon) = colon else { return };
+    let mut end = colon;
+    while end > 0 && head[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_byte(head[start - 1]) {
+        start -= 1;
+    }
+    if start < end {
+        names.insert(line[start..end].to_string());
+    }
+}
+
+/// Lexical end of the guard produced by the lock call at `at`. A
+/// `let`-bound guard (including `if let` / `while let` / `match` heads,
+/// whose temporaries live for the whole expression) lives to the end of
+/// the enclosing block; a plain temporary dies with its statement.
+fn guard_scope_end(masked: &str, at: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut b = at;
+    while b > 0 && !matches!(bytes[b - 1], b';' | b'{' | b'}') {
+        b -= 1;
+    }
+    let head = masked[b..at].trim_start();
+    let let_bound = head.starts_with("let ")
+        || head.starts_with("if let ")
+        || head.starts_with("while let ")
+        || head.starts_with("match ")
+        || head.starts_with("for ");
+    if let_bound {
+        enclosing_block_end(masked, at)
+    } else {
+        statement_end(masked, at)
+    }
+}
+
+/// Offset of the `}` closing the innermost block containing `at`.
+fn enclosing_block_end(masked: &str, at: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0usize;
+    let mut k = at;
+    while k > 0 {
+        k -= 1;
+        match bytes[k] {
+            b'}' => depth += 1,
+            b'{' => {
+                if depth == 0 {
+                    return matching(bytes, k, b'{', b'}').unwrap_or(masked.len());
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    masked.len()
+}
+
+/// Offset where the statement containing `at` ends: its `;` at bracket
+/// depth zero, or the `}` that closes the surrounding block (tail
+/// expression).
+fn statement_end(masked: &str, at: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0i32;
+    for (k, &b) in bytes.iter().enumerate().skip(at) {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            b';' if depth <= 0 => return k,
+            _ => {}
+        }
+    }
+    masked.len()
+}
+
+/// Every named lock acquisition in `file`'s non-test code. `.lock()` (and
+/// `.lock_checked()`) always counts — only mutexes have it; `.read()` /
+/// `.write()` count only when the receiver is a declared `RwLock` name,
+/// so io methods never match.
+fn lock_sites(file: &SourceFile, rwlock_names: &BTreeSet<String>) -> Vec<LockSite> {
+    let bytes = file.masked.as_bytes();
+    let mut sites = Vec::new();
+    let needles = [
+        (".lock()", false),
+        (".lock_checked()", false),
+        (".read()", true),
+        (".write()", true),
+        (".read_checked()", true),
+        (".write_checked()", true),
+    ];
+    for (needle, rwlock_only) in needles {
+        let mut i = 0;
+        while let Some(pos) = file.masked[i..].find(needle) {
+            let at = i + pos;
+            i = at + needle.len();
+            if file.in_test_region(at) {
+                continue;
+            }
+            let mut s = at;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            if s == at {
+                continue; // unnamed receiver, e.g. `).lock()`
+            }
+            let name = file.masked[s..at].to_string();
+            if rwlock_only && !rwlock_names.contains(&name) {
+                continue;
+            }
+            sites.push(LockSite {
+                name,
+                offset: at,
+                scope_end: guard_scope_end(&file.masked, at),
+            });
+        }
+    }
+    sites.sort_by_key(|s| s.offset);
+    sites
+}
+
+/// Blocking calls a guard must not span (rule R11). `Condvar::wait` is
+/// deliberately absent: it releases the mutex while blocked.
+const BLOCKING_NEEDLES: [(&str, &str); 6] = [
+    (".recv()", ".recv()"),
+    (".recv_timeout(", ".recv_timeout(..)"),
+    (".write_all(", ".write_all(..)"),
+    (".join()", ".join()"),
+    ("sort_events(", "sort_events(..)"),
+    ("sort_events_with(", "sort_events_with(..)"),
+];
+
+/// Per-file half of R10/R11: compute the file's lock sites, emit R11 for
+/// blocking calls inside a guard scope, and collect the nesting edges for
+/// the workspace-wide R10 cycle search.
+fn check_conc_file(
+    file: &SourceFile,
+    rwlock_names: &BTreeSet<String>,
+    edges: &mut Vec<LockEdge>,
+    violations: &mut Vec<Violation>,
+) {
+    if !conc_in_scope(file) {
+        return;
+    }
+    let sites = lock_sites(file, rwlock_names);
+
+    for outer in &sites {
+        for inner in &sites {
+            if inner.offset > outer.offset
+                && inner.offset < outer.scope_end
+                && inner.name != outer.name
+            {
+                let line = file.line_of(inner.offset);
+                if file.allowed("R10", line) {
+                    continue;
+                }
+                edges.push(LockEdge {
+                    from: outer.name.clone(),
+                    to: inner.name.clone(),
+                    path: file.rel.clone(),
+                    line,
+                });
+            }
+        }
+    }
+
+    let mut reported: BTreeSet<usize> = BTreeSet::new();
+    for site in &sites {
+        let end = site.scope_end.min(file.masked.len());
+        let scope = &file.masked[site.offset..end];
+        for (needle, token) in BLOCKING_NEEDLES {
+            let mut j = 0;
+            while let Some(p) = scope[j..].find(needle) {
+                let abs = site.offset + j + p;
+                j += p + needle.len();
+                // A word boundary before keeps `resort_events(` and
+                // friends from matching the bare-function needles.
+                if !needle.starts_with('.') {
+                    let before = file.masked.as_bytes()[..abs]
+                        .last()
+                        .copied()
+                        .unwrap_or(b' ');
+                    if is_ident_byte(before) {
+                        continue;
+                    }
+                }
+                if file.in_test_region(abs) || !reported.insert(abs) {
+                    continue;
+                }
+                let line = file.line_of(abs);
+                if file.allowed("R11", line) {
+                    continue;
+                }
+                violations.push(Violation {
+                    rule: "R11",
+                    path: file.rel.clone(),
+                    line,
+                    token: token.to_string(),
+                    message: format!(
+                        "`{token}` can block while the `{}` guard (taken on line {}) is \
+                         still held, starving every thread that needs the lock; drop the \
+                         guard in an inner block first (or tag with \
+                         `// lint: allow(R11): <reason>`)",
+                        site.name,
+                        file.line_of(site.offset)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// BFS path `from -> .. -> to` through the acquisition graph, inclusive.
+fn lock_path<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut visited: BTreeSet<&str> = BTreeSet::from([from]);
+    let mut queue: VecDeque<&str> = VecDeque::from([from]);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![node];
+            let mut cur = node;
+            while let Some(&p) = parent.get(cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in adj.get(node).into_iter().flatten() {
+            if visited.insert(next) {
+                parent.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// R10: cycles in the workspace-wide acquisition graph. Each edge whose
+/// target can reach back to its source closes a cycle; one finding per
+/// distinct lock set, anchored at the inner acquisition of the first
+/// closing edge found.
+fn check_r10(edges: &[LockEdge], violations: &mut Vec<Violation>) {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.as_str())
+            .or_default()
+            .insert(e.to.as_str());
+    }
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for e in edges {
+        let Some(path) = lock_path(&adj, e.to.as_str(), e.from.as_str()) else {
+            continue;
+        };
+        let mut cycle: Vec<&str> = vec![e.from.as_str()];
+        cycle.extend(path);
+        let mut sig: Vec<&str> = cycle.clone();
+        sig.sort_unstable();
+        sig.dedup();
+        if !seen.insert(sig.join(",")) {
+            continue;
+        }
+        // For the common two-lock inversion, name the opposing site too.
+        let counter = edges
+            .iter()
+            .find(|o| o.from == e.to && o.to == e.from)
+            .map(|o| format!(" (opposite order at {}:{})", o.path, o.line))
+            .unwrap_or_default();
+        violations.push(Violation {
+            rule: "R10",
+            path: e.path.clone(),
+            line: e.line,
+            token: format!("lock-cycle:{}", cycle.join("->")),
+            message: format!(
+                "lock-order inversion: acquisition cycle {} means two paths can take \
+                 these locks in opposite orders and deadlock{counter}; pick one global \
+                 order (see the rank table in dema_core::sync)",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+}
+
+/// R12: unbounded channel construction in hot-path crates. Needles are
+/// `unbounded(..)` (crossbeam-style, turbofish allowed) and std
+/// `mpsc::channel(..)` (unbounded by construction; `sync_channel` is the
+/// bounded twin and does not match).
+fn check_r12(file: &SourceFile, violations: &mut Vec<Violation>) {
+    if !conc_in_scope(file) {
+        return;
+    }
+    let bytes = file.masked.as_bytes();
+    for at in word_occurrences(&file.masked, "unbounded") {
+        let mut j = at + "unbounded".len();
+        if file.masked[j..].starts_with("::<") {
+            match matching(bytes, j + 2, b'<', b'>') {
+                Some(close) => j = close + 1,
+                None => continue,
+            }
+        }
+        if bytes.get(j) != Some(&b'(') || file.in_test_region(at) {
+            continue;
+        }
+        let line = file.line_of(at);
+        if file.allowed("R12", line) {
+            continue;
+        }
+        violations.push(Violation {
+            rule: "R12",
+            path: file.rel.clone(),
+            line,
+            token: "unbounded(..)".to_string(),
+            message: "unbounded channel in a hot-path crate turns backpressure into \
+                      unbounded memory growth; use a bounded channel, or tag a link \
+                      whose depth is bounded elsewhere with `// lint: allow(R12): <reason>`"
+                .to_string(),
+        });
+    }
+    let needle = "mpsc::channel";
+    let mut i = 0;
+    while let Some(pos) = file.masked[i..].find(needle) {
+        let at = i + pos;
+        i = at + needle.len();
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let mut j = at + needle.len();
+        if file.masked[j..].starts_with("::<") {
+            match matching(bytes, j + 2, b'<', b'>') {
+                Some(close) => j = close + 1,
+                None => continue,
+            }
+        }
+        if bytes.get(j) != Some(&b'(') || file.in_test_region(at) {
+            continue;
+        }
+        let line = file.line_of(at);
+        if file.allowed("R12", line) {
+            continue;
+        }
+        violations.push(Violation {
+            rule: "R12",
+            path: file.rel.clone(),
+            line,
+            token: "mpsc::channel(..)".to_string(),
+            message: "std `mpsc::channel` is unbounded; use `sync_channel` (or tag with \
+                      `// lint: allow(R12): <reason>` if depth is bounded elsewhere)"
+                .to_string(),
+        });
+    }
+}
+
+/// R13: raw lock types in hot-path crates. Any `parking_lot` mention, a
+/// qualified `std::sync::Mutex` / `RwLock` / `Condvar`, or a
+/// `use std::sync::{..}` list naming one of them escapes the ranked
+/// `dema_core::sync` wrappers and the runtime lock-order tracker.
+fn check_r13(file: &SourceFile, violations: &mut Vec<Violation>) {
+    if !conc_in_scope(file) {
+        return;
+    }
+    let bytes = file.masked.as_bytes();
+    let push = |line: usize, token: &str, violations: &mut Vec<Violation>| {
+        if file.allowed("R13", line) {
+            return;
+        }
+        violations.push(Violation {
+            rule: "R13",
+            path: file.rel.clone(),
+            line,
+            token: token.to_string(),
+            message: format!(
+                "raw `{token}` lock in a hot-path crate escapes the runtime lock-order \
+                 tracker; use the ranked `dema_core::sync` wrappers (or tag with \
+                 `// lint: allow(R13): <reason>`)"
+            ),
+        });
+    };
+    let direct = [
+        "parking_lot",
+        "std::sync::Mutex",
+        "std::sync::RwLock",
+        "std::sync::Condvar",
+    ];
+    for needle in direct {
+        let mut i = 0;
+        while let Some(pos) = file.masked[i..].find(needle) {
+            let at = i + pos;
+            i = at + needle.len();
+            let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+            let after = at + needle.len();
+            let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+            if before_ok && after_ok && !file.in_test_region(at) {
+                push(file.line_of(at), needle, violations);
+            }
+        }
+    }
+    let group = "std::sync::{";
+    let mut i = 0;
+    while let Some(pos) = file.masked[i..].find(group) {
+        let at = i + pos;
+        let open = at + group.len() - 1;
+        let Some(close) = matching(bytes, open, b'{', b'}') else {
+            i = open + 1;
+            continue;
+        };
+        i = close;
+        if file.in_test_region(at) {
+            continue;
+        }
+        for word in ["Mutex", "RwLock", "Condvar"] {
+            if contains_word(&file.masked[open..close], word) {
+                push(file.line_of(at), &format!("std::sync::{word}"), violations);
+            }
+        }
     }
 }
 
@@ -766,16 +1301,11 @@ fn check_r4(files: &[SourceFile], violations: &mut Vec<Violation>) {
 
 /// `true` if `rule`'s findings can occur in `file` — i.e. an allow tag for
 /// it there is load-bearing. Tags for out-of-scope rules (doc examples,
-/// message strings) are inert, not stale.
-fn rule_in_scope(rule: &str, file: &SourceFile) -> bool {
+/// message strings) are inert, not stale; likewise R10–R13 tags are only
+/// load-bearing when the concurrency pass actually ran.
+fn rule_in_scope(rule: &str, file: &SourceFile, concurrency: bool) -> bool {
     match rule {
-        "R1" => {
-            !file.test_by_path
-                && R1_CRATES.iter().any(|c| {
-                    file.rel.contains(&format!("crates/{c}/src/"))
-                        || file.rel.starts_with(&format!("{c}/src/"))
-                })
-        }
+        "R1" => !file.test_by_path && in_crate_src(file, &R1_CRATES),
         "R2" => R2_FILES.iter().any(|f| file.rel.ends_with(f)),
         "R5" => {
             !file.test_by_path
@@ -783,13 +1313,9 @@ fn rule_in_scope(rule: &str, file: &SourceFile) -> bool {
                     || file.rel.starts_with("dema-cluster/src/"))
         }
         "R9" => {
-            !file.test_by_path
-                && !file.rel.ends_with(R9_EXEMPT)
-                && R9_CRATES.iter().any(|c| {
-                    file.rel.contains(&format!("crates/{c}/src/"))
-                        || file.rel.starts_with(&format!("{c}/src/"))
-                })
+            !file.test_by_path && !file.rel.ends_with(R9_EXEMPT) && in_crate_src(file, &R9_CRATES)
         }
+        "R10" | "R11" | "R12" | "R13" => concurrency && conc_in_scope(file),
         _ => false,
     }
 }
@@ -821,13 +1347,14 @@ fn allow_tags(text: &str) -> Vec<(usize, String)> {
     tags
 }
 
-/// R8: stale allow tags. Runs after R1/R2/R5 so [`SourceFile::used_allows`]
-/// is populated; every well-formed in-scope tag that suppressed nothing is
-/// a finding — the justification outlived the code it excused.
-fn check_r8(file: &SourceFile, violations: &mut Vec<Violation>) {
+/// R8: stale allow tags. Runs after the allow-consuming rules so
+/// [`SourceFile::used_allows`] is populated; every well-formed in-scope
+/// tag that suppressed nothing is a finding — the justification outlived
+/// the code it excused.
+fn check_r8(file: &SourceFile, concurrency: bool, violations: &mut Vec<Violation>) {
     let used = file.used_allows.borrow();
     for (line_idx, rule) in allow_tags(&file.text) {
-        if !rule_in_scope(&rule, file) {
+        if !rule_in_scope(&rule, file, concurrency) {
             continue;
         }
         if used.contains(&(line_idx, rule.clone())) {
@@ -994,17 +1521,19 @@ pub struct Report {
 }
 
 /// Run the always-on rules (R1–R5, R8, R9) over the workspace rooted at
-/// `root`. Equivalent to [`check_full`] with `spec: false`.
+/// `root`. Equivalent to [`check_full`] with `spec` and `concurrency`
+/// both off.
 ///
 /// `baseline` holds `RULE|path|token` keys of accepted findings.
 pub fn check(root: &Path, baseline: &[String]) -> Report {
-    check_full(root, baseline, false)
+    check_full(root, baseline, false, false)
 }
 
 /// Run all rules over the workspace rooted at `root`. With `spec: true`
 /// the protocol-conformance rules R6/R7 (backed by `dema_model::spec`)
-/// run as well.
-pub fn check_full(root: &Path, baseline: &[String], spec: bool) -> Report {
+/// run as well; with `concurrency: true` the lock/channel rules R10–R13
+/// do.
+pub fn check_full(root: &Path, baseline: &[String], spec: bool, concurrency: bool) -> Report {
     let mut paths = Vec::new();
     walk(&root.join("crates"), &mut paths);
     if paths.is_empty() {
@@ -1025,20 +1554,32 @@ pub fn check_full(root: &Path, baseline: &[String], spec: bool) -> Report {
     }
     check_r3(&files, &mut all);
     check_r4(&files, &mut all);
+    if concurrency {
+        let rwlocks = declared_rwlocks(&files);
+        let mut edges = Vec::new();
+        for file in &files {
+            check_conc_file(file, &rwlocks, &mut edges, &mut all);
+            check_r12(file, &mut all);
+            check_r13(file, &mut all);
+        }
+        check_r10(&edges, &mut all);
+    }
     // R8 must run after the allow-consuming rules above.
     for file in &files {
-        check_r8(file, &mut all);
+        check_r8(file, concurrency, &mut all);
     }
     if spec {
         check_r6(&files, &mut all);
         check_r7(&files, &mut all);
     }
 
-    let rules_run: &[&str] = if spec {
-        &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]
-    } else {
-        &["R1", "R2", "R3", "R4", "R5", "R8", "R9"]
-    };
+    let mut rules_run: Vec<&str> = vec!["R1", "R2", "R3", "R4", "R5", "R8", "R9"];
+    if spec {
+        rules_run.extend(["R6", "R7"]);
+    }
+    if concurrency {
+        rules_run.extend(["R10", "R11", "R12", "R13"]);
+    }
     let all_keys: BTreeSet<String> = all.iter().map(Violation::baseline_key).collect();
     let stale_baseline: Vec<String> = baseline
         .iter()
@@ -1076,6 +1617,123 @@ pub fn per_rule_counts(violations: &[Violation]) -> BTreeMap<&'static str, usize
         *counts.entry(v.rule).or_insert(0) += 1;
     }
     counts
+}
+
+/// Catalogue entry behind `dema-lint explain R<n>`.
+pub struct RuleInfo {
+    /// Rule identifier, `R1`..`R13`.
+    pub id: &'static str,
+    /// One-line statement of what the rule rejects.
+    pub title: &'static str,
+    /// Why the finding is a real defect in this workspace.
+    pub rationale: &'static str,
+    /// How to suppress a justified site, or `"-"` when the rule has no
+    /// allow mechanism (whole-enum coverage rules).
+    pub allow: &'static str,
+}
+
+/// Every rule the linter knows, in id order.
+pub const RULES: [RuleInfo; 13] = [
+    RuleInfo {
+        id: "R1",
+        title: "no unwrap/expect/panic!/todo!/unimplemented! in core library code",
+        rationale: "a panicking library node drops every window in flight; hot-path code \
+                    must surface DemaError so the resilience layer can retry or degrade",
+        allow: "// lint: allow(R1): <reason>",
+    },
+    RuleInfo {
+        id: "R2",
+        title: "no raw `as` numeric casts in rank/gamma/merge arithmetic files",
+        rationale: "a silent truncation in rank arithmetic turns an exact quantile into a \
+                    wrong one; conversions go through dema_core::numeric or try_from",
+        allow: "// lint: allow(R2): <reason>",
+    },
+    RuleInfo {
+        id: "R3",
+        title: "every DemaError variant is constructed somewhere and matched by a test",
+        rationale: "a variant nobody builds is a dead protocol error; one no test matches \
+                    is unverified failure behaviour",
+        allow: "-",
+    },
+    RuleInfo {
+        id: "R4",
+        title: "every wire Message variant is mentioned by some test",
+        rationale: "golden/property coverage of the protocol surface: silent wire drift \
+                    would otherwise go unnoticed until a mixed-version run",
+        allow: "-",
+    },
+    RuleInfo {
+        id: "R5",
+        title: "no bare blocking .recv() in dema-cluster library code",
+        rationale: "an unbounded receive cannot observe retry deadlines or a severed peer \
+                    and hangs the run the fault-tolerance layer exists to save; use \
+                    .recv_timeout(..) or .try_recv()",
+        allow: "// lint: allow(R5): <reason>",
+    },
+    RuleInfo {
+        id: "R6",
+        title: "(--spec) role files handle exactly the wire variants the spec assigns",
+        rationale: "a deleted match arm or a handler for a forbidden variant means the \
+                    implementation drifted from the declared protocol state machine",
+        allow: "-",
+    },
+    RuleInfo {
+        id: "R7",
+        title: "(--spec) every spec transition's tag pair is exercised by a test",
+        rationale: "an untested transition edge is protocol behaviour nothing would catch \
+                    regressing",
+        allow: "-",
+    },
+    RuleInfo {
+        id: "R8",
+        title: "no stale `// lint: allow(Rn)` tag",
+        rationale: "a tag that suppresses nothing is a justification that outlived the \
+                    code it excused; remove it or restore the code",
+        allow: "-",
+    },
+    RuleInfo {
+        id: "R9",
+        title: "no ad-hoc thread::spawn outside the deterministic sort pool",
+        rationale: "a stray spawn in the window path reorders work nondeterministically \
+                    and escapes the DEMA_THREADS budget; go through dema_core::par",
+        allow: "// lint: allow(R9): <reason>",
+    },
+    RuleInfo {
+        id: "R10",
+        title: "(--concurrency) no lock-order inversions across the workspace",
+        rationale: "nested guard scopes define an acquisition graph; a cycle means two \
+                    paths can take the same locks in opposite orders and deadlock. The \
+                    runtime twin is the rank tracker in dema_core::sync",
+        allow: "// lint: allow(R10): <reason>",
+    },
+    RuleInfo {
+        id: "R11",
+        title: "(--concurrency) no lock guard held across a blocking call",
+        rationale: "recv/recv_timeout/write_all/join or a sort-pool dispatch under a held \
+                    guard starves every thread that needs the lock; drop the guard in an \
+                    inner block first (Condvar::wait is exempt — it releases the mutex)",
+        allow: "// lint: allow(R11): <reason>",
+    },
+    RuleInfo {
+        id: "R12",
+        title: "(--concurrency) no unbounded channel construction in hot-path crates",
+        rationale: "an unbounded queue turns backpressure into unbounded memory growth; \
+                    use a bounded channel or justify why depth is bounded elsewhere",
+        allow: "// lint: allow(R12): <reason>",
+    },
+    RuleInfo {
+        id: "R13",
+        title: "(--concurrency) hot-path locks go through dema_core::sync wrappers",
+        rationale: "raw std::sync / parking_lot locks escape the ranked runtime tracker, \
+                    so an inversion they join is invisible until it deadlocks in \
+                    production; the wrapper module itself is exempt",
+        allow: "// lint: allow(R13): <reason>",
+    },
+];
+
+/// Look up one rule for `dema-lint explain`.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id.eq_ignore_ascii_case(id))
 }
 
 #[cfg(test)]
@@ -1207,7 +1865,7 @@ mod tests {
         );
         let mut v = Vec::new();
         check_r5(&file, &mut v);
-        check_r8(&file, &mut v);
+        check_r8(&file, false, &mut v);
         assert!(v.is_empty(), "consumed tag must not be stale: {v:?}");
 
         // Stale tag: nothing on the next line needs suppressing.
@@ -1216,7 +1874,7 @@ mod tests {
         );
         let mut v = Vec::new();
         check_r5(&file, &mut v);
-        check_r8(&file, &mut v);
+        check_r8(&file, false, &mut v);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!((v[0].rule, v[0].line), ("R8", 2));
 
@@ -1224,7 +1882,7 @@ mod tests {
         // advisory, not stale.
         let file = cluster_file("// lint: allow(R2): narration in docs only\nfn f() {}\n");
         let mut v = Vec::new();
-        check_r8(&file, &mut v);
+        check_r8(&file, false, &mut v);
         assert!(v.is_empty(), "out-of-scope tags are exempt: {v:?}");
     }
 
@@ -1278,5 +1936,214 @@ mod tests {
         assert!(!contains_word("cfg(testing)", "test"));
         assert!(!contains_word("attest", "test"));
         assert_eq!(word_occurrences("x as u64 vs alias", "as"), vec![2]);
+    }
+
+    #[test]
+    fn rwlock_declarations_resolve_field_let_and_static_names() {
+        let mut names = BTreeSet::new();
+        collect_decl_name("    pub table: RwLock<Vec<u8>>,", "RwLock", &mut names);
+        collect_decl_name("    shared: Arc<RwLock<State>>,", "RwLock", &mut names);
+        collect_decl_name("    let mut cache = RwLock::new(0);", "RwLock", &mut names);
+        collect_decl_name("static REGISTRY: RwLock<Map> = ...;", "RwLock", &mut names);
+        collect_decl_name("fn io(r: &mut impl Read) {}", "RwLock", &mut names);
+        let expect: BTreeSet<String> = ["table", "shared", "cache", "REGISTRY"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn guard_scopes_distinguish_let_bindings_from_temporaries() {
+        // A let-bound guard lives to the end of its enclosing block…
+        let src = "fn f() {\n    {\n        let g = self.a.lock();\n        g.push(1);\n    }\n    self.h.join();\n}";
+        let masked = mask_source(src);
+        let at = masked.find(".lock()").unwrap();
+        let end = guard_scope_end(&masked, at);
+        assert!(masked[..end].contains("g.push(1)"));
+        assert!(
+            !masked[..end].contains(".join()"),
+            "inner block must bound the guard"
+        );
+
+        // …while a temporary dies with its statement.
+        let src = "fn f() {\n    self.a.lock().push(1);\n    self.h.join();\n}";
+        let masked = mask_source(src);
+        let at = masked.find(".lock()").unwrap();
+        let end = guard_scope_end(&masked, at);
+        assert!(!masked[..end].contains(".join()"));
+    }
+
+    /// Helper: run the per-file concurrency half over one cluster file.
+    fn conc(src: &str) -> (Vec<LockEdge>, Vec<Violation>) {
+        let file = cluster_file(src);
+        let mut edges = Vec::new();
+        let mut v = Vec::new();
+        check_conc_file(&file, &BTreeSet::new(), &mut edges, &mut v);
+        (edges, v)
+    }
+
+    #[test]
+    fn r10_nested_guards_become_edges_and_cycles_fire() {
+        let (edges, v) =
+            conc("fn f(&self) {\n    let s = self.store.lock();\n    let t = self.sent.lock();\n}");
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(edges.len(), 1);
+        assert_eq!(
+            (edges[0].from.as_str(), edges[0].to.as_str()),
+            ("store", "sent")
+        );
+
+        // Consistent ordering across files: no cycle, no finding.
+        let mut v = Vec::new();
+        check_r10(&edges, &mut v);
+        assert!(v.is_empty(), "one direction is not a cycle: {v:?}");
+
+        // The opposite order elsewhere closes the cycle.
+        let (mut more, _) =
+            conc("fn g(&self) {\n    let t = self.sent.lock();\n    let s = self.store.lock();\n}");
+        let mut all = edges;
+        all.append(&mut more);
+        let mut v = Vec::new();
+        check_r10(&all, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R10");
+        assert!(v[0].token.starts_with("lock-cycle:"), "{}", v[0].token);
+        assert!(v[0].message.contains("opposite order"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r10_allow_tag_drops_the_edge() {
+        let (edges, _) = conc(
+            "fn f(&self) {\n    let s = self.store.lock();\n    // lint: allow(R10): sent is only ever taken under store\n    let t = self.sent.lock();\n}",
+        );
+        assert!(edges.is_empty(), "tagged inner acquisition must not edge");
+    }
+
+    #[test]
+    fn r11_blocking_call_under_guard_fires() {
+        let (_, v) = conc(
+            "fn f(&self) {\n    let s = self.store.lock();\n    let _ = self.rx.recv_timeout(d);\n}",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].line), ("R11", 3));
+        assert!(v[0].message.contains("`store` guard"), "{}", v[0].message);
+
+        // Block-scoping the guard is the fix.
+        let (_, v) = conc(
+            "fn f(&self) {\n    {\n        let s = self.store.lock();\n    }\n    let _ = self.rx.recv_timeout(d);\n}",
+        );
+        assert!(v.is_empty(), "dropped guard must not flag: {v:?}");
+
+        // A temporary guard does not span the next statement.
+        let (_, v) = conc("fn f(&self) {\n    self.store.lock().clear();\n    self.h.join();\n}");
+        assert!(v.is_empty(), "temporary dies with its statement: {v:?}");
+
+        // Pool dispatch under a guard is also a blocking call.
+        let (_, v) = conc(
+            "fn f(&self) {\n    let s = self.store.lock();\n    let runs = sort_events(evs);\n}",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].token, "sort_events(..)");
+    }
+
+    #[test]
+    fn r11_condvar_wait_is_sanctioned() {
+        let (_, v) = conc(
+            "fn f(&self) {\n    let mut s = self.state.lock();\n    while s.empty() { s = self.ready.wait(s); }\n}",
+        );
+        assert!(v.is_empty(), "Condvar::wait releases the mutex: {v:?}");
+    }
+
+    #[test]
+    fn r12_flags_unbounded_channels_and_honours_tags() {
+        let file = cluster_file("fn f() { let (tx, rx) = unbounded(); }");
+        let mut v = Vec::new();
+        check_r12(&file, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].token, "unbounded(..)");
+
+        let file = cluster_file("fn f() { let (tx, rx) = channel::unbounded::<Msg>(); }");
+        let mut v = Vec::new();
+        check_r12(&file, &mut v);
+        assert_eq!(v.len(), 1, "turbofish form must match: {v:?}");
+
+        let file = cluster_file("fn f() { let (tx, rx) = std::sync::mpsc::channel(); }");
+        let mut v = Vec::new();
+        check_r12(&file, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].token, "mpsc::channel(..)");
+
+        let file = cluster_file(
+            "fn f() {\n    // lint: allow(R12): depth bounded by the protocol window\n    let (tx, rx) = unbounded();\n    let b = mpsc::sync_channel(4);\n}",
+        );
+        let mut v = Vec::new();
+        check_r12(&file, &mut v);
+        assert!(v.is_empty(), "tagged + bounded must pass: {v:?}");
+    }
+
+    #[test]
+    fn r13_flags_raw_locks_but_not_the_sync_module_or_other_imports() {
+        let file = cluster_file(
+            "use std::sync::{Arc, Mutex};\nuse parking_lot::RwLock;\nfn f(m: &std::sync::Condvar) {}\n",
+        );
+        let mut v = Vec::new();
+        check_r13(&file, &mut v);
+        let tokens: Vec<&str> = v.iter().map(|x| x.token.as_str()).collect();
+        assert_eq!(
+            tokens,
+            vec!["parking_lot", "std::sync::Condvar", "std::sync::Mutex"],
+            "{v:?}"
+        );
+
+        let file = cluster_file(
+            "use std::sync::{Arc, OnceLock};\nuse std::sync::atomic::AtomicUsize;\nuse dema_core::sync::{rank, Mutex};\n",
+        );
+        let mut v = Vec::new();
+        check_r13(&file, &mut v);
+        assert!(v.is_empty(), "wrappers and non-lock imports pass: {v:?}");
+
+        // The wrapper module itself is exempt.
+        let masked = mask_source("use std::sync::{Mutex, Condvar};");
+        let test_regions = find_test_regions(&masked);
+        let sync_file = SourceFile {
+            rel: "crates/dema-core/src/sync.rs".to_string(),
+            text: String::new(),
+            masked,
+            test_regions,
+            test_by_path: false,
+            used_allows: RefCell::new(BTreeSet::new()),
+        };
+        let mut v = Vec::new();
+        check_r13(&sync_file, &mut v);
+        assert!(v.is_empty(), "sync.rs is the sanctioned wrapper: {v:?}");
+    }
+
+    #[test]
+    fn conc_allow_tags_are_inert_without_the_pass() {
+        // With the concurrency pass off, an R12 tag is out of scope for
+        // R8 (not stale); with it on and unconsumed, it is stale.
+        let file =
+            cluster_file("// lint: allow(R12): depth bounded by the protocol window\nfn f() {}\n");
+        let mut v = Vec::new();
+        check_r8(&file, false, &mut v);
+        assert!(
+            v.is_empty(),
+            "tag must be inert without --concurrency: {v:?}"
+        );
+        let mut v = Vec::new();
+        check_r8(&file, true, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R8");
+    }
+
+    #[test]
+    fn rule_catalogue_covers_r1_to_r13() {
+        assert_eq!(RULES.len(), 13);
+        for (idx, info) in RULES.iter().enumerate() {
+            assert_eq!(info.id, format!("R{}", idx + 1));
+        }
+        assert!(rule_info("r11").is_some(), "lookup is case-insensitive");
+        assert!(rule_info("R99").is_none());
     }
 }

@@ -1,27 +1,55 @@
 #![forbid(unsafe_code)]
 
 //! Command-line front end:
-//! `dema-lint check <root> [--baseline <file>] [--spec]`.
+//! `dema-lint check <root> [--baseline <file>] [--spec] [--concurrency]`
+//! and `dema-lint explain R<n>`.
 //!
-//! Exits 0 when no new violations are found and no baseline entry is
-//! stale, 1 otherwise, 2 on usage errors. `--spec` additionally runs the
-//! protocol-conformance rules R6/R7 against `dema_model::spec`. The
+//! `check` exits 0 when no new violations are found and no baseline entry
+//! is stale, 1 otherwise, 2 on usage errors. `--spec` additionally runs
+//! the protocol-conformance rules R6/R7 against `dema_model::spec`;
+//! `--concurrency` runs the cross-crate lock/channel rules R10–R13. The
 //! baseline defaults to `<root>/scripts/lint-baseline.txt` when present,
 //! so `cargo run -p dema-lint -- check .` is the whole gate.
+//!
+//! `explain` prints one rule's rationale and allow-tag syntax, so a
+//! failing CI line can be decoded without opening DESIGN.md.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: dema-lint check <root> [--baseline <file>] [--spec] [--concurrency]\n       dema-lint explain R<n>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     let Some(cmd) = iter.next() else {
-        eprintln!("usage: dema-lint check <root> [--baseline <file>]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if cmd != "check" {
-        eprintln!("dema-lint: unknown command `{cmd}` (expected `check`)");
-        return ExitCode::from(2);
+    match cmd.as_str() {
+        "check" => {}
+        "explain" => {
+            let Some(id) = iter.next() else {
+                eprintln!("dema-lint: explain needs a rule id (R1..R13)");
+                return ExitCode::from(2);
+            };
+            let Some(info) = dema_lint::rule_info(id) else {
+                let known: Vec<&str> = dema_lint::RULES.iter().map(|r| r.id).collect();
+                eprintln!(
+                    "dema-lint: unknown rule `{id}` (known: {})",
+                    known.join(", ")
+                );
+                return ExitCode::from(2);
+            };
+            println!("{}: {}", info.id, info.title);
+            println!("  why:   {}", info.rationale);
+            println!("  allow: {}", info.allow);
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("dema-lint: unknown command `{other}` (expected `check` or `explain`)");
+            return ExitCode::from(2);
+        }
     }
     let Some(root) = iter.next().map(PathBuf::from) else {
         eprintln!("dema-lint: missing <root> argument");
@@ -29,9 +57,11 @@ fn main() -> ExitCode {
     };
     let mut baseline_path: Option<PathBuf> = None;
     let mut spec = false;
+    let mut concurrency = false;
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--spec" => spec = true,
+            "--concurrency" => concurrency = true,
             "--baseline" => match iter.next() {
                 Some(p) => baseline_path = Some(PathBuf::from(p)),
                 None => {
@@ -52,7 +82,7 @@ fn main() -> ExitCode {
         Err(_) => Vec::new(),
     };
 
-    let report = dema_lint::check_full(&root, &baseline, spec);
+    let report = dema_lint::check_full(&root, &baseline, spec, concurrency);
     for v in &report.violations {
         println!("{v}");
     }

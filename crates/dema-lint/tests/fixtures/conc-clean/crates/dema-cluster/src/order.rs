@@ -1,0 +1,34 @@
+//! Fixture: clean tree — nested locks in one consistent order, plus one
+//! reviewed inversion.
+
+pub struct Engine {
+    store: Mutex<u64>,
+    sent: Mutex<u64>,
+}
+
+impl Engine {
+    /// Window close takes `store`, then `sent` — the global order.
+    pub fn close(&self) {
+        let mut store = self.store.lock();
+        let mut sent = self.sent.lock();
+        *store += 1;
+        *sent += 1;
+    }
+
+    /// Replay nests the same way, so no cycle forms.
+    pub fn replay(&self) {
+        let store = self.store.lock();
+        let sent = self.sent.lock();
+        drop(sent);
+        drop(store);
+    }
+
+    /// Startup restore runs before any worker exists, so the reviewed
+    /// inversion below cannot race the order above.
+    pub fn restore(&self) {
+        let mut sent = self.sent.lock();
+        // lint: allow(R10): restore runs single-threaded before the run starts
+        let store = self.store.lock();
+        *sent = *store;
+    }
+}

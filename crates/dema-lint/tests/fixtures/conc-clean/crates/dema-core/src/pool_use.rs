@@ -1,0 +1,42 @@
+//! Fixture: clean tree — guards dropped before blocking calls, condvar
+//! waits under the guard (sanctioned), one reviewed zero-timeout poll.
+
+pub struct Pool {
+    state: Mutex<Vec<u64>>,
+    ready: Condvar,
+    handles: Vec<Worker>,
+}
+
+impl Pool {
+    /// The guard dies in the inner block before any worker is joined.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.state.lock();
+            state.clear();
+        }
+        for worker in self.handles.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// `Condvar::wait` releases the mutex while blocked — not a finding.
+    pub fn wait_idle(&self) {
+        let mut state = self.state.lock();
+        while !state.is_empty() {
+            state = self.ready.wait(state);
+        }
+    }
+
+    /// A temporary guard dies with its statement, before the join.
+    pub fn reset(&mut self, worker: Worker) {
+        self.state.lock().clear();
+        let _ = worker.join();
+    }
+
+    pub fn drain_now(&self, rx: &Receiver) {
+        let state = self.state.lock();
+        // lint: allow(R11): zero-timeout poll returns immediately, never blocks
+        let _ = rx.recv_timeout(core::time::Duration::ZERO);
+        drop(state);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: clean tree — bounded links, one reviewed unbounded channel.
+
+pub fn data_link() -> (Sender, Receiver) {
+    bounded(64)
+}
+
+pub fn control_link() -> (Sender, Receiver) {
+    // lint: allow(R12): control traffic is one message per window close
+    unbounded()
+}

@@ -1,0 +1,21 @@
+//! Fixture: clean tree — ranked wrapper locks; non-lock std::sync
+//! imports stay legal.
+
+use dema_core::sync::{rank, Mutex};
+use std::sync::Arc;
+
+pub struct BufferPool {
+    spares: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    pub fn new() -> BufferPool {
+        BufferPool {
+            spares: Mutex::new(rank::WIRE_BUF_POOL, Vec::new()),
+        }
+    }
+
+    pub fn acquire(self: &Arc<BufferPool>) -> Vec<u8> {
+        self.spares.lock().pop().unwrap_or_default()
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: R10 — this file nests `sent` inside the `store` guard…
+
+pub struct A {
+    store: Mutex<u64>,
+    sent: Mutex<u64>,
+}
+
+impl A {
+    pub fn close(&self) {
+        let mut store = self.store.lock();
+        let mut sent = self.sent.lock();
+        *store += 1;
+        *sent += 1;
+    }
+}

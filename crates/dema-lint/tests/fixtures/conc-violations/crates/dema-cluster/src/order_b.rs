@@ -1,0 +1,15 @@
+//! Fixture: R10 — …while this file nests `store` inside `sent` (cycle).
+
+pub struct B {
+    store: Mutex<u64>,
+    sent: Mutex<u64>,
+}
+
+impl B {
+    pub fn flush(&self) {
+        let mut sent = self.sent.lock();
+        let mut store = self.store.lock();
+        *sent += 1;
+        *store += 1;
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: R11 — guards held across blocking calls.
+
+pub struct Hold {
+    queue: Mutex<Vec<u64>>,
+    table: RwLock<Vec<u64>>,
+}
+
+impl Hold {
+    pub fn stop(&self, worker: Worker) {
+        let queue = self.queue.lock();
+        let _ = worker.join();
+        drop(queue);
+    }
+
+    pub fn resort(&self) {
+        let table = self.table.read();
+        let _runs = sort_events(&table);
+    }
+}

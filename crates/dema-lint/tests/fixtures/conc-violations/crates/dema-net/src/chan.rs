@@ -1,0 +1,9 @@
+//! Fixture: R12 — unbounded queues on the hot path.
+
+pub fn event_link() -> (Sender, Receiver) {
+    unbounded()
+}
+
+pub fn control_link() -> (Sender, Receiver) {
+    std::sync::mpsc::channel()
+}

@@ -1,0 +1,7 @@
+//! Fixture: R13 — raw locks escaping the ranked wrappers.
+
+use std::sync::{Arc, Mutex};
+
+pub type SharedBuf = Arc<Mutex<Vec<u8>>>;
+
+pub type FastBuf = parking_lot::Mutex<Vec<u8>>;

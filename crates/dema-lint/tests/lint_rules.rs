@@ -1,7 +1,9 @@
 //! End-to-end checks of the `dema-lint` binary over the fixture trees:
 //! per-rule diagnostics on the `violations` tree, exit 0 on the `clean`
 //! tree (allow-tags honoured), baseline suppression, stale allow-tags
-//! (R8), stale baseline entries, and `--spec` conformance (R6).
+//! (R8), stale baseline entries, `--spec` conformance (R6), the
+//! `--concurrency` lock/channel pass (R10–R13) over the `conc-*` trees,
+//! and the `explain` subcommand.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -164,6 +166,104 @@ fn spec_rules_are_opt_in() {
     let (code, stdout) = run_lint(&fixture("spec-violations"), &[]);
     assert_eq!(code, 0, "R6/R7 must not run without --spec\n{stdout}");
     assert!(stdout.contains("dema-lint: clean"), "{stdout}");
+}
+
+/// Tentpole: the `--concurrency` pass catches a seeded lock-order
+/// inversion (R10, split across two files), guards held across blocking
+/// calls (R11, mutex and rwlock), unbounded channels (R12), and raw
+/// std/parking_lot locks (R13) — each with a file:line anchor.
+#[test]
+fn concurrency_tree_fails_with_per_rule_diagnostics() {
+    let (code, stdout) = run_lint(&fixture("conc-violations"), &["--concurrency"]);
+    assert_eq!(code, 1, "expected failure exit, got {code}\n{stdout}");
+    assert!(
+        stdout.contains("crates/dema-cluster/src/order_a.rs:11: R10:"),
+        "missing R10 diagnostic at the inner acquisition\n{stdout}"
+    );
+    assert!(
+        stdout.contains("lock-order inversion")
+            && stdout.contains("opposite order at crates/dema-cluster/src/order_b.rs:11"),
+        "R10 must name both sites of the cycle\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-core/src/hold.rs:11: R11:"),
+        "missing R11 diagnostic (join under mutex guard)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-core/src/hold.rs:17: R11:"),
+        "missing R11 diagnostic (pool dispatch under rwlock read guard)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-net/src/chan.rs:4: R12:"),
+        "missing R12 diagnostic (unbounded)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-net/src/chan.rs:8: R12:"),
+        "missing R12 diagnostic (mpsc::channel)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-wire/src/raw.rs:3: R13:"),
+        "missing R13 diagnostic (std::sync::Mutex import)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-wire/src/raw.rs:7: R13:"),
+        "missing R13 diagnostic (parking_lot)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("7 new violation(s) [R10: 1, R11: 2, R12: 2, R13: 2]"),
+        "summary should count concurrency violations per rule\n{stdout}"
+    );
+}
+
+/// Consistent lock order, block-scoped guards, condvar waits, and tagged
+/// sites all pass — and the consumed R10/R11/R12 tags are not stale.
+#[test]
+fn concurrency_clean_tree_passes_with_allow_tags() {
+    let (code, stdout) = run_lint(&fixture("conc-clean"), &["--concurrency"]);
+    assert_eq!(code, 0, "clean concurrency tree must pass\n{stdout}");
+    assert!(stdout.contains("dema-lint: clean"), "{stdout}");
+}
+
+/// Without `--concurrency` the violating tree is clean: R10–R13 are
+/// opt-in, and their allow tags are inert rather than stale.
+#[test]
+fn concurrency_rules_are_opt_in() {
+    let (code, stdout) = run_lint(&fixture("conc-violations"), &[]);
+    assert_eq!(
+        code, 0,
+        "R10–R13 must not run without --concurrency\n{stdout}"
+    );
+    assert!(stdout.contains("dema-lint: clean"), "{stdout}");
+    let (code, stdout) = run_lint(&fixture("conc-clean"), &[]);
+    assert_eq!(code, 0, "inert conc tags must not be stale (R8)\n{stdout}");
+}
+
+/// `explain` prints the rule's rationale and allow syntax; unknown rules
+/// are usage errors listing the catalogue.
+#[test]
+fn explain_prints_rationale_and_allow_syntax() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dema-lint"))
+        .args(["explain", "R11"])
+        .output()
+        .expect("spawn dema-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("R11:"), "{stdout}");
+    assert!(
+        stdout.contains("allow: // lint: allow(R11): <reason>"),
+        "{stdout}"
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dema-lint"))
+        .args(["explain", "R99"])
+        .output()
+        .expect("spawn dema-lint");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("R13"),
+        "unknown-rule error lists the catalogue\n{stderr}"
+    );
 }
 
 #[test]

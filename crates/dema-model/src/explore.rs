@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use dema_cluster::config::{EngineKind, Resilience};
 use dema_cluster::engines::{descriptor, validate, ResilienceCtx};
-use dema_cluster::local::{responder_step, CloseTimes, LocalShared, LocalStepper};
+use dema_cluster::local::{new_close_times, responder_step, CloseTimes, LocalShared, LocalStepper};
 use dema_cluster::report::WindowOutcome;
 use dema_cluster::root::RootNode;
 use dema_cluster::ClusterError;
@@ -287,7 +287,7 @@ impl<'a> System<'a> {
             }
         }
 
-        let close_times: CloseTimes = Arc::default();
+        let close_times: CloseTimes = new_close_times();
         let resilience = cfg.resilience.map(|config| ResilienceCtx {
             config,
             counters: FaultCounters::new_shared(),

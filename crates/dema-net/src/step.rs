@@ -15,8 +15,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use dema_core::sync::{rank, Mutex};
 use dema_wire::Message;
-use parking_lot::Mutex;
 
 use crate::{MsgSender, NetError, SharedCounters};
 
@@ -37,7 +37,7 @@ pub struct StepQueue {
 /// Create a unidirectional step link whose traffic is recorded in
 /// `counters`.
 pub fn step_link(counters: SharedCounters) -> (StepSender, StepQueue) {
-    let queue = Arc::new(Mutex::new(VecDeque::new()));
+    let queue = Arc::new(Mutex::new(rank::NET_STEP_QUEUE, VecDeque::new()));
     (
         StepSender {
             queue: Arc::clone(&queue),

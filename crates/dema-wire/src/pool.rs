@@ -6,13 +6,15 @@
 //! bounded set of buffers instead. Buffers are handed out as [`PooledBuf`]
 //! guards that return themselves to the pool on drop.
 //!
-//! The pool is deliberately simple: a `std::sync::Mutex` around a `Vec` of
-//! spare buffers. The critical section is a push/pop, far cheaper than the
+//! The pool is deliberately simple: a ranked [`dema_core::sync::Mutex`]
+//! (rank `wire.buf_pool`, see DESIGN.md §8) around a `Vec` of spare
+//! buffers. The critical section is a push/pop, far cheaper than the
 //! allocation it replaces, and the cap bounds both the number of retained
 //! buffers and the capacity any retained buffer may keep (so one jumbo
 //! frame cannot pin a jumbo allocation forever).
 
-use std::sync::{Arc, Mutex, OnceLock};
+use dema_core::sync::{rank, Mutex};
+use std::sync::{Arc, OnceLock};
 
 /// Most spare buffers the pool retains; excess buffers are simply freed.
 const MAX_POOLED: usize = 16;
@@ -21,7 +23,7 @@ const MAX_POOLED: usize = 16;
 const MAX_RETAINED_CAPACITY: usize = 1 << 20;
 
 /// A bounded free-list of reusable `Vec<u8>` frame buffers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BufferPool {
     spares: Mutex<Vec<Vec<u8>>>,
 }
@@ -29,7 +31,9 @@ pub struct BufferPool {
 impl BufferPool {
     /// A fresh, empty pool.
     pub fn new() -> Arc<BufferPool> {
-        Arc::new(BufferPool::default())
+        Arc::new(BufferPool {
+            spares: Mutex::new(rank::WIRE_BUF_POOL, Vec::new()),
+        })
     }
 
     /// The process-wide pool shared by all transports.
@@ -40,10 +44,7 @@ impl BufferPool {
 
     /// Take a cleared buffer from the pool (or allocate a fresh one).
     pub fn acquire(self: &Arc<BufferPool>) -> PooledBuf {
-        let buf = self
-            .spares
-            .lock()
-            .map_or_else(|_| Vec::new(), |mut s| s.pop().unwrap_or_default());
+        let buf = self.spares.lock().pop().unwrap_or_default();
         PooledBuf {
             buf,
             pool: Arc::clone(self),
@@ -52,7 +53,7 @@ impl BufferPool {
 
     /// Number of spare buffers currently pooled (diagnostic).
     pub fn spare_count(&self) -> usize {
-        self.spares.lock().map_or(0, |s| s.len())
+        self.spares.lock().len()
     }
 
     fn give_back(&self, mut buf: Vec<u8>) {
@@ -60,10 +61,9 @@ impl BufferPool {
             return; // don't pin oversized allocations
         }
         buf.clear();
-        if let Ok(mut spares) = self.spares.lock() {
-            if spares.len() < MAX_POOLED {
-                spares.push(buf);
-            }
+        let mut spares = self.spares.lock();
+        if spares.len() < MAX_POOLED {
+            spares.push(buf);
         }
     }
 }

@@ -20,16 +20,30 @@
 #                      CHAOS_SEED values (strict invariants on): recovery
 #                      must stay bit-exact and degradation deterministic
 #                      for every seed, not just the default
-#   dema-lint --spec — repo-specific static analysis: R1 no panics in
-#                      library code, R2 no lossy `as` casts in rank/gamma
-#                      arithmetic, R3/R4 error & wire variants exercised,
-#                      R5 no unbounded receives in cluster code, R6/R7
+#   dema-lint        — repo-specific static analysis (--spec
+#                      --concurrency): R1 no panics in library code, R2
+#                      no lossy `as` casts in rank/gamma arithmetic,
+#                      R3/R4 error & wire variants exercised, R5 no
+#                      unbounded receives in cluster code, R6/R7
 #                      protocol-spec conformance (handled variants match
 #                      the dema-model role spec; every transition has a
 #                      test), R8 no stale allow-tags, R9 no ad-hoc
 #                      thread::spawn outside the deterministic sort pool
-#                      (dema_core::par). Stale baseline entries fail too
-#                      (baseline only shrinks; scripts/lint-baseline.txt)
+#                      (dema_core::par), R10 no lock-order inversions in
+#                      the cross-crate acquisition graph, R11 no guard
+#                      held across a blocking call, R12 no unbounded
+#                      channels in hot-path crates, R13 all hot-path
+#                      locks through the ranked dema_core::sync wrappers.
+#                      `dema-lint explain R<n>` decodes any rule id.
+#                      Stale baseline entries fail too (baseline only
+#                      shrinks; scripts/lint-baseline.txt)
+#   lock-order gate  — dema-cluster/tests/lock_order.rs under --features
+#                      strict at DEMA_THREADS=4: repeated runs reuse the
+#                      sort pool without leaking workers, a full run
+#                      holds the global lock ranking under the armed
+#                      runtime tracker, and an intentionally inverted
+#                      acquisition proves the tracker fires (the dynamic
+#                      twin of R10)
 #   model explorer   — bounded interleaving exploration of the real
 #                      engines (dema-model): every schedule up to the
 #                      budget must finish deadlock-free, spec-legal, with
@@ -58,7 +72,8 @@ CHAOS_SEEDS="${CHAOS_SEEDS:-1 2 3}"
 for seed in $CHAOS_SEEDS; do
     CHAOS_SEED="$seed" cargo test -q -p dema-cluster --features strict --test chaos
 done
-cargo run -q -p dema-lint -- check . --spec
+cargo run -q -p dema-lint -- check . --spec --concurrency
+DEMA_THREADS=4 cargo test -q -p dema-cluster --features strict --test lock_order
 MODEL_BUDGET="${MODEL_BUDGET:-1200}" cargo test -q -p dema-model --test explore
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- \

@@ -2,9 +2,6 @@
 //! candidate replies, replies for unselected slices, truncated frames,
 //! inconsistent synopses — rather than silently emitting wrong quantiles.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
 use dema::cluster::config::{EngineKind, GammaMode};
 use dema::cluster::root::RootNode;
 use dema::cluster::ClusterError;
@@ -17,7 +14,6 @@ use dema::metrics::NetworkCounters;
 use dema::net::mem::link;
 use dema::net::{MsgReceiver, MsgSender};
 use dema::wire::{Message, WireError};
-use parking_lot::Mutex;
 
 fn events(vals: &[i64]) -> Vec<Event> {
     vals.iter()
@@ -36,7 +32,7 @@ fn dema_root(n_locals: usize, control: Vec<Box<dyn MsgSender>>) -> RootNode {
         n_locals,
         1,
         control,
-        Arc::new(Mutex::new(HashMap::new())),
+        dema::cluster::local::new_close_times(),
     )
 }
 
