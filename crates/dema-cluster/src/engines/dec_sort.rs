@@ -115,6 +115,10 @@ impl RootEngine for DecSortRoot {
         Ok(())
     }
 
+    fn next_deadline(&self) -> Option<std::time::Instant> {
+        retry::next_due(&self.sup)
+    }
+
     fn on_tick(
         &mut self,
         expected_windows: u64,

@@ -692,6 +692,10 @@ impl RootEngine for DemaRoot {
         }
     }
 
+    fn next_deadline(&self) -> Option<std::time::Instant> {
+        retry::next_due(&self.sup)
+    }
+
     fn on_tick(
         &mut self,
         expected_windows: u64,

@@ -81,6 +81,15 @@ pub trait RootEngine: Send {
         let _ = (expected_windows, quiescent, missing_enders, resolved);
         Ok(Vec::new())
     }
+
+    /// Earliest instant the engine's retry supervisor wants a tick —
+    /// `None` when nothing is armed (and always on seed runs). The
+    /// reactor runtime arms a timer here instead of ticking every sweep
+    /// (DESIGN.md §13); an early or stale fire is harmless because
+    /// `on_tick` re-checks real deadlines itself.
+    fn next_deadline(&self) -> Option<std::time::Instant> {
+        None
+    }
 }
 
 /// Local-side half of an engine: the duty performed per closed window.

@@ -166,6 +166,13 @@ impl Supervisor {
             .all(|n| reported.is_some_and(|r| r.contains(&n)) || self.dead.contains(&n))
     }
 
+    /// Earliest armed deadline, if any — the instant the reactor's timer
+    /// should fire to drive this supervisor (DESIGN.md §13). `None` when
+    /// no window is waiting on anything.
+    pub(crate) fn next_due(&self) -> Option<Instant> {
+        self.deadlines.values().map(|d| d.due).min()
+    }
+
     /// Window keys whose deadline is due at `now`.
     pub(crate) fn expired(&self, now: Instant) -> Vec<u64> {
         self.deadlines
@@ -414,6 +421,12 @@ pub(crate) fn run_tick<S: Contributions>(
         .filter(|&w| !sup.is_done(w) && sup.covered(states.get(&w).map(|s| s.reported()), n_locals))
         .collect();
     Ok((newly_dead, completable))
+}
+
+/// Shared [`crate::engines::RootEngine::next_deadline`] body: the earliest
+/// armed deadline of an optional supervisor.
+pub(crate) fn next_due(sup: &Option<Supervisor>) -> Option<Instant> {
+    sup.as_ref().and_then(Supervisor::next_due)
 }
 
 /// Send one NACK to `node`'s control link, recording it. Nodes without a

@@ -127,6 +127,10 @@ impl RootEngine for TdigestCentralRoot {
         Ok(())
     }
 
+    fn next_deadline(&self) -> Option<std::time::Instant> {
+        retry::next_due(&self.sup)
+    }
+
     fn on_tick(
         &mut self,
         expected_windows: u64,

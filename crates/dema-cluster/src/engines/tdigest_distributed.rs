@@ -123,6 +123,10 @@ impl RootEngine for TdigestDistributedRoot {
         Ok(())
     }
 
+    fn next_deadline(&self) -> Option<std::time::Instant> {
+        retry::next_due(&self.sup)
+    }
+
     fn on_tick(
         &mut self,
         expected_windows: u64,

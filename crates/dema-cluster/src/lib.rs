@@ -37,6 +37,7 @@
 
 pub mod config;
 pub mod engines;
+pub mod host;
 pub mod local;
 pub mod relay;
 pub mod report;

@@ -63,6 +63,10 @@ impl MsgSender for SentCache<'_> {
         }
         self.inner.send(msg)
     }
+
+    fn flush_pending(&mut self) -> Result<bool, NetError> {
+        self.inner.flush_pending()
+    }
 }
 
 /// Run one local node's main loop over its window inputs.
@@ -79,42 +83,32 @@ pub fn run_local(
     close_times: &CloseTimes,
     pace_window_ms: Option<u64>,
 ) -> Result<(), ClusterError> {
-    let mut duty = engines::build_local(engine, shared);
-    let mut to_root = SentCache {
-        inner: to_root,
-        shared,
-        key: 0,
-    };
+    let mut stepper = LocalStepper::new(node, windows, engine, shared);
     let started = Instant::now();
-    for (i, events) in windows.into_iter().enumerate() {
-        if let Some(ms) = pace_window_ms {
-            let due = started + std::time::Duration::from_millis(ms * i as u64);
-            let now = Instant::now();
-            if due > now {
-                std::thread::sleep(due - now);
+    while !stepper.is_done() {
+        if let Some(w) = stepper.next_window() {
+            if let Some(ms) = pace_window_ms {
+                let due = started + std::time::Duration::from_millis(ms * w);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
             }
+            close_times.lock().insert((node.0, w), Instant::now());
         }
-        let window = WindowId(i as u64);
-        close_times
-            .lock()
-            .insert((node.0, window.0), Instant::now());
-        to_root.key = window.0;
-        duty.on_window(node, window, events, &mut to_root)?;
+        stepper.step(to_root)?;
     }
-    to_root.key = END_KEY;
-    to_root.send(&Message::StreamEnd {
-        node,
-        late_events: 0,
-    })?;
     Ok(())
 }
 
-/// Drives one local node one window at a time — the single-step analogue
-/// of [`run_local`] for the deterministic interleaving explorer in
-/// `dema-model`. Each [`LocalStepper::step`] closes the next window
-/// through the engine's local duty with the same per-window sent-cache
-/// semantics as the threaded loop, and a final step sends the `StreamEnd`
-/// marker. No pacing, no close-time stamps: the explorer owns time.
+/// Drives one local node one window at a time — the single-step seam
+/// shared by the threaded loop ([`run_local`] is a thin driver around
+/// it), the reactor runtime's local role (`crate::host`), and the
+/// deterministic interleaving explorer in `dema-model`. Each
+/// [`LocalStepper::step`] closes the next window through the engine's
+/// local duty with the same per-window sent-cache semantics everywhere,
+/// and a final step sends the `StreamEnd` marker. No pacing and no
+/// close-time stamps here: the driver owns time.
 pub struct LocalStepper<'a> {
     node: NodeId,
     windows: std::vec::IntoIter<Vec<Event>>,
@@ -122,6 +116,7 @@ pub struct LocalStepper<'a> {
     duty: Box<dyn engines::LocalEngine + 'a>,
     shared: &'a LocalShared,
     done: bool,
+    late_events: u64,
 }
 
 impl<'a> LocalStepper<'a> {
@@ -139,12 +134,27 @@ impl<'a> LocalStepper<'a> {
             duty: engines::build_local(engine, shared),
             shared,
             done: false,
+            late_events: 0,
         }
+    }
+
+    /// Report `late` dropped-as-late events in the final `StreamEnd`
+    /// (streaming inputs; see [`stream_windows`]).
+    #[must_use]
+    pub fn with_late_events(mut self, late: u64) -> Self {
+        self.late_events = late;
+        self
     }
 
     /// `true` once the `StreamEnd` marker has been sent.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// The id of the window the next [`LocalStepper::step`] will close,
+    /// or `None` when the next step sends `StreamEnd` (or nothing).
+    pub fn next_window(&self) -> Option<u64> {
+        (!self.done && self.windows.len() > 0).then_some(self.next_window)
     }
 
     /// Process the next window, or send `StreamEnd` once windows are
@@ -172,7 +182,7 @@ impl<'a> LocalStepper<'a> {
                 };
                 cache.send(&Message::StreamEnd {
                     node: self.node,
-                    late_events: 0,
+                    late_events: self.late_events,
                 })?;
                 self.done = true;
             }
@@ -202,65 +212,76 @@ pub fn run_local_streaming(
     shared: &LocalShared,
     close_times: &CloseTimes,
 ) -> Result<(), ClusterError> {
+    let (windows, late) =
+        stream_windows(node, events, window_len, window_range, allowed_lateness_ms);
+    let mut stepper = LocalStepper::new(node, windows, engine, shared).with_late_events(late);
+    while !stepper.is_done() {
+        if let Some(w) = stepper.next_window() {
+            close_times.lock().insert((node.0, w), Instant::now());
+        }
+        stepper.step(to_root)?;
+    }
+    Ok(())
+}
+
+/// Derive the per-window event sets a streaming node reports: tumbling
+/// windows of `window_len` ms closed by the node's watermark (max event
+/// time − `allowed_lateness_ms`), normalized to 0-based ids covering all
+/// of `window_range` (inclusive — windows the node saw no events in are
+/// empty entries). Returns the windows plus the count of events dropped
+/// behind the watermark.
+///
+/// This is the windowing half of [`run_local_streaming`], split out so
+/// streaming work can ride the same [`LocalStepper`] as pre-windowed work
+/// (the reactor runtime hosts both through one role).
+pub fn stream_windows(
+    node: NodeId,
+    events: Vec<Event>,
+    window_len: u64,
+    window_range: (u64, u64),
+    allowed_lateness_ms: u64,
+) -> (Vec<Vec<Event>>, u64) {
     let (first_window, last_window) = window_range;
     let mut mgr = WindowManager::new(node, window_len, SortStrategy::OnClose);
+    let mut out: Vec<Vec<Event>> = Vec::new();
     let mut next_to_emit = first_window;
-    let mut duty = engines::build_local(engine, shared);
-    let mut cache = SentCache {
-        inner: to_root,
-        shared,
-        key: 0,
+    let emit = |out: &mut Vec<Vec<Event>>, next: &mut u64, wid: u64, events: Vec<Event>| {
+        while *next < wid {
+            out.push(Vec::new());
+            *next += 1;
+        }
+        if wid >= *next {
+            out.push(events);
+            *next = wid + 1;
+        }
     };
-
-    let mut emit = |window_abs: u64,
-                    events: Vec<Event>,
-                    cache: &mut SentCache<'_>|
-     -> Result<(), ClusterError> {
-        // Normalize to 0-based window ids, matching the pre-windowed runner.
-        let window = WindowId(window_abs - first_window);
-        close_times
-            .lock()
-            .insert((node.0, window.0), Instant::now());
-        cache.key = window.0;
-        duty.on_window(node, window, events, cache)
-    };
-
     for e in events {
         let watermark = e.ts.saturating_sub(allowed_lateness_ms);
         for closed in mgr.advance_watermark(watermark) {
             let wid = closed.id().0;
-            while next_to_emit < wid {
-                emit(next_to_emit, Vec::new(), &mut cache)?;
-                next_to_emit += 1;
-            }
-            if wid >= next_to_emit {
-                emit(wid, closed.into_sorted_events(), &mut cache)?;
-                next_to_emit = wid + 1;
-            }
+            emit(
+                &mut out,
+                &mut next_to_emit,
+                wid,
+                closed.into_sorted_events(),
+            );
         }
         mgr.ingest(e);
     }
     for closed in mgr.drain() {
         let wid = closed.id().0;
-        while next_to_emit < wid {
-            emit(next_to_emit, Vec::new(), &mut cache)?;
-            next_to_emit += 1;
-        }
-        if wid >= next_to_emit {
-            emit(wid, closed.into_sorted_events(), &mut cache)?;
-            next_to_emit = wid + 1;
-        }
+        emit(
+            &mut out,
+            &mut next_to_emit,
+            wid,
+            closed.into_sorted_events(),
+        );
     }
     while next_to_emit <= last_window {
-        emit(next_to_emit, Vec::new(), &mut cache)?;
+        out.push(Vec::new());
         next_to_emit += 1;
     }
-    cache.key = END_KEY;
-    cache.send(&Message::StreamEnd {
-        node,
-        late_events: mgr.late_events(),
-    })?;
-    Ok(())
+    (out, mgr.late_events())
 }
 
 #[cfg(test)]

@@ -58,6 +58,10 @@ impl MsgSender for RoutedSender {
         };
         self.inner.lock().send(&wrapped)
     }
+
+    fn flush_pending(&mut self) -> Result<bool, NetError> {
+        self.inner.lock().flush_pending()
+    }
 }
 
 /// Drive one relay node until both directions drain.

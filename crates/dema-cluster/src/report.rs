@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use dema_core::event::WindowId;
-use dema_metrics::{FaultSnapshot, LatencyHistogram, NetworkSnapshot};
+use dema_metrics::{FaultSnapshot, LatencyHistogram, NetworkSnapshot, ReactorSnapshot};
 
 /// How a window's answer lost exactness when some locals' data never
 /// arrived (dead nodes, exhausted retries). Produced only by resilient runs
@@ -103,6 +103,9 @@ pub struct RunReport {
     /// Retry / degradation work the fault-tolerance layer did
     /// ([`FaultSnapshot::is_clean`] for an undisturbed run).
     pub fault_stats: FaultSnapshot,
+    /// Reactor loop health aggregated over every shard plus the root loop:
+    /// sweeps, delivered events, timer lag, ready-queue depth.
+    pub reactor: ReactorSnapshot,
 }
 
 impl RunReport {
@@ -177,6 +180,7 @@ mod tests {
             late_events: 0,
             tier_traffic: Vec::new(),
             fault_stats: FaultSnapshot::default(),
+            reactor: ReactorSnapshot::default(),
         }
     }
 

@@ -45,6 +45,12 @@ pub struct RootNode {
     /// Last time `handle` saw any message — staleness beyond the timeout
     /// means the run is quiescent and outstanding windows need deadlines.
     last_progress: Instant,
+    /// Whether a quiescent `tick` already ran for the current
+    /// `last_progress` epoch. Once it has, every outstanding window and
+    /// silent stream end holds a supervisor deadline, so `next_deadline`
+    /// can rely on the engine alone instead of re-offering the (now past)
+    /// quiescence instant every sweep.
+    quiescent_ticked: bool,
     /// Reused scratch buffer for the engine's resolved windows.
     resolved: Vec<(WindowId, ResolvedWindow)>,
 }
@@ -116,6 +122,7 @@ impl RootNode {
             late_events: 0,
             resilience_timeout,
             last_progress: Instant::now(),
+            quiescent_ticked: false,
             resolved: Vec::new(),
         }
     }
@@ -157,6 +164,7 @@ impl RootNode {
     /// Process one message from a local node.
     pub fn handle(&mut self, msg: Message) -> Result<(), ClusterError> {
         self.last_progress = Instant::now();
+        self.quiescent_ticked = false;
         if let Message::StreamEnd { node, late_events } = msg {
             if self.ended.insert(node.0) {
                 self.late_events += late_events;
@@ -184,6 +192,7 @@ impl RootNode {
             return Ok(());
         };
         let quiescent = self.last_progress.elapsed() >= timeout;
+        self.quiescent_ticked |= quiescent;
         let missing_enders: Vec<u32> = (0..len_to_u32(self.n_locals))
             .filter(|n| !self.ended.contains(n) && !self.dead.contains(n))
             .collect();
@@ -202,6 +211,31 @@ impl RootNode {
             self.dead.insert(node.0);
         }
         Ok(())
+    }
+
+    /// The next instant [`RootNode::tick`] needs to run: the earlier of
+    /// the quiescence threshold (arming deadlines for fully-dropped
+    /// windows) and the engine supervisor's earliest retry deadline.
+    /// `None` on seed runs — tick is a no-op there, so the reactor arms
+    /// no timer at all and the hot path stays timer-free (DESIGN.md §13).
+    ///
+    /// Once a quiescent tick has run for the current progress epoch, the
+    /// quiescence instant is in the past and arming from it again would
+    /// make the reactor fire an immediate timer every sweep; the engine's
+    /// own deadlines cover all remaining work, so only those are offered.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let timeout = self.resilience_timeout?;
+        if self.quiescent_ticked {
+            return self.engine.next_deadline();
+        }
+        let quiescence = self
+            .last_progress
+            .checked_add(timeout)
+            .unwrap_or(self.last_progress);
+        Some(match self.engine.next_deadline() {
+            Some(engine_due) => engine_due.min(quiescence),
+            None => quiescence,
+        })
     }
 
     /// Record the outcome of `window` and its latency.

@@ -1,29 +1,41 @@
-//! Orchestration: build the topology, spawn node threads, drive the root,
-//! collect the report.
+//! Orchestration: build the topology, host the node roles on reactor
+//! shards, drive the root on its own reactor, collect the report.
 //!
 //! Wiring is engine-agnostic: everything engine-specific the runner needs
 //! (does the engine have a control plane? what γ do locals start with? is
 //! the configuration valid?) comes from the engine registry in
 //! [`crate::engines`]. The overlay between leaves and root is either the
 //! flat star of the paper's experiments or a multi-level aggregation tree
-//! of [`crate::relay`] nodes ([`Topology::Tree`]), with per-tier traffic
-//! attribution in [`crate::report::TierTraffic`].
+//! of relay nodes ([`Topology::Tree`]), with per-tier traffic attribution
+//! in [`crate::report::TierTraffic`].
+//!
+//! Concurrency model (DESIGN.md §13): instead of one thread per node, the
+//! runner spawns `threads` reactor shards and hash-assigns each local node
+//! (with its responder) and each relay to a shard by id. Every shard is a
+//! single [`dema_net::reactor::Reactor`] event loop hosting its bucket of
+//! [`crate::host`] roles; the caller's thread hosts the root the same way.
+//! A run at `threads = 1000-node scale` therefore costs `threads + 1`
+//! OS threads, not `2·nodes + relays`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dema_core::event::{Event, NodeId};
 use dema_core::sync::{rank, Mutex};
-use dema_metrics::{FaultCounters, NetworkCounters, NetworkSnapshot};
+use dema_metrics::{FaultCounters, NetworkCounters, NetworkSnapshot, ReactorStats};
 use dema_net::fault::FaultPlan;
 use dema_net::mem::{link, throttled_link, Throttle};
+use dema_net::reactor::{spawn_shard, Handler, Reactor, RecvSource};
 use dema_net::tcp::{accept, listen, TcpSender};
 use dema_net::{MsgReceiver, MsgSender, NetError, SharedCounters};
 
-use crate::config::{ClusterConfig, Topology, TransportKind};
+use crate::config::{ClusterConfig, EngineKind, Topology, TransportKind};
 use crate::engines::{self, ResilienceCtx};
-use crate::local::{run_local, run_local_streaming, run_responder, CloseTimes, LocalShared};
-use crate::relay::{run_relay, RelayChild, RoutedSender};
+use crate::host::{
+    LocalRole, RelayChildRoute, RelayRole, ResponderRole, RoleHost, RootRole, Stepper,
+};
+use crate::local::{stream_windows, CloseTimes, LocalShared, LocalStepper};
+use crate::relay::{RelayChild, RoutedSender};
 use crate::report::{RunReport, TierTraffic};
 use crate::root::RootNode;
 use crate::ClusterError;
@@ -82,7 +94,14 @@ fn make_link(
             // I/O error instead of a thread panic.
             let tx = TcpSender::connect_timeout(addr, counters, TCP_CONNECT_TIMEOUT)?;
             let receiver = accept(&listener)?;
-            Ok((Box::new(tx), Box::new(receiver)))
+            // Reactor-hosted endpoints must never block the shard: convert
+            // both sides to nonblocking mode up front. Partial writes park
+            // in the sender's outbound buffer and drain on writability
+            // retries (`MsgSender::flush_pending`).
+            Ok((
+                Box::new(tx.into_nonblocking()?),
+                Box::new(receiver.into_nonblocking()?),
+            ))
         }
     }
 }
@@ -384,62 +403,68 @@ fn run_cluster_inner(
     }
 
     let started = Instant::now();
+    let reactor_stats = ReactorStats::new_shared();
 
-    // Spawn the relays…
-    let mut handles = Vec::new();
-    for (ups, up_tx, down_rx, relay_children) in relay_specs {
-        // lint: allow(R9): long-lived relay topology thread, one per run, outside the sort budget
-        handles.push(std::thread::spawn(move || {
-            run_relay(ups, up_tx, down_rx, relay_children)
-        }));
-    }
-
-    // …then the local nodes (and responders for control-plane engines).
+    // Shard the node roles over `threads` reactors: each shard hosts its
+    // bucket of locals (with their responders) and relays on ONE event
+    // loop. The shard count doubles as the per-node sort budget, keeping
+    // the `DEMA_THREADS` semantics of the threaded runner.
     let engine = config.engine;
     let pace = config.pace_window_ms;
     let sort_threads = config
         .threads
         .unwrap_or_else(dema_core::par::default_threads);
+    let shards = sort_threads.max(1);
+
+    let mut shard_locals: Vec<Vec<LocalNodeSpec>> = (0..shards).map(|_| Vec::new()).collect();
     for (n, node_work) in work.into_iter().enumerate() {
-        let node = NodeId(n as u32);
-        let shared = LocalShared::configured(initial_gamma, resilient, sort_threads);
-        let mut tx = data_tx.remove(0);
-        let ct = Arc::clone(&close_times);
-        if control_plane {
-            let mut ctl_rx = control_rx.remove(0);
-            let mut resp_tx = responder_tx.remove(0);
-            let resp_shared = Arc::clone(&shared);
-            // lint: allow(R9): long-lived responder thread, one per node per run, not per-window work
-            handles.push(std::thread::spawn(move || {
-                run_responder(node, ctl_rx.as_mut(), resp_tx.as_mut(), &resp_shared)
-            }));
-        }
-        // lint: allow(R9): long-lived local-node thread, one per node per run, not per-window work
-        handles.push(std::thread::spawn(move || match node_work {
-            NodeWork::Windowed(node_windows) => {
-                run_local(node, node_windows, engine, tx.as_mut(), &shared, &ct, pace)
-            }
-            NodeWork::Streaming {
-                events,
-                window_len,
-                range,
-                lateness,
-            } => run_local_streaming(
-                node,
-                events,
-                window_len,
-                range,
-                lateness,
-                engine,
-                tx.as_mut(),
-                &shared,
-                &ct,
-            ),
-        }));
+        let responder = control_plane.then(|| (control_rx.remove(0), responder_tx.remove(0)));
+        shard_locals[n % shards].push(LocalNodeSpec {
+            node: NodeId(n as u32),
+            work: node_work,
+            up: data_tx.remove(0),
+            responder,
+        });
+    }
+    let mut shard_relays: Vec<Vec<RelaySpec>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, (ups, parent_up, parent_down, children)) in relay_specs.into_iter().enumerate() {
+        shard_relays[i % shards].push(RelaySpec {
+            ups,
+            parent_up,
+            parent_down,
+            children,
+        });
     }
 
-    // Drive the root on this thread.
-    let mut root = RootNode::with_extra_quantiles(
+    let mut handles = Vec::new();
+    for (i, (locals, relays)) in shard_locals.into_iter().zip(shard_relays).enumerate() {
+        if locals.is_empty() && relays.is_empty() {
+            continue;
+        }
+        let ct = Arc::clone(&close_times);
+        let stats = Arc::clone(&reactor_stats);
+        handles.push(
+            spawn_shard(format!("dema-shard-{i}"), move || {
+                run_shard(
+                    engine,
+                    initial_gamma,
+                    resilient,
+                    sort_threads,
+                    pace,
+                    ct,
+                    locals,
+                    relays,
+                    stats,
+                )
+            })
+            .map_err(|e| ClusterError::Net(NetError::Io(e)))?,
+        );
+    }
+
+    // Host the root on this thread's own reactor: every uplink receiver is
+    // a source, and retry / liveness deadlines surface as reactor timers
+    // ([`RootNode::next_deadline`]) instead of a tick per polling sweep.
+    let root = RootNode::with_extra_quantiles(
         config.quantile,
         config.extra_quantiles.clone(),
         config.engine,
@@ -453,66 +478,45 @@ fn run_cluster_inner(
         }),
         config.pipeline_depth,
     );
-    let mut receivers = root_rx;
-    let mut result: Result<(), ClusterError> = Ok(());
-    let mut idle_sweeps = 0u32;
-    'drive: while !root.finished() {
-        let mut progressed = false;
-        for rx in &mut receivers {
-            // Drain each receiver non-blockingly; the protocol is bursty
-            // (one batch per window per node), so draining amortizes sweeps.
-            loop {
-                match rx.try_recv() {
-                    Ok(Some(msg)) => {
-                        progressed = true;
-                        if let Err(e) = root.handle(msg) {
-                            result = Err(e);
-                            break 'drive;
-                        }
-                    }
-                    Ok(None) => break,
-                    Err(NetError::Disconnected) => break,
-                    Err(e) => {
-                        result = Err(e.into());
-                        break 'drive;
-                    }
-                }
-            }
-        }
-        // Retry / liveness pass (a no-op on non-resilient runs).
-        if let Err(e) = root.tick() {
-            result = Err(e);
-            break 'drive;
-        }
-        if progressed {
-            idle_sweeps = 0;
-        } else {
-            // Back off gently: spin briefly for low latency, then yield.
-            idle_sweeps += 1;
-            if idle_sweeps > 64 {
-                std::thread::sleep(Duration::from_micros(20));
-            } else {
-                std::thread::yield_now();
-            }
-        }
+    let mut root_reactor = Reactor::new(Arc::clone(&reactor_stats));
+    let mut root_host = RoleHost::new(RootRole::new(root), Vec::new());
+    for (i, rx) in root_rx.into_iter().enumerate() {
+        root_reactor.register(0, i, Box::new(RecvSource(rx)));
+    }
+    {
+        let mut handlers: Vec<&mut dyn Handler<ClusterError>> = vec![&mut root_host];
+        // The host absorbs role errors, so the loop itself cannot fail.
+        root_reactor.run(&mut handlers)?;
     }
     let wall_time = started.elapsed();
 
-    // Dropping the root's control senders cascades the shutdown: responders
-    // exit on control-link disconnect, relays drain and exit as both of
-    // their directions close. Reap every thread.
+    let (root_role, root_err) = root_host.into_parts();
+    let mut result: Result<(), ClusterError> = root_err.map_or(Ok(()), Err);
+    let root = root_role.into_root();
+    // Dropping the root's control senders (inside `into_results`) cascades
+    // the shutdown: responder roles retire on control-link disconnect,
+    // relay roles cascade the close downward and retire as both of their
+    // directions drain, and each shard's reactor exits once every hosted
+    // role is done. Only then drop the uplink receivers and reap the
+    // shards.
     let late_events = root.late_events();
     let (outcomes, latency) = root.into_results();
-    drop(receivers);
+    drop(root_reactor);
     let faulty_run = !config.faults.is_empty();
     for h in handles {
         match h.join() {
-            Ok(Ok(())) => {}
-            // Fault-injected runs sever links by design; a node seeing its
-            // own link die is the scenario, not a failure.
-            Ok(Err(ClusterError::Net(NetError::Disconnected))) if faulty_run => {}
-            Ok(Err(e)) => result = result.and(Err(e)),
-            Err(_) => result = result.and(Err(ClusterError::NodePanic("local node".into()))),
+            Ok(errors) => {
+                for e in errors {
+                    match e {
+                        // Fault-injected runs sever links by design; a node
+                        // seeing its own link die is the scenario, not a
+                        // failure.
+                        ClusterError::Net(NetError::Disconnected) if faulty_run => {}
+                        e => result = result.and(Err(e)),
+                    }
+                }
+            }
+            Err(_) => result = result.and(Err(ClusterError::NodePanic("reactor shard".into()))),
         }
     }
     result?;
@@ -553,7 +557,121 @@ fn run_cluster_inner(
         late_events,
         tier_traffic,
         fault_stats: fault_counters.snapshot(),
+        reactor: reactor_stats.snapshot(),
     })
+}
+
+/// Everything a shard needs to host one local node: its input, its data
+/// uplink, and (for control-plane engines) the responder's pair of links.
+struct LocalNodeSpec {
+    node: NodeId,
+    work: NodeWork,
+    up: Box<dyn MsgSender>,
+    /// Control-plane engines: the root→local control receiver paired with
+    /// the responder's uplink. One option, so a half-wired responder is
+    /// unrepresentable.
+    responder: Option<(Box<dyn MsgReceiver>, Box<dyn MsgSender>)>,
+}
+
+/// Everything a shard needs to host one relay node.
+struct RelaySpec {
+    ups: Vec<Box<dyn MsgReceiver>>,
+    parent_up: Box<dyn MsgSender>,
+    parent_down: Option<Box<dyn MsgReceiver>>,
+    children: Vec<RelayChild>,
+}
+
+/// Host one shard's bucket of locals, responders, and relays on a single
+/// reactor event loop, and return every error the hosted roles recorded
+/// (a failing role retires — dropping its links — without stopping the
+/// shard, matching the threaded runner's per-thread error semantics).
+#[allow(clippy::too_many_arguments)] // one-shot plumbing from run_cluster_inner
+fn run_shard(
+    engine: EngineKind,
+    initial_gamma: u64,
+    resilient: bool,
+    sort_threads: usize,
+    pace: Option<u64>,
+    close_times: CloseTimes,
+    locals: Vec<LocalNodeSpec>,
+    relays: Vec<RelaySpec>,
+    stats: Arc<ReactorStats>,
+) -> Vec<ClusterError> {
+    // The shared per-node state outlives the roles borrowing it below.
+    let shareds: Vec<Arc<LocalShared>> = locals
+        .iter()
+        .map(|_| LocalShared::configured(initial_gamma, resilient, sort_threads))
+        .collect();
+    let mut reactor = Reactor::new(stats);
+    let mut hosts: Vec<RoleHost<Box<dyn Stepper + '_>>> = Vec::new();
+    for (spec, shared) in locals.into_iter().zip(&shareds) {
+        let node = spec.node;
+        let (stepper, node_pace) = match spec.work {
+            NodeWork::Windowed(node_windows) => {
+                (LocalStepper::new(node, node_windows, engine, shared), pace)
+            }
+            NodeWork::Streaming {
+                events,
+                window_len,
+                range,
+                lateness,
+            } => {
+                let (node_windows, late) =
+                    stream_windows(node, events, window_len, range, lateness);
+                (
+                    LocalStepper::new(node, node_windows, engine, shared).with_late_events(late),
+                    // Streaming inputs carry their own event-time cadence.
+                    None,
+                )
+            }
+        };
+        let role = LocalRole::new(node, stepper, Arc::clone(&close_times), node_pace);
+        hosts.push(RoleHost::new(
+            Box::new(role) as Box<dyn Stepper + '_>,
+            vec![spec.up],
+        ));
+        if let Some((ctl_rx, resp_up)) = spec.responder {
+            reactor.register(hosts.len(), 0, Box::new(RecvSource(ctl_rx)));
+            hosts.push(RoleHost::new(
+                Box::new(ResponderRole::new(node, shared)) as Box<dyn Stepper + '_>,
+                vec![resp_up],
+            ));
+        }
+    }
+    for spec in relays {
+        let handler = hosts.len();
+        let n_ups = spec.ups.len();
+        let mut senders: Vec<Box<dyn MsgSender>> = vec![spec.parent_up];
+        let mut routes = Vec::with_capacity(spec.children.len());
+        for child in spec.children {
+            routes.push(RelayChildRoute {
+                range: child.range,
+                via: senders.len(),
+                leaf: child.leaf,
+            });
+            senders.push(child.sender);
+        }
+        for (i, rx) in spec.ups.into_iter().enumerate() {
+            reactor.register(handler, i, Box::new(RecvSource(rx)));
+        }
+        let has_down = spec.parent_down.is_some();
+        if let Some(down) = spec.parent_down {
+            reactor.register(handler, n_ups, Box::new(RecvSource(down)));
+        }
+        hosts.push(RoleHost::new(
+            Box::new(RelayRole::new(n_ups, routes, has_down)) as Box<dyn Stepper + '_>,
+            senders,
+        ));
+    }
+    let mut handlers: Vec<&mut dyn Handler<ClusterError>> = hosts
+        .iter_mut()
+        .map(|h| h as &mut dyn Handler<ClusterError>)
+        .collect();
+    if let Err(e) = reactor.run(&mut handlers) {
+        // Unreachable — hosts absorb role errors — but keep it visible.
+        return vec![e];
+    }
+    hosts.iter_mut().filter_map(RoleHost::take_error).collect()
 }
 
 /// Convenience: run the same inputs through a second engine and return both

@@ -67,6 +67,14 @@
 //!   `std::sync::Mutex` / `RwLock` / `Condvar` or any `parking_lot`
 //!   mention escapes the runtime lock-order tracker. The wrapper module
 //!   itself (`dema-core/src/sync.rs`) is exempt.
+//! * **R14** — no blocking `.recv()` / `.recv_timeout(..)` in the
+//!   reactor-hosted runtime files (`dema-net/src/reactor.rs`,
+//!   `dema-cluster/src/runner.rs`, `dema-cluster/src/host.rs`). The
+//!   reactor's source sweep is the only legal wait point there: a role
+//!   that blocks in a channel receive stalls every other role hosted on
+//!   the same thread and starves the timer wheel. Deliver messages as
+//!   `ReactorEvent::Readable`, deadlines as reactor timers; tag a
+//!   justified site with `// lint: allow(R14): <reason>`.
 //!
 //! The analysis is purely lexical over a *masked* view of each source file:
 //! string and comment bytes are blanked (newlines kept) so tokens inside
@@ -113,7 +121,7 @@ const NUMERIC_TYPES: [&str; 14] = [
 /// One finding of one rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier: `R1`..`R13`.
+    /// Rule identifier: `R1`..`R14`.
     pub rule: &'static str,
     /// Path of the offending file, relative to the checked root.
     pub path: String,
@@ -579,6 +587,54 @@ fn check_r5(file: &SourceFile, violations: &mut Vec<Violation>) {
                       `// lint: allow(R5): <reason>`)"
                 .to_string(),
         });
+    }
+}
+
+/// Files the reactor runtime owns (rule R14): the event loop itself and
+/// the cluster layer that hosts roles on it. Every wait in these files
+/// must go through the reactor's source sweep or timer wheel.
+pub const R14_FILES: [&str; 3] = [
+    "dema-net/src/reactor.rs",
+    "dema-cluster/src/runner.rs",
+    "dema-cluster/src/host.rs",
+];
+
+/// R14: blocking channel receives in reactor-hosted runtime files. Both
+/// `.recv()` and `.recv_timeout(` are needles — a bounded block still
+/// stalls every role sharing the thread and starves the timer wheel; the
+/// reactor's own sweep is the only legal wait point.
+fn check_r14(file: &SourceFile, violations: &mut Vec<Violation>) {
+    if !R14_FILES.iter().any(|f| file.rel.ends_with(f)) || file.test_by_path {
+        return;
+    }
+    for (needle, token) in [
+        (".recv()", ".recv()"),
+        (".recv_timeout(", ".recv_timeout(..)"),
+    ] {
+        let mut i = 0;
+        while let Some(pos) = file.masked[i..].find(needle) {
+            let at = i + pos;
+            i = at + needle.len();
+            if file.in_test_region(at) {
+                continue;
+            }
+            let line = file.line_of(at);
+            if file.allowed("R14", line) {
+                continue;
+            }
+            violations.push(Violation {
+                rule: "R14",
+                path: file.rel.clone(),
+                line,
+                token: token.to_string(),
+                message: format!(
+                    "blocking `{token}` in reactor-hosted runtime code stalls every role on \
+                     the thread and starves the timer wheel; deliver messages as reactor \
+                     events and deadlines as reactor timers (or tag with \
+                     `// lint: allow(R14): <reason>`)"
+                ),
+            });
+        }
     }
 }
 
@@ -1316,6 +1372,7 @@ fn rule_in_scope(rule: &str, file: &SourceFile, concurrency: bool) -> bool {
             !file.test_by_path && !file.rel.ends_with(R9_EXEMPT) && in_crate_src(file, &R9_CRATES)
         }
         "R10" | "R11" | "R12" | "R13" => concurrency && conc_in_scope(file),
+        "R14" => !file.test_by_path && R14_FILES.iter().any(|f| file.rel.ends_with(f)),
         _ => false,
     }
 }
@@ -1551,6 +1608,7 @@ pub fn check_full(root: &Path, baseline: &[String], spec: bool, concurrency: boo
         check_r2(file, &mut all);
         check_r5(file, &mut all);
         check_r9(file, &mut all);
+        check_r14(file, &mut all);
     }
     check_r3(&files, &mut all);
     check_r4(&files, &mut all);
@@ -1573,7 +1631,7 @@ pub fn check_full(root: &Path, baseline: &[String], spec: bool, concurrency: boo
         check_r7(&files, &mut all);
     }
 
-    let mut rules_run: Vec<&str> = vec!["R1", "R2", "R3", "R4", "R5", "R8", "R9"];
+    let mut rules_run: Vec<&str> = vec!["R1", "R2", "R3", "R4", "R5", "R8", "R9", "R14"];
     if spec {
         rules_run.extend(["R6", "R7"]);
     }
@@ -1621,7 +1679,7 @@ pub fn per_rule_counts(violations: &[Violation]) -> BTreeMap<&'static str, usize
 
 /// Catalogue entry behind `dema-lint explain R<n>`.
 pub struct RuleInfo {
-    /// Rule identifier, `R1`..`R13`.
+    /// Rule identifier, `R1`..`R14`.
     pub id: &'static str,
     /// One-line statement of what the rule rejects.
     pub title: &'static str,
@@ -1633,7 +1691,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule the linter knows, in id order.
-pub const RULES: [RuleInfo; 13] = [
+pub const RULES: [RuleInfo; 14] = [
     RuleInfo {
         id: "R1",
         title: "no unwrap/expect/panic!/todo!/unimplemented! in core library code",
@@ -1728,6 +1786,15 @@ pub const RULES: [RuleInfo; 13] = [
                     so an inversion they join is invisible until it deadlocks in \
                     production; the wrapper module itself is exempt",
         allow: "// lint: allow(R13): <reason>",
+    },
+    RuleInfo {
+        id: "R14",
+        title: "no blocking recv/recv_timeout in reactor-hosted runtime files",
+        rationale: "the reactor multiplexes every hosted role and the timer wheel onto one \
+                    thread; a role that blocks in a channel receive — even a bounded one — \
+                    stalls its peers and delays every deadline. Messages arrive as \
+                    ReactorEvent::Readable, deadlines as reactor timers",
+        allow: "// lint: allow(R14): <reason>",
     },
 ];
 
@@ -1840,6 +1907,54 @@ mod tests {
             &mut v,
         );
         assert!(v.is_empty(), "test regions are exempt: {v:?}");
+    }
+
+    fn host_file(src: &str) -> SourceFile {
+        let masked = mask_source(src);
+        let test_regions = find_test_regions(&masked);
+        SourceFile {
+            rel: "crates/dema-cluster/src/host.rs".to_string(),
+            text: src.to_string(),
+            masked,
+            test_regions,
+            test_by_path: false,
+            used_allows: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    #[test]
+    fn r14_flags_blocking_receives_in_reactor_files() {
+        let mut v = Vec::new();
+        check_r14(
+            &host_file("fn f(rx: &R) { rx.recv(); rx.recv_timeout(d); rx.try_recv(); }"),
+            &mut v,
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "R14"));
+
+        let mut v = Vec::new();
+        check_r14(
+            &host_file(
+                "fn f(rx: &R) {\n    // lint: allow(R14): result drain after reactor exit\n    rx.recv();\n}",
+            ),
+            &mut v,
+        );
+        assert!(v.is_empty(), "allow-tag must suppress: {v:?}");
+
+        let mut v = Vec::new();
+        check_r14(
+            &host_file("#[cfg(test)]\nmod t {\n    fn g(rx: &R) { rx.recv_timeout(d); }\n}"),
+            &mut v,
+        );
+        assert!(v.is_empty(), "test regions are exempt: {v:?}");
+
+        // Cluster files outside the reactor runtime are R5's turf, not R14's.
+        let mut v = Vec::new();
+        check_r14(
+            &cluster_file("fn f(rx: &R) { rx.recv_timeout(d); }"),
+            &mut v,
+        );
+        assert!(v.is_empty(), "out-of-scope file: {v:?}");
     }
 
     #[test]
@@ -2138,8 +2253,8 @@ mod tests {
     }
 
     #[test]
-    fn rule_catalogue_covers_r1_to_r13() {
-        assert_eq!(RULES.len(), 13);
+    fn rule_catalogue_covers_r1_to_r14() {
+        assert_eq!(RULES.len(), 14);
         for (idx, info) in RULES.iter().enumerate() {
             assert_eq!(info.id, format!("R{}", idx + 1));
         }

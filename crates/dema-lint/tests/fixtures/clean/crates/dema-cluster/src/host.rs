@@ -1,0 +1,7 @@
+//! Fixture: a tagged bounded receive in a reactor runtime file — the
+//! allow tag is consumed by R14, so R8 must not flag it as stale.
+
+pub fn drain_results(rx: &Receiver) -> Option<Msg> {
+    // lint: allow(R14): result drain after the reactor has exited
+    rx.recv_timeout(std::time::Duration::from_millis(5)).ok()
+}

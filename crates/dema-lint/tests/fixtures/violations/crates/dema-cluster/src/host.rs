@@ -1,0 +1,6 @@
+//! Fixture: R14 violation — a blocking bounded receive in a
+//! reactor-hosted runtime file (the reactor sweep is the only legal wait).
+
+pub fn drive(rx: &Receiver) -> Option<Msg> {
+    rx.recv_timeout(std::time::Duration::from_millis(5)).ok()
+}

@@ -3,7 +3,7 @@
 //! tree (allow-tags honoured), baseline suppression, stale allow-tags
 //! (R8), stale baseline entries, `--spec` conformance (R6), the
 //! `--concurrency` lock/channel pass (R10–R13) over the `conc-*` trees,
-//! and the `explain` subcommand.
+//! the reactor-runtime receive ban (R14), and the `explain` subcommand.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -83,7 +83,11 @@ fn violations_tree_fails_with_file_line_diagnostics() {
         "missing R9 diagnostic (pool_breaker.rs)\n{stdout}"
     );
     assert!(
-        stdout.contains("12 new violation(s) [R1: 4, R2: 2, R3: 1, R4: 1, R5: 3, R9: 1]"),
+        stdout.contains("crates/dema-cluster/src/host.rs:5: R14:"),
+        "missing R14 diagnostic (host.rs recv_timeout)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("13 new violation(s) [R1: 4, R14: 1, R2: 2, R3: 1, R4: 1, R5: 3, R9: 1]"),
         "summary should count violations per rule\n{stdout}"
     );
 }
@@ -103,7 +107,7 @@ fn baseline_suppresses_accepted_findings() {
         &["--baseline", baseline.to_str().expect("utf-8 path")],
     );
     assert_eq!(code, 0, "baselined tree must pass\n{stdout}");
-    assert!(stdout.contains("12 baselined finding(s)"), "{stdout}");
+    assert!(stdout.contains("13 baselined finding(s)"), "{stdout}");
 }
 
 /// Satellite: a baseline entry that no longer matches any finding is an

@@ -17,14 +17,19 @@
 //!   offered rate a system sustains without growing backlog;
 //! * **fault handling** — [`faults::FaultCounters`]: retry / timeout /
 //!   duplicate-suppression / degradation counters fed by the cluster's
-//!   fault-tolerance layer.
+//!   fault-tolerance layer;
+//! * **event loop** — [`reactor::ReactorStats`]: per-run reactor loop
+//!   counters (events per sweep, timer lag, ready-queue depth) fed by the
+//!   reactor runtime hosting the cluster (DESIGN.md §13).
 
 pub mod counters;
 pub mod faults;
 pub mod histogram;
+pub mod reactor;
 pub mod throughput;
 
 pub use counters::{NetworkCounters, NetworkSnapshot};
 pub use faults::{FaultCounters, FaultSnapshot};
 pub use histogram::LatencyHistogram;
+pub use reactor::{ReactorSnapshot, ReactorStats};
 pub use throughput::{sustainable_throughput, ThroughputMeter};

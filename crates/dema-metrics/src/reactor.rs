@@ -1,0 +1,129 @@
+//! Event-loop instrumentation for the reactor runtime (DESIGN.md §13).
+//!
+//! One [`ReactorStats`] instance is shared by every shard of a run (the
+//! counters are lock-free atomics, like [`crate::NetworkCounters`]), so the
+//! report sees the whole fleet's loop behavior: how many events each
+//! polling sweep dispatched, how late timers fired relative to their
+//! deadline, and how deep the ready queue got within a single sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock-free reactor loop counters, shared across shards.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    /// Polling sweeps executed (idle sweeps included).
+    ticks: AtomicU64,
+    /// Events dispatched to handlers (readable, closed, timer, wake).
+    events: AtomicU64,
+    /// Timer events among `events`.
+    timers: AtomicU64,
+    /// Sum over all fired timers of (fire time − deadline), in µs.
+    timer_lag_us: AtomicU64,
+    /// Worst single-timer lag observed, in µs.
+    max_timer_lag_us: AtomicU64,
+    /// Deepest ready queue (events dispatched by one sweep) observed.
+    max_ready_depth: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Fresh shared stats.
+    pub fn new_shared() -> Arc<ReactorStats> {
+        Arc::new(ReactorStats::default())
+    }
+
+    /// Record one polling sweep that dispatched `events` events, `timers`
+    /// of which were timer fires.
+    pub fn record_tick(&self, events: u64, timers: u64) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(events, Ordering::Relaxed);
+        self.timers.fetch_add(timers, Ordering::Relaxed);
+        self.max_ready_depth.fetch_max(events, Ordering::Relaxed);
+    }
+
+    /// Record one timer fire that ran `lag_us` µs behind its deadline.
+    pub fn record_timer_lag(&self, lag_us: u64) {
+        self.timer_lag_us.fetch_add(lag_us, Ordering::Relaxed);
+        self.max_timer_lag_us.fetch_max(lag_us, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ReactorSnapshot {
+        ReactorSnapshot {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            timers: self.timers.load(Ordering::Relaxed),
+            timer_lag_us: self.timer_lag_us.load(Ordering::Relaxed),
+            max_timer_lag_us: self.max_timer_lag_us.load(Ordering::Relaxed),
+            max_ready_depth: self.max_ready_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`ReactorStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorSnapshot {
+    /// Polling sweeps executed.
+    pub ticks: u64,
+    /// Events dispatched to handlers.
+    pub events: u64,
+    /// Timer events among `events`.
+    pub timers: u64,
+    /// Total timer lag (fire − deadline) in µs.
+    pub timer_lag_us: u64,
+    /// Worst single-timer lag in µs.
+    pub max_timer_lag_us: u64,
+    /// Deepest single-sweep ready queue.
+    pub max_ready_depth: u64,
+}
+
+impl ReactorSnapshot {
+    /// Mean events dispatched per sweep (0 when no sweeps ran).
+    pub fn events_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.ticks as f64
+        }
+    }
+
+    /// Mean timer lag in µs (0 when no timers fired).
+    pub fn mean_timer_lag_us(&self) -> f64 {
+        if self.timers == 0 {
+            0.0
+        } else {
+            self.timer_lag_us as f64 / self.timers as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_and_depth_accumulate() {
+        let s = ReactorStats::default();
+        s.record_tick(3, 1);
+        s.record_tick(0, 0);
+        s.record_tick(7, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.ticks, 3);
+        assert_eq!(snap.events, 10);
+        assert_eq!(snap.timers, 3);
+        assert_eq!(snap.max_ready_depth, 7);
+        assert!((snap.events_per_tick() - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timer_lag_tracks_sum_and_max() {
+        let s = ReactorStats::default();
+        s.record_timer_lag(40);
+        s.record_timer_lag(10);
+        s.record_tick(2, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.timer_lag_us, 50);
+        assert_eq!(snap.max_timer_lag_us, 40);
+        assert!((snap.mean_timer_lag_us() - 25.0).abs() < 1e-9);
+    }
+}

@@ -50,6 +50,7 @@ use dema_cluster::ClusterError;
 use dema_core::event::{Event, NodeId};
 use dema_core::quantile::Quantile;
 use dema_metrics::{FaultCounters, NetworkCounters};
+use dema_net::reactor::ReactorEvent;
 use dema_net::step::{step_link, StepQueue, StepSender};
 use dema_wire::Message;
 
@@ -183,6 +184,19 @@ enum Action {
     /// nothing else is — timeouts fire when the system is otherwise
     /// stuck, which is exactly when they matter).
     Tick,
+}
+
+/// The role a reactor-event injection targets. The explorer hosts the
+/// same state machines the runner does, minus the I/O: a schedule action
+/// names the event, `Target` names the role it lands on.
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    /// The root's event loop.
+    Root,
+    /// Local `i`'s producer role.
+    Local(usize),
+    /// Local `i`'s responder role.
+    Responder(usize),
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -409,42 +423,80 @@ impl<'a> System<'a> {
         self.violations.push(msg);
     }
 
+    /// Execute one schedule action by translating it into the reactor
+    /// event it corresponds to in the hosted runtime, then injecting that
+    /// event into the owning role. Drops are scheduler-level faults — the
+    /// message dies on the link, no role sees an event.
     fn execute(&mut self, action: Action, mutation: Mutation) -> Result<(), ClusterError> {
         self.steps += 1;
-        match action {
-            Action::Step(i) => {
-                self.steppers[i].step(&mut self.up_tx[i])?;
-                self.produced[i] += 1;
-            }
+        let (target, ev) = match action {
+            // A producer step is what a shard's `Wake` delivers to a
+            // hosted local role.
+            Action::Step(i) => (Target::Local(i), ReactorEvent::Wake),
             Action::DeliverUp(i) => {
-                if let Some(msg) = self.up_q[i].pop() {
-                    let name = msg.variant_name();
-                    if !self.root_allowed.contains(name) {
-                        self.violation(format!(
-                            "spec violation: root received {name} from local {i}, \
-                             not in its receive set"
-                        ));
-                    }
-                    self.history[0] = fnv_mix(self.history[0], &msg.to_bytes());
-                    self.root.handle(msg)?;
-                }
+                let Some(msg) = self.up_q[i].pop() else {
+                    return Ok(());
+                };
+                (Target::Root, ReactorEvent::Readable { link: i, msg })
             }
             Action::DeliverCtl(i) => {
-                if let Some(msg) = self.ctl_q[i].pop() {
-                    self.deliver_ctl(i, msg, mutation)?;
-                }
+                let Some(msg) = self.ctl_q[i].pop() else {
+                    return Ok(());
+                };
+                (
+                    Target::Responder(i),
+                    ReactorEvent::Readable { link: 0, msg },
+                )
             }
             Action::DropUp(i) => {
                 self.up_q[i].pop();
                 self.drops_used += 1;
+                return Ok(());
             }
             Action::DropCtl(i) => {
                 self.ctl_q[i].pop();
                 self.drops_used += 1;
+                return Ok(());
             }
-            Action::Tick => self.tick()?,
+            // The supervisor acting is the root's retry deadline firing.
+            Action::Tick => (Target::Root, ReactorEvent::Timer { token: 0 }),
+        };
+        self.inject(target, ev, mutation)
+    }
+
+    /// Deliver one reactor event to one role — the explorer's in-process
+    /// analogue of a reactor sweep dispatching to a hosted role.
+    fn inject(
+        &mut self,
+        target: Target,
+        ev: ReactorEvent,
+        mutation: Mutation,
+    ) -> Result<(), ClusterError> {
+        match (target, ev) {
+            (Target::Local(i), ReactorEvent::Wake) => {
+                self.steppers[i].step(&mut self.up_tx[i])?;
+                self.produced[i] += 1;
+                Ok(())
+            }
+            (Target::Root, ReactorEvent::Readable { link, msg }) => {
+                let name = msg.variant_name();
+                if !self.root_allowed.contains(name) {
+                    self.violation(format!(
+                        "spec violation: root received {name} from local {link}, \
+                         not in its receive set"
+                    ));
+                }
+                self.history[0] = fnv_mix(self.history[0], &msg.to_bytes());
+                self.root.handle(msg)
+            }
+            (Target::Responder(i), ReactorEvent::Readable { msg, .. }) => {
+                self.deliver_ctl(i, msg, mutation)
+            }
+            (Target::Root, ReactorEvent::Timer { .. }) => self.tick(),
+            (target, ev) => Err(ClusterError::Protocol(format!(
+                "explore: unroutable injection {ev:?} for {target:?}"
+            ))),
         }
-        Ok(())
     }
 
     fn deliver_ctl(
@@ -598,6 +650,55 @@ struct Frame {
     next: usize,
 }
 
+/// Why [`drive`] stopped extending a schedule.
+enum DriveEnd {
+    /// No enabled actions remain — a complete schedule.
+    Leaf,
+    /// The fingerprint reduction cut the branch (its state was reached
+    /// before via an equivalent interleaving).
+    Pruned,
+    /// The per-path step bound hit before the schedule completed.
+    StepBound,
+}
+
+/// THE schedule drive loop — shared by the canonical reference run and
+/// every DFS replay. Replays the prefix already chosen on `stack` (each
+/// frame's `next` action), then extends first-choice-first to a leaf,
+/// pushing one fresh frame per extension step so the caller can backtrack
+/// to unexplored siblings. With `visited`, each post-injection state
+/// fingerprint is recorded and a revisit prunes the branch.
+fn drive(
+    sys: &mut System,
+    mutation: Mutation,
+    max_steps: usize,
+    stack: &mut Vec<Frame>,
+    mut visited: Option<&mut HashSet<u64>>,
+) -> Result<DriveEnd, ClusterError> {
+    for f in stack.iter() {
+        sys.execute(f.actions[f.next], mutation)?;
+    }
+    loop {
+        let acts = sys.enabled();
+        if acts.is_empty() {
+            return Ok(DriveEnd::Leaf);
+        }
+        if sys.steps >= max_steps {
+            return Ok(DriveEnd::StepBound);
+        }
+        let first = acts[0];
+        stack.push(Frame {
+            actions: acts,
+            next: 0,
+        });
+        sys.execute(first, mutation)?;
+        if let Some(v) = visited.as_deref_mut() {
+            if !v.insert(sys.fingerprint()) {
+                return Ok(DriveEnd::Pruned);
+            }
+        }
+    }
+}
+
 /// Explore the schedule space of `cfg` and check every path.
 ///
 /// # Errors
@@ -621,15 +722,15 @@ pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, ClusterError> {
         canon.drop_budget = 0;
         let shareds = make_shareds(&canon);
         let mut sys = System::new(&canon, &shareds, &inputs)?;
-        loop {
-            let acts = sys.enabled();
-            let Some(&first) = acts.first() else { break };
-            sys.execute(first, Mutation::None)?;
-            if sys.steps > cfg.max_steps {
-                return Err(ClusterError::Protocol(
-                    "explore: canonical schedule exceeded max_steps".to_string(),
-                ));
-            }
+        // The canonical run is the degenerate drive: empty prefix, no
+        // reduction, always the first choice; its frames are discarded.
+        let mut scratch = Vec::new();
+        if let DriveEnd::StepBound =
+            drive(&mut sys, Mutation::None, cfg.max_steps, &mut scratch, None)?
+        {
+            return Err(ClusterError::Protocol(
+                "explore: canonical schedule exceeded max_steps".to_string(),
+            ));
         }
         let (violations, outcomes, finished) = sys.finish(false);
         if !finished || !violations.is_empty() {
@@ -650,34 +751,21 @@ pub fn explore(cfg: &ExploreConfig) -> Result<ExploreReport, ClusterError> {
         if report.schedules + report.pruned >= cfg.max_schedules {
             break;
         }
-        // Stateless replay: rebuild the system and re-run the chosen
-        // prefix, then extend first-choice-first to a leaf.
+        // Stateless replay: rebuild the system, then the shared drive
+        // loop re-runs the chosen prefix and extends it to a leaf.
         let shareds = make_shareds(cfg);
         let mut sys = System::new(cfg, &shareds, &inputs)?;
-        for f in &stack {
-            sys.execute(f.actions[f.next], cfg.mutation)?;
+        let end = drive(
+            &mut sys,
+            cfg.mutation,
+            cfg.max_steps,
+            &mut stack,
+            cfg.dedup.then_some(&mut visited),
+        )?;
+        if let DriveEnd::StepBound = end {
+            sys.violation(format!("path exceeded max_steps ({})", cfg.max_steps));
         }
-        let mut pruned_leaf = false;
-        loop {
-            let acts = sys.enabled();
-            if acts.is_empty() {
-                break;
-            }
-            if sys.steps >= cfg.max_steps {
-                sys.violation(format!("path exceeded max_steps ({})", cfg.max_steps));
-                break;
-            }
-            let first = acts[0];
-            stack.push(Frame {
-                actions: acts,
-                next: 0,
-            });
-            sys.execute(first, cfg.mutation)?;
-            if cfg.dedup && !visited.insert(sys.fingerprint()) {
-                pruned_leaf = true;
-                break;
-            }
-        }
+        let pruned_leaf = matches!(end, DriveEnd::Pruned);
         report.deepest = report.deepest.max(sys.steps);
         let faulty = sys.drops_used > 0;
         let resilient = sys.resilient;

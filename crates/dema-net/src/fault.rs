@@ -241,6 +241,14 @@ impl MsgSender for FaultySender {
         }
         Ok(())
     }
+
+    fn flush_pending(&mut self) -> Result<bool, NetError> {
+        if self.severed {
+            // A severed link has nothing retryable on the wire.
+            return Ok(true);
+        }
+        self.inner.flush_pending()
+    }
 }
 
 impl Drop for FaultySender {

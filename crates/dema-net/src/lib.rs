@@ -24,6 +24,7 @@
 
 pub mod fault;
 pub mod mem;
+pub mod reactor;
 pub mod step;
 pub mod tcp;
 
@@ -61,6 +62,15 @@ impl std::error::Error for NetError {}
 pub trait MsgSender: Send {
     /// Send one message; accounting happens here.
     fn send(&mut self, msg: &Message) -> Result<(), NetError>;
+
+    /// Retry any bytes a nonblocking sender buffered on `WouldBlock`.
+    /// `Ok(true)` means nothing is pending (always, for blocking
+    /// transports — the default); `Ok(false)` means the peer's socket is
+    /// still full and the caller should retry when it becomes writable
+    /// (the reactor's `Writable` event).
+    fn flush_pending(&mut self) -> Result<bool, NetError> {
+        Ok(true)
+    }
 }
 
 /// Receiving half of a link.

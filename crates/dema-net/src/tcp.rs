@@ -12,14 +12,26 @@
 //! a single syscall; frames larger than its buffer bypass it and are still
 //! one `write` each, never one per frame segment.
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
 
-use dema_wire::frame::{read_frame, write_frame, FrameError};
+use dema_wire::frame::{encode_frame_into, read_frame, write_frame, FrameError, MAX_FRAME};
 use dema_wire::Message;
 
 use crate::{MsgReceiver, MsgSender, NetError, SharedCounters};
+
+/// `true` for the I/O error kinds that mean "the peer is gone" rather than
+/// a transient or environmental failure.
+fn is_disconnect(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::UnexpectedEof
+    )
+}
 
 /// Sending half over TCP.
 pub struct TcpSender {
@@ -63,6 +75,72 @@ impl TcpSender {
             counters,
         })
     }
+
+    /// Convert into the reactor-friendly nonblocking sender. Flushes any
+    /// bytes still sitting in the blocking `BufWriter` first, so no frame
+    /// segment is lost in the handoff.
+    pub fn into_nonblocking(mut self) -> Result<NbTcpSender, NetError> {
+        self.writer.flush().map_err(NetError::Io)?;
+        let stream = self
+            .writer
+            .into_inner()
+            .map_err(|e| NetError::Io(e.into_error()))?;
+        stream.set_nonblocking(true).map_err(NetError::Io)?;
+        Ok(NbTcpSender {
+            stream,
+            pending: Vec::new(),
+            flushed: 0,
+            counters: self.counters,
+        })
+    }
+}
+
+/// Nonblocking TCP sender for reactor hosting. A `send` frames the message
+/// into a per-connection outbound buffer and writes as much as the socket
+/// accepts; on `WouldBlock` the remainder stays buffered and
+/// [`MsgSender::flush_pending`] retries it when the reactor reports the
+/// socket writable again. Byte accounting happens at frame time (like the
+/// blocking sender's at write time), so counters are independent of how
+/// the kernel slices the writes.
+pub struct NbTcpSender {
+    stream: TcpStream,
+    /// Framed-but-unwritten bytes; `flushed` marks how far the socket got.
+    pending: Vec<u8>,
+    flushed: usize,
+    counters: SharedCounters,
+}
+
+impl NbTcpSender {
+    /// Bytes buffered and not yet accepted by the socket.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len() - self.flushed
+    }
+}
+
+impl MsgSender for NbTcpSender {
+    fn send(&mut self, msg: &Message) -> Result<(), NetError> {
+        let before = self.pending.len();
+        encode_frame_into(msg, &mut self.pending);
+        self.counters
+            .record((self.pending.len() - before) as u64, msg.event_units());
+        self.flush_pending().map(|_| ())
+    }
+
+    fn flush_pending(&mut self) -> Result<bool, NetError> {
+        while self.flushed < self.pending.len() {
+            match self.stream.write(&self.pending[self.flushed..]) {
+                Ok(0) => return Err(NetError::Disconnected),
+                Ok(n) => self.flushed += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if is_disconnect(e.kind()) => return Err(NetError::Disconnected),
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+        self.pending.clear();
+        self.flushed = 0;
+        Ok(true)
+    }
 }
 
 impl MsgSender for TcpSender {
@@ -82,6 +160,22 @@ impl TcpReceiver {
         Ok(TcpReceiver {
             reader: BufReader::new(stream),
             applied_timeout: None,
+        })
+    }
+
+    /// Convert into the reactor-friendly nonblocking receiver. Bytes the
+    /// blocking `BufReader` already pulled off the socket are carried over
+    /// into the parse buffer, so no frame (or frame fragment) is lost in
+    /// the handoff.
+    pub fn into_nonblocking(self) -> Result<NbTcpReceiver, NetError> {
+        let buf = self.reader.buffer().to_vec();
+        let stream = self.reader.into_inner();
+        stream.set_nonblocking(true).map_err(NetError::Io)?;
+        Ok(NbTcpReceiver {
+            stream,
+            buf,
+            start: 0,
+            closed: false,
         })
     }
 
@@ -129,6 +223,121 @@ impl MsgReceiver for TcpReceiver {
             Err(FrameError::Io(e)) => Err(NetError::Io(e)),
             Err(e) => Err(NetError::Corrupt(e.to_string())),
         }
+    }
+}
+
+/// Nonblocking TCP receiver for reactor hosting: an incremental frame
+/// parser over a nonblocking socket. Each poll reads whatever the socket
+/// has, returning one decoded message at a time; partial frames stay
+/// buffered across polls.
+pub struct NbTcpReceiver {
+    stream: TcpStream,
+    /// Raw bytes read but not yet parsed; `start` is the parse offset.
+    buf: Vec<u8>,
+    start: usize,
+    closed: bool,
+}
+
+impl NbTcpReceiver {
+    /// Parse one frame out of the buffer, if a complete one is there.
+    fn take_frame(&mut self) -> Result<Option<Message>, NetError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME {
+            return Err(NetError::Corrupt(format!(
+                "frame of {len} bytes exceeds limit"
+            )));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let msg =
+            Message::decode(&avail[4..total]).map_err(|e| NetError::Corrupt(e.to_string()))?;
+        self.start += total;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(msg))
+    }
+
+    /// Poll for one message without blocking. `Ok(None)` when no complete
+    /// frame is available yet; [`NetError::Disconnected`] once the peer
+    /// has closed cleanly between frames (EOF mid-frame is corruption).
+    pub fn poll_msg(&mut self) -> Result<Option<Message>, NetError> {
+        loop {
+            if let Some(msg) = self.take_frame()? {
+                return Ok(Some(msg));
+            }
+            if self.closed {
+                return if self.start < self.buf.len() {
+                    Err(NetError::Corrupt("stream ended mid-frame".to_string()))
+                } else {
+                    Err(NetError::Disconnected)
+                };
+            }
+            // Compact before growing so the buffer stays bounded by the
+            // largest in-flight frame, not the connection's history.
+            if self.start > 0 {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => self.closed = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_disconnect(e.kind()) => self.closed = true,
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+}
+
+impl MsgReceiver for NbTcpReceiver {
+    fn recv(&mut self) -> Result<Message, NetError> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(msg) = self.poll_msg()? {
+                return Ok(msg);
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::sleep(Duration::from_micros(500));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            if let Some(msg) = self.poll_msg()? {
+                return Ok(Some(msg));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::sleep(Duration::from_micros(500));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Genuinely non-blocking, unlike the blocking receiver's timed-wait
+    /// fallback — this is what makes the reactor's polling sweeps cheap.
+    fn try_recv(&mut self) -> Result<Option<Message>, NetError> {
+        self.poll_msg()
     }
 }
 
@@ -258,6 +467,79 @@ mod tests {
         tx.send(&Message::GammaUpdate { gamma: 2 }).unwrap();
         let got = rx.recv_timeout(Duration::from_millis(500)).unwrap();
         assert_eq!(got, Some(Message::GammaUpdate { gamma: 2 }));
+    }
+
+    #[test]
+    fn nonblocking_roundtrip_preserves_handoff_bytes() {
+        // A message sent through the blocking halves may be sitting in the
+        // receiver's BufReader when both sides convert; nothing is lost.
+        let (mut tx, mut rx, counters) = loopback_pair();
+        let first = msg(10);
+        tx.send(&first).unwrap();
+        assert_eq!(rx.recv().unwrap(), first);
+        let mut tx = tx.into_nonblocking().unwrap();
+        let mut rx = rx.into_nonblocking().unwrap();
+        assert!(rx.poll_msg().unwrap().is_none());
+        let second = msg(50);
+        tx.send(&second).unwrap();
+        let got = loop {
+            if let Some(m) = rx.poll_msg().unwrap() {
+                break m;
+            }
+        };
+        assert_eq!(got, second);
+        let s = counters.snapshot();
+        assert_eq!(
+            s.bytes,
+            first.encoded_len() as u64 + second.encoded_len() as u64 + 8,
+            "accounting matches the blocking path frame-for-frame"
+        );
+    }
+
+    #[test]
+    fn nonblocking_sender_buffers_on_full_socket_and_drains() {
+        // Fill the loopback socket until a write would block: the sender
+        // must buffer the remainder instead of erroring, then finish the
+        // job via flush_pending as the reader drains.
+        let (tx, rx, _) = loopback_pair();
+        let mut tx = tx.into_nonblocking().unwrap();
+        let mut rx = rx.into_nonblocking().unwrap();
+        let big = msg(20_000);
+        let mut sent = 0u64;
+        while tx.pending_bytes() == 0 && sent < 256 {
+            tx.send(&big).unwrap();
+            sent += 1;
+        }
+        assert!(tx.pending_bytes() > 0, "socket never filled");
+        assert!(!tx.flush_pending().unwrap(), "still pending while unread");
+        let mut got = 0u64;
+        while got < sent {
+            let _ = tx.flush_pending().unwrap();
+            match rx.poll_msg().unwrap() {
+                Some(m) => {
+                    assert_eq!(m, big);
+                    got += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        assert!(tx.flush_pending().unwrap(), "fully drained");
+        assert_eq!(tx.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn nonblocking_peer_close_is_disconnect() {
+        let (tx, rx, _) = loopback_pair();
+        let mut rx = rx.into_nonblocking().unwrap();
+        drop(tx);
+        loop {
+            match rx.poll_msg() {
+                Ok(Some(_)) => panic!("nothing was sent"),
+                Ok(None) => std::thread::yield_now(),
+                Err(NetError::Disconnected) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
     }
 
     #[test]

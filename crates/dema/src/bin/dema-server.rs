@@ -1,0 +1,211 @@
+#![forbid(unsafe_code)]
+
+//! `dema-server`: many leaf nodes + one root in a single process, hosted
+//! on the reactor runtime (DESIGN.md §13).
+//!
+//! ```sh
+//! cargo run --release --bin dema-server -- --leaves 1000
+//! ```
+//!
+//! Every leaf sorts its windows locally and speaks the full Dema protocol
+//! to the root over mem links (or loopback TCP with `--transport tcp`);
+//! the reactor multiplexes all of them onto `--threads` shard loops plus
+//! one root loop. Each window's answer is verified against a sort oracle
+//! over the complete input, so a non-zero exit means a wrong quantile,
+//! not just a crashed process.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dema::cluster::config::{ClusterConfig, EngineKind, TransportKind};
+use dema::cluster::runner::{data_traffic, run_cluster};
+use dema::core::coordinator::quantile_ground_truth;
+use dema::core::event::Event;
+use dema::core::quantile::Quantile;
+
+const USAGE: &str = "\
+dema-server: boot N leaf steppers + a root on the reactor runtime
+
+USAGE:
+    dema-server [OPTIONS]
+
+OPTIONS:
+    --leaves <N>        leaf node count                  [default: 1000]
+    --windows <W>       tumbling windows per leaf        [default: 4]
+    --events <E>        events per leaf per window       [default: 100]
+    --gamma <G>         Dema slice factor                [default: 64]
+    --transport <T>     mem | tcp                        [default: mem]
+    --engine <E>        dema | centralized | dec-sort    [default: dema]
+    --threads <N>       reactor shards / sort budget     [default: DEMA_THREADS]
+    --quiet             only print the verdict line
+";
+
+struct Args {
+    leaves: usize,
+    windows: u64,
+    events: usize,
+    gamma: u64,
+    transport: TransportKind,
+    engine: EngineKind,
+    threads: Option<usize>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        leaves: 1000,
+        windows: 4,
+        events: 100,
+        gamma: 64,
+        transport: TransportKind::Mem,
+        engine: ClusterConfig::dema_fixed(64, Quantile::MEDIAN).engine,
+        threads: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut engine_name = String::from("dema");
+    while let Some(flag) = it.next() {
+        if flag == "--quiet" {
+            args.quiet = true;
+            continue;
+        }
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let num = || {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} expects a number, got `{value}`"))
+        };
+        match flag.as_str() {
+            "--leaves" => args.leaves = num()?.max(1) as usize,
+            "--windows" => args.windows = num()?.max(1),
+            "--events" => args.events = num()?.max(1) as usize,
+            "--gamma" => args.gamma = num()?.max(2),
+            "--threads" => args.threads = Some(num()?.max(1) as usize),
+            "--transport" => {
+                args.transport = match value.as_str() {
+                    "mem" => TransportKind::Mem,
+                    "tcp" => TransportKind::Tcp,
+                    other => return Err(format!("unknown transport `{other}`")),
+                }
+            }
+            "--engine" => engine_name = value,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    args.engine = match engine_name.as_str() {
+        "dema" => ClusterConfig::dema_fixed(args.gamma, Quantile::MEDIAN).engine,
+        "centralized" => EngineKind::Centralized,
+        "dec-sort" => EngineKind::DecSort,
+        other => return Err(format!("unknown engine `{other}` (exact engines only)")),
+    };
+    Ok(args)
+}
+
+/// Deterministic per-leaf inputs: leaf `n`'s event `i` of window `w` holds
+/// value `w·10⁶ + i·leaves + n`, so values interleave across leaves and
+/// every window has a distinct global median the oracle recomputes.
+fn inputs(leaves: usize, windows: u64, events: usize) -> Vec<Vec<Vec<Event>>> {
+    (0..leaves)
+        .map(|n| {
+            (0..windows)
+                .map(|w| {
+                    (0..events)
+                        .map(|i| {
+                            let value = w as i64 * 1_000_000 + (i * leaves + n) as i64;
+                            Event::new(value, w, w * events as u64 + i as u64)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("dema-server: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let inputs = inputs(args.leaves, args.windows, args.events);
+    let mut config = ClusterConfig::baseline(args.engine, Quantile::MEDIAN);
+    config.transport = args.transport;
+    config.threads = args.threads;
+
+    let started = Instant::now();
+    let report = match run_cluster(&config, inputs.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dema-server: cluster run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = started.elapsed();
+
+    // Sort oracle: re-derive every window's exact answer from the full
+    // input and compare. All supported engines are exact, so any
+    // divergence is a protocol bug, not approximation error.
+    let mut bad = 0usize;
+    for (w, outcome) in report.outcomes.iter().enumerate() {
+        let per_node: Vec<Vec<Event>> = inputs.iter().map(|leaf| leaf[w].clone()).collect();
+        let expect = match quantile_ground_truth(&per_node, Quantile::MEDIAN) {
+            Ok(e) => e.value,
+            Err(e) => {
+                eprintln!("dema-server: oracle failed on window {w}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if outcome.value != Some(expect) {
+            eprintln!(
+                "dema-server: window {w}: got {:?}, oracle says {expect}",
+                outcome.value
+            );
+            bad += 1;
+        }
+    }
+
+    if !args.quiet {
+        let traffic = data_traffic(&report).plus(&report.control_traffic);
+        let r = &report.reactor;
+        println!(
+            "leaves {}   windows {}   events/leaf/window {}   engine {}   transport {:?}",
+            args.leaves,
+            args.windows,
+            args.events,
+            config.engine.label(),
+            args.transport,
+        );
+        println!(
+            "reactor: {} sweeps, {} events, {} timers, max ready depth {}, max timer lag {} µs",
+            r.ticks, r.events, r.timers, r.max_ready_depth, r.max_timer_lag_us,
+        );
+        println!(
+            "wire: {} events / {} bytes   throughput: {:.0} events/s   wall: {wall:.2?}",
+            traffic.events,
+            traffic.bytes,
+            report.throughput_eps(),
+        );
+    }
+    if bad > 0 {
+        eprintln!(
+            "dema-server: {bad}/{} windows diverged from the sort oracle",
+            args.windows
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "dema-server: {} leaves x {} windows verified exact against the sort oracle",
+        args.leaves, args.windows,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,4 +1,5 @@
-//! The same Dema protocol over real TCP sockets (loopback).
+//! The same Dema protocol over real TCP sockets (loopback), hosted on
+//! the reactor runtime.
 //!
 //! ```sh
 //! cargo run --release --example tcp_cluster
@@ -6,8 +7,10 @@
 //!
 //! Everything is identical to the in-memory runs — same engines, same
 //! messages, same byte accounting — except the frames genuinely cross
-//! sockets. Useful to sanity-check that the transport abstraction hides
-//! nothing.
+//! nonblocking sockets: the reactor's source sweep drains readable
+//! connections and a per-connection outbound buffer absorbs partial
+//! writes until the link is writable again. Useful to sanity-check that
+//! the transport abstraction hides nothing.
 
 use dema::cluster::config::{ClusterConfig, TransportKind};
 use dema::cluster::runner::{data_traffic, run_cluster};
@@ -41,6 +44,10 @@ fn main() {
     println!(
         "\ndata-plane bytes  mem: {mb}   tcp: {tb}   (identical: {})",
         mb == tb
+    );
+    println!(
+        "reactor sweeps    mem: {}   tcp: {}   (events: {} / {})",
+        mem.reactor.ticks, tcp.reactor.ticks, mem.reactor.events, tcp.reactor.events
     );
     println!(
         "wall time         mem: {:?}   tcp: {:?}",

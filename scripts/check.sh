@@ -49,6 +49,14 @@
 #                      budget must finish deadlock-free, spec-legal, with
 #                      obligations met and bit-identical exact results.
 #                      MODEL_BUDGET (default 1200) scales the smoke run.
+#   dema-server gate — the reactor-runtime server binary boots 256 leaves
+#                      over mem links and a small cluster over loopback
+#                      TCP, both under --features strict (checked
+#                      invariants + armed lock tracker): every window must
+#                      verify against the binary's built-in sort oracle
+#                      and the process must shut down cleanly (exit 0).
+#                      The tcp_cluster example runs in the same breath so
+#                      example rot fails the gate too (DESIGN.md §13).
 #   bench --no-run   — criterion benches must keep compiling
 #   clippy           — deny the two lints that reintroduce hot-path copies:
 #                      redundant_clone (event buffers must be shared, not
@@ -75,6 +83,10 @@ done
 cargo run -q -p dema-lint -- check . --spec --concurrency
 DEMA_THREADS=4 cargo test -q -p dema-cluster --features strict --test lock_order
 MODEL_BUDGET="${MODEL_BUDGET:-1200}" cargo test -q -p dema-model --test explore
+cargo run -q --release -p dema --features strict --bin dema-server -- --leaves 256 --quiet
+cargo run -q --release -p dema --features strict --bin dema-server -- \
+    --leaves 8 --windows 2 --events 50 --transport tcp --quiet
+cargo run -q --release -p dema --example tcp_cluster > /dev/null
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- \
     -D clippy::redundant_clone \

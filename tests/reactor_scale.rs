@@ -1,0 +1,178 @@
+//! Reactor-runtime scale and chaos coverage (DESIGN.md §13).
+//!
+//! The reactor hosts every node role on a handful of event loops, so node
+//! count is a wiring parameter, not a thread count. These tests pin the
+//! two promises that makes: (1) scale is *free of semantic drift* — a
+//! 1000-leaf run over the same global dataset returns bit-identical
+//! values to an 8-leaf reference; (2) the fault-tolerance layer still
+//! works when its deadlines ride the reactor's timer wheel instead of a
+//! `recv_timeout` poll — retry timers demonstrably fire, loss recovers
+//! exactly, and a dead responder degrades with the same verdicts the
+//! threaded runner produced.
+
+use dema::cluster::config::{ClusterConfig, NodeFaults, Resilience};
+use dema::cluster::runner::run_cluster;
+use dema::core::coordinator::quantile_ground_truth;
+use dema::core::event::Event;
+use dema::core::quantile::Quantile;
+use dema::net::fault::FaultPlan;
+
+/// One global dataset per window — values `w·10⁶ + j` for `j < total` —
+/// dealt round-robin over `leaves` nodes. Any leaf count sees the same
+/// per-window multiset, so exact engines must return the same values.
+fn dealt_inputs(leaves: usize, windows: u64, total: usize) -> Vec<Vec<Vec<Event>>> {
+    assert_eq!(total % leaves, 0, "deal must be even");
+    (0..leaves)
+        .map(|n| {
+            (0..windows)
+                .map(|w| {
+                    (0..total)
+                        .filter(|j| j % leaves == n)
+                        .map(|j| {
+                            Event::new(
+                                w as i64 * 1_000_000 + j as i64,
+                                w,
+                                w * total as u64 + j as u64,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Scale pin: 1000 leaves on the reactor runtime return values
+/// bit-identical to an 8-leaf reference over the same global dataset,
+/// and both match the sort oracle.
+#[test]
+fn thousand_leaves_bit_identical_to_eight_leaf_reference() {
+    let (windows, total) = (3u64, 8_000usize);
+    let cfg = ClusterConfig::dema_fixed(64, Quantile::MEDIAN);
+
+    let reference_inputs = dealt_inputs(8, windows, total);
+    let reference = run_cluster(&cfg, reference_inputs.clone()).expect("8-leaf reference");
+
+    let scaled_inputs = dealt_inputs(1000, windows, total);
+    let scaled = run_cluster(&cfg, scaled_inputs).expect("1000-leaf run");
+
+    assert_eq!(scaled.outcomes.len(), windows as usize);
+    assert_eq!(
+        scaled.values(),
+        reference.values(),
+        "scaling the leaf count must not move a single bit of the answers"
+    );
+    assert!(scaled.outcomes.iter().all(|o| o.degraded.is_none()));
+    for (w, outcome) in scaled.outcomes.iter().enumerate() {
+        let per_node: Vec<Vec<Event>> = reference_inputs.iter().map(|n| n[w].clone()).collect();
+        let oracle = quantile_ground_truth(&per_node, Quantile::MEDIAN).expect("oracle");
+        assert_eq!(outcome.value, Some(oracle.value), "window {w}");
+    }
+}
+
+/// Interleaved inputs matching the chaos suite's shape: every node owns
+/// values throughout each window's range.
+fn interleaved_inputs(nodes: usize, windows: usize, per_window: usize) -> Vec<Vec<Vec<Event>>> {
+    (0..nodes)
+        .map(|n| {
+            (0..windows)
+                .map(|w| {
+                    (0..per_window)
+                        .map(|i| {
+                            Event::new(
+                                (w * 10_000 + 3 * i + n) as i64,
+                                w as u64,
+                                (w * per_window + i) as u64,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Chaos on the reactor path, loss flavor: dropped messages are recovered
+/// bit-identically, and the proof that the *reactor* drove the recovery is
+/// in the loop stats — the supervisor's deadlines fired as reactor timer
+/// events, not as poll timeouts.
+#[test]
+fn reactor_chaos_drops_recover_and_retry_timers_fire() {
+    let inputs = interleaved_inputs(3, 6, 50);
+    let cfg = ClusterConfig::dema_fixed(8, Quantile::MEDIAN);
+    let clean = run_cluster(&cfg, inputs.clone()).expect("clean run");
+
+    let mut chaos_cfg = cfg;
+    chaos_cfg.resilience = Some(Resilience {
+        request_timeout_ms: 40,
+        max_retries: 10,
+        liveness_k: 10_000,
+        seed: 0xC0FFEE,
+    });
+    chaos_cfg.faults = (0..3)
+        .map(|n| NodeFaults {
+            node: n,
+            uplink: Some(FaultPlan::new(u64::from(n) ^ 0x11).with_drop(0.1)),
+            responder: Some(FaultPlan::new(u64::from(n) ^ 0x22).with_drop(0.1)),
+            control: Some(FaultPlan::new(u64::from(n) ^ 0x33).with_drop(0.1)),
+        })
+        .collect();
+    let chaotic = run_cluster(&chaos_cfg, inputs).expect("chaotic run");
+
+    assert_eq!(
+        chaotic.values(),
+        clean.values(),
+        "loss must recover exactly"
+    );
+    assert!(chaotic.outcomes.iter().all(|o| o.degraded.is_none()));
+    assert_eq!(chaotic.fault_stats.nodes_declared_dead, 0);
+    assert!(
+        chaotic.fault_stats.timeouts + chaotic.fault_stats.retries > 0,
+        "a 10% drop matrix must exercise the retry path"
+    );
+    assert!(
+        chaotic.reactor.timers > 0,
+        "retry deadlines must fire as reactor timer events"
+    );
+}
+
+/// Chaos on the reactor path, death flavor: a responder severed mid-run
+/// produces the same degradation verdicts the threaded runner's suite
+/// pinned — the node is declared dead, affected windows complete degraded
+/// naming exactly that node, and the run terminates.
+#[test]
+fn reactor_chaos_responder_death_matches_threaded_verdicts() {
+    let (nodes, windows, per_window) = (3usize, 6usize, 100usize);
+    let inputs = interleaved_inputs(nodes, windows, per_window);
+    let mut cfg = ClusterConfig::dema_fixed(10, Quantile::MEDIAN);
+    cfg.resilience = Some(Resilience {
+        request_timeout_ms: 40,
+        max_retries: 2,
+        liveness_k: 3,
+        seed: 0xDEAD,
+    });
+    cfg.faults = vec![NodeFaults {
+        node: 1,
+        responder: Some(FaultPlan::new(0xDEAD).with_disconnect_after(1)),
+        ..NodeFaults::default()
+    }];
+    let report = run_cluster(&cfg, inputs).expect("run must not hang");
+
+    assert_eq!(report.outcomes.len(), windows);
+    assert_eq!(report.fault_stats.nodes_declared_dead, 1);
+    let degraded: Vec<&dema::cluster::report::Degraded> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.degraded.as_ref())
+        .collect();
+    assert!(
+        !degraded.is_empty(),
+        "the severed responder must degrade windows"
+    );
+    assert!(degraded.iter().all(|d| d.missing_nodes == vec![1]));
+    assert!(report.fault_stats.degraded_windows > 0);
+    assert!(
+        report.reactor.timers > 0,
+        "give-up verdicts ride the same reactor timer wheel"
+    );
+}
