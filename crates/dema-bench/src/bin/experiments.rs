@@ -791,6 +791,7 @@ fn sustainable(scale: Scale, sink: &CsvSink) {
                 faults: Vec::new(),
                 threads: None,
                 pipeline_depth: dema_cluster::root::PIPELINE_DEPTH,
+                membership: dema_cluster::config::MembershipPlan::default(),
             };
             let report = run_cluster(&config, inputs).expect("probe run");
             // Sustained iff the run kept up with the schedule (small slack

@@ -77,6 +77,7 @@ pub fn measure_with(
         faults: Vec::new(),
         threads: None,
         pipeline_depth: dema_cluster::root::PIPELINE_DEPTH,
+        membership: dema_cluster::config::MembershipPlan::default(),
     };
     let report = run_cluster(&config, inputs.to_vec()).expect("cluster run failed");
     summarize(label, &report)
@@ -102,6 +103,7 @@ pub fn measure_paced(
         faults: Vec::new(),
         threads: None,
         pipeline_depth: dema_cluster::root::PIPELINE_DEPTH,
+        membership: dema_cluster::config::MembershipPlan::default(),
     };
     let report = run_cluster(&config, inputs.to_vec()).expect("cluster run failed");
     summarize(label, &report)

@@ -177,6 +177,38 @@ pub struct NodeFaults {
     pub control: Option<FaultPlan>,
 }
 
+/// One staged membership change, applied at a window boundary: the listed
+/// joiners produce windows `≥ window`, the listed leavers produce windows
+/// `< window`. Compiled (and validated) into an
+/// [`crate::membership::EpochLedger`] before the run starts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipChange {
+    /// The window boundary the change aligns to (first window of the new
+    /// epoch; must be > 0 and strictly increasing across changes).
+    pub window: u64,
+    /// Node ids joining at this boundary.
+    pub joins: Vec<u32>,
+    /// Node ids leaving (draining) at this boundary.
+    pub leaves: Vec<u32>,
+}
+
+/// The full membership schedule of a run. Empty (the default) means fixed
+/// membership — the seed behavior. Only the Dema engine supports churn
+/// (its control plane carries the join/drain handshake); the runner rejects
+/// non-empty plans for other engines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipPlan {
+    /// Staged changes in boundary order.
+    pub changes: Vec<MembershipChange>,
+}
+
+impl MembershipPlan {
+    /// `true` when the plan stages no changes (fixed membership).
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
 /// Full configuration of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -216,6 +248,9 @@ pub struct ClusterConfig {
     /// ignore it). Deeper pipelines overlap root work across windows
     /// without changing any per-window result or traffic counter.
     pub pipeline_depth: usize,
+    /// Staged membership changes (epoch-based join/leave/drain; DESIGN.md
+    /// §14). Empty for fixed membership. Dema engine only.
+    pub membership: MembershipPlan,
 }
 
 impl ClusterConfig {
@@ -236,6 +271,7 @@ impl ClusterConfig {
             faults: Vec::new(),
             threads: None,
             pipeline_depth: crate::engines::dema::PIPELINE_DEPTH,
+            membership: MembershipPlan::default(),
         }
     }
 
@@ -252,6 +288,7 @@ impl ClusterConfig {
             faults: Vec::new(),
             threads: None,
             pipeline_depth: crate::engines::dema::PIPELINE_DEPTH,
+            membership: MembershipPlan::default(),
         }
     }
 }

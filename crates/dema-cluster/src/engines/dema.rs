@@ -56,6 +56,7 @@ use dema_wire::Message;
 use super::retry::{self, ExpiryAction, Supervisor, END_KEY};
 use super::{LocalEngine, ResolvedWindow, RootEngine, RootParams};
 use crate::config::GammaMode;
+use crate::membership::EpochLedger;
 use crate::report::Degraded;
 use crate::ClusterError;
 
@@ -178,6 +179,22 @@ impl GammaPolicy {
             GammaPolicy::PerNode(ctls) => ctls.first().map_or(2, AdaptiveGamma::current),
         }
     }
+
+    /// Restart the adaptive controllers from their current γ, discarding
+    /// the `l_G` observation history. Called at an epoch switch: the old
+    /// membership's window sizes no longer describe the cluster, so letting
+    /// them smooth into the new epoch would bias γ toward the wrong `l_G`.
+    fn reseed(&mut self) {
+        match self {
+            GammaPolicy::Fixed(_) => {}
+            GammaPolicy::Global(ctl) => *ctl = AdaptiveGamma::with_default_bounds(ctl.current()),
+            GammaPolicy::PerNode(ctls) => {
+                for ctl in ctls {
+                    *ctl = AdaptiveGamma::with_default_bounds(ctl.current());
+                }
+            }
+        }
+    }
 }
 
 /// The Dema root engine.
@@ -185,7 +202,6 @@ pub struct DemaRoot {
     quantile: Quantile,
     extra_quantiles: Vec<Quantile>,
     strategy: SelectionStrategy,
-    n_locals: usize,
     states: BTreeMap<u64, WindowState>,
     gamma: GammaPolicy,
     control: Vec<Box<dyn MsgSender>>,
@@ -199,6 +215,13 @@ pub struct DemaRoot {
     ready: VecDeque<u64>,
     /// Retry / liveness state for resilient runs.
     sup: Option<Supervisor>,
+    /// Which locals contribute to which windows (trivial single-epoch
+    /// table unless the shell installs a churn plan; DESIGN.md §14).
+    ledger: Arc<EpochLedger>,
+    /// Locals that drained away cleanly: skipped by every broadcast (their
+    /// responder retired with the drain handshake, so their control link
+    /// may be gone).
+    departed: HashSet<u32>,
 }
 
 impl DemaRoot {
@@ -219,7 +242,6 @@ impl DemaRoot {
             quantile: params.quantile,
             extra_quantiles: params.extra_quantiles,
             strategy,
-            n_locals: params.n_locals,
             states: BTreeMap::new(),
             gamma,
             control: params.control,
@@ -227,6 +249,18 @@ impl DemaRoot {
             in_flight: 0,
             ready: VecDeque::new(),
             sup: params.resilience.map(Supervisor::new),
+            ledger: Arc::new(EpochLedger::trivial(params.n_locals)),
+            departed: HashSet::new(),
+        }
+    }
+
+    /// `true` when every member of `window` either reported or is
+    /// dead/drained (the window cannot gain further synopses).
+    fn stage1_covered(&self, reported: &HashSet<u32>, window: u64) -> bool {
+        let members = self.ledger.members_of(window);
+        match &self.sup {
+            Some(s) => s.covered_members(Some(reported), members),
+            None => members.iter().all(|n| reported.contains(n)),
         }
     }
 
@@ -241,10 +275,16 @@ impl DemaRoot {
         let state = self.states.get_mut(&window.0).ok_or_else(|| {
             ClusterError::Protocol(format!("stage-1 close of unknown window {window}"))
         })?;
-        if let Some(sup) = self.sup.as_mut() {
-            state.stage1_missing = (0..len_to_u32(self.n_locals))
+        if self.sup.is_some() {
+            state.stage1_missing = self
+                .ledger
+                .members_of(window.0)
+                .iter()
+                .copied()
                 .filter(|n| !state.reported.contains(n))
                 .collect();
+        }
+        if let Some(sup) = self.sup.as_mut() {
             // Queued windows carry no deadline; `identify` arms stage 2.
             sup.disarm(window.0);
         }
@@ -604,7 +644,10 @@ impl DemaRoot {
                     let before = ctl.current();
                     let next = ctl.observe_checked(total, m).map_err(ClusterError::Core)?;
                     if next != before {
-                        for link in &mut self.control {
+                        for (n, link) in self.control.iter_mut().enumerate() {
+                            if self.departed.contains(&len_to_u32(n)) {
+                                continue; // drained: its responder retired
+                            }
                             let msg = Message::GammaUpdate { gamma: next };
                             if resilient {
                                 retry::send_lossy(link.as_mut(), &msg)?;
@@ -616,6 +659,9 @@ impl DemaRoot {
                 }
                 GammaPolicy::PerNode(ctls) => {
                     for (n, ctl) in ctls.iter_mut().enumerate() {
+                        if self.departed.contains(&len_to_u32(n)) {
+                            continue; // drained: its responder retired
+                        }
                         let l_i = node_sizes.get(&len_to_u32(n)).copied().unwrap_or(0);
                         if l_i == 0 {
                             continue; // node idle this window, keep its γ
@@ -658,6 +704,11 @@ impl RootEngine for DemaRoot {
                 window,
                 synopses,
             } => {
+                if !self.ledger.is_member(window.0, node.0) {
+                    return Err(ClusterError::Protocol(format!(
+                        "{node}: synopsis for {window} outside its membership epochs"
+                    )));
+                }
                 if let Some(sup) = self.sup.as_mut() {
                     if sup.is_done(window.0) {
                         sup.counters.record_duplicate();
@@ -676,7 +727,11 @@ impl RootEngine for DemaRoot {
                 if let Some(sup) = self.sup.as_mut() {
                     sup.arm(window.0);
                 }
-                if retry::covered(&self.sup, &state.reported, self.n_locals) {
+                let covered = self
+                    .states
+                    .get(&window.0)
+                    .is_some_and(|s| self.stage1_covered(&s.reported, window.0));
+                if covered {
                     self.close_stage1(window, resolved)?;
                 }
                 Ok(())
@@ -729,7 +784,7 @@ impl RootEngine for DemaRoot {
                 let missing: Vec<u32> = missing_enders
                     .iter()
                     .copied()
-                    .filter(|&n| !sup.is_dead(n))
+                    .filter(|&n| !sup.is_dead(n) && !sup.is_drained(n))
                     .collect();
                 if missing.is_empty() {
                     sup.disarm(w);
@@ -801,9 +856,14 @@ impl RootEngine for DemaRoot {
                     ExpiryAction::GiveUp { newly_dead: nd } => newly_dead.extend(nd),
                 }
             } else {
-                let missing: Vec<u32> = (0..len_to_u32(self.n_locals))
+                let missing: Vec<u32> = self
+                    .ledger
+                    .members_of(w)
+                    .iter()
+                    .copied()
                     .filter(|&n| {
                         !sup.is_dead(n)
+                            && !sup.is_drained(n)
                             && !self.states.get(&w).is_some_and(|s| s.reported.contains(&n))
                     })
                     .collect();
@@ -850,18 +910,21 @@ impl RootEngine for DemaRoot {
                 {
                     resolvable.push(w);
                 }
-            } else if sup.covered(Some(&state.reported), self.n_locals) {
+            } else if sup.covered_members(Some(&state.reported), self.ledger.members_of(w)) {
                 stage1_closable.push(w);
             }
         }
-        // Windows abandoned by every node: no synopses at all, everyone
-        // dead. They resolve empty-degraded so the run can still finish.
+        // Windows abandoned by every member: no synopses at all, every
+        // node of the window's epoch dead. They resolve empty-degraded so
+        // the run can still finish.
         let mut all_dead: Vec<u64> = Vec::new();
-        if sup.covered(None, self.n_locals) {
-            for w in 0..expected_windows {
-                if !sup.is_done(w) && !self.states.contains_key(&w) && !self.ready.contains(&w) {
-                    all_dead.push(w);
-                }
+        for w in 0..expected_windows {
+            if !sup.is_done(w)
+                && !self.states.contains_key(&w)
+                && !self.ready.contains(&w)
+                && self.ledger.members_of(w).iter().all(|&n| sup.is_dead(n))
+            {
+                all_dead.push(w);
             }
         }
         for w in stage1_closable {
@@ -895,7 +958,7 @@ impl RootEngine for DemaRoot {
                 ResolvedWindow {
                     gamma: self.gamma.current(),
                     degraded: Some(Degraded {
-                        missing_nodes: (0..len_to_u32(self.n_locals)).collect(),
+                        missing_nodes: self.ledger.members_of(w).to_vec(),
                         rank_error_bound: None,
                         retries,
                     }),
@@ -904,6 +967,41 @@ impl RootEngine for DemaRoot {
             ));
         }
         Ok(newly_dead.into_iter().map(NodeId).collect())
+    }
+
+    fn set_membership(&mut self, ledger: Arc<EpochLedger>) {
+        self.ledger = ledger;
+    }
+
+    fn send_control(&mut self, node: u32, msg: &Message) -> Result<bool, ClusterError> {
+        let resilient = self.sup.is_some();
+        let Some(link) = self.control.get_mut(u64_to_usize(u64::from(node))) else {
+            return Ok(false);
+        };
+        if resilient {
+            retry::send_lossy(link.as_mut(), msg)?;
+        } else {
+            link.send(msg)?;
+        }
+        Ok(true)
+    }
+
+    fn current_gamma(&self) -> u64 {
+        self.gamma.current()
+    }
+
+    fn on_node_drained(&mut self, node: NodeId) {
+        self.departed.insert(node.0);
+        if let Some(sup) = self.sup.as_mut() {
+            sup.mark_drained(node.0);
+        }
+    }
+
+    fn on_epoch_switch(&mut self, _epoch: u64) {
+        // The member count (and with it l_G) just changed: restart the
+        // adaptive γ controllers from their current value so the old
+        // membership's observations stop steering the new epoch.
+        self.gamma.reseed();
     }
 }
 
@@ -1081,6 +1179,33 @@ pub fn responder_step(
         }
         Message::GammaUpdate { gamma } => {
             shared.gamma.store(gamma.max(2), Ordering::Relaxed);
+        }
+        Message::JoinAccept { gamma, .. } => {
+            // The root's γ at admission time: adopt it so the joiner's
+            // early windows slice with live feedback instead of the run's
+            // initial γ. γ 0 means the engine runs no γ control.
+            if gamma >= 2 {
+                shared.gamma.store(gamma, Ordering::Relaxed);
+            }
+        }
+        Message::EpochSwitch { .. } => {
+            // Membership bookkeeping lives at the root; locals only need
+            // the boundary windows already fixed in their input plan.
+        }
+        Message::DrainComplete { .. } => {
+            // The root finalized every window this node contributed to:
+            // answer the handshake and retire the responder.
+            let bye = Message::StreamEnd {
+                node,
+                late_events: 0,
+            };
+            if let Err(e) = to_root.send(&bye) {
+                return match e {
+                    NetError::Disconnected if shared.retain_sent => Ok(ResponderStatus::Stop),
+                    other => Err(other.into()),
+                };
+            }
+            return Ok(ResponderStatus::Stop);
         }
         other => {
             return Err(ClusterError::Protocol(format!(

@@ -90,6 +90,45 @@ pub trait RootEngine: Send {
     fn next_deadline(&self) -> Option<std::time::Instant> {
         None
     }
+
+    /// Install the run's membership epoch table (DESIGN.md §14). Engines
+    /// without churn support ignore it; the root shell installs it before
+    /// the first message and the runner rejects churn plans for such
+    /// engines, so ignoring is safe.
+    fn set_membership(&mut self, ledger: std::sync::Arc<crate::membership::EpochLedger>) {
+        let _ = ledger;
+    }
+
+    /// Send one shell-originated control message (membership handshake) on
+    /// `node`'s control link. Returns `Ok(false)` when the engine has no
+    /// control plane — the shell treats that as a wiring error on churn
+    /// runs.
+    fn send_control(&mut self, node: u32, msg: &Message) -> Result<bool, ClusterError> {
+        let _ = (node, msg);
+        Ok(false)
+    }
+
+    /// The γ currently in effect (0 for engines without γ control) — what
+    /// a `JoinAccept` hands a joiner so it slices its first window with
+    /// fresh feedback instead of the run's initial γ.
+    fn current_gamma(&self) -> u64 {
+        0
+    }
+
+    /// A local departed cleanly (drain handshake finished). The engine
+    /// cancels its liveness accounting for the node so no deadline ever
+    /// produces a false death verdict for a drained member.
+    fn on_node_drained(&mut self, node: NodeId) {
+        let _ = node;
+    }
+
+    /// The shell broadcast `EpochSwitch { epoch }`: the member count just
+    /// changed, so the engine re-seeds any `l_G`-dependent state (Dema's
+    /// adaptive γ controllers restart from their current value — the old
+    /// membership's observation history no longer describes the cluster).
+    fn on_epoch_switch(&mut self, epoch: u64) {
+        let _ = epoch;
+    }
 }
 
 /// Local-side half of an engine: the duty performed per closed window.

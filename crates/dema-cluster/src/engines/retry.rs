@@ -81,6 +81,10 @@ pub(crate) struct Supervisor {
     deadlines: BTreeMap<u64, Deadline>,
     misses: HashMap<u32, u32>,
     dead: BTreeSet<u32>,
+    /// Nodes that departed cleanly via the membership drain handshake.
+    /// Never charged a miss, never declared dead, and counted as covered
+    /// for every window — distinct from `dead` in the run report.
+    drained: BTreeSet<u32>,
     retries_of: HashMap<u64, u32>,
     done: HashSet<u64>,
 }
@@ -94,6 +98,7 @@ impl Supervisor {
             deadlines: BTreeMap::new(),
             misses: HashMap::new(),
             dead: BTreeSet::new(),
+            drained: BTreeSet::new(),
             retries_of: HashMap::new(),
             done: HashSet::new(),
         }
@@ -143,6 +148,21 @@ impl Supervisor {
         self.dead.contains(&node)
     }
 
+    /// Mark `node` cleanly departed: its miss streak is wiped, it counts as
+    /// covered everywhere, and no expiry will ever charge (or kill) it. A
+    /// node already declared dead stays dead — drain is a verdict for nodes
+    /// the liveness budget never condemned.
+    pub(crate) fn mark_drained(&mut self, node: u32) {
+        if !self.dead.contains(&node) && self.drained.insert(node) {
+            self.misses.remove(&node);
+            self.counters.record_node_drained();
+        }
+    }
+
+    pub(crate) fn is_drained(&self, node: u32) -> bool {
+        self.drained.contains(&node)
+    }
+
     pub(crate) fn is_done(&self, w: u64) -> bool {
         self.done.contains(&w)
     }
@@ -160,10 +180,20 @@ impl Supervisor {
         self.retries_of.get(&w).copied().unwrap_or(0)
     }
 
-    /// `true` when every local either contributed (`reported`) or is dead.
+    /// `true` when every local either contributed (`reported`), is dead,
+    /// or drained away cleanly.
     pub(crate) fn covered(&self, reported: Option<&HashSet<u32>>, n_locals: usize) -> bool {
-        (0..len_to_u32(n_locals))
-            .all(|n| reported.is_some_and(|r| r.contains(&n)) || self.dead.contains(&n))
+        self.covered_members(reported, &(0..len_to_u32(n_locals)).collect::<Vec<u32>>())
+    }
+
+    /// [`Supervisor::covered`] against an explicit member set (membership
+    /// epochs: only the window's epoch members owe a contribution).
+    pub(crate) fn covered_members(&self, reported: Option<&HashSet<u32>>, members: &[u32]) -> bool {
+        members.iter().all(|n| {
+            reported.is_some_and(|r| r.contains(n))
+                || self.dead.contains(n)
+                || self.drained.contains(n)
+        })
     }
 
     /// Earliest armed deadline, if any — the instant the reactor's timer
@@ -192,6 +222,11 @@ impl Supervisor {
         let mut newly_dead = Vec::new();
         let mut survivors = Vec::new();
         for &n in missing_live {
+            // A cleanly-departed node owes nothing: no miss, no NACK, and
+            // never a death verdict.
+            if self.drained.contains(&n) {
+                continue;
+            }
             let miss = self.misses.entry(n).or_insert(0);
             *miss += 1;
             if *miss >= self.cfg.liveness_k {
@@ -591,6 +626,42 @@ mod tests {
         assert!(s.is_dead(1));
         assert!(s.covered(Some(&reported), 2));
         assert!(!s.covered(None, 2), "live nodes never count as covered");
+    }
+
+    #[test]
+    fn drained_nodes_are_never_charged_or_killed() {
+        // liveness_k = 1: a single missed deadline kills a live node — but
+        // a drained node must never be charged, retried, or declared dead.
+        let mut s = sup(10, 2, 1);
+        s.mark_drained(4);
+        s.arm(0);
+        let ExpiryAction::GiveUp { newly_dead } = s.on_expiry(0, &[4]) else {
+            panic!("drained node must not be NACKed");
+        };
+        assert!(newly_dead.is_empty());
+        assert!(!s.is_dead(4));
+        assert!(s.is_drained(4));
+        assert_eq!(s.counters.snapshot().nodes_drained, 1);
+        assert_eq!(s.counters.snapshot().nodes_declared_dead, 0);
+        // Drained counts as covered alongside reports from the others.
+        let reported: HashSet<u32> = (0..4).collect();
+        assert!(s.covered(Some(&reported), 5));
+        assert!(s.covered_members(Some(&reported), &[0, 1, 2, 3, 4]));
+        assert!(!s.covered_members(None, &[0]), "live nodes are not covered");
+        // Draining twice records once.
+        s.mark_drained(4);
+        assert_eq!(s.counters.snapshot().nodes_drained, 1);
+    }
+
+    #[test]
+    fn dead_nodes_cannot_be_retro_drained() {
+        let mut s = sup(10, 2, 1);
+        s.arm(0);
+        let _ = s.on_expiry(0, &[3]); // liveness_k = 1: node 3 dies
+        assert!(s.is_dead(3));
+        s.mark_drained(3);
+        assert!(!s.is_drained(3), "death verdict outranks a late drain");
+        assert_eq!(s.counters.snapshot().nodes_drained, 0);
     }
 
     #[test]

@@ -39,13 +39,17 @@ pub mod config;
 pub mod engines;
 pub mod host;
 pub mod local;
+pub mod membership;
 pub mod relay;
 pub mod report;
 pub mod root;
 pub mod runner;
 
-pub use config::{ClusterConfig, EngineKind, GammaMode, Topology, TransportKind};
-pub use report::{RunReport, TierTraffic, WindowOutcome};
+pub use config::{
+    ClusterConfig, EngineKind, GammaMode, MembershipChange, MembershipPlan, Topology, TransportKind,
+};
+pub use membership::EpochLedger;
+pub use report::{EpochStats, RunReport, TierTraffic, WindowOutcome};
 pub use runner::run_cluster;
 
 /// Errors from a cluster run.

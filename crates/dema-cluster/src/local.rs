@@ -117,6 +117,12 @@ pub struct LocalStepper<'a> {
     shared: &'a LocalShared,
     done: bool,
     late_events: u64,
+    /// Pending join announcement: a planned joiner introduces itself to
+    /// the root before closing its first window (DESIGN.md §14).
+    announce_join: bool,
+    /// Set for a planned leaver: the epoch boundary its final
+    /// `LeaveAnnounce` names (sent in place of `StreamEnd`).
+    leave_window: Option<u64>,
 }
 
 impl<'a> LocalStepper<'a> {
@@ -135,6 +141,8 @@ impl<'a> LocalStepper<'a> {
             shared,
             done: false,
             late_events: 0,
+            announce_join: false,
+            leave_window: None,
         }
     }
 
@@ -143,6 +151,27 @@ impl<'a> LocalStepper<'a> {
     #[must_use]
     pub fn with_late_events(mut self, late: u64) -> Self {
         self.late_events = late;
+        self
+    }
+
+    /// Start producing at window `first` instead of 0 — a planned joiner.
+    /// The first step announces the join (`JoinRequest`) so the root can
+    /// hand back the live γ; the joiner streams without waiting for the
+    /// accept, since the staged plan already admits it.
+    #[must_use]
+    pub fn with_first_window(mut self, first: u64) -> Self {
+        self.next_window = first;
+        self.announce_join = first > 0;
+        self
+    }
+
+    /// Stop producing at window `boundary` — a planned leaver. Once its
+    /// windows are exhausted the stepper sends `LeaveAnnounce` naming the
+    /// boundary instead of `StreamEnd`; the node's responder keeps serving
+    /// replay obligations until the root's `DrainComplete` retires it.
+    #[must_use]
+    pub fn with_leave_window(mut self, boundary: u64) -> Self {
+        self.leave_window = Some(boundary);
         self
     }
 
@@ -163,6 +192,17 @@ impl<'a> LocalStepper<'a> {
         if self.done {
             return Ok(false);
         }
+        if self.announce_join {
+            // Best-effort: a lost JoinRequest only costs the γ handoff —
+            // membership itself is staged in the root's plan, so the
+            // joiner's synopses are expected either way. Not cached.
+            self.announce_join = false;
+            to_root.send(&Message::JoinRequest {
+                node: self.node,
+                window: WindowId(self.next_window),
+            })?;
+            return Ok(true);
+        }
         match self.windows.next() {
             Some(events) => {
                 let window = WindowId(self.next_window);
@@ -180,10 +220,20 @@ impl<'a> LocalStepper<'a> {
                     shared: self.shared,
                     key: END_KEY,
                 };
-                cache.send(&Message::StreamEnd {
-                    node: self.node,
-                    late_events: self.late_events,
-                })?;
+                // A leaver's end-of-stream is the drain announcement; it
+                // rides the END_KEY cache slot so a ResendWindow NACK can
+                // replay it if lost.
+                let bye = match self.leave_window {
+                    Some(boundary) => Message::LeaveAnnounce {
+                        node: self.node,
+                        window: WindowId(boundary),
+                    },
+                    None => Message::StreamEnd {
+                        node: self.node,
+                        late_events: self.late_events,
+                    },
+                };
+                cache.send(&bye)?;
                 self.done = true;
             }
         }

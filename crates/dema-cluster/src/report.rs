@@ -45,9 +45,54 @@ pub struct WindowOutcome {
     pub synopses: u64,
     /// γ in effect when the window was sliced (Dema), 0 otherwise.
     pub gamma: u64,
+    /// The membership epoch this window was computed under (0 for the whole
+    /// run when no membership changes were staged; DESIGN.md §14).
+    pub epoch: u64,
     /// `Some` when the window completed without every node's data
     /// (resilient runs only); `None` for an exact answer.
     pub degraded: Option<Degraded>,
+}
+
+/// Data-plane traffic one member contributed to one epoch, measured at the
+/// root as its window messages arrive (receive-side accounting, so the
+/// numbers are identical across transports and thread counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochNodeTraffic {
+    /// The contributing local node.
+    pub node: u32,
+    /// Window-keyed data-plane messages received (synopses, candidate
+    /// replies, batches — membership and stream-end control excluded).
+    pub messages: u64,
+    /// Events carried by those messages ([`dema_wire::Message::event_units`]).
+    pub events: u64,
+}
+
+/// Per-epoch accounting of a run with membership churn (a fixed-membership
+/// run reports exactly one of these).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Epoch number (dense from 0).
+    pub epoch: u64,
+    /// First window computed under this epoch.
+    pub first_window: u64,
+    /// Member node ids, ascending.
+    pub members: Vec<u32>,
+    /// Nodes that joined at this epoch's boundary.
+    pub joined: Vec<u32>,
+    /// Nodes that drained away at this epoch's boundary.
+    pub left: Vec<u32>,
+    /// Membership handoffs at this boundary (joins + drains).
+    pub handoffs: u64,
+    /// Windows of this epoch finalized by the end of the run.
+    pub windows_completed: u64,
+    /// How many of them completed degraded.
+    pub degraded_windows: u64,
+    /// `EpochSwitch` broadcast → first finalized window of the epoch, in
+    /// microseconds (0 for epoch 0 and for epochs whose first window
+    /// resolved before the boundary broadcast went out).
+    pub switch_latency_us: u64,
+    /// Per-member data-plane traffic of this epoch, node-ascending.
+    pub per_node: Vec<EpochNodeTraffic>,
 }
 
 /// Traffic attributed to one tier of the aggregation topology. Tier 0 is
@@ -106,6 +151,14 @@ pub struct RunReport {
     /// Reactor loop health aggregated over every shard plus the root loop:
     /// sweeps, delivered events, timer lag, ready-queue depth.
     pub reactor: ReactorSnapshot,
+    /// Per-epoch accounting, epoch order (one entry for fixed-membership
+    /// runs; DESIGN.md §14).
+    pub epochs: Vec<EpochStats>,
+    /// Locals that drained away cleanly (`DrainComplete` handshake), node
+    /// order. Distinct from `dead_nodes`: a drained node is not a failure.
+    pub drained_nodes: Vec<u32>,
+    /// Locals declared dead by the liveness/retry budget, node order.
+    pub dead_nodes: Vec<u32>,
 }
 
 impl RunReport {
@@ -155,6 +208,7 @@ mod tests {
                 candidate_slices: 1,
                 synopses: 4,
                 gamma: 100,
+                epoch: 0,
                 degraded: None,
             }],
             per_node_traffic: vec![
@@ -181,6 +235,9 @@ mod tests {
             tier_traffic: Vec::new(),
             fault_stats: FaultSnapshot::default(),
             reactor: ReactorSnapshot::default(),
+            epochs: Vec::new(),
+            drained_nodes: Vec::new(),
+            dead_nodes: Vec::new(),
         }
     }
 

@@ -7,20 +7,22 @@
 //! [`crate::engines::RootEngine`] trait; see the modules under
 //! `crate::engines` for the per-engine state machines.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dema_core::event::WindowId;
+use dema_core::event::{NodeId, WindowId};
 use dema_core::numeric::len_to_u32;
 use dema_core::quantile::Quantile;
 use dema_metrics::LatencyHistogram;
 use dema_net::MsgSender;
 use dema_wire::Message;
 
-use crate::config::EngineKind;
+use crate::config::{EngineKind, MembershipPlan};
 use crate::engines::{self, ResilienceCtx, ResolvedWindow, RootEngine, RootParams};
 use crate::local::CloseTimes;
-use crate::report::WindowOutcome;
+use crate::membership::EpochLedger;
+use crate::report::{EpochNodeTraffic, EpochStats, WindowOutcome};
 use crate::ClusterError;
 
 pub use crate::engines::dema::PIPELINE_DEPTH;
@@ -53,6 +55,37 @@ pub struct RootNode {
     quiescent_ticked: bool,
     /// Reused scratch buffer for the engine's resolved windows.
     resolved: Vec<(WindowId, ResolvedWindow)>,
+    /// The membership schedule: which locals contribute to which windows
+    /// (trivial single-epoch ledger unless [`RootNode::with_membership`]
+    /// installed a churn plan; DESIGN.md §14).
+    ledger: Arc<EpochLedger>,
+    /// Leavers whose `LeaveAnnounce` arrived but whose drain is still
+    /// gated on the watermark reaching their boundary.
+    leave_announced: HashSet<u32>,
+    /// Locals whose drain handshake finished (`DrainComplete` sent). A
+    /// drained node is accounted for like an ended one, never chased by
+    /// the liveness machinery, and never declared dead.
+    drained: HashSet<u32>,
+    /// Highest epoch whose `EpochSwitch` has been broadcast (0 = only the
+    /// initial epoch is active).
+    epoch_switched: u64,
+    /// First window not yet finalized — every window below it has an
+    /// outcome. Epoch switches and drains gate on this so a boundary only
+    /// takes effect once the old epoch is fully resolved.
+    watermark: u64,
+    /// When each epoch's `EpochSwitch` broadcast went out.
+    switch_instants: HashMap<u64, Instant>,
+    /// When each epoch's first window finalized.
+    first_finalize: HashMap<u64, Instant>,
+    /// Windows finalized per epoch.
+    epoch_windows: BTreeMap<u64, u64>,
+    /// Degraded windows per epoch.
+    epoch_degraded: BTreeMap<u64, u64>,
+    /// Receive-side data-plane traffic per (epoch, node): window-keyed
+    /// messages and their event units, keyed by the window's epoch. Being
+    /// counted at the root's receive path makes the numbers identical
+    /// across transports and thread counts.
+    epoch_traffic: BTreeMap<(u64, u32), (u64, u64)>,
 }
 
 impl RootNode {
@@ -124,14 +157,35 @@ impl RootNode {
             last_progress: Instant::now(),
             quiescent_ticked: false,
             resolved: Vec::new(),
+            ledger: Arc::new(EpochLedger::trivial(n_locals)),
+            leave_announced: HashSet::new(),
+            drained: HashSet::new(),
+            epoch_switched: 0,
+            watermark: 0,
+            switch_instants: HashMap::new(),
+            first_finalize: HashMap::new(),
+            epoch_windows: BTreeMap::new(),
+            epoch_degraded: BTreeMap::new(),
+            epoch_traffic: BTreeMap::new(),
         }
     }
 
+    /// Install a membership churn plan: windows are computed under the
+    /// epochs it describes, joins are admitted and leavers drained at the
+    /// planned boundaries. `n_locals` must count every node id the plan
+    /// ever names (epoch-0 members and joiners alike).
+    pub fn with_membership(mut self, plan: &MembershipPlan) -> Result<RootNode, ClusterError> {
+        let ledger = Arc::new(EpochLedger::from_plan(self.n_locals, plan)?);
+        self.engine.set_membership(Arc::clone(&ledger));
+        self.ledger = ledger;
+        Ok(self)
+    }
+
     /// `true` once every window is finalized and every local has either
-    /// ended its stream or been declared dead.
+    /// ended its stream, drained away cleanly, or been declared dead.
     pub fn finished(&self) -> bool {
         let accounted = (0..len_to_u32(self.n_locals))
-            .filter(|n| self.ended.contains(n) || self.dead.contains(n))
+            .filter(|n| self.ended.contains(n) || self.dead.contains(n) || self.drained.contains(n))
             .count();
         self.outcomes.len() as u64 == self.expected_windows && accounted == self.n_locals
     }
@@ -161,23 +215,192 @@ impl RootNode {
         v
     }
 
+    /// Locals whose drain handshake finished, in node order. Disjoint from
+    /// [`RootNode::dead_nodes`]: a drained node is a planned departure,
+    /// not a failure.
+    pub fn drained_nodes(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.drained.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Per-epoch accounting for the run report, epoch order (a single
+    /// entry when no membership plan was installed).
+    pub fn epoch_stats(&self) -> Vec<EpochStats> {
+        self.ledger
+            .epochs()
+            .iter()
+            .map(|info| {
+                let switch_latency_us = match (
+                    self.switch_instants.get(&info.epoch),
+                    self.first_finalize.get(&info.epoch),
+                ) {
+                    (Some(s), Some(f)) if f > s => f.duration_since(*s).as_micros() as u64,
+                    _ => 0,
+                };
+                EpochStats {
+                    epoch: info.epoch,
+                    first_window: info.first_window,
+                    members: info.members.clone(),
+                    joined: info.joined.clone(),
+                    left: info.left.clone(),
+                    handoffs: (info.joined.len() + info.left.len()) as u64,
+                    windows_completed: self.epoch_windows.get(&info.epoch).copied().unwrap_or(0),
+                    degraded_windows: self.epoch_degraded.get(&info.epoch).copied().unwrap_or(0),
+                    switch_latency_us,
+                    per_node: info
+                        .members
+                        .iter()
+                        .map(|&n| {
+                            let (messages, events) = self
+                                .epoch_traffic
+                                .get(&(info.epoch, n))
+                                .copied()
+                                .unwrap_or((0, 0));
+                            EpochNodeTraffic {
+                                node: n,
+                                messages,
+                                events,
+                            }
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
     /// Process one message from a local node.
     pub fn handle(&mut self, msg: Message) -> Result<(), ClusterError> {
         self.last_progress = Instant::now();
         self.quiescent_ticked = false;
-        if let Message::StreamEnd { node, late_events } = msg {
-            if self.ended.insert(node.0) {
-                self.late_events += late_events;
+        match msg {
+            Message::StreamEnd { node, late_events } => {
+                if self.ended.insert(node.0) {
+                    self.late_events += late_events;
+                }
+                return self.sweep_membership();
             }
-            return Ok(());
+            Message::JoinRequest { node, window } => {
+                let planned = self.ledger.join_window(node.0);
+                if planned == 0 || planned != window.0 {
+                    return Err(ClusterError::Protocol(format!(
+                        "{node}: unplanned join at {window}"
+                    )));
+                }
+                // Joins are staged in the plan, so the accept is pure
+                // acknowledgement plus the live γ — the joiner streams its
+                // first window without waiting for it.
+                let accept = Message::JoinAccept {
+                    node,
+                    epoch: self.ledger.epoch_of(window.0),
+                    window,
+                    gamma: self.engine.current_gamma(),
+                };
+                if !self.engine.send_control(node.0, &accept)? {
+                    return Err(ClusterError::Protocol(format!(
+                        "{node}: join on an engine without a control plane"
+                    )));
+                }
+                return Ok(());
+            }
+            Message::LeaveAnnounce { node, window } => {
+                if self.ledger.leave_window(node.0) != Some(window.0) {
+                    return Err(ClusterError::Protocol(format!(
+                        "{node}: unplanned leave at {window}"
+                    )));
+                }
+                self.leave_announced.insert(node.0);
+                return self.sweep_membership();
+            }
+            _ => {}
         }
+        self.attribute_traffic(&msg);
         let mut resolved = std::mem::take(&mut self.resolved);
         let result = self.engine.on_message(msg, &mut resolved);
         for (window, r) in resolved.drain(..) {
             self.finalize(window, r);
         }
         self.resolved = resolved;
-        result
+        result?;
+        self.sweep_membership()
+    }
+
+    /// Charge one window-keyed data-plane message to its sender's account
+    /// in the window's epoch. Control traffic (stream ends, membership
+    /// handshakes, retries) is deliberately excluded: the per-epoch figures
+    /// compare a node's *contribution*, not the fault layer's chatter.
+    fn attribute_traffic(&mut self, msg: &Message) {
+        let Some((node, window)) = msg.data_source() else {
+            return;
+        };
+        let (node, window) = (node.0, window.0);
+        let epoch = self.ledger.epoch_of(window);
+        let slot = self.epoch_traffic.entry((epoch, node)).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += msg.event_units();
+    }
+
+    /// Advance the membership schedule: broadcast `EpochSwitch` for every
+    /// boundary the watermark has crossed, then complete the drain of any
+    /// announced leaver whose windows are all finalized. Idempotent; runs
+    /// after every message and tick.
+    fn sweep_membership(&mut self) -> Result<(), ClusterError> {
+        if self.ledger.is_trivial() {
+            return Ok(());
+        }
+        while self.epoch_switched + 1 < self.ledger.n_epochs() as u64 {
+            let next = self.epoch_switched + 1;
+            let Some(info) = self.ledger.info(next) else {
+                break; // unreachable: the ledger's epochs are dense
+            };
+            if self.watermark < info.first_window {
+                break;
+            }
+            let msg = Message::EpochSwitch {
+                epoch: next,
+                window: WindowId(info.first_window),
+                joined: info.joined.iter().copied().map(NodeId).collect(),
+                left: info.left.iter().copied().map(NodeId).collect(),
+            };
+            for &n in &info.members {
+                if !self.engine.send_control(n, &msg)? {
+                    return Err(ClusterError::Protocol(
+                        "membership churn on an engine without a control plane".into(),
+                    ));
+                }
+            }
+            self.engine.on_epoch_switch(next);
+            self.switch_instants.insert(next, Instant::now());
+            self.epoch_switched = next;
+        }
+        for e in 1..=self.epoch_switched {
+            let Some(info) = self.ledger.info(e) else {
+                continue; // unreachable: the ledger's epochs are dense
+            };
+            for &n in &info.left {
+                if self.drained.contains(&n)
+                    || self.dead.contains(&n)
+                    || !self.leave_announced.contains(&n)
+                {
+                    continue;
+                }
+                // Every window the leaver owed is below the boundary, and
+                // the watermark gate above put all of them behind us — its
+                // SentCache has nothing left to replay.
+                let done = Message::DrainComplete {
+                    node: NodeId(n),
+                    epoch: e - 1,
+                };
+                if !self.engine.send_control(n, &done)? {
+                    return Err(ClusterError::Protocol(
+                        "membership churn on an engine without a control plane".into(),
+                    ));
+                }
+                self.drained.insert(n);
+                self.engine.on_node_drained(NodeId(n));
+            }
+        }
+        Ok(())
     }
 
     /// Drive the engine's retry / liveness machinery. A no-op on seed runs;
@@ -193,8 +416,13 @@ impl RootNode {
         };
         let quiescent = self.last_progress.elapsed() >= timeout;
         self.quiescent_ticked |= quiescent;
+        // A drained node owes nothing; an announced leaver still owes its
+        // end-of-stream obligation (the END_KEY retry path re-fetches a
+        // lost LeaveAnnounce from its SentCache).
         let missing_enders: Vec<u32> = (0..len_to_u32(self.n_locals))
-            .filter(|n| !self.ended.contains(n) && !self.dead.contains(n))
+            .filter(|n| {
+                !self.ended.contains(n) && !self.dead.contains(n) && !self.drained.contains(n)
+            })
             .collect();
         let mut resolved = std::mem::take(&mut self.resolved);
         let result = self.engine.on_tick(
@@ -210,7 +438,7 @@ impl RootNode {
         for node in result? {
             self.dead.insert(node.0);
         }
-        Ok(())
+        self.sweep_membership()
     }
 
     /// The next instant [`RootNode::tick`] needs to run: the earlier of
@@ -252,6 +480,12 @@ impl RootNode {
             latest.map_or(0, |t| now.duration_since(t).as_micros() as u64)
         };
         self.latency.record(latency_us);
+        let epoch = self.ledger.epoch_of(window.0);
+        *self.epoch_windows.entry(epoch).or_insert(0) += 1;
+        if r.degraded.is_some() {
+            *self.epoch_degraded.entry(epoch).or_insert(0) += 1;
+        }
+        self.first_finalize.entry(epoch).or_insert(now);
         self.outcomes.insert(
             window.0,
             WindowOutcome {
@@ -264,9 +498,13 @@ impl RootNode {
                 candidate_slices: r.candidate_slices,
                 synopses: r.synopses,
                 gamma: r.gamma,
+                epoch,
                 degraded: r.degraded,
             },
         );
+        while self.outcomes.contains_key(&self.watermark) {
+            self.watermark += 1;
+        }
     }
 }
 

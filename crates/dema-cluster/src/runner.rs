@@ -35,6 +35,7 @@ use crate::host::{
     LocalRole, RelayChildRoute, RelayRole, ResponderRole, RoleHost, RootRole, Stepper,
 };
 use crate::local::{stream_windows, CloseTimes, LocalShared, LocalStepper};
+use crate::membership::EpochLedger;
 use crate::relay::{RelayChild, RoutedSender};
 use crate::report::{RunReport, TierTraffic};
 use crate::root::RootNode;
@@ -223,6 +224,40 @@ fn validate_topology(topology: Topology) -> Result<(), ClusterError> {
     Ok(())
 }
 
+/// Reject membership plans the runtime cannot honor, and build the epoch
+/// ledger for a staged plan (`None` for fixed membership). Churn is a
+/// Dema-engine, star-topology feature: the drain handshake needs the
+/// engine's control plane and per-leaf control links (README's per-engine
+/// matrix documents the restriction).
+fn validate_membership(
+    config: &ClusterConfig,
+    windows: u64,
+    n_locals: usize,
+) -> Result<Option<EpochLedger>, ClusterError> {
+    if config.membership.is_empty() {
+        return Ok(None);
+    }
+    if !matches!(config.engine, EngineKind::Dema { .. }) {
+        return Err(ClusterError::Protocol(
+            "membership churn requires the Dema engine".into(),
+        ));
+    }
+    if !matches!(config.topology, Topology::Star) {
+        return Err(ClusterError::Protocol(
+            "membership churn requires the star topology".into(),
+        ));
+    }
+    for change in &config.membership.changes {
+        if change.window >= windows {
+            return Err(ClusterError::Protocol(format!(
+                "membership boundary {} is not below the run's {} windows",
+                change.window, windows
+            )));
+        }
+    }
+    EpochLedger::from_plan(n_locals, &config.membership).map(Some)
+}
+
 /// Shared orchestration: wire links, spawn node threads, drive the root.
 fn run_cluster_inner(
     config: &ClusterConfig,
@@ -234,6 +269,38 @@ fn run_cluster_inner(
 
     engines::validate(config.engine)?;
     validate_topology(config.topology)?;
+    let ledger = validate_membership(config, windows, n_locals)?;
+    // A churn plan restricts each node's contribution to its membership
+    // span: input rows outside `[join, leave)` are dropped here, so callers
+    // hand every node the same full-length window table regardless of the
+    // plan, and the per-node steppers see exactly the windows they owe.
+    let (work, total_events) = match &ledger {
+        None => (work, total_events),
+        Some(ledger) => {
+            let mut sliced = Vec::with_capacity(work.len());
+            let mut total = 0u64;
+            for (n, node_work) in work.into_iter().enumerate() {
+                let NodeWork::Windowed(ws) = node_work else {
+                    return Err(ClusterError::Protocol(
+                        "membership churn requires pre-windowed inputs".into(),
+                    ));
+                };
+                let first = ledger.join_window(n as u32) as usize;
+                let last = ledger
+                    .leave_window(n as u32)
+                    .map_or(ws.len(), |w| w as usize);
+                let span: Vec<Vec<Event>> = ws
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(w, _)| (first..last).contains(w))
+                    .map(|(_, events)| events)
+                    .collect();
+                total += span.iter().map(|w| w.len() as u64).sum::<u64>();
+                sliced.push(NodeWork::Windowed(span));
+            }
+            (sliced, total)
+        }
+    };
 
     let close_times: CloseTimes = crate::local::new_close_times();
     let resilient = config.resilience.is_some();
@@ -419,11 +486,17 @@ fn run_cluster_inner(
     let mut shard_locals: Vec<Vec<LocalNodeSpec>> = (0..shards).map(|_| Vec::new()).collect();
     for (n, node_work) in work.into_iter().enumerate() {
         let responder = control_plane.then(|| (control_rx.remove(0), responder_tx.remove(0)));
+        let (first_window, leave_window) = match &ledger {
+            Some(l) => (l.join_window(n as u32), l.leave_window(n as u32)),
+            None => (0, None),
+        };
         shard_locals[n % shards].push(LocalNodeSpec {
             node: NodeId(n as u32),
             work: node_work,
             up: data_tx.remove(0),
             responder,
+            first_window,
+            leave_window,
         });
     }
     let mut shard_relays: Vec<Vec<RelaySpec>> = (0..shards).map(|_| Vec::new()).collect();
@@ -464,7 +537,7 @@ fn run_cluster_inner(
     // Host the root on this thread's own reactor: every uplink receiver is
     // a source, and retry / liveness deadlines surface as reactor timers
     // ([`RootNode::next_deadline`]) instead of a tick per polling sweep.
-    let root = RootNode::with_extra_quantiles(
+    let mut root = RootNode::with_extra_quantiles(
         config.quantile,
         config.extra_quantiles.clone(),
         config.engine,
@@ -478,6 +551,9 @@ fn run_cluster_inner(
         }),
         config.pipeline_depth,
     );
+    if ledger.is_some() {
+        root = root.with_membership(&config.membership)?;
+    }
     let mut root_reactor = Reactor::new(Arc::clone(&reactor_stats));
     let mut root_host = RoleHost::new(RootRole::new(root), Vec::new());
     for (i, rx) in root_rx.into_iter().enumerate() {
@@ -497,11 +573,16 @@ fn run_cluster_inner(
     // the shutdown: responder roles retire on control-link disconnect,
     // relay roles cascade the close downward and retire as both of their
     // directions drain, and each shard's reactor exits once every hosted
-    // role is done. Only then drop the uplink receivers and reap the
-    // shards.
+    // role is done. The uplink receivers (owned by `root_reactor`) must
+    // stay alive until the shards are reaped: a drained responder may
+    // still be emitting its post-`DrainComplete` `StreamEnd` sign-off
+    // after the root has already accounted it, and dropping the receiver
+    // first would turn that clean handshake into a spurious Disconnected.
     let late_events = root.late_events();
+    let epochs = root.epoch_stats();
+    let drained_nodes = root.drained_nodes();
+    let dead_nodes = root.dead_nodes();
     let (outcomes, latency) = root.into_results();
-    drop(root_reactor);
     let faulty_run = !config.faults.is_empty();
     for h in handles {
         match h.join() {
@@ -519,6 +600,7 @@ fn run_cluster_inner(
             Err(_) => result = result.and(Err(ClusterError::NodePanic("reactor shard".into()))),
         }
     }
+    drop(root_reactor);
     result?;
 
     // Per-tier attribution: tier 0 is the leaf links (per-leaf data
@@ -558,6 +640,9 @@ fn run_cluster_inner(
         tier_traffic,
         fault_stats: fault_counters.snapshot(),
         reactor: reactor_stats.snapshot(),
+        epochs,
+        drained_nodes,
+        dead_nodes,
     })
 }
 
@@ -571,6 +656,10 @@ struct LocalNodeSpec {
     /// the responder's uplink. One option, so a half-wired responder is
     /// unrepresentable.
     responder: Option<(Box<dyn MsgReceiver>, Box<dyn MsgSender>)>,
+    /// First window this node produces (0 unless it is a planned joiner).
+    first_window: u64,
+    /// Epoch boundary this node leaves at (`None` for members that stay).
+    leave_window: Option<u64>,
 }
 
 /// Everything a shard needs to host one relay node.
@@ -608,7 +697,12 @@ fn run_shard(
         let node = spec.node;
         let (stepper, node_pace) = match spec.work {
             NodeWork::Windowed(node_windows) => {
-                (LocalStepper::new(node, node_windows, engine, shared), pace)
+                let mut stepper = LocalStepper::new(node, node_windows, engine, shared)
+                    .with_first_window(spec.first_window);
+                if let Some(boundary) = spec.leave_window {
+                    stepper = stepper.with_leave_window(boundary);
+                }
+                (stepper, pace)
             }
             NodeWork::Streaming {
                 events,

@@ -1,0 +1,497 @@
+//! Membership churn end-to-end: epoch-based join/leave/drain
+//! reconfiguration mid-stream (DESIGN.md §14).
+//!
+//! The acceptance scenario starts 4 locals, joins 4 more at the window-3
+//! boundary, and drains 2 of them at the window-6 boundary. Every window
+//! must complete exactly under exactly one epoch, the leavers must drain
+//! cleanly (drained, not dead), and the post-churn steady state must be
+//! bit-identical — window values and per-node data-plane traffic — to a
+//! fresh run that starts with the final membership.
+
+use proptest::prelude::*;
+
+use dema_cluster::config::{
+    ClusterConfig, EngineKind, MembershipChange, MembershipPlan, NodeFaults, Resilience,
+    TransportKind,
+};
+use dema_cluster::report::{EpochStats, RunReport};
+use dema_cluster::runner::run_cluster;
+use dema_cluster::EpochLedger;
+use dema_core::coordinator::quantile_ground_truth;
+use dema_core::event::Event;
+use dema_core::quantile::Quantile;
+use dema_net::fault::FaultPlan;
+
+/// Interleaved inputs (as in the chaos suite): node `n`'s window `w` holds
+/// `w·10000 + 3i + n`, so every node owns values throughout each window's
+/// range and therefore owns candidate slices near any quantile.
+fn interleaved_inputs(nodes: usize, windows: usize, per_window: usize) -> Vec<Vec<Vec<Event>>> {
+    (0..nodes)
+        .map(|n| {
+            (0..windows)
+                .map(|w| {
+                    (0..per_window)
+                        .map(|i| {
+                            Event::new(
+                                (w * 10_000 + 3 * i + n) as i64,
+                                w as u64,
+                                (w * per_window + i) as u64,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The acceptance plan: 8 node ids; {0,1,2,3} found the cluster,
+/// {4,5,6,7} join at window 3, {6,7} drain at window 6.
+fn acceptance_plan() -> MembershipPlan {
+    MembershipPlan {
+        changes: vec![
+            MembershipChange {
+                window: 3,
+                joins: vec![4, 5, 6, 7],
+                leaves: vec![],
+            },
+            MembershipChange {
+                window: 6,
+                joins: vec![],
+                leaves: vec![6, 7],
+            },
+        ],
+    }
+}
+
+fn churn_config(plan: MembershipPlan) -> ClusterConfig {
+    let mut cfg = ClusterConfig::dema_fixed(8, Quantile::MEDIAN);
+    cfg.membership = plan;
+    cfg
+}
+
+/// Per-epoch observables the protocol fixes deterministically: everything
+/// in [`EpochStats`] except the wall-clock switch latency.
+fn epoch_sig(report: &RunReport) -> Vec<EpochStats> {
+    report
+        .epochs
+        .iter()
+        .map(|e| EpochStats {
+            switch_latency_us: 0,
+            ..e.clone()
+        })
+        .collect()
+}
+
+/// Sort-oracle value of one window over the given members' inputs.
+fn oracle(inputs: &[Vec<Vec<Event>>], members: &[u32], w: usize, q: Quantile) -> Option<i64> {
+    let per_node: Vec<Vec<Event>> = members
+        .iter()
+        .map(|&n| inputs[n as usize][w].clone())
+        .collect();
+    quantile_ground_truth(&per_node, q).ok().map(|e| e.value)
+}
+
+/// Acceptance: the churn scenario completes with every window exact, the
+/// leavers drained (not dead), per-window values matching the sort oracle
+/// over each window's epoch members, and the post-churn steady state
+/// bit-identical — values and per-node traffic — to a fresh 6-local run.
+#[test]
+fn churn_scenario_matches_fresh_run_after_drain() {
+    let (windows, per_window) = (9usize, 60usize);
+    let inputs = interleaved_inputs(8, windows, per_window);
+    let cfg = churn_config(acceptance_plan());
+    let report = run_cluster(&cfg, inputs.clone()).expect("churn run");
+    let ledger = EpochLedger::from_plan(8, &cfg.membership).unwrap();
+
+    assert_eq!(report.outcomes.len(), windows);
+    assert_eq!(report.drained_nodes, vec![6, 7], "leavers drain cleanly");
+    assert_eq!(report.dead_nodes, Vec::<u32>::new(), "no death verdicts");
+    assert!(report.fault_stats.is_clean(), "clean drains stay clean");
+    for (w, outcome) in report.outcomes.iter().enumerate() {
+        assert!(outcome.degraded.is_none(), "window {w} must be exact");
+        assert_eq!(
+            outcome.epoch,
+            ledger.epoch_of(w as u64),
+            "window {w} epoch attribution"
+        );
+        assert_eq!(
+            outcome.value,
+            oracle(&inputs, ledger.members_of(w as u64), w, Quantile::MEDIAN),
+            "window {w} value vs membership oracle"
+        );
+        assert_eq!(
+            outcome.total_events,
+            (ledger.members_of(w as u64).len() * per_window) as u64,
+            "window {w} global size counts exactly its epoch's members"
+        );
+    }
+
+    // Epoch ledger surfaced in the report: three dense epochs with the
+    // staged memberships, every window attributed to exactly one of them.
+    assert_eq!(report.epochs.len(), 3);
+    for (i, e) in report.epochs.iter().enumerate() {
+        assert_eq!(e.epoch, i as u64, "epochs must be dense from 0");
+        assert_eq!(e.windows_completed, 3);
+        assert_eq!(e.degraded_windows, 0);
+    }
+    assert_eq!(report.epochs[0].members, vec![0, 1, 2, 3]);
+    assert_eq!(report.epochs[1].members, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    assert_eq!(report.epochs[1].joined, vec![4, 5, 6, 7]);
+    assert_eq!(report.epochs[1].handoffs, 4);
+    assert_eq!(report.epochs[2].members, vec![0, 1, 2, 3, 4, 5]);
+    assert_eq!(report.epochs[2].left, vec![6, 7]);
+    assert_eq!(report.epochs[2].handoffs, 2);
+
+    // Post-churn steady state ≡ fresh run with the final membership: feed
+    // a fixed 6-local cluster the same windows the last epoch computed.
+    let fresh_inputs: Vec<Vec<Vec<Event>>> =
+        (0..6).map(|n| inputs[n][6..windows].to_vec()).collect();
+    let fresh_cfg = ClusterConfig::dema_fixed(8, Quantile::MEDIAN);
+    let fresh = run_cluster(&fresh_cfg, fresh_inputs).expect("fresh run");
+    for k in 0..windows - 6 {
+        assert_eq!(
+            report.outcomes[6 + k].value,
+            fresh.outcomes[k].value,
+            "churn window {} vs fresh window {k}",
+            6 + k
+        );
+        assert_eq!(
+            report.outcomes[6 + k].total_events,
+            fresh.outcomes[k].total_events
+        );
+    }
+    assert_eq!(fresh.epochs.len(), 1, "fixed membership is one epoch");
+    assert_eq!(
+        report.epochs[2].per_node, fresh.epochs[0].per_node,
+        "post-churn per-node traffic must be bit-identical to the fresh run"
+    );
+}
+
+/// Determinism: the same churn schedule is bit-identical — values, epoch
+/// accounting, per-node traffic — across sort-thread budgets 1 and 4.
+#[test]
+fn churn_is_bit_identical_across_thread_counts() {
+    let inputs = interleaved_inputs(8, 9, 60);
+    let run_at = |threads: usize| {
+        let mut cfg = churn_config(acceptance_plan());
+        cfg.threads = Some(threads);
+        run_cluster(&cfg, inputs.clone()).expect("churn run")
+    };
+    let serial = run_at(1);
+    let parallel = run_at(4);
+    assert_eq!(serial.values(), parallel.values());
+    assert_eq!(serial.per_node_traffic, parallel.per_node_traffic);
+    assert_eq!(serial.control_traffic, parallel.control_traffic);
+    assert_eq!(epoch_sig(&serial), epoch_sig(&parallel));
+    assert_eq!(serial.drained_nodes, parallel.drained_nodes);
+}
+
+/// Determinism across transports: mem channels and loopback TCP must
+/// produce the same values and the same per-epoch accounting (receive-side
+/// counters are transport-independent by construction).
+#[test]
+fn churn_is_identical_across_transports() {
+    let inputs = interleaved_inputs(8, 9, 60);
+    let run_on = |transport: TransportKind| {
+        let mut cfg = churn_config(acceptance_plan());
+        cfg.transport = transport;
+        run_cluster(&cfg, inputs.clone()).expect("churn run")
+    };
+    let mem = run_on(TransportKind::Mem);
+    let tcp = run_on(TransportKind::Tcp);
+    assert_eq!(mem.values(), tcp.values());
+    assert_eq!(epoch_sig(&mem), epoch_sig(&tcp));
+    assert_eq!(mem.drained_nodes, tcp.drained_nodes);
+}
+
+/// Churn under the retry supervisor: the same scenario with resilience on
+/// (and no faults) must neither misread the joiners as late nor the
+/// leavers as dead — same values, clean drains, zero death verdicts.
+#[test]
+fn resilient_churn_drains_without_death_verdicts() {
+    let inputs = interleaved_inputs(8, 9, 60);
+    let clean = run_cluster(&churn_config(acceptance_plan()), inputs.clone()).expect("clean");
+    let mut cfg = churn_config(acceptance_plan());
+    cfg.resilience = Some(Resilience::default());
+    let report = run_cluster(&cfg, inputs).expect("resilient churn run");
+    assert_eq!(report.values(), clean.values());
+    assert_eq!(report.drained_nodes, vec![6, 7]);
+    assert_eq!(report.dead_nodes, Vec::<u32>::new());
+    assert_eq!(report.fault_stats.nodes_declared_dead, 0);
+    assert_eq!(report.fault_stats.nodes_drained, 2);
+    assert!(report.outcomes.iter().all(|o| o.degraded.is_none()));
+}
+
+/// Sweep seed (as in the chaos suite): `CHAOS_SEED` (default 1) lets CI
+/// re-run the seeded churn scenario under several fault histories.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Lossy-but-alive resilience: generous budgets so random drops never
+/// escalate to a node death.
+fn lossy_resilience(seed: u64) -> Resilience {
+    Resilience {
+        request_timeout_ms: 40,
+        max_retries: 10,
+        liveness_k: 10_000,
+        seed,
+    }
+}
+
+/// Seeded membership-churn chaos (CHAOS_SEED sweep in check.sh): the
+/// acceptance schedule under random message loss on every node's links.
+/// Loss below the death threshold must be invisible — bit-identical
+/// values to the fault-free churn run, the leavers still drain (never a
+/// death verdict), and the post-churn steady state stays pinned to a
+/// fresh run that starts with the final membership.
+#[test]
+fn seeded_churn_chaos_recovers_bit_exact() {
+    let seed = chaos_seed();
+    let (windows, per_window) = (9usize, 60usize);
+    let inputs = interleaved_inputs(8, windows, per_window);
+    let clean = run_cluster(&churn_config(acceptance_plan()), inputs.clone()).expect("clean run");
+
+    let mut cfg = churn_config(acceptance_plan());
+    cfg.resilience = Some(lossy_resilience(seed));
+    cfg.faults = (0..8)
+        .map(|n| {
+            let s = seed.wrapping_add(u64::from(n) * 101);
+            NodeFaults {
+                node: n,
+                uplink: Some(FaultPlan::new(s ^ 0x11).with_drop(0.10)),
+                responder: Some(FaultPlan::new(s ^ 0x22).with_drop(0.10)),
+                control: Some(FaultPlan::new(s ^ 0x33).with_drop(0.10)),
+            }
+        })
+        .collect();
+    let chaotic = run_cluster(&cfg, inputs.clone()).expect("chaotic churn run");
+
+    assert_eq!(chaotic.values(), clean.values(), "loss must be invisible");
+    assert_eq!(chaotic.drained_nodes, vec![6, 7], "leavers still drain");
+    assert_eq!(chaotic.dead_nodes, Vec::<u32>::new(), "no death verdicts");
+    assert_eq!(chaotic.fault_stats.nodes_drained, 2);
+    assert!(chaotic.outcomes.iter().all(|o| o.degraded.is_none()));
+
+    // Post-churn pin: the final epoch's windows must still match a fresh
+    // fault-free run with the final membership.
+    let fresh_inputs: Vec<Vec<Vec<Event>>> =
+        (0..6).map(|n| inputs[n][6..windows].to_vec()).collect();
+    let fresh_cfg = ClusterConfig::dema_fixed(8, Quantile::MEDIAN);
+    let fresh = run_cluster(&fresh_cfg, fresh_inputs).expect("fresh run");
+    for k in 0..windows - 6 {
+        assert_eq!(
+            chaotic.outcomes[6 + k].value,
+            fresh.outcomes[k].value,
+            "chaotic churn window {} vs fresh window {k}",
+            6 + k
+        );
+    }
+}
+
+/// Unclean departure: a planned leaver whose uplink dies before it can
+/// announce gets a *death* verdict, not a drain — its still-owed windows
+/// complete degraded with the node named missing, windows past its
+/// boundary stay exact, and the epoch attribution is unaffected.
+#[test]
+fn leaver_dying_before_announce_degrades_its_owed_windows() {
+    let (windows, per_window) = (6usize, 60usize);
+    let inputs = interleaved_inputs(4, windows, per_window);
+    let mut cfg = ClusterConfig::dema_fixed(8, Quantile::MEDIAN);
+    cfg.membership = MembershipPlan {
+        changes: vec![MembershipChange {
+            window: 4,
+            joins: vec![],
+            leaves: vec![3],
+        }],
+    };
+    // Retry-budget exhaustion is the death verdict here; liveness stays
+    // loose so several stuck windows in one sweep can't race it.
+    cfg.resilience = Some(Resilience {
+        request_timeout_ms: 40,
+        max_retries: 2,
+        liveness_k: 100,
+        seed: 1,
+    });
+    // Windows 0 and 1 reach the wire; window 2 is cached for resend but
+    // severed in flight; the local dies there, so window 3 and the
+    // LeaveAnnounce it owed exist nowhere.
+    cfg.faults = vec![NodeFaults {
+        node: 3,
+        uplink: Some(FaultPlan::new(7).with_disconnect_after(2)),
+        ..NodeFaults::default()
+    }];
+    let report = run_cluster(&cfg, inputs.clone()).expect("run must not hang");
+    let ledger = EpochLedger::from_plan(4, &cfg.membership).unwrap();
+
+    assert_eq!(report.outcomes.len(), windows);
+    assert_eq!(report.dead_nodes, vec![3], "unclean departure is a death");
+    assert_eq!(report.drained_nodes, Vec::<u32>::new());
+    for (w, outcome) in report.outcomes.iter().enumerate() {
+        assert_eq!(outcome.epoch, ledger.epoch_of(w as u64), "window {w}");
+        if w < 2 {
+            assert!(outcome.degraded.is_none(), "window {w} arrived normally");
+        } else if w == 2 {
+            // Replayed from the sent-cache over the healthy responder
+            // uplink — recovered, not degraded.
+            assert!(outcome.degraded.is_none(), "window {w} must be recovered");
+        } else if w == 3 {
+            let d = outcome
+                .degraded
+                .as_ref()
+                .unwrap_or_else(|| panic!("window {w} must degrade"));
+            assert_eq!(d.missing_nodes, vec![3]);
+            assert_eq!(
+                outcome.value,
+                oracle(&inputs, &[0, 1, 2], w, Quantile::MEDIAN),
+                "window {w}: survivors' exact quantile"
+            );
+        } else {
+            // Past the boundary the node was never a member: exact.
+            assert!(outcome.degraded.is_none(), "window {w} is post-boundary");
+            assert_eq!(
+                outcome.value,
+                oracle(&inputs, ledger.members_of(w as u64), w, Quantile::MEDIAN)
+            );
+        }
+    }
+    let last_epoch = report.epochs.last().unwrap();
+    assert_eq!(last_epoch.members, vec![0, 1, 2]);
+    assert_eq!(report.epochs[0].degraded_windows, 1);
+    assert_eq!(last_epoch.degraded_windows, 0);
+}
+
+/// Non-Dema engines and tree topologies reject membership plans up front.
+#[test]
+fn churn_is_rejected_off_the_supported_matrix() {
+    let inputs = interleaved_inputs(2, 3, 10);
+    let plan = MembershipPlan {
+        changes: vec![MembershipChange {
+            window: 1,
+            joins: vec![1],
+            leaves: vec![],
+        }],
+    };
+    let mut cfg = ClusterConfig::baseline(EngineKind::Centralized, Quantile::MEDIAN);
+    cfg.membership = plan.clone();
+    assert!(
+        run_cluster(&cfg, inputs.clone()).is_err(),
+        "non-Dema engine"
+    );
+
+    let mut cfg = churn_config(plan);
+    cfg.topology = dema_cluster::config::Topology::Tree {
+        fanout: 2,
+        depth: 2,
+    };
+    assert!(run_cluster(&cfg, inputs.clone()).is_err(), "tree topology");
+
+    let cfg = churn_config(MembershipPlan {
+        changes: vec![MembershipChange {
+            window: 5,
+            joins: vec![1],
+            leaves: vec![],
+        }],
+    });
+    assert!(
+        run_cluster(&cfg, inputs).is_err(),
+        "boundary past the window range"
+    );
+}
+
+/// Random membership schedules: one optional join cohort and one optional
+/// leaver over random boundaries. Every completed run must attribute each
+/// window to exactly the ledger's epoch, keep epochs dense and boundary-
+/// ordered, account every window to exactly one epoch, and match the
+/// sort oracle over each window's members.
+fn arb_plan() -> impl Strategy<Value = (usize, usize, MembershipPlan)> {
+    (2usize..4, 0usize..3, 3usize..6).prop_flat_map(|(n_initial, n_join, windows)| {
+        let join_w = 1u64..windows as u64;
+        let leave_w = 1u64..windows as u64;
+        (
+            Just(n_initial),
+            Just(n_join),
+            Just(windows),
+            join_w,
+            leave_w,
+            0u64..2, // poor man's Option: 1 = stage the leave
+        )
+            .prop_map(|(n_initial, n_join, windows, jw, lw, stage_leave)| {
+                let lw = (stage_leave == 1).then_some(lw);
+                let total = n_initial + n_join;
+                let mut by_window: std::collections::BTreeMap<u64, MembershipChange> =
+                    std::collections::BTreeMap::new();
+                if n_join > 0 {
+                    by_window
+                        .entry(jw)
+                        .or_insert_with(|| MembershipChange {
+                            window: jw,
+                            ..MembershipChange::default()
+                        })
+                        .joins = (n_initial as u32..total as u32).collect();
+                }
+                if let Some(lw) = lw {
+                    // Node 0 is always a founding member, so any boundary
+                    // is a valid leave for it.
+                    by_window
+                        .entry(lw)
+                        .or_insert_with(|| MembershipChange {
+                            window: lw,
+                            ..MembershipChange::default()
+                        })
+                        .leaves = vec![0];
+                }
+                (
+                    total.max(n_initial),
+                    windows,
+                    MembershipPlan {
+                        changes: by_window.into_values().collect(),
+                    },
+                )
+            })
+    })
+}
+
+proptest! {
+    // Cluster runs spawn threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn windows_name_exactly_one_contiguous_epoch(
+        (nodes, windows, plan) in arb_plan(),
+        per_window in 8usize..24,
+    ) {
+        let inputs = interleaved_inputs(nodes, windows, per_window);
+        let mut cfg = ClusterConfig::dema_fixed(4, Quantile::MEDIAN);
+        cfg.membership = plan.clone();
+        let report = run_cluster(&cfg, inputs.clone()).unwrap();
+        let ledger = EpochLedger::from_plan(nodes, &plan).unwrap();
+
+        // Epochs are dense from 0 with strictly increasing boundaries.
+        for (i, e) in report.epochs.iter().enumerate() {
+            prop_assert_eq!(e.epoch, i as u64);
+            if i > 0 {
+                prop_assert!(e.first_window > report.epochs[i - 1].first_window);
+            } else {
+                prop_assert_eq!(e.first_window, 0);
+            }
+        }
+        // Every window names exactly the ledger's epoch for it, and the
+        // per-epoch completion counters account each window exactly once.
+        prop_assert_eq!(report.outcomes.len(), windows);
+        for (w, outcome) in report.outcomes.iter().enumerate() {
+            prop_assert_eq!(outcome.epoch, ledger.epoch_of(w as u64));
+            prop_assert!(outcome.degraded.is_none());
+            prop_assert_eq!(
+                outcome.value,
+                oracle(&inputs, ledger.members_of(w as u64), w, Quantile::MEDIAN)
+            );
+        }
+        let completed: u64 = report.epochs.iter().map(|e| e.windows_completed).sum();
+        prop_assert_eq!(completed, windows as u64);
+    }
+}

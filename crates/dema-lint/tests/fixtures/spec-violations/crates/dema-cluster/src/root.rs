@@ -1,0 +1,37 @@
+//! Fixture: membership negatives. The root shell handles stream ends and
+//! leave announcements but its `JoinRequest` arm has been deleted (R6
+//! unhandled variant), and while every other root-shell edge has its tag
+//! pair mentioned in a test below, no test anywhere names `EpochSwitch` —
+//! so the epoch-switch transitions fail R7.
+
+/// Handles one uplink message.
+pub fn handle(msg: Message) {
+    match msg {
+        Message::StreamEnd { .. } => {}
+        Message::LeaveAnnounce { .. } => {}
+        _ => {}
+    }
+}
+
+/// Broadcasts the membership machinery the spec declares as sends.
+pub fn sweep() {
+    send(Message::JoinAccept {});
+    send(Message::EpochSwitch {});
+    send(Message::DrainComplete {});
+}
+
+#[cfg(test)]
+mod tests {
+    // Tag pairs for every root-shell edge except @epoch -> EpochSwitch:
+    // the join handshake, stream end, leave announcement, and drain
+    // completion are all "tested" here, so only the epoch switch (and the
+    // responder's wire-triggered EpochSwitch arm) stays unverified.
+    #[test]
+    fn membership_edges_minus_epoch_switch() {
+        observe(Message::JoinRequest {});
+        observe(Message::JoinAccept {});
+        observe(Message::StreamEnd {});
+        observe(Message::LeaveAnnounce {});
+        observe(Message::DrainComplete {});
+    }
+}

@@ -163,6 +163,45 @@ fn spec_mode_catches_deleted_and_forbidden_match_arms() {
     );
 }
 
+/// Membership negatives: the fixture root shell handles stream ends and
+/// leave announcements but its `JoinRequest` arm is deleted — R6 must
+/// flag the unhandled variant. Its test region covers the tag pair of
+/// every other root-shell edge (join handshake, stream end, leave, drain
+/// completion), so R7 must flag exactly the untested `EpochSwitch`
+/// transitions — the root shell's `@epoch` broadcast and the responder's
+/// wire-triggered arm — and none of the covered ones.
+#[test]
+fn spec_mode_catches_membership_negatives() {
+    let (code, stdout) = run_lint(&fixture("spec-violations"), &["--spec"]);
+    assert_eq!(code, 1, "membership negatives must fail\n{stdout}");
+    assert!(
+        stdout.contains("crates/dema-cluster/src/root.rs")
+            && stdout.contains("receive Message::JoinRequest"),
+        "missing R6 unhandled-JoinRequest diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("(@epoch->EpochSwitch) of role root-shell"),
+        "missing R7 diagnostic for the untested epoch broadcast\n{stdout}"
+    );
+    assert!(
+        stdout.contains("(EpochSwitch) of role dema-responder"),
+        "missing R7 diagnostic for the responder's untested arm\n{stdout}"
+    );
+    for covered in [
+        "(StreamEnd) of role root-shell",
+        "(JoinRequest->JoinAccept) of role root-shell",
+        "(LeaveAnnounce) of role root-shell",
+        "(@drained->DrainComplete) of role root-shell",
+        "(@join->JoinRequest) of role local-shell",
+    ] {
+        assert!(
+            !stdout.contains(covered),
+            "edge {covered} has its tag pair tested and must not be \
+             flagged\n{stdout}"
+        );
+    }
+}
+
 /// Without `--spec` the same tree is clean: R6/R7 only run on request, so
 /// fixture trees (and downstream forks without the spec) are unaffected.
 #[test]

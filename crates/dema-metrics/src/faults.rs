@@ -15,6 +15,7 @@ pub struct FaultCounters {
     retries: AtomicU64,
     duplicates_suppressed: AtomicU64,
     nodes_declared_dead: AtomicU64,
+    nodes_drained: AtomicU64,
     degraded_windows: AtomicU64,
 }
 
@@ -30,6 +31,10 @@ pub struct FaultSnapshot {
     pub duplicates_suppressed: u64,
     /// Locals declared dead after exhausting their liveness budget.
     pub nodes_declared_dead: u64,
+    /// Locals that departed cleanly via the membership drain handshake.
+    /// Not a fault: a planned drain leaves [`FaultSnapshot::is_clean`]
+    /// true.
+    pub nodes_drained: u64,
     /// Windows completed without every node's data (degraded answers).
     pub degraded_windows: u64,
 }
@@ -64,6 +69,12 @@ impl FaultCounters {
         self.nodes_declared_dead.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one node drained cleanly (membership handoff, not a fault).
+    #[inline]
+    pub fn record_node_drained(&self) {
+        self.nodes_drained.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one window completed degraded.
     #[inline]
     pub fn record_degraded_window(&self) {
@@ -77,15 +88,20 @@ impl FaultCounters {
             retries: self.retries.load(Ordering::Relaxed),
             duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
             nodes_declared_dead: self.nodes_declared_dead.load(Ordering::Relaxed),
+            nodes_drained: self.nodes_drained.load(Ordering::Relaxed),
             degraded_windows: self.degraded_windows.load(Ordering::Relaxed),
         }
     }
 }
 
 impl FaultSnapshot {
-    /// True when the run needed no fault handling at all.
+    /// True when the run needed no fault handling at all. Clean drains are
+    /// planned membership handoffs, so they do not count against this.
     pub fn is_clean(&self) -> bool {
-        *self == FaultSnapshot::default()
+        FaultSnapshot {
+            nodes_drained: 0,
+            ..*self
+        } == FaultSnapshot::default()
     }
 }
 
@@ -111,10 +127,21 @@ mod tests {
                 retries: 1,
                 duplicates_suppressed: 1,
                 nodes_declared_dead: 1,
+                nodes_drained: 0,
                 degraded_windows: 1,
             }
         );
         assert!(!s.is_clean());
+    }
+
+    #[test]
+    fn clean_drains_do_not_dirty_the_snapshot() {
+        let c = FaultCounters::default();
+        c.record_node_drained();
+        c.record_node_drained();
+        let s = c.snapshot();
+        assert_eq!(s.nodes_drained, 2);
+        assert!(s.is_clean(), "a planned drain is not a fault");
     }
 
     #[test]

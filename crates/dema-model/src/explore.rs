@@ -36,14 +36,22 @@
 //! Faults are schedule choices: a `Drop` action discards the head of a
 //! link, consuming one unit of `drop_budget` — the explorer enumerates
 //! *which* message dies, where `FaultPlan` seeds only sample it.
+//!
+//! Membership churn is a *configuration* choice: a non-empty
+//! [`MembershipPlan`] compiles to the same [`EpochLedger`] the runner
+//! uses, joiners start at their boundary (announcing with `JoinRequest`),
+//! leavers end at theirs (announcing with `LeaveAnnounce`), and the DFS
+//! then enumerates every interleaving of the join/drain handshake against
+//! in-flight windows, retries, and candidate fetches.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dema_cluster::config::{EngineKind, Resilience};
+use dema_cluster::config::{EngineKind, MembershipPlan, Resilience};
 use dema_cluster::engines::{descriptor, validate, ResilienceCtx};
 use dema_cluster::local::{new_close_times, responder_step, CloseTimes, LocalShared, LocalStepper};
+use dema_cluster::membership::EpochLedger;
 use dema_cluster::report::WindowOutcome;
 use dema_cluster::root::RootNode;
 use dema_cluster::ClusterError;
@@ -103,6 +111,11 @@ pub struct ExploreConfig {
     pub dedup: bool,
     /// Deliberate bug to inject.
     pub mutation: Mutation,
+    /// Staged membership changes (epoch-based join/leave/drain). Empty —
+    /// the default — explores fixed membership; non-empty plans slice
+    /// each local's windows to its epochs and put the join/drain
+    /// handshake itself on the schedule. Dema engine only.
+    pub membership: MembershipPlan,
 }
 
 impl ExploreConfig {
@@ -131,6 +144,7 @@ impl ExploreConfig {
             resilience: None,
             dedup: false,
             mutation: Mutation::None,
+            membership: MembershipPlan::default(),
         })
     }
 }
@@ -260,6 +274,9 @@ struct System<'a> {
     responder_allowed: HashSet<&'static str>,
     /// Obligations by trigger variant (from the responder role's spec).
     obligations: Vec<(&'static str, spec::Obligation)>,
+    /// `true` when the root-shell spec obliges a `JoinAccept` reply to
+    /// every delivered `JoinRequest`.
+    root_shell_join_owed: bool,
     resilient: bool,
     drop_budget: usize,
     drops_used: usize,
@@ -306,7 +323,7 @@ impl<'a> System<'a> {
             config,
             counters: FaultCounters::new_shared(),
         });
-        let root = RootNode::with_extra_quantiles(
+        let mut root = RootNode::with_extra_quantiles(
             cfg.quantile,
             Vec::new(),
             cfg.engine,
@@ -317,12 +334,32 @@ impl<'a> System<'a> {
             resilience,
             dema_cluster::root::PIPELINE_DEPTH,
         );
+        let ledger = if cfg.membership.is_empty() {
+            None
+        } else {
+            root = root.with_membership(&cfg.membership)?;
+            Some(EpochLedger::from_plan(cfg.n_locals, &cfg.membership)?)
+        };
 
+        // Each local owns the slice of global windows its epochs cover:
+        // a joiner starts at its boundary (its first step announces the
+        // join), a leaver stops short of its boundary (its last step
+        // announces the drain in place of `StreamEnd`).
         let steppers = inputs
             .iter()
             .enumerate()
             .map(|(i, windows)| {
-                LocalStepper::new(NodeId(i as u32), windows.clone(), cfg.engine, &shareds[i])
+                let node = i as u32;
+                let first = ledger.as_ref().map_or(0, |l| l.join_window(node));
+                let leave = ledger.as_ref().and_then(|l| l.leave_window(node));
+                let until = leave.unwrap_or(cfg.windows_per_local);
+                let mine = windows[first as usize..until as usize].to_vec();
+                let mut stepper = LocalStepper::new(NodeId(node), mine, cfg.engine, &shareds[i])
+                    .with_first_window(first);
+                if let Some(boundary) = leave {
+                    stepper = stepper.with_leave_window(boundary);
+                }
+                stepper
             })
             .collect();
 
@@ -349,6 +386,12 @@ impl<'a> System<'a> {
             }
         }
 
+        let root_shell_join_owed = spec::role("root-shell").is_some_and(|r| {
+            r.transitions
+                .iter()
+                .any(|tr| tr.on == "JoinRequest" && tr.obligation.is_some())
+        });
+
         Ok(System {
             root,
             steppers,
@@ -359,6 +402,7 @@ impl<'a> System<'a> {
             root_allowed,
             responder_allowed,
             obligations,
+            root_shell_join_owed,
             resilient: cfg.resilience.is_some(),
             drop_budget: cfg.drop_budget,
             drops_used: 0,
@@ -487,7 +531,26 @@ impl<'a> System<'a> {
                     ));
                 }
                 self.history[0] = fnv_mix(self.history[0], &msg.to_bytes());
-                self.root.handle(msg)
+                // Root-shell reply obligation: the spec's JoinRequest
+                // transition owes the joiner a synchronous JoinAccept (the
+                // live-γ handoff) on its control link.
+                let join_watch = match &msg {
+                    Message::JoinRequest { node, .. } if self.root_shell_join_owed => {
+                        let i = node.0 as usize;
+                        self.ctl_q.get(i).map(|q| (i, q.len()))
+                    }
+                    _ => None,
+                };
+                self.root.handle(msg)?;
+                if let Some((i, before)) = join_watch {
+                    if self.ctl_q[i].len() == before {
+                        self.violation(format!(
+                            "obligation violated: root handled JoinRequest from \
+                             local {i} while owing JoinAccept, but enqueued nothing"
+                        ));
+                    }
+                }
+                Ok(())
             }
             (Target::Responder(i), ReactorEvent::Readable { msg, .. }) => {
                 self.deliver_ctl(i, msg, mutation)
@@ -540,8 +603,9 @@ impl<'a> System<'a> {
         let skipped =
             mutation == Mutation::SkipResendReply && matches!(msg, Message::ResendWindow { .. });
         if !skipped {
-            // ResponderStatus::Stop can't occur here — the step link never
-            // disconnects — so the status needs no handling.
+            // ResponderStatus::Stop (a DrainComplete retiring the role)
+            // needs no handling here: the root stops addressing departed
+            // nodes, so a stopped responder's queue simply runs dry.
             responder_step(NodeId(i as u32), msg, &mut self.up_tx[i], &self.shareds[i])?;
         }
         if let Some((on, replies)) = owed {

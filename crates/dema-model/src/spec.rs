@@ -158,12 +158,15 @@ pub static SPEC: ProtocolSpec = ProtocolSpec {
         RoleSpec {
             name: "dema-responder",
             file: "dema-cluster/src/engines/dema.rs",
-            states: &["serving"],
+            states: &["serving", "drained"],
             receives: &[
                 "CandidateRequest",
                 "CandidateRetry",
                 "ResendWindow",
                 "GammaUpdate",
+                "JoinAccept",
+                "EpochSwitch",
+                "DrainComplete",
             ],
             sends: &["CandidateReply", "SynopsisBatch", "StreamEnd"],
             transitions: &[
@@ -203,6 +206,25 @@ pub static SPEC: ProtocolSpec = ProtocolSpec {
                     }),
                 },
                 t("serving", "GammaUpdate", "serving", None),
+                // Membership control is informational until the drain
+                // release: the responder notes the accepted join and the
+                // epoch boundary, and keeps serving.
+                t("serving", "JoinAccept", "serving", None),
+                t("serving", "EpochSwitch", "serving", None),
+                // The root confirmed every window this node owed is
+                // resolved: acknowledge with the StreamEnd marker and stop
+                // serving. Unlike the replay obligations above this one is
+                // unconditional — a drained responder always signs off.
+                Transition {
+                    from: "serving",
+                    on: "DrainComplete",
+                    to: "drained",
+                    reply: Some("StreamEnd"),
+                    obligation: Some(Obligation {
+                        replies: &["StreamEnd"],
+                        when: Condition::Always,
+                    }),
+                },
             ],
         },
         // ── Single-stage engines: one uplink variant each ───────────────
@@ -312,23 +334,51 @@ pub static SPEC: ProtocolSpec = ProtocolSpec {
             ],
         },
         RoleSpec {
-            // The engine-agnostic root shell intercepts stream ends; every
-            // other data-plane message goes to the engine.
+            // The engine-agnostic root shell intercepts stream ends and
+            // the membership protocol; every other data-plane message goes
+            // to the engine. Joins/leaves are staged on arrival and take
+            // effect at the declared window boundary: `@epoch` fires when
+            // the last window of the old epoch resolves (broadcasting the
+            // switch), `@drained` when every window a leaver owed is
+            // resolved (releasing its responder).
             name: "root-shell",
             file: "dema-cluster/src/root.rs",
             states: &["running"],
-            receives: &["StreamEnd"],
-            sends: &[],
-            transitions: &[t("running", "StreamEnd", "running", None)],
+            receives: &["StreamEnd", "JoinRequest", "LeaveAnnounce"],
+            sends: &["JoinAccept", "EpochSwitch", "DrainComplete"],
+            transitions: &[
+                t("running", "StreamEnd", "running", None),
+                Transition {
+                    from: "running",
+                    on: "JoinRequest",
+                    to: "running",
+                    reply: Some("JoinAccept"),
+                    obligation: Some(Obligation {
+                        replies: &["JoinAccept"],
+                        when: Condition::Always,
+                    }),
+                },
+                t("running", "LeaveAnnounce", "running", None),
+                t("running", "@epoch", "running", Some("EpochSwitch")),
+                t("running", "@drained", "running", Some("DrainComplete")),
+            ],
         },
         RoleSpec {
-            // The local shell closes windows and ends the stream.
+            // The local shell closes windows and ends the stream. A
+            // mid-stream joiner announces itself before its first window;
+            // a leaver announces after its last window and keeps its
+            // responder draining until the root's DrainComplete (which the
+            // responder answers with the StreamEnd marker).
             name: "local-shell",
             file: "dema-cluster/src/local.rs",
-            states: &["streaming", "ended"],
+            states: &["joining", "streaming", "draining", "ended"],
             receives: &[],
-            sends: &["StreamEnd"],
-            transitions: &[t("streaming", "@end", "ended", Some("StreamEnd"))],
+            sends: &["StreamEnd", "JoinRequest", "LeaveAnnounce"],
+            transitions: &[
+                t("joining", "@join", "streaming", Some("JoinRequest")),
+                t("streaming", "@end", "ended", Some("StreamEnd")),
+                t("streaming", "@leave", "draining", Some("LeaveAnnounce")),
+            ],
         },
     ],
 };

@@ -5,7 +5,7 @@
 //! `MODEL_BUDGET` (env) overrides the smoke schedule budget; check.sh
 //! runs the default, CI or a curious reader can raise it.
 
-use dema_cluster::config::{EngineKind, Resilience};
+use dema_cluster::config::{EngineKind, MembershipChange, MembershipPlan, Resilience};
 use dema_model::explore::{explore, ExploreConfig, Mutation};
 
 fn budget() -> usize {
@@ -87,6 +87,79 @@ fn resilient_fault_schedules_terminate_clean() {
         report.stuck_faulty, 0,
         "resilient faulty paths must finish, not wedge"
     );
+}
+
+/// Fault-free membership churn: node 2 joins at the window-1 boundary, so
+/// its `JoinRequest` and first synopses race the founding members'
+/// window-0 fetch on every explored interleaving. Every path must satisfy
+/// the root-shell's JoinAccept obligation, finish, and reproduce the
+/// canonical run's outcomes bit-for-bit.
+#[test]
+fn join_interleavings_are_clean_and_deterministic() {
+    let mut cfg = ExploreConfig::smoke(3, 2, 3, 800).unwrap();
+    cfg.dedup = true;
+    cfg.membership = MembershipPlan {
+        changes: vec![MembershipChange {
+            window: 1,
+            joins: vec![2],
+            leaves: vec![],
+        }],
+    };
+    let report = explore(&cfg).unwrap();
+    assert!(report.schedules > 0);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.stuck_faulty, 0, "no drops were allowed");
+}
+
+/// Acceptance (tentpole): join-during-retry. With a drop budget and the
+/// supervisor armed, schedules exist where the joiner's announcement and
+/// first synopses land while the root is NACKing a dropped window-0
+/// contribution. Zero invariant, deadlock, or obligation violations, and
+/// every faulty path still terminates finished.
+#[test]
+fn join_during_retry_interleavings_are_clean() {
+    let mut cfg = ExploreConfig::smoke(2, 2, 3, 400).unwrap();
+    cfg.drop_budget = 1;
+    cfg.resilience = Some(tiny_resilience());
+    cfg.dedup = true;
+    cfg.membership = MembershipPlan {
+        changes: vec![MembershipChange {
+            window: 1,
+            joins: vec![1],
+            leaves: vec![],
+        }],
+    };
+    let report = explore(&cfg).unwrap();
+    assert!(report.schedules > 0);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+    assert_eq!(
+        report.stuck_faulty, 0,
+        "resilient faulty paths must finish, not wedge"
+    );
+}
+
+/// Acceptance (tentpole): leave-during-candidate-fetch. Node 1 drains at
+/// the window-1 boundary, so its `LeaveAnnounce` is on the uplink while
+/// the root's window-0 `CandidateRequest` is still in flight — the DFS
+/// interleaves the drain handshake (announce → epoch switch →
+/// DrainComplete → StreamEnd sign-off) against the fetch in every order.
+/// All paths must finish with the leaver drained and match the canonical
+/// outcomes.
+#[test]
+fn leave_during_candidate_fetch_interleavings_are_clean() {
+    let mut cfg = ExploreConfig::smoke(2, 2, 3, 800).unwrap();
+    cfg.dedup = true;
+    cfg.membership = MembershipPlan {
+        changes: vec![MembershipChange {
+            window: 1,
+            joins: vec![],
+            leaves: vec![1],
+        }],
+    };
+    let report = explore(&cfg).unwrap();
+    assert!(report.schedules > 0);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.stuck_faulty, 0, "no drops were allowed");
 }
 
 /// Acceptance: a responder that skips its `ResendWindow` reply obligation

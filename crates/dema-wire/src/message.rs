@@ -45,6 +45,11 @@ const TAG_SKETCH_BATCH: u8 = 9;
 const TAG_ROUTED: u8 = 10;
 const TAG_RESEND_WINDOW: u8 = 11;
 const TAG_CANDIDATE_RETRY: u8 = 12;
+const TAG_JOIN_REQUEST: u8 = 13;
+const TAG_JOIN_ACCEPT: u8 = 14;
+const TAG_LEAVE_ANNOUNCE: u8 = 15;
+const TAG_DRAIN_COMPLETE: u8 = 16;
+const TAG_EPOCH_SWITCH: u8 = 17;
 
 /// Every message of the Dema cluster protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +178,59 @@ pub enum Message {
         /// Retry epoch, starting at 1 for the first re-request.
         attempt: u32,
     },
+    /// Local → root (membership protocol): this node wants to join the
+    /// cluster effective at a window boundary — it will produce windows
+    /// `>= window` and nothing earlier.
+    JoinRequest {
+        /// The joining node.
+        node: NodeId,
+        /// First window the joiner will report (the epoch boundary).
+        window: WindowId,
+    },
+    /// Root → local (membership protocol): the join is staged; the root
+    /// will expect the joiner's reports from `window` on and counts it as
+    /// a member of `epoch`.
+    JoinAccept {
+        /// The accepted joiner.
+        node: NodeId,
+        /// Membership epoch the joiner becomes a member of.
+        epoch: u64,
+        /// First window the root expects from the joiner.
+        window: WindowId,
+        /// Slice factor the joiner must cut its first windows with.
+        gamma: u64,
+    },
+    /// Local → root (membership protocol): this node is leaving — it has
+    /// produced every window `< window` and will produce nothing later,
+    /// but keeps its responder serving until the root confirms the drain.
+    LeaveAnnounce {
+        /// The leaving node.
+        node: NodeId,
+        /// First window the leaver will NOT report (the epoch boundary).
+        window: WindowId,
+    },
+    /// Root → local (membership protocol): every window the leaver owed —
+    /// including its `SentCache` replay obligations — is resolved; the
+    /// node may shut down its responder and exit.
+    DrainComplete {
+        /// The drained node.
+        node: NodeId,
+        /// Membership epoch the node left at the start of.
+        epoch: u64,
+    },
+    /// Root → locals (membership protocol): broadcast at a window
+    /// boundary when staged joins/leaves take effect. Every window
+    /// `>= window` is computed under `epoch`'s membership.
+    EpochSwitch {
+        /// The new membership epoch.
+        epoch: u64,
+        /// First window of the new epoch.
+        window: WindowId,
+        /// Nodes that became members at this boundary.
+        joined: Vec<NodeId>,
+        /// Nodes that ceased to be members at this boundary.
+        left: Vec<NodeId>,
+    },
 }
 
 /// Static metadata for one wire tag: the on-wire tag byte and the
@@ -190,7 +248,7 @@ pub struct TagInfo {
 /// Every wire tag, ascending by tag byte. One entry per [`Message`]
 /// variant; `tags_cover_every_variant` in the test module pins the
 /// correspondence.
-pub const TAGS: [TagInfo; 12] = [
+pub const TAGS: [TagInfo; 17] = [
     TagInfo {
         tag: TAG_SYNOPSIS_BATCH,
         name: "SynopsisBatch",
@@ -239,6 +297,26 @@ pub const TAGS: [TagInfo; 12] = [
         tag: TAG_CANDIDATE_RETRY,
         name: "CandidateRetry",
     },
+    TagInfo {
+        tag: TAG_JOIN_REQUEST,
+        name: "JoinRequest",
+    },
+    TagInfo {
+        tag: TAG_JOIN_ACCEPT,
+        name: "JoinAccept",
+    },
+    TagInfo {
+        tag: TAG_LEAVE_ANNOUNCE,
+        name: "LeaveAnnounce",
+    },
+    TagInfo {
+        tag: TAG_DRAIN_COMPLETE,
+        name: "DrainComplete",
+    },
+    TagInfo {
+        tag: TAG_EPOCH_SWITCH,
+        name: "EpochSwitch",
+    },
 ];
 
 /// Look up the metadata for a wire tag byte, if one is defined.
@@ -268,6 +346,11 @@ impl Message {
             Message::Routed { .. } => TAG_ROUTED,
             Message::ResendWindow { .. } => TAG_RESEND_WINDOW,
             Message::CandidateRetry { .. } => TAG_CANDIDATE_RETRY,
+            Message::JoinRequest { .. } => TAG_JOIN_REQUEST,
+            Message::JoinAccept { .. } => TAG_JOIN_ACCEPT,
+            Message::LeaveAnnounce { .. } => TAG_LEAVE_ANNOUNCE,
+            Message::DrainComplete { .. } => TAG_DRAIN_COMPLETE,
+            Message::EpochSwitch { .. } => TAG_EPOCH_SWITCH,
         }
     }
 
@@ -429,6 +512,51 @@ impl Message {
                     buf.put_u32_le(i);
                 }
             }
+            Message::JoinRequest { node, window } => {
+                buf.put_u8(TAG_JOIN_REQUEST);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(window.0);
+            }
+            Message::JoinAccept {
+                node,
+                epoch,
+                window,
+                gamma,
+            } => {
+                buf.put_u8(TAG_JOIN_ACCEPT);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(window.0);
+                buf.put_u64_le(*gamma);
+            }
+            Message::LeaveAnnounce { node, window } => {
+                buf.put_u8(TAG_LEAVE_ANNOUNCE);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(window.0);
+            }
+            Message::DrainComplete { node, epoch } => {
+                buf.put_u8(TAG_DRAIN_COMPLETE);
+                buf.put_u32_le(node.0);
+                buf.put_u64_le(*epoch);
+            }
+            Message::EpochSwitch {
+                epoch,
+                window,
+                joined,
+                left,
+            } => {
+                buf.put_u8(TAG_EPOCH_SWITCH);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(window.0);
+                buf.put_u32_le(joined.len() as u32);
+                for n in joined {
+                    buf.put_u32_le(n.0);
+                }
+                buf.put_u32_le(left.len() as u32);
+                for n in left {
+                    buf.put_u32_le(n.0);
+                }
+            }
         }
     }
 
@@ -457,6 +585,12 @@ impl Message {
             Message::Routed { inner, .. } => 1 + 4 + inner.encoded_len(),
             Message::ResendWindow { .. } => 1 + 8 + 4,
             Message::CandidateRetry { slices, .. } => 1 + 8 + 4 + 4 + slices.len() * 4,
+            Message::JoinRequest { .. } | Message::LeaveAnnounce { .. } => 1 + 4 + 8,
+            Message::JoinAccept { .. } => 1 + 4 + 8 + 8 + 8,
+            Message::DrainComplete { .. } => 1 + 4 + 8,
+            Message::EpochSwitch { joined, left, .. } => {
+                1 + 8 + 8 + 4 + joined.len() * 4 + 4 + left.len() * 4
+            }
         }
     }
 
@@ -495,6 +629,23 @@ impl Message {
             // The envelope adds no events of its own.
             Message::Routed { inner, .. } => inner.event_units(),
             _ => 0,
+        }
+    }
+
+    /// The `(sender, window)` key of a window-keyed data-plane message —
+    /// the unit of per-node traffic attribution. Control traffic (stream
+    /// ends, membership handshakes, retries, γ updates) carries no key:
+    /// it reflects the fault and reconfiguration layers, not a node's
+    /// contribution to a window.
+    pub fn data_source(&self) -> Option<(NodeId, WindowId)> {
+        match self {
+            Message::SynopsisBatch { node, window, .. }
+            | Message::CandidateReply { node, window, .. }
+            | Message::EventBatch { node, window, .. }
+            | Message::DigestBatch { node, window, .. }
+            | Message::SketchBatch { node, window, .. } => Some((*node, *window)),
+            Message::Routed { inner, .. } => inner.data_source(),
+            _ => None,
         }
     }
 }
@@ -741,6 +892,59 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
                 attempt,
             })
         }
+        TAG_JOIN_REQUEST => {
+            need(buf, 4 + 8)?;
+            Ok(Message::JoinRequest {
+                node: NodeId(buf.get_u32_le()),
+                window: WindowId(buf.get_u64_le()),
+            })
+        }
+        TAG_JOIN_ACCEPT => {
+            need(buf, 4 + 8 + 8 + 8)?;
+            Ok(Message::JoinAccept {
+                node: NodeId(buf.get_u32_le()),
+                epoch: buf.get_u64_le(),
+                window: WindowId(buf.get_u64_le()),
+                gamma: buf.get_u64_le(),
+            })
+        }
+        TAG_LEAVE_ANNOUNCE => {
+            need(buf, 4 + 8)?;
+            Ok(Message::LeaveAnnounce {
+                node: NodeId(buf.get_u32_le()),
+                window: WindowId(buf.get_u64_le()),
+            })
+        }
+        TAG_DRAIN_COMPLETE => {
+            need(buf, 4 + 8)?;
+            Ok(Message::DrainComplete {
+                node: NodeId(buf.get_u32_le()),
+                epoch: buf.get_u64_le(),
+            })
+        }
+        TAG_EPOCH_SWITCH => {
+            need(buf, 8 + 8)?;
+            let epoch = buf.get_u64_le();
+            let window = WindowId(buf.get_u64_le());
+            let n = take_count(buf)?;
+            let mut joined = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(buf, 4)?;
+                joined.push(NodeId(buf.get_u32_le()));
+            }
+            let m = take_count(buf)?;
+            let mut left = Vec::with_capacity(m.min(1024));
+            for _ in 0..m {
+                need(buf, 4)?;
+                left.push(NodeId(buf.get_u32_le()));
+            }
+            Ok(Message::EpochSwitch {
+                epoch,
+                window,
+                joined,
+                left,
+            })
+        }
         TAG_ROUTED if allow_routed => {
             need(buf, 4)?;
             let dest = NodeId(buf.get_u32_le());
@@ -897,6 +1101,30 @@ mod tests {
                 window: WindowId(2),
                 slices: vec![0],
                 attempt: 1,
+            },
+            Message::JoinRequest {
+                node: NodeId(1),
+                window: WindowId(2),
+            },
+            Message::JoinAccept {
+                node: NodeId(1),
+                epoch: 1,
+                window: WindowId(2),
+                gamma: 8,
+            },
+            Message::LeaveAnnounce {
+                node: NodeId(1),
+                window: WindowId(2),
+            },
+            Message::DrainComplete {
+                node: NodeId(1),
+                epoch: 1,
+            },
+            Message::EpochSwitch {
+                epoch: 1,
+                window: WindowId(2),
+                joined: vec![NodeId(1)],
+                left: vec![],
             },
         ]
     }
@@ -1082,6 +1310,73 @@ mod tests {
             window: WindowId(0),
             slices: vec![],
             attempt: 1,
+        });
+    }
+
+    #[test]
+    fn roundtrip_membership_messages() {
+        roundtrip(Message::JoinRequest {
+            node: NodeId(7),
+            window: WindowId(3),
+        });
+        roundtrip(Message::JoinAccept {
+            node: NodeId(7),
+            epoch: 2,
+            window: WindowId(3),
+            gamma: 16,
+        });
+        roundtrip(Message::LeaveAnnounce {
+            node: NodeId(2),
+            window: WindowId(5),
+        });
+        roundtrip(Message::DrainComplete {
+            node: NodeId(2),
+            epoch: 3,
+        });
+        roundtrip(Message::EpochSwitch {
+            epoch: 3,
+            window: WindowId(5),
+            joined: vec![NodeId(4), NodeId(5)],
+            left: vec![NodeId(2)],
+        });
+        roundtrip(Message::EpochSwitch {
+            epoch: u64::MAX,
+            window: WindowId(u64::MAX),
+            joined: vec![],
+            left: vec![],
+        });
+    }
+
+    #[test]
+    fn membership_messages_are_free_control_traffic() {
+        // Reconfiguration traffic shows up in byte counters but never in
+        // the paper's events-on-the-wire cost model — like the retry
+        // messages above.
+        let switch = Message::EpochSwitch {
+            epoch: 1,
+            window: WindowId(4),
+            joined: vec![NodeId(4)],
+            left: vec![NodeId(0)],
+        };
+        assert_eq!(switch.event_units(), 0);
+        assert_eq!(switch.encoded_len(), 1 + 8 + 8 + 4 + 4 + 4 + 4);
+        let join = Message::JoinRequest {
+            node: NodeId(4),
+            window: WindowId(4),
+        };
+        assert_eq!(join.event_units(), 0);
+        assert_eq!(join.encoded_len(), 13);
+        // Membership control routes through relay envelopes unchanged.
+        roundtrip(Message::Routed {
+            dest: NodeId(4),
+            inner: Box::new(switch),
+        });
+        roundtrip(Message::Routed {
+            dest: NodeId(4),
+            inner: Box::new(Message::DrainComplete {
+                node: NodeId(4),
+                epoch: 2,
+            }),
         });
     }
 

@@ -19,7 +19,11 @@
 #   chaos sweep      — the seeded fault-injection suite under several
 #                      CHAOS_SEED values (strict invariants on): recovery
 #                      must stay bit-exact and degradation deterministic
-#                      for every seed, not just the default
+#                      for every seed, not just the default. The same
+#                      sweep drives the membership-churn scenario
+#                      (tests/churn.rs): join/drain under random loss must
+#                      recover bit-exact and keep the post-churn steady
+#                      state pinned to a fresh final-membership run
 #   dema-lint        — repo-specific static analysis (--spec
 #                      --concurrency): R1 no panics in library code, R2
 #                      no lossy `as` casts in rank/gamma arithmetic,
@@ -79,6 +83,7 @@ cargo test -q -p dema-cluster --features strict --test engines --test tree tcp
 CHAOS_SEEDS="${CHAOS_SEEDS:-1 2 3}"
 for seed in $CHAOS_SEEDS; do
     CHAOS_SEED="$seed" cargo test -q -p dema-cluster --features strict --test chaos
+    CHAOS_SEED="$seed" cargo test -q -p dema-cluster --features strict --test churn seeded_churn
 done
 cargo run -q -p dema-lint -- check . --spec --concurrency
 DEMA_THREADS=4 cargo test -q -p dema-cluster --features strict --test lock_order
