@@ -1,0 +1,66 @@
+//! Armed-allocator overhead: how much the counting/recycling global
+//! allocator ([`dema_core::alloc`]) costs on release hot paths.
+//!
+//! Run twice and diff the medians:
+//!
+//! ```text
+//! cargo bench -p dema-bench --bench alloc_overhead                      # disarmed (System)
+//! cargo bench -p dema-bench --bench alloc_overhead --features strict    # armed
+//! ```
+//!
+//! The groups cover the two regimes the allocator sees: raw alloc/free
+//! churn across mixed size classes (worst case — every iteration is
+//! dispatch overhead), and the full Dema star window pipeline over the
+//! in-memory transport (realistic case — allocator traffic amortized
+//! against sort/slice/merge work). Numbers live in BENCH_NOTES.md; the
+//! acceptance bar is <2% on the pipeline group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dema_cluster::config::ClusterConfig;
+use dema_cluster::runner::run_cluster;
+use dema_core::event::Event;
+use dema_core::quantile::Quantile;
+use dema_gen::SoccerGenerator;
+
+/// Mixed-size alloc/free churn: exercises the shelf probe on every
+/// iteration. Sizes straddle the recycler's interesting boundaries
+/// (sub-pointer pads, small runs, page-ish buffers).
+fn bench_alloc_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_overhead/churn");
+    for &size in &[4usize, 64, 1024, 16 * 1024] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let v: Vec<u8> = black_box(Vec::with_capacity(size));
+                black_box(v);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The steady-state Dema star run the zero-alloc gate exercises: with the
+/// allocator armed, every window's buffers come off the shelves, so this
+/// group's armed-vs-disarmed delta is the end-to-end cost of arming.
+fn bench_pipeline(c: &mut Criterion) {
+    let config = ClusterConfig::dema_fixed(64, Quantile::MEDIAN);
+    let inputs: Vec<Vec<Vec<Event>>> = (0..4)
+        .map(|i| SoccerGenerator::new(7 + i as u64, 1, 2_000, 0).take_windows(3, 1000))
+        .collect();
+    // Warm the shelves so the armed run measures steady state, not the
+    // one-time stocking cost.
+    let _ = run_cluster(&config, inputs.clone()).expect("warm-up run");
+
+    let mut group = c.benchmark_group("alloc_overhead/pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(4 * 3 * 1000));
+    group.bench_function("dema_star_mem", |b| {
+        b.iter(|| black_box(run_cluster(&config, inputs.clone()).expect("run")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_churn, bench_pipeline);
+criterion_main!(benches);

@@ -1018,6 +1018,7 @@ impl<'a> DemaLocal<'a> {
 }
 
 impl LocalEngine for DemaLocal<'_> {
+    // hot-path: local-window
     fn on_window(
         &mut self,
         node: NodeId,
@@ -1121,6 +1122,7 @@ pub enum ResponderStatus {
 /// factored out so the deterministic scheduler in `dema-model` can drive
 /// the responder one delivery at a time with the same semantics as the
 /// threaded loop.
+// hot-path: responder-serve
 pub fn responder_step(
     node: NodeId,
     msg: Message,

@@ -204,6 +204,7 @@ impl Supervisor {
     }
 
     /// Window keys whose deadline is due at `now`.
+    // hot-path: supervisor-tick
     pub(crate) fn expired(&self, now: Instant) -> Vec<u64> {
         self.deadlines
             .iter()

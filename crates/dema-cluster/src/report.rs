@@ -159,6 +159,15 @@ pub struct RunReport {
     pub drained_nodes: Vec<u32>,
     /// Locals declared dead by the liveness/retry budget, node order.
     pub dead_nodes: Vec<u32>,
+    /// Allocator activity during the run (fresh blocks per phase, recycled
+    /// count, reallocs), from the armed counting allocator
+    /// ([`dema_core::alloc`]). All-zero when the allocator is disarmed
+    /// (release builds without the `strict` feature).
+    pub alloc: dema_core::alloc::AllocSnapshot,
+    /// Wire buffer pool activity during the run: acquires, recycled
+    /// reuses, and fresh-allocation misses of the process-wide
+    /// [`dema_wire::pool::BufferPool`].
+    pub wire: dema_wire::pool::PoolStats,
 }
 
 impl RunReport {
@@ -238,6 +247,8 @@ mod tests {
             epochs: Vec::new(),
             drained_nodes: Vec::new(),
             dead_nodes: Vec::new(),
+            alloc: dema_core::alloc::AllocSnapshot::default(),
+            wire: dema_wire::pool::PoolStats::default(),
         }
     }
 

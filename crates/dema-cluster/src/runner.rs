@@ -470,6 +470,8 @@ fn run_cluster_inner(
     }
 
     let started = Instant::now();
+    let alloc_before = dema_core::alloc::snapshot();
+    let wire_before = dema_wire::pool::BufferPool::global().stats();
     let reactor_stats = ReactorStats::new_shared();
 
     // Shard the node roles over `threads` reactors: each shard hosts its
@@ -643,6 +645,10 @@ fn run_cluster_inner(
         epochs,
         drained_nodes,
         dead_nodes,
+        alloc: dema_core::alloc::snapshot().since(&alloc_before),
+        wire: dema_wire::pool::BufferPool::global()
+            .stats()
+            .since(&wire_before),
     })
 }
 

@@ -1,0 +1,86 @@
+//! Zero-alloc steady state: the dynamic twin of lint rules R15–R17.
+//!
+//! With the counting allocator armed (debug builds, or `--features strict`
+//! in release), a Dema star run over the in-memory transport is executed
+//! repeatedly: warm-up runs stock every size class onto the recycling
+//! shelves, then a run under an [`AllocGate`] must perform **zero fresh
+//! system allocations** — every request is served from the shelves — and
+//! must stay bit-identical to the warm-up runs. Shelf inventory only
+//! grows, but the *peak concurrent* demand of a size class depends on
+//! thread interleaving, so the gate allows a bounded number of warm-up
+//! rounds before the zero-fresh run must materialize.
+
+use dema_cluster::config::ClusterConfig;
+use dema_cluster::runner::run_cluster;
+use dema_core::alloc::AllocGate;
+use dema_core::event::Event;
+use dema_core::quantile::Quantile;
+use dema_gen::SoccerGenerator;
+
+fn inputs(n: usize, windows: usize) -> Vec<Vec<Vec<Event>>> {
+    (0..n)
+        .map(|i| SoccerGenerator::new(7 + i as u64, 1, 2_000, 0).take_windows(windows, 1000))
+        .collect()
+}
+
+#[test]
+fn dema_star_steady_state_allocates_nothing_fresh() {
+    if !dema_core::alloc::armed() {
+        // Disarmed (plain release) builds have no counters to gate on.
+        return;
+    }
+    let config = ClusterConfig::dema_fixed(64, Quantile::MEDIAN);
+    let ins = inputs(4, 3);
+
+    // First pass pays every one-time cost (lazy statics, pool spin-up)
+    // and seeds the shelves.
+    let warm = run_cluster(&config, ins.clone()).expect("warm-up run");
+
+    // Shelf inventory grows monotonically across runs, so within a few
+    // rounds the shelves cover the worst interleaving's concurrent peak
+    // and a run goes fully fresh-free. The last round is a hard gate.
+    const ROUNDS: usize = 12;
+    let mut steady = None;
+    for round in 0..ROUNDS {
+        let gate = AllocGate::steady_state("dema-star-mem");
+        let report = run_cluster(&config, ins.clone()).expect("steady-state run");
+        if round + 1 == ROUNDS {
+            gate.assert_zero_fresh();
+        }
+        if gate.delta().fresh_total() == 0 {
+            steady = Some(report);
+            break;
+        }
+    }
+    let steady = steady.expect("a zero-fresh steady-state run within the round budget");
+
+    // The gated run must recycle real work, not dodge the allocator.
+    assert!(
+        steady.alloc.recycled > 0,
+        "steady-state run should serve allocations from the shelves, got {:?}",
+        steady.alloc
+    );
+    assert_eq!(
+        warm.values(),
+        steady.values(),
+        "warm-up and steady-state runs must stay bit-identical"
+    );
+}
+
+/// The per-run counter fold: an armed run reports its allocator activity
+/// on `RunReport.alloc` (fresh per phase + recycled), so regressions are
+/// visible in every harness run, not only under the gate.
+#[test]
+fn run_report_carries_alloc_counters() {
+    if !dema_core::alloc::armed() {
+        return;
+    }
+    let config = ClusterConfig::dema_fixed(64, Quantile::MEDIAN);
+    let report = run_cluster(&config, inputs(2, 2)).expect("run");
+    let moved = report.alloc.fresh_total() + report.alloc.recycled;
+    assert!(
+        moved > 0,
+        "an armed run must observe allocator traffic, got {:?}",
+        report.alloc
+    );
+}

@@ -13,6 +13,8 @@
 //! tie-break the previous heap-based merge used, so outputs are
 //! bit-identical (pinned by the oracle property tests below).
 
+use std::cell::RefCell;
+
 use crate::error::{DemaError, Result};
 use crate::event::Event;
 use crate::numeric::len_to_u64;
@@ -22,6 +24,17 @@ use crate::shared::SharedRun;
 /// the tree fills and after runs exhaust.
 const NO_RUN: usize = usize::MAX;
 
+thread_local! {
+    /// Loser-tree scratch (cursor array, tree array, build-time winner
+    /// array), reused across windows: the root's merge/select work for
+    /// window `w+1` replays the capacities window `w` grew, so the
+    /// steady-state calculation step performs no allocator round-trips
+    /// (the merge-select half of lint rule R15; the sort-side twin is the
+    /// `SCRATCH` buffer in [`crate::par`]).
+    static SCRATCH: RefCell<(Vec<usize>, Vec<usize>, Vec<usize>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
 /// A k-way loser-tree merge cursor over sorted runs.
 ///
 /// Internal node `i ≥ 1` of `tree` stores the run that *lost* the match at
@@ -29,21 +42,35 @@ const NO_RUN: usize = usize::MAX;
 /// leaf `j` sits at position `m + j` and its current key is
 /// `runs[j][cursors[j]]`. Advancing the winner replays one root-to-leaf
 /// path — `⌈log₂ m⌉` comparisons, nothing else moves.
-struct LoserTree<'a> {
-    runs: &'a [&'a [Event]],
-    cursors: Vec<usize>,
-    tree: Vec<usize>,
+///
+/// Generic over the run container (`Vec<Event>`, [`SharedRun`],
+/// `&[Event]`), so entry points never collect a `Vec<&[Event]>` view
+/// first; the cursor and tree arrays are borrowed from the thread-local
+/// [`SCRATCH`] and sized in place.
+struct LoserTree<'a, R: AsRef<[Event]>> {
+    runs: &'a [R],
+    cursors: &'a mut Vec<usize>,
+    tree: &'a mut Vec<usize>,
 }
 
-impl<'a> LoserTree<'a> {
-    fn new(runs: &'a [&'a [Event]]) -> LoserTree<'a> {
+impl<'a, R: AsRef<[Event]>> LoserTree<'a, R> {
+    fn new(
+        runs: &'a [R],
+        cursors: &'a mut Vec<usize>,
+        tree: &'a mut Vec<usize>,
+        winner: &mut Vec<usize>,
+    ) -> LoserTree<'a, R> {
         let m = runs.len();
+        cursors.clear();
+        cursors.resize(m, 0);
+        tree.clear();
+        tree.resize(m.max(1), NO_RUN);
         let mut lt = LoserTree {
             runs,
-            cursors: vec![0; m],
-            tree: vec![NO_RUN; m.max(1)],
+            cursors,
+            tree,
         };
-        lt.build();
+        lt.build(winner);
         lt
     }
 
@@ -52,7 +79,7 @@ impl<'a> LoserTree<'a> {
         self.runs
             .get(i)
             .zip(self.cursors.get(i))
-            .and_then(|(r, &c)| r.get(c).copied())
+            .and_then(|(r, &c)| r.as_ref().get(c).copied())
     }
 
     /// `true` if run `a` wins the match against run `b`: live beats
@@ -69,12 +96,13 @@ impl<'a> LoserTree<'a> {
 
     /// Play the full tournament bottom-up: each internal node keeps its
     /// loser, winners advance, `tree[0]` gets the champion.
-    fn build(&mut self) {
+    fn build(&mut self, winner: &mut Vec<usize>) {
         let m = self.runs.len();
         if m == 0 {
             return;
         }
-        let mut winner = vec![NO_RUN; 2 * m];
+        winner.clear();
+        winner.resize(2 * m, NO_RUN);
         for (j, w) in winner.iter_mut().skip(m).enumerate() {
             *w = j;
         }
@@ -121,18 +149,23 @@ impl<'a> LoserTree<'a> {
 ///
 /// # Panics
 /// Debug-asserts each input run is sorted.
+// hot-path: merge-select
 pub fn merge_runs<R: AsRef<[Event]>>(runs: &[R]) -> Vec<Event> {
-    let runs: Vec<&[Event]> = runs.iter().map(AsRef::as_ref).collect();
-    for r in &runs {
-        debug_assert!(crate::event::is_sorted(r));
+    let _phase = crate::alloc::enter_phase(crate::alloc::Phase::Merge);
+    for r in runs {
+        debug_assert!(crate::event::is_sorted(r.as_ref()));
     }
-    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let total: usize = runs.iter().map(|r| r.as_ref().len()).sum();
     let mut out = Vec::with_capacity(total);
     let cap = out.capacity();
-    let mut tree = LoserTree::new(&runs);
-    while let Some(e) = tree.pop() {
-        out.push(e);
-    }
+    SCRATCH.with(|s| {
+        let mut guard = s.borrow_mut();
+        let (cursors, tree, winner) = &mut *guard;
+        let mut tree = LoserTree::new(runs, cursors, tree, winner);
+        while let Some(e) = tree.pop() {
+            out.push(e);
+        }
+    });
     debug_assert_eq!(out.len(), total);
     debug_assert_eq!(out.capacity(), cap, "merge must allocate exactly once");
     out
@@ -146,25 +179,31 @@ pub fn merge_runs<R: AsRef<[Event]>>(runs: &[R]) -> Vec<Event> {
 /// # Errors
 /// [`DemaError::RankOutOfRange`] if `k` is 0 or exceeds the total length.
 pub fn select_kth<R: AsRef<[Event]>>(runs: &[R], k: u64) -> Result<Event> {
-    let runs: Vec<&[Event]> = runs.iter().map(AsRef::as_ref).collect();
-    let total: u64 = runs.iter().map(|r| len_to_u64(r.len())).sum();
+    let _phase = crate::alloc::enter_phase(crate::alloc::Phase::Merge);
+    let total: u64 = runs.iter().map(|r| len_to_u64(r.as_ref().len())).sum();
     if k == 0 || k > total {
         return Err(DemaError::RankOutOfRange { rank: k, total });
     }
-    for r in &runs {
-        debug_assert!(crate::event::is_sorted(r));
+    for r in runs {
+        debug_assert!(crate::event::is_sorted(r.as_ref()));
     }
-    let mut tree = LoserTree::new(&runs);
-    let mut remaining = k;
-    while let Some(e) = tree.pop() {
-        remaining -= 1;
-        if remaining == 0 {
-            return Ok(e);
+    let found = SCRATCH.with(|s| {
+        let mut guard = s.borrow_mut();
+        let (cursors, tree, winner) = &mut *guard;
+        let mut tree = LoserTree::new(runs, cursors, tree, winner);
+        let mut remaining = k;
+        while let Some(e) = tree.pop() {
+            remaining -= 1;
+            if remaining == 0 {
+                return Some(e);
+            }
         }
-    }
-    // Unreachable while `k <= total`: the tree only drains after yielding
-    // every event. Kept as an error so a future refactor cannot panic here.
-    Err(DemaError::RankOutOfRange { rank: k, total })
+        None
+    });
+    // The `None` arm is unreachable while `k <= total`: the tree only drains
+    // after yielding every event. Kept as an error so a future refactor
+    // cannot panic here.
+    found.ok_or(DemaError::RankOutOfRange { rank: k, total })
 }
 
 /// Incrementally merge candidate runs as they arrive, then select a rank.

@@ -295,6 +295,7 @@ thread_local! {
 /// derived total [`Event`] order, so the output is bit-identical to
 /// `sort_unstable` regardless of which path ran.
 pub fn sort_run(events: &mut [Event]) {
+    let _phase = crate::alloc::enter_phase(crate::alloc::Phase::Sort);
     let n = events.len();
     if n < RADIX_MIN || n > u32::MAX as usize {
         events.sort_unstable();
@@ -387,6 +388,7 @@ pub fn sort_events(events: &mut Vec<Event>) {
 /// `threads <= 1`, the input is below [`PAR_SORT_MIN`], or no pool worker
 /// could be spawned.
 pub fn sort_events_with(events: &mut Vec<Event>, threads: usize) {
+    let _phase = crate::alloc::enter_phase(crate::alloc::Phase::Sort);
     let n = events.len();
     let t = threads.clamp(1, MAX_THREADS);
     if t <= 1 || n < PAR_SORT_MIN {
@@ -631,6 +633,29 @@ mod tests {
             spawned_after_first,
             "shared pool must be spawned once per process"
         );
+    }
+
+    #[test]
+    fn radix_scratch_is_reused_across_windows() {
+        // Pin the scratch-reuse contract with the alloc counters: once one
+        // window has grown this thread's radix scratch, a same-sized window
+        // sorts without a single fresh allocation in the Sort phase.
+        if !crate::alloc::armed() {
+            return;
+        }
+        let base = scrambled(4 * RADIX_MIN);
+        let mut warm = base.clone();
+        sort_run(&mut warm); // grows SCRATCH to this window size
+        let mut next = base; // moved: its buffer predates the snapshot
+        let before = crate::alloc::snapshot();
+        sort_run(&mut next);
+        let delta = crate::alloc::snapshot().since(&before);
+        assert_eq!(
+            delta.fresh[crate::alloc::Phase::Sort as usize],
+            0,
+            "steady-state sort_run must reuse the thread-local scratch"
+        );
+        assert_eq!(warm, next);
     }
 
     #[test]

@@ -159,18 +159,20 @@ impl Slice {
 ///
 /// # Panics
 /// Debug-asserts that `events` is sorted.
+// hot-path: slicer
 pub fn cut_into_slices(
     node: NodeId,
     window: WindowId,
     events: Vec<Event>,
     gamma: u64,
 ) -> Result<Vec<Slice>> {
+    let _phase = crate::alloc::enter_phase(crate::alloc::Phase::Slice);
     if gamma < 2 {
         return Err(DemaError::InvalidGamma(gamma));
     }
     debug_assert!(crate::event::is_sorted(&events));
     if events.is_empty() {
-        return Ok(Vec::new());
+        return Ok(Vec::new()); // lint: allow(R15): Vec::new is allocation-free; cold empty-window return
     }
     let mut bounds: Vec<usize> = (0..events.len()).step_by(u64_to_usize(gamma)).collect();
     bounds.push(events.len());

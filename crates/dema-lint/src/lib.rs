@@ -75,6 +75,23 @@
 //!   the same thread and starves the timer wheel. Deliver messages as
 //!   `ReactorEvent::Readable`, deadlines as reactor timers; tag a
 //!   justified site with `// lint: allow(R14): <reason>`.
+//! * **R15** *(alloc mode)* — no raw allocation sites inside the marked
+//!   hot-path regions of [`HOT_PATH_REGIONS`]. Each region is introduced
+//!   by a `// hot-path: <name>` comment (the next brace block after it);
+//!   `Vec::new(..)`, `vec![..]`, `.to_vec()`, `Box::new(..)`,
+//!   `String::from(..)`, a `.min(..)`-clamped `with_capacity`, or a
+//!   payload `.clone()` there pays an allocator round-trip on every
+//!   window and breaks the zero-alloc steady-state gate
+//!   (`dema_core::alloc::AllocGate`). `SharedRun` clones are refcount
+//!   bumps and exempt; deleting a mandated marker is itself a finding.
+//! * **R16** *(alloc mode)* — frame encode/decode files draw scratch from
+//!   `dema_wire::pool::BufferPool`: ad-hoc `vec![..]` payload buffers,
+//!   pool-bypassing `.to_bytes(..)` helpers, and min-clamped capacities
+//!   in the framing files allocate per frame.
+//! * **R17** *(alloc mode)* — channel/send paths in `dema-cluster` /
+//!   `dema-net` must not copy `SharedRun` payload bytes: `.to_vec()` on a
+//!   declared SharedRun name re-copies the window payload per hop; ship
+//!   the `Arc`-backed view instead.
 //!
 //! The analysis is purely lexical over a *masked* view of each source file:
 //! string and comment bytes are blanked (newlines kept) so tokens inside
@@ -121,7 +138,7 @@ const NUMERIC_TYPES: [&str; 14] = [
 /// One finding of one rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier: `R1`..`R14`.
+    /// Rule identifier: `R1`..`R17`.
     pub rule: &'static str,
     /// Path of the offending file, relative to the checked root.
     pub path: String,
@@ -1355,11 +1372,408 @@ fn check_r4(files: &[SourceFile], violations: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Allocation discipline (R15–R17, `--alloc`)
+// ---------------------------------------------------------------------------
+
+/// Hot-path regions the allocation pass audits. Each entry pairs a file
+/// suffix with the name a `// hot-path: <name>` marker comment must carry
+/// there; the audited region is the next brace-delimited block after the
+/// marker (a function body, an impl, a loop). A listed marker missing from
+/// an existing file is itself an R15 finding — the audit surface may only
+/// grow, never silently shrink.
+pub const HOT_PATH_REGIONS: [(&str, &str); 8] = [
+    ("dema-core/src/slice.rs", "slicer"),
+    ("dema-core/src/merge.rs", "merge-select"),
+    ("dema-wire/src/message.rs", "codec"),
+    ("dema-wire/src/frame.rs", "frame-io"),
+    ("dema-net/src/reactor.rs", "reactor-dispatch"),
+    ("dema-cluster/src/engines/dema.rs", "local-window"),
+    ("dema-cluster/src/engines/dema.rs", "responder-serve"),
+    ("dema-cluster/src/engines/retry.rs", "supervisor-tick"),
+];
+
+/// Files whose frame encode/decode must draw buffers from
+/// `dema-wire::pool` (R16): ad-hoc `vec![..]` payload buffers or
+/// pool-bypassing `.to_bytes(..)` helpers there allocate per frame.
+pub const R16_FILES: [&str; 3] = [
+    "dema-wire/src/frame.rs",
+    "dema-net/src/tcp.rs",
+    "dema-net/src/mem.rs",
+];
+
+/// Crates whose send paths R17 audits for SharedRun payload copies.
+const R17_CRATES: [&str; 2] = ["dema-cluster", "dema-net"];
+
+/// Byte range of the region introduced by `// hot-path: <name>`: the next
+/// `{`..`}` block after the marker line. The marker lives in a comment, so
+/// it is looked up in the *raw* text; masking preserves length, so the
+/// offsets carry over to the masked view the needle scan uses.
+fn hot_path_region(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let needle = format!("// hot-path: {name}");
+    let mut search = 0;
+    while let Some(pos) = file.text[search..].find(&needle) {
+        let at = search + pos;
+        search = at + needle.len();
+        // The marker must end its line: "// hot-path: codec2" is not "codec".
+        let line_end = file.text[at..]
+            .find('\n')
+            .map_or(file.text.len(), |n| at + n);
+        if !file.text[at + needle.len()..line_end].trim().is_empty() {
+            continue;
+        }
+        let bytes = file.masked.as_bytes();
+        let open = (line_end..bytes.len()).find(|&i| bytes[i] == b'{')?;
+        let close = matching(bytes, open, b'{', b'}')?;
+        return Some((open, close + 1));
+    }
+    None
+}
+
+/// Names declared with a `SharedRun` type or bound via `SharedRun::new`,
+/// collected workspace-wide. `SharedRun` is an `Arc`-backed view, so
+/// `.clone()` on one of these names is a refcount bump, not a payload
+/// copy — R15 exempts it, while R17 flags `.to_vec()` on the same names.
+fn declared_shared_runs(files: &[SourceFile]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for file in files {
+        for line in file.masked.lines() {
+            if contains_word(line, "SharedRun") {
+                collect_decl_name(line, "SharedRun", &mut names);
+                collect_plain_decl_name(line, "SharedRun", &mut names);
+            }
+        }
+    }
+    names
+}
+
+/// Names annotated with the exact (non-generic) type `ty` — `name: Ty`,
+/// `name: &Ty`, `name: &mut Ty` in a field or parameter list — plus
+/// `let`-bindings of any `Ty::ctor(..)` call. Complements
+/// [`collect_decl_name`], which handles generic `Ty<..>` annotations and
+/// `Ty::new` bindings; `Vec<Ty>` containers deliberately do not resolve
+/// (the container name is not a `Ty`).
+fn collect_plain_decl_name(line: &str, ty: &str, names: &mut BTreeSet<String>) {
+    let t = line.trim_start();
+    if let Some(rest) = t.strip_prefix("let ") {
+        if line.contains(&format!("{ty}::")) {
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.insert(name);
+            }
+        }
+    }
+    let bytes = line.as_bytes();
+    for at in word_occurrences(line, ty) {
+        // Walk left across reference sigils and an optional `mut` to the
+        // annotation's `:` (a `::` path segment does not count).
+        let mut k = at;
+        while k > 0 && (bytes[k - 1] == b' ' || bytes[k - 1] == b'&') {
+            k -= 1;
+        }
+        if k >= 3 && &line[k - 3..k] == "mut" && (k == 3 || !is_ident_byte(bytes[k - 4])) {
+            k -= 3;
+            while k > 0 && (bytes[k - 1] == b' ' || bytes[k - 1] == b'&') {
+                k -= 1;
+            }
+        }
+        if k == 0 || bytes[k - 1] != b':' || (k >= 2 && bytes[k - 2] == b':') {
+            continue;
+        }
+        let mut end = k - 1;
+        while end > 0 && bytes[end - 1] == b' ' {
+            end -= 1;
+        }
+        let mut start = end;
+        while start > 0 && is_ident_byte(bytes[start - 1]) {
+            start -= 1;
+        }
+        if start < end {
+            names.insert(line[start..end].to_string());
+        }
+    }
+}
+
+/// Identifier immediately left of offset `at` (empty if none).
+fn ident_before(bytes: &[u8], at: usize) -> String {
+    let mut start = at;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    String::from_utf8_lossy(&bytes[start..at]).into_owned()
+}
+
+/// Record one allocation finding at masked offset `at` unless an allow tag
+/// covers its line.
+fn push_alloc_violation(
+    file: &SourceFile,
+    rule: &'static str,
+    at: usize,
+    token: &str,
+    detail: &str,
+    violations: &mut Vec<Violation>,
+) {
+    if file.in_test_region(at) {
+        return;
+    }
+    let line = file.line_of(at);
+    if file.allowed(rule, line) {
+        return;
+    }
+    violations.push(Violation {
+        rule,
+        path: file.rel.clone(),
+        line,
+        token: token.to_string(),
+        message: detail.to_string(),
+    });
+}
+
+/// Scan one hot-path region for raw allocation sites (the R15 needles).
+fn scan_alloc_region(
+    file: &SourceFile,
+    region: &str,
+    start: usize,
+    end: usize,
+    shared_runs: &BTreeSet<String>,
+    violations: &mut Vec<Violation>,
+) {
+    let bytes = file.masked.as_bytes();
+    let slice = &file.masked[start..end];
+    let fire = |what: &str| {
+        format!(
+            "hot-path region `{region}` {what}; per-window work must reuse \
+             pooled or thread-local buffers (`// lint: allow(R15): <reason>` \
+             for allocation-free or cold sites)"
+        )
+    };
+    // Unconditional needles: every hit is a fresh heap block per window.
+    for (needle, token, what) in [
+        (
+            "Vec::new(",
+            "Vec::new",
+            "builds a fresh Vec with `Vec::new(..)`",
+        ),
+        ("vec![", "vec!", "allocates with the `vec![..]` macro"),
+        (".to_vec()", "to_vec", "copies a slice with `.to_vec()`"),
+        ("Box::new(", "Box::new", "boxes a value with `Box::new(..)`"),
+        (
+            "String::from(",
+            "String::from",
+            "allocates a String with `String::from(..)`",
+        ),
+    ] {
+        let mut i = 0;
+        while let Some(pos) = slice[i..].find(needle) {
+            let at = start + i + pos;
+            i += pos + needle.len();
+            if needle.starts_with(|c: char| is_ident_byte(c as u8))
+                && at > 0
+                && is_ident_byte(bytes[at - 1])
+            {
+                continue; // MyVec::new, my_vec![ …
+            }
+            push_alloc_violation(file, "R15", at, token, &fire(what), violations);
+        }
+    }
+    // `with_capacity(expr)` is fine when the capacity is exact; a capacity
+    // clamped with `.min(..)` is the under-sizing pattern that reallocs on
+    // real windows (the pre-pool codec caps).
+    let mut i = 0;
+    while let Some(pos) = slice[i..].find("with_capacity(") {
+        let at = start + i + pos;
+        i += pos + "with_capacity(".len();
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let open = at + "with_capacity".len();
+        let Some(close) = matching(bytes, open, b'(', b')') else {
+            continue;
+        };
+        if file.masked[open..close].contains(".min(") {
+            push_alloc_violation(
+                file,
+                "R15",
+                at,
+                "with_capacity(..min..)",
+                &fire(
+                    "clamps a capacity with `.min(..)` — the buffer under-sizes \
+                     and reallocates on real windows; validate the length and \
+                     size exactly, or draw from a pool",
+                ),
+                violations,
+            );
+        }
+    }
+    // `.clone()` copies the payload — unless the receiver is a declared
+    // SharedRun (an Arc view; its clone is a refcount bump).
+    let mut i = 0;
+    while let Some(pos) = slice[i..].find(".clone()") {
+        let at = start + i + pos;
+        i += pos + ".clone()".len();
+        let recv = ident_before(bytes, at);
+        if shared_runs.contains(&recv) {
+            continue;
+        }
+        push_alloc_violation(
+            file,
+            "R15",
+            at,
+            "clone",
+            &fire("deep-copies a payload with `.clone()`"),
+            violations,
+        );
+    }
+}
+
+/// R15: no raw allocation sites inside marked hot-path regions, and every
+/// region [`HOT_PATH_REGIONS`] mandates for a file actually carries its
+/// marker.
+fn check_r15(
+    files: &[SourceFile],
+    shared_runs: &BTreeSet<String>,
+    violations: &mut Vec<Violation>,
+) {
+    for file in files {
+        if file.test_by_path {
+            continue;
+        }
+        for &(suffix, name) in &HOT_PATH_REGIONS {
+            if !file.rel.ends_with(suffix) {
+                continue;
+            }
+            let Some((start, end)) = hot_path_region(file, name) else {
+                violations.push(Violation {
+                    rule: "R15",
+                    path: file.rel.clone(),
+                    line: 0,
+                    token: format!("missing-marker:{name}"),
+                    message: format!(
+                        "hot-path region `{name}` is mandated here but its \
+                         `// hot-path: {name}` marker is gone — the allocation \
+                         audit surface may only grow; restore the marker above \
+                         the region"
+                    ),
+                });
+                continue;
+            };
+            scan_alloc_region(file, name, start, end, shared_runs, violations);
+        }
+    }
+}
+
+/// R16: frame encode/decode files draw buffers from `dema-wire::pool`.
+/// Needles are ad-hoc `vec![..]` payload buffers, pool-bypassing
+/// `.to_bytes(..)` helpers, and the min-clamped `with_capacity` caps.
+fn check_r16(file: &SourceFile, violations: &mut Vec<Violation>) {
+    if file.test_by_path || !R16_FILES.iter().any(|f| file.rel.ends_with(f)) {
+        return;
+    }
+    let bytes = file.masked.as_bytes();
+    for (needle, token, what) in [
+        (
+            "vec![",
+            "vec!",
+            "builds a per-frame buffer with `vec![..]` instead of \
+             `pool.acquire()` — every frame pays an allocator round-trip",
+        ),
+        (
+            ".to_bytes(",
+            "to_bytes",
+            "serializes through a pool-bypassing `.to_bytes(..)` helper; \
+             encode into a pooled buffer with `write_frame_pooled` / \
+             `encode_frame_into` instead",
+        ),
+    ] {
+        let mut i = 0;
+        while let Some(pos) = file.masked[i..].find(needle) {
+            let at = i + pos;
+            i = at + needle.len();
+            push_alloc_violation(
+                file,
+                "R16",
+                at,
+                token,
+                &format!("frame i/o {what} (`// lint: allow(R16): <reason>` if cold)"),
+                violations,
+            );
+        }
+    }
+    let mut i = 0;
+    while let Some(pos) = file.masked[i..].find("with_capacity(") {
+        let at = i + pos;
+        i = at + "with_capacity(".len();
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let open = at + "with_capacity".len();
+        let Some(close) = matching(bytes, open, b'(', b')') else {
+            continue;
+        };
+        if file.masked[open..close].contains(".min(") {
+            push_alloc_violation(
+                file,
+                "R16",
+                at,
+                "with_capacity(..min..)",
+                "frame i/o clamps a buffer capacity with `.min(..)` — validate \
+                 the length prefix and size exactly, or draw from the pool",
+                violations,
+            );
+        }
+    }
+}
+
+/// R17: channel/send paths must not copy SharedRun payload bytes. The
+/// needle is `.to_vec()` on a workspace-declared SharedRun name in
+/// `dema-cluster` / `dema-net` library code — ship the `Arc`-backed view
+/// (or a sub-`SharedRun`) instead of materializing the events.
+fn check_r17(
+    files: &[SourceFile],
+    shared_runs: &BTreeSet<String>,
+    violations: &mut Vec<Violation>,
+) {
+    for file in files {
+        if file.test_by_path || !in_crate_src(file, &R17_CRATES) {
+            continue;
+        }
+        let bytes = file.masked.as_bytes();
+        let mut i = 0;
+        while let Some(pos) = file.masked[i..].find(".to_vec()") {
+            let at = i + pos;
+            i = at + ".to_vec()".len();
+            let recv = ident_before(bytes, at);
+            if !shared_runs.contains(&recv) {
+                continue;
+            }
+            push_alloc_violation(
+                file,
+                "R17",
+                at,
+                &format!("{recv}.to_vec"),
+                &format!(
+                    "send path copies SharedRun payload `{recv}` with \
+                     `.to_vec()`; ship the Arc-backed view (clone is a \
+                     refcount bump) instead of materializing the events \
+                     (`// lint: allow(R17): <reason>` for cold paths)"
+                ),
+                violations,
+            );
+        }
+    }
+}
+
 /// `true` if `rule`'s findings can occur in `file` — i.e. an allow tag for
 /// it there is load-bearing. Tags for out-of-scope rules (doc examples,
 /// message strings) are inert, not stale; likewise R10–R13 tags are only
-/// load-bearing when the concurrency pass actually ran.
-fn rule_in_scope(rule: &str, file: &SourceFile, concurrency: bool) -> bool {
+/// load-bearing when the concurrency pass actually ran, and R15–R17 tags
+/// when the allocation pass did.
+fn rule_in_scope(rule: &str, file: &SourceFile, concurrency: bool, alloc: bool) -> bool {
     match rule {
         "R1" => !file.test_by_path && in_crate_src(file, &R1_CRATES),
         "R2" => R2_FILES.iter().any(|f| file.rel.ends_with(f)),
@@ -1373,6 +1787,15 @@ fn rule_in_scope(rule: &str, file: &SourceFile, concurrency: bool) -> bool {
         }
         "R10" | "R11" | "R12" | "R13" => concurrency && conc_in_scope(file),
         "R14" => !file.test_by_path && R14_FILES.iter().any(|f| file.rel.ends_with(f)),
+        "R15" => {
+            alloc
+                && !file.test_by_path
+                && HOT_PATH_REGIONS
+                    .iter()
+                    .any(|(suffix, _)| file.rel.ends_with(suffix))
+        }
+        "R16" => alloc && !file.test_by_path && R16_FILES.iter().any(|f| file.rel.ends_with(f)),
+        "R17" => alloc && !file.test_by_path && in_crate_src(file, &R17_CRATES),
         _ => false,
     }
 }
@@ -1408,10 +1831,10 @@ fn allow_tags(text: &str) -> Vec<(usize, String)> {
 /// [`SourceFile::used_allows`] is populated; every well-formed in-scope
 /// tag that suppressed nothing is a finding — the justification outlived
 /// the code it excused.
-fn check_r8(file: &SourceFile, concurrency: bool, violations: &mut Vec<Violation>) {
+fn check_r8(file: &SourceFile, concurrency: bool, alloc: bool, violations: &mut Vec<Violation>) {
     let used = file.used_allows.borrow();
     for (line_idx, rule) in allow_tags(&file.text) {
-        if !rule_in_scope(&rule, file, concurrency) {
+        if !rule_in_scope(&rule, file, concurrency, alloc) {
             continue;
         }
         if used.contains(&(line_idx, rule.clone())) {
@@ -1583,14 +2006,26 @@ pub struct Report {
 ///
 /// `baseline` holds `RULE|path|token` keys of accepted findings.
 pub fn check(root: &Path, baseline: &[String]) -> Report {
-    check_full(root, baseline, false, false)
+    check_all(root, baseline, false, false, false)
+}
+
+/// [`check_all`] without the allocation pass — kept for callers predating
+/// `--alloc`.
+pub fn check_full(root: &Path, baseline: &[String], spec: bool, concurrency: bool) -> Report {
+    check_all(root, baseline, spec, concurrency, false)
 }
 
 /// Run all rules over the workspace rooted at `root`. With `spec: true`
 /// the protocol-conformance rules R6/R7 (backed by `dema_model::spec`)
 /// run as well; with `concurrency: true` the lock/channel rules R10–R13
-/// do.
-pub fn check_full(root: &Path, baseline: &[String], spec: bool, concurrency: bool) -> Report {
+/// do, and with `alloc: true` the allocation-discipline rules R15–R17.
+pub fn check_all(
+    root: &Path,
+    baseline: &[String],
+    spec: bool,
+    concurrency: bool,
+    alloc: bool,
+) -> Report {
     let mut paths = Vec::new();
     walk(&root.join("crates"), &mut paths);
     if paths.is_empty() {
@@ -1622,9 +2057,17 @@ pub fn check_full(root: &Path, baseline: &[String], spec: bool, concurrency: boo
         }
         check_r10(&edges, &mut all);
     }
+    if alloc {
+        let shared_runs = declared_shared_runs(&files);
+        check_r15(&files, &shared_runs, &mut all);
+        for file in &files {
+            check_r16(file, &mut all);
+        }
+        check_r17(&files, &shared_runs, &mut all);
+    }
     // R8 must run after the allow-consuming rules above.
     for file in &files {
-        check_r8(file, concurrency, &mut all);
+        check_r8(file, concurrency, alloc, &mut all);
     }
     if spec {
         check_r6(&files, &mut all);
@@ -1637,6 +2080,9 @@ pub fn check_full(root: &Path, baseline: &[String], spec: bool, concurrency: boo
     }
     if concurrency {
         rules_run.extend(["R10", "R11", "R12", "R13"]);
+    }
+    if alloc {
+        rules_run.extend(["R15", "R16", "R17"]);
     }
     let all_keys: BTreeSet<String> = all.iter().map(Violation::baseline_key).collect();
     let stale_baseline: Vec<String> = baseline
@@ -1679,7 +2125,7 @@ pub fn per_rule_counts(violations: &[Violation]) -> BTreeMap<&'static str, usize
 
 /// Catalogue entry behind `dema-lint explain R<n>`.
 pub struct RuleInfo {
-    /// Rule identifier, `R1`..`R14`.
+    /// Rule identifier, `R1`..`R17`.
     pub id: &'static str,
     /// One-line statement of what the rule rejects.
     pub title: &'static str,
@@ -1691,7 +2137,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule the linter knows, in id order.
-pub const RULES: [RuleInfo; 14] = [
+pub const RULES: [RuleInfo; 17] = [
     RuleInfo {
         id: "R1",
         title: "no unwrap/expect/panic!/todo!/unimplemented! in core library code",
@@ -1795,6 +2241,35 @@ pub const RULES: [RuleInfo; 14] = [
                     stalls its peers and delays every deadline. Messages arrive as \
                     ReactorEvent::Readable, deadlines as reactor timers",
         allow: "// lint: allow(R14): <reason>",
+    },
+    RuleInfo {
+        id: "R15",
+        title: "(--alloc) no raw allocation sites inside marked hot-path regions",
+        rationale: "the `// hot-path: <name>` regions run once per window; a Vec::new / \
+                    vec! / to_vec / Box::new / String::from / min-clamped with_capacity / \
+                    payload .clone() there pays an allocator round-trip per window and \
+                    breaks the zero-alloc steady-state gate. Reuse pooled or \
+                    thread-local buffers; SharedRun clones (refcount bumps) are exempt. \
+                    Deleting a mandated marker is itself a finding",
+        allow: "// lint: allow(R15): <reason>",
+    },
+    RuleInfo {
+        id: "R16",
+        title: "(--alloc) frame encode/decode draws buffers from dema-wire::pool",
+        rationale: "an ad-hoc vec![..] payload buffer, a pool-bypassing .to_bytes(..) \
+                    helper, or a min-clamped capacity in the framing files allocates \
+                    (and likely reallocates) on every frame; acquire scratch from the \
+                    BufferPool so steady-state i/o recycles one buffer",
+        allow: "// lint: allow(R16): <reason>",
+    },
+    RuleInfo {
+        id: "R17",
+        title: "(--alloc) send paths must not copy SharedRun payload bytes",
+        rationale: "SharedRun is an Arc-backed view precisely so channel sends and \
+                    candidate replies ship slices without materializing them; a \
+                    .to_vec() on one re-copies the window payload per hop and scales \
+                    memory with fan-in",
+        allow: "// lint: allow(R17): <reason>",
     },
 ];
 
@@ -1980,7 +2455,7 @@ mod tests {
         );
         let mut v = Vec::new();
         check_r5(&file, &mut v);
-        check_r8(&file, false, &mut v);
+        check_r8(&file, false, false, &mut v);
         assert!(v.is_empty(), "consumed tag must not be stale: {v:?}");
 
         // Stale tag: nothing on the next line needs suppressing.
@@ -1989,7 +2464,7 @@ mod tests {
         );
         let mut v = Vec::new();
         check_r5(&file, &mut v);
-        check_r8(&file, false, &mut v);
+        check_r8(&file, false, false, &mut v);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!((v[0].rule, v[0].line), ("R8", 2));
 
@@ -1997,7 +2472,7 @@ mod tests {
         // advisory, not stale.
         let file = cluster_file("// lint: allow(R2): narration in docs only\nfn f() {}\n");
         let mut v = Vec::new();
-        check_r8(&file, false, &mut v);
+        check_r8(&file, false, false, &mut v);
         assert!(v.is_empty(), "out-of-scope tags are exempt: {v:?}");
     }
 
@@ -2241,24 +2716,202 @@ mod tests {
         let file =
             cluster_file("// lint: allow(R12): depth bounded by the protocol window\nfn f() {}\n");
         let mut v = Vec::new();
-        check_r8(&file, false, &mut v);
+        check_r8(&file, false, false, &mut v);
         assert!(
             v.is_empty(),
             "tag must be inert without --concurrency: {v:?}"
         );
         let mut v = Vec::new();
-        check_r8(&file, true, &mut v);
+        check_r8(&file, true, false, &mut v);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "R8");
     }
 
     #[test]
-    fn rule_catalogue_covers_r1_to_r14() {
-        assert_eq!(RULES.len(), 14);
+    fn rule_catalogue_covers_r1_to_r17() {
+        assert_eq!(RULES.len(), 17);
         for (idx, info) in RULES.iter().enumerate() {
             assert_eq!(info.id, format!("R{}", idx + 1));
         }
         assert!(rule_info("r11").is_some(), "lookup is case-insensitive");
         assert!(rule_info("R99").is_none());
+    }
+
+    /// Helper: a file standing in for the merge hot path.
+    fn merge_file(src: &str) -> SourceFile {
+        let masked = mask_source(src);
+        let test_regions = find_test_regions(&masked);
+        SourceFile {
+            rel: "crates/dema-core/src/merge.rs".to_string(),
+            text: src.to_string(),
+            masked,
+            test_regions,
+            test_by_path: false,
+            used_allows: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    #[test]
+    fn plain_type_declarations_resolve_fields_params_and_ctor_bindings() {
+        let mut names = BTreeSet::new();
+        collect_plain_decl_name("    pub events: SharedRun,", "SharedRun", &mut names);
+        collect_plain_decl_name("fn serve(run: &SharedRun) {}", "SharedRun", &mut names);
+        collect_plain_decl_name("fn fix(view: &mut SharedRun) {}", "SharedRun", &mut names);
+        collect_plain_decl_name(
+            "    let shared = SharedRun::from_vec(v);",
+            "SharedRun",
+            &mut names,
+        );
+        // A Vec of SharedRuns is not itself a SharedRun; paths and return
+        // types declare nothing.
+        collect_plain_decl_name(
+            "    let runs: Vec<crate::shared::SharedRun> = x;",
+            "SharedRun",
+            &mut names,
+        );
+        collect_plain_decl_name("fn cut() -> SharedRun {", "SharedRun", &mut names);
+        let expect: BTreeSet<String> = ["events", "run", "view", "shared"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn hot_path_region_is_the_next_brace_block() {
+        let src = "fn a() { vec![0] }\n// hot-path: merge-select\nfn b(x: u8) {\n    inner();\n}\nfn c() {}\n";
+        let f = merge_file(src);
+        let (start, end) = hot_path_region(&f, "merge-select").unwrap();
+        let region = &f.masked[start..end];
+        assert!(region.contains("inner()"), "{region}");
+        assert!(!region.contains("fn c"), "{region}");
+        // An extended marker name does not satisfy a shorter one.
+        let f = merge_file("// hot-path: merge-select-v2\nfn b() {}\n");
+        assert!(hot_path_region(&f, "merge-select").is_none());
+    }
+
+    #[test]
+    fn r15_flags_alloc_needles_inside_the_region_only() {
+        let src = "fn cold() { let v = vec![0u8; 4]; }\n\
+                   // hot-path: merge-select\n\
+                   fn hot(s: &[u8]) {\n\
+                       let a = Vec::new();\n\
+                       let b = vec![0u8; 4];\n\
+                       let c = s.to_vec();\n\
+                       let d = Box::new(1);\n\
+                       let e = String::from(name);\n\
+                       let f = Vec::with_capacity(n.min(1024));\n\
+                       let g = Vec::with_capacity(n);\n\
+                   }\n";
+        let f = merge_file(src);
+        let mut v = Vec::new();
+        check_r15(&[f], &BTreeSet::new(), &mut v);
+        let tokens: Vec<&str> = v.iter().map(|x| x.token.as_str()).collect();
+        assert_eq!(
+            tokens,
+            vec![
+                "Vec::new",
+                "vec!",
+                "to_vec",
+                "Box::new",
+                "String::from",
+                "with_capacity(..min..)"
+            ],
+            "{v:?}"
+        );
+        assert!(v.iter().all(|x| x.rule == "R15"));
+        assert!(
+            !v.iter().any(|x| x.line == 1),
+            "code outside the region is exempt: {v:?}"
+        );
+    }
+
+    #[test]
+    fn r15_exempts_shared_run_clones_and_honours_allow_tags() {
+        let src = "// hot-path: merge-select\n\
+                   fn hot(&self) {\n\
+                       let a = self.events.clone();\n\
+                       let b = self.sent.clone();\n\
+                       // lint: allow(R15): cold rebuild after epoch switch\n\
+                       let c = Vec::new();\n\
+                   }\n";
+        let f = merge_file(src);
+        let shared: BTreeSet<String> = ["events".to_string()].into_iter().collect();
+        let mut v = Vec::new();
+        check_r15(&[f], &shared, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].token, "clone");
+        assert_eq!(v[0].line, 4, "only the non-SharedRun clone fires");
+    }
+
+    #[test]
+    fn r15_flags_a_deleted_mandated_marker() {
+        let f = merge_file("pub fn merge_runs() {}\n");
+        let mut v = Vec::new();
+        check_r15(&[f], &BTreeSet::new(), &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].line), ("R15", 0));
+        assert_eq!(v[0].token, "missing-marker:merge-select");
+    }
+
+    #[test]
+    fn r16_flags_pool_bypasses_in_frame_files_only() {
+        let masked_src = "fn read() {\n    let p = vec![0u8; len];\n    let b = msg.to_bytes();\n    let c = Vec::with_capacity(n.min(65_536));\n}\n";
+        let masked = mask_source(masked_src);
+        let test_regions = find_test_regions(&masked);
+        let f = SourceFile {
+            rel: "crates/dema-wire/src/frame.rs".to_string(),
+            text: masked_src.to_string(),
+            masked,
+            test_regions,
+            test_by_path: false,
+            used_allows: RefCell::new(BTreeSet::new()),
+        };
+        let mut v = Vec::new();
+        check_r16(&f, &mut v);
+        let tokens: Vec<&str> = v.iter().map(|x| x.token.as_str()).collect();
+        assert_eq!(
+            tokens,
+            vec!["vec!", "to_bytes", "with_capacity(..min..)"],
+            "{v:?}"
+        );
+
+        // The same source in a non-frame file is out of R16's scope.
+        let mut v = Vec::new();
+        check_r16(&cluster_file(masked_src), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r17_flags_shared_run_to_vec_on_send_paths() {
+        let src = "fn send(&self) {\n    let copy = self.events.to_vec();\n    let other = self.buf.to_vec();\n}\n";
+        let f = cluster_file(src);
+        let shared: BTreeSet<String> = ["events".to_string()].into_iter().collect();
+        let mut v = Vec::new();
+        check_r17(&[f], &shared, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].token.as_str()), ("R17", "events.to_vec"));
+
+        // Allow-tagged cold paths pass.
+        let f = cluster_file(
+            "fn send(&self) {\n    // lint: allow(R17): one-shot replay after recovery\n    let copy = self.events.to_vec();\n}\n",
+        );
+        let mut v = Vec::new();
+        check_r17(&[f], &shared, &mut v);
+        assert!(v.is_empty(), "allow-tag must suppress: {v:?}");
+    }
+
+    #[test]
+    fn alloc_allow_tags_are_inert_without_the_pass() {
+        let file = merge_file(
+            "// hot-path: merge-select\nfn hot() {\n    // lint: allow(R15): cold rebuild path\n    let v = 1;\n}\n",
+        );
+        let mut v = Vec::new();
+        check_r8(&file, false, false, &mut v);
+        assert!(v.is_empty(), "tag must be inert without --alloc: {v:?}");
+        let mut v = Vec::new();
+        check_r8(&file, false, true, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].token.as_str()), ("R8", "allow(R15)"));
     }
 }

@@ -1,13 +1,14 @@
 #![forbid(unsafe_code)]
 
 //! Command-line front end:
-//! `dema-lint check <root> [--baseline <file>] [--spec] [--concurrency]`
-//! and `dema-lint explain R<n>`.
+//! `dema-lint check <root> [--baseline <file>] [--spec] [--concurrency]
+//! [--alloc]` and `dema-lint explain R<n>`.
 //!
 //! `check` exits 0 when no new violations are found and no baseline entry
 //! is stale, 1 otherwise, 2 on usage errors. `--spec` additionally runs
 //! the protocol-conformance rules R6/R7 against `dema_model::spec`;
-//! `--concurrency` runs the cross-crate lock/channel rules R10–R13. The
+//! `--concurrency` runs the cross-crate lock/channel rules R10–R13;
+//! `--alloc` runs the allocation-discipline rules R15–R17. The
 //! baseline defaults to `<root>/scripts/lint-baseline.txt` when present,
 //! so `cargo run -p dema-lint -- check .` is the whole gate.
 //!
@@ -17,7 +18,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dema-lint check <root> [--baseline <file>] [--spec] [--concurrency]\n       dema-lint explain R<n>";
+const USAGE: &str = "usage: dema-lint check <root> [--baseline <file>] [--spec] [--concurrency] [--alloc]\n       dema-lint explain R<n>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +31,7 @@ fn main() -> ExitCode {
         "check" => {}
         "explain" => {
             let Some(id) = iter.next() else {
-                eprintln!("dema-lint: explain needs a rule id (R1..R13)");
+                eprintln!("dema-lint: explain needs a rule id (R1..R17)");
                 return ExitCode::from(2);
             };
             let Some(info) = dema_lint::rule_info(id) else {
@@ -58,10 +59,12 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut spec = false;
     let mut concurrency = false;
+    let mut alloc = false;
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--spec" => spec = true,
             "--concurrency" => concurrency = true,
+            "--alloc" => alloc = true,
             "--baseline" => match iter.next() {
                 Some(p) => baseline_path = Some(PathBuf::from(p)),
                 None => {
@@ -82,7 +85,7 @@ fn main() -> ExitCode {
         Err(_) => Vec::new(),
     };
 
-    let report = dema_lint::check_full(&root, &baseline, spec, concurrency);
+    let report = dema_lint::check_all(&root, &baseline, spec, concurrency, alloc);
     for v in &report.violations {
         println!("{v}");
     }

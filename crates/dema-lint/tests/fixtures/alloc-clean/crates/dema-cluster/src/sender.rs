@@ -1,0 +1,15 @@
+//! Fixture: send paths ship the Arc-backed SharedRun view; the one
+//! materializing copy is a tagged cold recovery path.
+
+pub struct Slice {
+    pub events: SharedRun,
+}
+
+pub fn send_candidates(slice: &Slice) -> SharedRun {
+    slice.events.clone()
+}
+
+pub fn replay_after_recovery(slice: &Slice) -> Vec<u64> {
+    // lint: allow(R17): one-shot replay after recovery, off the hot path
+    slice.events.to_vec()
+}

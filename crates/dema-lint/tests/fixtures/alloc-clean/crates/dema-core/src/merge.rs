@@ -1,0 +1,17 @@
+//! Fixture: the merge hot path sizes its output exactly and reuses the
+//! Arc-backed view; the one lexical needle carries a justified tag.
+
+pub struct Run {
+    pub events: SharedRun,
+}
+
+// hot-path: merge-select
+pub fn merge_runs(runs: &[Run], total: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(total);
+    // lint: allow(R15): Vec::new is allocation-free; cold empty carry
+    let empty: Vec<u64> = Vec::new();
+    let view = runs[0].events.clone();
+    out.extend(view);
+    out.extend(empty);
+    out
+}

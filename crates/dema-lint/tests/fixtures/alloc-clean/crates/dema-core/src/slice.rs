@@ -1,0 +1,6 @@
+//! Fixture: the slicer keeps its marker and allocates nothing per window.
+
+// hot-path: slicer
+pub fn cut_into_slices(events: &[u64], gamma: usize) -> usize {
+    events.len() / gamma.max(1)
+}

@@ -1,0 +1,8 @@
+//! Fixture: frame i/o draws its scratch from the buffer pool.
+
+// hot-path: frame-io
+pub fn read_frame(pool: &BufferPool, len: usize) -> Vec<u8> {
+    let mut payload = pool.acquire();
+    payload.resize(len, 0);
+    payload
+}

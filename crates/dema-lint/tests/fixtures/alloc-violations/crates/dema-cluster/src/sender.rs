@@ -1,0 +1,9 @@
+//! Fixture: a send path copying SharedRun payload bytes per hop.
+
+pub struct Slice {
+    pub events: SharedRun,
+}
+
+pub fn send_candidates(slice: &Slice) -> Vec<u64> {
+    slice.events.to_vec()
+}

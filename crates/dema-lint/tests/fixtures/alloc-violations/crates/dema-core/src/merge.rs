@@ -1,0 +1,22 @@
+//! Fixture: raw allocation sites inside the merge-select hot path.
+
+pub struct Run {
+    pub events: SharedRun,
+}
+
+// hot-path: merge-select
+pub fn merge_runs(runs: &[Run], other: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let scratch = vec![0u64; 16];
+    let owned = other.to_vec();
+    let boxed = Box::new(scratch);
+    let label = String::from("merge");
+    let staged: Vec<u64> = Vec::with_capacity(out.len().min(1024));
+    let view = runs[0].events.clone();
+    let copied = owned.clone();
+    out.extend(view);
+    out.extend(copied);
+    out.extend(staged);
+    drop((boxed, label));
+    out
+}

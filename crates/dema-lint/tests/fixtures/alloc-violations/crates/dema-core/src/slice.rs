@@ -1,0 +1,6 @@
+//! Fixture: the slicer region's `// hot-path: slicer` marker was deleted,
+//! shrinking the allocation audit surface.
+
+pub fn cut_into_slices(events: &[u64], gamma: usize) -> usize {
+    events.len() / gamma.max(1)
+}

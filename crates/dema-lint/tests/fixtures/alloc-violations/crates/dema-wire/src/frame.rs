@@ -1,0 +1,17 @@
+//! Fixture: frame i/o bypassing the buffer pool.
+
+// hot-path: frame-io
+pub fn frame_len(len: usize) -> usize {
+    len + 4
+}
+
+pub fn read_frame_raw(len: usize) -> Vec<u8> {
+    let payload = vec![0u8; len];
+    payload
+}
+
+pub fn write_frame_raw(msg: &Msg) -> Vec<u8> {
+    let body = msg.to_bytes();
+    let framed = Vec::with_capacity(body.len().min(65_536));
+    framed
+}

@@ -3,7 +3,9 @@
 //! tree (allow-tags honoured), baseline suppression, stale allow-tags
 //! (R8), stale baseline entries, `--spec` conformance (R6), the
 //! `--concurrency` lock/channel pass (R10–R13) over the `conc-*` trees,
-//! the reactor-runtime receive ban (R14), and the `explain` subcommand.
+//! the reactor-runtime receive ban (R14), the `--alloc` allocation
+//! discipline pass (R15–R17) over the `alloc-*` trees, and the `explain`
+//! subcommand.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -279,6 +281,83 @@ fn concurrency_rules_are_opt_in() {
     assert!(stdout.contains("dema-lint: clean"), "{stdout}");
     let (code, stdout) = run_lint(&fixture("conc-clean"), &[]);
     assert_eq!(code, 0, "inert conc tags must not be stale (R8)\n{stdout}");
+}
+
+/// Tentpole: the `--alloc` pass catches every seeded allocation-discipline
+/// finding — raw allocation sites inside a marked hot-path region (R15,
+/// including the `.min(..)`-clamped capacity and a payload clone), a
+/// deleted mandated marker, pool bypasses in the framing files (R16), and
+/// a SharedRun payload copy on a send path (R17).
+#[test]
+fn alloc_tree_fails_with_per_rule_diagnostics() {
+    let (code, stdout) = run_lint(&fixture("alloc-violations"), &["--alloc"]);
+    assert_eq!(code, 1, "expected failure exit, got {code}\n{stdout}");
+    for (line, what) in [
+        (9, "Vec::new"),
+        (10, "vec!"),
+        (11, ".to_vec()"),
+        (12, "Box::new"),
+        (13, "String::from"),
+        (14, "clamps a capacity"),
+        (16, ".clone()"),
+    ] {
+        assert!(
+            stdout.lines().any(|l| l
+                .starts_with(&format!("crates/dema-core/src/merge.rs:{line}: R15:"))
+                && l.contains(what)),
+            "missing R15 diagnostic for {what} at merge.rs:{line}\n{stdout}"
+        );
+    }
+    assert!(
+        !stdout.contains("merge.rs:15"),
+        "the SharedRun clone on line 15 is a refcount bump and exempt\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-core/src/slice.rs:0: R15:")
+            && stdout.contains("`// hot-path: slicer` marker is gone"),
+        "missing R15 deleted-marker diagnostic\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-wire/src/frame.rs:9: R16:"),
+        "missing R16 diagnostic (vec! payload buffer)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-wire/src/frame.rs:14: R16:"),
+        "missing R16 diagnostic (to_bytes bypass)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-wire/src/frame.rs:15: R16:"),
+        "missing R16 diagnostic (min-clamped capacity)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/dema-cluster/src/sender.rs:8: R17:")
+            && stdout.contains("SharedRun payload `events`"),
+        "missing R17 diagnostic (events.to_vec on a send path)\n{stdout}"
+    );
+    assert!(
+        stdout.contains("12 new violation(s) [R15: 8, R16: 3, R17: 1]"),
+        "summary should count alloc violations per rule\n{stdout}"
+    );
+}
+
+/// Exact capacities, pooled frame buffers, SharedRun clones, and tagged
+/// cold paths all pass — and the consumed R15/R17 tags are not stale.
+#[test]
+fn alloc_clean_tree_passes_with_allow_tags() {
+    let (code, stdout) = run_lint(&fixture("alloc-clean"), &["--alloc"]);
+    assert_eq!(code, 0, "clean alloc tree must pass\n{stdout}");
+    assert!(stdout.contains("dema-lint: clean"), "{stdout}");
+}
+
+/// Without `--alloc` both alloc trees are clean: R15–R17 are opt-in, and
+/// their allow tags are inert rather than stale.
+#[test]
+fn alloc_rules_are_opt_in() {
+    let (code, stdout) = run_lint(&fixture("alloc-violations"), &[]);
+    assert_eq!(code, 0, "R15–R17 must not run without --alloc\n{stdout}");
+    assert!(stdout.contains("dema-lint: clean"), "{stdout}");
+    let (code, stdout) = run_lint(&fixture("alloc-clean"), &[]);
+    assert_eq!(code, 0, "inert alloc tags must not be stale (R8)\n{stdout}");
 }
 
 /// `explain` prints the rule's rationale and allow syntax; unknown rules

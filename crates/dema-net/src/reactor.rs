@@ -274,12 +274,17 @@ impl Reactor {
         let mut wakes: Vec<usize> = (0..handlers.len()).collect();
         let mut writables: Vec<(usize, usize)> = Vec::new();
         let mut due_timers: Vec<(Instant, usize, u64)> = Vec::new();
+        // Next-sweep carry buffers, hoisted out of the sweep loop: the
+        // end-of-sweep swap hands each sweep the (drained, capacity-warm)
+        // vectors of the previous one, so the steady-state dispatch loop
+        // performs no allocator round-trips.
+        let mut next_wakes: Vec<usize> = Vec::new();
+        let mut next_writables: Vec<(usize, usize)> = Vec::new();
         let mut idle_sweeps = 0u32;
+        // hot-path: reactor-dispatch
         loop {
             let mut events = 0u64;
             let mut timer_events = 0u64;
-            let mut next_wakes = Vec::new();
-            let mut next_writables = Vec::new();
 
             // Due timers, in deadline order. The due set is snapshotted
             // before dispatch: a handler that arms an already-due timer
@@ -352,8 +357,8 @@ impl Reactor {
                 handlers[handler].on_event(ReactorEvent::Wake, &mut ops)?;
                 self.absorb_ops(handler, &mut ops, &mut next_wakes, &mut next_writables);
             }
-            wakes = next_wakes;
-            writables = next_writables;
+            std::mem::swap(&mut wakes, &mut next_wakes);
+            std::mem::swap(&mut writables, &mut next_writables);
 
             self.stats.record_tick(events, timer_events);
             if handlers.iter().all(|h| h.done()) {

@@ -67,6 +67,7 @@ pub fn write_frame_pooled<W: Write>(
     msg: &Message,
     pool: &std::sync::Arc<BufferPool>,
 ) -> io::Result<u64> {
+    let _phase = dema_core::alloc::enter_phase(dema_core::alloc::Phase::Encode);
     let mut buf = pool.acquire();
     encode_frame_into(msg, &mut buf);
     w.write_all(&buf)?;
@@ -86,6 +87,20 @@ pub fn encode_frame_into(msg: &Message, buf: &mut Vec<u8>) {
 /// A clean EOF *before* the length prefix yields [`FrameError::Eof`]; EOF in
 /// the middle of a frame is an [`FrameError::Io`] error.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(Message, u64), FrameError> {
+    read_frame_pooled(r, BufferPool::global())
+}
+
+/// [`read_frame`] drawing its payload buffer from a caller-chosen pool.
+///
+/// The payload scratch lives only for the duration of the decode and goes
+/// straight back to the pool, so steady-state reads allocate nothing
+/// beyond the decoded message itself.
+// hot-path: frame-io
+pub fn read_frame_pooled<R: Read>(
+    r: &mut R,
+    pool: &std::sync::Arc<BufferPool>,
+) -> Result<(Message, u64), FrameError> {
+    let _phase = dema_core::alloc::enter_phase(dema_core::alloc::Phase::Decode);
     let mut len_buf = [0u8; 4];
     // Distinguish clean EOF from mid-frame EOF.
     match r.read(&mut len_buf)? {
@@ -97,7 +112,8 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(Message, u64), FrameError> {
     if len > MAX_FRAME {
         return Err(FrameError::TooLarge(len));
     }
-    let mut payload = vec![0u8; len as usize];
+    let mut payload = pool.acquire();
+    payload.resize(len as usize, 0);
     r.read_exact(&mut payload)?;
     let msg = Message::decode(&payload)?;
     Ok((msg, u64::from(len) + 4))

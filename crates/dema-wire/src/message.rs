@@ -722,6 +722,22 @@ fn take_count(buf: &mut &[u8]) -> Result<usize, WireError> {
     Ok(n as usize)
 }
 
+/// Validate that `n` records of at least `record_len` bytes each are
+/// actually present in `buf`, then hand `n` back as a trustworthy
+/// capacity. Replaces the old `n.min(1024)`-style capacity guesses: the
+/// output vector is sized exactly once from the validated frame length,
+/// so decode loops never grow mid-flight (lint rule R15, `codec` region)
+/// and a lying count fails *before* allocating instead of after.
+#[inline]
+fn validated_count(buf: &&[u8], n: usize, record_len: usize) -> Result<usize, WireError> {
+    let bytes = n
+        .checked_mul(record_len)
+        .ok_or(WireError::BadLength(n as u64))?;
+    need(buf, bytes)?;
+    Ok(n)
+}
+
+// hot-path: codec
 fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireError> {
     need(buf, 1)?;
     let tag = buf.get_u8();
@@ -731,7 +747,7 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             let node = NodeId(buf.get_u32_le());
             let window = WindowId(buf.get_u64_le());
             let n = take_count(buf)?;
-            let mut synopses = Vec::with_capacity(n.min(1024));
+            let mut synopses = Vec::with_capacity(validated_count(buf, n, 4 + 8 + 8 + 8 + 4)?);
             for _ in 0..n {
                 need(buf, 4 + 8 + 8 + 8 + 4)?;
                 let index = buf.get_u32_le();
@@ -761,7 +777,7 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             need(buf, 8)?;
             let window = WindowId(buf.get_u64_le());
             let n = take_count(buf)?;
-            let mut slices = Vec::with_capacity(n.min(1024));
+            let mut slices = Vec::with_capacity(validated_count(buf, n, 4)?);
             for _ in 0..n {
                 need(buf, 4)?;
                 slices.push(buf.get_u32_le());
@@ -773,7 +789,9 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             let node = NodeId(buf.get_u32_le());
             let window = WindowId(buf.get_u64_le());
             let n = take_count(buf)?;
-            let mut slices = Vec::with_capacity(n.min(1024));
+            // Variable-length records: validate against the 8-byte floor
+            // (slice index + event count) every record must carry.
+            let mut slices = Vec::with_capacity(validated_count(buf, n, 4 + 4)?);
             for _ in 0..n {
                 need(buf, 4)?;
                 let idx = buf.get_u32_le();
@@ -807,7 +825,7 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             let count = buf.get_u64_le();
             let compression = buf.get_f64_le();
             let n = take_count(buf)?;
-            let mut centroids = Vec::with_capacity(n.min(65_536));
+            let mut centroids = Vec::with_capacity(validated_count(buf, n, 16)?);
             for _ in 0..n {
                 need(buf, 16)?;
                 let mean = buf.get_f64_le();
@@ -851,7 +869,7 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             let min = buf.get_f64_le();
             let max = buf.get_f64_le();
             let n = take_count(buf)?;
-            let mut items = Vec::with_capacity(n.min(65_536));
+            let mut items = Vec::with_capacity(validated_count(buf, n, 16)?);
             for _ in 0..n {
                 need(buf, 16)?;
                 let v = buf.get_f64_le();
@@ -881,7 +899,7 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             let window = WindowId(buf.get_u64_le());
             let attempt = buf.get_u32_le();
             let n = take_count(buf)?;
-            let mut slices = Vec::with_capacity(n.min(1024));
+            let mut slices = Vec::with_capacity(validated_count(buf, n, 4)?);
             for _ in 0..n {
                 need(buf, 4)?;
                 slices.push(buf.get_u32_le());
@@ -927,13 +945,13 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             let epoch = buf.get_u64_le();
             let window = WindowId(buf.get_u64_le());
             let n = take_count(buf)?;
-            let mut joined = Vec::with_capacity(n.min(1024));
+            let mut joined = Vec::with_capacity(validated_count(buf, n, 4)?);
             for _ in 0..n {
                 need(buf, 4)?;
                 joined.push(NodeId(buf.get_u32_le()));
             }
             let m = take_count(buf)?;
-            let mut left = Vec::with_capacity(m.min(1024));
+            let mut left = Vec::with_capacity(validated_count(buf, m, 4)?);
             for _ in 0..m {
                 need(buf, 4)?;
                 left.push(NodeId(buf.get_u32_le()));
@@ -951,7 +969,7 @@ fn decode_inner(buf: &mut &[u8], allow_routed: bool) -> Result<Message, WireErro
             let inner = decode_inner(buf, false)?;
             Ok(Message::Routed {
                 dest,
-                inner: Box::new(inner),
+                inner: Box::new(inner), // lint: allow(R15): Box is the Routed variant's representation; relay control path
             })
         }
         other => Err(WireError::BadTag(other)),
@@ -1514,6 +1532,59 @@ mod tests {
             Message::decode(&buf),
             Err(WireError::BadLength(_))
         ));
+    }
+
+    #[test]
+    fn lying_counts_fail_before_allocating() {
+        // A count that passes the MAX_ELEMS sanity check but promises more
+        // records than the frame carries must be rejected by the up-front
+        // length validation — the old capped-capacity decode loops grew
+        // until they hit the truncation mid-loop.
+        let lying = 1_000_000u32; // < MAX_ELEMS, >> remaining bytes
+        for (tag, prefix) in [
+            (TAG_SYNOPSIS_BATCH, &[4, 8][..]),        // node, window
+            (TAG_CANDIDATE_REQUEST, &[8][..]),        // window
+            (TAG_CANDIDATE_REPLY, &[4, 8][..]),       // node, window
+            (TAG_DIGEST_BATCH, &[4, 8, 8, 8][..]),    // node, window, count, δ
+            (TAG_SKETCH_BATCH, &[4, 8, 8, 8, 8][..]), // node, window, count, min, max
+        ] {
+            let mut buf = BytesMut::new();
+            buf.put_u8(tag);
+            for width in prefix {
+                match width {
+                    4 => buf.put_u32_le(1),
+                    _ => buf.put_u64_le(1),
+                }
+            }
+            buf.put_u32_le(lying);
+            assert_eq!(
+                Message::decode(&buf),
+                Err(WireError::Truncated),
+                "tag {tag}"
+            );
+        }
+        // EpochSwitch: both the joined and the left list count.
+        for lie_in_left in [false, true] {
+            let mut buf = BytesMut::new();
+            buf.put_u8(TAG_EPOCH_SWITCH);
+            buf.put_u64_le(1); // epoch
+            buf.put_u64_le(1); // window
+            if lie_in_left {
+                buf.put_u32_le(1); // joined count
+                buf.put_u32_le(7); // joined[0]
+                buf.put_u32_le(lying);
+            } else {
+                buf.put_u32_le(lying);
+            }
+            assert_eq!(Message::decode(&buf), Err(WireError::Truncated));
+        }
+        // CandidateRetry carries its count after the attempt epoch.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_CANDIDATE_RETRY);
+        buf.put_u64_le(1); // window
+        buf.put_u32_le(1); // attempt
+        buf.put_u32_le(lying);
+        assert_eq!(Message::decode(&buf), Err(WireError::Truncated));
     }
 
     #[test]

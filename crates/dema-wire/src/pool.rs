@@ -14,6 +14,7 @@
 //! frame cannot pin a jumbo allocation forever).
 
 use dema_core::sync::{rank, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Most spare buffers the pool retains; excess buffers are simply freed.
@@ -22,10 +23,39 @@ const MAX_POOLED: usize = 16;
 /// Largest capacity (bytes) a buffer may keep when returned to the pool.
 const MAX_RETAINED_CAPACITY: usize = 1 << 20;
 
+/// Cumulative acquire statistics of a [`BufferPool`].
+///
+/// `acquires == reuses + misses`; the steady-state expectation (checked by
+/// the cluster alloc gate and surfaced on `RunReport.wire`) is that after
+/// warmup every acquire is a reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffers handed out, total.
+    pub acquires: u64,
+    /// Acquires satisfied from the spare list (no allocator traffic).
+    pub reuses: u64,
+    /// Acquires that fell through to a fresh buffer (pool empty or
+    /// exhausted by concurrent holders).
+    pub misses: u64,
+}
+
+impl PoolStats {
+    /// Counter deltas since an `earlier` snapshot (saturating).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            acquires: self.acquires.saturating_sub(earlier.acquires),
+            reuses: self.reuses.saturating_sub(earlier.reuses),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
 /// A bounded free-list of reusable `Vec<u8>` frame buffers.
 #[derive(Debug)]
 pub struct BufferPool {
     spares: Mutex<Vec<Vec<u8>>>,
+    acquires: AtomicU64,
+    reuses: AtomicU64,
 }
 
 impl BufferPool {
@@ -33,6 +63,8 @@ impl BufferPool {
     pub fn new() -> Arc<BufferPool> {
         Arc::new(BufferPool {
             spares: Mutex::new(rank::WIRE_BUF_POOL, Vec::new()),
+            acquires: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
         })
     }
 
@@ -44,9 +76,13 @@ impl BufferPool {
 
     /// Take a cleared buffer from the pool (or allocate a fresh one).
     pub fn acquire(self: &Arc<BufferPool>) -> PooledBuf {
-        let buf = self.spares.lock().pop().unwrap_or_default();
+        let popped = self.spares.lock().pop();
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        if popped.is_some() {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        }
         PooledBuf {
-            buf,
+            buf: popped.unwrap_or_default(),
             pool: Arc::clone(self),
         }
     }
@@ -54,6 +90,17 @@ impl BufferPool {
     /// Number of spare buffers currently pooled (diagnostic).
     pub fn spare_count(&self) -> usize {
         self.spares.lock().len()
+    }
+
+    /// Cumulative acquire/reuse/miss counters since pool creation.
+    pub fn stats(&self) -> PoolStats {
+        let acquires = self.acquires.load(Ordering::Relaxed);
+        let reuses = self.reuses.load(Ordering::Relaxed);
+        PoolStats {
+            acquires,
+            reuses,
+            misses: acquires.saturating_sub(reuses),
+        }
     }
 
     fn give_back(&self, mut buf: Vec<u8>) {
@@ -139,6 +186,55 @@ mod tests {
         b.reserve(MAX_RETAINED_CAPACITY + 1);
         drop(b);
         assert_eq!(pool.spare_count(), 0);
+    }
+
+    #[test]
+    fn reuse_rate_reaches_one_after_warmup() {
+        // Simulate per-window frame traffic: one buffer in flight per
+        // "window". The first acquire is a miss; every later window reuses
+        // the recycled buffer, so the steady-state reuse rate is 100 %.
+        let pool = BufferPool::new();
+        for window in 0..64 {
+            let mut b = pool.acquire();
+            b.extend_from_slice(&[window as u8; 32]);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.acquires, 64);
+        assert_eq!(stats.misses, 1, "only the cold first window allocates");
+        assert_eq!(stats.reuses, 63);
+        assert_eq!(stats.acquires, stats.reuses + stats.misses);
+    }
+
+    #[test]
+    fn exhausted_pool_falls_back_to_fresh_buffers() {
+        // More simultaneous holders than MAX_POOLED: acquire never blocks
+        // or fails, the overflow is served fresh and counted as misses.
+        let pool = BufferPool::new();
+        let held: Vec<PooledBuf> = (0..MAX_POOLED + 8).map(|_| pool.acquire()).collect();
+        let stats = pool.stats();
+        assert_eq!(stats.acquires, (MAX_POOLED + 8) as u64);
+        assert_eq!(stats.misses, (MAX_POOLED + 8) as u64);
+        assert_eq!(stats.reuses, 0);
+        drop(held);
+        // After the burst drains, the pool retains at most MAX_POOLED and
+        // the next acquire is a reuse again.
+        let b = pool.acquire();
+        assert_eq!(pool.stats().reuses, 1);
+        drop(b);
+    }
+
+    #[test]
+    fn stats_since_subtracts_saturating() {
+        let pool = BufferPool::new();
+        drop(pool.acquire());
+        let before = pool.stats();
+        drop(pool.acquire());
+        drop(pool.acquire());
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.acquires, 2);
+        assert_eq!(delta.reuses, 2);
+        assert_eq!(delta.misses, 0);
+        assert_eq!(before.since(&pool.stats()), PoolStats::default());
     }
 
     #[test]

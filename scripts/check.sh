@@ -25,22 +25,34 @@
 #                      recover bit-exact and keep the post-churn steady
 #                      state pinned to a fresh final-membership run
 #   dema-lint        — repo-specific static analysis (--spec
-#                      --concurrency): R1 no panics in library code, R2
-#                      no lossy `as` casts in rank/gamma arithmetic,
-#                      R3/R4 error & wire variants exercised, R5 no
-#                      unbounded receives in cluster code, R6/R7
-#                      protocol-spec conformance (handled variants match
-#                      the dema-model role spec; every transition has a
-#                      test), R8 no stale allow-tags, R9 no ad-hoc
-#                      thread::spawn outside the deterministic sort pool
-#                      (dema_core::par), R10 no lock-order inversions in
-#                      the cross-crate acquisition graph, R11 no guard
-#                      held across a blocking call, R12 no unbounded
-#                      channels in hot-path crates, R13 all hot-path
-#                      locks through the ranked dema_core::sync wrappers.
+#                      --concurrency --alloc): R1 no panics in library
+#                      code, R2 no lossy `as` casts in rank/gamma
+#                      arithmetic, R3/R4 error & wire variants
+#                      exercised, R5 no unbounded receives in cluster
+#                      code, R6/R7 protocol-spec conformance (handled
+#                      variants match the dema-model role spec; every
+#                      transition has a test), R8 no stale allow-tags,
+#                      R9 no ad-hoc thread::spawn outside the
+#                      deterministic sort pool (dema_core::par), R10 no
+#                      lock-order inversions in the cross-crate
+#                      acquisition graph, R11 no guard held across a
+#                      blocking call, R12 no unbounded channels in
+#                      hot-path crates, R13 all hot-path locks through
+#                      the ranked dema_core::sync wrappers, R15 no raw
+#                      allocation sites in marked hot-path regions, R16
+#                      frame buffers drawn from dema-wire::pool, R17 no
+#                      SharedRun payload copies on send paths.
 #                      `dema-lint explain R<n>` decodes any rule id.
 #                      Stale baseline entries fail too (baseline only
 #                      shrinks; scripts/lint-baseline.txt)
+#   alloc gate       — dema-cluster/tests/alloc_gate.rs under --features
+#                      strict at DEMA_THREADS=1 and 4: with the counting
+#                      allocator armed, a warmed-up Dema star run over
+#                      the mem transport performs zero fresh system
+#                      allocations (every buffer off the recycling
+#                      shelves), stays bit-identical to the warm-up,
+#                      and folds its counters into RunReport.alloc (the
+#                      dynamic twin of R15–R17)
 #   lock-order gate  — dema-cluster/tests/lock_order.rs under --features
 #                      strict at DEMA_THREADS=4: repeated runs reuse the
 #                      sort pool without leaking workers, a full run
@@ -85,8 +97,11 @@ for seed in $CHAOS_SEEDS; do
     CHAOS_SEED="$seed" cargo test -q -p dema-cluster --features strict --test chaos
     CHAOS_SEED="$seed" cargo test -q -p dema-cluster --features strict --test churn seeded_churn
 done
-cargo run -q -p dema-lint -- check . --spec --concurrency
+cargo run -q -p dema-lint -- check . --spec --concurrency --alloc
 DEMA_THREADS=4 cargo test -q -p dema-cluster --features strict --test lock_order
+for threads in 1 4; do
+    DEMA_THREADS="$threads" cargo test -q -p dema-cluster --features strict --test alloc_gate
+done
 MODEL_BUDGET="${MODEL_BUDGET:-1200}" cargo test -q -p dema-model --test explore
 cargo run -q --release -p dema --features strict --bin dema-server -- --leaves 256 --quiet
 cargo run -q --release -p dema --features strict --bin dema-server -- \
